@@ -1,0 +1,65 @@
+// Command dittobench regenerates the tables and figures of the Ditto
+// paper's evaluation (SOSP 2023) on the simulated disaggregated-memory
+// substrate.
+//
+// Usage:
+//
+//	dittobench -list
+//	dittobench -fig 14                 # one figure, quick scale
+//	dittobench -fig 14 -scale full     # paper-relative scale
+//	dittobench -table 3
+//	dittobench -all [-scale full]
+//
+// Output is plain text: the same rows/series each figure plots. See
+// EXPERIMENTS.md for measured-vs-paper comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ditto/internal/bench"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure number to regenerate (e.g. 14)")
+		table   = flag.String("table", "", "table number to regenerate (e.g. 3)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		scaleFl = flag.String("scale", "quick", "experiment scale: quick | full")
+	)
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFl)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *list:
+		fmt.Println("experiments:", strings.Join(bench.IDs(), " "))
+	case *all:
+		if err := bench.RunAll(os.Stdout, scale); err != nil {
+			fatal(err)
+		}
+	case *fig != "":
+		if err := bench.Run(*fig, os.Stdout, scale); err != nil {
+			fatal(err)
+		}
+	case *table != "":
+		if err := bench.Run("table"+*table, os.Stdout, scale); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dittobench:", err)
+	os.Exit(1)
+}

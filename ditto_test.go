@@ -1,0 +1,85 @@
+package ditto_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ditto"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	env := ditto.NewEnv(1)
+	cluster := ditto.NewCluster(env, ditto.DefaultOptions(1000, 1<<20))
+	env.Go("app", func(p *ditto.Proc) {
+		c := cluster.NewClient(p)
+		c.Set([]byte("k"), []byte("v"))
+		v, ok := c.Get([]byte("k"))
+		if !ok || !bytes.Equal(v, []byte("v")) {
+			t.Errorf("got %q ok=%v", v, ok)
+		}
+		if !c.Delete([]byte("k")) {
+			t.Error("delete failed")
+		}
+		c.Close()
+	})
+	env.Run()
+}
+
+func TestPublicAPICustomExperts(t *testing.T) {
+	env := ditto.NewEnv(1)
+	opts := ditto.DefaultOptions(500, 160<<10) // ~640 objects of this class
+	opts.Experts = []string{"GDSF", "HYPERBOLIC"}
+	cluster := ditto.NewCluster(env, opts)
+	env.Go("app", func(p *ditto.Proc) {
+		c := cluster.NewClient(p)
+		for i := 0; i < 2000; i++ {
+			key := []byte(fmt.Sprintf("key-%d", i%800))
+			if _, ok := c.Get(key); !ok {
+				c.Set(key, make([]byte, 200))
+			}
+		}
+		if c.Stats.Hits == 0 || c.Stats.Evictions == 0 {
+			t.Errorf("stats = %+v", c.Stats)
+		}
+		if w := c.Weights(); len(w) != 2 {
+			t.Errorf("weights = %v", w)
+		}
+	})
+	env.Run()
+}
+
+func TestAlgorithmsListed(t *testing.T) {
+	algos := ditto.Algorithms()
+	if len(algos) != 12 {
+		t.Fatalf("expected the 12 integrated algorithms, got %d: %v", len(algos), algos)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int64, int64) {
+		env := ditto.NewEnv(99)
+		cluster := ditto.NewCluster(env, ditto.DefaultOptions(200, 128<<10))
+		var hits int64
+		for w := 0; w < 4; w++ {
+			w := w
+			env.Go("app", func(p *ditto.Proc) {
+				c := cluster.NewClient(p)
+				for i := 0; i < 500; i++ {
+					key := []byte(fmt.Sprintf("key-%d", (i*7+w*13)%600))
+					if _, ok := c.Get(key); !ok {
+						c.Set(key, make([]byte, 100))
+					}
+				}
+				hits += c.Stats.Hits
+			})
+		}
+		env.Run()
+		return hits, env.Now()
+	}
+	h1, t1 := run()
+	h2, t2 := run()
+	if h1 != h2 || t1 != t2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", h1, t1, h2, t2)
+	}
+}

@@ -1,0 +1,45 @@
+// Quickstart: create a Ditto cluster on the simulated memory pool, run a
+// client, and exercise Get/Set/Delete.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"ditto"
+)
+
+func main() {
+	// One deterministic virtual-time environment hosts the whole cluster.
+	env := ditto.NewEnv(42)
+
+	// A cache sized for ~10k objects and 4 MB of values; LRU+LFU experts
+	// with adaptive selection are the default.
+	cluster := ditto.NewCluster(env, ditto.DefaultOptions(10_000, 4<<20))
+
+	env.Go("app", func(p *ditto.Proc) {
+		c := cluster.NewClient(p)
+
+		c.Set([]byte("user:1"), []byte("ada lovelace"))
+		c.Set([]byte("user:2"), []byte("grace hopper"))
+
+		if v, ok := c.Get([]byte("user:1")); ok {
+			fmt.Printf("user:1 = %s\n", v)
+		}
+		if _, ok := c.Get([]byte("user:404")); !ok {
+			fmt.Println("user:404 = cache miss (as expected)")
+		}
+
+		c.Delete([]byte("user:2"))
+		if _, ok := c.Get([]byte("user:2")); !ok {
+			fmt.Println("user:2 deleted")
+		}
+
+		fmt.Printf("stats: gets=%d hits=%d misses=%d (virtual time %.1f µs)\n",
+			c.Stats.Gets, c.Stats.Hits, c.Stats.Misses, float64(p.Now())/1000)
+		c.Close()
+	})
+	env.Run()
+	fmt.Println("supported caching algorithms:", ditto.Algorithms())
+}

@@ -1,0 +1,88 @@
+// Webcache: an HTTP front end backed by Ditto — the cloud-service shape
+// the paper's introduction motivates (a look-aside cache between a web
+// tier and slow distributed storage).
+//
+// Real HTTP requests (net/http) are served by a handler that consults a
+// Ditto client running in the virtual-time fabric; misses fall through to
+// a simulated 500 µs storage tier and populate the cache. Because the
+// simulation is single-stepped, HTTP requests are funneled to the Ditto
+// client through a request channel — one more illustration of driving the
+// simulated cluster from outside.
+//
+//	go run ./examples/webcache        # serves on :8099, issues demo requests
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ditto"
+)
+
+// request is one cache operation shipped into the simulation.
+type request struct {
+	key   string
+	reply chan string
+}
+
+func main() {
+	env := ditto.NewEnv(11)
+	cluster := ditto.NewCluster(env, ditto.DefaultOptions(10_000, 4<<20))
+
+	reqs := make(chan request, 128)
+	done := make(chan struct{})
+
+	// The Ditto client lives inside the simulation and serves the channel.
+	go func() {
+		env.Go("cache-worker", func(p *ditto.Proc) {
+			c := cluster.NewClient(p)
+			for r := range reqs {
+				if v, ok := c.Get([]byte(r.key)); ok {
+					r.reply <- "HIT  " + string(v)
+					continue
+				}
+				// Miss: fetch from the (simulated) storage tier.
+				p.Sleep(500 * ditto.Microsecond)
+				v := fmt.Sprintf("value-of(%s)", r.key)
+				c.Set([]byte(r.key), []byte(v))
+				r.reply <- "MISS " + v
+			}
+		})
+		env.Run()
+		close(done)
+	}()
+
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			http.Error(w, "missing ?key=", http.StatusBadRequest)
+			return
+		}
+		rep := make(chan string, 1)
+		reqs <- request{key: key, reply: rep}
+		fmt.Fprintln(w, <-rep)
+	})
+
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	fmt.Println("webcache serving at", srv.URL)
+
+	// Demo traffic: first access misses, repeats hit.
+	for _, key := range []string{"alpha", "beta", "alpha", "alpha", "beta"} {
+		resp, err := http.Get(srv.URL + "/?key=" + key)
+		if err != nil {
+			panic(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		fmt.Printf("GET %-6s -> %s", key, body)
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(reqs)
+	<-done
+	fmt.Println("done")
+}

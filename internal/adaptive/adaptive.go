@@ -1,0 +1,231 @@
+// Package adaptive implements Ditto's distributed adaptive caching scheme
+// (§4.3): cache replacement as a multi-armed bandit over multiple caching
+// algorithms ("experts"), driven by regret minimization, with the lazy
+// weight update protocol between clients and the MN controller (§4.3.2).
+//
+// Each client keeps local expert weights and makes eviction decisions with
+// them. When a missed key hits in the eviction history (a regret), the
+// experts whose bitmap appears in the history entry are penalized:
+//
+//	w_Ei ← w_Ei · e^(−λ·d^t)
+//
+// where λ is the learning rate, t the entry's age in the logical FIFO
+// queue, and d = 0.005^(1/N) the discount rate for a history of N entries
+// (following LeCaR). Thanks to e^a·e^b = e^(a+b), clients buffer only the
+// per-expert SUM of exponents and ship it to the controller every
+// BatchSize regrets; the controller folds the sums into the global weights
+// and replies with them, so clients re-synchronize without client-to-
+// client coordination.
+package adaptive
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+)
+
+// minWeight keeps every expert's normalized weight above a floor so a
+// long-losing expert can recover when the workload turns (LeCaR clamps
+// similarly).
+const minWeight = 0.01
+
+// DiscountRate returns d = 0.005^(1/N) for a history of N entries.
+func DiscountRate(historySize int) float64 {
+	if historySize < 1 {
+		historySize = 1
+	}
+	return math.Pow(0.005, 1/float64(historySize))
+}
+
+// Weights is a normalized weight vector over experts.
+type Weights []float64
+
+func newUniform(n int) Weights {
+	w := make(Weights, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	return w
+}
+
+// normalize rescales to sum 1 with the floor applied.
+func (w Weights) normalize() {
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	if sum <= 0 {
+		copy(w, newUniform(len(w)))
+		return
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	// Lift floored weights to exactly minWeight and take the mass from the
+	// unfloored ones, so the result still sums to 1.
+	deficit, free := 0.0, 0.0
+	for i := range w {
+		if w[i] < minWeight {
+			deficit += minWeight - w[i]
+			w[i] = minWeight
+		} else {
+			free += w[i]
+		}
+	}
+	if deficit > 0 && free > deficit {
+		scale := (free - deficit) / free
+		for i := range w {
+			if w[i] > minWeight {
+				w[i] *= scale
+			}
+		}
+	}
+}
+
+// Client is one Ditto client's adaptive state.
+type Client struct {
+	n         int
+	lr        float64
+	discount  float64
+	batchSize int
+	local     Weights
+	pending   []float64 // per-expert exponent sums awaiting offload
+	buffered  int
+	ep        *rdma.Endpoint
+	eager     bool // ablation: sync on every regret
+
+	// Regrets counts penalties applied; Syncs counts RPC offloads.
+	Regrets, Syncs int64
+}
+
+// Config configures a client.
+type Config struct {
+	NumExperts   int
+	LearningRate float64 // paper default 0.1
+	HistorySize  int     // determines the discount rate
+	BatchSize    int     // paper default 100 local updates per RPC
+	Eager        bool    // ablation: disable lazy batching
+}
+
+// NewClient creates the client-side adaptive state speaking to the
+// controller through ep (ep may be nil for purely local simulations, in
+// which case weights never sync globally).
+func NewClient(cfg Config, ep *rdma.Endpoint) *Client {
+	if cfg.NumExperts < 1 {
+		panic("adaptive: need at least one expert")
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = 0.1
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 100
+	}
+	return &Client{
+		n:         cfg.NumExperts,
+		lr:        cfg.LearningRate,
+		discount:  DiscountRate(cfg.HistorySize),
+		batchSize: cfg.BatchSize,
+		local:     newUniform(cfg.NumExperts),
+		pending:   make([]float64, cfg.NumExperts),
+		ep:        ep,
+		eager:     cfg.Eager,
+	}
+}
+
+// Weights returns the client's current local weights (read-only view).
+func (c *Client) Weights() Weights { return c.local }
+
+// PickExpert samples an expert index proportionally to the local weights
+// (step 2 of Figure 8: candidates of higher-weight experts are more likely
+// to be evicted).
+func (c *Client) PickExpert(rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, w := range c.local {
+		acc += w
+		if x < acc {
+			return i
+		}
+	}
+	return c.n - 1
+}
+
+// Penalize applies a regret against every expert set in bitmap, for a
+// history entry of the given age, then offloads lazily if the batch is
+// full.
+func (c *Client) Penalize(bitmap uint64, age uint64) {
+	exponent := c.lr * math.Pow(c.discount, float64(age))
+	for i := 0; i < c.n; i++ {
+		if bitmap&(1<<uint(i)) == 0 {
+			continue
+		}
+		c.local[i] *= math.Exp(-exponent)
+		c.pending[i] += exponent
+		c.Regrets++
+	}
+	c.local.normalize()
+	c.buffered++
+	if c.eager || c.buffered >= c.batchSize {
+		c.Sync()
+	}
+}
+
+// Sync offloads the buffered penalty sums to the controller with one RPC
+// and adopts the global weights from the reply. A nil endpoint makes Sync
+// a no-op (local-only mode).
+func (c *Client) Sync() {
+	c.buffered = 0
+	if c.ep == nil {
+		for i := range c.pending {
+			c.pending[i] = 0
+		}
+		return
+	}
+	payload := make([]byte, 8*c.n)
+	for i, e := range c.pending {
+		binary.LittleEndian.PutUint64(payload[8*i:], math.Float64bits(e))
+		c.pending[i] = 0
+	}
+	reply := c.ep.RPC(memnode.OpWeightUpdate, payload)
+	for i := range c.local {
+		c.local[i] = math.Float64frombits(binary.LittleEndian.Uint64(reply[8*i:]))
+	}
+	c.Syncs++
+}
+
+// Service is the controller-side global weight state, registered on the
+// memory node. The controller is weak (1–2 cores) but the lazy update
+// makes this RPC rare, so it never bottlenecks (§4.3.2).
+type Service struct {
+	global Weights
+
+	// Updates counts weight-update RPCs served.
+	Updates int64
+}
+
+// RegisterService installs the weight-update handler on the node and
+// returns the service.
+func RegisterService(node *rdma.Node, numExperts int) *Service {
+	s := &Service{global: newUniform(numExperts)}
+	node.Handle(memnode.OpWeightUpdate, func(payload []byte) []byte {
+		s.Updates++
+		n := len(s.global)
+		for i := 0; i < n && 8*i+8 <= len(payload); i++ {
+			exp := math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+			s.global[i] *= math.Exp(-exp)
+		}
+		s.global.normalize()
+		reply := make([]byte, 8*n)
+		for i, w := range s.global {
+			binary.LittleEndian.PutUint64(reply[8*i:], math.Float64bits(w))
+		}
+		return reply
+	})
+	return s
+}
+
+// Global returns the controller's current global weights.
+func (s *Service) Global() Weights { return s.global }

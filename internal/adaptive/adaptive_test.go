@@ -1,0 +1,219 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+func TestDiscountRate(t *testing.T) {
+	d := DiscountRate(1000)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("d = %v", d)
+	}
+	if got := math.Pow(d, 1000); math.Abs(got-0.005) > 1e-9 {
+		t.Fatalf("d^N = %v, want 0.005", got)
+	}
+	if DiscountRate(0) != DiscountRate(1) {
+		t.Fatal("degenerate history size not clamped")
+	}
+}
+
+func TestUniformStart(t *testing.T) {
+	c := NewClient(Config{NumExperts: 4, HistorySize: 100}, nil)
+	for _, w := range c.Weights() {
+		if math.Abs(w-0.25) > 1e-12 {
+			t.Fatalf("weights = %v", c.Weights())
+		}
+	}
+}
+
+func TestPenalizeShiftsWeight(t *testing.T) {
+	c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1 << 30}, nil)
+	for i := 0; i < 50; i++ {
+		c.Penalize(0b01, 0) // expert 0 keeps regretting
+	}
+	w := c.Weights()
+	if w[0] >= w[1] {
+		t.Fatalf("penalized expert not demoted: %v", w)
+	}
+	if sum := w[0] + w[1]; math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights not normalized: %v", w)
+	}
+	if w[0] < minWeight-1e-12 {
+		t.Fatalf("weight below floor: %v", w)
+	}
+}
+
+func TestOlderRegretsPenalizedLess(t *testing.T) {
+	fresh := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1 << 30}, nil)
+	stale := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1 << 30}, nil)
+	fresh.Penalize(0b01, 0)
+	stale.Penalize(0b01, 100)
+	if fresh.Weights()[0] >= stale.Weights()[0] {
+		t.Fatalf("young regret %v should hit harder than old %v",
+			fresh.Weights()[0], stale.Weights()[0])
+	}
+}
+
+func TestBitmapPenalizesMultipleExperts(t *testing.T) {
+	c := NewClient(Config{NumExperts: 3, HistorySize: 100, BatchSize: 1 << 30}, nil)
+	c.Penalize(0b011, 0)
+	w := c.Weights()
+	if !(w[2] > w[0] && w[2] > w[1]) {
+		t.Fatalf("weights = %v", w)
+	}
+	if math.Abs(w[0]-w[1]) > 1e-12 {
+		t.Fatalf("equally-guilty experts diverged: %v", w)
+	}
+}
+
+func TestPickExpertFollowsWeights(t *testing.T) {
+	c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1 << 30}, nil)
+	for i := 0; i < 200; i++ {
+		c.Penalize(0b01, 0)
+	}
+	rng := rand.New(rand.NewSource(5))
+	picks := [2]int{}
+	for i := 0; i < 10000; i++ {
+		picks[c.PickExpert(rng)]++
+	}
+	// Expert 0 is at the floor (~1%); it must be picked rarely but not never.
+	if picks[0] == 0 {
+		t.Fatal("floored expert never picked (cannot recover)")
+	}
+	if picks[0] > 1000 {
+		t.Fatalf("demoted expert picked %d/10000 times", picks[0])
+	}
+}
+
+func TestLazySyncBatches(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := rdma.NewNode(env, 1<<12, rdma.DefaultConfig())
+	svc := RegisterService(node, 2)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(node, p)
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 10}, ep)
+		for i := 0; i < 35; i++ {
+			c.Penalize(0b01, 0)
+		}
+		if c.Syncs != 3 {
+			t.Errorf("syncs = %d, want 3 (batch of 10, 35 regrets)", c.Syncs)
+		}
+	})
+	env.Run()
+	if svc.Updates != 3 {
+		t.Fatalf("controller updates = %d", svc.Updates)
+	}
+	g := svc.Global()
+	if g[0] >= g[1] {
+		t.Fatalf("global weights did not learn: %v", g)
+	}
+}
+
+func TestEagerModeSyncsEveryRegret(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := rdma.NewNode(env, 1<<12, rdma.DefaultConfig())
+	RegisterService(node, 2)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(node, p)
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 100, Eager: true}, ep)
+		for i := 0; i < 7; i++ {
+			c.Penalize(0b10, 0)
+		}
+		if c.Syncs != 7 {
+			t.Errorf("eager syncs = %d, want 7", c.Syncs)
+		}
+	})
+	env.Run()
+}
+
+func TestGlobalAggregatesAcrossClients(t *testing.T) {
+	// Two clients regret against different experts; the controller's global
+	// view must reflect the imbalance (client A regrets expert 0 three
+	// times as often).
+	env := sim.NewEnv(1)
+	node := rdma.NewNode(env, 1<<12, rdma.DefaultConfig())
+	svc := RegisterService(node, 2)
+	env.Go("a", func(p *sim.Proc) {
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 5}, rdma.NewEndpoint(node, p))
+		for i := 0; i < 60; i++ {
+			c.Penalize(0b01, 0)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	env.Go("b", func(p *sim.Proc) {
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 5}, rdma.NewEndpoint(node, p))
+		for i := 0; i < 20; i++ {
+			c.Penalize(0b10, 0)
+			p.Sleep(3 * sim.Microsecond)
+		}
+	})
+	env.Run()
+	g := svc.Global()
+	if g[0] >= g[1] {
+		t.Fatalf("global weights = %v, expert 0 should be lighter", g)
+	}
+}
+
+func TestSyncAdoptsGlobalWeights(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := rdma.NewNode(env, 1<<12, rdma.DefaultConfig())
+	RegisterService(node, 2)
+	env.Go("warm", func(p *sim.Proc) {
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1}, rdma.NewEndpoint(node, p))
+		for i := 0; i < 30; i++ {
+			c.Penalize(0b01, 0)
+		}
+	})
+	env.Run()
+	var adopted Weights
+	env.Go("fresh", func(p *sim.Proc) {
+		c := NewClient(Config{NumExperts: 2, HistorySize: 100, BatchSize: 1}, rdma.NewEndpoint(node, p))
+		c.Sync() // no local regrets: must still adopt the global view
+		adopted = append(Weights{}, c.Weights()...)
+	})
+	env.Run()
+	if adopted[0] >= adopted[1] {
+		t.Fatalf("fresh client did not adopt global weights: %v", adopted)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero experts")
+		}
+	}()
+	NewClient(Config{NumExperts: 0}, nil)
+}
+
+// Property: weights remain a valid distribution (sum 1, all >= floor)
+// under arbitrary penalty sequences.
+func TestWeightsStayNormalizedProperty(t *testing.T) {
+	f := func(bitmaps []uint8, ages []uint8) bool {
+		c := NewClient(Config{NumExperts: 3, HistorySize: 50, BatchSize: 1 << 30}, nil)
+		for i, b := range bitmaps {
+			age := uint64(0)
+			if len(ages) > 0 {
+				age = uint64(ages[i%len(ages)])
+			}
+			c.Penalize(uint64(b&0b111), age)
+		}
+		sum := 0.0
+		for _, w := range c.Weights() {
+			if w < minWeight-1e-9 || math.IsNaN(w) {
+				return false
+			}
+			sum += w
+		}
+		return math.Abs(sum-1) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,348 @@
+package baselines
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+func kvKey(i int) []byte   { return []byte(fmt.Sprintf("key-%06d", i)) }
+func kvValue(i int) []byte { return bytes.Repeat([]byte{byte(i%250 + 1)}, 64) }
+
+// ------------------------------- KVS / KVC / KVC-S -----------------------
+
+func TestKVSRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewKVCluster(env, KVS, 1000, rdma.DefaultConfig())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewKVClient(p)
+		for i := 0; i < 200; i++ {
+			cl.Set(kvKey(i), kvValue(i))
+		}
+		for i := 0; i < 200; i++ {
+			v, ok := cl.Get(kvKey(i))
+			if !ok || !bytes.Equal(v, kvValue(i)) {
+				t.Fatalf("key %d wrong", i)
+			}
+		}
+		if _, ok := cl.Get([]byte("nope")); ok {
+			t.Fatal("phantom hit")
+		}
+	})
+	env.Run()
+}
+
+func TestKVCMaintainsRemoteList(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewKVCluster(env, KVC, 100, rdma.DefaultConfig())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewKVClient(p)
+		cl.Set(kvKey(1), kvValue(1))
+		s0 := c.MN.Node.Stats
+		if _, ok := cl.Get(kvKey(1)); !ok {
+			t.Fatal("miss")
+		}
+		d := c.MN.Node.Stats
+		// KVC Get = 2 data READs + lock CAS + list maintenance verbs.
+		if cas := d.CASes - s0.CASes; cas < 1 {
+			t.Errorf("no lock CAS on cached Get (%d)", cas)
+		}
+		if w := d.Writes - s0.Writes; w < 3 {
+			t.Errorf("list move-to-front used %d writes, want >= 3", w)
+		}
+	})
+	env.Run()
+	// Sentinel list must be a consistent ring containing the node.
+	head := c.headAddr[0]
+	next := c.MN.Node.Uint64At(head + 8)
+	if next == head {
+		t.Fatal("list empty after insert")
+	}
+	back := c.MN.Node.Uint64At(next)
+	if back != head {
+		t.Fatalf("broken ring: node.prev = %d, head = %d", back, head)
+	}
+}
+
+func TestKVSFasterThanKVC(t *testing.T) {
+	// Figure 2a: KVC throughput is a fraction of KVS with a single client
+	// due to list maintenance on the critical path.
+	run := func(kind KVKind) float64 {
+		env := sim.NewEnv(1)
+		c := NewKVCluster(env, kind, 500, rdma.DefaultConfig())
+		var elapsed int64
+		env.Go("c", func(p *sim.Proc) {
+			cl := c.NewKVClient(p)
+			for i := 0; i < 200; i++ {
+				cl.Set(kvKey(i), kvValue(i))
+			}
+			start := p.Now()
+			for i := 0; i < 1000; i++ {
+				cl.Get(kvKey(i % 200))
+			}
+			elapsed = p.Now() - start
+		})
+		env.Run()
+		return 1000 / (float64(elapsed) / 1e9)
+	}
+	kvs, kvc := run(KVS), run(KVC)
+	if kvc >= kvs*0.6 {
+		t.Fatalf("KVC (%.0f ops/s) should be well below KVS (%.0f ops/s)", kvc, kvs)
+	}
+}
+
+func TestKVCLockContentionCollapses(t *testing.T) {
+	// Figure 2b: with many clients, KVC throughput collapses under lock
+	// contention while KVC-S degrades more mildly thanks to sharding+backoff.
+	run := func(kind KVKind, clients int) (opsPerSec float64, retries int64) {
+		env := sim.NewEnv(1)
+		c := NewKVCluster(env, kind, 2000, rdma.DefaultConfig())
+		env.Go("load", func(p *sim.Proc) {
+			cl := c.NewKVClient(p)
+			for i := 0; i < 512; i++ {
+				cl.Set(kvKey(i), kvValue(i))
+			}
+		})
+		env.Run()
+		start := env.Now()
+		var total int64
+		for w := 0; w < clients; w++ {
+			w := w
+			env.Go("c", func(p *sim.Proc) {
+				cl := c.NewKVClient(p)
+				for i := 0; i < 300; i++ {
+					cl.Get(kvKey((i*7 + w) % 512))
+				}
+				total += 300
+				retries += cl.LockRetries
+			})
+		}
+		env.Run()
+		return float64(total) / (float64(env.Now()-start) / 1e9), retries
+	}
+	kvc1, _ := run(KVC, 1)
+	kvc32, r32 := run(KVC, 32)
+	kvcs32, _ := run(KVCS, 32)
+	if r32 == 0 {
+		t.Fatal("no lock retries under 32-way contention")
+	}
+	if kvc32 > kvc1*4 {
+		t.Fatalf("KVC scaled too well: 1→%.0f, 32→%.0f ops/s", kvc1, kvc32)
+	}
+	if kvcs32 <= kvc32 {
+		t.Fatalf("KVC-S (%.0f) should beat KVC (%.0f) at 32 clients", kvcs32, kvc32)
+	}
+}
+
+// ------------------------------------ CliqueMap ---------------------------
+
+func TestCMSetGet(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewCMCluster(env, CMLRU, 1000, 1<<20, CMFabric())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewCMClient(p)
+		for i := 0; i < 200; i++ {
+			if !cl.Set(kvKey(i), kvValue(i)) {
+				t.Fatalf("set %d failed", i)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			v, ok := cl.Get(kvKey(i))
+			if !ok || !bytes.Equal(v, kvValue(i)) {
+				t.Fatalf("key %d wrong", i)
+			}
+		}
+	})
+	env.Run()
+}
+
+func TestCMGetIsOneSided(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewCMCluster(env, CMLRU, 1000, 1<<20, CMFabric())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewCMClient(p)
+		cl.Set(kvKey(1), kvValue(1))
+		s0 := c.MN.Node.Stats
+		cl.Get(kvKey(1))
+		d := c.MN.Node.Stats
+		if rpc := d.RPCs - s0.RPCs; rpc != 0 {
+			t.Errorf("Get issued %d RPCs, want 0 (one-sided)", rpc)
+		}
+		if reads := d.Reads - s0.Reads; reads != 2 {
+			t.Errorf("Get used %d READs, want 2", reads)
+		}
+	})
+	env.Run()
+}
+
+func TestCMSyncBatches(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewCMCluster(env, CMLFU, 1000, 1<<20, CMFabric())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewCMClient(p)
+		cl.Set(kvKey(1), kvValue(1))
+		s0 := c.MN.Node.Stats.RPCs
+		for i := 0; i < 2*CMSyncEvery; i++ {
+			cl.Get(kvKey(1))
+		}
+		if syncs := c.MN.Node.Stats.RPCs - s0; syncs != 2 {
+			t.Errorf("sync RPCs = %d, want 2", syncs)
+		}
+	})
+	env.Run()
+	if c.SyncRecords == 0 {
+		t.Fatal("server merged no access records")
+	}
+}
+
+func TestCMEvictionIsExactLRU(t *testing.T) {
+	env := sim.NewEnv(1)
+	// Capacity for exactly 4 × 128-byte-class objects.
+	c := NewCMCluster(env, CMLRU, 64, 512, CMFabric())
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewCMClient(p)
+		for i := 0; i < 4; i++ {
+			cl.Set(kvKey(i), kvValue(i))
+		}
+		cl.Get(kvKey(0)) // 0 is now MRU; LRU victim should be 1
+		cl.FlushSync()   // make the server see the access order
+		cl.Set(kvKey(9), kvValue(9))
+		if _, ok := cl.Get(kvKey(1)); ok {
+			t.Error("LRU victim 1 still cached")
+		}
+		if _, ok := cl.Get(kvKey(0)); !ok {
+			t.Error("recently used key 0 evicted")
+		}
+	})
+	env.Run()
+	if c.Evictions == 0 {
+		t.Fatal("no evictions")
+	}
+}
+
+func TestCMSetThroughputBoundByServerCPU(t *testing.T) {
+	// §5.3: CliqueMap's write path saturates the MN CPU.
+	env := sim.NewEnv(1)
+	c := NewCMCluster(env, CMLRU, 4000, 4<<20, CMFabric())
+	const clients, opsEach = 32, 50
+	for w := 0; w < clients; w++ {
+		w := w
+		env.Go("c", func(p *sim.Proc) {
+			cl := c.NewCMClient(p)
+			for i := 0; i < opsEach; i++ {
+				cl.Set(kvKey(w*opsEach+i), kvValue(i))
+			}
+		})
+	}
+	env.Run()
+	opsPerSec := float64(clients*opsEach) / (float64(env.Now()) / 1e9)
+	cpuBound := 1e9 / float64(CMFabric().RPCSvc+int64(CMFabric().RPCByteSvcNs*76))
+	if opsPerSec > cpuBound*1.2 {
+		t.Fatalf("Set throughput %.0f exceeds 1-core CPU bound %.0f", opsPerSec, cpuBound)
+	}
+}
+
+// ------------------------------------ Redis-like --------------------------
+
+func TestRedisRoundTripAndEviction(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewRedisCluster(env, 4, 50) // 200 objects total
+	env.Go("c", func(p *sim.Proc) {
+		cl := c.NewRedisClient(p)
+		for i := 0; i < 400; i++ {
+			cl.Set(uint64(i), kvValue(i))
+		}
+		hits := 0
+		for i := 0; i < 400; i++ {
+			if v, ok := cl.Get(uint64(i)); ok {
+				hits++
+				if !bytes.Equal(v, kvValue(i)) {
+					t.Fatalf("key %d corrupted", i)
+				}
+			}
+		}
+		if hits == 400 || hits == 0 {
+			t.Fatalf("hits = %d, want partial residency after eviction", hits)
+		}
+	})
+	env.Run()
+}
+
+func TestRedisSkewBottleneck(t *testing.T) {
+	// Figure 13/15: skewed load pins the hottest shard's core while other
+	// cores idle — the aggregate is far below shards × per-core rate.
+	env := sim.NewEnv(1)
+	c := NewRedisCluster(env, 8, 100000)
+	spec := workload.NewYCSB(workload.YCSBC, 100000, 64)
+	reqs := workload.Generate(spec, 6000, 9)
+	env.Go("load", func(p *sim.Proc) {
+		cl := c.NewRedisClient(p)
+		seen := map[uint64]bool{}
+		for _, r := range reqs {
+			if !seen[r.Key] {
+				cl.Set(r.Key, kvValue(int(r.Key)))
+				seen[r.Key] = true
+			}
+		}
+	})
+	env.Run()
+	start := env.Now()
+	const clients = 32
+	shards := workload.Shard(reqs, clients)
+	for w := 0; w < clients; w++ {
+		mine := shards[w]
+		env.Go("c", func(p *sim.Proc) {
+			cl := c.NewRedisClient(p)
+			for _, r := range mine {
+				cl.Get(r.Key)
+			}
+		})
+	}
+	env.Run()
+	elapsed := env.Now() - start
+	perCore := 1e9 / 1100.0
+	aggregate := float64(len(reqs)) / (float64(elapsed) / 1e9)
+	if aggregate > 6*perCore {
+		t.Fatalf("aggregate %.0f ops/s too close to ideal %d×%.0f (no skew bottleneck)",
+			aggregate, 8, perCore)
+	}
+}
+
+func TestRedisScaleOutMigrationDelaysRoutability(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewRedisCluster(env, 2, 1000)
+	env.Go("driver", func(p *sim.Proc) {
+		c.ScaleTo(4, 1000, 512<<20) // 512 MB to move at 256 MB/s ⇒ 1 s/shard
+		if c.Routable() != 2 {
+			t.Error("new shards routable before migration finished")
+		}
+		p.Sleep(3 * sim.Second)
+		if c.Routable() != 4 {
+			t.Errorf("routable = %d after migration window", c.Routable())
+		}
+	})
+	env.Run()
+}
+
+func TestRedisScaleInReclaimsLate(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := NewRedisCluster(env, 4, 1000)
+	env.Go("driver", func(p *sim.Proc) {
+		c.ScaleTo(2, 1000, 256<<20)
+		if c.Routable() != 2 {
+			t.Error("scale-in must route to survivors immediately")
+		}
+		if c.Shards() != 4 {
+			t.Error("old shards reclaimed before migration finished")
+		}
+		p.Sleep(2 * sim.Second)
+		if c.Shards() != 2 {
+			t.Errorf("shards = %d after reclamation", c.Shards())
+		}
+	})
+	env.Run()
+}

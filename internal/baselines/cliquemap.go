@@ -1,0 +1,335 @@
+package baselines
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"ditto/internal/cachealgo"
+	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+	"ditto/internal/simcache"
+)
+
+// CMAlgo selects CliqueMap's server-side caching algorithm.
+type CMAlgo int
+
+// The two CliqueMap variants evaluated in the paper (§5.1).
+const (
+	CMLRU CMAlgo = iota
+	CMLFU
+)
+
+// String names the variant.
+func (a CMAlgo) String() string { return [...]string{"CM-LRU", "CM-LFU"}[a] }
+
+// CMSyncEvery is how many accesses a client buffers before shipping its
+// access records to the server (CliqueMap syncs periodically; the exact
+// period is a deployment knob).
+const CMSyncEvery = 100
+
+// cmRecordBytes is the wire size of one access record (key hash + count).
+const cmRecordBytes = 12
+
+// CMCluster reimplements CliqueMap per the paper's description: Gets are
+// client-initiated one-sided READs against an RMA-readable index; Sets are
+// RPCs executed by server CPUs; clients record access information locally
+// and ship it to the server periodically, where server CPUs merge it into
+// an exact LRU/LFU structure that drives evictions. Replication and fault
+// tolerance are disabled, as in the paper's comparison.
+type CMCluster struct {
+	Algo   CMAlgo
+	MN     *memnode.MemNode
+	Layout hashtable.Layout
+
+	capacityBytes int
+	usedBytes     int
+
+	// Server-side state (MN CPU territory).
+	index map[uint64]cmEntry // key hash → slot index
+	order *simcache.Cache    // exact recency/frequency structure
+	alloc *serverAlloc
+
+	// Evictions counts server-side evictions.
+	Evictions int64
+	// SyncRecords counts access records merged by the server.
+	SyncRecords int64
+}
+
+type cmEntry struct {
+	slotIdx int
+	addr    uint64
+	size    int
+}
+
+// serverAlloc is the server's trivial local allocator (monolithic-server
+// memory management costs no verbs).
+type serverAlloc struct {
+	next uint64
+	end  uint64
+	free map[int][]uint64
+}
+
+func (a *serverAlloc) alloc(size int) (uint64, bool) {
+	cl := memnode.SizeClass(size)
+	if lst := a.free[cl]; len(lst) > 0 {
+		addr := lst[len(lst)-1]
+		a.free[cl] = lst[:len(lst)-1]
+		return addr, true
+	}
+	if a.next+uint64(cl) > a.end {
+		return 0, false
+	}
+	addr := a.next
+	a.next += uint64(cl)
+	return addr, true
+}
+
+func (a *serverAlloc) release(addr uint64, size int) {
+	cl := memnode.SizeClass(size)
+	a.free[cl] = append(a.free[cl], addr)
+}
+
+// NewCMCluster builds a CliqueMap serving capacityBytes of cached objects.
+// The fabric should use a CliqueMap-tuned RPC cost (see CMFabric).
+func NewCMCluster(env *sim.Env, algo CMAlgo, expectedObjects, capacityBytes int, fabric rdma.Config) *CMCluster {
+	slots := expectedObjects * 5 / 2
+	cfg := hashtable.Config{Buckets: (slots + 7) / 8, SlotsPerBucket: 8}
+	mn := memnode.New(env, memnode.Config{
+		MemBytes: 64 + cfg.Bytes() + capacityBytes*2 + (1 << 20),
+		Fabric:   fabric,
+	})
+	base := mn.PlaceTable(cfg.Bytes())
+	var inner cachealgo.Algorithm
+	if algo == CMLRU {
+		inner = cachealgo.NewLRU()
+	} else {
+		inner = cachealgo.NewLFU()
+	}
+	c := &CMCluster{
+		Algo:          algo,
+		MN:            mn,
+		Layout:        hashtable.Layout{Config: cfg, Base: base},
+		capacityBytes: capacityBytes,
+		index:         make(map[uint64]cmEntry),
+		// The order structure tracks every cached object exactly; capacity
+		// is enforced in bytes by the cluster, so give it headroom here.
+		order: simcache.New(inner, expectedObjects*4+16),
+		alloc: &serverAlloc{
+			next: base + uint64(cfg.Bytes()),
+			end:  uint64(mn.Node.MemSize()),
+			free: map[int][]uint64{},
+		},
+	}
+	mn.Node.Handle(memnode.OpCMSet, c.handleSet)
+	mn.Node.Handle(memnode.OpCMSync, c.handleSync)
+	return c
+}
+
+// CMFabric returns the fabric config for CliqueMap (default RPC costs;
+// the access-record merge work is charged separately in handleSync).
+func CMFabric() rdma.Config {
+	return rdma.DefaultConfig()
+}
+
+// cmMergeNs is the MN CPU time to merge one access record into the exact
+// server-side caching structure. This is what saturates the server on
+// read-heavy workloads (§5.3) and why Figure 15 shows CliqueMap needing
+// 20+ extra cores to approach Ditto.
+const cmMergeNs = 1200
+
+// handleSet executes a Set on the server CPU: allocate, store, index,
+// update the caching structure, evict while over capacity.
+func (c *CMCluster) handleSet(payload []byte) []byte {
+	kl := int(binary.LittleEndian.Uint16(payload[0:]))
+	key := payload[8 : 8+kl]
+	kh := hashtable.KeyHash(key)
+	size := len(payload)
+
+	if old, ok := c.index[kh]; ok {
+		c.alloc.release(old.addr, old.size)
+		c.usedBytes += memnode.SizeClass(size) - memnode.SizeClass(old.size)
+		c.writeObject(old.slotIdx, kh, payload, size)
+		c.order.Access(kh, size)
+		return []byte{1}
+	}
+	for c.usedBytes+memnode.SizeClass(size) > c.capacityBytes {
+		c.evictOne()
+	}
+	slotIdx, ok := c.findSlot(kh)
+	if !ok {
+		c.evictOne() // pathological bucket pressure
+		slotIdx, ok = c.findSlot(kh)
+		if !ok {
+			return []byte{0}
+		}
+	}
+	c.writeObject(slotIdx, kh, payload, size)
+	c.usedBytes += memnode.SizeClass(size)
+	c.order.Access(kh, size)
+	return []byte{1}
+}
+
+// writeObject allocates and stores the payload, publishing it in the slot
+// (server-side memory operations: no fabric cost).
+func (c *CMCluster) writeObject(slotIdx int, kh uint64, payload []byte, size int) {
+	addr, ok := c.alloc.alloc(size)
+	if !ok {
+		// Capacity eviction should have freed space; reclaim harder.
+		for !ok && len(c.index) > 0 {
+			c.evictOne()
+			addr, ok = c.alloc.alloc(size)
+		}
+		if !ok {
+			panic("baselines: CliqueMap heap exhausted")
+		}
+	}
+	copy(c.MN.Node.Mem()[addr:], payload)
+	slotAddr := c.Layout.SlotAddr(slotIdx)
+	atomic := hashtable.EncodeAtomic(hashtable.Fingerprint(kh), hashtable.SizeToBlocks(size), addr)
+	c.MN.Node.PutUint64At(slotAddr, uint64(atomic))
+	c.MN.Node.PutUint64At(slotAddr+8, kh)
+	e := c.index[kh]
+	e.slotIdx, e.addr, e.size = slotIdx, addr, size
+	c.index[kh] = e
+}
+
+// findSlot picks a free slot in the key's buckets.
+func (c *CMCluster) findSlot(kh uint64) (int, bool) {
+	for _, b := range [2]int{c.Layout.MainBucket(kh), c.Layout.BackupBucket(kh)} {
+		for i := 0; i < c.Layout.SlotsPerBucket; i++ {
+			idx := b*c.Layout.SlotsPerBucket + i
+			if c.MN.Node.Uint64At(c.Layout.SlotAddr(idx)) == 0 {
+				return idx, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// evictOne removes the exact victim chosen by the server's caching
+// structure.
+func (c *CMCluster) evictOne() {
+	victim, ok := c.order.EvictOne()
+	if !ok {
+		panic("baselines: CliqueMap has nothing to evict")
+	}
+	e, ok := c.index[victim]
+	if !ok {
+		return // structure/index divergence after slot-pressure eviction
+	}
+	c.MN.Node.PutUint64At(c.Layout.SlotAddr(e.slotIdx), 0)
+	c.alloc.release(e.addr, e.size)
+	c.usedBytes -= memnode.SizeClass(e.size)
+	delete(c.index, victim)
+	c.Evictions++
+}
+
+// handleSync merges one client's buffered access records into the
+// server-side caching structure — the CPU work that bottlenecks CliqueMap
+// on read-heavy workloads. The merge occupies the MN CPU (delaying
+// subsequent RPCs) without blocking the syncing client, which does not
+// need the result.
+func (c *CMCluster) handleSync(payload []byte) []byte {
+	records := int64(len(payload) / cmRecordBytes)
+	c.MN.Node.CPU().Acquire(records * cmMergeNs)
+	for off := 0; off+cmRecordBytes <= len(payload); off += cmRecordBytes {
+		kh := binary.LittleEndian.Uint64(payload[off:])
+		n := int(binary.LittleEndian.Uint32(payload[off+8:]))
+		c.SyncRecords++
+		if e, ok := c.index[kh]; ok {
+			for i := 0; i < n; i++ {
+				c.order.Access(kh, e.size)
+			}
+		}
+	}
+	return []byte{1}
+}
+
+// CMClient is a CliqueMap client.
+type CMClient struct {
+	c  *CMCluster
+	p  *sim.Proc
+	ep *rdma.Endpoint
+	ht *hashtable.Handle
+
+	pending []uint64 // access records in order (order matters for LRU)
+
+	// Hits/Misses count Get outcomes.
+	Hits, Misses int64
+}
+
+// NewCMClient connects a client.
+func (c *CMCluster) NewCMClient(p *sim.Proc) *CMClient {
+	ep := rdma.NewEndpoint(c.MN.Node, p)
+	return &CMClient{
+		c:  c,
+		p:  p,
+		ep: ep,
+		ht: hashtable.NewHandle(c.Layout, ep),
+	}
+}
+
+// Get performs CliqueMap's one-sided Get: read the index bucket, read the
+// object, verify the key; record the access locally.
+func (cl *CMClient) Get(key []byte) ([]byte, bool) {
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	for _, b := range [2]int{cl.c.Layout.MainBucket(kh), cl.c.Layout.BackupBucket(kh)} {
+		for _, s := range cl.ht.ReadBucket(b) {
+			if s.Atomic.IsEmpty() || s.Atomic.FP() != fp || s.Hash != kh {
+				continue
+			}
+			obj := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			kl := int(binary.LittleEndian.Uint16(obj[0:]))
+			vl := int(binary.LittleEndian.Uint32(obj[2:]))
+			if 8+kl+vl > len(obj) || !bytes.Equal(obj[8:8+kl], key) {
+				continue
+			}
+			cl.recordAccess(kh)
+			cl.Hits++
+			return append([]byte(nil), obj[8+kl:8+kl+vl]...), true
+		}
+	}
+	cl.Misses++
+	return nil, false
+}
+
+// Set ships the operation to the server CPU as an RPC.
+func (cl *CMClient) Set(key, value []byte) bool {
+	payload := make([]byte, 8+len(key)+len(value))
+	binary.LittleEndian.PutUint16(payload[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(payload[2:], uint32(len(value)))
+	copy(payload[8:], key)
+	copy(payload[8+len(key):], value)
+	reply := cl.ep.RPC(memnode.OpCMSet, payload)
+	cl.recordAccess(hashtable.KeyHash(key))
+	return reply[0] == 1
+}
+
+// recordAccess buffers an access record and syncs every CMSyncEvery
+// accesses. Records keep their order: the server replays them into its
+// exact LRU/LFU structure, so ordering is semantically significant.
+func (cl *CMClient) recordAccess(kh uint64) {
+	cl.pending = append(cl.pending, kh)
+	if len(cl.pending) >= CMSyncEvery {
+		cl.FlushSync()
+	}
+}
+
+// FlushSync ships buffered access records to the server in access order.
+func (cl *CMClient) FlushSync() {
+	if len(cl.pending) == 0 {
+		return
+	}
+	payload := make([]byte, 0, len(cl.pending)*cmRecordBytes)
+	var rec [cmRecordBytes]byte
+	for _, kh := range cl.pending {
+		binary.LittleEndian.PutUint64(rec[0:], kh)
+		binary.LittleEndian.PutUint32(rec[8:], 1)
+		payload = append(payload, rec[:]...)
+	}
+	cl.pending = cl.pending[:0]
+	cl.ep.RPC(memnode.OpCMSync, payload)
+}

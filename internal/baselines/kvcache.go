@@ -1,0 +1,344 @@
+// Package baselines implements every comparison system in the paper's
+// evaluation, from scratch, on the same simulated fabric as Ditto:
+//
+//   - KVS / KVC / KVC-S — the motivation study of Figure 2: a plain
+//     RACE-style key-value store on DM, the same store with a
+//     lock-protected remote LRU list, and a sharded variant with back-off;
+//   - Shard-LRU — the straightforward DM cache baseline of Figures 14
+//     (KVC-S with 32 shards and 5 µs back-off, §5.1);
+//   - CliqueMap (CM-LRU / CM-LFU) — the state-of-the-art RMA cache: READ
+//     Gets, RPC Sets, periodic client→server access-information sync,
+//     server-side exact caching structures;
+//   - Redis-like — a sharded monolithic-server cache with resharding
+//     migration, for the elasticity comparison (Figures 1, 13, 15).
+package baselines
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+// KVKind selects the Figure 2 variant.
+type KVKind int
+
+// The three systems compared in Figure 2.
+const (
+	// KVS is a plain key-value store: no caching structure at all.
+	KVS KVKind = iota
+	// KVC adds one global lock-protected LRU list updated on every access;
+	// lock failures retry immediately (flooding the RNIC, as the paper
+	// observes).
+	KVC
+	// KVCS shards the LRU list 32 ways and sleeps 5 µs on lock failure.
+	KVCS
+)
+
+// String names the variant.
+func (k KVKind) String() string { return [...]string{"KVS", "KVC", "KVC-S"}[k] }
+
+// KVShards is the LRU-list shard count for KVC-S and Shard-LRU (§3.1, §5.1).
+const KVShards = 32
+
+// lock-region layout inside the memory node header is not available
+// (header is 64 B), so the KV cluster reserves its lock words and list
+// sentinels at the start of the heap via a dedicated region.
+
+// listNode is the remote LRU list node layout: prev (8 B) | next (8 B).
+const listNodeBytes = 16
+
+// KVCluster is a Figure-2 cluster: a hash-table KV store on DM, optionally
+// with remote LRU lists.
+type KVCluster struct {
+	Kind   KVKind
+	MN     *memnode.MemNode
+	Layout hashtable.Layout
+
+	// lockAddr[i], headAddr[i]: lock word and head sentinel of list shard i.
+	lockAddr []uint64
+	headAddr []uint64
+	shards   int
+
+	// Backoff is the sleep after a failed lock CAS (0 for KVC).
+	Backoff int64
+}
+
+// NewKVCluster builds the store sized for expectedObjects.
+func NewKVCluster(env *sim.Env, kind KVKind, expectedObjects int, fabric rdma.Config) *KVCluster {
+	slots := expectedObjects * 5 / 2
+	cfg := hashtable.Config{Buckets: (slots + 7) / 8, SlotsPerBucket: 8}
+	// The KV experiments (Figures 2/14) run with no misses, so memory is
+	// not the subject: size generously — objects, per-object list nodes,
+	// and one private segment per client (hundreds of clients).
+	objBytes := expectedObjects*640 + 32<<20
+	mn := memnode.New(env, memnode.Config{
+		MemBytes: 64 + cfg.Bytes() + objBytes,
+		Fabric:   fabric,
+	})
+	base := mn.PlaceTable(cfg.Bytes())
+	c := &KVCluster{
+		Kind:   kind,
+		MN:     mn,
+		Layout: hashtable.Layout{Config: cfg, Base: base},
+	}
+	switch kind {
+	case KVS:
+		return c
+	case KVC:
+		c.shards = 1
+	case KVCS:
+		c.shards = KVShards
+		c.Backoff = 5 * sim.Microsecond
+	}
+	// Reserve lock words and list sentinels out of the heap via a bootstrap
+	// allocation (server-side setup, no verbs charged).
+	c.lockAddr = make([]uint64, c.shards)
+	c.headAddr = make([]uint64, c.shards)
+	setupProc(env, func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		al := memnode.NewAlloc(mn, ep)
+		for i := 0; i < c.shards; i++ {
+			lockBlk, ok := al.Alloc(8)
+			if !ok {
+				panic("baselines: no room for lock words")
+			}
+			headBlk, ok := al.Alloc(listNodeBytes)
+			if !ok {
+				panic("baselines: no room for sentinels")
+			}
+			c.lockAddr[i] = lockBlk
+			c.headAddr[i] = headBlk
+			// Sentinel initially points to itself.
+			mn.Node.PutUint64At(headBlk, headBlk)
+			mn.Node.PutUint64At(headBlk+8, headBlk)
+		}
+	})
+	return c
+}
+
+// setupProc runs fn to completion inside env synchronously.
+func setupProc(env *sim.Env, fn func(p *sim.Proc)) {
+	env.Go("setup", fn)
+	env.Run()
+}
+
+// KVClient is one client of the Figure-2 store.
+type KVClient struct {
+	c     *KVCluster
+	p     *sim.Proc
+	ep    *rdma.Endpoint
+	ht    *hashtable.Handle
+	alloc *memnode.Alloc
+
+	// LockRetries counts failed lock CASes (the RNIC-flooding retries).
+	LockRetries int64
+}
+
+// NewKVClient connects a client.
+func (c *KVCluster) NewKVClient(p *sim.Proc) *KVClient {
+	ep := rdma.NewEndpoint(c.MN.Node, p)
+	return &KVClient{
+		c:     c,
+		p:     p,
+		ep:    ep,
+		ht:    hashtable.NewHandle(c.Layout, ep),
+		alloc: memnode.NewAlloc(c.MN, ep),
+	}
+}
+
+// Get reads a key (2 READs), then — for KVC/KVC-S — performs the remote
+// LRU move-to-front under the shard lock.
+func (cl *KVClient) Get(key []byte) ([]byte, bool) {
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	for _, b := range [2]int{cl.c.Layout.MainBucket(kh), cl.c.Layout.BackupBucket(kh)} {
+		for _, s := range cl.ht.ReadBucket(b) {
+			if s.Atomic.IsEmpty() || s.Atomic.FP() != fp {
+				continue
+			}
+			obj := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			kl := int(binary.LittleEndian.Uint16(obj[0:]))
+			vl := int(binary.LittleEndian.Uint32(obj[2:]))
+			if 8+kl+vl > len(obj) || !bytes.Equal(obj[8:8+kl], key) {
+				continue
+			}
+			if cl.c.Kind != KVS {
+				cl.lruTouch(kh, s)
+			}
+			return append([]byte(nil), obj[8+kl:8+kl+vl]...), true
+		}
+	}
+	return nil, false
+}
+
+// Set inserts or updates a key (READ + WRITE + CAS), plus LRU list insert
+// for the caching variants.
+func (cl *KVClient) Set(key, value []byte) {
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	size := 8 + len(key) + len(value)
+
+	obj := make([]byte, size)
+	binary.LittleEndian.PutUint16(obj[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(obj[2:], uint32(len(value)))
+	copy(obj[8:], key)
+	copy(obj[8+len(key):], value)
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 1000 {
+			panic("baselines: KV Set cannot find a slot (both buckets full; size the table up)")
+		}
+		// Scan BOTH buckets for the key first (it may live in the backup
+		// bucket), remembering the first empty slot for a fresh insert.
+		var target *hashtable.Slot
+		retry := false
+		var existing *hashtable.Slot
+		var bufs [2][]hashtable.Slot
+		for bi, b := range [2]int{cl.c.Layout.MainBucket(kh), cl.c.Layout.BackupBucket(kh)} {
+			bufs[bi] = cl.ht.ReadBucket(b)
+			for i := range bufs[bi] {
+				s := &bufs[bi][i]
+				if s.Atomic.IsEmpty() {
+					if target == nil {
+						target = s
+					}
+					continue
+				}
+				if s.Atomic.FP() != fp || existing != nil {
+					continue
+				}
+				old := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				kl := int(binary.LittleEndian.Uint16(old[0:]))
+				if 8+kl <= len(old) && bytes.Equal(old[8:8+kl], key) {
+					existing = s
+				}
+			}
+		}
+		if existing != nil {
+			s := *existing
+			addr, ok := cl.alloc.Alloc(size)
+			if !ok {
+				panic("baselines: KV store out of memory (size it for the workload)")
+			}
+			cl.ep.Write(addr, obj)
+			want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
+			if _, swapped := cl.ht.CASAtomic(s.Addr, s.Atomic, want); swapped {
+				cl.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				if cl.c.Kind != KVS {
+					cl.lruTouch(kh, s)
+				}
+				return
+			}
+			cl.alloc.Free(addr, size)
+			retry = true // lost an update race; re-read
+		}
+		if retry {
+			continue
+		}
+		if target == nil {
+			continue // both buckets full of other keys: wait for churn
+		}
+		addr, ok := cl.alloc.Alloc(size)
+		if !ok {
+			panic("baselines: KV store out of memory (size it for the workload)")
+		}
+		cl.ep.Write(addr, obj)
+		want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
+		if _, swapped := cl.ht.CASAtomic(target.Addr, target.Atomic, want); swapped {
+			if cl.c.Kind != KVS {
+				cl.lruInsert(kh, target.Addr)
+			}
+			return
+		}
+		cl.alloc.Free(addr, size)
+	}
+}
+
+// shardOf maps a key to its LRU list shard.
+func (cl *KVClient) shardOf(kh uint64) int { return int(kh % uint64(cl.c.shards)) }
+
+// lock spins on the shard lock with CAS; KVC retries immediately, KVC-S
+// backs off 5 µs — exactly the §3.1 comparison.
+func (cl *KVClient) lock(shard int) {
+	for {
+		if _, ok := cl.ep.CAS(cl.c.lockAddr[shard], 0, uint64(cl.p.ID())+1); ok {
+			return
+		}
+		cl.LockRetries++
+		if cl.c.Backoff > 0 {
+			cl.p.Sleep(cl.c.Backoff)
+		}
+	}
+}
+
+func (cl *KVClient) unlock(shard int) {
+	buf := make([]byte, 8)
+	cl.ep.WriteAsync(cl.c.lockAddr[shard], buf)
+}
+
+// lruInsert allocates a list node for a new object, records its address
+// in the slot's (otherwise unused) hash metadata field so every client can
+// find it, and links it at the head of its shard's remote list.
+func (cl *KVClient) lruInsert(kh uint64, slotAddr uint64) {
+	node, ok := cl.alloc.Alloc(listNodeBytes)
+	if !ok {
+		panic("baselines: out of memory for list nodes")
+	}
+	cl.ht.WriteMetaOnInsert(slotAddr, node, 0, 0, 0)
+	shard := cl.shardOf(kh)
+	cl.lock(shard)
+	cl.linkAtHead(shard, node)
+	cl.unlock(shard)
+}
+
+// lruTouch moves the object's node to the front of its shard list — the
+// per-access maintenance that makes remote caching structures expensive.
+// The node address was read with the bucket (slot metadata).
+func (cl *KVClient) lruTouch(kh uint64, s hashtable.Slot) {
+	node := s.Hash
+	if node == 0 {
+		return // insert's metadata write not visible yet; skip one touch
+	}
+	shard := cl.shardOf(kh)
+	cl.lock(shard)
+	// Unlink: READ node, then patch neighbours.
+	raw := cl.ep.Read(node, listNodeBytes)
+	prev := binary.LittleEndian.Uint64(raw[0:])
+	next := binary.LittleEndian.Uint64(raw[8:])
+	if prev != 0 && next != 0 && prev != node {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, next)
+		cl.ep.Write(prev+8, b) // prev.next = next
+		binary.LittleEndian.PutUint64(b, prev)
+		cl.ep.Write(next, b) // next.prev = prev
+	}
+	cl.linkAtHead(shard, node)
+	cl.unlock(shard)
+}
+
+// linkAtHead links node directly after the shard sentinel (3 verbs).
+func (cl *KVClient) linkAtHead(shard int, node uint64) {
+	head := cl.c.headAddr[shard]
+	raw := cl.ep.Read(head, listNodeBytes) // sentinel: .next = first
+	first := binary.LittleEndian.Uint64(raw[8:])
+	nb := make([]byte, listNodeBytes)
+	binary.LittleEndian.PutUint64(nb[0:], head)
+	binary.LittleEndian.PutUint64(nb[8:], first)
+	cl.ep.Write(node, nb) // node.prev = head, node.next = first
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, node)
+	cl.ep.Write(head+8, b) // head.next = node
+	cl.ep.Write(first, b)  // first.prev = node
+}
+
+// NewShardLRU builds the Shard-LRU baseline of §5.1: clients maintain 32
+// lock-protected LRU lists in the memory pool with one-sided verbs and
+// back off 5 µs on lock failures. It is the KVC-S construction reused at
+// evaluation scale.
+func NewShardLRU(env *sim.Env, expectedObjects int, fabric rdma.Config) *KVCluster {
+	return NewKVCluster(env, KVCS, expectedObjects, fabric)
+}

@@ -1,0 +1,231 @@
+package baselines
+
+import (
+	"encoding/binary"
+
+	"ditto/internal/cachealgo"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+	"ditto/internal/simcache"
+)
+
+// RedisCluster models a monolithic-server caching cluster à la Redis
+// Cluster / ElastiCache: N single-core shard VMs, every operation an RPC
+// to the shard owning the key, sample-based LRU eviction per shard, and —
+// the crux of Figures 1 and 13 — resharding data migration whenever the
+// cluster is scaled, during which throughput dips and the resource change
+// takes minutes to pay off.
+type RedisCluster struct {
+	env    *sim.Env
+	shards []*redisShard
+
+	// routable is how many shards currently serve traffic; scale-out adds
+	// shards but they become routable only when migration completes.
+	routable int
+
+	// MigrationRate is bytes/second a shard can migrate (network+CPU
+	// budget for resharding; paper observes minutes for gigabytes).
+	MigrationRate float64
+
+	// Migrating reports the end time of the ongoing migration (0 = none).
+	MigratingUntil int64
+}
+
+// redisShard is one shard VM: its own node (NIC+1 CPU core) and local
+// store.
+type redisShard struct {
+	node  *rdma.Node
+	cache *simcache.Cache
+	data  map[uint64][]byte
+
+	// migrationLoad is injected CPU work (resharding) — it occupies the
+	// shard CPU resource so foreground RPCs queue behind it.
+	cluster *RedisCluster
+}
+
+// RedisFabric tunes per-op server cost: ~1.1 µs CPU per request
+// (≈0.9 Mops/core, a realistic Redis figure) and the same 2 µs network RTT.
+func RedisFabric() rdma.Config {
+	cfg := rdma.DefaultConfig()
+	cfg.RPCSvc = 1100
+	cfg.RPCByteSvcNs = 0.2
+	cfg.CPUCores = 1
+	// A shard VM's NIC is not the bottleneck; keep it fast.
+	cfg.MsgSvc = 10
+	return cfg
+}
+
+// NewRedisCluster creates a cluster of n shards, each caching
+// perShardObjects with sample-based LRU (Redis samples 5).
+func NewRedisCluster(env *sim.Env, n, perShardObjects int) *RedisCluster {
+	c := &RedisCluster{env: env, routable: n, MigrationRate: 256 << 20}
+	for i := 0; i < n; i++ {
+		c.shards = append(c.shards, c.newShard(perShardObjects, int64(i)))
+	}
+	return c
+}
+
+func (c *RedisCluster) newShard(objects int, seed int64) *redisShard {
+	sh := &redisShard{
+		node:    rdma.NewNode(c.env, 4096, RedisFabric()),
+		cache:   simcache.NewSampled(cachealgo.NewLRU(), objects, 5, seed+12345),
+		data:    map[uint64][]byte{},
+		cluster: c,
+	}
+	sh.node.Handle(memnode.OpServerOp, sh.handleOp)
+	return sh
+}
+
+// Shards returns the current shard count (including not-yet-routable).
+func (c *RedisCluster) Shards() int { return len(c.shards) }
+
+// Routable returns how many shards serve traffic.
+func (c *RedisCluster) Routable() int { return c.routable }
+
+// shardOf routes a key.
+func (c *RedisCluster) shardOf(key uint64) int {
+	return int(mixHash(key) % uint64(c.routable))
+}
+
+// mixHash spreads keys over shards (FNV-1a over the 8 key bytes).
+func mixHash(v uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(0xCBF29CE484222325)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// handleOp executes one Get/Set on the shard CPU.
+// Payload: op(1) | key(8) | valLen(4) | value. Reply: ok(1) | value.
+func (sh *redisShard) handleOp(payload []byte) []byte {
+	op := payload[0]
+	key := binary.LittleEndian.Uint64(payload[1:])
+	switch op {
+	case 0: // GET
+		v, ok := sh.data[key]
+		if !ok {
+			return []byte{0}
+		}
+		sh.cache.Access(key, len(v))
+		return append([]byte{1}, v...)
+	default: // SET
+		vl := int(binary.LittleEndian.Uint32(payload[9:]))
+		v := append([]byte(nil), payload[13:13+vl]...)
+		before := sh.cache.Evictions
+		sh.cache.Access(key, len(v))
+		if sh.cache.Evictions > before {
+			// Mirror the cache's eviction decisions in the data map.
+			for k := range sh.data {
+				if !sh.cache.Contains(k) {
+					delete(sh.data, k)
+				}
+			}
+		}
+		sh.data[key] = v
+		return []byte{1}
+	}
+}
+
+// RedisClient talks to the cluster through per-shard endpoints.
+type RedisClient struct {
+	c   *RedisCluster
+	p   *sim.Proc
+	eps []*rdma.Endpoint
+
+	// Hits/Misses count Get outcomes.
+	Hits, Misses int64
+}
+
+// NewRedisClient connects a client to every shard.
+func (c *RedisCluster) NewRedisClient(p *sim.Proc) *RedisClient {
+	cl := &RedisClient{c: c, p: p}
+	for _, sh := range c.shards {
+		cl.eps = append(cl.eps, rdma.NewEndpoint(sh.node, p))
+	}
+	return cl
+}
+
+// refresh picks up shards added after the client connected.
+func (cl *RedisClient) refresh() {
+	for len(cl.eps) < len(cl.c.shards) {
+		cl.eps = append(cl.eps, rdma.NewEndpoint(cl.c.shards[len(cl.eps)].node, cl.p))
+	}
+}
+
+// Get fetches a key (one RPC to the owning shard).
+func (cl *RedisClient) Get(key uint64) ([]byte, bool) {
+	cl.refresh()
+	var req [9]byte
+	binary.LittleEndian.PutUint64(req[1:], key)
+	reply := cl.eps[cl.c.shardOf(key)].RPC(memnode.OpServerOp, req[:])
+	if len(reply) == 0 || reply[0] == 0 {
+		cl.Misses++
+		return nil, false
+	}
+	cl.Hits++
+	return reply[1:], true
+}
+
+// Set stores a key (one RPC).
+func (cl *RedisClient) Set(key uint64, value []byte) {
+	cl.refresh()
+	req := make([]byte, 13+len(value))
+	req[0] = 1
+	binary.LittleEndian.PutUint64(req[1:], key)
+	binary.LittleEndian.PutUint32(req[9:], uint32(len(value)))
+	copy(req[13:], value)
+	cl.eps[cl.c.shardOf(key)].RPC(memnode.OpServerOp, req[:])
+}
+
+// ScaleTo reshards the cluster to n shards. The call returns immediately;
+// a background migration occupies the source shards' CPUs and only at its
+// completion do the new shards become routable (scale-out) or the old
+// shards' memory get reclaimed (scale-in). This is the behaviour Figure 1
+// measures on Redis and Figure 13 shows Ditto avoiding.
+func (c *RedisCluster) ScaleTo(n, perShardObjects int, movedBytes int64) {
+	if n == len(c.shards) {
+		return
+	}
+	grow := n > len(c.shards)
+	for len(c.shards) < n {
+		c.shards = append(c.shards, c.newShard(perShardObjects, int64(len(c.shards))))
+	}
+	// Migration: movedBytes spread over the routable shards' CPUs in 1 ms
+	// slices so foreground traffic contends with it.
+	perShard := movedBytes / int64(c.routable)
+	dur := int64(float64(perShard) / c.MigrationRate * 1e9)
+	end := c.env.Now() + dur
+	c.MigratingUntil = end
+	for i := 0; i < c.routable; i++ {
+		sh := c.shards[i]
+		c.env.Go("migrate", func(p *sim.Proc) {
+			// Resharding consumes ~12% of the source shard CPU until done
+			// (Figure 1 observes a single-digit throughput dip and a
+			// minutes-long delay before the new capacity pays off).
+			for p.Now() < end {
+				sh.node.CPU().Acquire(120 * sim.Microsecond)
+				p.Sleep(sim.Millisecond)
+			}
+		})
+	}
+	c.env.GoAt(end, "migration-done", func(p *sim.Proc) {
+		if grow {
+			c.routable = n
+		} else {
+			c.shards = c.shards[:n]
+			c.routable = n
+		}
+		c.MigratingUntil = 0
+	})
+	if !grow {
+		// Scale-in routes to the surviving shards immediately, but memory
+		// is reclaimed only when migration ends (the delayed reclamation of
+		// Figure 1).
+		c.routable = n
+	}
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+// Fig24 reproduces Figure 24: contribution of each technique, measured by
+// gradually disabling them on the webmail-like workload without miss
+// penalties:
+//
+//	Ditto          — everything on
+//	-FC/LWU        — frequency-counter cache and lazy weight update off
+//	-LWH           — conventional remote FIFO history instead of the
+//	                 lightweight embedded one
+//	-SFHT          — metadata stored with objects instead of slots
+func Fig24(w io.Writer, scale Scale) error {
+	header(w, "Figure 24: ablation (webmail-like, no miss penalty)")
+	n := scale.pick(30000, 150000)
+	fp := scale.pick(4000, 20000)
+	clients := scale.pick(16, 64)
+	trace := workload.Webmail(n, fp, 241).Build()
+	capObjs := fp / 10
+
+	run := func(mod func(*core.Options)) Result {
+		env := sim.NewEnv(41)
+		opts := core.DefaultOptions(capObjs, capObjs*objClassBytes)
+		mod(&opts)
+		cl := core.NewCluster(env, opts)
+		return RunTrace(env, DittoFactory(cl), trace, clients, 2, 0)
+	}
+
+	full := run(func(*core.Options) {})
+	noFC := run(func(o *core.Options) {
+		o.FCCacheBytes = 0
+		o.EagerWeightSync = true
+	})
+	noLWH := run(func(o *core.Options) {
+		o.FCCacheBytes = 0
+		o.EagerWeightSync = true
+		o.DisableLWH = true
+	})
+	noSFHT := run(func(o *core.Options) {
+		o.FCCacheBytes = 0
+		o.EagerWeightSync = true
+		o.DisableLWH = true
+		o.DisableSFHT = true
+	})
+
+	row(w, "configuration", "tput(Mops)", "vs full")
+	for _, e := range []struct {
+		name string
+		r    Result
+	}{
+		{"Ditto (full)", full},
+		{"- FC cache & lazy weight update", noFC},
+		{"- lightweight history", noLWH},
+		{"- sample-friendly hash table", noSFHT},
+	} {
+		row(w, e.name, e.r.Mops(), e.r.Mops()/full.Mops())
+	}
+	return nil
+}
+
+// Fig25 reproduces Figure 25: YCSB-C throughput and p99 latency across FC
+// cache sizes — combining more RDMA_FAAs buys throughput up to ~5 MB,
+// after which the gain saturates.
+func Fig25(w io.Writer, scale Scale) error {
+	header(w, "Figure 25: throughput/p99 vs FC cache size (YCSB-C)")
+	keys := scale.pick(4000, 50000)
+	clients := scale.pick(64, 256)
+	opsEach := scale.pick(500, 2000)
+
+	sizes := []int{0, 64 << 10, 1 << 20, 5 << 20, 10 << 20, 50 << 20}
+	row(w, "fc-size", "Mops", "p99(us)")
+	for _, size := range sizes {
+		env := sim.NewEnv(42)
+		opts := core.DefaultOptions(keys*2, keys*512)
+		opts.FCCacheBytes = size
+		cl := core.NewCluster(env, opts)
+		factory := DittoFactory(cl)
+		RunLoad(env, factory, loadKeys(keys), 16)
+		r := RunClosedLoop(env, factory, ycsbGen(workload.YCSBC, keys), clients, opsEach, 5)
+		label := "0"
+		if size > 0 {
+			label = fmt.Sprintf("%dMB", size>>20)
+			if size < 1<<20 {
+				label = fmt.Sprintf("%dKB", size>>10)
+			}
+		}
+		row(w, label, r.Mops(), r.P99())
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ditto/internal/baselines"
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/stats"
+	"ditto/internal/workload"
+)
+
+// MissPenalty is the simulated distributed-storage fetch on a miss
+// (§5.4: 500 µs).
+const MissPenalty = 500 * sim.Microsecond
+
+// objClassBytes is the heap footprint of one ~256 B object (block-granular).
+const objClassBytes = 320
+
+// dittoTraceCluster builds a Ditto cluster whose capacity is capObjs
+// objects of the trace's size class.
+func dittoTraceCluster(env *sim.Env, capObjs int, experts ...string) *core.Cluster {
+	opts := core.DefaultOptions(capObjs, capObjs*objClassBytes)
+	if len(experts) > 0 {
+		opts.Experts = experts
+	}
+	return core.NewCluster(env, opts)
+}
+
+// runDittoTrace replays a trace against a fresh Ditto cluster.
+func runDittoTrace(trace []workload.Req, capObjs, clients int, penalty int64, experts ...string) Result {
+	env := sim.NewEnv(21)
+	cl := dittoTraceCluster(env, capObjs, experts...)
+	return RunTrace(env, DittoFactory(cl), trace, clients, 2, penalty)
+}
+
+// runCMTrace replays a trace against a fresh CliqueMap cluster.
+func runCMTrace(algo baselines.CMAlgo, trace []workload.Req, capObjs, clients int, penalty int64) Result {
+	env := sim.NewEnv(22)
+	c := baselines.NewCMCluster(env, algo, capObjs, capObjs*objClassBytes, baselines.CMFabric())
+	factory := func(p *sim.Proc) CacheOps { return cmOps{c.NewCMClient(p)} }
+	return RunTrace(env, factory, trace, clients, 2, penalty)
+}
+
+// realWorldTraces builds the five stand-in workloads of Table 2 used in
+// Figures 16 and 17.
+func realWorldTraces(scale Scale) map[string][]workload.Req {
+	n := scale.pick(40000, 400000)
+	fp := scale.pick(4000, 40000)
+	return map[string][]workload.Req{
+		"webmail":           workload.Webmail(n, fp, 101).Build(),
+		"twitter-transient": workload.TwitterTransient(n, fp, 102).Build(),
+		"twitter-storage":   workload.TwitterStorage(n, fp, 103).Build(),
+		"twitter-compute":   workload.TwitterCompute(n, fp, 104).Build(),
+		"ibm":               workload.IBMLike(n, fp, 105).Build(),
+	}
+}
+
+var realWorldOrder = []string{"webmail", "twitter-transient", "twitter-storage", "twitter-compute", "ibm"}
+
+// Fig16 reproduces Figure 16: penalized throughput (500 µs miss penalty)
+// of CM-LRU, CM-LFU, Ditto-LRU, Ditto-LFU and adaptive Ditto on the five
+// real-world stand-ins.
+func Fig16(w io.Writer, scale Scale) error {
+	return realWorldMatrix(w, scale, "Figure 16: penalized throughput (Mops)", MissPenalty,
+		func(r Result) float64 { return r.Mops() })
+}
+
+// Fig17 reproduces Figure 17: hit rates on the same matrix.
+func Fig17(w io.Writer, scale Scale) error {
+	return realWorldMatrix(w, scale, "Figure 17: hit rates", MissPenalty,
+		func(r Result) float64 { return r.HitRate() })
+}
+
+func realWorldMatrix(w io.Writer, scale Scale, title string, penalty int64,
+	metric func(Result) float64) error {
+
+	header(w, title)
+	clients := scale.pick(8, 64)
+	traces := realWorldTraces(scale)
+	row(w, "workload", "CM-LRU", "CM-LFU", "Ditto-LRU", "Ditto-LFU", "Ditto")
+	for _, name := range realWorldOrder {
+		trace := traces[name]
+		capObjs := workload.Footprint(trace) / 10
+		cmLRU := runCMTrace(baselines.CMLRU, trace, capObjs, clients, penalty)
+		cmLFU := runCMTrace(baselines.CMLFU, trace, capObjs, clients, penalty)
+		dLRU := runDittoTrace(trace, capObjs, clients, penalty, "LRU")
+		dLFU := runDittoTrace(trace, capObjs, clients, penalty, "LFU")
+		d := runDittoTrace(trace, capObjs, clients, penalty, "LRU", "LFU")
+		row(w, name, metric(cmLRU), metric(cmLFU), metric(dLRU), metric(dLFU), metric(d))
+	}
+	return nil
+}
+
+// Fig18 reproduces Figure 18: box plot of hit rates of Ditto,
+// max(Ditto-LRU, Ditto-LFU) and min(Ditto-LRU, Ditto-LFU) over the trace
+// suite, normalized to random eviction.
+func Fig18(w io.Writer, scale Scale) error {
+	header(w, "Figure 18: relative hit rate over the workload suite (vs random eviction)")
+	nSpecs := scale.pick(10, 33)
+	n := scale.pick(30000, 150000)
+	fp := scale.pick(3000, 15000)
+	clients := scale.pick(4, 16)
+	specs := workload.Suite(nSpecs, n, fp)
+
+	var dittoRel, maxRel, minRel []float64
+	for _, spec := range specs {
+		trace := spec.Build()
+		capObjs := spec.Footprint / 10
+		rnd := runDittoTrace(trace, capObjs, clients, 0, "RANDOM").HitRate()
+		if rnd <= 0 {
+			continue
+		}
+		lru := runDittoTrace(trace, capObjs, clients, 0, "LRU").HitRate()
+		lfu := runDittoTrace(trace, capObjs, clients, 0, "LFU").HitRate()
+		d := runDittoTrace(trace, capObjs, clients, 0, "LRU", "LFU").HitRate()
+		hi, lo := lru, lfu
+		if lfu > lru {
+			hi, lo = lfu, lru
+		}
+		dittoRel = append(dittoRel, d/rnd)
+		maxRel = append(maxRel, hi/rnd)
+		minRel = append(minRel, lo/rnd)
+	}
+	row(w, "series", "min", "q1", "median", "q3", "max")
+	for _, s := range []struct {
+		name string
+		v    []float64
+	}{{"Ditto", dittoRel}, {"max(LRU,LFU)", maxRel}, {"min(LRU,LFU)", minRel}} {
+		b := stats.BoxStats(s.v)
+		row(w, s.name, b.Min, b.Q1, b.Median, b.Q3, b.Max)
+	}
+	return nil
+}
+
+// Fig19 reproduces Figure 19: the four-phase changing workload. Only
+// adaptive Ditto tracks the alternating LRU-/LFU-friendly regimes.
+func Fig19(w io.Writer, scale Scale) error {
+	header(w, "Figure 19: changing workload (4 phases, LRU↔LFU friendly)")
+	perPhase := scale.pick(15000, 100000)
+	fp := scale.pick(4000, 20000)
+	clients := scale.pick(8, 64)
+	trace := workload.Changing(perPhase, fp, 77).Build()
+	capObjs := fp / 10
+
+	row(w, "system", "pen.tput(Mops)", "hit rate")
+	for _, cfg := range []struct {
+		name    string
+		experts []string
+	}{
+		{"Ditto-LRU", []string{"LRU"}},
+		{"Ditto-LFU", []string{"LFU"}},
+		{"Ditto", []string{"LRU", "LFU"}},
+	} {
+		r := runDittoTrace(trace, capObjs, clients, MissPenalty, cfg.experts...)
+		row(w, cfg.name, r.Mops(), r.HitRate())
+	}
+	for _, cm := range []baselines.CMAlgo{baselines.CMLRU, baselines.CMLFU} {
+		r := runCMTrace(cm, trace, capObjs, clients, MissPenalty)
+		row(w, cm.String(), r.Mops(), r.HitRate())
+	}
+	return nil
+}
+
+// Fig20 reproduces Figure 20: hit rates (relative to Ditto-LRU) as the
+// proportion of clients running the LRU-friendly application varies.
+func Fig20(w io.Writer, scale Scale) error {
+	header(w, "Figure 20: hit rate vs proportion of LRU-app clients (relative to Ditto-LRU)")
+	n := scale.pick(30000, 200000)
+	fp := scale.pick(4000, 20000)
+	total := 8
+	lruTrace := workload.LRUFriendly(n, fp, 201).Build()
+	lfuTrace := workload.LFUFriendly(n, fp, 202).Build()
+	capObjs := fp / 10
+
+	// Clients are assigned directly to their application (nLRU clients run
+	// the LRU-friendly app, the rest the LFU-friendly one) and share one
+	// cache — the shared-cache setting of §5.4.2.
+	runSplit := func(nLRU int, experts ...string) float64 {
+		env := sim.NewEnv(33)
+		cl := dittoTraceCluster(env, capObjs, experts...)
+		var hits, total64 int64
+		runApp := func(trace []workload.Req, nClients int, measure *bool) {
+			if nClients == 0 {
+				return
+			}
+			for _, sh := range workload.Shard(trace, nClients) {
+				mine := sh
+				env.Go("client", func(p *sim.Proc) {
+					c := cl.NewClient(p)
+					for _, r := range mine {
+						key := workload.KeyBytes(r.Key)
+						if _, ok := c.Get(key); ok {
+							if *measure {
+								hits++
+								total64++
+							}
+						} else {
+							c.Set(key, valueFor(r))
+							if *measure {
+								total64++
+							}
+						}
+					}
+				})
+			}
+		}
+		measure := false
+		for loop := 0; loop < 2; loop++ {
+			if loop == 1 {
+				measure = true
+			}
+			runApp(lruTrace, nLRU, &measure)
+			runApp(lfuTrace, total-nLRU, &measure)
+			env.Run()
+		}
+		if total64 == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total64)
+	}
+
+	row(w, "lru-portion", "Ditto-LRU", "Ditto-LFU", "Ditto")
+	for nLRU := 0; nLRU <= total; nLRU += 2 {
+		base := runSplit(nLRU, "LRU")
+		lfu := runSplit(nLRU, "LFU")
+		d := runSplit(nLRU, "LRU", "LFU")
+		if base <= 0 {
+			base = 1e-9
+		}
+		row(w, fmt.Sprintf("%.2f", float64(nLRU)/float64(total)), 1.0, lfu/base, d/base)
+	}
+	return nil
+}
+
+// Fig21 reproduces Figure 21: hit rates while the number of concurrent
+// clients grows mid-run; adaptive Ditto follows the shifting access
+// pattern of the webmail-like workload.
+func Fig21(w io.Writer, scale Scale) error {
+	header(w, "Figure 21: hit rate under dynamically growing client counts")
+	n := scale.pick(60000, 300000)
+	fp := scale.pick(4000, 20000)
+	trace := workload.Webmail(n, fp, 211).Build()
+	// Sized near the workload's LRU/LFU crossover (Figure 4), where the
+	// diurnal phase alternation actually flips the best algorithm.
+	capObjs := fp * 35 / 100
+	phases := []int{4, 8, 16} // concurrent clients per phase
+
+	runStaged := func(experts ...string) float64 {
+		env := sim.NewEnv(31)
+		cl := dittoTraceCluster(env, capObjs, experts...)
+		chunk := len(trace) / len(phases)
+		var hits, total int64
+		for pi, k := range phases {
+			part := trace[pi*chunk : (pi+1)*chunk]
+			shards := workload.Shard(part, k)
+			for _, sh := range shards {
+				mine := sh
+				env.Go("client", func(p *sim.Proc) {
+					c := cl.NewClient(p)
+					for _, r := range mine {
+						key := workload.KeyBytes(r.Key)
+						if _, ok := c.Get(key); ok {
+							if pi > 0 { // first phase warms the cache
+								hits++
+								total++
+							}
+						} else {
+							c.Set(key, valueFor(r))
+							if pi > 0 {
+								total++
+							}
+						}
+					}
+				})
+			}
+			env.Run()
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total)
+	}
+
+	base := runStaged("LRU")
+	lfu := runStaged("LFU")
+	d := runStaged("LRU", "LFU")
+	if base <= 0 {
+		base = 1e-9
+	}
+	row(w, "system", "hit rate", "rel. to Ditto-LRU")
+	row(w, "Ditto-LRU", base, 1.0)
+	row(w, "Ditto-LFU", lfu, lfu/base)
+	row(w, "Ditto", d, d/base)
+	return nil
+}
+
+// Fig22 reproduces Figure 22: hit rate while cache memory grows mid-run
+// (10% → 40% of the footprint), with no migration.
+func Fig22(w io.Writer, scale Scale) error {
+	header(w, "Figure 22: hit rate under dynamically growing cache size")
+	n := scale.pick(60000, 300000)
+	fp := scale.pick(4000, 20000)
+	clients := scale.pick(8, 64)
+	trace := workload.Webmail(n, fp, 221).Build()
+
+	runGrowing := func(experts ...string) float64 {
+		env := sim.NewEnv(32)
+		startObjs := fp / 10
+		opts := core.DefaultOptions(fp/2, startObjs*objClassBytes)
+		opts.MaxCacheBytes = 6 * startObjs * objClassBytes
+		opts.Experts = experts
+		cl := core.NewCluster(env, opts)
+		chunks := 3
+		chunk := len(trace) / chunks
+		var hits, total int64
+		for pi := 0; pi < chunks; pi++ {
+			if pi > 0 {
+				// Grow 10% → 30% → 50% of the footprint: the growth crosses
+				// the workload's LRU/LFU crossover point (Figure 4).
+				cl.GrowCache(2 * startObjs * objClassBytes)
+			}
+			part := trace[pi*chunk : (pi+1)*chunk]
+			for _, sh := range workload.Shard(part, clients) {
+				mine := sh
+				env.Go("client", func(p *sim.Proc) {
+					c := cl.NewClient(p)
+					for _, r := range mine {
+						key := workload.KeyBytes(r.Key)
+						if _, ok := c.Get(key); ok {
+							if pi > 0 {
+								hits++
+								total++
+							}
+						} else {
+							c.Set(key, valueFor(r))
+							if pi > 0 {
+								total++
+							}
+						}
+					}
+				})
+			}
+			env.Run()
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(hits) / float64(total)
+	}
+
+	row(w, "system", "hit rate")
+	row(w, "Ditto-LRU", runGrowing("LRU"))
+	row(w, "Ditto-LFU", runGrowing("LFU"))
+	row(w, "Ditto", runGrowing("LRU", "LFU"))
+	return nil
+}

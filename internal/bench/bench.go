@@ -1,0 +1,264 @@
+// Package bench is the evaluation harness: one runner per table/figure of
+// the paper, each printing the same rows/series the paper reports.
+// DESIGN.md §4 maps every experiment to its runner; EXPERIMENTS.md records
+// measured-vs-paper outcomes.
+//
+// Absolute numbers come from the calibrated fabric model (DESIGN.md §2);
+// the reproduction target is the SHAPE: who wins, by what factor, where
+// crossovers fall. Timeline experiments compress the paper's minutes-long
+// phases into virtual milliseconds — the migration/elasticity behaviour is
+// rate-based, so the shape is unchanged.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/stats"
+	"ditto/internal/workload"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Quick sizes experiments for seconds-long runs (CI); Full approaches the
+// paper's relative scales (minutes-long runs).
+const (
+	Quick Scale = iota
+	Full
+)
+
+// ParseScale parses "quick"/"full".
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("bench: unknown scale %q", s)
+}
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// pick returns q under Quick and f under Full.
+func (s Scale) pick(q, f int) int {
+	if s == Full {
+		return f
+	}
+	return q
+}
+
+// Result aggregates one measured configuration.
+type Result struct {
+	Ops       int64
+	ElapsedNs int64
+	Hits      int64
+	Misses    int64
+	Hist      *stats.Histogram
+}
+
+// Mops returns throughput in millions of ops per second of virtual time.
+func (r Result) Mops() float64 { return stats.Mops(r.Ops, r.ElapsedNs) }
+
+// HitRate returns the hit fraction.
+func (r Result) HitRate() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// P50 and P99 return latency percentiles in microseconds.
+func (r Result) P50() float64 { return float64(r.Hist.Percentile(50)) / 1000 }
+
+// P99 returns the 99th-percentile latency in microseconds.
+func (r Result) P99() float64 { return float64(r.Hist.Percentile(99)) / 1000 }
+
+// CacheOps is the operation interface shared by every system's client so
+// the runners below are system-agnostic.
+type CacheOps interface {
+	Get(key []byte) ([]byte, bool)
+	Set(key, value []byte)
+}
+
+// ClientFactory builds a system client inside a sim process.
+type ClientFactory func(p *sim.Proc) CacheOps
+
+// valueFor synthesizes a deterministic value of the request's size.
+func valueFor(r workload.Req) []byte {
+	n := r.Size - 16
+	if n < 8 {
+		n = 8
+	}
+	v := make([]byte, n)
+	b := byte(r.Key)
+	for i := range v {
+		v[i] = b + byte(i)
+	}
+	return v
+}
+
+// RunLoad inserts every distinct key of reqs once, sharded over `clients`
+// loader processes (the paper's load phase).
+func RunLoad(env *sim.Env, factory ClientFactory, reqs []workload.Req, clients int) {
+	shards := workload.Shard(dedup(reqs), clients)
+	for _, sh := range shards {
+		mine := sh
+		env.Go("loader", func(p *sim.Proc) {
+			c := factory(p)
+			for _, r := range mine {
+				c.Set(workload.KeyBytes(r.Key), valueFor(r))
+			}
+		})
+	}
+	env.Run()
+}
+
+func dedup(reqs []workload.Req) []workload.Req {
+	seen := make(map[uint64]bool, len(reqs))
+	out := make([]workload.Req, 0, len(reqs))
+	for _, r := range reqs {
+		if !seen[r.Key] {
+			seen[r.Key] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunClosedLoop runs `clients` closed-loop clients for opsEach generator-
+// driven operations each and aggregates throughput/latency (Figures 2, 14,
+// 15, 25: the no-miss regime — Sets overwrite loaded keys).
+func RunClosedLoop(env *sim.Env, factory ClientFactory, gen func(client int) workload.Generator,
+	clients, opsEach int, seed int64) Result {
+
+	res := Result{Hist: &stats.Histogram{}}
+	start := env.Now()
+	for w := 0; w < clients; w++ {
+		w := w
+		g := gen(w)
+		env.Go("client", func(p *sim.Proc) {
+			c := factory(p)
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			for i := 0; i < opsEach; i++ {
+				r := g.Next(rng)
+				t0 := p.Now()
+				if r.Write {
+					c.Set(workload.KeyBytes(r.Key), valueFor(r))
+				} else if _, ok := c.Get(workload.KeyBytes(r.Key)); ok {
+					res.Hits++
+				} else {
+					res.Misses++
+				}
+				res.Hist.Record(p.Now() - t0)
+				res.Ops++
+			}
+		})
+	}
+	env.Run()
+	res.ElapsedNs = env.Now() - start
+	return res
+}
+
+// RunTrace replays a trace: each client owns a shard; a Get miss sleeps
+// `penalty` (the 500 µs distributed-storage fetch of §5.4) and then Sets
+// the object. loops > 1 re-runs the shard (the paper iterates the workload
+// after warm-up); the first pass is warm-up and is excluded from stats.
+func RunTrace(env *sim.Env, factory ClientFactory, trace []workload.Req,
+	clients, loops int, penalty int64) Result {
+
+	if loops < 2 {
+		loops = 2 // one warm-up + one measured
+	}
+	res := Result{Hist: &stats.Histogram{}}
+	shards := workload.Shard(trace, clients)
+	barrier := sim.NewCond(env)
+	waiting := 0
+	var measureStart int64
+
+	for w := 0; w < clients; w++ {
+		mine := shards[w]
+		env.Go("client", func(p *sim.Proc) {
+			c := factory(p)
+			for loop := 0; loop < loops; loop++ {
+				if loop == 1 {
+					// Synchronize the start of measurement across clients
+					// (warm-up pass excluded, as in §5.4).
+					waiting++
+					if waiting == clients {
+						measureStart = p.Now()
+						barrier.Broadcast()
+					} else {
+						barrier.Wait(p)
+					}
+				}
+				for _, r := range mine {
+					t0 := p.Now()
+					key := workload.KeyBytes(r.Key)
+					hit := false
+					if _, ok := c.Get(key); ok {
+						hit = true
+					} else {
+						if penalty > 0 {
+							p.Sleep(penalty)
+						}
+						c.Set(key, valueFor(r))
+					}
+					if loop >= 1 {
+						if hit {
+							res.Hits++
+						} else {
+							res.Misses++
+						}
+						res.Hist.Record(p.Now() - t0)
+						res.Ops++
+					}
+				}
+			}
+		})
+	}
+	env.Run()
+	res.ElapsedNs = env.Now() - measureStart
+	return res
+}
+
+// DittoFactory adapts a core.Cluster to ClientFactory.
+func DittoFactory(cl *core.Cluster) ClientFactory {
+	return func(p *sim.Proc) CacheOps { return cl.NewClient(p) }
+}
+
+// table prints an aligned row.
+func row(w io.Writer, cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, "  ")
+		}
+		switch v := c.(type) {
+		case string:
+			fmt.Fprintf(w, "%-14s", v)
+		case float64:
+			fmt.Fprintf(w, "%12.3f", v)
+		case int:
+			fmt.Fprintf(w, "%12d", v)
+		case int64:
+			fmt.Fprintf(w, "%12d", v)
+		default:
+			fmt.Fprintf(w, "%12v", v)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// header prints a section title.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"": Quick, "quick": Quick, "full": Full} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("no error for unknown scale")
+	}
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestRegistryCoversEveryExperiment(t *testing.T) {
+	want := []string{"1", "2", "3", "4", "5", "13", "14", "15", "16", "17",
+		"18", "19", "20", "21", "22", "23", "24", "25", "table3"}
+	for _, id := range want {
+		if _, ok := Experiments[id]; !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	for _, id := range []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn"} {
+		if _, ok := Experiments[id]; !ok {
+			t.Errorf("ablation sweep %s missing from registry", id)
+		}
+	}
+	if len(IDs()) != len(want)+5 {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want)+5)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run("99", &bytes.Buffer{}, Quick); err == nil {
+		t.Fatal("no error for unknown experiment")
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table3", &buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, algo := range []string{"LRU", "LFU", "GDSF", "HYPERBOLIC"} {
+		if !strings.Contains(out, algo) {
+			t.Errorf("table 3 missing %s", algo)
+		}
+	}
+}
+
+func TestFig04ShowsCrossover(t *testing.T) {
+	// The calibrated webmail workload must reproduce the paper's Figure 4
+	// shape: LRU best at small cache sizes, LFU best at large ones.
+	var buf bytes.Buffer
+	if err := Fig04(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(out, "\n")
+	firstBest, lastBest := "", ""
+	for _, ln := range lines {
+		switch {
+		case strings.Contains(ln, "5%") && firstBest == "":
+			firstBest = best(ln)
+		case strings.Contains(ln, "60%"):
+			lastBest = best(ln)
+		}
+	}
+	if firstBest != "LRU" {
+		t.Errorf("small-cache best = %q, want LRU\n%s", firstBest, out)
+	}
+	if lastBest != "LFU" {
+		t.Errorf("large-cache best = %q, want LFU\n%s", lastBest, out)
+	}
+}
+
+func best(line string) string {
+	if strings.Contains(line, "LFU") {
+		return "LFU"
+	}
+	if strings.Contains(line, "LRU") {
+		return "LRU"
+	}
+	return ""
+}
+
+func TestRunTraceWarmupExcluded(t *testing.T) {
+	env := sim.NewEnv(1)
+	calls := 0
+	factory := func(p *sim.Proc) CacheOps { calls++; return countingOps{&calls, p} }
+	trace := make([]workload.Req, 100)
+	for i := range trace {
+		trace[i] = workload.Req{Key: uint64(i % 10), Size: 64}
+	}
+	res := RunTrace(env, factory, trace, 2, 2, 0)
+	// Two loops executed, but only the second measured.
+	if res.Ops != 100 {
+		t.Fatalf("measured ops = %d, want 100", res.Ops)
+	}
+	if calls != 2 { // one client instance per process
+		t.Fatalf("factory called %d times", calls)
+	}
+	if res.Hits+res.Misses != res.Ops {
+		t.Fatalf("hits+misses = %d", res.Hits+res.Misses)
+	}
+}
+
+// countingOps hits every second Get.
+type countingOps struct {
+	calls *int
+	p     *sim.Proc
+}
+
+func (c countingOps) Get(key []byte) ([]byte, bool) {
+	c.p.Sleep(sim.Microsecond)
+	return nil, key[len(key)-1]%2 == 0
+}
+
+func (c countingOps) Set(key, value []byte) { c.p.Sleep(sim.Microsecond) }
+
+func TestRunClosedLoopAggregates(t *testing.T) {
+	env := sim.NewEnv(1)
+	calls := 0
+	factory := func(p *sim.Proc) CacheOps { calls++; return countingOps{&calls, p} }
+	gen := func(int) workload.Generator { return workload.NewUniform(100, 64, 0.2) }
+	res := RunClosedLoop(env, factory, gen, 4, 50, 1)
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+	if res.ElapsedNs <= 0 {
+		t.Fatal("no elapsed time")
+	}
+	if res.Hist.Count() != 200 {
+		t.Fatalf("histogram has %d samples", res.Hist.Count())
+	}
+	if res.Mops() <= 0 {
+		t.Fatal("zero throughput")
+	}
+}
+
+func TestValueForSized(t *testing.T) {
+	v := valueFor(workload.Req{Key: 5, Size: 256})
+	if len(v) != 240 {
+		t.Fatalf("value len = %d", len(v))
+	}
+	v = valueFor(workload.Req{Key: 5, Size: 4})
+	if len(v) < 8 {
+		t.Fatalf("tiny value len = %d", len(v))
+	}
+}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ditto/internal/baselines"
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/stats"
+	"ditto/internal/workload"
+)
+
+// cmOps adapts CMClient to CacheOps.
+type cmOps struct{ c *baselines.CMClient }
+
+func (k cmOps) Get(key []byte) ([]byte, bool) { return k.c.Get(key) }
+func (k cmOps) Set(key, value []byte)         { k.c.Set(key, value) }
+
+// dittoNoMissCluster builds a Ditto cluster big enough that the loaded key
+// space never misses (the Figure 14/15 regime).
+func dittoNoMissCluster(env *sim.Env, keys int, experts ...string) *core.Cluster {
+	opts := core.DefaultOptions(keys*2, keys*512)
+	if len(experts) > 0 {
+		opts.Experts = experts
+	}
+	return core.NewCluster(env, opts)
+}
+
+// Fig13 reproduces Figure 13: Ditto's throughput while (a) CPU cores in
+// the compute pool scale 32→64→32 and (b) the cache memory is grown —
+// both without data migration, so the effect is immediate.
+func Fig13(w io.Writer, scale Scale) error {
+	header(w, "Figure 13: Ditto under dynamic resource adjustment (no migration)")
+	phase := int64(scale.pick(15, 60)) * sim.Millisecond
+	keys := scale.pick(8000, 100000)
+	baseClients := scale.pick(24, 32)
+
+	env := sim.NewEnv(3)
+	cl := dittoNoMissCluster(env, keys)
+	factory := DittoFactory(cl)
+	reqs := make([]workload.Req, keys)
+	for i := range reqs {
+		reqs[i] = workload.Req{Key: uint64(i), Size: 256}
+	}
+	RunLoad(env, factory, reqs, 16)
+
+	timeline := stats.NewTimeline(phase / 10)
+	lat := &stats.Histogram{}
+	t0 := env.Now()
+	end := t0 + 3*phase
+	spawn := func(i int, stop int64) {
+		env.Go("client", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			g := workload.NewYCSB(workload.YCSBC, uint64(keys), 256)
+			rng := rand.New(rand.NewSource(int64(i)))
+			for p.Now() < stop {
+				r := g.Next(rng)
+				s := p.Now()
+				c.Get(workload.KeyBytes(r.Key))
+				lat.Record(p.Now() - s)
+				timeline.Record(p.Now() - t0)
+			}
+		})
+	}
+	for i := 0; i < baseClients; i++ {
+		spawn(i, end)
+	}
+	// Phase 2: double the compute pool; the extra clients stop at phase 3.
+	env.GoAt(t0+phase, "scale-out", func(p *sim.Proc) {
+		for i := 0; i < baseClients; i++ {
+			spawn(1000+i, t0+2*phase)
+		}
+	})
+	env.Run()
+
+	fmt.Fprintf(w, "clients %d -> %d at t=%.0fms -> %d at t=%.0fms (immediate effect)\n",
+		baseClients, 2*baseClients, float64(phase)/1e6, baseClients, float64(2*phase)/1e6)
+	row(w, "t(ms)", "Mops")
+	times, ops := timeline.Series()
+	for i := range times {
+		row(w, fmt.Sprintf("%.1f", times[i]*1e3), ops[i]/1e6)
+	}
+	fmt.Fprintf(w, "latency p50=%.1fus p99=%.1fus\n",
+		float64(lat.Percentile(50))/1000, float64(lat.Percentile(99))/1000)
+
+	// Memory elasticity: grow the heap mid-run; throughput must stay flat
+	// (no migration, no disruption).
+	header(w, "Figure 13 (memory): growing cache memory mid-run")
+	env2 := sim.NewEnv(4)
+	cl2 := dittoNoMissCluster(env2, keys)
+	factory2 := DittoFactory(cl2)
+	RunLoad(env2, factory2, reqs, 16)
+	timeline2 := stats.NewTimeline(phase / 10)
+	t0 = env2.Now()
+	end2 := t0 + 2*phase
+	for i := 0; i < baseClients; i++ {
+		i := i
+		env2.Go("client", func(p *sim.Proc) {
+			c := cl2.NewClient(p)
+			g := workload.NewYCSB(workload.YCSBC, uint64(keys), 256)
+			rng := rand.New(rand.NewSource(int64(i)))
+			for p.Now() < end2 {
+				c.Get(workload.KeyBytes(g.Next(rng).Key))
+				timeline2.Record(p.Now() - t0)
+			}
+		})
+	}
+	env2.GoAt(t0+phase, "grow-memory", func(p *sim.Proc) {
+		cl2.GrowCache(keys * 256)
+	})
+	env2.Run()
+	fmt.Fprintf(w, "cache grown +50%% at t=%.0fms\n", float64(phase)/1e6)
+	row(w, "t(ms)", "Mops")
+	times2, ops2 := timeline2.Series()
+	for i := range times2 {
+		row(w, fmt.Sprintf("%.1f", times2[i]*1e3), ops2[i]/1e6)
+	}
+	return nil
+}
+
+// Fig14 reproduces Figure 14: throughput and tail latency of Ditto,
+// Shard-LRU, CM-LRU and CM-LFU on YCSB A–D with growing client counts, in
+// the no-miss regime.
+func Fig14(w io.Writer, scale Scale) error {
+	keys := scale.pick(4000, 50000)
+	baseOps := scale.pick(30000, 200000)
+	clientCounts := []int{1, 8, 32, 64, 128}
+	if scale == Full {
+		clientCounts = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	}
+
+	for _, kind := range []workload.YCSBKind{workload.YCSBA, workload.YCSBB, workload.YCSBC, workload.YCSBD} {
+		header(w, fmt.Sprintf("Figure 14: %s throughput & p99 vs clients", kind))
+		row(w, "clients", "Ditto(Mops)", "p99(us)", "ShardLRU", "p99(us)", "CM-LRU", "p99(us)", "CM-LFU", "p99(us)")
+		for _, n := range clientCounts {
+			per := baseOps / n
+			if per < 150 {
+				per = 150
+			}
+			d := runDittoYCSB(kind, keys, n, per)
+			s := runShardLRUYCSB(kind, keys, n, per)
+			cm1 := runCMYCSB(baselines.CMLRU, kind, keys, n, per)
+			cm2 := runCMYCSB(baselines.CMLFU, kind, keys, n, per)
+			row(w, fmt.Sprintf("%d", n),
+				d.Mops(), d.P99(), s.Mops(), s.P99(),
+				cm1.Mops(), cm1.P99(), cm2.Mops(), cm2.P99())
+		}
+	}
+	return nil
+}
+
+func ycsbGen(kind workload.YCSBKind, keys int) func(int) workload.Generator {
+	return func(int) workload.Generator { return workload.NewYCSB(kind, uint64(keys), 256) }
+}
+
+func loadKeys(keys int) []workload.Req {
+	reqs := make([]workload.Req, keys)
+	for i := range reqs {
+		reqs[i] = workload.Req{Key: uint64(i), Size: 256}
+	}
+	return reqs
+}
+
+func runDittoYCSB(kind workload.YCSBKind, keys, clients, opsEach int) Result {
+	env := sim.NewEnv(11)
+	cl := dittoNoMissCluster(env, keys)
+	factory := DittoFactory(cl)
+	RunLoad(env, factory, loadKeys(keys), 16)
+	return RunClosedLoop(env, factory, ycsbGen(kind, keys), clients, opsEach, 5)
+}
+
+func runShardLRUYCSB(kind workload.YCSBKind, keys, clients, opsEach int) Result {
+	env := sim.NewEnv(12)
+	c := baselines.NewShardLRU(env, keys*2, kvFabric())
+	factory := func(p *sim.Proc) CacheOps { return kvOps{c.NewKVClient(p)} }
+	RunLoad(env, factory, loadKeys(keys), 16)
+	return RunClosedLoop(env, factory, ycsbGen(kind, keys), clients, opsEach, 5)
+}
+
+func runCMYCSB(algo baselines.CMAlgo, kind workload.YCSBKind, keys, clients, opsEach int) Result {
+	env := sim.NewEnv(13)
+	c := baselines.NewCMCluster(env, algo, keys*2, keys*512, baselines.CMFabric())
+	factory := func(p *sim.Proc) CacheOps { return cmOps{c.NewCMClient(p)} }
+	RunLoad(env, factory, loadKeys(keys), 16)
+	return RunClosedLoop(env, factory, ycsbGen(kind, keys), clients, opsEach, 5)
+}
+
+// Fig15 reproduces Figure 15: throughput of CliqueMap, Redis and Ditto as
+// MN-side CPU cores grow, on write-intensive YCSB-A and read-only YCSB-C.
+// Ditto needs no MN compute, so its line is flat at the top.
+func Fig15(w io.Writer, scale Scale) error {
+	keys := scale.pick(4000, 50000)
+	clients := scale.pick(64, 256)
+	opsEach := scale.pick(600, 2000)
+	coreCounts := []int{1, 4, 8, 16, 32}
+	if scale == Quick {
+		coreCounts = []int{1, 4, 16}
+	}
+
+	for _, kind := range []workload.YCSBKind{workload.YCSBA, workload.YCSBC} {
+		header(w, fmt.Sprintf("Figure 15: %s throughput vs MN CPU cores (%d clients)", kind, clients))
+		// Ditto does not use MN cores: measure once.
+		d := runDittoYCSB(kind, keys, clients, opsEach)
+		row(w, "cores", "CliqueMap", "Redis", "Ditto")
+		for _, cores := range coreCounts {
+			cm := runCMCores(kind, keys, clients, opsEach, cores)
+			rd := runRedisYCSB(kind, keys, clients, opsEach, cores)
+			row(w, fmt.Sprintf("%d", cores), cm.Mops(), rd.Mops(), d.Mops())
+		}
+	}
+	return nil
+}
+
+func runCMCores(kind workload.YCSBKind, keys, clients, opsEach, cores int) Result {
+	env := sim.NewEnv(14)
+	fab := baselines.CMFabric()
+	fab.CPUCores = cores
+	c := baselines.NewCMCluster(env, baselines.CMLRU, keys*2, keys*512, fab)
+	factory := func(p *sim.Proc) CacheOps { return cmOps{c.NewCMClient(p)} }
+	RunLoad(env, factory, loadKeys(keys), 16)
+	return RunClosedLoop(env, factory, ycsbGen(kind, keys), clients, opsEach, 5)
+}
+
+// redisOps adapts RedisClient to CacheOps using numeric keys parsed from
+// the canonical key encoding.
+type redisOps struct{ c *baselines.RedisClient }
+
+func (r redisOps) Get(key []byte) ([]byte, bool) { return r.c.Get(keyOf(key)) }
+func (r redisOps) Set(key, value []byte)         { r.c.Set(keyOf(key), value) }
+
+// keyOf parses workload.KeyBytes ("k%015x").
+func keyOf(key []byte) uint64 {
+	var v uint64
+	for _, c := range key[1:] {
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= uint64(c-'a') + 10
+		}
+	}
+	return v
+}
+
+func runRedisYCSB(kind workload.YCSBKind, keys, clients, opsEach, shards int) Result {
+	env := sim.NewEnv(15)
+	c := baselines.NewRedisCluster(env, shards, keys*2)
+	factory := func(p *sim.Proc) CacheOps { return redisOps{c.NewRedisClient(p)} }
+	RunLoad(env, factory, loadKeys(keys), 16)
+	return RunClosedLoop(env, factory, ycsbGen(kind, keys), clients, opsEach, 5)
+}

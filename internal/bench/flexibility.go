@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ditto/internal/cachealgo"
+	"ditto/internal/workload"
+)
+
+// Fig23 reproduces Figure 23: throughput and hit rate of the twelve
+// integrated caching algorithms, each running as Ditto's single expert on
+// the webmail-like workload.
+func Fig23(w io.Writer, scale Scale) error {
+	header(w, "Figure 23: the 12 integrated algorithms (webmail-like workload)")
+	n := scale.pick(30000, 200000)
+	fp := scale.pick(4000, 20000)
+	clients := scale.pick(8, 64)
+	trace := workload.Webmail(n, fp, 231).Build()
+	capObjs := fp / 10
+
+	row(w, "algorithm", "tput(Mops)", "hit rate")
+	for _, info := range cachealgo.All() {
+		r := runDittoTrace(trace, capObjs, clients, 0, info.Name)
+		row(w, info.Name, r.Mops(), r.HitRate())
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3: integration effort (LOC) and access
+// information used by each algorithm.
+func Table3(w io.Writer, _ Scale) error {
+	header(w, "Table 3: integration effort of the 12 caching algorithms")
+	row(w, "algorithm", "LOC", "info used")
+	for _, info := range cachealgo.All() {
+		row(w, info.Name, info.LOC, info.Uses)
+	}
+	fmt.Fprintln(w, "LOC counts the priority/update/init definitions in internal/cachealgo.")
+	return nil
+}

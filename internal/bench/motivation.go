@@ -1,0 +1,288 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"ditto/internal/baselines"
+	"ditto/internal/cachealgo"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+	"ditto/internal/simcache"
+	"ditto/internal/stats"
+	"ditto/internal/workload"
+)
+
+// Fig01 reproduces Figure 1: Redis throughput while scaling 16→32→16
+// shards under read-only YCSB-C. Scale-out capacity arrives only after
+// minutes-equivalent migration; scale-in reclamation is delayed equally.
+// (Virtual time is compressed: paper minutes ≡ harness milliseconds.)
+func Fig01(w io.Writer, scale Scale) error {
+	header(w, "Figure 1: Redis resource adjustment (scale out/in with migration)")
+	phase := int64(scale.pick(40, 200)) * sim.Millisecond
+	keys := scale.pick(20000, 200000)
+	clients := scale.pick(64, 192)
+	baseShards := scale.pick(8, 32)
+
+	env := sim.NewEnv(1)
+	cluster := baselines.NewRedisCluster(env, baseShards, keys)
+	// Migration sized to occupy ~60% of a phase.
+	migBytes := int64(cluster.MigrationRate * float64(baseShards) * float64(phase) / 1e9 * 0.6)
+
+	gen := workload.NewYCSB(workload.YCSBC, uint64(keys), 256)
+	env.Go("load", func(p *sim.Proc) {
+		cl := cluster.NewRedisClient(p)
+		for k := 0; k < keys; k++ {
+			cl.Set(uint64(k), valueFor(workload.Req{Key: uint64(k), Size: 256}))
+		}
+	})
+	env.Run()
+
+	timeline := stats.NewTimeline(phase / 10)
+	t0 := env.Now()
+	end := t0 + 3*phase
+	for i := 0; i < clients; i++ {
+		i := i
+		env.Go("client", func(p *sim.Proc) {
+			cl := cluster.NewRedisClient(p)
+			rng := rand.New(rand.NewSource(int64(i)))
+			for p.Now() < end {
+				cl.Get(gen.Next(rng).Key)
+				timeline.Record(p.Now() - t0)
+			}
+		})
+	}
+	env.GoAt(t0+phase, "scale-out", func(p *sim.Proc) {
+		cluster.ScaleTo(2*baseShards, keys, migBytes)
+	})
+	env.GoAt(t0+2*phase, "scale-in", func(p *sim.Proc) {
+		cluster.ScaleTo(baseShards, keys, migBytes)
+	})
+	env.Run()
+
+	fmt.Fprintf(w, "shards %d -> %d at t=%.0fms -> %d at t=%.0fms; migration ~%.0fms each\n",
+		baseShards, 2*baseShards, float64(phase)/1e6, baseShards, float64(2*phase)/1e6,
+		float64(phase)*0.6/1e6)
+	row(w, "t(ms)", "Mops")
+	times, ops := timeline.Series()
+	for i := range times {
+		row(w, fmt.Sprintf("%.1f", times[i]*1e3), ops[i]/1e6)
+	}
+	return nil
+}
+
+// Fig02 reproduces Figure 2: the cost of maintaining caching structures on
+// DM. (a) single-client throughput and latency of KVC, KVC-S, KVS;
+// (b) throughput with growing client counts.
+func Fig02(w io.Writer, scale Scale) error {
+	header(w, "Figure 2a: single-client performance (YCSB-C, no misses)")
+	keys := scale.pick(2000, 20000)
+	opsEach := scale.pick(3000, 20000)
+
+	single := map[baselines.KVKind]Result{}
+	for _, kind := range []baselines.KVKind{baselines.KVS, baselines.KVC, baselines.KVCS} {
+		res := runKV(kind, keys, 1, opsEach)
+		single[kind] = res
+	}
+	row(w, "system", "Mops", "p50(us)", "p99(us)")
+	for _, kind := range []baselines.KVKind{baselines.KVS, baselines.KVC, baselines.KVCS} {
+		r := single[kind]
+		row(w, kind.String(), r.Mops(), r.P50(), r.P99())
+	}
+
+	header(w, "Figure 2b: multi-client throughput (YCSB-C, no misses)")
+	clientCounts := []int{1, 8, 16, 32, 64}
+	if scale == Quick {
+		clientCounts = []int{1, 8, 32, 64}
+	}
+	row(w, "clients", "KVS(Mops)", "KVC(Mops)", "KVC-S(Mops)")
+	for _, n := range clientCounts {
+		per := opsEach / n * 2
+		if per < 200 {
+			per = 200
+		}
+		kvs := runKV(baselines.KVS, keys, n, per)
+		kvc := runKV(baselines.KVC, keys, n, per)
+		kvcs := runKV(baselines.KVCS, keys, n, per)
+		row(w, fmt.Sprintf("%d", n), kvs.Mops(), kvc.Mops(), kvcs.Mops())
+	}
+	return nil
+}
+
+func runKV(kind baselines.KVKind, keys, clients, opsEach int) Result {
+	env := sim.NewEnv(7)
+	c := baselines.NewKVCluster(env, kind, keys, kvFabric())
+	factory := func(p *sim.Proc) CacheOps { return kvOps{c.NewKVClient(p)} }
+	reqs := make([]workload.Req, keys)
+	for i := range reqs {
+		reqs[i] = workload.Req{Key: uint64(i), Size: 256}
+	}
+	RunLoad(env, factory, reqs, min(clients*2, 16))
+	gen := func(int) workload.Generator { return workload.NewYCSB(workload.YCSBC, uint64(keys), 256) }
+	return RunClosedLoop(env, factory, gen, clients, opsEach, 99)
+}
+
+func kvFabric() rdma.Config { return rdma.DefaultConfig() }
+
+// kvOps adapts KVClient to CacheOps.
+type kvOps struct{ c *baselines.KVClient }
+
+func (k kvOps) Get(key []byte) ([]byte, bool) { return k.c.Get(key) }
+func (k kvOps) Set(key, value []byte)         { k.c.Set(key, value) }
+
+// Fig03 reproduces Figure 3: hit rates of LRU/LFU as compute resources
+// shift between an LRU-friendly and an LFU-friendly application.
+func Fig03(w io.Writer, scale Scale) error {
+	header(w, "Figure 3: hit rate vs. client split between LRU-friendly and LFU-friendly apps")
+	n := scale.pick(40000, 200000)
+	footprint := scale.pick(4000, 20000)
+	lruTrace := workload.LRUFriendly(n, footprint, 31).Build()
+	lfuTrace := workload.LFUFriendly(n, footprint, 32).Build()
+	total := 16
+	capObjs := footprint / 5
+
+	row(w, "lfu-clients", "LRU hit", "LFU hit")
+	for nLFU := 0; nLFU <= total; nLFU += 4 {
+		combined := mixApps(lruTrace, lfuTrace, total-nLFU, nLFU)
+		lru := hitRateOn(combined, cachealgo.NewLRU(), capObjs)
+		lfu := hitRateOn(combined, cachealgo.NewLFU(), capObjs)
+		row(w, fmt.Sprintf("%d/%d", nLFU, total), lru, lfu)
+	}
+	return nil
+}
+
+// mixApps interleaves nA clients running trace A with nB clients running
+// trace B — the combined access pattern the shared cache observes.
+func mixApps(a, b []workload.Req, nA, nB int) []workload.Req {
+	var shards [][]workload.Req
+	if nA > 0 {
+		shards = append(shards, workload.Shard(a, nA)...)
+	}
+	if nB > 0 {
+		shards = append(shards, workload.Shard(b, nB)...)
+	}
+	return workload.Interleave(shards)
+}
+
+func hitRateOn(reqs []workload.Req, algo cachealgo.Algorithm, capObjs int) float64 {
+	c := simcache.New(algo, capObjs)
+	for _, r := range reqs {
+		c.Access(r.Key, r.Size)
+	}
+	return c.HitRate()
+}
+
+// Fig04 reproduces Figure 4: LRU vs LFU hit rate on one workload across
+// cache sizes — the best algorithm flips with the memory resource.
+func Fig04(w io.Writer, scale Scale) error {
+	header(w, "Figure 4: LRU vs LFU across cache sizes (webmail-like)")
+	n := scale.pick(60000, 400000)
+	footprint := scale.pick(6000, 40000)
+	trace := workload.Webmail(n, footprint, 4).Build()
+
+	row(w, "cache(%fp)", "LRU hit", "LFU hit", "best")
+	for _, pct := range []int{5, 10, 20, 30, 40, 60} {
+		capObjs := footprint * pct / 100
+		lru := hitRateOn(trace, cachealgo.NewLRU(), capObjs)
+		lfu := hitRateOn(trace, cachealgo.NewLFU(), capObjs)
+		best := "LRU"
+		if lfu > lru {
+			best = "LFU"
+		}
+		row(w, fmt.Sprintf("%d%%", pct), lru, lfu, best)
+	}
+	return nil
+}
+
+// Fig05 reproduces Figure 5: (a) the CDF over the workload suite of the
+// relative hit-rate change as the client count varies 1→512; (b) one trace
+// where the best algorithm flips with the client count.
+func Fig05(w io.Writer, scale Scale) error {
+	header(w, "Figure 5a: CDF of relative hit-rate change (varying client counts)")
+	nSpecs := scale.pick(16, 74)
+	n := scale.pick(30000, 120000)
+	footprint := scale.pick(3000, 12000)
+	clientCounts := []int{1, 8, 64, 512}
+	if scale == Quick {
+		clientCounts = []int{1, 8, 64}
+	}
+	specs := workload.Suite(nSpecs, n, footprint)
+
+	var lruChanges, lfuChanges []float64
+	bestFlips := 0
+	for _, spec := range specs {
+		trace := spec.Build()
+		capObjs := spec.Footprint / 10
+		relChange := func(algo func() cachealgo.Algorithm) (float64, []float64) {
+			var rates []float64
+			for _, k := range clientCounts {
+				combined := workload.Interleave(workload.Shard(trace, k))
+				rates = append(rates, hitRateOn(combined, algo(), capObjs))
+			}
+			lo, hi := rates[0], rates[0]
+			for _, r := range rates {
+				if r < lo {
+					lo = r
+				}
+				if r > hi {
+					hi = r
+				}
+			}
+			if hi == 0 {
+				return 0, rates
+			}
+			return (hi - lo) / hi, rates
+		}
+		dLRU, lruRates := relChange(func() cachealgo.Algorithm { return cachealgo.NewLRU() })
+		dLFU, lfuRates := relChange(func() cachealgo.Algorithm { return cachealgo.NewLFU() })
+		lruChanges = append(lruChanges, dLRU)
+		lfuChanges = append(lfuChanges, dLFU)
+		bestAt := func(i int) bool { return lruRates[i] >= lfuRates[i] }
+		for i := 1; i < len(clientCounts); i++ {
+			if bestAt(i) != bestAt(0) {
+				bestFlips++
+				break
+			}
+		}
+	}
+	row(w, "percentile", "LRU rel.change", "LFU rel.change")
+	xs1, ys1 := stats.CDF(lruChanges)
+	xs2, ys2 := stats.CDF(lfuChanges)
+	for _, q := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		row(w, fmt.Sprintf("p%.0f", q*100), cdfInvert(xs1, ys1, q), cdfInvert(xs2, ys2, q))
+	}
+	fmt.Fprintf(w, "best algorithm flips with client count on %d/%d workloads\n", bestFlips, len(specs))
+
+	header(w, "Figure 5b: hit rate vs concurrent clients (single trace)")
+	trace := workload.Webmail(n, footprint, 55).Build()
+	capObjs := footprint / 10
+	row(w, "clients", "LRU hit", "LFU hit")
+	for _, k := range clientCounts {
+		combined := workload.Interleave(workload.Shard(trace, k))
+		row(w, fmt.Sprintf("%d", k),
+			hitRateOn(combined, cachealgo.NewLRU(), capObjs),
+			hitRateOn(combined, cachealgo.NewLFU(), capObjs))
+	}
+	return nil
+}
+
+// cdfInvert returns the smallest x with CDF(x) >= q.
+func cdfInvert(xs, ys []float64, q float64) float64 {
+	for i, y := range ys {
+		if y >= q {
+			return xs[i]
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner regenerates one table or figure.
+type Runner func(w io.Writer, scale Scale) error
+
+// Experiments maps experiment IDs (as accepted by dittobench -fig / -table)
+// to their runners.
+var Experiments = map[string]Runner{
+	"1":      Fig01,
+	"2":      Fig02,
+	"3":      Fig03,
+	"4":      Fig04,
+	"5":      Fig05,
+	"13":     Fig13,
+	"14":     Fig14,
+	"15":     Fig15,
+	"16":     Fig16,
+	"17":     Fig17,
+	"18":     Fig18,
+	"19":     Fig19,
+	"20":     Fig20,
+	"21":     Fig21,
+	"22":     Fig22,
+	"23":     Fig23,
+	"24":     Fig24,
+	"25":     Fig25,
+	"table3": Table3,
+	// Design-choice ablation sweeps (DESIGN.md §5) — not paper figures.
+	"abl-k":     SweepSampleK,
+	"abl-fct":   SweepFCThreshold,
+	"abl-batch": SweepBatchSize,
+	"abl-hist":  SweepHistorySize,
+	"abl-mn":    SweepMultiMN,
+}
+
+// IDs returns the experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		li, lj := len(ids[i]), len(ids[j])
+		if li != lj {
+			return li < lj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// Run executes one experiment by ID.
+func Run(id string, w io.Writer, scale Scale) error {
+	r, ok := Experiments[id]
+	if !ok {
+		return fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(w, scale)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer, scale Scale) error {
+	for _, id := range IDs() {
+		if err := Run(id, w, scale); err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,485 @@
+// Package cachealgo implements Ditto's caching-algorithm framework: the
+// per-object access metadata recorded by the client-centric caching
+// framework (Table 1 of the paper), the priority-function interface through
+// which caching algorithms are integrated, and the twelve algorithms the
+// paper integrates (Table 3): LRU, LFU, MRU, GDS, LIRS, FIFO, SIZE, GDSF,
+// LRFU, LRU-K, LFUDA and HYPERBOLIC.
+//
+// The key observation of §4.2 is that the only difference between caching
+// algorithms is how they define eviction priority over recorded access
+// information. An algorithm is therefore just:
+//
+//   - Priority(meta, now) — maps an object's metadata to a real number;
+//     the sampled object with the LOWEST priority is evicted;
+//   - optionally, extension-metadata rules (InitExt/UpdateExt) for advanced
+//     algorithms that need more state than the default fields; extension
+//     bytes are stored with the object in the memory pool;
+//   - optionally, an OnEvict hook for algorithms with client-local state
+//     (the inflation value L of the GreedyDual family).
+//
+// The framework itself (internal/core) maintains the default fields on
+// every access, mirroring the sample-friendly hash table's metadata layout.
+package cachealgo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metadata is the access information recorded for each cached object
+// (Table 1). Size, InsertTs, LastTs and Freq are global (stored in the
+// hash-table slot); Latency and Cost are local estimates; Ext holds
+// algorithm-specific extension metadata stored with the object.
+type Metadata struct {
+	Size     int     // object size in bytes (global, stateless)
+	InsertTs int64   // insert timestamp (global, stateless)
+	LastTs   int64   // last access timestamp (global, stateless)
+	Freq     uint64  // access count (global, stateful)
+	Latency  int64   // access latency estimate (local)
+	Cost     float64 // cost to fetch the object from the storage server (local)
+	Ext      []byte  // extension metadata (stored with the object)
+}
+
+// Algorithm is a caching algorithm expressed through the priority
+// interface. Instances may hold client-local state, so each client creates
+// its own instance via the registry.
+type Algorithm interface {
+	// Name returns the canonical algorithm name (e.g. "LRU").
+	Name() string
+	// Priority maps metadata to eviction priority; the lowest-priority
+	// sampled object is evicted.
+	Priority(m *Metadata, now int64) float64
+	// ExtSize returns the number of extension-metadata bytes this algorithm
+	// stores with each object (0 for algorithms served by default fields).
+	ExtSize() int
+	// InitExt initializes extension metadata at insert time. m.Ext has
+	// ExtSize bytes. Called only when ExtSize > 0.
+	InitExt(m *Metadata, now int64)
+	// UpdateExt applies the algorithm's metadata update rule on an access.
+	// The default fields have already been updated by the framework (Freq
+	// incremented, LastTs still holding the PREVIOUS access time until the
+	// framework overwrites it after UpdateExt returns, so update rules can
+	// see both).
+	UpdateExt(m *Metadata, now int64)
+}
+
+// EvictionObserver is implemented by algorithms with client-local aging
+// state (GreedyDual family): OnEvict is invoked with the victim's priority
+// so the inflation value can advance.
+type EvictionObserver interface {
+	OnEvict(victimPriority float64)
+}
+
+// base provides the no-extension defaults.
+type base struct{ name string }
+
+func (b base) Name() string             { return b.name }
+func (base) ExtSize() int               { return 0 }
+func (base) InitExt(*Metadata, int64)   {}
+func (base) UpdateExt(*Metadata, int64) {}
+
+// ---------------------------------------------------------------- LRU ----
+
+// LRU evicts the least recently used object: priority is the last access
+// timestamp. Info used: ts_L. (Table 3: 9 LOC.)
+type LRU struct{ base }
+
+// NewLRU returns an LRU instance.
+func NewLRU() *LRU { return &LRU{base{"LRU"}} }
+
+// Priority implements Algorithm.
+func (*LRU) Priority(m *Metadata, _ int64) float64 { return float64(m.LastTs) }
+
+// ---------------------------------------------------------------- LFU ----
+
+// LFU evicts the least frequently used object: priority is the access
+// count. Info used: F. (Table 3: 9 LOC.)
+type LFU struct{ base }
+
+// NewLFU returns an LFU instance.
+func NewLFU() *LFU { return &LFU{base{"LFU"}} }
+
+// Priority implements Algorithm.
+func (*LFU) Priority(m *Metadata, _ int64) float64 { return float64(m.Freq) }
+
+// ---------------------------------------------------------------- MRU ----
+
+// MRU evicts the MOST recently used object (useful for cyclic scans):
+// priority is the negated last access timestamp. Info used: ts_L.
+type MRU struct{ base }
+
+// NewMRU returns an MRU instance.
+func NewMRU() *MRU { return &MRU{base{"MRU"}} }
+
+// Priority implements Algorithm.
+func (*MRU) Priority(m *Metadata, _ int64) float64 { return -float64(m.LastTs) }
+
+// --------------------------------------------------------------- FIFO ----
+
+// FIFO evicts the oldest-inserted object: priority is the insert
+// timestamp. Info used: ts_I.
+type FIFO struct{ base }
+
+// NewFIFO returns a FIFO instance.
+func NewFIFO() *FIFO { return &FIFO{base{"FIFO"}} }
+
+// Priority implements Algorithm.
+func (*FIFO) Priority(m *Metadata, _ int64) float64 { return float64(m.InsertTs) }
+
+// --------------------------------------------------------------- SIZE ----
+
+// Size evicts the largest object first: priority is the negated size.
+// Info used: S.
+type Size struct{ base }
+
+// NewSize returns a SIZE instance.
+func NewSize() *Size { return &Size{base{"SIZE"}} }
+
+// Priority implements Algorithm.
+func (*Size) Priority(m *Metadata, _ int64) float64 { return -float64(m.Size) }
+
+// ---------------------------------------------------------------- GDS ----
+
+// GDS is GreedyDual-Size (Cao & Irani): H = L + cost/size, where L is the
+// client-local inflation value advanced to the priority of each victim.
+// The current H of each object is extension metadata (8 bytes).
+// Info used: S (with cost); M. (Table 3: 14 LOC.)
+type GDS struct {
+	base
+	l float64
+}
+
+// NewGDS returns a GDS instance.
+func NewGDS() *GDS { return &GDS{base: base{"GDS"}} }
+
+func cost(m *Metadata) float64 {
+	if m.Cost > 0 {
+		return m.Cost
+	}
+	return 1
+}
+
+// ExtSize implements Algorithm.
+func (*GDS) ExtSize() int { return 8 }
+
+// InitExt implements Algorithm.
+func (g *GDS) InitExt(m *Metadata, now int64) { g.UpdateExt(m, now) }
+
+// UpdateExt implements Algorithm: H ← L + cost/size.
+func (g *GDS) UpdateExt(m *Metadata, _ int64) {
+	putF64(m.Ext, g.l+cost(m)/float64(max(m.Size, 1)))
+}
+
+// Priority implements Algorithm.
+func (*GDS) Priority(m *Metadata, _ int64) float64 { return getF64(m.Ext) }
+
+// OnEvict implements EvictionObserver.
+func (g *GDS) OnEvict(victim float64) {
+	if victim > g.l {
+		g.l = victim
+	}
+}
+
+// --------------------------------------------------------------- GDSF ----
+
+// GDSF is GreedyDual-Size-Frequency: H = L + freq·cost/size.
+// Info used: F, S; M.
+type GDSF struct {
+	base
+	l float64
+}
+
+// NewGDSF returns a GDSF instance.
+func NewGDSF() *GDSF { return &GDSF{base: base{"GDSF"}} }
+
+// ExtSize implements Algorithm.
+func (*GDSF) ExtSize() int { return 8 }
+
+// InitExt implements Algorithm.
+func (g *GDSF) InitExt(m *Metadata, now int64) { g.UpdateExt(m, now) }
+
+// UpdateExt implements Algorithm.
+func (g *GDSF) UpdateExt(m *Metadata, _ int64) {
+	putF64(m.Ext, g.l+float64(m.Freq+1)*cost(m)/float64(max(m.Size, 1)))
+}
+
+// Priority implements Algorithm.
+func (*GDSF) Priority(m *Metadata, _ int64) float64 { return getF64(m.Ext) }
+
+// OnEvict implements EvictionObserver.
+func (g *GDSF) OnEvict(victim float64) {
+	if victim > g.l {
+		g.l = victim
+	}
+}
+
+// -------------------------------------------------------------- LFUDA ----
+
+// LFUDA is LFU with Dynamic Aging: H = L + freq. Aging lets formerly hot
+// objects drain out. Info used: F; M.
+type LFUDA struct {
+	base
+	l float64
+}
+
+// NewLFUDA returns an LFUDA instance.
+func NewLFUDA() *LFUDA { return &LFUDA{base: base{"LFUDA"}} }
+
+// ExtSize implements Algorithm.
+func (*LFUDA) ExtSize() int { return 8 }
+
+// InitExt implements Algorithm.
+func (a *LFUDA) InitExt(m *Metadata, now int64) { a.UpdateExt(m, now) }
+
+// UpdateExt implements Algorithm.
+func (a *LFUDA) UpdateExt(m *Metadata, _ int64) {
+	putF64(m.Ext, a.l+float64(m.Freq+1))
+}
+
+// Priority implements Algorithm.
+func (*LFUDA) Priority(m *Metadata, _ int64) float64 { return getF64(m.Ext) }
+
+// OnEvict implements EvictionObserver.
+func (a *LFUDA) OnEvict(victim float64) {
+	if victim > a.l {
+		a.l = victim
+	}
+}
+
+// --------------------------------------------------------------- LRUK ----
+
+// LRUK is LRU-K (K=2 by default): evicts the object with the oldest K-th
+// most recent access, falling back to FIFO on insert timestamp for objects
+// accessed fewer than K times — exactly the pseudocode of Listing 1 in the
+// paper. The extension metadata is a ring buffer of K reduced-precision
+// timestamps indexed by freq. Info used: M. (Table 3: 23 LOC.)
+type LRUK struct {
+	base
+	k int
+}
+
+// NewLRUK returns an LRU-K instance with the given K (K >= 1).
+func NewLRUK(k int) *LRUK {
+	if k < 1 {
+		panic("cachealgo: LRU-K needs K >= 1")
+	}
+	return &LRUK{base{fmt.Sprintf("LRU%dK", k)}, k}
+}
+
+// NewLRU2 returns the default LRU-2 used in the evaluation.
+func NewLRU2() *LRUK { a := NewLRUK(2); a.name = "LRUK"; return a }
+
+// ExtSize implements Algorithm.
+func (a *LRUK) ExtSize() int { return 8 * a.k }
+
+// InitExt implements Algorithm: the insert is the first access, so it
+// lands at ring index freq%K just as Listing 1's update rule would place
+// it (the framework sets Freq=1 before calling InitExt).
+func (a *LRUK) InitExt(m *Metadata, now int64) {
+	idx := int(m.Freq % uint64(a.k))
+	putI64(m.Ext[8*idx:], now)
+}
+
+// UpdateExt implements Algorithm: Listing 1's update rule. The framework
+// has already incremented Freq for this access.
+func (a *LRUK) UpdateExt(m *Metadata, now int64) {
+	idx := int(m.Freq % uint64(a.k))
+	putI64(m.Ext[8*idx:], now)
+}
+
+// Priority implements Algorithm: Listing 1's priority rule.
+func (a *LRUK) Priority(m *Metadata, _ int64) float64 {
+	if m.Freq < uint64(a.k) {
+		return float64(m.InsertTs)
+	}
+	idx := int((m.Freq - uint64(a.k) + 1) % uint64(a.k))
+	return float64(getI64(m.Ext[8*idx:]))
+}
+
+// --------------------------------------------------------------- LRFU ----
+
+// LRFU blends recency and frequency through a decayed reference count
+// (CRF): on each access CRF ← 1 + CRF·2^(−λ·Δt); priority is the CRF
+// decayed to "now". Extension metadata stores the CRF and its update time.
+// Info used: ts_L; M. (Table 3: 17 LOC.)
+type LRFU struct {
+	base
+	lambda float64 // decay per nanosecond of virtual time
+}
+
+// NewLRFU returns an LRFU instance with the default decay constant.
+func NewLRFU() *LRFU { return &LRFU{base{"LRFU"}, 1e-10} }
+
+// ExtSize implements Algorithm.
+func (*LRFU) ExtSize() int { return 16 }
+
+// InitExt implements Algorithm.
+func (*LRFU) InitExt(m *Metadata, now int64) {
+	putF64(m.Ext[0:], 1)
+	putI64(m.Ext[8:], now)
+}
+
+// UpdateExt implements Algorithm.
+func (a *LRFU) UpdateExt(m *Metadata, now int64) {
+	crf := getF64(m.Ext[0:])
+	last := getI64(m.Ext[8:])
+	crf = 1 + crf*math.Exp2(-a.lambda*float64(now-last))
+	putF64(m.Ext[0:], crf)
+	putI64(m.Ext[8:], now)
+}
+
+// Priority implements Algorithm.
+func (a *LRFU) Priority(m *Metadata, now int64) float64 {
+	crf := getF64(m.Ext[0:])
+	last := getI64(m.Ext[8:])
+	return crf * math.Exp2(-a.lambda*float64(now-last))
+}
+
+// --------------------------------------------------------------- LIRS ----
+
+// LIRS is integrated in its sampling approximation (the stack-based
+// original cannot be expressed over per-object metadata, which is the
+// paper's constraint too): hotness is the inter-reference recency (IRR),
+// the gap between the two most recent accesses. Objects referenced once
+// have infinite IRR (HIR blocks) and are preferred victims, which gives
+// LIRS its scan resistance; among re-referenced objects, small IRR and
+// recent access win. Extension metadata stores the previous access
+// timestamp. Info used: F, ts_L, M. (Table 3: 12 LOC.)
+type LIRS struct{ base }
+
+// NewLIRS returns a LIRS (approximation) instance.
+func NewLIRS() *LIRS { return &LIRS{base{"LIRS"}} }
+
+// ExtSize implements Algorithm.
+func (*LIRS) ExtSize() int { return 8 }
+
+// InitExt implements Algorithm.
+func (*LIRS) InitExt(m *Metadata, now int64) { putI64(m.Ext, now) }
+
+// UpdateExt implements Algorithm: remember the previous access time.
+func (*LIRS) UpdateExt(m *Metadata, _ int64) { putI64(m.Ext, m.LastTs) }
+
+// Priority implements Algorithm.
+func (*LIRS) Priority(m *Metadata, _ int64) float64 {
+	if m.Freq < 2 {
+		// HIR block: rank below all LIR blocks, FIFO among themselves.
+		return float64(m.InsertTs) - math.MaxInt32
+	}
+	irr := m.LastTs - getI64(m.Ext)
+	return float64(m.LastTs - irr)
+}
+
+// --------------------------------------------------------- HYPERBOLIC ----
+
+// Hyperbolic implements hyperbolic caching (Blankstein et al.): priority
+// is freq divided by the object's age in cache, so objects are ranked by
+// their observed request rate. Info used: ts_L, F, S. (Table 3: 11 LOC.)
+type Hyperbolic struct{ base }
+
+// NewHyperbolic returns a HYPERBOLIC instance.
+func NewHyperbolic() *Hyperbolic { return &Hyperbolic{base{"HYPERBOLIC"}} }
+
+// Priority implements Algorithm.
+func (*Hyperbolic) Priority(m *Metadata, now int64) float64 {
+	age := now - m.InsertTs
+	if age < 1 {
+		age = 1
+	}
+	return float64(m.Freq) / float64(age)
+}
+
+// ------------------------------------------------------------- RANDOM ----
+
+// Random evicts a uniformly random sampled object (constant priority). It
+// is not one of the paper's twelve integrated algorithms — it is the
+// normalization baseline of Figure 18 — so it is registered as hidden.
+type Random struct{ base }
+
+// NewRandom returns the random-eviction baseline.
+func NewRandom() *Random { return &Random{base{"RANDOM"}} }
+
+// Priority implements Algorithm: all objects tie, so the sampler's first
+// candidate (a uniformly random slot) wins.
+func (*Random) Priority(*Metadata, int64) float64 { return 0 }
+
+// ----------------------------------------------------------- registry ----
+
+// Info describes a registered algorithm for Table 3.
+type Info struct {
+	Name string
+	// LOC is the implementation size of the algorithm's definition in this
+	// package (priority + metadata rules), for the Table 3 reproduction.
+	LOC int
+	// Uses lists the access information consumed, in the paper's notation
+	// (tsI, tsL, F, S, M).
+	Uses string
+	New  func() Algorithm
+	// hidden excludes baselines (RANDOM) from the Table 3 listing.
+	hidden bool
+}
+
+var registry = []Info{
+	{Name: "LRU", LOC: 4, Uses: "tsL", New: func() Algorithm { return NewLRU() }},
+	{Name: "LFU", LOC: 4, Uses: "F", New: func() Algorithm { return NewLFU() }},
+	{Name: "MRU", LOC: 4, Uses: "tsL", New: func() Algorithm { return NewMRU() }},
+	{Name: "GDS", LOC: 14, Uses: "S, M", New: func() Algorithm { return NewGDS() }},
+	{Name: "LIRS", LOC: 12, Uses: "F, tsL, M", New: func() Algorithm { return NewLIRS() }},
+	{Name: "FIFO", LOC: 4, Uses: "tsI", New: func() Algorithm { return NewFIFO() }},
+	{Name: "SIZE", LOC: 4, Uses: "S", New: func() Algorithm { return NewSize() }},
+	{Name: "GDSF", LOC: 14, Uses: "F, S, M", New: func() Algorithm { return NewGDSF() }},
+	{Name: "LRFU", LOC: 17, Uses: "tsL, M", New: func() Algorithm { return NewLRFU() }},
+	{Name: "LRUK", LOC: 18, Uses: "M", New: func() Algorithm { return NewLRU2() }},
+	{Name: "LFUDA", LOC: 14, Uses: "F, M", New: func() Algorithm { return NewLFUDA() }},
+	{Name: "HYPERBOLIC", LOC: 7, Uses: "tsL, F, S", New: func() Algorithm { return NewHyperbolic() }},
+	{Name: "RANDOM", LOC: 3, Uses: "-", New: func() Algorithm { return NewRandom() }, hidden: true},
+}
+
+// All returns the registry of the twelve integrated algorithms in Table 3
+// order (hidden baselines excluded).
+func All() []Info {
+	out := make([]Info, 0, len(registry))
+	for _, info := range registry {
+		if !info.hidden {
+			out = append(out, info)
+		}
+	}
+	return out
+}
+
+// New instantiates a registered algorithm by name.
+func New(name string) (Algorithm, error) {
+	for _, info := range registry {
+		if info.Name == name {
+			return info.New(), nil
+		}
+	}
+	return nil, fmt.Errorf("cachealgo: unknown algorithm %q", name)
+}
+
+// Names returns the registered algorithm names sorted alphabetically.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for _, info := range registry {
+		if !info.hidden {
+			names = append(names, info.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ------------------------------------------------------------ helpers ----
+
+func putF64(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func getF64(b []byte) float64    { return math.Float64frombits(binary.LittleEndian.Uint64(b)) }
+func putI64(b []byte, v int64)   { binary.LittleEndian.PutUint64(b, uint64(v)) }
+func getI64(b []byte) int64      { return int64(binary.LittleEndian.Uint64(b)) }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,278 @@
+package cachealgo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// meta builds metadata with optional extension storage for the algorithm.
+func meta(a Algorithm, size int, insertTs, lastTs int64, freq uint64) *Metadata {
+	m := &Metadata{Size: size, InsertTs: insertTs, LastTs: lastTs, Freq: freq}
+	if n := a.ExtSize(); n > 0 {
+		m.Ext = make([]byte, n)
+	}
+	return m
+}
+
+func TestLRUPrefersOldest(t *testing.T) {
+	a := NewLRU()
+	old := meta(a, 64, 0, 100, 5)
+	recent := meta(a, 64, 0, 900, 1)
+	if a.Priority(old, 1000) >= a.Priority(recent, 1000) {
+		t.Fatal("LRU must rank the older access lower")
+	}
+}
+
+func TestLFUPrefersColdest(t *testing.T) {
+	a := NewLFU()
+	cold := meta(a, 64, 0, 900, 1)
+	hot := meta(a, 64, 0, 100, 50)
+	if a.Priority(cold, 1000) >= a.Priority(hot, 1000) {
+		t.Fatal("LFU must rank the lower-frequency object lower")
+	}
+}
+
+func TestMRUIsInverseOfLRU(t *testing.T) {
+	lru, mru := NewLRU(), NewMRU()
+	m1 := meta(lru, 64, 0, 100, 1)
+	m2 := meta(lru, 64, 0, 200, 1)
+	if (lru.Priority(m1, 0) < lru.Priority(m2, 0)) == (mru.Priority(m1, 0) < mru.Priority(m2, 0)) {
+		t.Fatal("MRU must order opposite to LRU")
+	}
+}
+
+func TestFIFOUsesInsertTime(t *testing.T) {
+	a := NewFIFO()
+	oldIn := meta(a, 64, 10, 999, 9)
+	newIn := meta(a, 64, 500, 501, 1)
+	if a.Priority(oldIn, 1000) >= a.Priority(newIn, 1000) {
+		t.Fatal("FIFO must evict the earliest-inserted object")
+	}
+}
+
+func TestSizeEvictsLargest(t *testing.T) {
+	a := NewSize()
+	big := meta(a, 4096, 0, 0, 1)
+	small := meta(a, 64, 0, 0, 1)
+	if a.Priority(big, 0) >= a.Priority(small, 0) {
+		t.Fatal("SIZE must rank larger objects lower")
+	}
+}
+
+func TestGDSInflation(t *testing.T) {
+	a := NewGDS()
+	m1 := meta(a, 100, 0, 0, 1)
+	a.InitExt(m1, 0)
+	p1 := a.Priority(m1, 0)
+	if math.Abs(p1-1.0/100) > 1e-12 {
+		t.Fatalf("initial H = %v, want cost/size = 0.01", p1)
+	}
+	// After evicting a victim with priority 5, L inflates and new objects
+	// enter above the old ones.
+	a.OnEvict(5)
+	m2 := meta(a, 100, 0, 0, 1)
+	a.InitExt(m2, 0)
+	if p2 := a.Priority(m2, 0); p2 <= 5 {
+		t.Fatalf("post-inflation H = %v, want > 5", p2)
+	}
+	// L never decreases.
+	a.OnEvict(1)
+	m3 := meta(a, 100, 0, 0, 1)
+	a.InitExt(m3, 0)
+	if p3 := a.Priority(m3, 0); p3 < 5 {
+		t.Fatalf("L decreased: %v", p3)
+	}
+}
+
+func TestGDSRespectsCost(t *testing.T) {
+	a := NewGDS()
+	cheap := meta(a, 100, 0, 0, 1)
+	cheap.Cost = 1
+	dear := meta(a, 100, 0, 0, 1)
+	dear.Cost = 10
+	a.InitExt(cheap, 0)
+	a.InitExt(dear, 0)
+	if a.Priority(cheap, 0) >= a.Priority(dear, 0) {
+		t.Fatal("GDS must keep high-cost objects longer")
+	}
+}
+
+func TestGDSFWeighsFrequency(t *testing.T) {
+	a := NewGDSF()
+	cold := meta(a, 100, 0, 0, 1)
+	hot := meta(a, 100, 0, 0, 100)
+	a.InitExt(cold, 0)
+	hot.Freq = 100
+	a.UpdateExt(hot, 0)
+	if a.Priority(cold, 0) >= a.Priority(hot, 0) {
+		t.Fatal("GDSF must rank frequent objects higher")
+	}
+}
+
+func TestLFUDAAgesOut(t *testing.T) {
+	a := NewLFUDA()
+	// A very hot object cached early.
+	hot := meta(a, 64, 0, 0, 100)
+	a.UpdateExt(hot, 0)
+	hotP := a.Priority(hot, 0)
+	// Massive inflation after it stops being accessed.
+	a.OnEvict(hotP + 1000)
+	fresh := meta(a, 64, 0, 0, 1)
+	a.InitExt(fresh, 0)
+	if a.Priority(fresh, 0) <= hotP {
+		t.Fatal("LFUDA dynamic aging failed: fresh object ranked below stale-hot one")
+	}
+}
+
+func TestLRUKListing1Semantics(t *testing.T) {
+	a := NewLRU2()
+	m := meta(a, 64, 100, 100, 1)
+	a.InitExt(m, 100)
+
+	// Fewer than K accesses: FIFO on insert_ts.
+	if p := a.Priority(m, 200); p != 100 {
+		t.Fatalf("freq<K priority = %v, want insert_ts 100", p)
+	}
+
+	// Second access at t=300: K-th most recent access is the insert (100).
+	m.Freq = 2
+	a.UpdateExt(m, 300)
+	m.LastTs = 300
+	if p := a.Priority(m, 400); p != 100 {
+		t.Fatalf("freq=2 priority = %v, want 100", p)
+	}
+
+	// Third access at t=500: 2nd most recent is t=300.
+	m.Freq = 3
+	a.UpdateExt(m, 500)
+	m.LastTs = 500
+	if p := a.Priority(m, 600); p != 300 {
+		t.Fatalf("freq=3 priority = %v, want 300", p)
+	}
+}
+
+func TestLRUKInvalidK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for K=0")
+		}
+	}()
+	NewLRUK(0)
+}
+
+func TestLRFUDecaysAndBumps(t *testing.T) {
+	a := NewLRFU()
+	m := meta(a, 64, 0, 0, 1)
+	a.InitExt(m, 0)
+	p0 := a.Priority(m, 0)
+	if p0 != 1 {
+		t.Fatalf("initial CRF = %v", p0)
+	}
+	// CRF decays with time...
+	if p := a.Priority(m, 1e10); p >= p0 {
+		t.Fatalf("CRF did not decay: %v", p)
+	}
+	// ...and each access adds 1 to the decayed value.
+	m.Freq = 2
+	a.UpdateExt(m, 1e10)
+	m.LastTs = 1e10
+	p1 := a.Priority(m, 1e10)
+	if p1 <= 1 || p1 > 2 {
+		t.Fatalf("CRF after second access = %v, want in (1,2]", p1)
+	}
+}
+
+func TestLIRSScanResistance(t *testing.T) {
+	a := NewLIRS()
+	// A one-hit-wonder from a scan, accessed recently.
+	scan := meta(a, 64, 900, 900, 1)
+	a.InitExt(scan, 900)
+	// A LIR block with small IRR, accessed a while ago.
+	lir := meta(a, 64, 0, 500, 10)
+	a.InitExt(lir, 0)
+	putI64ForTest(lir.Ext, 450) // previous access at 450 → IRR 50
+	if a.Priority(scan, 1000) >= a.Priority(lir, 1000) {
+		t.Fatal("LIRS must prefer evicting one-time (HIR) blocks over LIR blocks")
+	}
+}
+
+func TestHyperbolicRanksByRate(t *testing.T) {
+	a := NewHyperbolic()
+	// Object A: 10 accesses over age 1000 (rate 0.01).
+	fast := meta(a, 64, 0, 0, 10)
+	// Object B: 2 accesses over age 10 (rate 0.2).
+	burst := meta(a, 64, 990, 0, 2)
+	if a.Priority(fast, 1000) >= a.Priority(burst, 1000) {
+		t.Fatal("hyperbolic must rank by request rate, not raw count")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"LRU", "LFU", "MRU", "GDS", "LIRS", "FIFO", "SIZE", "GDSF", "LRFU", "LRUK", "LFUDA", "HYPERBOLIC"}
+	infos := All()
+	if len(infos) != len(want) {
+		t.Fatalf("registry has %d algorithms, want %d", len(infos), len(want))
+	}
+	for i, w := range want {
+		if infos[i].Name != w {
+			t.Errorf("registry[%d] = %s, want %s", i, infos[i].Name, w)
+		}
+	}
+	for _, info := range infos {
+		a, err := New(info.Name)
+		if err != nil {
+			t.Errorf("New(%s): %v", info.Name, err)
+			continue
+		}
+		if a.Name() != info.Name {
+			t.Errorf("instance name %s != %s", a.Name(), info.Name)
+		}
+		if info.LOC <= 0 || info.LOC > 25 {
+			t.Errorf("%s: implausible LOC %d (paper: all under 23)", info.Name, info.LOC)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("BELADY"); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+// Property: every registered algorithm returns finite priorities for
+// arbitrary (valid) metadata and never mutates default fields.
+func TestPrioritiesFiniteProperty(t *testing.T) {
+	for _, info := range All() {
+		info := info
+		a := info.New()
+		f := func(size uint16, ins, last uint32, freq uint16, nowDelta uint16) bool {
+			m := meta(a, int(size)+1, int64(ins), int64(ins)+int64(last), uint64(freq)+1)
+			now := m.LastTs + int64(nowDelta)
+			if a.ExtSize() > 0 {
+				a.InitExt(m, m.InsertTs)
+				a.UpdateExt(m, m.LastTs)
+			}
+			savedFreq, savedLast := m.Freq, m.LastTs
+			p := a.Priority(m, now)
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				return false
+			}
+			return m.Freq == savedFreq && m.LastTs == savedLast
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", info.Name, err)
+		}
+	}
+}
+
+func putI64ForTest(b []byte, v int64) { putI64(b, v) }

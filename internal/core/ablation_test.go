@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+// forceEvictions fills the cache well past capacity.
+func forceEvictions(c *Client, n int) {
+	for i := 0; i < n; i++ {
+		c.Set(key(i), value(i))
+	}
+}
+
+func TestAblationSFHTCostsExtraReads(t *testing.T) {
+	// Without the sample-friendly hash table, every eviction candidate
+	// costs an extra READ (metadata lives with the object).
+	run := func(disable bool) int64 {
+		env := sim.NewEnv(1)
+		opts := DefaultOptions(100, 100*320)
+		opts.DisableSFHT = disable
+		cl := NewCluster(env, opts)
+		var reads int64
+		env.Go("c", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			forceEvictions(c, 600)
+			reads = cl.MN.Node.Stats.Reads
+		})
+		env.Run()
+		return reads
+	}
+	with, without := run(false), run(true)
+	if without <= with {
+		t.Fatalf("DisableSFHT used %d READs, full design %d — ablation has no cost", without, with)
+	}
+}
+
+func TestAblationLWHCostsExtraVerbs(t *testing.T) {
+	run := func(disable bool) int64 {
+		env := sim.NewEnv(1)
+		opts := DefaultOptions(100, 100*320)
+		opts.DisableLWH = disable
+		cl := NewCluster(env, opts)
+		var total int64
+		env.Go("c", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			forceEvictions(c, 600)
+			for i := 0; i < 600; i++ {
+				c.Get(key(i)) // misses probe the (conventional) history index
+			}
+			total = cl.MN.Node.Stats.Total()
+		})
+		env.Run()
+		return total
+	}
+	with, without := run(false), run(true)
+	if without <= with {
+		t.Fatalf("DisableLWH used %d verbs, lightweight %d — ablation has no cost", without, with)
+	}
+}
+
+func TestAblationFCCacheReducesFAAs(t *testing.T) {
+	run := func(fcBytes int) int64 {
+		env := sim.NewEnv(1)
+		opts := DefaultOptions(1000, 1000*320)
+		opts.FCCacheBytes = fcBytes
+		cl := NewCluster(env, opts)
+		env.Go("c", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			c.Set([]byte("hot"), []byte("v"))
+			for i := 0; i < 1000; i++ {
+				c.Get([]byte("hot"))
+			}
+		})
+		env.Run()
+		return cl.MN.Node.Stats.FAAs
+	}
+	with, without := run(10<<20), run(0)
+	if with*5 > without {
+		t.Fatalf("FC cache only reduced FAAs %d -> %d (want >= 5x on a hot key)", without, with)
+	}
+}
+
+func TestAdaptiveBeatsWorstExpertOnChangingWorkload(t *testing.T) {
+	// End-to-end adaptivity: on a phase-alternating workload the adaptive
+	// configuration must at least clearly beat the losing expert and sit
+	// near the winning one.
+	trace := workload.Changing(12000, 4000, 77).Build()
+	run := func(experts ...string) float64 {
+		env := sim.NewEnv(5)
+		opts := DefaultOptions(400, 400*320)
+		opts.Experts = experts
+		cl := NewCluster(env, opts)
+		var hits, total int
+		env.Go("c", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			for _, r := range trace {
+				kb := workload.KeyBytes(r.Key)
+				if _, ok := c.Get(kb); ok {
+					hits++
+				} else {
+					c.Set(kb, value(int(r.Key)))
+				}
+				total++
+			}
+		})
+		env.Run()
+		return float64(hits) / float64(total)
+	}
+	lru := run("LRU")
+	lfu := run("LFU")
+	both := run("LRU", "LFU")
+	worst, best := lru, lfu
+	if lfu < worst {
+		worst, best = lfu, lru
+	}
+	// The adaptive configuration must never sit materially below the losing
+	// expert, and when the experts clearly differ it must land at least a
+	// quarter of the way toward the winner.
+	if both < worst-0.01 {
+		t.Fatalf("adaptive %.3f below worst expert %.3f (lru %.3f lfu %.3f)",
+			both, worst, lru, lfu)
+	}
+	if best-worst > 0.02 && both <= worst+(best-worst)/4 {
+		t.Fatalf("adaptive %.3f did not track the better expert (lru %.3f lfu %.3f)",
+			both, lru, lfu)
+	}
+}
+
+func TestDisableSFHTStillCorrect(t *testing.T) {
+	env := sim.NewEnv(1)
+	opts := DefaultOptions(200, 200*320)
+	opts.DisableSFHT = true
+	opts.DisableLWH = true
+	opts.EagerWeightSync = true
+	cl := NewCluster(env, opts)
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		for i := 0; i < 1000; i++ {
+			kb := key(i % 400)
+			if _, ok := c.Get(kb); !ok {
+				c.Set(kb, value(i%400))
+			}
+		}
+		if c.Stats.Hits == 0 {
+			t.Error("no hits under ablation config")
+		}
+		v, ok := c.Get(key(399))
+		if ok && len(v) != 64 {
+			t.Errorf("corrupted value under ablation config: %d bytes", len(v))
+		}
+	})
+	env.Run()
+}
+
+func TestSampleKInfluencesEvictionQuality(t *testing.T) {
+	// Larger K approximates the exact policy better: with K=16 the LRU
+	// expert must retain recent keys at least as well as K=1 (random-ish).
+	run := func(k int) float64 {
+		env := sim.NewEnv(9)
+		opts := DefaultOptions(150, 150*320)
+		opts.Experts = []string{"LRU"}
+		opts.SampleK = k
+		cl := NewCluster(env, opts)
+		var hits, total int
+		env.Go("c", func(p *sim.Proc) {
+			c := cl.NewClient(p)
+			for i := 0; i < 6000; i++ {
+				k := (i / 4) % 300 // working set ~300 with recency structure
+				kb := key(k)
+				if _, ok := c.Get(kb); ok {
+					hits++
+				} else {
+					c.Set(kb, value(k))
+				}
+				total++
+			}
+		})
+		env.Run()
+		return float64(hits) / float64(total)
+	}
+	k1, k16 := run(1), run(16)
+	if k16 < k1 {
+		t.Fatalf("K=16 hit rate %.3f below K=1 %.3f", k16, k1)
+	}
+}

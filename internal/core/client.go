@@ -1,0 +1,432 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"ditto/internal/adaptive"
+	"ditto/internal/cachealgo"
+	"ditto/internal/fccache"
+	"ditto/internal/hashtable"
+	"ditto/internal/history"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+// getRetries bounds re-reads when a stale pointer is observed under
+// concurrent updates.
+const getRetries = 3
+
+// evictAttempts bounds resampling before giving up on one eviction round
+// (generous: under heavy multi-client thrash, CAS losses burn attempts).
+const evictAttempts = 512
+
+// Stats are per-client operation counters.
+type Stats struct {
+	Gets, Sets, Deletes int64
+	Hits, Misses        int64
+	Evictions           int64
+	Regrets             int64
+	SetRetries          int64
+	BucketEvictions     int64
+}
+
+// HitRate returns Hits/(Hits+Misses).
+func (s *Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Client is one Ditto client: the library instance an application links
+// against on a compute node. It must run inside its own sim process.
+type Client struct {
+	cl    *Cluster
+	p     *sim.Proc
+	ep    *rdma.Endpoint
+	ht    *hashtable.Handle
+	alloc *memnode.Alloc
+	hist  *history.Client
+	adapt *adaptive.Client
+	fc    *fccache.Cache
+
+	experts []cachealgo.Algorithm
+	extOff  []int // offset of each expert's extension segment
+
+	// Stats accumulates this client's counters.
+	Stats Stats
+
+	// OnOp, when non-nil, observes every completed Get/Set with its
+	// virtual-time latency; benchmark harnesses install collectors here.
+	OnOp func(op OpKind, latency int64, hit bool)
+}
+
+// OpKind labels operations for OnOp.
+type OpKind int
+
+// Operation kinds reported to OnOp.
+const (
+	OpGet OpKind = iota
+	OpSet
+)
+
+// NewClient creates a Ditto client for process p. Each application thread
+// gets its own client, matching the paper's one-client-per-core model.
+func (cl *Cluster) NewClient(p *sim.Proc) *Client {
+	ep := rdma.NewEndpoint(cl.MN.Node, p)
+	c := &Client{
+		cl:    cl,
+		p:     p,
+		ep:    ep,
+		ht:    hashtable.NewHandle(cl.Layout, ep),
+		alloc: memnode.NewAlloc(cl.MN, ep),
+		hist:  history.NewClient(ep, hashtable.NewHandle(cl.Layout, ep), cl.histSize),
+	}
+	off := 0
+	for _, name := range cl.opts.Experts {
+		a, err := cachealgo.New(name)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		c.experts = append(c.experts, a)
+		c.extOff = append(c.extOff, off)
+		off += a.ExtSize()
+	}
+	if cl.Adaptive() {
+		c.adapt = adaptive.NewClient(adaptive.Config{
+			NumExperts:   len(c.experts),
+			LearningRate: cl.opts.LearningRate,
+			HistorySize:  cl.histSize,
+			BatchSize:    cl.opts.BatchSize,
+			Eager:        cl.opts.EagerWeightSync,
+		}, ep)
+	}
+	c.fc = fccache.New(cl.opts.FCCacheBytes, cl.opts.FCThreshold, c.ht.FAAFreqAsync)
+	return c
+}
+
+// Weights exposes the client's local expert weights (nil when adaptive
+// caching is off).
+func (c *Client) Weights() adaptive.Weights {
+	if c.adapt == nil {
+		return nil
+	}
+	return c.adapt.Weights()
+}
+
+// Proc returns the owning sim process.
+func (c *Client) Proc() *sim.Proc { return c.p }
+
+// Close flushes client-side buffered state (FC cache deltas, pending
+// weight penalties).
+func (c *Client) Close() {
+	c.fc.FlushAll()
+	if c.adapt != nil {
+		c.adapt.Sync()
+	}
+}
+
+// ----------------------------------------------------------------- Get ----
+
+// Get fetches the value cached under key, returning ok=false on a miss.
+// Critical path: one READ of the key's bucket plus one READ of the object
+// (a second bucket READ only on overflow), with metadata maintenance off
+// the critical path (§4.1).
+func (c *Client) Get(key []byte) ([]byte, bool) {
+	start := c.p.Now()
+	c.Stats.Gets++
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	buckets := [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}
+
+	var histMatches []hashtable.Slot
+	for attempt := 0; attempt < getRetries; attempt++ {
+		stale := false
+		histMatches = histMatches[:0]
+		for _, b := range buckets {
+			slots := c.ht.ReadBucket(b)
+			for _, s := range slots {
+				switch {
+				case s.Atomic.IsEmpty():
+				case s.Atomic.IsHistory():
+					if s.Hash == kh {
+						histMatches = append(histMatches, s)
+					}
+				case s.Atomic.FP() == fp:
+					obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+					dec := decodeObject(obj)
+					if !dec.ok {
+						stale = true
+						continue
+					}
+					if !bytes.Equal(dec.key, key) {
+						continue // fingerprint collision
+					}
+					c.touchOnHit(s, dec, len(key))
+					c.Stats.Hits++
+					val := append([]byte(nil), dec.value...)
+					c.report(OpGet, start, true)
+					return val, true
+				}
+			}
+		}
+		if !stale {
+			break
+		}
+	}
+
+	c.Stats.Misses++
+	if c.adapt != nil {
+		c.collectRegrets(histMatches)
+		if c.cl.opts.DisableLWH {
+			// Conventional design: a separate remote hash index over the
+			// history must be probed on every miss.
+			c.ep.Read(memnode.HistCounterAddr, 8)
+		}
+	}
+	c.report(OpGet, start, false)
+	return nil, false
+}
+
+// touchOnHit applies the framework's metadata maintenance after a hit:
+// the stateful freq through the FC cache (combined RDMA_FAA), the
+// stateless last_ts with one asynchronous RDMA_WRITE, and any expert
+// extension metadata with one more asynchronous RDMA_WRITE to the object.
+func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
+	now := c.p.Now()
+	c.fc.Add(s.Addr, keyLen)
+	c.ht.TouchLastTs(s.Addr, now)
+	if c.cl.opts.DisableSFHT {
+		// Metadata scattered with the object: stateless fields cannot be
+		// grouped into a single WRITE.
+		c.ep.WriteAsync(s.Atomic.Pointer(), make([]byte, 8))
+	}
+	if len(dec.ext) > 0 {
+		meta := cachealgo.Metadata{
+			Size:     int(s.Atomic.SizeBlocks()) * memnode.BlockSize,
+			InsertTs: s.InsertTs,
+			LastTs:   s.LastTs,
+			Freq:     s.Freq + 1 + c.fc.PendingDelta(s.Addr),
+		}
+		for i, a := range c.experts {
+			n := a.ExtSize()
+			if n == 0 {
+				continue
+			}
+			meta.Ext = dec.ext[c.extOff[i] : c.extOff[i]+n]
+			a.UpdateExt(&meta, now)
+		}
+		c.ep.WriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
+	}
+}
+
+// collectRegrets penalizes experts recorded in valid history entries for
+// the missed key (§4.3.1 "Regret collection"), then consumes the entries.
+func (c *Client) collectRegrets(matches []hashtable.Slot) {
+	if len(matches) == 0 {
+		return
+	}
+	// One cheap counter refresh per miss-with-candidates keeps expiry
+	// checks honest for get-dominated clients.
+	c.hist.RefreshCounter()
+	for _, s := range matches {
+		bitmap, age, ok := c.hist.Match(s, s.Hash)
+		if !ok {
+			continue
+		}
+		c.adapt.Penalize(bitmap, age)
+		c.Stats.Regrets++
+		c.hist.ClearHash(s.Addr)
+	}
+}
+
+// ----------------------------------------------------------------- Set ----
+
+// Set inserts or updates key. Critical path for an insert: one READ
+// (bucket search), one WRITE (object to a free location) and one CAS
+// (publish the pointer) — §4.1 — plus eviction work only when the memory
+// pool is full.
+func (c *Client) Set(key, value []byte) {
+	start := c.p.Now()
+	c.Stats.Sets++
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	size := objBytes(len(key), len(value), c.cl.totalExt)
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.Stats.SetRetries++
+			// Hot keys attract concurrent out-of-place updates; the CAS
+			// loser backs off briefly (like the paper's lock back-off) so
+			// contenders don't stay lock-stepped.
+			c.p.Sleep(c.p.Rand().Int63n(2 * sim.Microsecond))
+		}
+		if attempt > 4096 {
+			panic("core: Set could not make progress (table misconfigured?)")
+		}
+		if c.trySet(kh, fp, key, value, size) {
+			c.report(OpSet, start, true)
+			return
+		}
+	}
+}
+
+// trySet performs one attempt; false means a CAS race or full bucket was
+// handled and the caller should retry.
+func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
+	now := c.p.Now()
+	main := c.cl.Layout.MainBucket(kh)
+	backup := c.cl.Layout.BackupBucket(kh)
+
+	var free *hashtable.Slot
+	var fullSlots []hashtable.Slot
+	for _, b := range [2]int{main, backup} {
+		slots := c.ht.ReadBucket(b)
+		for i := range slots {
+			s := slots[i]
+			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+				continue
+			}
+			if s.Atomic.FP() != fp {
+				continue
+			}
+			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			dec := decodeObject(obj)
+			if dec.ok && bytes.Equal(dec.key, key) {
+				return c.updateInPlace(s, dec, key, value, size, now)
+			}
+		}
+		if free == nil {
+			for i := range slots {
+				if c.hist.Reclaimable(slots[i]) {
+					free = &slots[i]
+					break
+				}
+			}
+		}
+		fullSlots = append(fullSlots, slots...)
+		if free != nil {
+			break // insert into the main bucket when possible
+		}
+	}
+
+	if free == nil {
+		// Both buckets full of live objects and valid history entries:
+		// evict the lowest-priority live object from the key's buckets
+		// directly (slot reclaimed immediately; no history entry for this
+		// corner case — see DESIGN.md §6). If the buckets hold no live
+		// object at all (all history), sacrifice the oldest history entry.
+		if !c.bucketEvict(fullSlots) {
+			c.reclaimOldestHistory(fullSlots)
+		}
+		return false // retry with a freed slot
+	}
+
+	addr, ok := c.alloc.Alloc(size)
+	for !ok {
+		if !c.evictOne() {
+			panic("core: memory pool exhausted and nothing evictable")
+		}
+		addr, ok = c.alloc.Alloc(size)
+	}
+
+	ext := c.initExts(size, now)
+	c.ep.Write(addr, encodeObject(key, value, ext))
+	want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
+	if _, swapped := c.ht.CASAtomic(free.Addr, free.Atomic, want); !swapped {
+		c.alloc.Free(addr, size)
+		return false
+	}
+	c.fc.Forget(free.Addr)
+	c.ht.WriteMetaOnInsert(free.Addr, kh, now, now, 1)
+	return true
+}
+
+// updateInPlace implements the UPDATE flavour of Set: write the new value
+// to a fresh block and CAS the slot's pointer (out-of-place update, as in
+// RACE hashing).
+func (c *Client) updateInPlace(s hashtable.Slot, old decodedObject, key, value []byte, size int, now int64) bool {
+	addr, ok := c.alloc.Alloc(size)
+	for !ok {
+		if !c.evictOne() {
+			panic("core: memory pool exhausted and nothing evictable")
+		}
+		addr, ok = c.alloc.Alloc(size)
+	}
+	ext := make([]byte, c.cl.totalExt)
+	copy(ext, old.ext)
+	meta := cachealgo.Metadata{
+		Size:     hashtable.SizeClassBytes(size),
+		InsertTs: s.InsertTs,
+		LastTs:   s.LastTs,
+		Freq:     s.Freq + 1,
+	}
+	for i, a := range c.experts {
+		if n := a.ExtSize(); n > 0 {
+			meta.Ext = ext[c.extOff[i] : c.extOff[i]+n]
+			a.UpdateExt(&meta, now)
+		}
+	}
+	c.ep.Write(addr, encodeObject(key, value, ext))
+	want := hashtable.EncodeAtomic(s.Atomic.FP(), hashtable.SizeToBlocks(size), addr)
+	if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, want); !swapped {
+		c.alloc.Free(addr, size)
+		return false
+	}
+	c.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+	c.fc.Add(s.Addr, len(key))
+	c.ht.TouchLastTs(s.Addr, now)
+	return true
+}
+
+// initExts builds the initial extension metadata for a new object.
+func (c *Client) initExts(size int, now int64) []byte {
+	if c.cl.totalExt == 0 {
+		return nil
+	}
+	ext := make([]byte, c.cl.totalExt)
+	meta := cachealgo.Metadata{
+		Size:     hashtable.SizeClassBytes(size),
+		InsertTs: now,
+		LastTs:   now,
+		Freq:     1,
+	}
+	for i, a := range c.experts {
+		if n := a.ExtSize(); n > 0 {
+			meta.Ext = ext[c.extOff[i] : c.extOff[i]+n]
+			a.InitExt(&meta, now)
+		}
+	}
+	return ext
+}
+
+// -------------------------------------------------------------- Delete ----
+
+// Delete removes key from the cache, reporting whether it was present.
+func (c *Client) Delete(key []byte) bool {
+	c.Stats.Deletes++
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	for _, b := range [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)} {
+		for _, s := range c.ht.ReadBucket(b) {
+			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
+				continue
+			}
+			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			dec := decodeObject(obj)
+			if !dec.ok || !bytes.Equal(dec.key, key) {
+				continue
+			}
+			if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
+				c.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				c.fc.Forget(s.Addr)
+				return true
+			}
+			return false // lost a race; treat as deleted by someone else
+		}
+	}
+	return false
+}

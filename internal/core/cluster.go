@@ -1,0 +1,205 @@
+// Package core implements Ditto itself: the client-centric caching
+// framework (§4.2) and distributed adaptive caching (§4.3) over the
+// simulated disaggregated-memory substrate.
+//
+// A Cluster owns the memory node, hash-table layout and controller-side
+// adaptive state; each client (one per sim process) executes Get/Set/
+// Delete entirely with one-sided verbs:
+//
+//	Get: 1 READ (bucket) + 1 READ (object) + async metadata update
+//	Set: 1 READ (bucket) + 1 WRITE (object) + 1 CAS (slot) + async metadata
+//	Evict: 1 READ (sample) [+ ext READs] + 1 FAA (history ID) +
+//	       1 CAS (slot→history) + async bitmap WRITE
+//
+// matching §4.1's operation descriptions and the verb budgets asserted in
+// the tests.
+package core
+
+import (
+	"fmt"
+
+	"ditto/internal/adaptive"
+	"ditto/internal/cachealgo"
+	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+// Options configures a Ditto cluster. The zero value is not usable; use
+// DefaultOptions and override.
+type Options struct {
+	// ExpectedObjects sizes the hash table (slots ≈ 2.5× objects, so live
+	// slots and unexpired history entries coexist) and the default history
+	// capacity.
+	ExpectedObjects int
+	// CacheBytes is the object heap budget: the memory resource of the
+	// cache. Evictions begin when it is exhausted.
+	CacheBytes int
+	// Experts names the caching algorithms run simultaneously as adaptive
+	// experts. One entry disables adaptive caching (no history, no
+	// regrets) — that is the Ditto-LRU / Ditto-LFU configuration.
+	Experts []string
+	// SampleK is the eviction sample size (paper default 5, from Redis).
+	SampleK int
+	// HistorySize overrides the eviction-history capacity (default:
+	// ExpectedObjects, following LeCaR).
+	HistorySize int
+	// FCCacheBytes sizes the client-side frequency-counter cache (paper
+	// default 10 MB; 0 disables write combining).
+	FCCacheBytes int
+	// FCThreshold is the combining threshold t (paper default 10).
+	FCThreshold uint64
+	// LearningRate is the regret-minimization λ (paper default 0.1).
+	LearningRate float64
+	// BatchSize is the lazy-weight-update batch (paper default 100).
+	BatchSize int
+	// SlotsPerBucket sets bucket associativity.
+	SlotsPerBucket int
+	// MaxCacheBytes reserves registered memory for future GrowCache calls
+	// beyond the default slack (elasticity experiments).
+	MaxCacheBytes int
+	// Fabric is the timing model.
+	Fabric rdma.Config
+
+	// Ablation switches (Figure 24):
+	// DisableSFHT models storing access metadata with objects instead of
+	// hash-table slots: sampling needs one extra READ per candidate and
+	// stateless metadata can no longer be grouped into one WRITE.
+	DisableSFHT bool
+	// DisableLWH models a conventional remote FIFO history: extra verbs on
+	// every history insert and an extra indexed lookup per miss.
+	DisableLWH bool
+	// EagerWeightSync disables the lazy weight update (one RPC per regret).
+	EagerWeightSync bool
+}
+
+// DefaultOptions returns the paper's default parameterization for a cache
+// of the given expected object count and byte budget.
+func DefaultOptions(expectedObjects, cacheBytes int) Options {
+	return Options{
+		ExpectedObjects: expectedObjects,
+		CacheBytes:      cacheBytes,
+		Experts:         []string{"LRU", "LFU"},
+		SampleK:         5,
+		FCCacheBytes:    10 << 20,
+		FCThreshold:     10,
+		LearningRate:    0.1,
+		BatchSize:       100,
+		SlotsPerBucket:  hashtable.DefaultSlotsPerBucket,
+		Fabric:          rdma.DefaultConfig(),
+	}
+}
+
+// Cluster is a Ditto deployment: one memory pool plus shared configuration
+// for any number of clients in the compute pool.
+type Cluster struct {
+	Env    *sim.Env
+	MN     *memnode.MemNode
+	Layout hashtable.Layout
+	opts   Options
+
+	// WeightSvc is the controller-side adaptive state (nil when a single
+	// expert is configured).
+	WeightSvc *adaptive.Service
+
+	histSize int
+	extSizes []int // per-expert extension bytes (from a prototype instance)
+	totalExt int
+}
+
+// NewCluster builds the memory pool, places the hash table and registers
+// controller services.
+func NewCluster(env *sim.Env, opts Options) *Cluster {
+	if opts.ExpectedObjects <= 0 {
+		panic("core: ExpectedObjects must be positive")
+	}
+	if opts.CacheBytes <= 0 {
+		panic("core: CacheBytes must be positive")
+	}
+	if len(opts.Experts) == 0 {
+		opts.Experts = []string{"LRU", "LFU"}
+	}
+	if len(opts.Experts) > 32 {
+		panic("core: at most 32 experts (expert bitmap is 32-bit in a 64-bit field)")
+	}
+	if opts.SampleK <= 0 {
+		opts.SampleK = 5
+	}
+	if opts.SlotsPerBucket <= 0 {
+		opts.SlotsPerBucket = hashtable.DefaultSlotsPerBucket
+	}
+	if opts.FCThreshold == 0 {
+		opts.FCThreshold = 10
+	}
+
+	slots := opts.ExpectedObjects * 5 / 2
+	buckets := (slots + opts.SlotsPerBucket - 1) / opts.SlotsPerBucket
+	if buckets < 4 {
+		buckets = 4
+	}
+	tblCfg := hashtable.Config{Buckets: buckets, SlotsPerBucket: opts.SlotsPerBucket}
+
+	// Segments must be small relative to the heap so capacity is granular
+	// and many clients can hold private segments without exhausting the
+	// pool; clamp between 512 B and the 64 KB default.
+	seg := opts.CacheBytes / 64 / memnode.BlockSize * memnode.BlockSize
+	if seg > memnode.DefaultSegmentSize {
+		seg = memnode.DefaultSegmentSize
+	}
+	if seg < 8*memnode.BlockSize {
+		seg = 8 * memnode.BlockSize
+	}
+
+	// Registered region: header + table + requested heap + generous slack
+	// so elasticity experiments can grow the heap later.
+	slack := opts.CacheBytes * 3
+	if opts.MaxCacheBytes > 0 && opts.MaxCacheBytes+opts.CacheBytes > slack {
+		slack = opts.MaxCacheBytes + opts.CacheBytes
+	}
+	memBytes := 64 + tblCfg.Bytes() + slack + seg*4
+	mn := memnode.New(env, memnode.Config{MemBytes: memBytes, SegmentSize: seg, Fabric: opts.Fabric})
+	base := mn.PlaceTable(tblCfg.Bytes())
+	mn.SetHeapLimit(opts.CacheBytes)
+
+	cl := &Cluster{
+		Env:    env,
+		MN:     mn,
+		Layout: hashtable.Layout{Config: tblCfg, Base: base},
+		opts:   opts,
+	}
+
+	cl.histSize = opts.HistorySize
+	if cl.histSize <= 0 {
+		cl.histSize = opts.ExpectedObjects
+	}
+
+	for _, name := range opts.Experts {
+		proto, err := cachealgo.New(name)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		cl.extSizes = append(cl.extSizes, proto.ExtSize())
+		cl.totalExt += proto.ExtSize()
+	}
+
+	if cl.Adaptive() {
+		cl.WeightSvc = adaptive.RegisterService(mn.Node, len(opts.Experts))
+	}
+	return cl
+}
+
+// Adaptive reports whether distributed adaptive caching is active (more
+// than one expert).
+func (cl *Cluster) Adaptive() bool { return len(cl.opts.Experts) > 1 }
+
+// Options returns the cluster's configuration.
+func (cl *Cluster) Options() Options { return cl.opts }
+
+// HistorySize returns the logical FIFO history capacity.
+func (cl *Cluster) HistorySize() int { return cl.histSize }
+
+// GrowCache raises the cache's memory budget by bytes at runtime — the
+// "add memory" elasticity knob of Figure 13/22: no data migration, the new
+// space is simply allocatable by every client.
+func (cl *Cluster) GrowCache(bytes int) { cl.MN.GrowHeap(bytes) }

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"ditto/internal/cachealgo"
+	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+)
+
+// candidate pairs a sampled slot with the metadata view the priority
+// functions consume.
+type candidate struct {
+	slot hashtable.Slot
+	meta cachealgo.Metadata
+}
+
+// evictOne performs one sample-based eviction (§4.2): sample K slots with
+// one READ, let every expert nominate its lowest-priority candidate, pick
+// the deciding expert by weight, evict its nominee, and (when adaptive)
+// convert the victim's slot into a lightweight history entry.
+//
+// It returns false when no object could be evicted after bounded
+// resampling (e.g. an empty cache).
+func (c *Client) evictOne() bool {
+	k := c.cl.opts.SampleK
+	n := c.cl.Layout.NumSlots()
+	// The paper samples K OBJECTS; slots also hold empty entries and
+	// history entries, so one READ covers enough consecutive slots that K
+	// live objects are expected at the table's design load factor.
+	window := k * (n/c.cl.opts.ExpectedObjects + 1)
+	if window > n {
+		window = n
+	}
+	for attempt := 0; attempt < evictAttempts; attempt++ {
+		start := c.p.Rand().Intn(n)
+		slots := c.ht.Sample(start, window)
+		cands := c.buildCandidates(slots)
+		if len(cands) == 0 {
+			continue
+		}
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+
+		now := c.p.Now()
+		// Each expert nominates its minimum-priority candidate.
+		nominee := make([]int, len(c.experts))
+		prio := make([]float64, len(c.experts))
+		for e, a := range c.experts {
+			best, bestP := -1, 0.0
+			for i := range cands {
+				m := cands[i].meta
+				if off := c.extOff[e]; a.ExtSize() > 0 {
+					m.Ext = cands[i].meta.Ext[off : off+a.ExtSize()]
+				}
+				p := a.Priority(&m, now)
+				if best < 0 || p < bestP {
+					best, bestP = i, p
+				}
+			}
+			nominee[e], prio[e] = best, bestP
+		}
+
+		deciding := 0
+		if c.adapt != nil {
+			deciding = c.adapt.PickExpert(c.p.Rand())
+		}
+		victim := cands[nominee[deciding]]
+
+		// Expert bitmap: every expert whose nominee is this victim shares
+		// the blame if the eviction turns out to be a regret.
+		var bitmap uint64
+		for e := range c.experts {
+			if cands[nominee[e]].slot.Addr == victim.slot.Addr {
+				bitmap |= 1 << uint(e)
+			}
+		}
+
+		var won bool
+		if c.adapt != nil {
+			_, won = c.hist.Insert(victim.slot, bitmap)
+			if won && c.cl.opts.DisableLWH {
+				// Conventional remote FIFO history: enqueue into an actual
+				// remote queue (FAA tail + entry WRITE) instead of reusing
+				// the slot in place.
+				c.ep.FAA(memnode.HistCounterAddr+8, 1)
+				c.ep.Write(memnode.HistCounterAddr+16, make([]byte, 40))
+			}
+		} else {
+			_, won = c.ht.CASAtomic(victim.slot.Addr, victim.slot.Atomic, 0)
+		}
+		if !won {
+			continue // raced with another client; resample
+		}
+
+		for e, a := range c.experts {
+			if bitmap&(1<<uint(e)) == 0 {
+				continue
+			}
+			if obs, ok := a.(cachealgo.EvictionObserver); ok {
+				obs.OnEvict(prio[e])
+			}
+		}
+		c.alloc.Free(victim.slot.Atomic.Pointer(),
+			int(victim.slot.Atomic.SizeBlocks())*memnode.BlockSize)
+		c.fc.Forget(victim.slot.Addr)
+		c.Stats.Evictions++
+		return true
+	}
+	return false
+}
+
+// buildCandidates filters a sample down to live object slots and attaches
+// metadata. With the sample-friendly hash table all default metadata
+// arrived with the sample READ; extension metadata (or, under the
+// DisableSFHT ablation, all metadata) costs one more READ per candidate.
+func (c *Client) buildCandidates(slots []hashtable.Slot) []candidate {
+	cands := make([]candidate, 0, len(slots))
+	for _, s := range slots {
+		if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+			continue
+		}
+		meta := cachealgo.Metadata{
+			Size:     int(s.Atomic.SizeBlocks()) * memnode.BlockSize,
+			InsertTs: s.InsertTs,
+			LastTs:   s.LastTs,
+			Freq:     s.Freq + c.fc.PendingDelta(s.Addr),
+		}
+		switch {
+		case c.cl.opts.DisableSFHT:
+			// Metadata stored with objects: every candidate costs a READ.
+			raw := c.ep.Read(s.Atomic.Pointer(), objHeader+c.cl.totalExt)
+			if c.cl.totalExt > 0 {
+				meta.Ext = raw[objHeader:]
+			}
+		case c.cl.totalExt > 0:
+			meta.Ext = c.ep.Read(s.Atomic.Pointer()+objHeader, c.cl.totalExt)
+		}
+		cands = append(cands, candidate{slot: s, meta: meta})
+	}
+	return cands
+}
+
+// bucketEvict frees a slot in the key's own buckets when both are full of
+// live objects and valid history entries: the deciding expert's
+// lowest-priority live object is deleted outright (slot reclaimed
+// immediately). Rare by construction (the table is oversized), counted in
+// Stats.BucketEvictions.
+func (c *Client) bucketEvict(slots []hashtable.Slot) bool {
+	cands := c.buildCandidates(slots)
+	if len(cands) == 0 {
+		return false
+	}
+	deciding := 0
+	if c.adapt != nil {
+		deciding = c.adapt.PickExpert(c.p.Rand())
+	}
+	a := c.experts[deciding]
+	now := c.p.Now()
+	best, bestP := -1, 0.0
+	for i := range cands {
+		m := cands[i].meta
+		if off := c.extOff[deciding]; a.ExtSize() > 0 {
+			m.Ext = cands[i].meta.Ext[off : off+a.ExtSize()]
+		}
+		p := a.Priority(&m, now)
+		if best < 0 || p < bestP {
+			best, bestP = i, p
+		}
+	}
+	victim := cands[best]
+	if _, won := c.ht.CASAtomic(victim.slot.Addr, victim.slot.Atomic, 0); !won {
+		return false
+	}
+	if obs, ok := a.(cachealgo.EvictionObserver); ok {
+		obs.OnEvict(bestP)
+	}
+	c.alloc.Free(victim.slot.Atomic.Pointer(),
+		int(victim.slot.Atomic.SizeBlocks())*memnode.BlockSize)
+	c.fc.Forget(victim.slot.Addr)
+	c.Stats.Evictions++
+	c.Stats.BucketEvictions++
+	return true
+}
+
+// reclaimOldestHistory frees the bucket-local history entry closest to
+// expiry so an insert can proceed when a bucket is saturated with valid
+// history entries (shortening the logical FIFO for those entries only).
+func (c *Client) reclaimOldestHistory(slots []hashtable.Slot) {
+	best := -1
+	var bestAge uint64
+	for i, s := range slots {
+		if !s.Atomic.IsHistory() {
+			continue
+		}
+		if age := c.hist.Age(s.Atomic.Pointer()); best < 0 || age > bestAge {
+			best, bestAge = i, age
+		}
+	}
+	if best >= 0 {
+		c.ht.CASAtomic(slots[best].Addr, slots[best].Atomic, 0)
+	}
+}
+
+// report delivers an operation sample to the installed observer.
+func (c *Client) report(op OpKind, start int64, hit bool) {
+	if c.OnOp != nil {
+		c.OnOp(op, c.p.Now()-start, hit)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"ditto/internal/hashtable"
+	"ditto/internal/sim"
+)
+
+// MultiCluster is a Ditto deployment over several memory nodes. The paper
+// evaluates with one MN but notes Ditto "is compatible with memory pools
+// with multiple MNs as long as the memory pool offers the required
+// interfaces" (§5.1): keys are hash-partitioned across MNs, each MN hosts
+// its own table shard, heap, history counter and controller. Compute-side
+// elasticity is unchanged; memory elasticity gains a second axis (grow one
+// MN, or add MNs at a reshard boundary).
+//
+// Adaptive state is kept per MN: each MN's controller aggregates the
+// weights for the keys it hosts. Access patterns are hash-split, so the
+// per-MN mixes converge to the global mix.
+type MultiCluster struct {
+	Env      *sim.Env
+	clusters []*Cluster
+}
+
+// NewMultiCluster creates n memory nodes, each provisioned with opts
+// scaled down by n (objects and bytes split evenly).
+func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
+	if n < 1 {
+		panic("core: need at least one memory node")
+	}
+	per := opts
+	per.ExpectedObjects = (opts.ExpectedObjects + n - 1) / n
+	per.CacheBytes = (opts.CacheBytes + n - 1) / n
+	if per.MaxCacheBytes > 0 {
+		per.MaxCacheBytes = (opts.MaxCacheBytes + n - 1) / n
+	}
+	mc := &MultiCluster{Env: env}
+	for i := 0; i < n; i++ {
+		mc.clusters = append(mc.clusters, NewCluster(env, per))
+	}
+	return mc
+}
+
+// NumNodes returns the memory-node count.
+func (mc *MultiCluster) NumNodes() int { return len(mc.clusters) }
+
+// Node returns the i-th memory node's cluster view (for resource knobs and
+// stats).
+func (mc *MultiCluster) Node(i int) *Cluster { return mc.clusters[i] }
+
+// GrowCache grows every MN's heap by bytes/n — memory elasticity across
+// the pool.
+func (mc *MultiCluster) GrowCache(bytes int) {
+	per := (bytes + len(mc.clusters) - 1) / len(mc.clusters)
+	for _, cl := range mc.clusters {
+		cl.GrowCache(per)
+	}
+}
+
+// MultiClient routes operations to the MN owning each key.
+type MultiClient struct {
+	mc      *MultiCluster
+	clients []*Client
+}
+
+// NewClient connects process p to every memory node.
+func (mc *MultiCluster) NewClient(p *sim.Proc) *MultiClient {
+	m := &MultiClient{mc: mc}
+	for _, cl := range mc.clusters {
+		m.clients = append(m.clients, cl.NewClient(p))
+	}
+	return m
+}
+
+// route picks the owning MN for a key. The key hash is remixed
+// (Fibonacci multiplier, high bits) so MN choice is independent of the
+// bucket choice within the MN — FNV's high bits alone are too regular for
+// short keys.
+func (m *MultiClient) route(key []byte) *Client {
+	h := hashtable.KeyHash(key) * 0x9E3779B97F4A7C15
+	return m.clients[int((h>>33)%uint64(len(m.clients)))]
+}
+
+// Get fetches key from its owning MN.
+func (m *MultiClient) Get(key []byte) ([]byte, bool) { return m.route(key).Get(key) }
+
+// Set stores key on its owning MN.
+func (m *MultiClient) Set(key, value []byte) { m.route(key).Set(key, value) }
+
+// Delete removes key from its owning MN.
+func (m *MultiClient) Delete(key []byte) bool { return m.route(key).Delete(key) }
+
+// Close flushes buffered client state on every MN.
+func (m *MultiClient) Close() {
+	for _, c := range m.clients {
+		c.Close()
+	}
+}
+
+// Stats aggregates per-MN client stats.
+func (m *MultiClient) Stats() Stats {
+	var s Stats
+	for _, c := range m.clients {
+		s.Gets += c.Stats.Gets
+		s.Sets += c.Stats.Sets
+		s.Deletes += c.Stats.Deletes
+		s.Hits += c.Stats.Hits
+		s.Misses += c.Stats.Misses
+		s.Evictions += c.Stats.Evictions
+		s.Regrets += c.Stats.Regrets
+		s.SetRetries += c.Stats.SetRetries
+		s.BucketEvictions += c.Stats.BucketEvictions
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestMultiClusterRoundTrip(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 4, DefaultOptions(1000, 1000*320))
+	if mc.NumNodes() != 4 {
+		t.Fatalf("nodes = %d", mc.NumNodes())
+	}
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < 200; i++ {
+			c.Set(key(i), value(i))
+		}
+		for i := 0; i < 200; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d lost across MNs", i)
+			}
+		}
+		if !c.Delete(key(7)) {
+			t.Fatal("delete failed")
+		}
+		if _, ok := c.Get(key(7)); ok {
+			t.Fatal("deleted key readable")
+		}
+		c.Close()
+		s := c.Stats()
+		if s.Gets != 201 || s.Sets != 200 {
+			t.Fatalf("stats = %+v", s)
+		}
+	})
+	env.Run()
+}
+
+func TestMultiClusterSpreadsKeys(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 4, DefaultOptions(2000, 2000*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < 400; i++ {
+			c.Set(key(i), value(i))
+		}
+	})
+	env.Run()
+	// Every MN must hold a reasonable share.
+	for i := 0; i < 4; i++ {
+		used := mc.Node(i).MN.UsedBytes
+		if used == 0 {
+			t.Fatalf("MN %d holds nothing", i)
+		}
+	}
+}
+
+func TestMultiClusterRoutingStable(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 3, DefaultOptions(300, 300*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		// A key written through one client must be readable through another
+		// (same routing function).
+		c.Set([]byte("stable"), []byte("v"))
+		c2 := mc.NewClient(p)
+		if _, ok := c2.Get([]byte("stable")); !ok {
+			t.Error("routing not stable across clients")
+		}
+	})
+	env.Run()
+}
+
+func TestMultiClusterEvictsIndependently(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 2, DefaultOptions(100, 100*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < 800; i++ {
+			c.Set(key(i), value(i))
+		}
+		if s := c.Stats(); s.Evictions == 0 {
+			t.Error("no evictions at 8x capacity")
+		}
+	})
+	env.Run()
+	for i := 0; i < 2; i++ {
+		cl := mc.Node(i)
+		if cl.MN.UsedBytes > cl.Options().CacheBytes {
+			t.Fatalf("MN %d over capacity", i)
+		}
+	}
+}
+
+func TestMultiClusterGrowCache(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 2, DefaultOptions(100, 64000))
+	before := mc.Node(0).MN.HeapBytes() + mc.Node(1).MN.HeapBytes()
+	mc.GrowCache(32000)
+	after := mc.Node(0).MN.HeapBytes() + mc.Node(1).MN.HeapBytes()
+	if after-before < 32000 {
+		t.Fatalf("grew %d, want >= 32000", after-before)
+	}
+}
+
+func TestMultiClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero nodes")
+		}
+	}()
+	NewMultiCluster(sim.NewEnv(1), 0, DefaultOptions(100, 1<<20))
+}

@@ -1,0 +1,58 @@
+package core
+
+import "encoding/binary"
+
+// Object block layout in the heap. The extension metadata lives directly
+// after the fixed header so eviction can fetch slots' extensions with a
+// single fixed-size READ per candidate without knowing key lengths
+// (§4.4, "Metadata extensions"):
+//
+//	offset 0  keyLen (2 B) | valLen (4 B) | extLen (2 B)
+//	offset 8  extension metadata (extLen bytes, experts' segments in order)
+//	then      key, then value
+const objHeader = 8
+
+// objBytes returns the exact byte size of an encoded object.
+func objBytes(keyLen, valLen, extLen int) int {
+	return objHeader + extLen + keyLen + valLen
+}
+
+// encodeObject serializes an object block.
+func encodeObject(key, value, ext []byte) []byte {
+	buf := make([]byte, objBytes(len(key), len(value), len(ext)))
+	binary.LittleEndian.PutUint16(buf[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint32(buf[2:], uint32(len(value)))
+	binary.LittleEndian.PutUint16(buf[6:], uint16(len(ext)))
+	copy(buf[objHeader:], ext)
+	copy(buf[objHeader+len(ext):], key)
+	copy(buf[objHeader+len(ext)+len(key):], value)
+	return buf
+}
+
+// decodedObject is a parsed object block.
+type decodedObject struct {
+	key   []byte
+	value []byte
+	ext   []byte
+	ok    bool
+}
+
+// decodeObject parses an object block image; ok=false when the image is
+// malformed (e.g. a stale pointer led us to reused memory).
+func decodeObject(buf []byte) decodedObject {
+	if len(buf) < objHeader {
+		return decodedObject{}
+	}
+	kl := int(binary.LittleEndian.Uint16(buf[0:]))
+	vl := int(binary.LittleEndian.Uint32(buf[2:]))
+	el := int(binary.LittleEndian.Uint16(buf[6:]))
+	if objHeader+el+kl+vl > len(buf) {
+		return decodedObject{}
+	}
+	return decodedObject{
+		ext:   buf[objHeader : objHeader+el],
+		key:   buf[objHeader+el : objHeader+el+kl],
+		value: buf[objHeader+el+kl : objHeader+el+kl+vl],
+		ok:    true,
+	}
+}

@@ -1,0 +1,79 @@
+// Package fairness implements the cache-sharing extension discussed in
+// §4.4 of the paper: because Ditto clients and applications cooperate on
+// the same compute nodes, a selfish application could free-ride on objects
+// other tenants cached. The paper points to FairRide's *expected delaying*
+// (Pu et al., NSDI'16): serve a hit on another tenant's object only after
+// a delay equivalent to the expected cost of a miss, removing the
+// incentive to free-ride while still sharing the data.
+//
+// The wrapper tags each cached object with the inserting tenant and
+// applies the expected delay (probabilistically, per FairRide's blocking
+// probability) when a different tenant hits it.
+package fairness
+
+import "ditto/internal/core"
+
+// ownerHeader is the tenant tag stored ahead of each value.
+const ownerHeader = 1
+
+// Client wraps a Ditto client with tenant tagging and expected delaying.
+type Client struct {
+	inner  *core.Client
+	tenant byte
+	// MissCost is the expected cost of a miss (virtual ns); the delay
+	// applied to cross-tenant hits.
+	MissCost int64
+	// BlockProb is the probability a cross-tenant hit is delayed
+	// (FairRide's expected delaying uses the sharing probability; 1.0
+	// always delays).
+	BlockProb float64
+
+	// CrossHits counts hits on other tenants' objects; Delayed counts how
+	// many of them were delayed.
+	CrossHits, Delayed int64
+}
+
+// New wraps inner for the given tenant id. missCost is the virtual-time
+// delay equivalent to fetching from backing storage (the paper's 500 µs).
+func New(inner *core.Client, tenant byte, missCost int64) *Client {
+	return &Client{inner: inner, tenant: tenant, MissCost: missCost, BlockProb: 1}
+}
+
+// Inner exposes the wrapped client (stats, weights).
+func (c *Client) Inner() *core.Client { return c.inner }
+
+// Set stores a value tagged with the calling tenant.
+func (c *Client) Set(key, value []byte) {
+	buf := make([]byte, ownerHeader+len(value))
+	buf[0] = c.tenant
+	copy(buf[ownerHeader:], value)
+	c.inner.Set(key, buf)
+}
+
+// Get fetches a value; hits on objects inserted by another tenant are
+// served after the expected miss delay, so caching-as-a-free-rider buys
+// nothing.
+func (c *Client) Get(key []byte) ([]byte, bool) {
+	raw, ok := c.inner.Get(key)
+	if !ok {
+		return nil, false
+	}
+	if len(raw) < ownerHeader {
+		return nil, false
+	}
+	owner, value := raw[0], raw[ownerHeader:]
+	if owner != c.tenant {
+		c.CrossHits++
+		if c.BlockProb >= 1 || c.inner.Proc().Rand().Float64() < c.BlockProb {
+			c.Delayed++
+			c.inner.Proc().Sleep(c.MissCost)
+		}
+	}
+	return value, true
+}
+
+// Delete removes key (any tenant may invalidate; cache semantics).
+func (c *Client) Delete(key []byte) bool { return c.inner.Delete(key) }
+
+// Close flushes the wrapped client.
+func (c *Client) Close() { c.inner.Close() }

@@ -1,0 +1,121 @@
+package fairness
+
+import (
+	"bytes"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+)
+
+const missCost = 500 * sim.Microsecond
+
+func newCluster(env *sim.Env) *core.Cluster {
+	return core.NewCluster(env, core.DefaultOptions(500, 500*320))
+}
+
+func TestOwnTenantHitsAreFast(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("a", func(p *sim.Proc) {
+		a := New(cl.NewClient(p), 1, missCost)
+		a.Set([]byte("k"), []byte("v"))
+		start := p.Now()
+		v, ok := a.Get([]byte("k"))
+		if !ok || !bytes.Equal(v, []byte("v")) {
+			t.Fatalf("got %q ok=%v", v, ok)
+		}
+		if lat := p.Now() - start; lat >= missCost {
+			t.Fatalf("own-tenant hit delayed: %d ns", lat)
+		}
+		if a.CrossHits != 0 {
+			t.Fatal("own hit counted as cross-tenant")
+		}
+	})
+	env.Run()
+}
+
+func TestCrossTenantHitsAreDelayed(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("tenants", func(p *sim.Proc) {
+		a := New(cl.NewClient(p), 1, missCost)
+		b := New(cl.NewClient(p), 2, missCost)
+		a.Set([]byte("shared"), []byte("v"))
+
+		start := p.Now()
+		v, ok := b.Get([]byte("shared"))
+		if !ok || !bytes.Equal(v, []byte("v")) {
+			t.Fatalf("cross-tenant read failed: %q %v", v, ok)
+		}
+		if lat := p.Now() - start; lat < missCost {
+			t.Fatalf("free ride not delayed: %d ns < %d", lat, missCost)
+		}
+		if b.CrossHits != 1 || b.Delayed != 1 {
+			t.Fatalf("counters: %+v", b)
+		}
+	})
+	env.Run()
+}
+
+func TestOwnershipTransfersOnOverwrite(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("tenants", func(p *sim.Proc) {
+		a := New(cl.NewClient(p), 1, missCost)
+		b := New(cl.NewClient(p), 2, missCost)
+		a.Set([]byte("k"), []byte("va"))
+		b.Set([]byte("k"), []byte("vb")) // B now pays for it...
+		start := p.Now()
+		if v, _ := b.Get([]byte("k")); !bytes.Equal(v, []byte("vb")) {
+			t.Fatalf("got %q", v)
+		}
+		if lat := p.Now() - start; lat >= missCost {
+			t.Fatal("owner delayed on own object after overwrite")
+		}
+	})
+	env.Run()
+}
+
+func TestBlockProbZeroDisablesDelaying(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("tenants", func(p *sim.Proc) {
+		a := New(cl.NewClient(p), 1, missCost)
+		b := New(cl.NewClient(p), 2, missCost)
+		b.BlockProb = 0
+		a.Set([]byte("k"), []byte("v"))
+		start := p.Now()
+		b.Get([]byte("k"))
+		if lat := p.Now() - start; lat >= missCost {
+			t.Fatal("delayed despite BlockProb=0")
+		}
+		if b.CrossHits != 1 || b.Delayed != 0 {
+			t.Fatalf("counters: %+v", b)
+		}
+	})
+	env.Run()
+}
+
+func TestFreeRidingBuysNothing(t *testing.T) {
+	// The economic property: a tenant that never inserts sees effective
+	// latency no better than running against storage directly.
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("tenants", func(p *sim.Proc) {
+		owner := New(cl.NewClient(p), 1, missCost)
+		rider := New(cl.NewClient(p), 2, missCost)
+		for i := 0; i < 50; i++ {
+			owner.Set([]byte{byte(i)}, []byte("v"))
+		}
+		start := p.Now()
+		for i := 0; i < 50; i++ {
+			rider.Get([]byte{byte(i)})
+		}
+		perOp := (p.Now() - start) / 50
+		if perOp < missCost {
+			t.Fatalf("free rider got %d ns/op, cheaper than storage %d", perOp, missCost)
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,178 @@
+// Package fccache implements Ditto's client-side frequency-counter (FC)
+// cache (§4.2.2): a write-combining buffer for the RDMA_FAAs that keep the
+// stateful freq counters in the memory pool up to date.
+//
+// Each Get/Set increments an object's freq counter. Issuing one RDMA_FAA
+// per access consumes the RNIC message rate and contends on the RNIC's
+// internal atomic locks, so — like write combining in modern processors —
+// the FC cache buffers per-object deltas and flushes a combined delta with
+// a single RDMA_FAA when either (a) the buffered delta reaches the
+// threshold t, reducing FAAs by up to 1/t, or (b) the cache is full, in
+// which case the entry with the earliest insert time is flushed.
+package fccache
+
+import "container/heap"
+
+// FlushFunc applies a combined delta to the remote counter at addr
+// (typically hashtable.Handle.FAAFreqAsync).
+type FlushFunc func(addr uint64, delta uint64)
+
+// entryOverhead approximates per-entry bookkeeping bytes beyond the object
+// ID (slot address + delta + insert time).
+const entryOverhead = 24
+
+// DefaultMaxLag bounds how many subsequent accesses an entry may buffer
+// before being force-flushed. The paper tracks each entry's insert time
+// "to ensure that the frequency counters in the memory pool do not lag too
+// much" (§4.2.2); without this bound, mid-frequency objects would look
+// permanently cold to LFU-family experts sampling the remote counters.
+const DefaultMaxLag = 48
+
+type entry struct {
+	addr     uint64
+	delta    uint64
+	insertAt int64
+	bytes    int
+	index    int // heap index
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].insertAt < h[j].insertAt }
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x interface{}) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Cache is one client's FC cache. It is not safe for concurrent use; each
+// Ditto client owns one (clients are sim processes, so this is free).
+type Cache struct {
+	capacityBytes int
+	threshold     uint64
+	maxLag        int64
+	flush         FlushFunc
+	entries       map[uint64]*entry
+	order         entryHeap
+	usedBytes     int
+	seq           int64
+
+	// Buffered counts increments absorbed; Flushes counts FAAs issued.
+	Buffered, Flushes int64
+}
+
+// New creates an FC cache of capacityBytes with flush threshold t.
+// capacityBytes <= 0 disables buffering entirely (every Add flushes
+// immediately — used by the ablation experiments).
+func New(capacityBytes int, threshold uint64, flush FlushFunc) *Cache {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Cache{
+		capacityBytes: capacityBytes,
+		threshold:     threshold,
+		maxLag:        DefaultMaxLag,
+		flush:         flush,
+		entries:       make(map[uint64]*entry),
+	}
+}
+
+// SetMaxLag overrides the age bound (in subsequent Add operations) after
+// which a buffered entry is force-flushed; lag <= 0 disables the bound.
+func (c *Cache) SetMaxLag(lag int64) { c.maxLag = lag }
+
+// Len returns the number of buffered entries.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// UsedBytes returns the buffered entries' footprint.
+func (c *Cache) UsedBytes() int { return c.usedBytes }
+
+// Add buffers a +1 for the freq counter at addr. idBytes is the object-ID
+// size, which determines the entry's footprint (the paper sizes the FC
+// cache in MB because entries vary with object-ID size).
+func (c *Cache) Add(addr uint64, idBytes int) {
+	c.Buffered++
+	c.seq++ // seq counts accesses: entry age is measured in accesses
+	if c.capacityBytes <= 0 {
+		c.Flushes++
+		c.flush(addr, 1)
+		return
+	}
+	if e, ok := c.entries[addr]; ok {
+		e.delta++
+		if e.delta >= c.threshold {
+			c.evict(e)
+		}
+		return
+	}
+	e := &entry{addr: addr, delta: 1, insertAt: c.seq, bytes: idBytes + entryOverhead}
+	c.entries[addr] = e
+	heap.Push(&c.order, e)
+	c.usedBytes += e.bytes
+	for c.usedBytes > c.capacityBytes && len(c.order) > 0 {
+		c.evict(c.order[0]) // earliest insert time
+	}
+	if e.delta >= c.threshold {
+		c.evict(e)
+	}
+	// Age-based flush: entries buffered for more than maxLag accesses are
+	// pushed out so remote counters stay fresh.
+	if c.maxLag > 0 {
+		for len(c.order) > 0 && c.seq-c.order[0].insertAt > c.maxLag {
+			c.evict(c.order[0])
+		}
+	}
+}
+
+// evict flushes one entry's combined delta with a single FAA.
+func (c *Cache) evict(e *entry) {
+	if _, live := c.entries[e.addr]; !live {
+		return
+	}
+	heap.Remove(&c.order, e.index)
+	delete(c.entries, e.addr)
+	c.usedBytes -= e.bytes
+	c.Flushes++
+	c.flush(e.addr, e.delta)
+}
+
+// FlushAll drains every buffered entry (used at client shutdown and by
+// tests that need exact remote counters).
+func (c *Cache) FlushAll() {
+	for len(c.order) > 0 {
+		c.evict(c.order[0])
+	}
+}
+
+// PendingDelta reports the buffered delta for addr (0 if none) so read
+// paths can correct for counter lag if they choose to.
+func (c *Cache) PendingDelta(addr uint64) uint64 {
+	if e, ok := c.entries[addr]; ok {
+		return e.delta
+	}
+	return 0
+}
+
+// Forget drops any buffered delta for addr without flushing (used when the
+// owning slot was evicted and the counter no longer belongs to the same
+// object).
+func (c *Cache) Forget(addr uint64) {
+	if e, ok := c.entries[addr]; ok {
+		heap.Remove(&c.order, e.index)
+		delete(c.entries, addr)
+		c.usedBytes -= e.bytes
+	}
+}

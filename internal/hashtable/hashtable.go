@@ -1,0 +1,313 @@
+// Package hashtable implements Ditto's sample-friendly hash table
+// (§4.2.1): the object index of the cache, co-designed with sampling.
+//
+// The table is an array of buckets, each with a fixed number of 40-byte
+// slots laid out in the memory node's registered region:
+//
+//	offset 0  atomic field (8 B, modified only with RDMA_CAS):
+//	            fp (1 B) | size (1 B, in 64-B blocks; 0=empty, 0xFF=history) |
+//	            pointer (6 B, object address — or history ID in a history entry)
+//	offset 8  hash      (8 B)  hash of the object ID (used for history matching)
+//	offset 16 insert_ts (8 B)  insert timestamp — or expert bitmap in a history entry
+//	offset 24 last_ts   (8 B)  last-access timestamp (stateless → RDMA_WRITE)
+//	offset 32 freq      (8 B)  access counter       (stateful  → RDMA_FAA)
+//
+// Storing the default access information next to the index slots is what
+// makes Ditto's sampling cheap: one RDMA_READ of K consecutive slots at a
+// random offset yields K eviction candidates together with everything the
+// priority functions need. The stateless metadata (hash, insert_ts,
+// last_ts) is contiguous so it can be updated with a single RDMA_WRITE;
+// the stateful freq is updated with RDMA_FAA (§4.2.1, "access information
+// organization").
+package hashtable
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ditto/internal/rdma"
+)
+
+// Slot layout constants.
+const (
+	SlotBytes   = 40
+	offAtomic   = 0
+	offHash     = 8
+	offInsertTs = 16
+	offLastTs   = 24
+	offFreq     = 32
+
+	// SizeEmpty marks a free slot; SizeHistory tags a history entry
+	// (0xFF rather than 0 because 0 means empty — §4.3.1).
+	SizeEmpty   = 0x00
+	SizeHistory = 0xFF
+
+	// MaxBlocks is the largest representable object size in blocks; larger
+	// objects chain additional blocks (the paper links a second memory
+	// block for large objects).
+	MaxBlocks = 0xFE
+
+	// PointerMask extracts the 48-bit pointer from an atomic field.
+	PointerMask = (uint64(1) << 48) - 1
+)
+
+// Config sizes a table.
+type Config struct {
+	Buckets        int
+	SlotsPerBucket int
+}
+
+// DefaultSlotsPerBucket matches an RNIC-friendly bucket of 8 slots
+// (320 bytes, well within one READ).
+const DefaultSlotsPerBucket = 8
+
+// Bytes returns the table's size in the registered region.
+func (c Config) Bytes() int { return c.Buckets * c.SlotsPerBucket * SlotBytes }
+
+// NumSlots returns the total slot count.
+func (c Config) NumSlots() int { return c.Buckets * c.SlotsPerBucket }
+
+// Layout is a table placed at a base address.
+type Layout struct {
+	Config
+	Base uint64
+}
+
+// SlotAddr returns the address of slot idx (0 <= idx < NumSlots).
+func (l Layout) SlotAddr(idx int) uint64 {
+	return l.Base + uint64(idx)*SlotBytes
+}
+
+// BucketAddr returns the address of the first slot of bucket b.
+func (l Layout) BucketAddr(b int) uint64 {
+	return l.Base + uint64(b*l.SlotsPerBucket)*SlotBytes
+}
+
+// KeyHash hashes an object ID (FNV-1a, 64-bit). Bits are split between the
+// bucket index (low), and the fingerprint (high).
+func KeyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	v := h.Sum64()
+	if v == 0 {
+		v = 1 // reserve 0 so empty metadata is never a valid hash
+	}
+	return v
+}
+
+// Fingerprint derives the 1-byte fp from a key hash.
+func Fingerprint(hash uint64) byte {
+	fp := byte(hash >> 56)
+	if fp == 0 {
+		fp = 1 // fp 0 is reserved for empty slots
+	}
+	return fp
+}
+
+// MainBucket maps a key hash to its primary bucket.
+func (l Layout) MainBucket(hash uint64) int {
+	return int(hash % uint64(l.Buckets))
+}
+
+// BackupBucket maps a key hash to its secondary (overflow) bucket, RACE
+// style: a second, independent choice.
+func (l Layout) BackupBucket(hash uint64) int {
+	b := int((hash >> 16) % uint64(l.Buckets))
+	if b == l.MainBucket(hash) {
+		b = (b + 1) % l.Buckets
+	}
+	return b
+}
+
+// AtomicField packs fp|size|pointer; it is the unit of RDMA_CAS.
+type AtomicField uint64
+
+// EncodeAtomic builds an atomic field.
+func EncodeAtomic(fp byte, sizeBlocks byte, pointer uint64) AtomicField {
+	if pointer > PointerMask {
+		panic(fmt.Sprintf("hashtable: pointer %#x exceeds 48 bits", pointer))
+	}
+	return AtomicField(uint64(fp)<<56 | uint64(sizeBlocks)<<48 | pointer)
+}
+
+// FP returns the fingerprint byte.
+func (a AtomicField) FP() byte { return byte(a >> 56) }
+
+// SizeBlocks returns the size byte (64-B blocks; SizeEmpty / SizeHistory
+// are sentinels).
+func (a AtomicField) SizeBlocks() byte { return byte(a >> 48) }
+
+// Pointer returns the 48-bit pointer (or history ID).
+func (a AtomicField) Pointer() uint64 { return uint64(a) & PointerMask }
+
+// IsEmpty reports a free slot (the whole atomic field is zero).
+func (a AtomicField) IsEmpty() bool { return a == 0 }
+
+// IsHistory reports a history entry.
+func (a AtomicField) IsHistory() bool { return a.SizeBlocks() == SizeHistory }
+
+// SizeClassBytes returns the byte size the slot's size field represents
+// for an object of the given size (block-granular, as priority functions
+// see it).
+func SizeClassBytes(size int) int { return int(SizeToBlocks(size)) * 64 }
+
+// SizeToBlocks converts a byte size to the slot's block count.
+func SizeToBlocks(size int) byte {
+	b := (size + 63) / 64
+	if b < 1 {
+		b = 1
+	}
+	if b > MaxBlocks {
+		b = MaxBlocks
+	}
+	return byte(b)
+}
+
+// Slot is a decoded slot snapshot together with its address.
+type Slot struct {
+	Addr     uint64
+	Atomic   AtomicField
+	Hash     uint64
+	InsertTs int64 // expert bitmap for history entries
+	LastTs   int64
+	Freq     uint64
+}
+
+// decodeSlot decodes one 40-byte slot image.
+func decodeSlot(addr uint64, b []byte) Slot {
+	return Slot{
+		Addr:     addr,
+		Atomic:   AtomicField(le64(b[offAtomic:])),
+		Hash:     le64(b[offHash:]),
+		InsertTs: int64(le64(b[offInsertTs:])),
+		LastTs:   int64(le64(b[offLastTs:])),
+		Freq:     le64(b[offFreq:]),
+	}
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func put64(b []byte, v uint64) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// Handle is a client's connection to the table: all operations issue
+// simulated RDMA verbs through the endpoint and therefore must run inside
+// that endpoint's sim process.
+type Handle struct {
+	Layout Layout
+	EP     *rdma.Endpoint
+}
+
+// NewHandle binds a client endpoint to a table layout.
+func NewHandle(l Layout, ep *rdma.Endpoint) *Handle {
+	return &Handle{Layout: l, EP: ep}
+}
+
+// ReadBucket fetches bucket b with one RDMA_READ and decodes its slots.
+func (h *Handle) ReadBucket(b int) []Slot {
+	base := h.Layout.BucketAddr(b)
+	raw := h.EP.Read(base, h.Layout.SlotsPerBucket*SlotBytes)
+	slots := make([]Slot, h.Layout.SlotsPerBucket)
+	for i := range slots {
+		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
+	}
+	return slots
+}
+
+// ReadSlot fetches a single slot (one RDMA_READ).
+func (h *Handle) ReadSlot(addr uint64) Slot {
+	raw := h.EP.Read(addr, SlotBytes)
+	return decodeSlot(addr, raw)
+}
+
+// Sample fetches k consecutive slots starting at a random slot index with
+// ONE RDMA_READ — the sample-friendly co-design. Runs wrap around the end
+// of the table with a second read only at the boundary.
+func (h *Handle) Sample(startIdx, k int) []Slot {
+	n := h.Layout.NumSlots()
+	if k > n {
+		k = n
+	}
+	startIdx %= n
+	out := make([]Slot, 0, k)
+	first := k
+	if startIdx+k > n {
+		first = n - startIdx
+	}
+	base := h.Layout.SlotAddr(startIdx)
+	raw := h.EP.Read(base, first*SlotBytes)
+	for i := 0; i < first; i++ {
+		out = append(out, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
+	}
+	if rest := k - first; rest > 0 {
+		base = h.Layout.SlotAddr(0)
+		raw = h.EP.Read(base, rest*SlotBytes)
+		for i := 0; i < rest; i++ {
+			out = append(out, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
+		}
+	}
+	return out
+}
+
+// CASAtomic atomically swaps a slot's atomic field, returning the value
+// observed and whether the swap took effect.
+func (h *Handle) CASAtomic(slotAddr uint64, expect, swap AtomicField) (AtomicField, bool) {
+	old, ok := h.EP.CAS(slotAddr+offAtomic, uint64(expect), uint64(swap))
+	return AtomicField(old), ok
+}
+
+// WriteMetaOnInsert initializes the stateless metadata (hash, insert_ts,
+// last_ts) with a single asynchronous RDMA_WRITE — they are contiguous by
+// design — and the freq with a second write folded into the same message in
+// practice; we charge it as part of the same 32-byte write.
+func (h *Handle) WriteMetaOnInsert(slotAddr uint64, hash uint64, insertTs, lastTs int64, freq uint64) {
+	buf := make([]byte, 32)
+	put64(buf[0:], hash)
+	put64(buf[8:], uint64(insertTs))
+	put64(buf[16:], uint64(lastTs))
+	put64(buf[24:], freq)
+	h.EP.WriteAsync(slotAddr+offHash, buf)
+}
+
+// TouchLastTs updates the stateless last-access timestamp with one
+// asynchronous RDMA_WRITE (§4.2.1: stateless information is grouped so one
+// WRITE suffices).
+func (h *Handle) TouchLastTs(slotAddr uint64, ts int64) {
+	buf := make([]byte, 8)
+	put64(buf, uint64(ts))
+	h.EP.WriteAsync(slotAddr+offLastTs, buf)
+}
+
+// FAAFreq adds delta to the stateful freq counter with RDMA_FAA and
+// returns the previous value.
+func (h *Handle) FAAFreq(slotAddr uint64, delta uint64) uint64 {
+	return h.EP.FAA(slotAddr+offFreq, delta)
+}
+
+// FAAFreqAsync adds delta to freq without waiting (used when the FC cache
+// flushes a combined delta off the critical path).
+func (h *Handle) FAAFreqAsync(slotAddr uint64, delta uint64) {
+	h.EP.FAAAsync(slotAddr+offFreq, delta)
+}
+
+// WriteExpertBitmap stores a history entry's expert bitmap in the
+// insert_ts field with an asynchronous RDMA_WRITE (§4.3.1).
+func (h *Handle) WriteExpertBitmap(slotAddr uint64, bitmap uint64) {
+	buf := make([]byte, 8)
+	put64(buf, bitmap)
+	h.EP.WriteAsync(slotAddr+offInsertTs, buf)
+}
+
+// FreqAddr exposes the freq field address (the FC cache records it).
+func FreqAddr(slotAddr uint64) uint64 { return slotAddr + offFreq }

@@ -1,0 +1,265 @@
+package hashtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+func testTable(t *testing.T, buckets, slots int) (*sim.Env, *memnode.MemNode, Layout) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := Config{Buckets: buckets, SlotsPerBucket: slots}
+	mn := memnode.New(env, memnode.Config{MemBytes: cfg.Bytes() + 1<<20, Fabric: rdma.DefaultConfig()})
+	base := mn.PlaceTable(cfg.Bytes())
+	return env, mn, Layout{Config: cfg, Base: base}
+}
+
+func TestAtomicFieldRoundTrip(t *testing.T) {
+	a := EncodeAtomic(0xAB, 4, 0x123456789ABC)
+	if a.FP() != 0xAB || a.SizeBlocks() != 4 || a.Pointer() != 0x123456789ABC {
+		t.Fatalf("decode mismatch: fp=%x size=%d ptr=%x", a.FP(), a.SizeBlocks(), a.Pointer())
+	}
+	if a.IsEmpty() || a.IsHistory() {
+		t.Fatal("flags wrong")
+	}
+}
+
+func TestAtomicFieldSentinels(t *testing.T) {
+	if !AtomicField(0).IsEmpty() {
+		t.Fatal("zero field must be empty")
+	}
+	h := EncodeAtomic(0x12, SizeHistory, 42)
+	if !h.IsHistory() || h.IsEmpty() {
+		t.Fatal("history tagging broken")
+	}
+	if h.Pointer() != 42 {
+		t.Fatal("history ID lost")
+	}
+}
+
+func TestEncodeAtomicPointerOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 49-bit pointer")
+		}
+	}()
+	EncodeAtomic(1, 1, 1<<48)
+}
+
+func TestSizeToBlocks(t *testing.T) {
+	cases := map[int]byte{0: 1, 1: 1, 64: 1, 65: 2, 256: 4, 64 * 300: MaxBlocks}
+	for in, want := range cases {
+		if got := SizeToBlocks(in); got != want {
+			t.Errorf("SizeToBlocks(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestKeyHashNonZeroAndStable(t *testing.T) {
+	h1 := KeyHash([]byte("key-1"))
+	h2 := KeyHash([]byte("key-1"))
+	h3 := KeyHash([]byte("key-2"))
+	if h1 == 0 || h1 != h2 || h1 == h3 {
+		t.Fatalf("h1=%x h2=%x h3=%x", h1, h2, h3)
+	}
+	if Fingerprint(h1) == 0 {
+		t.Fatal("fingerprint must never be zero")
+	}
+}
+
+func TestBucketsInRange(t *testing.T) {
+	l := Layout{Config: Config{Buckets: 97, SlotsPerBucket: 8}}
+	f := func(hash uint64) bool {
+		m, b := l.MainBucket(hash), l.BackupBucket(hash)
+		return m >= 0 && m < 97 && b >= 0 && b < 97 && m != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCASInsertThenReadBucket(t *testing.T) {
+	env, mn, lay := testTable(t, 16, 8)
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		key := []byte("object-7")
+		kh := KeyHash(key)
+		b := lay.MainBucket(kh)
+		slots := h.ReadBucket(b)
+		if len(slots) != 8 {
+			t.Fatalf("bucket has %d slots", len(slots))
+		}
+		target := slots[0]
+		want := EncodeAtomic(Fingerprint(kh), 4, 0x1000)
+		if _, ok := h.CASAtomic(target.Addr, 0, want); !ok {
+			t.Fatal("CAS into empty slot failed")
+		}
+		h.WriteMetaOnInsert(target.Addr, kh, 111, 222, 1)
+		got := h.ReadBucket(b)[0]
+		if got.Atomic != want {
+			t.Fatalf("atomic = %x, want %x", got.Atomic, want)
+		}
+		if got.Hash != kh || got.InsertTs != 111 || got.LastTs != 222 || got.Freq != 1 {
+			t.Fatalf("metadata mismatch: %+v", got)
+		}
+	})
+	env.Run()
+}
+
+func TestConcurrentInsertOneWinner(t *testing.T) {
+	env, mn, lay := testTable(t, 4, 8)
+	slotAddr := lay.SlotAddr(0)
+	wins := 0
+	for i := 0; i < 6; i++ {
+		i := i
+		env.Go("c", func(p *sim.Proc) {
+			h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+			if _, ok := h.CASAtomic(slotAddr, 0, EncodeAtomic(byte(i+1), 1, uint64(i+1))); ok {
+				wins++
+			}
+		})
+	}
+	env.Run()
+	if wins != 1 {
+		t.Fatalf("%d concurrent CAS inserts succeeded", wins)
+	}
+}
+
+func TestTouchAndFAA(t *testing.T) {
+	env, mn, lay := testTable(t, 4, 8)
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		addr := lay.SlotAddr(3)
+		h.TouchLastTs(addr, 777)
+		if prev := h.FAAFreq(addr, 1); prev != 0 {
+			t.Fatalf("freq prev = %d", prev)
+		}
+		h.FAAFreqAsync(addr, 9)
+		s := h.ReadSlot(addr)
+		if s.LastTs != 777 || s.Freq != 10 {
+			t.Fatalf("slot = %+v", s)
+		}
+	})
+	env.Run()
+}
+
+func TestSampleSingleRead(t *testing.T) {
+	env, mn, lay := testTable(t, 32, 8)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		h := NewHandle(lay, ep)
+		before := mn.Node.Stats.Reads
+		got := h.Sample(10, 5)
+		if len(got) != 5 {
+			t.Fatalf("sampled %d slots", len(got))
+		}
+		if mn.Node.Stats.Reads-before != 1 {
+			t.Fatalf("sampling used %d READs, want 1", mn.Node.Stats.Reads-before)
+		}
+		for i, s := range got {
+			if s.Addr != lay.SlotAddr(10+i) {
+				t.Fatalf("slot %d at addr %d", i, s.Addr)
+			}
+		}
+	})
+	env.Run()
+}
+
+func TestSampleWrapsAround(t *testing.T) {
+	env, mn, lay := testTable(t, 4, 4) // 16 slots total
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		got := h.Sample(14, 5) // 14,15,0,1,2
+		if len(got) != 5 {
+			t.Fatalf("sampled %d", len(got))
+		}
+		wantIdx := []int{14, 15, 0, 1, 2}
+		for i, s := range got {
+			if s.Addr != lay.SlotAddr(wantIdx[i]) {
+				t.Fatalf("sample[%d] at %d, want slot %d", i, s.Addr, wantIdx[i])
+			}
+		}
+	})
+	env.Run()
+}
+
+func TestSampleKLargerThanTable(t *testing.T) {
+	env, mn, lay := testTable(t, 2, 2)
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		if got := h.Sample(1, 100); len(got) != 4 {
+			t.Fatalf("got %d slots, want clamped 4", len(got))
+		}
+	})
+	env.Run()
+}
+
+func TestExpertBitmapInInsertTs(t *testing.T) {
+	env, mn, lay := testTable(t, 4, 8)
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		addr := lay.SlotAddr(5)
+		h.WriteExpertBitmap(addr, 0b101)
+		if s := h.ReadSlot(addr); uint64(s.InsertTs) != 0b101 {
+			t.Fatalf("bitmap = %b", s.InsertTs)
+		}
+	})
+	env.Run()
+}
+
+func TestHistoryEntryTransition(t *testing.T) {
+	// Simulates the eviction path: object slot → history entry → reclaimed
+	// by a new insert.
+	env, mn, lay := testTable(t, 4, 8)
+	env.Go("c", func(p *sim.Proc) {
+		h := NewHandle(lay, rdma.NewEndpoint(mn.Node, p))
+		addr := lay.SlotAddr(0)
+		kh := KeyHash([]byte("victim"))
+		obj := EncodeAtomic(Fingerprint(kh), 4, 0x4000)
+		if _, ok := h.CASAtomic(addr, 0, obj); !ok {
+			t.Fatal("insert failed")
+		}
+		h.WriteMetaOnInsert(addr, kh, 5, 5, 1)
+
+		hist := EncodeAtomic(Fingerprint(kh), SizeHistory, 12345)
+		if _, ok := h.CASAtomic(addr, obj, hist); !ok {
+			t.Fatal("history transition failed")
+		}
+		h.WriteExpertBitmap(addr, 0b11)
+
+		s := h.ReadSlot(addr)
+		if !s.Atomic.IsHistory() || s.Atomic.Pointer() != 12345 {
+			t.Fatalf("history slot = %+v", s)
+		}
+		if s.Hash != kh {
+			t.Fatal("hash of evicted key must survive into the history entry")
+		}
+
+		// A new insert reclaims the (expired) history slot via CAS.
+		kh2 := KeyHash([]byte("newobj"))
+		obj2 := EncodeAtomic(Fingerprint(kh2), 2, 0x8000)
+		if _, ok := h.CASAtomic(addr, hist, obj2); !ok {
+			t.Fatal("reclaim failed")
+		}
+		if s := h.ReadSlot(addr); s.Atomic != obj2 {
+			t.Fatalf("slot after reclaim = %+v", s)
+		}
+	})
+	env.Run()
+}
+
+// Property: encode/decode of arbitrary atomic fields round-trips.
+func TestAtomicRoundTripProperty(t *testing.T) {
+	f := func(fp, size byte, ptr uint64) bool {
+		ptr &= PointerMask
+		a := EncodeAtomic(fp, size, ptr)
+		return a.FP() == fp && a.SizeBlocks() == size && a.Pointer() == ptr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,225 @@
+package history
+
+import (
+	"testing"
+
+	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Env, *memnode.MemNode, hashtable.Layout) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	cfg := hashtable.Config{Buckets: 8, SlotsPerBucket: 8}
+	mn := memnode.New(env, memnode.Config{MemBytes: cfg.Bytes() + 1<<20, Fabric: rdma.DefaultConfig()})
+	base := mn.PlaceTable(cfg.Bytes())
+	return env, mn, hashtable.Layout{Config: cfg, Base: base}
+}
+
+func TestNextIDMonotoneAcrossClients(t *testing.T) {
+	env, mn, lay := setup(t)
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		env.Go("c", func(p *sim.Proc) {
+			ep := rdma.NewEndpoint(mn.Node, p)
+			h := NewClient(ep, hashtable.NewHandle(lay, ep), 100)
+			for k := 0; k < 5; k++ {
+				ids = append(ids, h.NextID())
+			}
+		})
+	}
+	env.Run()
+	seen := map[uint64]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate history ID %d", id)
+		}
+		seen[id] = true
+	}
+	if len(ids) != 20 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+}
+
+func TestExpiryWindow(t *testing.T) {
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		h := NewClient(ep, hashtable.NewHandle(lay, ep), 10)
+		first := h.NextID()
+		for i := 0; i < 10; i++ {
+			h.NextID()
+		}
+		// Counter is now first+11; distance 11 > l=10 ⇒ expired.
+		if !h.IsExpired(first) {
+			t.Errorf("entry at distance 11 not expired (counter=%d)", h.cachedCounter)
+		}
+		if h.IsExpired(first + 5) {
+			t.Error("entry at distance 6 wrongly expired")
+		}
+	})
+	env.Run()
+}
+
+func TestExpiryWrapAround(t *testing.T) {
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		h := NewClient(ep, hashtable.NewHandle(lay, ep), 10)
+		// Force the counter near the 48-bit wrap point.
+		mn.Node.PutUint64At(memnode.HistCounterAddr, (1<<48)-3)
+		h.RefreshCounter()
+		oldID := uint64((1 << 48) - 5) // distance 2 ⇒ valid
+		if h.IsExpired(oldID) {
+			t.Error("pre-wrap entry at distance 2 expired")
+		}
+		// Advance the counter past the wrap.
+		for i := 0; i < 8; i++ {
+			h.NextID()
+		}
+		// Counter wrapped to 5; distance to oldID = 10 ⇒ still valid.
+		if h.IsExpired(oldID) {
+			t.Errorf("entry exactly at capacity expired (counter=%d)", h.cachedCounter)
+		}
+		h.NextID()
+		if !h.IsExpired(oldID) {
+			t.Error("entry past capacity across wrap not expired")
+		}
+	})
+	env.Run()
+}
+
+func TestInsertAndMatchRegret(t *testing.T) {
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		ht := hashtable.NewHandle(lay, ep)
+		h := NewClient(ep, ht, 100)
+
+		kh := hashtable.KeyHash([]byte("victim-key"))
+		slotAddr := lay.SlotAddr(3)
+		obj := hashtable.EncodeAtomic(hashtable.Fingerprint(kh), 4, 0x2000)
+		if _, ok := ht.CASAtomic(slotAddr, 0, obj); !ok {
+			t.Fatal("setup insert failed")
+		}
+		ht.WriteMetaOnInsert(slotAddr, kh, 1, 1, 1)
+
+		victim := ht.ReadSlot(slotAddr)
+		id, ok := h.Insert(victim, 0b10)
+		if !ok {
+			t.Fatal("history insert failed")
+		}
+
+		entry := ht.ReadSlot(slotAddr)
+		bitmap, age, matched := h.Match(entry, kh)
+		if !matched {
+			t.Fatal("regret not matched")
+		}
+		if bitmap != 0b10 {
+			t.Fatalf("bitmap = %b", bitmap)
+		}
+		if age != h.Age(id) {
+			t.Fatalf("age = %d", age)
+		}
+
+		// Wrong hash must not match.
+		if _, _, m := h.Match(entry, kh+1); m {
+			t.Fatal("matched wrong key hash")
+		}
+		// Ordinary object slots must not match.
+		if _, _, m := h.Match(victim, kh); m {
+			t.Fatal("matched a non-history slot")
+		}
+	})
+	env.Run()
+}
+
+func TestInsertLosesRace(t *testing.T) {
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		ht := hashtable.NewHandle(lay, ep)
+		h := NewClient(ep, ht, 100)
+		kh := hashtable.KeyHash([]byte("k"))
+		slotAddr := lay.SlotAddr(0)
+		obj := hashtable.EncodeAtomic(hashtable.Fingerprint(kh), 4, 0x2000)
+		ht.CASAtomic(slotAddr, 0, obj)
+		victim := ht.ReadSlot(slotAddr)
+		// Another client deletes the object before our CAS.
+		ht.CASAtomic(slotAddr, obj, 0)
+		if _, ok := h.Insert(victim, 1); ok {
+			t.Fatal("insert should lose the race")
+		}
+	})
+	env.Run()
+}
+
+func TestReclaimable(t *testing.T) {
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		ht := hashtable.NewHandle(lay, ep)
+		h := NewClient(ep, ht, 2)
+
+		if !h.Reclaimable(hashtable.Slot{}) {
+			t.Error("empty slot not reclaimable")
+		}
+		kh := hashtable.KeyHash([]byte("x"))
+		obj := hashtable.Slot{Atomic: hashtable.EncodeAtomic(1, 4, 0x40)}
+		if h.Reclaimable(obj) {
+			t.Error("live object reclaimable")
+		}
+
+		slotAddr := lay.SlotAddr(1)
+		a := hashtable.EncodeAtomic(hashtable.Fingerprint(kh), 4, 0x2000)
+		ht.CASAtomic(slotAddr, 0, a)
+		ht.WriteMetaOnInsert(slotAddr, kh, 1, 1, 1)
+		victim := ht.ReadSlot(slotAddr)
+		h.Insert(victim, 1)
+		fresh := ht.ReadSlot(slotAddr)
+		if h.Reclaimable(fresh) {
+			t.Error("fresh history entry reclaimable")
+		}
+		// Age it out: capacity is 2, so 3 more IDs expire it.
+		h.NextID()
+		h.NextID()
+		h.NextID()
+		if !h.Reclaimable(fresh) {
+			t.Error("expired history entry not reclaimable")
+		}
+	})
+	env.Run()
+}
+
+func TestHistoryInsertVerbBudget(t *testing.T) {
+	// §4.3.1: inserting a history entry costs 1 FAA + 1 CAS + 1 async WRITE.
+	env, mn, lay := setup(t)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		ht := hashtable.NewHandle(lay, ep)
+		h := NewClient(ep, ht, 100)
+		kh := hashtable.KeyHash([]byte("v"))
+		slotAddr := lay.SlotAddr(2)
+		ht.CASAtomic(slotAddr, 0, hashtable.EncodeAtomic(hashtable.Fingerprint(kh), 4, 0x2000))
+		victim := ht.ReadSlot(slotAddr)
+
+		s0 := mn.Node.Stats
+		h.Insert(victim, 1)
+		d := mn.Node.Stats
+		if faa := d.FAAs - s0.FAAs; faa != 1 {
+			t.Errorf("FAAs = %d, want 1", faa)
+		}
+		if cas := d.CASes - s0.CASes; cas != 1 {
+			t.Errorf("CASes = %d, want 1", cas)
+		}
+		if w := d.Writes - s0.Writes; w != 1 {
+			t.Errorf("Writes = %d, want 1", w)
+		}
+		if r := d.Reads - s0.Reads; r != 0 {
+			t.Errorf("Reads = %d, want 0", r)
+		}
+	})
+	env.Run()
+}

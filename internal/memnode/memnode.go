@@ -1,0 +1,296 @@
+// Package memnode implements the memory-pool side of Ditto: the memory
+// node's address-space layout, the two-level memory management scheme
+// (segment allocation served by the weak MN controller, block carving done
+// client-side), and the registry of controller RPC opcodes shared by every
+// protocol in this repository.
+//
+// Layout of the registered region:
+//
+//	[0,   8)          global history counter (48-bit circular, RDMA_FAA'd)
+//	[8,   headerEnd)  reserved words
+//	[headerEnd, T)    sample-friendly hash table (placed by PlaceTable)
+//	[T,   end)        object heap, carved into segments
+//
+// The controller owns the segment free list; clients obtain segments over
+// RPC (infrequent — the second level) and carve 64-byte-granularity blocks
+// from them locally (the common case — zero network cost), exactly as the
+// two-level scheme of FUSEE that the paper adopts (§5.1 Implementations).
+package memnode
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+// Controller RPC opcodes. All protocols in this repository register their
+// handlers out of this space so a single memory node can host any mix.
+const (
+	OpAllocSeg uint8 = iota + 1
+	OpFreeSeg
+	OpWeightUpdate // distributed adaptive caching: lazy weight update
+	OpCMSet        // CliqueMap baseline: server-executed Set
+	OpCMSync       // CliqueMap baseline: client access-info synchronization
+	OpServerOp     // monolithic-server baseline (Redis-like shard op)
+)
+
+// BlockSize is the allocation granularity of the object heap; the paper's
+// slot size field counts object sizes in units of 64-byte blocks.
+const BlockSize = 64
+
+// DefaultSegmentSize is how much memory one ALLOC RPC hands a client.
+const DefaultSegmentSize = 64 * 1024
+
+// headerBytes reserves space for the global history counter and future
+// control words at the base of the region.
+const headerBytes = 64
+
+// HistCounterAddr is the address of the global history counter.
+const HistCounterAddr uint64 = 0
+
+// MemNode wraps an rdma.Node with Ditto's layout and the segment-level
+// allocator run by the controller.
+type MemNode struct {
+	Node *rdma.Node
+
+	segmentSize int
+	tableAddr   uint64
+	tableBytes  int
+	heapAddr    uint64
+	heapEnd     uint64
+	nextSeg     uint64
+	freeSegs    []uint64
+
+	// SegAllocs counts segment allocations served (controller-side metric).
+	SegAllocs int64
+
+	// UsedBytes tracks live heap bytes across ALL clients. Free lists are
+	// per-client (the evicting client reuses the victim's space, as in the
+	// paper), but accounting must be global because any client may evict —
+	// and thus free — any other client's allocation.
+	UsedBytes int
+}
+
+// Config configures a memory node.
+type Config struct {
+	// MemBytes is the total registered memory (table + heap + header).
+	MemBytes int
+	// SegmentSize overrides DefaultSegmentSize when > 0.
+	SegmentSize int
+	// Fabric is the timing model for the node's NIC/CPU.
+	Fabric rdma.Config
+}
+
+// New creates a memory node and registers the ALLOC/FREE handlers.
+func New(env *sim.Env, cfg Config) *MemNode {
+	if cfg.SegmentSize <= 0 {
+		cfg.SegmentSize = DefaultSegmentSize
+	}
+	if cfg.SegmentSize%BlockSize != 0 {
+		panic("memnode: segment size must be a multiple of the block size")
+	}
+	mn := &MemNode{
+		Node:        rdma.NewNode(env, cfg.MemBytes, cfg.Fabric),
+		segmentSize: cfg.SegmentSize,
+	}
+	mn.tableAddr = headerBytes
+	mn.heapAddr = headerBytes
+	mn.heapEnd = uint64(cfg.MemBytes)
+	mn.nextSeg = mn.heapAddr
+	mn.Node.Handle(OpAllocSeg, mn.handleAllocSeg)
+	mn.Node.Handle(OpFreeSeg, mn.handleFreeSeg)
+	return mn
+}
+
+// PlaceTable reserves bytes for the hash table directly after the header
+// and returns its base address. It must be called before any segment is
+// allocated.
+func (mn *MemNode) PlaceTable(bytes int) uint64 {
+	if mn.nextSeg != mn.heapAddr || len(mn.freeSegs) > 0 {
+		panic("memnode: PlaceTable after segment allocation")
+	}
+	if uint64(headerBytes+bytes) > mn.heapEnd {
+		panic(fmt.Sprintf("memnode: table of %d bytes does not fit in %d", bytes, mn.heapEnd))
+	}
+	mn.tableAddr = headerBytes
+	mn.tableBytes = bytes
+	mn.heapAddr = headerBytes + uint64(bytes)
+	// Segments are block-aligned.
+	if r := mn.heapAddr % BlockSize; r != 0 {
+		mn.heapAddr += BlockSize - r
+	}
+	mn.nextSeg = mn.heapAddr
+	return mn.tableAddr
+}
+
+// TableAddr returns the hash table base address.
+func (mn *MemNode) TableAddr() uint64 { return mn.tableAddr }
+
+// HeapBytes returns the number of bytes available for cached objects.
+func (mn *MemNode) HeapBytes() int { return int(mn.heapEnd - mn.heapAddr) }
+
+// SegmentSize returns the segment granularity.
+func (mn *MemNode) SegmentSize() int { return mn.segmentSize }
+
+// GrowHeap extends the heap by bytes (the "add memory" elasticity
+// experiments). The underlying region must have been sized generously; in
+// simulation we model growth by raising the allocatable limit.
+func (mn *MemNode) GrowHeap(bytes int) {
+	newEnd := mn.heapEnd + uint64(bytes)
+	if newEnd > uint64(mn.Node.MemSize()) {
+		panic("memnode: GrowHeap beyond registered region")
+	}
+	mn.heapEnd = newEnd
+}
+
+// SetHeapLimit sets the allocatable heap end to heapAddr+bytes, used to
+// start an elastic experiment with a small cache and grow it later.
+func (mn *MemNode) SetHeapLimit(bytes int) {
+	newEnd := mn.heapAddr + uint64(bytes)
+	if newEnd > uint64(mn.Node.MemSize()) {
+		panic("memnode: heap limit beyond registered region")
+	}
+	mn.heapEnd = newEnd
+}
+
+func (mn *MemNode) handleAllocSeg([]byte) []byte {
+	reply := make([]byte, 9)
+	var addr uint64
+	switch {
+	case len(mn.freeSegs) > 0:
+		addr = mn.freeSegs[len(mn.freeSegs)-1]
+		mn.freeSegs = mn.freeSegs[:len(mn.freeSegs)-1]
+	case mn.nextSeg+uint64(mn.segmentSize) <= mn.heapEnd:
+		addr = mn.nextSeg
+		mn.nextSeg += uint64(mn.segmentSize)
+	default:
+		reply[0] = 0 // out of memory
+		return reply
+	}
+	mn.SegAllocs++
+	reply[0] = 1
+	binary.LittleEndian.PutUint64(reply[1:], addr)
+	return reply
+}
+
+func (mn *MemNode) handleFreeSeg(payload []byte) []byte {
+	addr := binary.LittleEndian.Uint64(payload)
+	mn.freeSegs = append(mn.freeSegs, addr)
+	return []byte{1}
+}
+
+// Alloc is the client-side (first-level) block allocator: it carves
+// BlockSize-granularity blocks out of controller-provided segments and
+// keeps per-size-class free lists. All methods run inside the owning sim
+// process.
+type Alloc struct {
+	ep *rdma.Endpoint
+	mn *MemNode
+
+	cursor    uint64 // next unused byte in the current segment
+	remaining int    // bytes left in the current segment
+	free      map[int][]uint64
+
+	// segFailBackoff suppresses repeat ALLOC RPCs after the controller
+	// reported exhaustion, so steady-state eviction/insert cycles don't
+	// spam the weak controller. The client re-probes periodically, which
+	// is how it discovers memory grown by the elasticity knobs.
+	segFailBackoff int
+}
+
+// segRetryInterval is how many failed Allocs to wait before re-asking the
+// controller for a segment.
+const segRetryInterval = 256
+
+// NewAlloc creates a client allocator speaking to mn through ep.
+func NewAlloc(mn *MemNode, ep *rdma.Endpoint) *Alloc {
+	return &Alloc{ep: ep, mn: mn, free: make(map[int][]uint64)}
+}
+
+// SizeClass rounds size up to the block granularity.
+func SizeClass(size int) int {
+	if size <= 0 {
+		return BlockSize
+	}
+	return (size + BlockSize - 1) / BlockSize * BlockSize
+}
+
+// Alloc returns the address of a block that fits size bytes, or ok=false
+// when the memory pool is exhausted (the caller then evicts and retries).
+func (a *Alloc) Alloc(size int) (addr uint64, ok bool) {
+	cl := SizeClass(size)
+	if cl > a.mn.segmentSize {
+		panic(fmt.Sprintf("memnode: object of %d bytes exceeds segment size %d", size, a.mn.segmentSize))
+	}
+	if lst := a.free[cl]; len(lst) > 0 {
+		addr = lst[len(lst)-1]
+		a.free[cl] = lst[:len(lst)-1]
+		a.mn.UsedBytes += cl
+		return addr, true
+	}
+	if a.remaining < cl {
+		if a.segFailBackoff > 0 {
+			a.segFailBackoff--
+			return 0, false
+		}
+		// Second level: fetch a fresh segment from the controller. The tail
+		// of the old segment (if any) is parked on free lists so it is not
+		// leaked.
+		a.shredTail()
+		reply := a.ep.RPC(OpAllocSeg, nil)
+		if reply[0] == 0 {
+			a.segFailBackoff = segRetryInterval
+			return 0, false
+		}
+		a.cursor = binary.LittleEndian.Uint64(reply[1:])
+		a.remaining = a.mn.segmentSize
+	}
+	addr = a.cursor
+	a.cursor += uint64(cl)
+	a.remaining -= cl
+	a.mn.UsedBytes += cl
+	return addr, true
+}
+
+// shredTail converts the remainder of the current segment into free blocks
+// of the largest classes that fit, so switching segments never leaks space.
+func (a *Alloc) shredTail() {
+	for a.remaining >= BlockSize {
+		cl := a.remaining / BlockSize * BlockSize
+		if cl > a.mn.segmentSize {
+			cl = a.mn.segmentSize
+		}
+		// Park as one big block in its own class; Alloc of smaller sizes
+		// won't use it, but Free/Alloc cycles of equal classes dominate in
+		// caches with stable object sizes. Remainders are rare (segment
+		// switches only).
+		a.free[cl] = append(a.free[cl], a.cursor)
+		a.cursor += uint64(cl)
+		a.remaining -= cl
+	}
+	a.remaining = 0
+}
+
+// Free returns the block at addr (of the class that fits size) to the
+// client-local free list — no network cost, as in the paper's design where
+// the evicting client reuses the victim's space. The block need not have
+// been allocated by this client: evictions free other clients' blocks.
+func (a *Alloc) Free(addr uint64, size int) {
+	cl := SizeClass(size)
+	a.free[cl] = append(a.free[cl], addr)
+	a.mn.UsedBytes -= cl
+	if a.mn.UsedBytes < 0 {
+		panic("memnode: double free (used bytes went negative)")
+	}
+}
+
+// FreeBlocks reports how many blocks are parked on local free lists.
+func (a *Alloc) FreeBlocks() int {
+	n := 0
+	for _, lst := range a.free {
+		n += len(lst)
+	}
+	return n
+}

@@ -1,0 +1,218 @@
+package memnode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/rdma"
+	"ditto/internal/sim"
+)
+
+func newTestMN(env *sim.Env, memBytes int) *MemNode {
+	return New(env, Config{MemBytes: memBytes, Fabric: rdma.DefaultConfig()})
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]int{0: 64, 1: 64, 64: 64, 65: 128, 128: 128, 300: 320, 321: 384}
+	for in, want := range cases {
+		if got := SizeClass(in); got != want {
+			t.Errorf("SizeClass(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestPlaceTableLayout(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	addr := mn.PlaceTable(1000)
+	if addr != headerBytes {
+		t.Fatalf("table addr = %d", addr)
+	}
+	if mn.heapAddr%BlockSize != 0 {
+		t.Fatalf("heap addr %d not block aligned", mn.heapAddr)
+	}
+	if mn.heapAddr < addr+1000 {
+		t.Fatal("heap overlaps table")
+	}
+}
+
+func TestAllocCarvesAndReuses(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	mn.PlaceTable(256)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		a1, ok := a.Alloc(256)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		a2, ok := a.Alloc(256)
+		if !ok || a2 == a1 {
+			t.Fatalf("second alloc %d ok=%v", a2, ok)
+		}
+		if mn.UsedBytes != 512 {
+			t.Fatalf("allocated = %d", mn.UsedBytes)
+		}
+		a.Free(a1, 256)
+		a3, ok := a.Alloc(200) // same 256B class: must reuse a1
+		if !ok || a3 != a1 {
+			t.Fatalf("free-list reuse failed: got %d want %d", a3, a1)
+		}
+	})
+	env.Run()
+}
+
+func TestSegmentRPCIsInfrequent(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	mn.PlaceTable(256)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		for i := 0; i < 100; i++ {
+			if _, ok := a.Alloc(256); !ok {
+				t.Fatal("alloc failed")
+			}
+		}
+	})
+	env.Run()
+	// 100 × 256B = 25.6 KB < one 64 KB segment ⇒ exactly 1 RPC.
+	if mn.Node.Stats.RPCs != 1 {
+		t.Fatalf("RPCs = %d, want 1 (two-level scheme broken)", mn.Node.Stats.RPCs)
+	}
+}
+
+func TestAllocExhaustionAndRecovery(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := New(env, Config{MemBytes: 64 * 1024 * 3, SegmentSize: 64 * 1024, Fabric: rdma.DefaultConfig()})
+	mn.PlaceTable(BlockSize) // leaves just under 3 segments of heap
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		var addrs []uint64
+		for {
+			addr, ok := a.Alloc(1024)
+			if !ok {
+				break
+			}
+			addrs = append(addrs, addr)
+		}
+		if len(addrs) == 0 {
+			t.Fatal("no allocations succeeded")
+		}
+		// After freeing one block, allocation of the same class succeeds.
+		a.Free(addrs[0], 1024)
+		if _, ok := a.Alloc(1024); !ok {
+			t.Fatal("alloc after free failed")
+		}
+		// Distinct addresses.
+		seen := map[uint64]bool{}
+		for _, ad := range addrs {
+			if seen[ad] {
+				t.Fatalf("duplicate address %d", ad)
+			}
+			seen[ad] = true
+		}
+	})
+	env.Run()
+}
+
+func TestFreeSegmentReturnsToController(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := New(env, Config{MemBytes: 64*1024 + 4096, SegmentSize: 64 * 1024, Fabric: rdma.DefaultConfig()})
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		r1 := ep.RPC(OpAllocSeg, nil)
+		if r1[0] != 1 {
+			t.Fatal("first segment alloc failed")
+		}
+		if r2 := ep.RPC(OpAllocSeg, nil); r2[0] != 0 {
+			t.Fatal("second segment alloc should fail")
+		}
+		ep.RPC(OpFreeSeg, r1[1:9])
+		if r3 := ep.RPC(OpAllocSeg, nil); r3[0] != 1 {
+			t.Fatal("alloc after segment free failed")
+		}
+	})
+	env.Run()
+}
+
+func TestGrowAndLimitHeap(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := New(env, Config{MemBytes: 1 << 20, Fabric: rdma.DefaultConfig()})
+	mn.SetHeapLimit(128 * 1024)
+	if got := mn.HeapBytes(); got != 128*1024 {
+		t.Fatalf("heap = %d", got)
+	}
+	mn.GrowHeap(64 * 1024)
+	if got := mn.HeapBytes(); got != 192*1024 {
+		t.Fatalf("heap after grow = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("grow beyond region did not panic")
+		}
+	}()
+	mn.GrowHeap(1 << 30)
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		addr, _ := a.Alloc(64)
+		a.Free(addr, 64)
+		defer func() {
+			if recover() == nil {
+				t.Error("double free did not panic")
+			}
+		}()
+		a.Free(addr, 64)
+	})
+	env.Run()
+}
+
+// Property: alloc/free sequences never hand out overlapping live blocks.
+func TestNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		env := sim.NewEnv(3)
+		ok := true
+		mn := newTestMN(env, 1<<20)
+		env.Go("c", func(p *sim.Proc) {
+			ep := rdma.NewEndpoint(mn.Node, p)
+			a := NewAlloc(mn, ep)
+			type blk struct {
+				addr uint64
+				size int
+			}
+			var live []blk
+			for _, op := range ops {
+				size := int(op%7+1) * 64
+				if op%3 == 0 && len(live) > 0 {
+					b := live[len(live)-1]
+					live = live[:len(live)-1]
+					a.Free(b.addr, b.size)
+					continue
+				}
+				addr, got := a.Alloc(size)
+				if !got {
+					continue
+				}
+				for _, b := range live {
+					if addr < b.addr+uint64(SizeClass(b.size)) && b.addr < addr+uint64(SizeClass(size)) {
+						ok = false
+					}
+				}
+				live = append(live, blk{addr, size})
+			}
+		})
+		env.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

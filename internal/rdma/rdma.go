@@ -1,0 +1,307 @@
+// Package rdma simulates the CPU-bypass fabric that Ditto assumes between
+// the compute pool and the memory pool of a disaggregated-memory (DM)
+// cluster.
+//
+// The paper's protocols are defined entirely in terms of one-sided RDMA
+// verbs (READ, WRITE, ATOMIC_CAS, ATOMIC_FAA) against memory-node (MN)
+// memory, plus an RPC channel to the MN's weak controller CPU. This package
+// provides exactly those primitives on top of the virtual-time kernel in
+// internal/sim:
+//
+//   - every synchronous verb costs one round trip (Config.RTT) plus queueing
+//     on the MN RNIC, which is modelled as a message-rate-limited resource —
+//     the bottleneck the paper identifies for Ditto itself;
+//   - RPCs additionally queue on the MN CPU resource — the bottleneck the
+//     paper identifies for CliqueMap and Redis-like designs;
+//   - CAS and FAA have exact atomic semantics (only one process runs at any
+//     virtual instant, and verbs interleave at event boundaries exactly as
+//     concurrent one-sided verbs interleave on real hardware).
+//
+// Functional behaviour is real (bytes actually move); only time is
+// simulated.
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ditto/internal/sim"
+)
+
+// Config holds the fabric's timing model. The defaults are calibrated so
+// that the reproduction exhibits the paper's resource-saturation shapes
+// (see DESIGN.md §2): a ~2 µs RTT and an RNIC message rate in the tens of
+// millions of messages per second, against MN CPU cores that serve roughly
+// half a million RPCs per second each.
+type Config struct {
+	// RTT is the network round-trip time charged to every synchronous verb.
+	RTT int64
+	// MsgSvc is the MN RNIC service time per message (1/message-rate).
+	MsgSvc int64
+	// ByteSvcNs is the additional RNIC service time per payload byte,
+	// in nanoseconds (fractional; models link bandwidth).
+	ByteSvcNs float64
+	// NICUnits is the number of parallel RNIC processing units.
+	NICUnits int
+	// CPUCores is the number of MN CPU cores available to the controller.
+	CPUCores int
+	// RPCSvc is the base MN CPU time consumed by one RPC.
+	RPCSvc int64
+	// RPCByteSvcNs is additional MN CPU time per RPC payload byte.
+	RPCByteSvcNs float64
+}
+
+// DefaultConfig returns the calibration used throughout the evaluation
+// harness.
+func DefaultConfig() Config {
+	return Config{
+		RTT:          2 * sim.Microsecond,
+		MsgSvc:       25,   // 40 M messages/s aggregate
+		ByteSvcNs:    0.02, // small-message regime: message rate, not bandwidth, binds
+		NICUnits:     1,
+		CPUCores:     1, // the paper uses 1 core to model weak MN compute
+		RPCSvc:       1500,
+		RPCByteSvcNs: 0.5,
+	}
+}
+
+// Stats counts fabric operations, used by tests and by the ablation
+// experiments to verify how many verbs each protocol issues.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	CASes      int64
+	FAAs       int64
+	RPCs       int64
+	AsyncOps   int64
+	ReadBytes  int64
+	WriteBytes int64
+}
+
+// Total returns the total number of verbs (including RPCs).
+func (s *Stats) Total() int64 {
+	return s.Reads + s.Writes + s.CASes + s.FAAs + s.RPCs
+}
+
+// Handler serves an RPC opcode on the memory node's controller.
+type Handler func(payload []byte) []byte
+
+// Node is a memory node: registered memory, an RNIC, and a weak controller
+// CPU that serves RPCs. All state is safe to access from any sim process
+// because only one process runs at a time.
+type Node struct {
+	env      *sim.Env
+	mem      []byte
+	nic      *sim.Resource
+	cpu      *sim.Resource
+	handlers map[uint8]Handler
+	cfg      Config
+
+	// Stats accumulates verb counts across all endpoints.
+	Stats Stats
+}
+
+// NewNode creates a memory node with size bytes of registered memory.
+func NewNode(env *sim.Env, size int, cfg Config) *Node {
+	if cfg.NICUnits < 1 {
+		cfg.NICUnits = 1
+	}
+	if cfg.CPUCores < 1 {
+		cfg.CPUCores = 1
+	}
+	return &Node{
+		env:      env,
+		mem:      make([]byte, size),
+		nic:      sim.NewResource(env, cfg.NICUnits),
+		cpu:      sim.NewResource(env, cfg.CPUCores),
+		handlers: make(map[uint8]Handler),
+		cfg:      cfg,
+	}
+}
+
+// Env returns the node's simulation environment.
+func (n *Node) Env() *sim.Env { return n.env }
+
+// Config returns the node's timing configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// MemSize returns the size of the registered region in bytes.
+func (n *Node) MemSize() int { return len(n.mem) }
+
+// CPU exposes the controller CPU resource so experiments can scale MN cores
+// (Figure 15) or inspect utilization.
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// NIC exposes the RNIC resource for utilization inspection.
+func (n *Node) NIC() *sim.Resource { return n.nic }
+
+// Handle registers an RPC handler for an opcode. Registering the same
+// opcode twice panics: opcodes are a static protocol.
+func (n *Node) Handle(op uint8, h Handler) {
+	if _, dup := n.handlers[op]; dup {
+		panic(fmt.Sprintf("rdma: duplicate RPC opcode %d", op))
+	}
+	n.handlers[op] = h
+}
+
+func (n *Node) check(addr uint64, length int) {
+	if length < 0 || addr+uint64(length) > uint64(len(n.mem)) {
+		panic(fmt.Sprintf("rdma: access [%d,+%d) outside region of %d bytes",
+			addr, length, len(n.mem)))
+	}
+}
+
+func (n *Node) msgSvc(bytes int) int64 {
+	return n.cfg.MsgSvc + int64(n.cfg.ByteSvcNs*float64(bytes))
+}
+
+// Endpoint is a client-side queue pair bound to one sim process. Verbs
+// advance that process's virtual time.
+type Endpoint struct {
+	node *Node
+	p    *sim.Proc
+}
+
+// NewEndpoint connects process p to the node.
+func NewEndpoint(node *Node, p *sim.Proc) *Endpoint {
+	return &Endpoint{node: node, p: p}
+}
+
+// Proc returns the owning process.
+func (e *Endpoint) Proc() *sim.Proc { return e.p }
+
+// Node returns the remote node.
+func (e *Endpoint) Node() *Node { return e.node }
+
+// sync charges one NIC message of the given payload size and blocks the
+// caller for queueing plus one RTT.
+func (e *Endpoint) sync(bytes int) {
+	end := e.node.nic.Acquire(e.node.msgSvc(bytes))
+	e.p.SleepUntil(end + e.node.cfg.RTT)
+}
+
+// Read performs a one-sided RDMA_READ of length bytes at addr and returns a
+// copy of the data as observed at completion time.
+func (e *Endpoint) Read(addr uint64, length int) []byte {
+	n := e.node
+	n.check(addr, length)
+	n.Stats.Reads++
+	n.Stats.ReadBytes += int64(length)
+	e.sync(length)
+	out := make([]byte, length)
+	copy(out, n.mem[addr:addr+uint64(length)])
+	return out
+}
+
+// ReadInto is Read without allocation; buf's length selects the size.
+func (e *Endpoint) ReadInto(addr uint64, buf []byte) {
+	n := e.node
+	n.check(addr, len(buf))
+	n.Stats.Reads++
+	n.Stats.ReadBytes += int64(len(buf))
+	e.sync(len(buf))
+	copy(buf, n.mem[addr:addr+uint64(len(buf))])
+}
+
+// Write performs a one-sided RDMA_WRITE and waits for completion.
+func (e *Endpoint) Write(addr uint64, data []byte) {
+	n := e.node
+	n.check(addr, len(data))
+	n.Stats.Writes++
+	n.Stats.WriteBytes += int64(len(data))
+	e.sync(len(data))
+	copy(n.mem[addr:addr+uint64(len(data))], data)
+}
+
+// WriteAsync posts an RDMA_WRITE without waiting for its completion (the
+// paper uses unsignalled writes for metadata off the critical path). The
+// message still consumes RNIC capacity; the data is applied immediately,
+// which is a benign simplification for metadata that only this client
+// updates in the window.
+func (e *Endpoint) WriteAsync(addr uint64, data []byte) {
+	n := e.node
+	n.check(addr, len(data))
+	n.Stats.Writes++
+	n.Stats.AsyncOps++
+	n.Stats.WriteBytes += int64(len(data))
+	n.nic.Acquire(n.msgSvc(len(data)))
+	copy(n.mem[addr:addr+uint64(len(data))], data)
+}
+
+// CAS atomically compares-and-swaps the 8-byte word at addr. It returns the
+// value observed before the operation and whether the swap happened.
+func (e *Endpoint) CAS(addr uint64, expect, swap uint64) (old uint64, swapped bool) {
+	n := e.node
+	n.check(addr, 8)
+	n.Stats.CASes++
+	e.sync(8)
+	// The atomic takes effect at completion time: re-read after sleeping so
+	// that verbs that completed earlier in virtual time are observed.
+	old = binary.LittleEndian.Uint64(n.mem[addr:])
+	if old == expect {
+		binary.LittleEndian.PutUint64(n.mem[addr:], swap)
+		return old, true
+	}
+	return old, false
+}
+
+// FAA atomically fetches-and-adds delta to the 8-byte word at addr,
+// returning the previous value.
+func (e *Endpoint) FAA(addr uint64, delta uint64) uint64 {
+	n := e.node
+	n.check(addr, 8)
+	n.Stats.FAAs++
+	e.sync(8)
+	old := binary.LittleEndian.Uint64(n.mem[addr:])
+	binary.LittleEndian.PutUint64(n.mem[addr:], old+delta)
+	return old
+}
+
+// FAAAsync posts a fetch-and-add without waiting (used by the FC cache when
+// flushing combined frequency updates off the critical path).
+func (e *Endpoint) FAAAsync(addr uint64, delta uint64) {
+	n := e.node
+	n.check(addr, 8)
+	n.Stats.FAAs++
+	n.Stats.AsyncOps++
+	n.nic.Acquire(n.msgSvc(8))
+	old := binary.LittleEndian.Uint64(n.mem[addr:])
+	binary.LittleEndian.PutUint64(n.mem[addr:], old+delta)
+}
+
+// RPC sends a request to the MN controller and returns its reply. The
+// request consumes two NIC messages (request + reply) and queues on the MN
+// CPU, which is the scarce resource the paper's baselines saturate.
+func (e *Endpoint) RPC(op uint8, payload []byte) []byte {
+	n := e.node
+	h, ok := n.handlers[op]
+	if !ok {
+		panic(fmt.Sprintf("rdma: no handler for RPC opcode %d", op))
+	}
+	n.Stats.RPCs++
+	n.nic.Acquire(n.msgSvc(len(payload)))
+	svc := n.cfg.RPCSvc + int64(n.cfg.RPCByteSvcNs*float64(len(payload)))
+	end := n.cpu.Acquire(svc)
+	reply := h(payload)
+	n.nic.Acquire(n.msgSvc(len(reply)))
+	e.p.SleepUntil(end + n.cfg.RTT)
+	return reply
+}
+
+// Mem returns direct access to the registered region. It exists for
+// server-side components that legitimately live on the node (the
+// controller, or the monolithic-server baselines) and for tests; client
+// protocols must never touch it.
+func (n *Node) Mem() []byte { return n.mem }
+
+// Uint64At reads an 8-byte little-endian word server-side (no cost).
+func (n *Node) Uint64At(addr uint64) uint64 {
+	n.check(addr, 8)
+	return binary.LittleEndian.Uint64(n.mem[addr:])
+}
+
+// PutUint64At writes an 8-byte little-endian word server-side (no cost).
+func (n *Node) PutUint64At(addr uint64, v uint64) {
+	n.check(addr, 8)
+	binary.LittleEndian.PutUint64(n.mem[addr:], v)
+}

@@ -1,0 +1,314 @@
+// Package sim implements a deterministic discrete-event virtual-time
+// execution environment.
+//
+// Ditto's evaluation depends on counting round trips and on which shared
+// resource (the memory-node RNIC's message rate, or the memory-node CPU)
+// saturates first. This package provides the substrate used to model that
+// behaviour without RDMA hardware: goroutine-backed processes advance a
+// shared virtual clock one event at a time, and Resource models k-server
+// FIFO queueing in virtual time.
+//
+// Exactly one process runs at any instant; processes hand control back to
+// the scheduler whenever they sleep, wait, or finish. Interleaving therefore
+// happens at event boundaries, which is precisely the granularity at which
+// remote verbs (READ/WRITE/CAS/FAA) interleave on real disaggregated
+// memory. The model is fully deterministic for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Virtual-time unit constants. Virtual time is int64 nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000
+	Millisecond int64 = 1000 * Microsecond
+	Second      int64 = 1000 * Millisecond
+	Minute      int64 = 60 * Second
+)
+
+// event is a scheduled wake-up of a process.
+type event struct {
+	t   int64
+	seq uint64 // tiebreak for deterministic ordering of same-time events
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Env is a virtual-time environment. Create one with NewEnv, register
+// processes with Go, and drive them with Run.
+type Env struct {
+	now     int64
+	seq     uint64
+	events  eventHeap
+	sched   chan struct{} // processes signal the scheduler here after yielding
+	running int           // live (started, unfinished) processes
+	nextID  int
+	seed    int64
+	stopped bool
+}
+
+// NewEnv returns an environment at virtual time zero. The seed determines
+// every random choice made by processes that use their per-process RNG.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		sched: make(chan struct{}),
+		seed:  seed,
+	}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Env) Now() int64 { return e.now }
+
+// Stop makes Run return after the currently running process yields.
+// Remaining events are discarded. Processes blocked in Sleep or Wait never
+// resume; their goroutines are abandoned (acceptable for one-shot
+// experiment runs, which always terminate the whole environment).
+func (e *Env) Stop() { e.stopped = true }
+
+func (e *Env) push(t int64, p *Proc) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Proc is a process executing in virtual time. A Proc must only be used
+// from its own goroutine (the function passed to Go).
+type Proc struct {
+	env    *Env
+	resume chan struct{}
+	id     int
+	name   string
+	rng    *rand.Rand
+	done   bool
+}
+
+// ID returns the process's unique id, assigned in Go order.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Rand returns the process's private deterministic RNG.
+func (p *Proc) Rand() *rand.Rand { return p.rng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() int64 { return p.env.now }
+
+// Go registers fn as a new process starting at the current virtual time.
+// It may be called before Run or from inside a running process (e.g. to add
+// clients mid-experiment, as the elasticity experiments do).
+func (e *Env) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoAt(e.now, name, fn)
+}
+
+// GoAt registers fn as a new process that starts at virtual time t (which
+// must be >= Now).
+func (e *Env) GoAt(t int64, name string, fn func(p *Proc)) *Proc {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: GoAt(%d) in the past (now=%d)", t, e.now))
+	}
+	p := &Proc{
+		env:    e,
+		resume: make(chan struct{}),
+		id:     e.nextID,
+		name:   name,
+		rng:    rand.New(rand.NewSource(e.seed ^ int64(uint64(e.nextID+1)*0x9e3779b97f4a7c15>>1))),
+	}
+	e.nextID++
+	e.running++
+	go func() {
+		// The final yield is deferred so the scheduler survives a process
+		// that exits via runtime.Goexit (e.g. t.Fatal inside a test body).
+		defer func() {
+			p.done = true
+			e.running--
+			e.sched <- struct{}{}
+		}()
+		<-p.resume // wait for the scheduler to start us
+		fn(p)
+	}()
+	e.push(t, p)
+	return p
+}
+
+// Run executes events until none remain or Stop is called. It must be
+// called from the goroutine that owns the Env (typically the test or
+// benchmark body). Run may be called repeatedly; later Go calls followed by
+// Run continue the same timeline.
+func (e *Env) Run() {
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.done {
+			continue // stale wake-up for a finished process
+		}
+		if ev.t < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.t
+		ev.p.resume <- struct{}{}
+		<-e.sched
+	}
+	e.stopped = false
+}
+
+// yield returns control to the scheduler and blocks until resumed.
+func (p *Proc) yield() {
+	p.env.sched <- struct{}{}
+	<-p.resume
+}
+
+// Sleep advances the process's virtual time by d nanoseconds. d < 0 is
+// treated as 0 (a pure yield that lets same-time events interleave).
+func (p *Proc) Sleep(d int64) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.push(p.env.now+d, p)
+	p.yield()
+}
+
+// SleepUntil advances the process to virtual time t. If t is in the past it
+// behaves like Sleep(0).
+func (p *Proc) SleepUntil(t int64) {
+	if t < p.env.now {
+		t = p.env.now
+	}
+	p.env.push(t, p)
+	p.yield()
+}
+
+// park blocks the process without scheduling a wake-up. Something else must
+// wake it via wake.
+func (p *Proc) park() { p.yield() }
+
+// wake schedules p to resume at time t.
+func (e *Env) wake(p *Proc, t int64) { e.push(t, p) }
+
+// Cond is a virtual-time condition variable: processes Wait, another
+// process Broadcasts to wake all waiters at the current virtual time.
+type Cond struct {
+	env     *Env
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to env.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes every waiter at the current virtual time. The caller
+// keeps running; waiters resume when the caller next yields.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		c.env.wake(w, c.env.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// NumWaiters returns how many processes are blocked on the Cond.
+func (c *Cond) NumWaiters() int { return len(c.waiters) }
+
+// Resource models a k-server FIFO queue in virtual time: think NIC message
+// processors or memory-node CPU cores. Acquire reserves the earliest
+// available server for a given service time and returns the completion
+// time; the caller decides whether to wait for it (synchronous verb) or not
+// (asynchronous/doorbell verb). Because exactly one process runs at a time,
+// no locking is needed.
+type Resource struct {
+	env  *Env
+	free []int64 // next-free virtual time per server
+	// Busy accumulates total service time charged, for utilization stats.
+	Busy int64
+	// Ops counts Acquire calls.
+	Ops int64
+}
+
+// NewResource creates a resource with `servers` parallel servers.
+func NewResource(env *Env, servers int) *Resource {
+	if servers < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{env: env, free: make([]int64, servers)}
+}
+
+// Servers returns the number of parallel servers.
+func (r *Resource) Servers() int { return len(r.free) }
+
+// SetServers changes the number of servers (used by experiments that scale
+// MN CPU cores at runtime). Growing adds idle servers; shrinking drops the
+// busiest ones.
+func (r *Resource) SetServers(n int) {
+	if n < 1 {
+		panic("sim: resource needs at least one server")
+	}
+	for len(r.free) < n {
+		r.free = append(r.free, r.env.now)
+	}
+	if len(r.free) > n {
+		// Keep the n earliest-free servers.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < len(r.free); j++ {
+				if r.free[j] < r.free[i] {
+					r.free[i], r.free[j] = r.free[j], r.free[i]
+				}
+			}
+		}
+		r.free = r.free[:n]
+	}
+}
+
+// Acquire reserves the earliest-free server for svc nanoseconds of service
+// starting no earlier than now, and returns the completion time.
+func (r *Resource) Acquire(svc int64) int64 {
+	best := 0
+	for i := 1; i < len(r.free); i++ {
+		if r.free[i] < r.free[best] {
+			best = i
+		}
+	}
+	start := r.free[best]
+	if now := r.env.now; start < now {
+		start = now
+	}
+	end := start + svc
+	r.free[best] = end
+	r.Busy += svc
+	r.Ops++
+	return end
+}
+
+// Utilization returns Busy divided by (servers × elapsed) for elapsed > 0.
+func (r *Resource) Utilization(elapsed int64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Busy) / (float64(elapsed) * float64(len(r.free)))
+}

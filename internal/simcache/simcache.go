@@ -1,0 +1,241 @@
+// Package simcache is a single-machine cache simulator over the
+// cachealgo framework. The paper uses exactly such a simulator for its
+// motivation studies (Figures 3, 4 and 5: hit rates versus client counts
+// and cache sizes on real-world traces); the baselines also use it for
+// their server-side exact LRU/LFU structures.
+//
+// Two eviction modes are provided:
+//
+//   - exact: the true minimum-priority object is evicted (LRU via a
+//     recency list would be equivalent; we use a lazily-rebuilt heap that
+//     works for any algorithm whose priority changes only on access);
+//   - sampled: Ditto's approximation — K random objects are sampled and
+//     the lowest-priority one is evicted.
+package simcache
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"ditto/internal/cachealgo"
+)
+
+type entry struct {
+	key  uint64
+	meta cachealgo.Metadata
+	ver  uint64 // bumped on each access; stale heap items are skipped
+}
+
+type heapItem struct {
+	key  uint64
+	prio float64
+	ver  uint64
+}
+
+type prioHeap []heapItem
+
+func (h prioHeap) Len() int            { return len(h) }
+func (h prioHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h prioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *prioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Cache simulates one cache instance running one caching algorithm.
+type Cache struct {
+	algo     cachealgo.Algorithm
+	capacity int // object count capacity
+	sampleK  int // 0 = exact eviction
+	entries  map[uint64]*entry
+	keys     []uint64 // dense key set for O(1) sampling
+	keyIdx   map[uint64]int
+	h        prioHeap
+	clock    int64
+	rng      *rand.Rand
+
+	// Hits and Misses count accesses.
+	Hits, Misses int64
+	// Evictions counts evicted objects.
+	Evictions int64
+}
+
+// New creates an exact-eviction cache holding capacity objects.
+func New(algo cachealgo.Algorithm, capacity int) *Cache {
+	return newCache(algo, capacity, 0, 1)
+}
+
+// NewSampled creates a cache using Ditto-style sampled eviction with K
+// samples.
+func NewSampled(algo cachealgo.Algorithm, capacity, k int, seed int64) *Cache {
+	if k < 1 {
+		panic("simcache: sample K must be >= 1")
+	}
+	return newCache(algo, capacity, k, seed)
+}
+
+func newCache(algo cachealgo.Algorithm, capacity, k int, seed int64) *Cache {
+	if capacity < 1 {
+		panic("simcache: capacity must be >= 1")
+	}
+	return &Cache{
+		algo:     algo,
+		capacity: capacity,
+		sampleK:  k,
+		entries:  make(map[uint64]*entry, capacity+1),
+		keyIdx:   make(map[uint64]int, capacity+1),
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of cached objects.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Contains reports whether key is cached, without recording an access.
+func (c *Cache) Contains(key uint64) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Access records a request for key with the given object size, admitting
+// the object on a miss (evicting first if full). It reports whether the
+// access hit.
+func (c *Cache) Access(key uint64, size int) bool {
+	c.clock++
+	if e, ok := c.entries[key]; ok {
+		c.Hits++
+		c.touch(e)
+		return true
+	}
+	c.Misses++
+	c.insert(key, size)
+	return false
+}
+
+// touch applies the framework's default metadata update plus the
+// algorithm's extension rule, mirroring internal/core's access path.
+func (c *Cache) touch(e *entry) {
+	e.meta.Freq++
+	c.algo.UpdateExt(&e.meta, c.clock)
+	e.meta.LastTs = c.clock
+	e.ver++
+	if c.sampleK == 0 {
+		heap.Push(&c.h, heapItem{e.key, c.algo.Priority(&e.meta, c.clock), e.ver})
+	}
+}
+
+func (c *Cache) insert(key uint64, size int) {
+	for len(c.entries) >= c.capacity {
+		c.evict()
+	}
+	e := &entry{key: key}
+	e.meta = cachealgo.Metadata{
+		Size:     size,
+		InsertTs: c.clock,
+		LastTs:   c.clock,
+		Freq:     1,
+	}
+	if n := c.algo.ExtSize(); n > 0 {
+		e.meta.Ext = make([]byte, n)
+		c.algo.InitExt(&e.meta, c.clock)
+	}
+	c.entries[key] = e
+	c.keyIdx[key] = len(c.keys)
+	c.keys = append(c.keys, key)
+	if c.sampleK == 0 {
+		heap.Push(&c.h, heapItem{key, c.algo.Priority(&e.meta, c.clock), e.ver})
+	}
+}
+
+// Resize changes the capacity; shrinking evicts immediately.
+func (c *Cache) Resize(capacity int) {
+	if capacity < 1 {
+		panic("simcache: capacity must be >= 1")
+	}
+	c.capacity = capacity
+	for len(c.entries) > c.capacity {
+		c.evict()
+	}
+}
+
+func (c *Cache) evict() {
+	c.EvictOne()
+}
+
+// EvictOne forces one eviction by the cache's algorithm and returns the
+// victim's key (ok=false when the cache is empty). Server-side baselines
+// (CliqueMap) use it to drive their own capacity accounting.
+func (c *Cache) EvictOne() (uint64, bool) {
+	var victim *entry
+	var vprio float64
+	if c.sampleK == 0 {
+		victim, vprio = c.popExact()
+	} else {
+		victim, vprio = c.pickSampled()
+	}
+	if victim == nil {
+		return 0, false
+	}
+	if obs, ok := c.algo.(cachealgo.EvictionObserver); ok {
+		obs.OnEvict(vprio)
+	}
+	c.remove(victim.key)
+	c.Evictions++
+	return victim.key, true
+}
+
+func (c *Cache) popExact() (*entry, float64) {
+	for c.h.Len() > 0 {
+		item := heap.Pop(&c.h).(heapItem)
+		e, ok := c.entries[item.key]
+		if !ok || e.ver != item.ver {
+			continue // stale
+		}
+		return e, item.prio
+	}
+	return nil, 0
+}
+
+func (c *Cache) pickSampled() (*entry, float64) {
+	if len(c.keys) == 0 {
+		return nil, 0
+	}
+	var best *entry
+	bestPrio := 0.0
+	for i := 0; i < c.sampleK; i++ {
+		k := c.keys[c.rng.Intn(len(c.keys))]
+		e := c.entries[k]
+		p := c.algo.Priority(&e.meta, c.clock)
+		if best == nil || p < bestPrio {
+			best, bestPrio = e, p
+		}
+	}
+	return best, bestPrio
+}
+
+func (c *Cache) remove(key uint64) {
+	idx, ok := c.keyIdx[key]
+	if !ok {
+		return
+	}
+	last := len(c.keys) - 1
+	moved := c.keys[last]
+	c.keys[idx] = moved
+	c.keyIdx[moved] = idx
+	c.keys = c.keys[:last]
+	delete(c.keyIdx, key)
+	delete(c.entries, key)
+}

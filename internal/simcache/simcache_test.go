@@ -1,0 +1,196 @@
+package simcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/cachealgo"
+)
+
+func TestExactLRUOrder(t *testing.T) {
+	c := New(cachealgo.NewLRU(), 3)
+	c.Access(1, 64)
+	c.Access(2, 64)
+	c.Access(3, 64)
+	c.Access(1, 64) // 1 is now most recent; 2 is LRU
+	c.Access(4, 64) // evicts 2
+	if c.Contains(2) {
+		t.Fatal("LRU victim 2 still cached")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if !c.Contains(k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+}
+
+func TestExactLFUOrder(t *testing.T) {
+	c := New(cachealgo.NewLFU(), 3)
+	c.Access(1, 64)
+	c.Access(1, 64)
+	c.Access(1, 64)
+	c.Access(2, 64)
+	c.Access(2, 64)
+	c.Access(3, 64)
+	c.Access(4, 64) // 3 has freq 1 → victim
+	if c.Contains(3) {
+		t.Fatal("LFU victim 3 still cached")
+	}
+	if !c.Contains(1) || !c.Contains(2) || !c.Contains(4) {
+		t.Fatal("wrong working set after LFU eviction")
+	}
+}
+
+func TestHitMissAccounting(t *testing.T) {
+	c := New(cachealgo.NewLRU(), 10)
+	for i := 0; i < 5; i++ {
+		c.Access(uint64(i), 64)
+	}
+	for i := 0; i < 5; i++ {
+		c.Access(uint64(i), 64)
+	}
+	if c.Hits != 5 || c.Misses != 5 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(cachealgo.NewLFU(), 16)
+	for i := 0; i < 1000; i++ {
+		c.Access(uint64(i%77), 64)
+		if c.Len() > 16 {
+			t.Fatalf("len %d exceeds capacity at access %d", c.Len(), i)
+		}
+	}
+}
+
+func TestSampledEvictionApproximatesExact(t *testing.T) {
+	// On a skewed workload, sampled LRU with K=5 must land within a few
+	// points of exact LRU — the premise of Ditto's sample-based eviction
+	// (§4.2, sampling borrowed from Redis).
+	run := func(k int) float64 {
+		var c *Cache
+		if k == 0 {
+			c = New(cachealgo.NewLRU(), 200)
+		} else {
+			c = NewSampled(cachealgo.NewLRU(), 200, k, 7)
+		}
+		// Zipf-ish: key i with probability ∝ 1/(i+1) via simple pattern.
+		x := uint64(12345)
+		for i := 0; i < 60000; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			key := (x >> 33) % 1000
+			key = key * key / 1000 // skew toward small keys
+			c.Access(key, 64)
+		}
+		return c.HitRate()
+	}
+	exact, sampled := run(0), run(5)
+	diff := exact - sampled
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.05 {
+		t.Fatalf("sampled LRU off by %.3f (exact %.3f, sampled %.3f)", diff, exact, sampled)
+	}
+}
+
+func TestResizeShrinkEvicts(t *testing.T) {
+	c := New(cachealgo.NewLRU(), 100)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i), 64)
+	}
+	c.Resize(10)
+	if c.Len() != 10 {
+		t.Fatalf("len after shrink = %d", c.Len())
+	}
+	// The 10 most recently used keys survive under LRU.
+	for i := 90; i < 100; i++ {
+		if !c.Contains(uint64(i)) {
+			t.Fatalf("recent key %d evicted on shrink", i)
+		}
+	}
+}
+
+func TestResizeGrowKeepsContents(t *testing.T) {
+	c := New(cachealgo.NewLRU(), 4)
+	for i := 0; i < 4; i++ {
+		c.Access(uint64(i), 64)
+	}
+	c.Resize(100)
+	if c.Len() != 4 {
+		t.Fatalf("grow changed len to %d", c.Len())
+	}
+	c.Access(99, 64)
+	if c.Evictions != 0 {
+		t.Fatal("grow caused eviction")
+	}
+}
+
+func TestGDSEvictionObserverWired(t *testing.T) {
+	algo := cachealgo.NewGDS()
+	c := New(algo, 2)
+	c.Access(1, 64)
+	c.Access(2, 64)
+	c.Access(3, 64) // forces an eviction → OnEvict must fire (L inflates)
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+}
+
+func TestAllAlgorithmsRunOnChurn(t *testing.T) {
+	for _, info := range cachealgo.All() {
+		c := NewSampled(info.New(), 64, 5, 11)
+		x := uint64(99)
+		for i := 0; i < 5000; i++ {
+			x = x*2862933555777941757 + 3037000493
+			c.Access((x>>40)%500, int(64+(x%4)*64))
+			if c.Len() > 64 {
+				t.Fatalf("%s: capacity exceeded", info.Name)
+			}
+		}
+		if c.Hits == 0 {
+			t.Errorf("%s: zero hits on skewed churn", info.Name)
+		}
+	}
+}
+
+// Property: hits+misses equals accesses and len never exceeds capacity for
+// arbitrary key streams under every eviction mode.
+func TestAccountingProperty(t *testing.T) {
+	f := func(keys []uint16, sampled bool) bool {
+		var c *Cache
+		if sampled {
+			c = NewSampled(cachealgo.NewLFU(), 8, 3, 5)
+		} else {
+			c = New(cachealgo.NewLFU(), 8)
+		}
+		for _, k := range keys {
+			c.Access(uint64(k%64), 64)
+			if c.Len() > 8 {
+				return false
+			}
+		}
+		return c.Hits+c.Misses == int64(len(keys))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("zero capacity", func() { New(cachealgo.NewLRU(), 0) })
+	assertPanics("zero K", func() { NewSampled(cachealgo.NewLRU(), 4, 0, 1) })
+	assertPanics("resize zero", func() { New(cachealgo.NewLRU(), 4).Resize(0) })
+}

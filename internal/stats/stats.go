@@ -1,0 +1,208 @@
+// Package stats provides the measurement plumbing of the benchmark
+// harness: latency histograms with percentile extraction, throughput
+// timelines for the elasticity experiments, CDFs and box-plot summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a log-bucketed latency histogram (1 ns .. ~1 s range,
+// ~2% resolution). It records virtual-time durations.
+type Histogram struct {
+	buckets [1280]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// bucketOf maps a duration to a bucket: 64 buckets per octave.
+func bucketOf(v int64) int {
+	if v < 1 {
+		v = 1
+	}
+	lg := math.Log2(float64(v))
+	b := int(lg * 64)
+	if b >= len(Histogram{}.buckets) {
+		b = len(Histogram{}.buckets) - 1
+	}
+	return b
+}
+
+// valueOf returns the representative value of a bucket (upper edge).
+func valueOf(b int) int64 {
+	return int64(math.Exp2(float64(b+1) / 64))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the sample count.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the mean sample.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Percentile returns the q-th percentile (q in [0,100]).
+func (h *Histogram) Percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(q / 100 * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var acc int64
+	for b, n := range h.buckets {
+		acc += n
+		if acc > target {
+			v := valueOf(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	if other.count > 0 {
+		if h.count == 0 || other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Timeline accumulates completed operations into fixed-width virtual-time
+// windows, for throughput-over-time plots (Figure 1/13).
+type Timeline struct {
+	window int64
+	counts []int64
+}
+
+// NewTimeline creates a timeline with the given window width (ns).
+func NewTimeline(window int64) *Timeline {
+	if window <= 0 {
+		panic("stats: window must be positive")
+	}
+	return &Timeline{window: window}
+}
+
+// Record counts one completion at virtual time t.
+func (t *Timeline) Record(at int64) {
+	idx := int(at / t.window)
+	for len(t.counts) <= idx {
+		t.counts = append(t.counts, 0)
+	}
+	t.counts[idx]++
+}
+
+// Series returns (time-in-windows, ops-per-second) points.
+func (t *Timeline) Series() (times []float64, opsPerSec []float64) {
+	secPerWindow := float64(t.window) / 1e9
+	for i, n := range t.counts {
+		times = append(times, float64(i)*secPerWindow)
+		opsPerSec = append(opsPerSec, float64(n)/secPerWindow)
+	}
+	return times, opsPerSec
+}
+
+// Windows returns the raw per-window counts.
+func (t *Timeline) Windows() []int64 { return t.counts }
+
+// CDF computes the empirical CDF of values; Points returns (value,
+// cumulative fraction) pairs at each distinct value.
+func CDF(values []float64) (xs, ys []float64) {
+	if len(values) == 0 {
+		return nil, nil
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	for i, v := range s {
+		if i > 0 && v == s[i-1] {
+			ys[len(ys)-1] = float64(i+1) / float64(len(s))
+			continue
+		}
+		xs = append(xs, v)
+		ys = append(ys, float64(i+1)/float64(len(s)))
+	}
+	return xs, ys
+}
+
+// Box summarizes a sample for box plots.
+type Box struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// BoxStats computes a five-number summary.
+func BoxStats(values []float64) Box {
+	if len(values) == 0 {
+		return Box{}
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	q := func(p float64) float64 {
+		idx := p * float64(len(s)-1)
+		lo := int(idx)
+		hi := lo + 1
+		if hi >= len(s) {
+			return s[len(s)-1]
+		}
+		frac := idx - float64(lo)
+		return s[lo]*(1-frac) + s[hi]*frac
+	}
+	mean := 0.0
+	for _, v := range s {
+		mean += v
+	}
+	return Box{
+		Min: s[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: s[len(s)-1],
+		Mean: mean / float64(len(s)), N: len(s),
+	}
+}
+
+// String renders the box compactly.
+func (b Box) String() string {
+	return fmt.Sprintf("min=%.3f q1=%.3f med=%.3f q3=%.3f max=%.3f (n=%d)",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+}
+
+// Mops converts (ops, elapsed virtual ns) to millions of ops per second.
+func Mops(ops int64, elapsedNs int64) float64 {
+	if elapsedNs <= 0 {
+		return 0
+	}
+	return float64(ops) / (float64(elapsedNs) / 1e9) / 1e6
+}

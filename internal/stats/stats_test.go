@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1..1000 µs
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if mean := h.Mean(); math.Abs(mean-500500) > 1 {
+		t.Fatalf("mean = %v", mean)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400000 || p50 > 600000 {
+		t.Fatalf("p50 = %d", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 950000 || p99 > 1050000 {
+		t.Fatalf("p99 = %d", p99)
+	}
+	if h.Percentile(100) != 1000000 {
+		t.Fatalf("p100 = %d, want max", h.Percentile(100))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	for i := 0; i < 100; i++ {
+		a.Record(1000)
+		b.Record(100000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if p := a.Percentile(25); p > 2000 {
+		t.Fatalf("p25 = %d", p)
+	}
+	if p := a.Percentile(75); p < 50000 {
+		t.Fatalf("p75 = %d", p)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := &Histogram{}
+		for _, v := range vals {
+			h.Record(int64(v) + 1)
+		}
+		prev := int64(0)
+		for q := 0.0; q <= 100; q += 5 {
+			p := h.Percentile(q)
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	tl := NewTimeline(1e9) // 1-second windows
+	for i := 0; i < 10; i++ {
+		tl.Record(int64(i) * 5e8) // 2 per second
+	}
+	w := tl.Windows()
+	if len(w) != 5 {
+		t.Fatalf("%d windows", len(w))
+	}
+	for i, n := range w {
+		if n != 2 {
+			t.Fatalf("window %d = %d", i, n)
+		}
+	}
+	times, ops := tl.Series()
+	if times[1] != 1 || ops[1] != 2 {
+		t.Fatalf("series: %v %v", times, ops)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs, ys := CDF([]float64{3, 1, 2, 2})
+	if len(xs) != 3 {
+		t.Fatalf("xs = %v", xs)
+	}
+	if xs[0] != 1 || ys[0] != 0.25 {
+		t.Fatalf("first point (%v, %v)", xs[0], ys[0])
+	}
+	if xs[1] != 2 || ys[1] != 0.75 {
+		t.Fatalf("dup point (%v, %v)", xs[1], ys[1])
+	}
+	if ys[2] != 1 {
+		t.Fatalf("last y = %v", ys[2])
+	}
+	if x, y := CDF(nil); x != nil || y != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("quartiles = %v %v", b.Q1, b.Q3)
+	}
+	if b.Mean != 3 {
+		t.Fatalf("mean = %v", b.Mean)
+	}
+	if s := b.String(); len(s) == 0 {
+		t.Fatal("empty string")
+	}
+}
+
+func TestMops(t *testing.T) {
+	if m := Mops(13_200_000, 1e9); math.Abs(m-13.2) > 1e-9 {
+		t.Fatalf("mops = %v", m)
+	}
+	if Mops(5, 0) != 0 {
+		t.Fatal("zero elapsed not handled")
+	}
+}

@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadTwitterTrace(t *testing.T) {
+	data := `# comment
+0,keyA,8,100,1,get,0
+1,keyB,8,200,1,set,3600
+2,keyA,8,100,2,get,0
+3,keyC,8,50,1,gets,0
+`
+	reqs, err := LoadTwitterTrace(strings.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 4 {
+		t.Fatalf("got %d reqs", len(reqs))
+	}
+	if reqs[0].Key != reqs[2].Key {
+		t.Error("same key interned to different ids")
+	}
+	if reqs[0].Key == reqs[1].Key {
+		t.Error("different keys collided")
+	}
+	if !reqs[1].Write || reqs[0].Write || reqs[3].Write {
+		t.Errorf("op parsing wrong: %+v", reqs)
+	}
+	if reqs[0].Size != 108 || reqs[1].Size != 208 {
+		t.Errorf("sizes wrong: %d %d", reqs[0].Size, reqs[1].Size)
+	}
+}
+
+func TestLoadTwitterTraceTruncates(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 100; i++ {
+		sb.WriteString("0,k,8,100,1,get,0\n")
+	}
+	reqs, err := LoadTwitterTrace(strings.NewReader(sb.String()), 10)
+	if err != nil || len(reqs) != 10 {
+		t.Fatalf("got %d reqs, err %v", len(reqs), err)
+	}
+}
+
+func TestLoadTwitterTraceMalformed(t *testing.T) {
+	if _, err := LoadTwitterTrace(strings.NewReader("only,three,fields\n"), 0); err == nil {
+		t.Fatal("no error for malformed line")
+	}
+}
+
+func TestLoadCSVTraceWithHeader(t *testing.T) {
+	data := `key,size,op
+a,128,get
+b,256,set
+a,128,get
+`
+	reqs, err := LoadCSVTrace(strings.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d reqs (header not skipped?)", len(reqs))
+	}
+	if reqs[0].Size != 128 || !reqs[1].Write || reqs[1].Size != 256 {
+		t.Errorf("parse wrong: %+v", reqs)
+	}
+	if reqs[0].Key != reqs[2].Key {
+		t.Error("interning broken")
+	}
+}
+
+func TestLoadCSVTraceBareKeys(t *testing.T) {
+	reqs, err := LoadCSVTrace(strings.NewReader("1001\n1002\n1001\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d reqs", len(reqs))
+	}
+	if reqs[0].Size != DefaultObjectSize {
+		t.Errorf("default size not applied: %d", reqs[0].Size)
+	}
+	if Footprint(reqs) != 2 {
+		t.Errorf("footprint = %d", Footprint(reqs))
+	}
+}
+
+func TestLoadedTraceRunsThroughSimulator(t *testing.T) {
+	data := `key,size
+hot,64
+hot,64
+cold1,64
+hot,64
+cold2,64
+hot,64
+`
+	reqs, err := LoadCSVTrace(strings.NewReader(data), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Footprint(reqs); got != 3 {
+		t.Fatalf("footprint = %d", got)
+	}
+	shards := Shard(reqs, 2)
+	if len(Interleave(shards)) != len(reqs) {
+		t.Fatal("shard/interleave lost requests")
+	}
+}

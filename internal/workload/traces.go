@@ -1,0 +1,339 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Phase parameterizes one regime of a synthetic trace. Each request picks
+// a component by probability:
+//
+//   - burst: re-access one of the most recently used keys (recency
+//     structure → rewards LRU);
+//   - zipf: access a stable skewed hot set (frequency structure → rewards
+//     LFU);
+//   - scan: sequential one-shot sweep over cold keys (pollutes recency
+//     caches → punishes LRU);
+//   - remainder: uniform over the footprint.
+type Phase struct {
+	Requests    int
+	PBurst      float64
+	PZipf       float64
+	PScan       float64
+	BurstWindow int     // how many recent distinct keys bursts re-touch
+	ZipfFrac    float64 // fraction of the footprint forming the hot set
+	ZipfTheta   float64
+}
+
+// TraceSpec describes a reproducible synthetic trace standing in for one
+// of the paper's real-world workloads (Table 2).
+type TraceSpec struct {
+	Name       string
+	Footprint  int // unique keys
+	ObjectSize int
+	Seed       int64
+	Phases     []Phase
+}
+
+// Requests totals the phase lengths.
+func (s TraceSpec) Requests() int {
+	n := 0
+	for _, p := range s.Phases {
+		n += p.Requests
+	}
+	return n
+}
+
+// Build materializes the trace deterministically.
+func (s TraceSpec) Build() []Req {
+	if s.Footprint < 16 {
+		panic("workload: footprint too small")
+	}
+	size := s.ObjectSize
+	if size <= 0 {
+		size = DefaultObjectSize
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	out := make([]Req, 0, s.Requests())
+
+	// Recent-key ring shared across phases (recency carries over).
+	recent := make([]uint64, 0, s.Footprint)
+	scanCursor := 0
+
+	for _, ph := range s.Phases {
+		zipfN := uint64(float64(s.Footprint) * ph.ZipfFrac)
+		if zipfN < 1 {
+			zipfN = 1
+		}
+		theta := ph.ZipfTheta
+		if theta <= 0 {
+			theta = 0.99
+		}
+		var zipf *ScrambledZipfian
+		if ph.PZipf > 0 {
+			zipf = NewScrambledZipfian(zipfN, theta)
+		}
+		window := ph.BurstWindow
+		if window < 1 {
+			window = s.Footprint / 10
+			if window < 1 {
+				window = 1
+			}
+		}
+		for i := 0; i < ph.Requests; i++ {
+			var key uint64
+			x := rng.Float64()
+			switch {
+			case x < ph.PBurst:
+				if len(recent) == 0 {
+					key = uint64(rng.Intn(s.Footprint))
+					break
+				}
+				w := window
+				if w > len(recent) {
+					w = len(recent)
+				}
+				key = recent[len(recent)-1-rng.Intn(w)]
+			case x < ph.PBurst+ph.PZipf:
+				key = zipf.Next(rng)
+			case x < ph.PBurst+ph.PZipf+ph.PScan:
+				key = uint64(scanCursor % s.Footprint)
+				scanCursor++
+			default:
+				key = uint64(rng.Intn(s.Footprint))
+			}
+			out = append(out, Req{Key: key, Size: size})
+			if len(recent) == 0 || recent[len(recent)-1] != key {
+				recent = append(recent, key)
+				if len(recent) > 4*window {
+					recent = recent[len(recent)-2*window:]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ------------------------- named workload stand-ins ----------------------
+
+// LRUFriendly builds a pure recency workload: bursty re-references over a
+// drifting working set, no stable frequency structure.
+func LRUFriendly(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "lru-friendly",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:    requests,
+			PBurst:      0.80,
+			PScan:       0.15,
+			BurstWindow: footprint / 12,
+		}},
+	}
+}
+
+// LFUFriendly builds a pure frequency workload: a stable Zipf hot set
+// polluted by sequential scans that defeat recency caches.
+func LFUFriendly(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "lfu-friendly",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:  requests,
+			PZipf:     0.65,
+			PScan:     0.30,
+			ZipfFrac:  0.25,
+			ZipfTheta: 0.99,
+		}},
+	}
+}
+
+// Changing builds the four-phase workload of Figure 19 (after LeCaR):
+// phases alternate between LRU-friendly and LFU-friendly regimes.
+func Changing(requestsPerPhase, footprint int, seed int64) TraceSpec {
+	lru := Phase{
+		Requests:    requestsPerPhase,
+		PBurst:      0.80,
+		PScan:       0.15,
+		BurstWindow: footprint / 12,
+	}
+	// The LFU-friendly phase is strongly anti-LRU: a small stable hot set
+	// buried in heavy sequential scanning.
+	lfu := Phase{
+		Requests:  requestsPerPhase,
+		PZipf:     0.50,
+		PScan:     0.45,
+		ZipfFrac:  0.12,
+		ZipfTheta: 0.95,
+	}
+	return TraceSpec{
+		Name:      "changing",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases:    []Phase{lru, lfu, lru, lfu},
+	}
+}
+
+// Webmail approximates the FIU webmail block-IO trace: a blend of diurnal
+// recency bursts, a stable frequently-read set, and backup-like scans. The
+// mix is calibrated so that — as the paper's Figure 4 shows for the real
+// trace — LRU wins at small cache sizes and LFU overtakes it at larger
+// ones.
+func Webmail(requests, footprint int, seed int64) TraceSpec {
+	// Real webmail traffic is diurnal: recency-leaning stretches alternate
+	// with frequency-leaning ones. The average mix (0.30 burst, 0.50 zipf,
+	// 0.20 scan) is what produces Figure 4's LRU→LFU crossover with cache
+	// size; the alternation is what Figures 5b and 21 exploit (the best
+	// algorithm shifts within the trace).
+	recency := Phase{
+		Requests:    requests / 4,
+		PBurst:      0.50,
+		PZipf:       0.30,
+		PScan:       0.15,
+		BurstWindow: footprint / 50,
+		ZipfFrac:    0.50,
+		ZipfTheta:   0.70,
+	}
+	frequency := Phase{
+		Requests:    requests / 4,
+		PBurst:      0.10,
+		PZipf:       0.60,
+		PScan:       0.30,
+		BurstWindow: footprint / 50,
+		ZipfFrac:    0.15,
+		ZipfTheta:   0.90,
+	}
+	return TraceSpec{
+		Name:      "webmail",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases:    []Phase{recency, frequency, recency, frequency},
+	}
+}
+
+// TwitterTransient approximates a transient-cache cluster trace: highly
+// skewed, recency-heavy.
+func TwitterTransient(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "twitter-transient",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:    requests,
+			PBurst:      0.60,
+			PZipf:       0.30,
+			PScan:       0.05,
+			BurstWindow: footprint / 25,
+			ZipfFrac:    0.10,
+			ZipfTheta:   0.99,
+		}},
+	}
+}
+
+// TwitterStorage approximates a storage-cache cluster trace: frequency-
+// dominated with moderate skew.
+func TwitterStorage(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "twitter-storage",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:  requests,
+			PZipf:     0.70,
+			PScan:     0.20,
+			ZipfFrac:  0.35,
+			ZipfTheta: 0.99,
+		}},
+	}
+}
+
+// TwitterCompute approximates a compute-cache cluster trace: mixed regime.
+func TwitterCompute(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "twitter-compute",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:    requests,
+			PBurst:      0.35,
+			PZipf:       0.40,
+			PScan:       0.15,
+			BurstWindow: footprint / 15,
+			ZipfFrac:    0.25,
+			ZipfTheta:   0.99,
+		}},
+	}
+}
+
+// IBMLike approximates an IBM Cloud Object Storage trace: large footprint,
+// skewed reads, light scanning.
+func IBMLike(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "ibm-objectstore",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:    requests,
+			PBurst:      0.25,
+			PZipf:       0.50,
+			PScan:       0.15,
+			BurstWindow: footprint / 10,
+			ZipfFrac:    0.20,
+			ZipfTheta:   0.99,
+		}},
+	}
+}
+
+// CloudPhysicsLike approximates a CloudPhysics VM block-IO trace:
+// sequential runs with looping re-reads.
+func CloudPhysicsLike(requests, footprint int, seed int64) TraceSpec {
+	return TraceSpec{
+		Name:      "cloudphysics",
+		Footprint: footprint,
+		Seed:      seed,
+		Phases: []Phase{{
+			Requests:    requests,
+			PBurst:      0.50,
+			PZipf:       0.15,
+			PScan:       0.30,
+			BurstWindow: footprint / 8,
+			ZipfFrac:    0.30,
+			ZipfTheta:   0.99,
+		}},
+	}
+}
+
+// Suite returns a family of n trace specs spanning the recency/frequency
+// spectrum, standing in for the paper's 74-workload (Fig 5a) and
+// 33-workload (Fig 18) suites. Each spec varies the component mix,
+// footprint and seed deterministically.
+func Suite(n, requests, footprint int) []TraceSpec {
+	kinds := []func(int, int, int64) TraceSpec{
+		LRUFriendly, LFUFriendly, Webmail,
+		TwitterTransient, TwitterStorage, TwitterCompute,
+		IBMLike, CloudPhysicsLike,
+	}
+	specs := make([]TraceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		base := kinds[i%len(kinds)](requests, footprint+997*i%footprint, int64(1000+i))
+		base.Name = fmt.Sprintf("%s-%02d", base.Name, i)
+		// Perturb the mix so every member is distinct.
+		ph := &base.Phases[0]
+		tweak := float64(i%5) * 0.03
+		ph.PBurst = clamp01(ph.PBurst + tweak - 0.06)
+		ph.PScan = clamp01(ph.PScan + 0.02*float64(i%3))
+		specs = append(specs, base)
+	}
+	return specs
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ditto/internal/cachealgo"
+	"ditto/internal/simcache"
+)
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000, 0.99)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[uint64]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next(rng)]++
+	}
+	if counts[0] < n/20 {
+		t.Fatalf("rank 0 drew only %d of %d", counts[0], n)
+	}
+	if counts[0] <= counts[100] {
+		t.Fatal("rank 0 not more popular than rank 100")
+	}
+}
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(100, 0.99)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		if v := z.Next(rng); v >= 100 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestScrambledSpreadsHotKeys(t *testing.T) {
+	s := NewScrambledZipfian(10000, 0.99)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[s.Next(rng)]++
+	}
+	// Find the two hottest keys: they should NOT be adjacent ranks.
+	var top1, top2 uint64
+	for k, c := range counts {
+		if c > counts[top1] {
+			top2, top1 = top1, k
+		} else if c > counts[top2] {
+			top2 = k
+		}
+	}
+	if top1+1 == top2 || top2+1 == top1 {
+		t.Fatalf("hot keys adjacent: %d %d (not scrambled)", top1, top2)
+	}
+}
+
+func TestLatestPrefersRecent(t *testing.T) {
+	l := NewLatest(1000, 0.99)
+	rng := rand.New(rand.NewSource(4))
+	recent := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if k := l.Next(rng); k >= 900 {
+			recent++
+		}
+	}
+	if float64(recent)/n < 0.5 {
+		t.Fatalf("only %.2f%% of latest draws in newest 10%%", 100*float64(recent)/n)
+	}
+	was := l.Count()
+	nk := l.Advance()
+	if nk != was || l.Count() != was+1 {
+		t.Fatal("advance bookkeeping wrong")
+	}
+}
+
+func TestYCSBMixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tc := range []struct {
+		kind YCSBKind
+		want float64
+	}{{YCSBA, 0.5}, {YCSBB, 0.05}, {YCSBC, 0}, {YCSBD, 0.05}} {
+		w := NewYCSB(tc.kind, 10000, 256)
+		writes := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			if w.Next(rng).Write {
+				writes++
+			}
+		}
+		got := float64(writes) / n
+		if math.Abs(got-tc.want) > 0.02 {
+			t.Errorf("%v: write fraction %.3f, want %.2f", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestYCSBDInsertsGrowKeySpace(t *testing.T) {
+	w := NewYCSB(YCSBD, 100, 256)
+	rng := rand.New(rand.NewSource(6))
+	maxKey := uint64(0)
+	for i := 0; i < 5000; i++ {
+		r := w.Next(rng)
+		if r.Key > maxKey {
+			maxKey = r.Key
+		}
+	}
+	if maxKey < 100 {
+		t.Fatal("no inserted keys beyond the initial space")
+	}
+}
+
+func TestShardAndInterleave(t *testing.T) {
+	reqs := make([]Req, 10)
+	for i := range reqs {
+		reqs[i].Key = uint64(i)
+	}
+	shards := Shard(reqs, 3)
+	if len(shards) != 3 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Fatalf("sharding lost requests: %d", total)
+	}
+	merged := Interleave(shards)
+	if len(merged) != 10 {
+		t.Fatalf("interleave lost requests: %d", len(merged))
+	}
+	// Round-robin: first three are the shard heads 0, 4, 8.
+	if merged[0].Key != 0 || merged[1].Key != 4 || merged[2].Key != 8 {
+		t.Fatalf("interleave order: %v %v %v", merged[0].Key, merged[1].Key, merged[2].Key)
+	}
+	// Multiset preserved.
+	seen := map[uint64]int{}
+	for _, r := range merged {
+		seen[r.Key]++
+	}
+	for i := 0; i < 10; i++ {
+		if seen[uint64(i)] != 1 {
+			t.Fatalf("key %d appears %d times", i, seen[uint64(i)])
+		}
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	reqs := []Req{{Key: 1}, {Key: 2}, {Key: 1}, {Key: 3}}
+	if f := Footprint(reqs); f != 3 {
+		t.Fatalf("footprint = %d", f)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := Webmail(5000, 2000, 42).Build()
+	b := Webmail(5000, 2000, 42).Build()
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+	c := Webmail(5000, 2000, 43).Build()
+	same := 0
+	for i := range c {
+		if a[i].Key == c[i].Key {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceFootprintBounded(t *testing.T) {
+	spec := LFUFriendly(20000, 3000, 7)
+	reqs := spec.Build()
+	if fp := Footprint(reqs); fp > spec.Footprint {
+		t.Fatalf("footprint %d exceeds spec %d", fp, spec.Footprint)
+	}
+}
+
+// hitRate runs a trace through an exact-eviction cache sized as a fraction
+// of the footprint.
+func hitRate(reqs []Req, algo cachealgo.Algorithm, footprint int, frac float64) float64 {
+	capObjs := int(float64(footprint) * frac)
+	if capObjs < 1 {
+		capObjs = 1
+	}
+	c := simcache.New(algo, capObjs)
+	for _, r := range reqs {
+		c.Access(r.Key, r.Size)
+	}
+	return c.HitRate()
+}
+
+// The calibration tests below pin the property the adaptivity experiments
+// rely on: the designed traces really do have the advertised algorithm
+// affinity (Figures 3, 16, 17, 19).
+
+func TestLRUFriendlyFavorsLRU(t *testing.T) {
+	spec := LRUFriendly(60000, 5000, 11)
+	reqs := spec.Build()
+	lru := hitRate(reqs, cachealgo.NewLRU(), spec.Footprint, 0.1)
+	lfu := hitRate(reqs, cachealgo.NewLFU(), spec.Footprint, 0.1)
+	if lru <= lfu+0.03 {
+		t.Fatalf("LRU %.3f vs LFU %.3f: trace not LRU-friendly", lru, lfu)
+	}
+}
+
+func TestLFUFriendlyFavorsLFU(t *testing.T) {
+	spec := LFUFriendly(60000, 5000, 12)
+	reqs := spec.Build()
+	lru := hitRate(reqs, cachealgo.NewLRU(), spec.Footprint, 0.1)
+	lfu := hitRate(reqs, cachealgo.NewLFU(), spec.Footprint, 0.1)
+	if lfu <= lru+0.03 {
+		t.Fatalf("LFU %.3f vs LRU %.3f: trace not LFU-friendly", lfu, lru)
+	}
+}
+
+func TestChangingHasBothRegimes(t *testing.T) {
+	spec := Changing(30000, 5000, 13)
+	reqs := spec.Build()
+	quarter := len(reqs) / 4
+	lruPhase := reqs[:quarter]
+	lfuPhase := reqs[quarter : 2*quarter]
+	lru1 := hitRate(lruPhase, cachealgo.NewLRU(), spec.Footprint, 0.1)
+	lfu1 := hitRate(lruPhase, cachealgo.NewLFU(), spec.Footprint, 0.1)
+	lru2 := hitRate(lfuPhase, cachealgo.NewLRU(), spec.Footprint, 0.1)
+	lfu2 := hitRate(lfuPhase, cachealgo.NewLFU(), spec.Footprint, 0.1)
+	if lru1 <= lfu1 {
+		t.Errorf("phase 1 should favor LRU: %.3f vs %.3f", lru1, lfu1)
+	}
+	if lfu2 <= lru2 {
+		t.Errorf("phase 2 should favor LFU: %.3f vs %.3f", lfu2, lru2)
+	}
+}
+
+func TestSuiteDistinctAndBuildable(t *testing.T) {
+	specs := Suite(16, 2000, 1000)
+	if len(specs) != 16 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		if got := len(s.Build()); got != s.Requests() {
+			t.Fatalf("%s: built %d of %d requests", s.Name, got, s.Requests())
+		}
+	}
+}
+
+func TestKeyBytesFixedWidth(t *testing.T) {
+	a, b := KeyBytes(0), KeyBytes(1<<47)
+	if len(a) != len(b) || len(a) != 16 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Req is one cache request.
+type Req struct {
+	Key   uint64
+	Size  int  // object size in bytes (key+value payload)
+	Write bool // true for UPDATE/INSERT, false for GET
+}
+
+// DefaultObjectSize is the paper's 256-byte key-value pairs.
+const DefaultObjectSize = 256
+
+// Generator produces an endless request stream.
+type Generator interface {
+	Next(rng *rand.Rand) Req
+}
+
+// YCSBKind selects a core workload.
+type YCSBKind int
+
+// The four YCSB core workloads used in the evaluation (§5.1):
+// A = 50% GET / 50% UPDATE, B = 95/5, C = read-only, D = 95% GET /
+// 5% INSERT with latest-distribution reads.
+const (
+	YCSBA YCSBKind = iota
+	YCSBB
+	YCSBC
+	YCSBD
+)
+
+// String names the workload.
+func (k YCSBKind) String() string {
+	return [...]string{"YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D"}[k]
+}
+
+// WriteFraction returns the workload's update/insert ratio.
+func (k YCSBKind) WriteFraction() float64 {
+	return [...]float64{0.5, 0.05, 0, 0.05}[k]
+}
+
+// YCSB generates a core workload over a pre-loaded key space.
+type YCSB struct {
+	kind   YCSBKind
+	keys   uint64
+	zipf   *ScrambledZipfian
+	latest *Latest
+	size   int
+}
+
+// NewYCSB builds workload kind over `keys` pre-generated keys of the given
+// object size (paper: 10 M keys × 256 B, Zipfian θ=0.99).
+func NewYCSB(kind YCSBKind, keys uint64, size int) *YCSB {
+	if keys == 0 {
+		panic("workload: need at least one key")
+	}
+	if size <= 0 {
+		size = DefaultObjectSize
+	}
+	w := &YCSB{kind: kind, keys: keys, size: size}
+	if kind == YCSBD {
+		w.latest = NewLatest(keys, 0.99)
+	} else {
+		w.zipf = NewScrambledZipfian(keys, 0.99)
+	}
+	return w
+}
+
+// Next implements Generator.
+func (w *YCSB) Next(rng *rand.Rand) Req {
+	switch w.kind {
+	case YCSBD:
+		if rng.Float64() < 0.05 {
+			return Req{Key: w.latest.Advance(), Size: w.size, Write: true}
+		}
+		return Req{Key: w.latest.Next(rng), Size: w.size}
+	default:
+		r := Req{Key: w.zipf.Next(rng), Size: w.size}
+		r.Write = rng.Float64() < w.kind.WriteFraction()
+		return r
+	}
+}
+
+// Keys returns the initial key-space size.
+func (w *YCSB) Keys() uint64 { return w.keys }
+
+// Uniform generates uniformly random keys (used by microbenchmarks).
+type Uniform struct {
+	Keys2     uint64
+	Size      int
+	WriteFrac float64
+}
+
+// NewUniform builds a uniform generator.
+func NewUniform(keys uint64, size int, writeFrac float64) *Uniform {
+	return &Uniform{Keys2: keys, Size: size, WriteFrac: writeFrac}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next(rng *rand.Rand) Req {
+	return Req{
+		Key:   rng.Uint64() % u.Keys2,
+		Size:  u.Size,
+		Write: rng.Float64() < u.WriteFrac,
+	}
+}
+
+// Generate materializes n requests from g with a deterministic seed.
+func Generate(g Generator, n int, seed int64) []Req {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Req, n)
+	for i := range out {
+		out[i] = g.Next(rng)
+	}
+	return out
+}
+
+// Shard splits a trace into k contiguous shards (the paper truncates and
+// shards traces so independent clients can load them concurrently).
+func Shard(reqs []Req, k int) [][]Req {
+	if k < 1 {
+		panic("workload: shards must be >= 1")
+	}
+	out := make([][]Req, k)
+	per := (len(reqs) + k - 1) / k
+	for i := 0; i < k; i++ {
+		lo := i * per
+		hi := lo + per
+		if lo > len(reqs) {
+			lo = len(reqs)
+		}
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		out[i] = reqs[lo:hi]
+	}
+	return out
+}
+
+// Interleave merges shards round-robin: the combined access pattern that a
+// cache observes when k clients execute the shards concurrently. This is
+// how changing compute resources changes the access pattern (§3.2): the
+// same trace interleaved k ways has different recency behaviour.
+func Interleave(shards [][]Req) []Req {
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	out := make([]Req, 0, total)
+	idx := make([]int, len(shards))
+	for len(out) < total {
+		for i, s := range shards {
+			if idx[i] < len(s) {
+				out = append(out, s[idx[i]])
+				idx[i]++
+			}
+		}
+	}
+	return out
+}
+
+// KeyBytes renders a key as the fixed-width byte string clients store.
+func KeyBytes(key uint64) []byte {
+	return []byte(fmt.Sprintf("k%015x", key))
+}
+
+// Footprint returns the number of unique keys in a trace — the quantity
+// the paper sizes caches against ("% of footprint").
+func Footprint(reqs []Req) int {
+	seen := make(map[uint64]struct{}, len(reqs)/4+1)
+	for _, r := range reqs {
+		seen[r.Key] = struct{}{}
+	}
+	return len(seen)
+}
