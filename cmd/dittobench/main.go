@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"ditto/internal/bench"
 )
@@ -40,7 +39,9 @@ func main() {
 
 	switch {
 	case *list:
-		fmt.Println("experiments:", strings.Join(bench.IDs(), " "))
+		for _, id := range bench.IDs() {
+			fmt.Printf("%-16s %s\n", id, bench.Describe(id))
+		}
 	case *all:
 		if err := bench.RunAll(os.Stdout, scale); err != nil {
 			fatal(err)

@@ -9,6 +9,12 @@
 // experts of a regret-minimization bandit that adapts the eviction policy
 // to the workload and to elastic resource changes.
 //
+// Elasticity has two memory axes here: a node's heap can grow and shrink
+// in place (Cluster.GrowCache/ShrinkCache, no migration), and a multi-MN
+// pool can gain or lose whole memory nodes at runtime
+// (MultiCluster.AddNode/RemoveNode) with live consistent-hash resharding
+// that migrates only the keys whose owner changed.
+//
 // Because RDMA hardware is not assumed, the fabric is a deterministic
 // virtual-time simulation (see internal/sim and internal/rdma): every verb
 // costs its round trip and queues on the modelled RNIC/CPU resources, so
@@ -75,14 +81,22 @@ func DefaultOptions(expectedObjects, cacheBytes int) Options {
 func Algorithms() []string { return cachealgo.Names() }
 
 // MultiCluster is a Ditto deployment spanning several memory nodes
-// (hash-partitioned key space; §5.1's multi-MN compatibility note).
+// (§5.1's multi-MN compatibility note). Keys are partitioned by a
+// consistent-hash ring, and the pool is elastic at node granularity:
+// AddNode and RemoveNode reshape it at runtime, migrating only the keys
+// whose owner changed through a background reshard that keeps every key
+// readable (Gets are forwarded to a key's old owner until its copy has
+// moved). Use Resharding/WaitReshard to observe migration progress, and
+// GrowCache/ShrinkCache for pool-wide byte-granular elasticity.
 type MultiCluster = core.MultiCluster
 
-// MultiClient routes operations to the memory node owning each key.
+// MultiClient routes operations to the memory node owning each key and
+// serves the forwarding window during live reshards.
 type MultiClient = core.MultiClient
 
 // NewMultiCluster builds a deployment over n memory nodes; opts describes
-// the pool's aggregate capacity.
+// the pool's aggregate capacity. Nodes added later with AddNode receive
+// the same per-node provisioning.
 func NewMultiCluster(env *Env, n int, opts Options) *MultiCluster {
 	return core.NewMultiCluster(env, n, opts)
 }

@@ -49,6 +49,38 @@ func TestPublicAPICustomExperts(t *testing.T) {
 	env.Run()
 }
 
+func TestPublicAPIElasticPool(t *testing.T) {
+	env := ditto.NewEnv(2)
+	pool := ditto.NewMultiCluster(env, 2, ditto.DefaultOptions(1000, 1000*320))
+	env.Go("app", func(p *ditto.Proc) {
+		c := pool.NewClient(p)
+		for i := 0; i < 200; i++ {
+			c.Set([]byte(fmt.Sprintf("key-%d", i)), []byte(fmt.Sprintf("val-%d", i)))
+		}
+		id := pool.AddNode()
+		pool.WaitReshard(p)
+		for i := 0; i < 200; i++ {
+			v, ok := c.Get([]byte(fmt.Sprintf("key-%d", i)))
+			if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("val-%d", i))) {
+				t.Fatalf("key %d lost or stale after scale-out", i)
+			}
+		}
+		pool.RemoveNode(id)
+		pool.WaitReshard(p)
+		if pool.NumNodes() != 2 {
+			t.Fatalf("nodes = %d after scale-in", pool.NumNodes())
+		}
+		for i := 0; i < 200; i++ {
+			if _, ok := c.Get([]byte(fmt.Sprintf("key-%d", i))); !ok {
+				t.Fatalf("key %d lost after scale-in", i)
+			}
+		}
+	})
+	env.Run()
+	pool.ShrinkCache(64 << 10) // both byte-granular axes exist pool-wide
+	pool.GrowCache(64 << 10)
+}
+
 func TestAlgorithmsListed(t *testing.T) {
 	algos := ditto.Algorithms()
 	if len(algos) != 12 {

@@ -1,10 +1,15 @@
 // Elastic: demonstrates Ditto's headline property — compute and memory
-// scale independently, instantly, with no data migration.
+// scale independently, instantly, with no data migration — plus the
+// second memory axis this reproduction adds: growing the memory POOL by
+// whole nodes at runtime, with live resharding.
 //
 // Phase 1 runs 8 clients; phase 2 doubles the compute pool (throughput
 // jumps immediately); phase 3 shrinks it back (resources reclaimed
-// immediately). Then the cache memory is grown mid-run and the hit rate
-// climbs with zero disruption.
+// immediately). Then the cache memory is grown mid-run with zero
+// disruption. Finally a 2-MN deployment scales out to 4 MNs while
+// clients keep reading: the consistent-hash ring moves only the keys
+// whose owner changed, every key stays readable through the migration
+// window, and the new nodes end up serving their share.
 //
 //	go run ./examples/elastic
 package main
@@ -72,4 +77,53 @@ func main() {
 	cluster.GrowCache(keys * 256)
 	fmt.Printf("  heap after:  %d KB (available to every client immediately)\n",
 		cluster.MN.HeapBytes()/1024)
+
+	nodeElasticity()
+}
+
+// nodeElasticity scales a multi-MN pool from 2 to 4 nodes mid-run: the
+// second memory-elasticity axis, with live resharding instead of the
+// stop-the-world migration of Figure 1's Redis experiment.
+func nodeElasticity() {
+	env := ditto.NewEnv(9)
+	const keys = 4000
+	pool := ditto.NewMultiCluster(env, 2, ditto.DefaultOptions(keys*2, keys*512))
+
+	env.Go("loader", func(p *ditto.Proc) {
+		c := pool.NewClient(p)
+		for i := 0; i < keys; i++ {
+			c.Set(workload.KeyBytes(uint64(i)), make([]byte, 240))
+		}
+	})
+	env.Run()
+
+	fmt.Println("\nnode elasticity: scaling the memory pool 2→4 MNs, live:")
+	var during, duringMiss, after int
+	env.Go("reader", func(p *ditto.Proc) {
+		c := pool.NewClient(p)
+		pool.AddNode()
+		for pool.Resharding() { // reads racing the first migration
+			if _, ok := c.Get(workload.KeyBytes(uint64(p.Rand().Int63n(keys)))); ok {
+				during++
+			} else {
+				duringMiss++
+			}
+		}
+		pool.AddNode()
+		pool.WaitReshard(p)
+		for i := 0; i < keys; i++ {
+			if _, ok := c.Get(workload.KeyBytes(uint64(i))); ok {
+				after++
+			}
+		}
+	})
+	env.Run()
+
+	fmt.Printf("  reads served during migration: %d hits, %d misses\n", during, duringMiss)
+	fmt.Printf("  keys readable after scale-out: %d / %d\n", after, keys)
+	fmt.Printf("  keys migrated: %d across %d reshards (modulo routing would move nearly all %d)\n",
+		pool.MigratedKeys, pool.Reshards, keys)
+	for i := 0; i < pool.NumNodes(); i++ {
+		fmt.Printf("  MN %d holds %4d KB\n", pool.NodeID(i), pool.Node(i).MN.UsedBytes/1024)
+	}
 }

@@ -1,0 +1,3 @@
+module ditto
+
+go 1.24

@@ -32,13 +32,41 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	for _, id := range []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn"} {
+	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn", "elastic-reshard"}
+	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
-			t.Errorf("ablation sweep %s missing from registry", id)
+			t.Errorf("extra experiment %s missing from registry", id)
 		}
 	}
-	if len(IDs()) != len(want)+5 {
-		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want)+5)
+	if len(IDs()) != len(want)+len(extras) {
+		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want)+len(extras))
+	}
+	for id, e := range Experiments {
+		if e.Desc == "" {
+			t.Errorf("experiment %s has no description", id)
+		}
+		if Describe(id) != e.Desc {
+			t.Errorf("Describe(%s) mismatch", id)
+		}
+	}
+}
+
+func TestElasticReshardScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("elastic-reshard", &buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"before (2 MN)", "reshard", "after (4 MN)", "keys migrated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("elastic-reshard output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "reshards: 0") || strings.Contains(out, "keys migrated: 0 ") {
+		t.Errorf("no live migration happened:\n%s", out)
+	}
+	if !strings.Contains(out, "final MNs: 4") {
+		t.Errorf("scale-out did not reach 4 MNs:\n%s", out)
 	}
 }
 

@@ -135,9 +135,17 @@ func (c *Client) Close() {
 // Critical path: one READ of the key's bucket plus one READ of the object
 // (a second bucket READ only on overflow), with metadata maintenance off
 // the critical path (§4.1).
-func (c *Client) Get(key []byte) ([]byte, bool) {
+func (c *Client) Get(key []byte) ([]byte, bool) { return c.get(key, false) }
+
+// getProbe is a Get whose miss is silent: no counters, no regret
+// collection, no observer report. MultiClient's forwarding window probes
+// with it so a key sitting on its old owner does not record a phantom
+// miss (and adaptive penalties) on the new owner for every forwarded
+// hit. A probe that hits counts as a normal Get.
+func (c *Client) getProbe(key []byte) ([]byte, bool) { return c.get(key, true) }
+
+func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	start := c.p.Now()
-	c.Stats.Gets++
 	kh := hashtable.KeyHash(key)
 	fp := hashtable.Fingerprint(kh)
 	buckets := [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}
@@ -166,6 +174,7 @@ func (c *Client) Get(key []byte) ([]byte, bool) {
 						continue // fingerprint collision
 					}
 					c.touchOnHit(s, dec, len(key))
+					c.Stats.Gets++
 					c.Stats.Hits++
 					val := append([]byte(nil), dec.value...)
 					c.report(OpGet, start, true)
@@ -178,6 +187,10 @@ func (c *Client) Get(key []byte) ([]byte, bool) {
 		}
 	}
 
+	if probe {
+		return nil, false
+	}
+	c.Stats.Gets++
 	c.Stats.Misses++
 	if c.adapt != nil {
 		c.collectRegrets(histMatches)
@@ -245,6 +258,10 @@ func (c *Client) collectRegrets(matches []hashtable.Slot) {
 
 // ----------------------------------------------------------------- Set ----
 
+// shrinkEvictBatch bounds how many over-budget evictions one Set absorbs
+// after a ShrinkCache, amortizing the drain across the write path.
+const shrinkEvictBatch = 8
+
 // Set inserts or updates key. Critical path for an insert: one READ
 // (bucket search), one WRITE (object to a free location) and one CAS
 // (publish the pointer) — §4.1 — plus eviction work only when the memory
@@ -252,6 +269,11 @@ func (c *Client) collectRegrets(matches []hashtable.Slot) {
 func (c *Client) Set(key, value []byte) {
 	start := c.p.Now()
 	c.Stats.Sets++
+	for i := 0; i < shrinkEvictBatch && c.cl.MN.OverBudget(); i++ {
+		if !c.evictOne() {
+			break
+		}
+	}
 	kh := hashtable.KeyHash(key)
 	fp := hashtable.Fingerprint(kh)
 	size := objBytes(len(key), len(value), c.cl.totalExt)
@@ -272,6 +294,19 @@ func (c *Client) Set(key, value []byte) {
 			return
 		}
 	}
+}
+
+// allocOrEvict allocates size bytes, evicting objects until space frees
+// up; it panics only when the pool is exhausted with nothing evictable.
+func (c *Client) allocOrEvict(size int) uint64 {
+	addr, ok := c.alloc.Alloc(size)
+	for !ok {
+		if !c.evictOne() {
+			panic("core: memory pool exhausted and nothing evictable")
+		}
+		addr, ok = c.alloc.Alloc(size)
+	}
+	return addr
 }
 
 // trySet performs one attempt; false means a CAS race or full bucket was
@@ -325,13 +360,7 @@ func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
 		return false // retry with a freed slot
 	}
 
-	addr, ok := c.alloc.Alloc(size)
-	for !ok {
-		if !c.evictOne() {
-			panic("core: memory pool exhausted and nothing evictable")
-		}
-		addr, ok = c.alloc.Alloc(size)
-	}
+	addr := c.allocOrEvict(size)
 
 	ext := c.initExts(size, now)
 	c.ep.Write(addr, encodeObject(key, value, ext))
@@ -349,13 +378,7 @@ func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
 // to a fresh block and CAS the slot's pointer (out-of-place update, as in
 // RACE hashing).
 func (c *Client) updateInPlace(s hashtable.Slot, old decodedObject, key, value []byte, size int, now int64) bool {
-	addr, ok := c.alloc.Alloc(size)
-	for !ok {
-		if !c.evictOne() {
-			panic("core: memory pool exhausted and nothing evictable")
-		}
-		addr, ok = c.alloc.Alloc(size)
-	}
+	addr := c.allocOrEvict(size)
 	ext := make([]byte, c.cl.totalExt)
 	copy(ext, old.ext)
 	meta := cachealgo.Metadata{
@@ -403,13 +426,137 @@ func (c *Client) initExts(size int, now int64) []byte {
 	return ext
 }
 
+// ----------------------------------------------------------- Migration ----
+
+// migrateIn inserts key with the access metadata it carried on its old
+// memory node — the SET half of a reshard's READ-old/SET-new/delete-behind
+// step. Unlike Set it never overwrites: if the key is already present the
+// destination copy is newer (a client raced ahead during the forwarding
+// window) and must win, so migrateIn returns inserted=false and leaves it
+// alone. On insert it returns the created slot and its atomic field so the
+// resharder can undo the copy with a precise CAS if the source copy turns
+// out to have changed under it.
+func (c *Client) migrateIn(key, value, ext []byte, insertTs, lastTs int64, freq uint64) (inserted bool, slotAddr uint64, atom hashtable.AtomicField) {
+	kh := hashtable.KeyHash(key)
+	fp := hashtable.Fingerprint(kh)
+	size := objBytes(len(key), len(value), c.cl.totalExt)
+
+	for attempt := 0; ; attempt++ {
+		if attempt > 4096 {
+			panic("core: migrateIn could not make progress (table misconfigured?)")
+		}
+		main := c.cl.Layout.MainBucket(kh)
+		backup := c.cl.Layout.BackupBucket(kh)
+
+		// Unlike trySet — which stops at the main bucket once it has a free
+		// slot, keeping an insert at one bucket READ (§4.1's verb budget) —
+		// the absence check here must cover BOTH buckets before committing:
+		// a newer client-written copy can sit in the backup bucket, and
+		// inserting the migrated value ahead of it in the main bucket would
+		// shadow it (Get scans main first). Migration is off the critical
+		// path, so the extra READ is the right trade.
+		var free *hashtable.Slot
+		var fullSlots []hashtable.Slot
+		for _, b := range [2]int{main, backup} {
+			slots := c.ht.ReadBucket(b)
+			for i := range slots {
+				s := slots[i]
+				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
+					continue
+				}
+				obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
+					return false, 0, 0 // newer copy already here; it wins
+				}
+			}
+			if free == nil { // prefer the main bucket, as trySet does
+				for i := range slots {
+					if c.hist.Reclaimable(slots[i]) {
+						free = &slots[i]
+						break
+					}
+				}
+			}
+			fullSlots = append(fullSlots, slots...)
+		}
+		if free == nil {
+			if !c.bucketEvict(fullSlots) {
+				c.reclaimOldestHistory(fullSlots)
+			}
+			continue
+		}
+
+		addr := c.allocOrEvict(size)
+		// The extension layout matches across nodes (same expert list), so
+		// the old node's expert metadata transfers verbatim; pad or trim
+		// defensively in case configurations ever diverge.
+		e := make([]byte, c.cl.totalExt)
+		copy(e, ext)
+		c.ep.Write(addr, encodeObject(key, value, e))
+		want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
+		if _, swapped := c.ht.CASAtomic(free.Addr, free.Atomic, want); !swapped {
+			c.alloc.Free(addr, size)
+			continue // lost the slot race; re-read and re-check presence
+		}
+		c.fc.Forget(free.Addr)
+		c.ht.WriteMetaOnInsert(free.Addr, kh, insertTs, lastTs, freq)
+		// Post-publish duplicate sweep: a client Set that read the buckets
+		// before our CAS landed can have published the same key into a
+		// DIFFERENT slot (both CASes succeed when concurrent slot-freeing
+		// hands the two writers different free slots). That copy is newer
+		// by construction — ours must yield.
+		if c.hasOtherCopy(kh, fp, key, free.Addr) {
+			c.dropMigrated(free.Addr, want)
+			return false, 0, 0
+		}
+		return true, free.Addr, want
+	}
+}
+
+// hasOtherCopy reports whether a live copy of key exists in its buckets
+// at a slot other than exclAddr.
+func (c *Client) hasOtherCopy(kh uint64, fp byte, key []byte, exclAddr uint64) bool {
+	for _, b := range [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)} {
+		for _, s := range c.ht.ReadBucket(b) {
+			if s.Addr == exclAddr || s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
+				continue
+			}
+			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// surrenderFreeBlocks hands the client's local free lists back to the MN
+// controller; called by transient clients (the resharder) on their way
+// out so freed space is not stranded.
+func (c *Client) surrenderFreeBlocks() { c.alloc.Surrender() }
+
+// dropMigrated undoes a migrateIn insert with a precise CAS on the exact
+// slot/value it created. A failed CAS means a client already replaced or
+// deleted the copy — the newer state wins and nothing is freed.
+func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
+	if _, swapped := c.ht.CASAtomic(slotAddr, atom, 0); swapped {
+		c.alloc.Free(atom.Pointer(), int(atom.SizeBlocks())*memnode.BlockSize)
+		c.fc.Forget(slotAddr)
+	}
+}
+
 // -------------------------------------------------------------- Delete ----
 
 // Delete removes key from the cache, reporting whether it was present.
+// The scan covers BOTH buckets to completion rather than stopping at the
+// first match: a reshard's migration window can briefly leave two live
+// copies of a key (a migrated copy and a racing write), and deleting only
+// the first would let the survivor resurrect the key.
 func (c *Client) Delete(key []byte) bool {
 	c.Stats.Deletes++
 	kh := hashtable.KeyHash(key)
 	fp := hashtable.Fingerprint(kh)
+	deleted := false
 	for _, b := range [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)} {
 		for _, s := range c.ht.ReadBucket(b) {
 			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
@@ -423,10 +570,11 @@ func (c *Client) Delete(key []byte) bool {
 			if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
 				c.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
 				c.fc.Forget(s.Addr)
-				return true
+				deleted = true
 			}
-			return false // lost a race; treat as deleted by someone else
+			// On a lost CAS race someone else deleted or replaced this
+			// copy; keep scanning for further copies either way.
 		}
 	}
-	return false
+	return deleted
 }

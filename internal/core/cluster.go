@@ -203,3 +203,11 @@ func (cl *Cluster) HistorySize() int { return cl.histSize }
 // "add memory" elasticity knob of Figure 13/22: no data migration, the new
 // space is simply allocatable by every client.
 func (cl *Cluster) GrowCache(bytes int) { cl.MN.GrowHeap(bytes) }
+
+// ShrinkCache lowers the cache's memory budget by bytes at runtime — the
+// "remove memory" counterpart of GrowCache, completing the second
+// elasticity axis. The limit drops immediately; live objects above the
+// new budget are drained by client write paths, which evict a bounded
+// batch per Set while the node is over budget (so the cost is amortized
+// across operations instead of stalling one unlucky client).
+func (cl *Cluster) ShrinkCache(bytes int) { cl.MN.ShrinkHeap(bytes) }

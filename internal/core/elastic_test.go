@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+// TestMultiClientRouteUniform checks that the consistent-hash routing
+// spreads a large key population evenly enough across MNs that no shard
+// becomes a hotspot.
+func TestMultiClientRouteUniform(t *testing.T) {
+	env := sim.NewEnv(1)
+	mc := NewMultiCluster(env, 4, DefaultOptions(4000, 4000*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		counts := make(map[int]int)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			cur, old := c.owner(key(i))
+			if old != -1 {
+				t.Fatalf("forwarding window active outside a reshard")
+			}
+			counts[cur]++
+		}
+		mean := n / mc.NumNodes()
+		for id, got := range counts {
+			if got < mean*6/10 || got > mean*14/10 {
+				t.Errorf("node %d owns %d of %d keys, want within 40%% of %d", id, got, n, mean)
+			}
+		}
+		if len(counts) != 4 {
+			t.Errorf("only %d of 4 nodes receive keys", len(counts))
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterAddNodeKeepsKeys is the headline reshard invariant:
+// every key written before an AddNode stays readable with its exact value
+// DURING the live migration and after it completes, and the new node ends
+// up owning a share of the data.
+func TestMultiClusterAddNodeKeepsKeys(t *testing.T) {
+	env := sim.NewEnv(1)
+	const n = 300
+	mc := NewMultiCluster(env, 2, DefaultOptions(1500, 1500*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			c.Set(key(i), value(i))
+		}
+		id := mc.AddNode()
+		if !mc.Resharding() {
+			t.Fatal("AddNode did not start a reshard")
+		}
+		during := 0
+		for mc.Resharding() {
+			i := int(p.Rand().Int63n(n))
+			v, ok := c.Get(key(i))
+			if !ok {
+				t.Fatalf("key %d unreadable during reshard", i)
+			}
+			if !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d stale during reshard", i)
+			}
+			during++
+		}
+		if during == 0 {
+			t.Error("reshard finished before any concurrent read")
+		}
+		for i := 0; i < n; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d lost or stale after reshard", i)
+			}
+		}
+		if mc.NumNodes() != 3 {
+			t.Fatalf("nodes = %d after AddNode", mc.NumNodes())
+		}
+		if mc.MigratedKeys == 0 || mc.Reshards != 1 {
+			t.Fatalf("migration stats: moved=%d reshards=%d", mc.MigratedKeys, mc.Reshards)
+		}
+		if mc.nodes[id].MN.UsedBytes == 0 {
+			t.Error("new node holds no data after reshard")
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterRemoveNodeDrains checks the scale-in direction: a
+// drained node's keys migrate to the survivors, stay readable throughout,
+// and the node leaves the pool empty.
+func TestMultiClusterRemoveNodeDrains(t *testing.T) {
+	env := sim.NewEnv(2)
+	const n = 300
+	mc := NewMultiCluster(env, 3, DefaultOptions(1500, 1500*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			c.Set(key(i), value(i))
+		}
+		victimID := mc.NodeID(2)
+		victim := mc.Node(2)
+		mc.RemoveNode(victimID)
+		during := 0
+		for mc.Resharding() {
+			i := int(p.Rand().Int63n(n))
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d lost or stale during drain", i)
+			}
+			during++
+		}
+		if during == 0 {
+			t.Error("drain finished before any concurrent read")
+		}
+		if mc.NumNodes() != 2 {
+			t.Fatalf("nodes = %d after RemoveNode", mc.NumNodes())
+		}
+		if victim.MN.UsedBytes != 0 {
+			t.Errorf("drained node still holds %d bytes", victim.MN.UsedBytes)
+		}
+		for i := 0; i < n; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d lost or stale after drain", i)
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterSetDuringReshard: writes racing the migration must win —
+// after the reshard, the freshest value is served, never a migrated stale
+// copy.
+func TestMultiClusterSetDuringReshard(t *testing.T) {
+	env := sim.NewEnv(3)
+	const n = 200
+	mc := NewMultiCluster(env, 2, DefaultOptions(1000, 1000*320))
+	fresh := func(i int) []byte { return bytes.Repeat([]byte{0xAB}, 80) }
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			c.Set(key(i), value(i))
+		}
+		mc.AddNode()
+		rewritten := 0
+		for i := 0; i < n && mc.Resharding(); i++ {
+			c.Set(key(i), fresh(i))
+			rewritten++
+		}
+		if rewritten == 0 {
+			t.Skip("reshard completed before any overwrite landed")
+		}
+		mc.WaitReshard(p)
+		for i := 0; i < rewritten; i++ {
+			v, ok := c.Get(key(i))
+			if !ok {
+				t.Fatalf("key %d lost after reshard", i)
+			}
+			if !bytes.Equal(v, fresh(i)) {
+				t.Fatalf("key %d serves a stale pre-reshard value", i)
+			}
+		}
+		for i := rewritten; i < n; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("untouched key %d lost or stale", i)
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterDeleteDuringReshard: a key deleted while its shard is
+// migrating must stay deleted — the resharder may not resurrect it.
+func TestMultiClusterDeleteDuringReshard(t *testing.T) {
+	env := sim.NewEnv(4)
+	const n = 200
+	mc := NewMultiCluster(env, 2, DefaultOptions(1000, 1000*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			c.Set(key(i), value(i))
+		}
+		mc.AddNode()
+		deleted := 0
+		for i := 0; i < n/2 && mc.Resharding(); i++ {
+			c.Delete(key(i))
+			deleted++
+		}
+		if deleted == 0 {
+			t.Skip("reshard completed before any delete landed")
+		}
+		mc.WaitReshard(p)
+		for i := 0; i < deleted; i++ {
+			if _, ok := c.Get(key(i)); ok {
+				t.Fatalf("deleted key %d resurrected by the reshard", i)
+			}
+		}
+		for i := deleted; i < n; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("surviving key %d lost or stale", i)
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterSerialMembershipChanges grows 2→4 and back down to 2,
+// checking data integrity across the whole sequence.
+func TestMultiClusterSerialMembershipChanges(t *testing.T) {
+	env := sim.NewEnv(5)
+	const n = 200
+	mc := NewMultiCluster(env, 2, DefaultOptions(1000, 1000*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			c.Set(key(i), value(i))
+		}
+		a := mc.AddNode()
+		mc.WaitReshard(p)
+		b := mc.AddNode()
+		mc.WaitReshard(p)
+		if mc.NumNodes() != 4 {
+			t.Fatalf("nodes = %d, want 4", mc.NumNodes())
+		}
+		mc.RemoveNode(a)
+		mc.WaitReshard(p)
+		mc.RemoveNode(b)
+		mc.WaitReshard(p)
+		if mc.NumNodes() != 2 {
+			t.Fatalf("nodes = %d, want 2", mc.NumNodes())
+		}
+		for i := 0; i < n; i++ {
+			v, ok := c.Get(key(i))
+			if !ok || !bytes.Equal(v, value(i)) {
+				t.Fatalf("key %d lost or stale after grow+shrink cycle", i)
+			}
+		}
+		if mc.Reshards != 4 {
+			t.Fatalf("reshards = %d, want 4", mc.Reshards)
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterValidationElastic covers the membership-change guard
+// rails.
+func TestMultiClusterValidationElastic(t *testing.T) {
+	env := sim.NewEnv(6)
+	mc := NewMultiCluster(env, 1, DefaultOptions(100, 100*320))
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("RemoveNode(last)", func() { mc.RemoveNode(mc.NodeID(0)) })
+	expectPanic("RemoveNode(unknown)", func() { mc.RemoveNode(99) })
+	mc.AddNode()
+	expectPanic("AddNode mid-reshard", func() { mc.AddNode() })
+	env.Run() // drain the resharder
+	if mc.Resharding() {
+		t.Fatal("reshard still pending after Run")
+	}
+}
+
+// TestClusterShrinkCache exercises the single-node "remove memory" knob:
+// after ShrinkCache the budget drops immediately and the write path drains
+// live data down under the new limit.
+func TestClusterShrinkCache(t *testing.T) {
+	env := sim.NewEnv(7)
+	cl := NewCluster(env, DefaultOptions(500, 500*320))
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		for i := 0; i < 500; i++ {
+			c.Set(key(i), value(i))
+		}
+		before := cl.MN.HeapBytes()
+		cl.ShrinkCache(before * 3 / 4)
+		if got := cl.MN.HeapBytes(); got >= before {
+			t.Fatalf("heap did not shrink: %d -> %d", before, got)
+		}
+		if !cl.MN.OverBudget() {
+			t.Fatal("cache not over budget after halving a full heap")
+		}
+		// Ordinary writes amortize the drain.
+		for i := 0; i < 500 && cl.MN.OverBudget(); i++ {
+			c.Set(key(i%100), value(i))
+		}
+		if cl.MN.OverBudget() {
+			t.Fatalf("still over budget after drain: used=%d heap=%d",
+				cl.MN.UsedBytes, cl.MN.HeapBytes())
+		}
+		if c.Stats.Evictions == 0 {
+			t.Error("shrink drained without evictions")
+		}
+	})
+	env.Run()
+}
+
+// TestMultiClusterShrinkCache checks the pool-wide shrink splits across
+// MNs like GrowCache does.
+func TestMultiClusterShrinkCache(t *testing.T) {
+	env := sim.NewEnv(8)
+	mc := NewMultiCluster(env, 2, DefaultOptions(200, 128000))
+	before := mc.Node(0).MN.HeapBytes() + mc.Node(1).MN.HeapBytes()
+	mc.ShrinkCache(32000)
+	after := mc.Node(0).MN.HeapBytes() + mc.Node(1).MN.HeapBytes()
+	if before-after < 32000 {
+		t.Fatalf("shrank %d, want >= 32000", before-after)
+	}
+}

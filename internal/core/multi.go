@@ -1,28 +1,68 @@
 package core
 
 import (
+	"bytes"
+	"sort"
+
 	"ditto/internal/hashtable"
+	"ditto/internal/memnode"
+	"ditto/internal/ring"
 	"ditto/internal/sim"
 )
 
 // MultiCluster is a Ditto deployment over several memory nodes. The paper
 // evaluates with one MN but notes Ditto "is compatible with memory pools
 // with multiple MNs as long as the memory pool offers the required
-// interfaces" (§5.1): keys are hash-partitioned across MNs, each MN hosts
-// its own table shard, heap, history counter and controller. Compute-side
-// elasticity is unchanged; memory elasticity gains a second axis (grow one
-// MN, or add MNs at a reshard boundary).
+// interfaces" (§5.1): keys are partitioned across MNs by a consistent-hash
+// ring (internal/ring), each MN hosts its own table shard, heap, history
+// counter and controller. Compute-side elasticity is unchanged; memory
+// elasticity gains a second axis — grow/shrink one MN's heap, or add and
+// remove whole MNs at runtime with AddNode and RemoveNode.
+//
+// A membership change starts a reshard: a background sim process walks the
+// affected table shards with the same one-sided verbs clients use (READ
+// the old copy, SET it on the new owner, delete behind) and migrates only
+// the keys whose ring owner changed. While the reshard is in flight the
+// old and new rings are both live: Gets that miss on the new owner are
+// forwarded to the old owner, so no key ever disappears mid-migration,
+// and the migration copy never overwrites a value written during the
+// window (the copy is insert-if-absent, and it is undone with a precise
+// CAS when the source copy was concurrently deleted or replaced).
+//
+// The repair discipline is detect-then-repair, not atomic, so two
+// bounded staleness windows exist DURING a reshard and are resolved by
+// its end: a Delete racing the migration of its own key can see the dead
+// value transiently readable for a few verb round trips before the undo
+// lands, and a write racing a migrated insert into a different slot can
+// be shadowed by the stale copy until the resharder's final verification
+// sweep drops it. Neither survives the reshard.
 //
 // Adaptive state is kept per MN: each MN's controller aggregates the
 // weights for the keys it hosts. Access patterns are hash-split, so the
 // per-MN mixes converge to the global mix.
 type MultiCluster struct {
-	Env      *sim.Env
-	clusters []*Cluster
+	Env *sim.Env
+
+	perNode Options          // per-MN sizing, fixed at construction
+	nodes   map[int]*Cluster // node ID → cluster
+	order   []int            // active node IDs, in Node() index order
+	nextID  int
+
+	hashRing *ring.Ring // current (target) routing ring
+	oldRing  *ring.Ring // pre-reshard ring; non-nil while migrating
+	draining int        // node being drained by RemoveNode (-1 otherwise)
+	epoch    uint64     // bumped on every ring change (clients re-route)
+	done     *sim.Cond  // broadcast when a reshard completes
+
+	// Reshards counts completed membership changes; MigratedKeys counts
+	// objects moved between MNs by resharding.
+	Reshards     int64
+	MigratedKeys int64
 }
 
 // NewMultiCluster creates n memory nodes, each provisioned with opts
-// scaled down by n (objects and bytes split evenly).
+// scaled down by n (objects and bytes split evenly). Nodes added later
+// with AddNode get the same per-node provisioning.
 func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 	if n < 1 {
 		panic("core: need at least one memory node")
@@ -33,73 +73,463 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 	if per.MaxCacheBytes > 0 {
 		per.MaxCacheBytes = (opts.MaxCacheBytes + n - 1) / n
 	}
-	mc := &MultiCluster{Env: env}
+	mc := &MultiCluster{
+		Env:      env,
+		perNode:  per,
+		nodes:    make(map[int]*Cluster),
+		hashRing: ring.New(0),
+		draining: -1,
+		done:     sim.NewCond(env),
+	}
 	for i := 0; i < n; i++ {
-		mc.clusters = append(mc.clusters, NewCluster(env, per))
+		id := mc.provision()
+		mc.hashRing = mc.hashRing.With(id)
 	}
 	return mc
 }
 
-// NumNodes returns the memory-node count.
-func (mc *MultiCluster) NumNodes() int { return len(mc.clusters) }
+// provision creates one MN and registers it, without touching the routing
+// ring — the caller decides whether the join is immediate (construction)
+// or via a reshard (AddNode).
+func (mc *MultiCluster) provision() int {
+	id := mc.nextID
+	mc.nextID++
+	mc.nodes[id] = NewCluster(mc.Env, mc.perNode)
+	mc.order = append(mc.order, id)
+	return id
+}
+
+// NumNodes returns the memory-node count (a draining node counts until
+// its removal completes).
+func (mc *MultiCluster) NumNodes() int { return len(mc.order) }
 
 // Node returns the i-th memory node's cluster view (for resource knobs and
-// stats).
-func (mc *MultiCluster) Node(i int) *Cluster { return mc.clusters[i] }
+// stats). Indices shift when RemoveNode completes; NodeID gives the stable
+// handle.
+func (mc *MultiCluster) Node(i int) *Cluster { return mc.nodes[mc.order[i]] }
 
-// GrowCache grows every MN's heap by bytes/n — memory elasticity across
-// the pool.
-func (mc *MultiCluster) GrowCache(bytes int) {
-	per := (bytes + len(mc.clusters) - 1) / len(mc.clusters)
-	for _, cl := range mc.clusters {
-		cl.GrowCache(per)
+// NodeID returns the i-th node's stable ID (as returned by AddNode and
+// accepted by RemoveNode).
+func (mc *MultiCluster) NodeID(i int) int { return mc.order[i] }
+
+// Resharding reports whether a membership change is still migrating keys.
+func (mc *MultiCluster) Resharding() bool { return mc.oldRing != nil }
+
+// WaitReshard blocks p until no reshard is in flight.
+func (mc *MultiCluster) WaitReshard(p *sim.Proc) {
+	for mc.oldRing != nil {
+		mc.done.Wait(p)
 	}
 }
 
-// MultiClient routes operations to the MN owning each key.
-type MultiClient struct {
-	mc      *MultiCluster
-	clients []*Client
+// AddNode provisions a new memory node, joins it to the ring, and starts
+// migrating the keys it now owns (~1/n of the key space) in a background
+// sim process. It returns the new node's ID immediately; use WaitReshard
+// to observe completion. Only one membership change may be in flight.
+func (mc *MultiCluster) AddNode() int {
+	if mc.oldRing != nil {
+		panic("core: AddNode during an in-flight reshard (WaitReshard first)")
+	}
+	sources := append([]int(nil), mc.order...) // keys move only from old MNs
+	id := mc.provision()
+	mc.startReshard(mc.hashRing.With(id), sources, -1)
+	return id
 }
 
-// NewClient connects process p to every memory node.
+// RemoveNode drains node id: its keys migrate to the surviving owners in a
+// background sim process, Gets keep being served from the draining node
+// until its copies move, and the node leaves the pool when the drain
+// completes. Only one membership change may be in flight.
+func (mc *MultiCluster) RemoveNode(id int) {
+	if mc.oldRing != nil {
+		panic("core: RemoveNode during an in-flight reshard (WaitReshard first)")
+	}
+	if _, ok := mc.nodes[id]; !ok {
+		panic("core: RemoveNode of unknown node")
+	}
+	if len(mc.order) == 1 {
+		panic("core: cannot remove the last memory node")
+	}
+	mc.startReshard(mc.hashRing.Without(id), []int{id}, id)
+}
+
+// maxReshardPasses bounds the straggler sweeps of one reshard. A pass that
+// migrates nothing ends the reshard; extra passes catch keys written to an
+// old owner by clients whose routing decision raced the ring switch.
+const maxReshardPasses = 8
+
+// migratedCopy remembers one insert the resharder published, so the
+// end-of-reshard verification sweep can find and resolve duplicates.
+type migratedCopy struct {
+	dst  *Client
+	kh   uint64
+	fp   byte
+	key  []byte
+	addr uint64
+	atom hashtable.AtomicField
+}
+
+// startReshard switches the routing ring to newRing and spawns the
+// resharder process that migrates every key whose owner changed, scanning
+// the given source nodes. dropID >= 0 names a node to retire when the
+// migration completes (RemoveNode).
+func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID int) {
+	mc.oldRing, mc.hashRing = mc.hashRing, newRing
+	mc.draining = dropID
+	mc.epoch++
+	mc.Env.Go("resharder", func(p *sim.Proc) {
+		m := mc.NewClient(p)
+		var inserts []migratedCopy
+		for pass := 0; pass < maxReshardPasses; pass++ {
+			pending := int64(0)
+			for _, id := range sources {
+				pending += mc.migrateNode(m, id, &inserts)
+			}
+			if pending == 0 && pass >= 1 {
+				break
+			}
+		}
+		// A draining node must be completely empty before it can leave the
+		// pool — a key left behind would become a permanent miss. This
+		// converges unconditionally: no Set routes to the drained node (it
+		// is absent from the current ring), so its population strictly
+		// shrinks. These extra passes double as the insert-free separation
+		// the verification sweep below relies on.
+		if dropID >= 0 {
+			for mc.migrateNode(m, dropID, &inserts) != 0 {
+			}
+		}
+		// Final duplicate verification. migrateIn's immediate sweep has a
+		// TOCTOU hole: a client Set that read the buckets before our CAS
+		// landed can publish the same key into a DIFFERENT slot just after
+		// the sweep, leaving two live copies with ours (stale) possibly
+		// first in Get's scan order. By now at least one full scan pass
+		// separates us from every insert, and a Set attempt's read-to-CAS
+		// span is a handful of verbs — any Set still in flight re-read the
+		// buckets after our copy was visible and updated it in place. So a
+		// duplicate found here is a completed racing write: drop our copy.
+		for _, ins := range inserts {
+			if ins.dst.hasOtherCopy(ins.kh, ins.fp, ins.key, ins.addr) {
+				ins.dst.dropMigrated(ins.addr, ins.atom)
+			}
+		}
+		// No verbs (yields) between these steps, so clients observe the
+		// ring switch and the membership change atomically.
+		mc.oldRing = nil
+		mc.draining = -1
+		mc.epoch++
+		mc.Reshards++
+		if dropID >= 0 {
+			delete(mc.nodes, dropID)
+			for i, id := range mc.order {
+				if id == dropID {
+					mc.order = append(mc.order[:i], mc.order[i+1:]...)
+					break
+				}
+			}
+		}
+		// The resharder is transient: return its free lists (the space of
+		// every source copy it deleted) to the surviving controllers, or
+		// that heap space would be stranded when this client goes away.
+		for _, id := range m.sortedIDs() {
+			if _, alive := mc.nodes[id]; alive {
+				m.clients[id].surrenderFreeBlocks()
+			}
+		}
+		m.Close()
+		mc.done.Broadcast()
+	})
+}
+
+// migrateNode walks one source MN's table shard and moves every live
+// object whose ring owner changed: READ the object, insert-if-absent on
+// the new owner (carrying its hotness metadata), then delete the source
+// copy behind it with a CAS that verifies the copy did not change while
+// in flight. If that CAS fails — the key was concurrently deleted,
+// evicted, or replaced — the fresh insert is undone with a precise CAS so
+// a dead value can never resurface. Successful inserts are appended to
+// inserts for the end-of-reshard duplicate verification. Returns the
+// amount of pending work observed: keys actually moved plus source slots
+// that changed mid-copy (a failed source CAS may mean a straggler write
+// replaced the copy, so another pass must re-visit it).
+func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migratedCopy) int64 {
+	src := m.clientFor(srcID)
+	cl := mc.nodes[srcID]
+	if src == nil || cl == nil {
+		return 0
+	}
+	pending := int64(0)
+	for b := 0; b < cl.Layout.Buckets; b++ {
+		for _, s := range src.ht.ReadBucket(b) {
+			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+				continue
+			}
+			obj := src.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			dec := decodeObject(obj)
+			if !dec.ok {
+				continue // reused memory behind a stale slot snapshot
+			}
+			kh := hashtable.KeyHash(dec.key)
+			owner := mc.hashRing.Owner(ring.Point(kh))
+			if owner == srcID {
+				continue
+			}
+			dst := m.clientFor(owner)
+			pending += mc.migrateSlot(src, dst, s, dec, kh, inserts)
+		}
+	}
+	return pending
+}
+
+// migrateSlotRetries bounds the per-slot redo loop when the source copy
+// keeps changing under the copy (straggler writes are finite — only
+// operations in flight at the ring switch route to an old owner).
+const migrateSlotRetries = 8
+
+// migrateSlot moves one live object from src to dst, retrying in place
+// when the source copy is replaced mid-copy so a straggler write cannot
+// be stranded on the old owner. Returns 1 when a copy moved, 0 when the
+// key turned out to be gone or already superseded on the destination.
+func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec decodedObject,
+	kh uint64, inserts *[]migratedCopy) int64 {
+
+	for try := 0; try < migrateSlotRetries; try++ {
+		key := append([]byte(nil), dec.key...)
+		val := append([]byte(nil), dec.value...)
+		ext := append([]byte(nil), dec.ext...)
+		inserted, slotAddr, atom := dst.migrateIn(key, val, ext, s.InsertTs, s.LastTs, s.Freq)
+		if _, swapped := src.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
+			src.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			src.fc.Forget(s.Addr)
+			// inserted=false here means the destination already held a
+			// newer client-written copy: the source removal is garbage
+			// collection, not a migration, and must not inflate the stat.
+			if inserted {
+				// Record for the verification sweep only now that the
+				// insert SURVIVED — an entry for an undone insert would
+				// let the sweep's precise CAS fire on an ABA reuse of the
+				// slot (same fingerprint, same size class, recycled block
+				// address) and delete an unrelated live object.
+				*inserts = append(*inserts, migratedCopy{
+					dst: dst, kh: kh, fp: hashtable.Fingerprint(kh),
+					key: key, addr: slotAddr, atom: atom,
+				})
+				mc.MigratedKeys++
+				return 1
+			}
+			return 0
+		}
+		// The source slot changed while we copied it. If we inserted, our
+		// copy is stale — take it back. Then re-read the slot: if it still
+		// holds the same key (a straggler write replaced the value), redo
+		// the copy with the fresh value; otherwise the key was deleted,
+		// evicted or re-slotted and there is nothing left to move.
+		if inserted {
+			dst.dropMigrated(slotAddr, atom)
+		}
+		s2 := src.ht.ReadSlot(s.Addr)
+		if s2.Atomic.IsEmpty() || s2.Atomic.IsHistory() || s2.Atomic.FP() != s.Atomic.FP() {
+			return 0
+		}
+		obj := src.ep.Read(s2.Atomic.Pointer(), int(s2.Atomic.SizeBlocks())*memnode.BlockSize)
+		dec2 := decodeObject(obj)
+		if !dec2.ok || !bytes.Equal(dec2.key, dec.key) {
+			return 0
+		}
+		s, dec = s2, dec2
+	}
+	// Retries exhausted under sustained churn: report pending work so the
+	// pass loop revisits this slot.
+	return 1
+}
+
+// stayingNodes returns the active node IDs excluding one being drained —
+// byte-budget changes granted to a node about to leave the pool would
+// evaporate with it.
+func (mc *MultiCluster) stayingNodes() []int {
+	ids := make([]int, 0, len(mc.order))
+	for _, id := range mc.order {
+		if id != mc.draining {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// GrowCache grows every surviving MN's heap by an equal share — memory
+// elasticity across the pool.
+func (mc *MultiCluster) GrowCache(bytes int) {
+	ids := mc.stayingNodes()
+	per := (bytes + len(ids) - 1) / len(ids)
+	for _, id := range ids {
+		mc.nodes[id].GrowCache(per)
+	}
+}
+
+// ShrinkCache lowers every surviving MN's heap budget by an equal share —
+// the pool-wide counterpart of GrowCache (see Cluster.ShrinkCache).
+func (mc *MultiCluster) ShrinkCache(bytes int) {
+	ids := mc.stayingNodes()
+	per := (bytes + len(ids) - 1) / len(ids)
+	for _, id := range ids {
+		mc.nodes[id].ShrinkCache(per)
+	}
+}
+
+// MultiClient routes operations to the MN owning each key. During a
+// reshard it serves the forwarding window: Gets that miss on a key's new
+// owner retry on its old owner, Sets go to the new owner only, Deletes
+// clear the old copy before the new one.
+type MultiClient struct {
+	mc      *MultiCluster
+	p       *sim.Proc
+	clients map[int]*Client
+}
+
+// NewClient connects process p to every current memory node; connections
+// to nodes added later are opened lazily on first use.
 func (mc *MultiCluster) NewClient(p *sim.Proc) *MultiClient {
-	m := &MultiClient{mc: mc}
-	for _, cl := range mc.clusters {
-		m.clients = append(m.clients, cl.NewClient(p))
+	m := &MultiClient{mc: mc, p: p, clients: make(map[int]*Client)}
+	for _, id := range mc.order {
+		m.clients[id] = mc.nodes[id].NewClient(p)
 	}
 	return m
 }
 
-// route picks the owning MN for a key. The key hash is remixed
-// (Fibonacci multiplier, high bits) so MN choice is independent of the
-// bucket choice within the MN — FNV's high bits alone are too regular for
-// short keys.
-func (m *MultiClient) route(key []byte) *Client {
-	h := hashtable.KeyHash(key) * 0x9E3779B97F4A7C15
-	return m.clients[int((h>>33)%uint64(len(m.clients)))]
+// clientFor returns the per-MN client for node id, connecting lazily. It
+// returns nil when the node has left the pool.
+func (m *MultiClient) clientFor(id int) *Client {
+	if c, ok := m.clients[id]; ok {
+		return c
+	}
+	cl, ok := m.mc.nodes[id]
+	if !ok {
+		return nil
+	}
+	c := cl.NewClient(m.p)
+	m.clients[id] = c
+	return c
 }
 
-// Get fetches key from its owning MN.
-func (m *MultiClient) Get(key []byte) ([]byte, bool) { return m.route(key).Get(key) }
+// routeRetries bounds re-routing when a reshard switches the ring in the
+// middle of an operation.
+const routeRetries = 4
 
-// Set stores key on its owning MN.
-func (m *MultiClient) Set(key, value []byte) { m.route(key).Set(key, value) }
+// owner returns the current owner of key under the routing ring, plus the
+// old owner to forward to (-1 when no forwarding window applies).
+func (m *MultiClient) owner(key []byte) (cur, old int) {
+	pt := ring.Point(hashtable.KeyHash(key))
+	cur, old = m.mc.hashRing.Owner(pt), -1
+	if prev := m.mc.oldRing; prev != nil {
+		if o := prev.Owner(pt); o != cur {
+			old = o
+		}
+	}
+	return cur, old
+}
 
-// Delete removes key from its owning MN.
-func (m *MultiClient) Delete(key []byte) bool { return m.route(key).Delete(key) }
+// Get fetches key from its owning MN. During a reshard a miss on the new
+// owner is retried on the old owner, so a key in flight between MNs is
+// always observable from one of the two.
+func (m *MultiClient) Get(key []byte) ([]byte, bool) {
+	for attempt := 0; ; attempt++ {
+		epoch := m.mc.epoch
+		cur, old := m.owner(key)
+		curClient := m.clientFor(cur)
+		if old < 0 {
+			if curClient != nil {
+				if v, ok := curClient.Get(key); ok {
+					return v, true
+				}
+			}
+		} else {
+			// Forwarding window: probe with stat-silent Gets so a key
+			// still sitting on its old owner does not record a phantom
+			// miss on the new owner for every forwarded hit. The key may
+			// migrate old→new between the two probes; after a migration
+			// it stays put, so one re-probe of the new owner settles that
+			// race without amplifying genuine misses.
+			if curClient != nil {
+				if v, ok := curClient.getProbe(key); ok {
+					return v, true
+				}
+			}
+			if c := m.clientFor(old); c != nil {
+				if v, ok := c.getProbe(key); ok {
+					return v, true
+				}
+			}
+			if curClient != nil {
+				if v, ok := curClient.getProbe(key); ok {
+					return v, true
+				}
+			}
+		}
+		// A ring switch mid-operation means we probed stale owners:
+		// re-route and retry (bounded) before declaring a miss.
+		if m.mc.epoch == epoch || attempt >= routeRetries {
+			if old >= 0 && curClient != nil {
+				// The probes were silent: count the one logical miss on
+				// the key's current owner.
+				curClient.Stats.Gets++
+				curClient.Stats.Misses++
+			}
+			return nil, false
+		}
+	}
+}
 
-// Close flushes buffered client state on every MN.
+// Set stores key on its owning MN. During a reshard the new owner gets
+// the write and any pre-reshard copy on the old owner is deleted, so a
+// later eviction of the fresh value cannot let the resharder resurrect
+// the superseded one. (The resharder's source CAS fails once the old
+// copy is gone, and its insert-if-absent never overwrites the write; a
+// write racing a migrated insert into a different slot may be shadowed
+// until the reshard's verification sweep — see the package comment.)
+func (m *MultiClient) Set(key, value []byte) {
+	cur, old := m.owner(key)
+	m.clientFor(cur).Set(key, value)
+	if old >= 0 {
+		if c := m.clientFor(old); c != nil {
+			c.Delete(key)
+		}
+	}
+}
+
+// Delete removes key from its owning MN. During a reshard both owners are
+// cleared, old copy first — that ordering, combined with the resharder's
+// verify-then-undo CAS discipline, ensures a racing migration cannot
+// durably resurrect the deleted key (the dead value may flicker back for
+// the few verb round trips between the resharder's insert and its undo,
+// but never outlives the reshard).
+func (m *MultiClient) Delete(key []byte) bool {
+	cur, old := m.owner(key)
+	deleted := false
+	if old >= 0 {
+		if c := m.clientFor(old); c != nil {
+			deleted = c.Delete(key)
+		}
+	}
+	if c := m.clientFor(cur); c != nil {
+		if c.Delete(key) {
+			deleted = true
+		}
+	}
+	return deleted
+}
+
+// Close flushes buffered client state on every connected MN.
 func (m *MultiClient) Close() {
-	for _, c := range m.clients {
-		c.Close()
+	for _, id := range m.sortedIDs() {
+		m.clients[id].Close()
 	}
 }
 
 // Stats aggregates per-MN client stats.
 func (m *MultiClient) Stats() Stats {
 	var s Stats
-	for _, c := range m.clients {
+	for _, id := range m.sortedIDs() {
+		c := m.clients[id]
 		s.Gets += c.Stats.Gets
 		s.Sets += c.Stats.Sets
 		s.Deletes += c.Stats.Deletes
@@ -111,4 +541,15 @@ func (m *MultiClient) Stats() Stats {
 		s.BucketEvictions += c.Stats.BucketEvictions
 	}
 	return s
+}
+
+// sortedIDs returns the connected node IDs in ascending order so
+// multi-node sweeps issue verbs in a deterministic order.
+func (m *MultiClient) sortedIDs() []int {
+	ids := make([]int, 0, len(m.clients))
+	for id := range m.clients {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }

@@ -20,6 +20,7 @@ package memnode
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"ditto/internal/rdma"
 	"ditto/internal/sim"
@@ -34,6 +35,8 @@ const (
 	OpCMSet        // CliqueMap baseline: server-executed Set
 	OpCMSync       // CliqueMap baseline: client access-info synchronization
 	OpServerOp     // monolithic-server baseline (Redis-like shard op)
+	OpFreeBlocks   // surrender a client free list to the controller pool
+	OpAllocBlock   // fetch one block from the controller pool
 )
 
 // BlockSize is the allocation granularity of the object heap; the paper's
@@ -71,6 +74,12 @@ type MemNode struct {
 	// paper), but accounting must be global because any client may evict —
 	// and thus free — any other client's allocation.
 	UsedBytes int
+
+	// blockPool holds blocks surrendered by departing clients (e.g. the
+	// resharder), keyed by size class, so transient clients cannot strand
+	// heap space. Served to clients via OpAllocBlock when the segment
+	// space is exhausted.
+	blockPool map[int][]uint64
 }
 
 // Config configures a memory node.
@@ -99,8 +108,11 @@ func New(env *sim.Env, cfg Config) *MemNode {
 	mn.heapAddr = headerBytes
 	mn.heapEnd = uint64(cfg.MemBytes)
 	mn.nextSeg = mn.heapAddr
+	mn.blockPool = make(map[int][]uint64)
 	mn.Node.Handle(OpAllocSeg, mn.handleAllocSeg)
 	mn.Node.Handle(OpFreeSeg, mn.handleFreeSeg)
+	mn.Node.Handle(OpFreeBlocks, mn.handleFreeBlocks)
+	mn.Node.Handle(OpAllocBlock, mn.handleAllocBlock)
 	return mn
 }
 
@@ -145,6 +157,35 @@ func (mn *MemNode) GrowHeap(bytes int) {
 	mn.heapEnd = newEnd
 }
 
+// ShrinkHeap lowers the allocatable heap end by bytes — the "remove
+// memory" elasticity knob, the counterpart of GrowHeap. Segments already
+// handed to clients stay usable (the region is only logically released),
+// but no new segment is granted beyond the lowered end and OverBudget
+// turns true until evictions bring UsedBytes back under the new limit.
+func (mn *MemNode) ShrinkHeap(bytes int) {
+	if bytes < 0 {
+		panic("memnode: ShrinkHeap of negative bytes")
+	}
+	newEnd := mn.heapEnd - uint64(bytes)
+	if newEnd < mn.heapAddr || newEnd > mn.heapEnd {
+		newEnd = mn.heapAddr
+	}
+	mn.heapEnd = newEnd
+	// Drop free segments that now lie beyond the heap: they are
+	// decommissioned, not reusable.
+	kept := mn.freeSegs[:0]
+	for _, s := range mn.freeSegs {
+		if s+uint64(mn.segmentSize) <= mn.heapEnd {
+			kept = append(kept, s)
+		}
+	}
+	mn.freeSegs = kept
+}
+
+// OverBudget reports whether live object bytes exceed the heap limit —
+// true after a ShrinkHeap until eviction catches up.
+func (mn *MemNode) OverBudget() bool { return mn.UsedBytes > mn.HeapBytes() }
+
 // SetHeapLimit sets the allocatable heap end to heapAddr+bytes, used to
 // start an elastic experiment with a small cache and grow it later.
 func (mn *MemNode) SetHeapLimit(bytes int) {
@@ -181,6 +222,32 @@ func (mn *MemNode) handleFreeSeg(payload []byte) []byte {
 	return []byte{1}
 }
 
+// handleFreeBlocks receives a departing client's free list for one size
+// class: class (8 B) followed by the block addresses.
+func (mn *MemNode) handleFreeBlocks(payload []byte) []byte {
+	cl := int(binary.LittleEndian.Uint64(payload))
+	for off := 8; off+8 <= len(payload); off += 8 {
+		mn.blockPool[cl] = append(mn.blockPool[cl], binary.LittleEndian.Uint64(payload[off:]))
+	}
+	return []byte{1}
+}
+
+// handleAllocBlock serves one block of the requested size class from the
+// surrendered pool.
+func (mn *MemNode) handleAllocBlock(payload []byte) []byte {
+	cl := int(binary.LittleEndian.Uint64(payload))
+	reply := make([]byte, 9)
+	lst := mn.blockPool[cl]
+	if len(lst) == 0 {
+		return reply // reply[0] == 0: pool empty for this class
+	}
+	addr := lst[len(lst)-1]
+	mn.blockPool[cl] = lst[:len(lst)-1]
+	reply[0] = 1
+	binary.LittleEndian.PutUint64(reply[1:], addr)
+	return reply
+}
+
 // Alloc is the client-side (first-level) block allocator: it carves
 // BlockSize-granularity blocks out of controller-provided segments and
 // keeps per-size-class free lists. All methods run inside the owning sim
@@ -203,6 +270,22 @@ type Alloc struct {
 // segRetryInterval is how many failed Allocs to wait before re-asking the
 // controller for a segment.
 const segRetryInterval = 256
+
+// poolProbeInterval is how often, within a backoff window, the client
+// probes the controller's surrendered-block pool.
+const poolProbeInterval = 32
+
+// allocFromPool asks the controller for one surrendered block of the
+// given size class (one RPC).
+func (a *Alloc) allocFromPool(cl int) (uint64, bool) {
+	req := make([]byte, 8)
+	binary.LittleEndian.PutUint64(req, uint64(cl))
+	if blk := a.ep.RPC(OpAllocBlock, req); blk[0] == 1 {
+		a.mn.UsedBytes += cl
+		return binary.LittleEndian.Uint64(blk[1:]), true
+	}
+	return 0, false
+}
 
 // NewAlloc creates a client allocator speaking to mn through ep.
 func NewAlloc(mn *MemNode, ep *rdma.Endpoint) *Alloc {
@@ -233,6 +316,16 @@ func (a *Alloc) Alloc(size int) (addr uint64, ok bool) {
 	if a.remaining < cl {
 		if a.segFailBackoff > 0 {
 			a.segFailBackoff--
+			// Probe the surrendered-block pool every poolProbeInterval
+			// backoff decrements: blocks surrendered while this client is
+			// backing off (e.g. by a completed reshard) become reachable
+			// within a bounded number of allocs, without adding an RPC to
+			// every steady-state eviction cycle.
+			if a.segFailBackoff%poolProbeInterval == 0 {
+				if addr, ok := a.allocFromPool(cl); ok {
+					return addr, true
+				}
+			}
 			return 0, false
 		}
 		// Second level: fetch a fresh segment from the controller. The tail
@@ -241,6 +334,11 @@ func (a *Alloc) Alloc(size int) (addr uint64, ok bool) {
 		a.shredTail()
 		reply := a.ep.RPC(OpAllocSeg, nil)
 		if reply[0] == 0 {
+			// No segments left: try the controller's pool of blocks
+			// surrendered by departed clients before conceding.
+			if addr, ok := a.allocFromPool(cl); ok {
+				return addr, true
+			}
 			a.segFailBackoff = segRetryInterval
 			return 0, false
 		}
@@ -284,6 +382,32 @@ func (a *Alloc) Free(addr uint64, size int) {
 	if a.mn.UsedBytes < 0 {
 		panic("memnode: double free (used bytes went negative)")
 	}
+}
+
+// Surrender returns every locally parked free block (and the tail of the
+// current segment) to the controller's block pool, one RPC per size
+// class. Long-lived clients keep their lists — local reuse is the zero-
+// cost common case — but a transient client (the resharder) must call
+// this before going away, or the space it freed would be stranded.
+func (a *Alloc) Surrender() {
+	a.shredTail()
+	classes := make([]int, 0, len(a.free))
+	for cl := range a.free {
+		if len(a.free[cl]) > 0 {
+			classes = append(classes, cl)
+		}
+	}
+	sort.Ints(classes) // deterministic RPC order
+	for _, cl := range classes {
+		lst := a.free[cl]
+		payload := make([]byte, 8+8*len(lst))
+		binary.LittleEndian.PutUint64(payload, uint64(cl))
+		for i, addr := range lst {
+			binary.LittleEndian.PutUint64(payload[8+8*i:], addr)
+		}
+		a.ep.RPC(OpFreeBlocks, payload)
+	}
+	a.free = make(map[int][]uint64)
 }
 
 // FreeBlocks reports how many blocks are parked on local free lists.

@@ -216,3 +216,50 @@ func TestNoOverlapProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSurrenderedBlocksRecycled(t *testing.T) {
+	env := sim.NewEnv(3)
+	mn := newTestMN(env, 1<<20)
+	mn.PlaceTable(256)
+	mn.SetHeapLimit(DefaultSegmentSize) // exactly one segment of heap
+	env.Go("c", func(p *sim.Proc) {
+		// Client 1 takes the whole segment, frees everything, and leaves.
+		a1 := NewAlloc(mn, rdma.NewEndpoint(mn.Node, p))
+		var blocks []uint64
+		for {
+			addr, ok := a1.Alloc(256)
+			if !ok {
+				break
+			}
+			blocks = append(blocks, addr)
+		}
+		if len(blocks) == 0 {
+			t.Fatal("nothing allocated")
+		}
+		for _, addr := range blocks {
+			a1.Free(addr, 256)
+		}
+		a1.Surrender()
+		if a1.FreeBlocks() != 0 {
+			t.Fatalf("%d blocks still parked locally after Surrender", a1.FreeBlocks())
+		}
+
+		// Client 2 has no segment and the controller has none left either:
+		// without the surrendered pool this alloc would strand the heap.
+		a2 := NewAlloc(mn, rdma.NewEndpoint(mn.Node, p))
+		addr, ok := a2.Alloc(256)
+		if !ok {
+			t.Fatal("surrendered space not recycled to a new client")
+		}
+		found := false
+		for _, b := range blocks {
+			if b == addr {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("recycled addr %d is not one of the surrendered blocks", addr)
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,151 @@
+// Package ring implements the consistent-hash ring that routes keys to
+// memory nodes in a multi-MN Ditto deployment.
+//
+// The paper's multi-MN compatibility note (§5.1) hash-partitions the key
+// space across memory nodes. A fixed modulo would reshuffle almost every
+// key when the node count changes; the ring instead places each node at
+// Replicas pseudo-random points on a 64-bit circle and assigns a key to
+// the first node point at or after the key's point. Adding a node then
+// reassigns only the keys that land on the new node's arcs (~1/n of the
+// key space), and removing a node reassigns only the removed node's keys
+// — exactly the property live resharding needs so a scale-out migrates
+// the minimum amount of cached data.
+//
+// Rings are immutable: With and Without return new rings, so a reshard
+// can hold the old and new ring side by side and serve the forwarding
+// window from both.
+package ring
+
+import "sort"
+
+// DefaultReplicas is the number of virtual points per node. 128 points
+// keep the per-node load within roughly ±10% of even (relative imbalance
+// shrinks with 1/sqrt(replicas)).
+const DefaultReplicas = 128
+
+// point is one virtual node position on the circle.
+type point struct {
+	hash uint64
+	node int
+}
+
+// Ring is an immutable consistent-hash ring over integer node IDs.
+type Ring struct {
+	replicas int
+	points   []point // sorted by (hash, node)
+	nodes    []int   // sorted member IDs
+}
+
+// New builds a ring with the given virtual-point count per node
+// (DefaultReplicas when replicas <= 0) and initial members.
+func New(replicas int, nodes ...int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas}
+	for _, n := range nodes {
+		r = r.With(n)
+	}
+	return r
+}
+
+// Replicas returns the virtual-point count per node.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Nodes returns the member IDs in ascending order. The caller must not
+// modify the returned slice.
+func (r *Ring) Nodes() []int { return r.nodes }
+
+// NumNodes returns the member count.
+func (r *Ring) NumNodes() int { return len(r.nodes) }
+
+// Has reports whether node is a member.
+func (r *Ring) Has(node int) bool {
+	i := sort.SearchInts(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// With returns a new ring that additionally contains node. Adding an
+// existing member returns the receiver unchanged.
+func (r *Ring) With(node int) *Ring {
+	if r.Has(node) {
+		return r
+	}
+	nr := &Ring{
+		replicas: r.replicas,
+		points:   make([]point, 0, len(r.points)+r.replicas),
+		nodes:    make([]int, 0, len(r.nodes)+1),
+	}
+	nr.nodes = append(nr.nodes, r.nodes...)
+	nr.nodes = append(nr.nodes, node)
+	sort.Ints(nr.nodes)
+	nr.points = append(nr.points, r.points...)
+	for rep := 0; rep < r.replicas; rep++ {
+		nr.points = append(nr.points, point{hash: pointHash(node, rep), node: node})
+	}
+	sort.Slice(nr.points, func(i, j int) bool {
+		if nr.points[i].hash != nr.points[j].hash {
+			return nr.points[i].hash < nr.points[j].hash
+		}
+		return nr.points[i].node < nr.points[j].node
+	})
+	return nr
+}
+
+// Without returns a new ring that no longer contains node. Removing a
+// non-member returns the receiver unchanged.
+func (r *Ring) Without(node int) *Ring {
+	if !r.Has(node) {
+		return r
+	}
+	nr := &Ring{
+		replicas: r.replicas,
+		points:   make([]point, 0, len(r.points)-r.replicas),
+		nodes:    make([]int, 0, len(r.nodes)-1),
+	}
+	for _, n := range r.nodes {
+		if n != node {
+			nr.nodes = append(nr.nodes, n)
+		}
+	}
+	for _, pt := range r.points {
+		if pt.node != node {
+			nr.points = append(nr.points, pt)
+		}
+	}
+	return nr
+}
+
+// Owner returns the node owning the given key point (see Point). It
+// panics on an empty ring.
+func (r *Ring) Owner(keyPoint uint64) int {
+	if len(r.points) == 0 {
+		panic("ring: Owner on empty ring")
+	}
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= keyPoint
+	})
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].node
+}
+
+// Point maps a key hash onto the circle. The table's FNV hash is too
+// regular in its high bits for short keys, so it is remixed with the
+// splitmix64 finalizer before placement; this also decorrelates ring
+// position from the hash-table bucket choice within a node.
+func Point(keyHash uint64) uint64 { return mix(keyHash) }
+
+// pointHash positions virtual point rep of a node on the circle.
+func pointHash(node, rep int) uint64 {
+	return mix(uint64(node)<<32 | uint64(uint32(rep)) ^ 0xD1B54A32D192ED03)
+}
+
+// mix is the splitmix64 finalizer.
+func mix(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

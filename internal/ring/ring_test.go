@@ -1,0 +1,97 @@
+package ring
+
+import "testing"
+
+func TestOwnerDeterministic(t *testing.T) {
+	a := New(0, 0, 1, 2)
+	b := New(0, 2, 1, 0) // insertion order must not matter
+	for k := uint64(0); k < 5000; k++ {
+		p := Point(k)
+		if a.Owner(p) != b.Owner(p) {
+			t.Fatalf("key %d: owner differs across construction orders", k)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	r := New(0, 0, 1, 2, 3)
+	counts := map[int]int{}
+	const n = 40000
+	for k := uint64(0); k < n; k++ {
+		counts[r.Owner(Point(k))]++
+	}
+	mean := n / 4
+	for node, c := range counts {
+		if c < mean*6/10 || c > mean*14/10 {
+			t.Errorf("node %d owns %d keys, want within 40%% of %d", node, c, mean)
+		}
+	}
+}
+
+func TestWithMovesKeysOnlyToNewNode(t *testing.T) {
+	old := New(0, 0, 1, 2)
+	grown := old.With(3)
+	moved := 0
+	const n = 20000
+	for k := uint64(0); k < n; k++ {
+		p := Point(k)
+		was, is := old.Owner(p), grown.Owner(p)
+		if was != is {
+			moved++
+			if is != 3 {
+				t.Fatalf("key %d moved %d→%d; only the new node may gain keys", k, was, is)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new node")
+	}
+	if moved > n/2 {
+		t.Fatalf("%d/%d keys moved; consistent hashing should move ~1/4", moved, n)
+	}
+}
+
+func TestWithoutMovesOnlyRemovedNodesKeys(t *testing.T) {
+	old := New(0, 0, 1, 2, 3)
+	shrunk := old.Without(3)
+	for k := uint64(0); k < 20000; k++ {
+		p := Point(k)
+		was, is := old.Owner(p), shrunk.Owner(p)
+		if was != 3 && was != is {
+			t.Fatalf("key %d moved %d→%d although its owner was not removed", k, was, is)
+		}
+		if is == 3 {
+			t.Fatalf("key %d still routed to removed node", k)
+		}
+	}
+}
+
+func TestMembership(t *testing.T) {
+	r := New(4)
+	if r.NumNodes() != 0 {
+		t.Fatal("empty ring has members")
+	}
+	r = r.With(7).With(7).With(2)
+	if r.NumNodes() != 2 || !r.Has(7) || !r.Has(2) || r.Has(3) {
+		t.Fatalf("membership wrong: %v", r.Nodes())
+	}
+	if got := r.Nodes(); got[0] != 2 || got[1] != 7 {
+		t.Fatalf("nodes not sorted: %v", got)
+	}
+	r = r.Without(9) // no-op
+	if r.NumNodes() != 2 {
+		t.Fatal("removing non-member changed ring")
+	}
+	if r.Replicas() != 4 {
+		t.Fatalf("replicas = %d", r.Replicas())
+	}
+}
+
+func TestOwnerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty ring")
+		}
+	}()
+	New(0).Owner(1)
+}
