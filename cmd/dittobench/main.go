@@ -29,8 +29,10 @@ func main() {
 		all     = flag.Bool("all", false, "run every experiment")
 		list    = flag.Bool("list", false, "list experiment IDs")
 		scaleFl = flag.String("scale", "quick", "experiment scale: quick | full")
+		jsonFl  = flag.String("json", "", "also write a machine-readable summary to this path (scenarios that support it)")
 	)
 	flag.Parse()
+	bench.JSONPath = *jsonFl
 
 	scale, err := bench.ParseScale(*scaleFl)
 	if err != nil {

@@ -7,7 +7,9 @@
 // in the hash-table slots so eviction candidates can be sampled with a
 // single READ, and multiple caching algorithms run simultaneously as
 // experts of a regret-minimization bandit that adapts the eviction policy
-// to the workload and to elastic resource changes.
+// to the workload and to elastic resource changes. Multi-key batches
+// (MGet/MSet) post each pipeline stage as one RNIC doorbell so verb
+// round trips overlap instead of serializing on the RTT.
 //
 // Elasticity has two memory axes here: a node's heap can grow and shrink
 // in place (Cluster.GrowCache/ShrinkCache, no migration), and a multi-MN
@@ -65,6 +67,16 @@ type Options = core.Options
 
 // Stats are per-client operation counters.
 type Stats = core.Stats
+
+// KV is one key/value pair of an MSet batch.
+//
+// Multi-key traffic should prefer Client.MGet / Client.MSet (and their
+// MultiClient counterparts) over per-key loops: the batched pipeline
+// posts each stage's verbs with a single RNIC doorbell, overlapping the
+// round trips — an all-hit MGet costs two doorbell batches total (bucket
+// READs, then object READs) instead of two round trips per key, while
+// returning exactly what per-key Get/Set would.
+type KV = core.KV
 
 // NewCluster builds a Ditto deployment inside env.
 func NewCluster(env *Env, opts Options) *Cluster { return core.NewCluster(env, opts) }

@@ -281,7 +281,7 @@ func (cl *CMClient) Get(key []byte) ([]byte, bool) {
 			if s.Atomic.IsEmpty() || s.Atomic.FP() != fp || s.Hash != kh {
 				continue
 			}
-			obj := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := cl.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			kl := int(binary.LittleEndian.Uint16(obj[0:]))
 			vl := int(binary.LittleEndian.Uint32(obj[2:]))
 			if 8+kl+vl > len(obj) || !bytes.Equal(obj[8:8+kl], key) {

@@ -160,7 +160,7 @@ func (cl *KVClient) Get(key []byte) ([]byte, bool) {
 			if s.Atomic.IsEmpty() || s.Atomic.FP() != fp {
 				continue
 			}
-			obj := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := cl.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			kl := int(binary.LittleEndian.Uint16(obj[0:]))
 			vl := int(binary.LittleEndian.Uint32(obj[2:]))
 			if 8+kl+vl > len(obj) || !bytes.Equal(obj[8:8+kl], key) {
@@ -211,7 +211,7 @@ func (cl *KVClient) Set(key, value []byte) {
 				if s.Atomic.FP() != fp || existing != nil {
 					continue
 				}
-				old := cl.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				old := cl.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				kl := int(binary.LittleEndian.Uint16(old[0:]))
 				if 8+kl <= len(old) && bytes.Equal(old[8:8+kl], key) {
 					existing = s
@@ -227,7 +227,7 @@ func (cl *KVClient) Set(key, value []byte) {
 			cl.ep.Write(addr, obj)
 			want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
 			if _, swapped := cl.ht.CASAtomic(s.Addr, s.Atomic, want); swapped {
-				cl.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				cl.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				if cl.c.Kind != KVS {
 					cl.lruTouch(kh, s)
 				}

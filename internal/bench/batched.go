@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+// JSONPath, when non-empty, makes scenarios that support structured
+// output (currently batched-throughput) also write a machine-readable
+// JSON summary there; the CI bench-smoke step uses it to seed the perf
+// trajectory (BENCH_batched.json artifact).
+var JSONPath string
+
+// batchedRow is one measured configuration of the batched-throughput
+// scenario, as serialized into the JSON summary.
+type batchedRow struct {
+	Workload string  `json:"workload"`
+	Batch    int     `json:"batch"`
+	Mops     float64 `json:"mops"`
+	Speedup  float64 `json:"speedup_vs_seq"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+// BatchedThroughput measures the doorbell-batching lever: MGet/MSet
+// pipelines against per-key Get/Set over a 2-MN pool, across batch sizes
+// 1/8/32/128, under YCSB-C (read-only) and YCSB-A (50% writes, the mixed
+// workload). Batch size 1 IS the sequential baseline — the speedup
+// column is each batch size's throughput relative to it. The shape to
+// expect: throughput grows steeply with batch size while round trips
+// amortize, then flattens as the RNIC message rate (which batching does
+// not reduce) becomes the binding resource.
+func BatchedThroughput(w io.Writer, scale Scale) error {
+	header(w, "Batched throughput: doorbell-batched MGet/MSet vs sequential ops")
+	keys := scale.pick(4000, 20000)
+	clients := scale.pick(4, 8)
+	opsEach := scale.pick(4096, 32768) // key-operations per client
+	batchSizes := []int{1, 8, 32, 128}
+
+	var rows []batchedRow
+	for _, wl := range []struct {
+		name string
+		kind workload.YCSBKind
+	}{
+		{"ycsb-c", workload.YCSBC},
+		{"mixed", workload.YCSBA},
+	} {
+		row(w, wl.name, "batch", "tput(Mops)", "speedup", "hit rate")
+		base := 0.0
+		for _, bs := range batchSizes {
+			res := runBatchedYCSB(wl.kind, keys, clients, opsEach, bs)
+			if bs == 1 {
+				base = res.Mops()
+			}
+			speedup := 0.0
+			if base > 0 {
+				speedup = res.Mops() / base
+			}
+			row(w, "", bs, res.Mops(), speedup, res.HitRate())
+			rows = append(rows, batchedRow{
+				Workload: wl.name, Batch: bs,
+				Mops: res.Mops(), Speedup: speedup, HitRate: res.HitRate(),
+			})
+		}
+	}
+	if JSONPath != "" {
+		blob, err := json.MarshalIndent(map[string]interface{}{
+			"scenario": "batched-throughput",
+			"scale":    scale.String(),
+			"keys":     keys,
+			"clients":  clients,
+			"results":  rows,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "json summary written to %s\n", JSONPath)
+	}
+	return nil
+}
+
+// runBatchedYCSB runs `clients` closed-loop clients against a 2-MN pool,
+// each issuing opsEach key-operations in windows of batchSize requests:
+// the window's writes go out as one MSet, its reads as one MGet.
+// batchSize 1 degenerates to per-key Set/Get — the sequential baseline.
+func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize int) Result {
+	env := sim.NewEnv(23)
+	mc := core.NewMultiCluster(env, 2, core.DefaultOptions(keys*2, keys*512))
+	factory := func(p *sim.Proc) CacheOps { return mc.NewClient(p) }
+	RunLoad(env, factory, loadKeys(keys), 16)
+
+	res := Result{}
+	start := env.Now()
+	for w := 0; w < clients; w++ {
+		w := w
+		env.Go("client", func(p *sim.Proc) {
+			m := mc.NewClient(p)
+			g := workload.NewYCSB(kind, uint64(keys), 256)
+			rng := rand.New(rand.NewSource(int64(40 + w)))
+			for done := 0; done < opsEach; done += batchSize {
+				n := batchSize
+				if rem := opsEach - done; n > rem {
+					n = rem
+				}
+				var pairs []core.KV
+				var gets [][]byte
+				for j := 0; j < n; j++ {
+					r := g.Next(rng)
+					if r.Write {
+						pairs = append(pairs, core.KV{Key: workload.KeyBytes(r.Key), Value: valueFor(r)})
+					} else {
+						gets = append(gets, workload.KeyBytes(r.Key))
+					}
+				}
+				if batchSize == 1 {
+					for _, kv := range pairs {
+						m.Set(kv.Key, kv.Value)
+					}
+					for _, k := range gets {
+						if _, ok := m.Get(k); ok {
+							res.Hits++
+						} else {
+							res.Misses++
+						}
+					}
+				} else {
+					m.MSet(pairs)
+					_, oks := m.MGet(gets)
+					for _, ok := range oks {
+						if ok {
+							res.Hits++
+						} else {
+							res.Misses++
+						}
+					}
+				}
+				res.Ops += int64(n)
+			}
+		})
+	}
+	env.Run()
+	res.ElapsedNs = env.Now() - start
+	return res
+}

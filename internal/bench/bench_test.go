@@ -32,7 +32,8 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 			t.Errorf("experiment %s missing from registry", id)
 		}
 	}
-	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn", "elastic-reshard"}
+	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn",
+		"elastic-reshard", "batched-throughput"}
 	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("extra experiment %s missing from registry", id)
@@ -187,5 +188,22 @@ func TestValueForSized(t *testing.T) {
 	v = valueFor(workload.Req{Key: 5, Size: 4})
 	if len(v) < 8 {
 		t.Fatalf("tiny value len = %d", len(v))
+	}
+}
+
+// TestBatchedThroughputSpeedup pins the batching lever's acceptance bar:
+// MGet(32) batches must reach at least 3x the throughput of 32
+// sequential Gets under YCSB-C at default (quick) scale, with no hit
+// rate regression — the load phase populates every key, so both runs
+// must stay at hit rate 1.
+func TestBatchedThroughputSpeedup(t *testing.T) {
+	seq := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 1)
+	batched := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 32)
+	if seq.HitRate() != 1 || batched.HitRate() != 1 {
+		t.Fatalf("hit rates: seq=%v batched=%v, want 1", seq.HitRate(), batched.HitRate())
+	}
+	if sp := batched.Mops() / seq.Mops(); sp < 3 {
+		t.Fatalf("MGet(32) speedup = %.2fx, want >= 3x (seq %.3f Mops, batched %.3f Mops)",
+			sp, seq.Mops(), batched.Mops())
 	}
 }

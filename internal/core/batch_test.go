@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ditto/internal/hashtable"
+	"ditto/internal/sim"
+)
+
+// findSlot locates the live slot holding k (test helper; assumes no
+// fingerprint collision in the small test tables).
+func findSlot(t *testing.T, c *Client, k []byte) hashtable.Slot {
+	t.Helper()
+	kh := hashtable.KeyHash(k)
+	fp := hashtable.Fingerprint(kh)
+	for _, b := range [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)} {
+		for _, s := range c.ht.ReadBucket(b) {
+			if !s.Atomic.IsEmpty() && !s.Atomic.IsHistory() && s.Atomic.FP() == fp {
+				return s
+			}
+		}
+	}
+	t.Fatalf("slot for %q not found", k)
+	return hashtable.Slot{}
+}
+
+func TestMGetAllHitUsesTwoDoorbells(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newTestCluster(env, 1000)
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		keys := make([][]byte, 64)
+		for i := range keys {
+			keys[i] = key(i)
+			c.Set(keys[i], value(i))
+		}
+		before := cl.MN.Node.Stats
+		vals, oks := c.MGet(keys)
+		after := cl.MN.Node.Stats
+		for i := range keys {
+			if !oks[i] || !bytes.Equal(vals[i], value(i)) {
+				t.Fatalf("key %d: ok=%v", i, oks[i])
+			}
+		}
+		if d := after.DoorbellBatches - before.DoorbellBatches; d != 2 {
+			t.Errorf("all-hit MGet used %d doorbell batches, want 2", d)
+		}
+		if c.Stats.Hits != int64(len(keys)) || c.Stats.Misses != 0 {
+			t.Errorf("stats = %+v", c.Stats)
+		}
+
+		// An all-miss batch needs only the bucket doorbell.
+		before = cl.MN.Node.Stats
+		_, oks = c.MGet([][]byte{[]byte("nope-1"), []byte("nope-2")})
+		after = cl.MN.Node.Stats
+		if oks[0] || oks[1] {
+			t.Error("phantom hit")
+		}
+		if d := after.DoorbellBatches - before.DoorbellBatches; d != 1 {
+			t.Errorf("all-miss MGet used %d doorbell batches, want 1", d)
+		}
+	})
+	env.Run()
+}
+
+// runBatchOrSeq drives one client through a deterministic mixed workload,
+// either with MSet/MGet batches or with per-key Set/Get, and returns
+// every Get observation in order.
+func runBatchOrSeq(t *testing.T, batched bool) []string {
+	env := sim.NewEnv(7)
+	cl := newTestCluster(env, 4000) // oversized: no evictions, so runs compare exactly
+	var out []string
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		rng := rand.New(rand.NewSource(99))
+		for round := 0; round < 40; round++ {
+			pairs := make([]KV, 8)
+			for j := range pairs {
+				k := rng.Intn(300)
+				pairs[j] = KV{Key: key(k), Value: value(k + round)}
+			}
+			gets := make([][]byte, 16)
+			for j := range gets {
+				gets[j] = key(rng.Intn(400)) // beyond 300: guaranteed misses
+			}
+			if batched {
+				c.MSet(pairs)
+				vs, oks := c.MGet(gets)
+				for j := range gets {
+					if oks[j] {
+						out = append(out, string(vs[j]))
+					} else {
+						out = append(out, "MISS")
+					}
+				}
+			} else {
+				for _, kv := range pairs {
+					c.Set(kv.Key, kv.Value)
+				}
+				for _, g := range gets {
+					if v, ok := c.Get(g); ok {
+						out = append(out, string(v))
+					} else {
+						out = append(out, "MISS")
+					}
+				}
+			}
+		}
+		if c.Stats.Hits+c.Stats.Misses != 40*16 {
+			t.Errorf("gets accounted = %d, want %d", c.Stats.Hits+c.Stats.Misses, 40*16)
+		}
+	})
+	env.Run()
+	return out
+}
+
+// TestMGetMSetMatchSequential pins observable equivalence: the batched
+// pipeline must return exactly what per-key Get/Set return on the same
+// deterministic operation sequence.
+func TestMGetMSetMatchSequential(t *testing.T) {
+	batched := runBatchOrSeq(t, true)
+	serial := runBatchOrSeq(t, false)
+	if len(batched) != len(serial) {
+		t.Fatalf("op counts differ: %d vs %d", len(batched), len(serial))
+	}
+	for i := range batched {
+		if batched[i] != serial[i] {
+			t.Fatalf("op %d: batched=%q serial=%q", i, batched[i][:8], serial[i][:8])
+		}
+	}
+}
+
+func TestMSetDuplicateKeysLastWriteWins(t *testing.T) {
+	env := sim.NewEnv(2)
+	cl := newTestCluster(env, 1000)
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		c.MSet([]KV{
+			{Key: key(1), Value: value(10)},
+			{Key: key(1), Value: value(20)},
+			{Key: key(1), Value: value(30)},
+		})
+		v, ok := c.Get(key(1))
+		if !ok || !bytes.Equal(v, value(30)) {
+			t.Fatalf("duplicate-key MSet: ok=%v", ok)
+		}
+	})
+	env.Run()
+}
+
+// TestNoteHitReadsPendingDeltaBeforeAdd is the regression test for the
+// frequency double count: the logical frequency reported to experts on a
+// hit must be remote snapshot + buffered delta + 1, with the pending
+// delta read BEFORE the current hit is buffered. The buggy ordering
+// (fc.Add first) folded the current hit into the pending delta and
+// yielded snapshot + delta + 2 for every buffered hit.
+func TestNoteHitReadsPendingDeltaBeforeAdd(t *testing.T) {
+	env := sim.NewEnv(1)
+	opts := DefaultOptions(1000, 1000*320)
+	opts.FCThreshold = 1000 // keep every delta buffered during the test
+	cl := NewCluster(env, opts)
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		k := key(1)
+		c.Set(k, value(1)) // slot freq initialized to 1
+		const hits = 10
+		for i := 0; i < hits; i++ {
+			if _, ok := c.Get(k); !ok {
+				t.Fatal("unexpected miss")
+			}
+		}
+		s := findSlot(t, c, k)
+		if s.Freq != 1 {
+			t.Fatalf("remote freq flushed prematurely: %d", s.Freq)
+		}
+		if d := c.fc.PendingDelta(s.Addr); d != hits {
+			t.Fatalf("pending delta = %d, want %d", d, hits)
+		}
+		// The (hits+1)-th access: logical frequency must be
+		// snapshot(1) + buffered(hits) + this access(1).
+		if got, want := c.noteHit(s, len(k)), uint64(1+hits+1); got != want {
+			t.Errorf("noteHit = %d, want %d (double-counted buffered hit?)", got, want)
+		}
+		if d := c.fc.PendingDelta(s.Addr); d != hits+1 {
+			t.Errorf("pending delta after noteHit = %d, want %d", d, hits+1)
+		}
+		// Flushing reconciles the remote counter with every access seen.
+		c.fc.FlushAll()
+		s = findSlot(t, c, k)
+		if want := uint64(1 + hits + 1); s.Freq != want {
+			t.Errorf("flushed remote freq = %d, want %d", s.Freq, want)
+		}
+	})
+	env.Run()
+}

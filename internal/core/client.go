@@ -164,7 +164,7 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 						histMatches = append(histMatches, s)
 					}
 				case s.Atomic.FP() == fp:
-					obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+					obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 					dec := decodeObject(obj)
 					if !dec.ok {
 						stale = true
@@ -204,13 +204,26 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	return nil, false
 }
 
+// noteHit buffers this hit's +1 in the FC cache and returns the key's
+// logical frequency including it. The pending delta MUST be read before
+// fc.Add: the remote snapshot s.Freq predates every buffered increment,
+// so the logical count is snapshot + buffered-before-this-hit + 1. Adding
+// first would fold the current hit into the pending delta and count it
+// twice whenever it was buffered, biasing LFU-family expert priorities
+// upward on exactly the keys the FC cache combines hardest.
+func (c *Client) noteHit(s hashtable.Slot, keyLen int) uint64 {
+	freq := s.Freq + 1 + c.fc.PendingDelta(s.Addr)
+	c.fc.Add(s.Addr, keyLen)
+	return freq
+}
+
 // touchOnHit applies the framework's metadata maintenance after a hit:
 // the stateful freq through the FC cache (combined RDMA_FAA), the
 // stateless last_ts with one asynchronous RDMA_WRITE, and any expert
 // extension metadata with one more asynchronous RDMA_WRITE to the object.
 func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 	now := c.p.Now()
-	c.fc.Add(s.Addr, keyLen)
+	freq := c.noteHit(s, keyLen)
 	c.ht.TouchLastTs(s.Addr, now)
 	if c.cl.opts.DisableSFHT {
 		// Metadata scattered with the object: stateless fields cannot be
@@ -219,10 +232,10 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 	}
 	if len(dec.ext) > 0 {
 		meta := cachealgo.Metadata{
-			Size:     int(s.Atomic.SizeBlocks()) * memnode.BlockSize,
+			Size:     s.Atomic.SizeBytes(),
 			InsertTs: s.InsertTs,
 			LastTs:   s.LastTs,
-			Freq:     s.Freq + 1 + c.fc.PendingDelta(s.Addr),
+			Freq:     freq,
 		}
 		for i, a := range c.experts {
 			n := a.ExtSize()
@@ -328,7 +341,7 @@ func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
 			if s.Atomic.FP() != fp {
 				continue
 			}
-			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			dec := decodeObject(obj)
 			if dec.ok && bytes.Equal(dec.key, key) {
 				return c.updateInPlace(s, dec, key, value, size, now)
@@ -369,8 +382,7 @@ func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
 		c.alloc.Free(addr, size)
 		return false
 	}
-	c.fc.Forget(free.Addr)
-	c.ht.WriteMetaOnInsert(free.Addr, kh, now, now, 1)
+	c.finishInsert(free.Addr, kh, now)
 	return true
 }
 
@@ -379,13 +391,30 @@ func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
 // RACE hashing).
 func (c *Client) updateInPlace(s hashtable.Slot, old decodedObject, key, value []byte, size int, now int64) bool {
 	addr := c.allocOrEvict(size)
+	ext := c.updateExt(s, old, size, now)
+	c.ep.Write(addr, encodeObject(key, value, ext))
+	want := hashtable.EncodeAtomic(s.Atomic.FP(), hashtable.SizeToBlocks(size), addr)
+	if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, want); !swapped {
+		c.alloc.Free(addr, size)
+		return false
+	}
+	c.finishUpdate(s, len(key), now)
+	return true
+}
+
+// updateExt rebuilds an object's extension metadata for an out-of-place
+// update. The frequency convention matches noteHit — snapshot + pending
+// delta + 1 for the current access, with the pending delta read before
+// the access is buffered (finishUpdate's fc.Add runs only after the CAS
+// publishes the update).
+func (c *Client) updateExt(s hashtable.Slot, old decodedObject, size int, now int64) []byte {
 	ext := make([]byte, c.cl.totalExt)
 	copy(ext, old.ext)
 	meta := cachealgo.Metadata{
 		Size:     hashtable.SizeClassBytes(size),
 		InsertTs: s.InsertTs,
 		LastTs:   s.LastTs,
-		Freq:     s.Freq + 1,
+		Freq:     s.Freq + 1 + c.fc.PendingDelta(s.Addr),
 	}
 	for i, a := range c.experts {
 		if n := a.ExtSize(); n > 0 {
@@ -393,16 +422,24 @@ func (c *Client) updateInPlace(s hashtable.Slot, old decodedObject, key, value [
 			a.UpdateExt(&meta, now)
 		}
 	}
-	c.ep.Write(addr, encodeObject(key, value, ext))
-	want := hashtable.EncodeAtomic(s.Atomic.FP(), hashtable.SizeToBlocks(size), addr)
-	if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, want); !swapped {
-		c.alloc.Free(addr, size)
-		return false
-	}
-	c.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
-	c.fc.Add(s.Addr, len(key))
+	return ext
+}
+
+// finishUpdate applies the post-CAS effects of a successful out-of-place
+// update: free the superseded block, buffer the access's freq increment,
+// and touch last_ts (async).
+func (c *Client) finishUpdate(s hashtable.Slot, keyLen int, now int64) {
+	c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+	c.fc.Add(s.Addr, keyLen)
 	c.ht.TouchLastTs(s.Addr, now)
-	return true
+}
+
+// finishInsert applies the post-CAS effects of a successful insert: drop
+// any stale buffered delta bound to the recycled slot and initialize the
+// slot metadata (async).
+func (c *Client) finishInsert(slotAddr uint64, kh uint64, now int64) {
+	c.fc.Forget(slotAddr)
+	c.ht.WriteMetaOnInsert(slotAddr, kh, now, now, 1)
 }
 
 // initExts builds the initial extension metadata for a new object.
@@ -464,7 +501,7 @@ func (c *Client) migrateIn(key, value, ext []byte, insertTs, lastTs int64, freq 
 				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
 					continue
 				}
-				obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
 					return false, 0, 0 // newer copy already here; it wins
 				}
@@ -521,7 +558,7 @@ func (c *Client) hasOtherCopy(kh uint64, fp byte, key []byte, exclAddr uint64) b
 			if s.Addr == exclAddr || s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
 				continue
 			}
-			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
 				return true
 			}
@@ -540,7 +577,7 @@ func (c *Client) surrenderFreeBlocks() { c.alloc.Surrender() }
 // deleted the copy — the newer state wins and nothing is freed.
 func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
 	if _, swapped := c.ht.CASAtomic(slotAddr, atom, 0); swapped {
-		c.alloc.Free(atom.Pointer(), int(atom.SizeBlocks())*memnode.BlockSize)
+		c.alloc.Free(atom.Pointer(), atom.SizeBytes())
 		c.fc.Forget(slotAddr)
 	}
 }
@@ -562,13 +599,13 @@ func (c *Client) Delete(key []byte) bool {
 			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
 				continue
 			}
-			obj := c.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			dec := decodeObject(obj)
 			if !dec.ok || !bytes.Equal(dec.key, key) {
 				continue
 			}
 			if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
-				c.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+				c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				c.fc.Forget(s.Addr)
 				deleted = true
 			}

@@ -10,6 +10,8 @@
 //	Set: 1 READ (bucket) + 1 WRITE (object) + 1 CAS (slot) + async metadata
 //	Evict: 1 READ (sample) [+ ext READs] + 1 FAA (history ID) +
 //	       1 CAS (slot→history) + async bitmap WRITE
+//	MGet/MSet: the same per-key verbs, posted stage-by-stage as doorbell
+//	       batches (batch.go) so round trips overlap across the keys
 //
 // matching §4.1's operation descriptions and the verb budgets asserted in
 // the tests.

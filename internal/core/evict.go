@@ -101,7 +101,7 @@ func (c *Client) evictOne() bool {
 			}
 		}
 		c.alloc.Free(victim.slot.Atomic.Pointer(),
-			int(victim.slot.Atomic.SizeBlocks())*memnode.BlockSize)
+			victim.slot.Atomic.SizeBytes())
 		c.fc.Forget(victim.slot.Addr)
 		c.Stats.Evictions++
 		return true
@@ -119,8 +119,11 @@ func (c *Client) buildCandidates(slots []hashtable.Slot) []candidate {
 		if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
 			continue
 		}
+		// Frequency convention (shared with noteHit/updateExt): remote
+		// snapshot plus the buffered delta. Sampling is not an access, so
+		// no +1 and no fc.Add here.
 		meta := cachealgo.Metadata{
-			Size:     int(s.Atomic.SizeBlocks()) * memnode.BlockSize,
+			Size:     s.Atomic.SizeBytes(),
 			InsertTs: s.InsertTs,
 			LastTs:   s.LastTs,
 			Freq:     s.Freq + c.fc.PendingDelta(s.Addr),
@@ -175,7 +178,7 @@ func (c *Client) bucketEvict(slots []hashtable.Slot) bool {
 		obs.OnEvict(bestP)
 	}
 	c.alloc.Free(victim.slot.Atomic.Pointer(),
-		int(victim.slot.Atomic.SizeBlocks())*memnode.BlockSize)
+		victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(victim.slot.Addr)
 	c.Stats.Evictions++
 	c.Stats.BucketEvictions++

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"ditto/internal/hashtable"
-	"ditto/internal/memnode"
 	"ditto/internal/ring"
 	"ditto/internal/sim"
 )
@@ -264,7 +263,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
 				continue
 			}
-			obj := src.ep.Read(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			obj := src.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			dec := decodeObject(obj)
 			if !dec.ok {
 				continue // reused memory behind a stale slot snapshot
@@ -299,7 +298,7 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec deco
 		ext := append([]byte(nil), dec.ext...)
 		inserted, slotAddr, atom := dst.migrateIn(key, val, ext, s.InsertTs, s.LastTs, s.Freq)
 		if _, swapped := src.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
-			src.alloc.Free(s.Atomic.Pointer(), int(s.Atomic.SizeBlocks())*memnode.BlockSize)
+			src.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 			src.fc.Forget(s.Addr)
 			// inserted=false here means the destination already held a
 			// newer client-written copy: the source removal is garbage
@@ -331,7 +330,7 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec deco
 		if s2.Atomic.IsEmpty() || s2.Atomic.IsHistory() || s2.Atomic.FP() != s.Atomic.FP() {
 			return 0
 		}
-		obj := src.ep.Read(s2.Atomic.Pointer(), int(s2.Atomic.SizeBlocks())*memnode.BlockSize)
+		obj := src.ep.Read(s2.Atomic.Pointer(), s2.Atomic.SizeBytes())
 		dec2 := decodeObject(obj)
 		if !dec2.ok || !bytes.Equal(dec2.key, dec.key) {
 			return 0
@@ -468,15 +467,214 @@ func (m *MultiClient) Get(key []byte) ([]byte, bool) {
 		// A ring switch mid-operation means we probed stale owners:
 		// re-route and retry (bounded) before declaring a miss.
 		if m.mc.epoch == epoch || attempt >= routeRetries {
-			if old >= 0 && curClient != nil {
-				// The probes were silent: count the one logical miss on
-				// the key's current owner.
-				curClient.Stats.Gets++
-				curClient.Stats.Misses++
+			if old >= 0 || curClient == nil {
+				// Either the probes were silent (forwarding window), or
+				// the owner's client vanished mid-route and nothing ran
+				// at all: count the one logical miss explicitly, so
+				// Stats().HitRate() cannot overstate the hit rate during
+				// a shrink.
+				m.countMiss(cur, old)
 			}
 			return nil, false
 		}
 	}
+}
+
+// countMiss records one logical Get miss on a surviving client: the
+// key's current owner when connected, else its old owner, else any node
+// still in the pool. A Get that returns false must always increment
+// Gets and Misses on SOME client — dropping it (as happened when the
+// forwarding window closed around a just-removed node) silently inflated
+// the aggregate hit rate.
+func (m *MultiClient) countMiss(cur, old int) {
+	c := m.clientFor(cur)
+	if c == nil && old >= 0 {
+		c = m.clientFor(old)
+	}
+	if c == nil {
+		for _, id := range m.mc.order {
+			if c = m.clientFor(id); c != nil {
+				break
+			}
+		}
+	}
+	if c != nil {
+		c.Stats.Gets++
+		c.Stats.Misses++
+	}
+}
+
+// MGet fetches a batch of keys: each key routes to its ring owner, and
+// every owner serves its whole group with one doorbell-batched MGet.
+// During a reshard the forwarding window is preserved with batched
+// stat-silent probes, in Get's exact order — new owner, old owner, new
+// owner again to settle the migration race — and every key that stays
+// missing counts one logical miss on a surviving client.
+func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
+	vals := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return vals, oks
+	}
+	pending := make([]int, len(keys))
+	for i := range keys {
+		pending[i] = i
+	}
+	for attempt := 0; ; attempt++ {
+		epoch := m.mc.epoch
+		stable := make(map[int][]int) // cur owner → key indices, no window
+		window := make(map[int][]int) // cur owner → key indices in a window
+		oldOf := make(map[int]int)    // key index → old owner
+		for _, i := range pending {
+			cur, old := m.owner(keys[i])
+			if old < 0 {
+				stable[cur] = append(stable[cur], i)
+			} else {
+				window[cur] = append(window[cur], i)
+				oldOf[i] = old
+			}
+		}
+
+		// Stable keys: one counting batch per owner; a nil client (owner
+		// vanished mid-route) leaves the group's misses uncounted for the
+		// final accounting below, like the probes.
+		var counted, silent []int
+		for _, owner := range sortedGroupKeys(stable) {
+			missed, ran := m.mgetGroup(owner, stable[owner], keys, vals, oks, false)
+			if ran {
+				counted = append(counted, missed...)
+			} else {
+				silent = append(silent, missed...)
+			}
+		}
+
+		// Forwarding window: silent probe batches on the new owners, the
+		// old owners, then the new owners once more.
+		var winMissed []int
+		for _, owner := range sortedGroupKeys(window) {
+			missed, _ := m.mgetGroup(owner, window[owner], keys, vals, oks, true)
+			winMissed = append(winMissed, missed...)
+		}
+		for pass := 0; pass < 2 && len(winMissed) > 0; pass++ {
+			regrouped := make(map[int][]int)
+			for _, i := range winMissed {
+				owner := oldOf[i]
+				if pass == 1 { // final settle pass re-probes the new owner
+					owner, _ = m.owner(keys[i])
+				}
+				regrouped[owner] = append(regrouped[owner], i)
+			}
+			winMissed = winMissed[:0]
+			for _, owner := range sortedGroupKeys(regrouped) {
+				missed, _ := m.mgetGroup(owner, regrouped[owner], keys, vals, oks, true)
+				winMissed = append(winMissed, missed...)
+			}
+		}
+		silent = append(silent, winMissed...)
+
+		if m.mc.epoch == epoch || attempt >= routeRetries {
+			// The silent misses (window probes, vanished owners) were
+			// never counted: record one logical miss each on a surviving
+			// client, as Get does.
+			for _, i := range silent {
+				cur, old := m.owner(keys[i])
+				m.countMiss(cur, old)
+			}
+			return vals, oks
+		}
+		// A ring switch mid-batch: re-route every key still missing.
+		pending = append(counted, silent...)
+		sort.Ints(pending)
+	}
+}
+
+// mgetGroup runs one batched (probe or counting) MGet for the given key
+// indices on one node, filling vals/oks for hits. It returns the indices
+// that missed and whether a client actually ran the batch (false when
+// the node has left the pool, in which case nothing was counted).
+func (m *MultiClient) mgetGroup(owner int, idxs []int, keys, vals [][]byte, oks []bool, probe bool) (missed []int, ran bool) {
+	c := m.clientFor(owner)
+	if c == nil {
+		return idxs, false
+	}
+	sub := make([][]byte, len(idxs))
+	for j, i := range idxs {
+		sub[j] = keys[i]
+	}
+	vs, os := c.mget(sub, probe)
+	for j, i := range idxs {
+		if os[j] {
+			vals[i], oks[i] = vs[j], true
+		} else {
+			missed = append(missed, i)
+		}
+	}
+	return missed, true
+}
+
+// MSet stores a batch of pairs: one doorbell-batched MSet per owning MN.
+// During a reshard each windowed key's pre-reshard copy is deleted from
+// its old owner after the write lands, exactly as Set does per key. The
+// reshard's straggler-pass safety net assumes a write's routing decision
+// is at most one operation's span stale; a multi-group batch could
+// stretch that arbitrarily, so the epoch is re-checked before each group
+// and the remaining pairs re-route serially after a mid-batch ring
+// switch — the residual window is then one group's span, the same bound
+// a serial Set has.
+func (m *MultiClient) MSet(pairs []KV) {
+	if len(pairs) == 0 {
+		return
+	}
+	epoch := m.mc.epoch
+	groups := make(map[int][]int)
+	oldOf := make(map[int]int)
+	for i := range pairs {
+		cur, old := m.owner(pairs[i].Key)
+		groups[cur] = append(groups[cur], i)
+		if old >= 0 {
+			oldOf[i] = old
+		}
+	}
+	owners := sortedGroupKeys(groups)
+	for gi, owner := range owners {
+		idxs := groups[owner]
+		c := m.clientFor(owner)
+		if m.mc.epoch != epoch || c == nil {
+			// The ring switched (or the owner left the pool) while earlier
+			// groups' verbs were in flight: every remaining routing
+			// decision is stale. Re-route the rest per pair — Set routes
+			// at issue time, restoring the design's staleness bound.
+			for _, o := range owners[gi:] {
+				for _, i := range groups[o] {
+					m.Set(pairs[i].Key, pairs[i].Value)
+				}
+			}
+			return
+		}
+		sub := make([]KV, len(idxs))
+		for j, i := range idxs {
+			sub[j] = pairs[i]
+		}
+		c.MSet(sub)
+		for _, i := range idxs {
+			if old, windowed := oldOf[i]; windowed {
+				if oc := m.clientFor(old); oc != nil {
+					oc.Delete(pairs[i].Key)
+				}
+			}
+		}
+	}
+}
+
+// sortedGroupKeys returns a routing map's node IDs in ascending order so
+// multi-node fan-out issues its batches deterministically.
+func sortedGroupKeys(groups map[int][]int) []int {
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
 }
 
 // Set stores key on its owning MN. During a reshard the new owner gets
@@ -488,10 +686,18 @@ func (m *MultiClient) Get(key []byte) ([]byte, bool) {
 // until the reshard's verification sweep — see the package comment.)
 func (m *MultiClient) Set(key, value []byte) {
 	cur, old := m.owner(key)
-	m.clientFor(cur).Set(key, value)
+	c := m.clientFor(cur)
+	if c == nil {
+		// Reads degrade when a routed owner has no backing node (the miss
+		// is counted on a survivor), but a write has nowhere to land: the
+		// ring and the membership switch atomically, so this is a
+		// corrupted deployment — fail loudly, not with a nil dereference.
+		panic("core: Set routed to a ring owner that has no backing node")
+	}
+	c.Set(key, value)
 	if old >= 0 {
-		if c := m.clientFor(old); c != nil {
-			c.Delete(key)
+		if oc := m.clientFor(old); oc != nil {
+			oc.Delete(key)
 		}
 	}
 }

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 
+	"ditto/internal/ring"
 	"ditto/internal/sim"
 )
 
@@ -113,4 +115,124 @@ func TestMultiClusterValidation(t *testing.T) {
 		}
 	}()
 	NewMultiCluster(sim.NewEnv(1), 0, DefaultOptions(100, 1<<20))
+}
+
+// TestMultiGetMissCountedWhenClientsVanish is the regression test for
+// the silent-miss accounting hole: a Get that returns false must
+// increment Gets and Misses on SOME surviving client even when the
+// routed owner has no client (node just removed) — both outside and
+// inside the forwarding window. Before the fix these Gets vanished from
+// the stats and HitRate() overstated the hit rate during a shrink.
+func TestMultiGetMissCountedWhenClientsVanish(t *testing.T) {
+	env := sim.NewEnv(3)
+	mc := NewMultiCluster(env, 2, DefaultOptions(1000, 1000*320))
+	env.Go("c", func(p *sim.Proc) {
+		m := mc.NewClient(p)
+		real := mc.hashRing
+
+		// Case 1: no forwarding window, current owner unreachable (a ring
+		// member with no backing node).
+		mc.hashRing = ring.New(0, 99)
+		mc.epoch++
+		if _, ok := m.Get([]byte("absent-1")); ok {
+			t.Fatal("phantom hit")
+		}
+		if s := m.Stats(); s.Gets != 1 || s.Misses != 1 {
+			t.Errorf("case 1: stats = %+v, want 1 get / 1 miss", s)
+		}
+
+		// Case 2: forwarding window whose current owner is unreachable;
+		// the old-owner probe is silent, so the logical miss must be
+		// counted explicitly on a surviving client.
+		mc.oldRing = real
+		mc.epoch++
+		if _, ok := m.Get([]byte("absent-2")); ok {
+			t.Fatal("phantom hit")
+		}
+		if s := m.Stats(); s.Gets != 2 || s.Misses != 2 {
+			t.Errorf("case 2: stats = %+v, want 2 gets / 2 misses", s)
+		}
+
+		// Case 3: the batched path under the same conditions.
+		if _, oks := m.MGet([][]byte{[]byte("absent-3"), []byte("absent-4")}); oks[0] || oks[1] {
+			t.Fatal("phantom hit")
+		}
+		if s := m.Stats(); s.Gets != 4 || s.Misses != 4 {
+			t.Errorf("case 3: stats = %+v, want 4 gets / 4 misses", s)
+		}
+
+		mc.oldRing = nil
+		mc.hashRing = real
+		mc.epoch++
+	})
+	env.Run()
+}
+
+// TestMultiBatchedOpsDuringLiveReshard drives MGet/MSet batches across a
+// live AddNode reshard and checks every result against an exact model:
+// batched operations must behave like their sequential counterparts even
+// while keys migrate (no lost keys, no stale values, no phantom hits).
+func TestMultiBatchedOpsDuringLiveReshard(t *testing.T) {
+	env := sim.NewEnv(5)
+	mc := NewMultiCluster(env, 2, DefaultOptions(4000, 4000*320))
+	model := make(map[string][]byte)
+	env.Go("mutator", func(p *sim.Proc) {
+		m := mc.NewClient(p)
+		rng := rand.New(rand.NewSource(42))
+		pairs := make([]KV, 0, 400)
+		for i := 0; i < 400; i++ {
+			pairs = append(pairs, KV{Key: key(i), Value: value(i)})
+			model[string(key(i))] = value(i)
+		}
+		m.MSet(pairs)
+		for round := 0; round < 60; round++ {
+			if round == 5 {
+				mc.AddNode()
+			}
+			batch := make([]KV, 6)
+			for j := range batch {
+				k := rng.Intn(500)
+				v := value(k*7 + round)
+				batch[j] = KV{Key: key(k), Value: v}
+				model[string(key(k))] = v
+			}
+			m.MSet(batch)
+			gets := make([][]byte, 12)
+			for j := range gets {
+				gets[j] = key(rng.Intn(600))
+			}
+			vs, oks := m.MGet(gets)
+			for j := range gets {
+				want, present := model[string(gets[j])]
+				if oks[j] != present {
+					t.Errorf("round %d (resharding=%v) key %s: ok=%v, present=%v",
+						round, mc.Resharding(), gets[j], oks[j], present)
+				} else if present && !bytes.Equal(vs[j], want) {
+					t.Errorf("round %d key %s: stale value", round, gets[j])
+				}
+			}
+		}
+		mc.WaitReshard(p)
+		all := make([][]byte, 600)
+		for i := range all {
+			all[i] = key(i)
+		}
+		vs, oks := m.MGet(all)
+		for i := range all {
+			want, present := model[string(all[i])]
+			if oks[i] != present {
+				t.Errorf("post-reshard key %d: ok=%v, present=%v", i, oks[i], present)
+			} else if present && !bytes.Equal(vs[i], want) {
+				t.Errorf("post-reshard key %d: stale value", i)
+			}
+		}
+		s := m.Stats()
+		if s.Gets != s.Hits+s.Misses {
+			t.Errorf("accounting broken: %+v", s)
+		}
+	})
+	env.Run()
+	if mc.Reshards != 1 || mc.NumNodes() != 3 {
+		t.Errorf("reshards=%d nodes=%d", mc.Reshards, mc.NumNodes())
+	}
 }

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"hash/fnv"
 
+	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 )
 
@@ -140,6 +141,11 @@ func (a AtomicField) SizeBlocks() byte { return byte(a >> 48) }
 // Pointer returns the 48-bit pointer (or history ID).
 func (a AtomicField) Pointer() uint64 { return uint64(a) & PointerMask }
 
+// SizeBytes returns the object's heap footprint in bytes, the single
+// decoding of the size field every reader must use (meaningless for the
+// SizeEmpty/SizeHistory sentinels).
+func (a AtomicField) SizeBytes() int { return int(a.SizeBlocks()) * memnode.BlockSize }
+
 // IsEmpty reports a free slot (the whole atomic field is zero).
 func (a AtomicField) IsEmpty() bool { return a == 0 }
 
@@ -148,12 +154,16 @@ func (a AtomicField) IsHistory() bool { return a.SizeBlocks() == SizeHistory }
 
 // SizeClassBytes returns the byte size the slot's size field represents
 // for an object of the given size (block-granular, as priority functions
-// see it).
-func SizeClassBytes(size int) int { return int(SizeToBlocks(size)) * 64 }
+// see it). Both size views — classifying a byte size here and decoding a
+// slot's size field in AtomicField.SizeBytes — are defined in terms of
+// memnode.BlockSize, so they cannot diverge if the block size changes.
+func SizeClassBytes(size int) int {
+	return int(SizeToBlocks(size)) * memnode.BlockSize
+}
 
 // SizeToBlocks converts a byte size to the slot's block count.
 func SizeToBlocks(size int) byte {
-	b := (size + 63) / 64
+	b := (size + memnode.BlockSize - 1) / memnode.BlockSize
 	if b < 1 {
 		b = 1
 	}
@@ -223,6 +233,37 @@ func (h *Handle) ReadBucket(b int) []Slot {
 		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
 	}
 	return slots
+}
+
+// ReadBuckets fetches the given buckets with ONE doorbell batch of
+// RDMA_READs: each bucket costs its message-service time on the RNIC, but
+// all round trips overlap, so a multi-key operation pays ~one READ
+// latency for its whole bucket set. Duplicate bucket indices are read
+// twice; callers dedup when it matters. The result is indexed like bs.
+func (h *Handle) ReadBuckets(bs []int) [][]Slot {
+	if len(bs) == 0 {
+		return nil
+	}
+	ops := make([]rdma.BatchOp, len(bs))
+	for i, b := range bs {
+		ops[i] = rdma.BatchOp{
+			Kind: rdma.BatchRead,
+			Addr: h.Layout.BucketAddr(b),
+			Len:  h.Layout.SlotsPerBucket * SlotBytes,
+		}
+	}
+	res := h.EP.PostBatch(ops)
+	out := make([][]Slot, len(bs))
+	for i, b := range bs {
+		base := h.Layout.BucketAddr(b)
+		raw := res[i].Data
+		slots := make([]Slot, h.Layout.SlotsPerBucket)
+		for j := range slots {
+			slots[j] = decodeSlot(base+uint64(j*SlotBytes), raw[j*SlotBytes:(j+1)*SlotBytes])
+		}
+		out[i] = slots
+	}
+	return out
 }
 
 // ReadSlot fetches a single slot (one RDMA_READ).
@@ -311,3 +352,7 @@ func (h *Handle) WriteExpertBitmap(slotAddr uint64, bitmap uint64) {
 
 // FreqAddr exposes the freq field address (the FC cache records it).
 func FreqAddr(slotAddr uint64) uint64 { return slotAddr + offFreq }
+
+// AtomicAddr exposes the atomic field address of a slot (doorbell-batched
+// CASes target it directly; single CASes go through CASAtomic).
+func AtomicAddr(slotAddr uint64) uint64 { return slotAddr + offAtomic }

@@ -263,3 +263,72 @@ func TestAtomicRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSizeClassRoundTrip pins the single-size-view property: classifying
+// a byte size and decoding the resulting slot size field must agree, and
+// the class must cover the object with less than one block of slack.
+func TestSizeClassRoundTrip(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := int(raw) // within MaxBlocks * BlockSize for BlockSize=64
+		if size > MaxBlocks*memnode.BlockSize {
+			size %= MaxBlocks * memnode.BlockSize
+		}
+		blocks := SizeToBlocks(size)
+		class := SizeClassBytes(size)
+		decoded := EncodeAtomic(1, blocks, 0).SizeBytes()
+		if class != decoded {
+			t.Logf("size %d: class %d != decoded %d", size, class, decoded)
+			return false
+		}
+		if class < size {
+			t.Logf("size %d: class %d does not cover object", size, class)
+			return false
+		}
+		// size 0 legitimately occupies the one-block minimum; any larger
+		// size must not waste a whole block (below the MaxBlocks clamp).
+		if size > 0 && class-size >= memnode.BlockSize && blocks < MaxBlocks {
+			t.Logf("size %d: class %d wastes a whole block", size, class)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBucketsMatchesReadBucket(t *testing.T) {
+	env, mn, l := testTable(t, 16, 4)
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		h := NewHandle(l, ep)
+		for i := 0; i < 10; i++ {
+			h.CASAtomic(l.SlotAddr(i*3), 0, EncodeAtomic(byte(i+1), 2, uint64(i*64)))
+			h.WriteMetaOnInsert(l.SlotAddr(i*3), uint64(i+100), int64(i), int64(i*2), uint64(i*3))
+		}
+		want := make([][]Slot, 0, 5)
+		bs := []int{0, 3, 7, 3, 15}
+		for _, b := range bs {
+			want = append(want, h.ReadBucket(b))
+		}
+		before := mn.Node.Stats
+		got := h.ReadBuckets(bs)
+		if d := mn.Node.Stats.DoorbellBatches - before.DoorbellBatches; d != 1 {
+			t.Errorf("doorbell batches = %d, want 1", d)
+		}
+		if d := mn.Node.Stats.Reads - before.Reads; d != int64(len(bs)) {
+			t.Errorf("reads = %d, want %d", d, len(bs))
+		}
+		for i := range bs {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("bucket %d: %d slots", bs[i], len(got[i]))
+			}
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Errorf("bucket %d slot %d: got %+v want %+v", bs[i], j, got[i][j], want[i][j])
+				}
+			}
+		}
+	})
+	env.Run()
+}

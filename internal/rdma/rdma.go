@@ -76,6 +76,12 @@ type Stats struct {
 	AsyncOps   int64
 	ReadBytes  int64
 	WriteBytes int64
+
+	// DoorbellBatches counts PostBatch calls; BatchedVerbs counts the
+	// verbs they carried (those verbs are also counted in their per-kind
+	// counters above).
+	DoorbellBatches int64
+	BatchedVerbs    int64
 }
 
 // Total returns the total number of verbs (including RPCs).
@@ -267,6 +273,109 @@ func (e *Endpoint) FAAAsync(addr uint64, delta uint64) {
 	n.nic.Acquire(n.msgSvc(8))
 	old := binary.LittleEndian.Uint64(n.mem[addr:])
 	binary.LittleEndian.PutUint64(n.mem[addr:], old+delta)
+}
+
+// BatchKind selects the verb of one entry in a doorbell batch.
+type BatchKind uint8
+
+// Verbs a doorbell batch may carry.
+const (
+	BatchRead BatchKind = iota
+	BatchWrite
+	BatchCAS
+	BatchFAA
+)
+
+// BatchOp describes one verb in a doorbell batch. Fields beyond Kind and
+// Addr are per-kind: Len for reads, Data for writes, Expect/Swap for CAS,
+// Delta for FAA.
+type BatchOp struct {
+	Kind   BatchKind
+	Addr   uint64
+	Len    int    // BatchRead: bytes to fetch
+	Data   []byte // BatchWrite: payload
+	Expect uint64 // BatchCAS: compare value
+	Swap   uint64 // BatchCAS: swap value
+	Delta  uint64 // BatchFAA: addend
+}
+
+// BatchResult is the completion of one BatchOp.
+type BatchResult struct {
+	Data    []byte // BatchRead: the fetched bytes
+	Old     uint64 // BatchCAS / BatchFAA: value observed before the op
+	Swapped bool   // BatchCAS: whether the swap took effect
+}
+
+// PostBatch posts N verbs with ONE RNIC doorbell and waits for all of
+// their completions. This is the doorbell-batching cost model: every verb
+// still consumes RNIC capacity (the message rate binds exactly as for
+// individual verbs), but the round trips overlap — the caller blocks
+// until the LAST completion plus one RTT instead of paying queueing plus
+// an RTT per verb. All effects take hold at completion time in posting
+// order, matching in-order execution on one queue pair: a read posted
+// after a write in the same batch observes that write.
+func (e *Endpoint) PostBatch(ops []BatchOp) []BatchResult {
+	if len(ops) == 0 {
+		return nil
+	}
+	n := e.node
+	n.Stats.DoorbellBatches++
+	n.Stats.BatchedVerbs += int64(len(ops))
+	var last int64
+	for i := range ops {
+		op := &ops[i]
+		var bytes int
+		switch op.Kind {
+		case BatchRead:
+			n.check(op.Addr, op.Len)
+			n.Stats.Reads++
+			n.Stats.ReadBytes += int64(op.Len)
+			bytes = op.Len
+		case BatchWrite:
+			n.check(op.Addr, len(op.Data))
+			n.Stats.Writes++
+			n.Stats.WriteBytes += int64(len(op.Data))
+			bytes = len(op.Data)
+		case BatchCAS:
+			n.check(op.Addr, 8)
+			n.Stats.CASes++
+			bytes = 8
+		case BatchFAA:
+			n.check(op.Addr, 8)
+			n.Stats.FAAs++
+			bytes = 8
+		default:
+			panic(fmt.Sprintf("rdma: unknown batch op kind %d", op.Kind))
+		}
+		if end := n.nic.Acquire(n.msgSvc(bytes)); end > last {
+			last = end
+		}
+	}
+	e.p.SleepUntil(last + n.cfg.RTT)
+	res := make([]BatchResult, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case BatchRead:
+			out := make([]byte, op.Len)
+			copy(out, n.mem[op.Addr:op.Addr+uint64(op.Len)])
+			res[i].Data = out
+		case BatchWrite:
+			copy(n.mem[op.Addr:op.Addr+uint64(len(op.Data))], op.Data)
+		case BatchCAS:
+			old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
+			res[i].Old = old
+			if old == op.Expect {
+				binary.LittleEndian.PutUint64(n.mem[op.Addr:], op.Swap)
+				res[i].Swapped = true
+			}
+		case BatchFAA:
+			old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
+			res[i].Old = old
+			binary.LittleEndian.PutUint64(n.mem[op.Addr:], old+op.Delta)
+		}
+	}
+	return res
 }
 
 // RPC sends a request to the MN controller and returns its reply. The

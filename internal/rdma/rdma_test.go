@@ -286,3 +286,100 @@ func TestStatsTotal(t *testing.T) {
 		t.Fatalf("total = %d", s.Total())
 	}
 }
+
+func TestPostBatchSemantics(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	env.Go("c", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		ep.Write(0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+		node.PutUint64At(64, 10)
+		res := ep.PostBatch([]BatchOp{
+			{Kind: BatchWrite, Addr: 128, Data: []byte("doorbell")},
+			{Kind: BatchRead, Addr: 128, Len: 8}, // posted after the write: must see it
+			{Kind: BatchCAS, Addr: 64, Expect: 10, Swap: 20},
+			{Kind: BatchCAS, Addr: 64, Expect: 10, Swap: 30}, // stale expect: must fail
+			{Kind: BatchFAA, Addr: 64, Delta: 2},
+			{Kind: BatchRead, Addr: 0, Len: 8},
+		})
+		if !bytes.Equal(res[1].Data, []byte("doorbell")) {
+			t.Errorf("in-batch read after write = %q", res[1].Data)
+		}
+		if !res[2].Swapped || res[2].Old != 10 {
+			t.Errorf("first CAS: %+v", res[2])
+		}
+		if res[3].Swapped || res[3].Old != 20 {
+			t.Errorf("second CAS should observe the first: %+v", res[3])
+		}
+		if res[4].Old != 20 {
+			t.Errorf("FAA old = %d, want 20", res[4].Old)
+		}
+		if v := node.Uint64At(64); v != 22 {
+			t.Errorf("counter = %d, want 22", v)
+		}
+		if !bytes.Equal(res[5].Data, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+			t.Errorf("read = %v", res[5].Data)
+		}
+	})
+	env.Run()
+	if node.Stats.DoorbellBatches != 1 || node.Stats.BatchedVerbs != 6 {
+		t.Errorf("batch stats = %+v", node.Stats)
+	}
+	// Batched verbs are also counted per kind (1 plain write + 1 batch write).
+	if node.Stats.Reads != 2 || node.Stats.Writes != 2 || node.Stats.CASes != 2 || node.Stats.FAAs != 1 {
+		t.Errorf("verb stats = %+v", node.Stats)
+	}
+}
+
+// TestPostBatchOverlapsRoundTrips pins the doorbell cost model: N batched
+// reads cost N message-service times plus ONE round trip, against
+// N x (service + RTT) when issued synchronously one by one.
+func TestPostBatchOverlapsRoundTrips(t *testing.T) {
+	const n = 32
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	env.Go("c", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		ops := make([]BatchOp, n)
+		for i := range ops {
+			ops[i] = BatchOp{Kind: BatchRead, Addr: uint64(i * 8), Len: 8}
+		}
+		start := p.Now()
+		ep.PostBatch(ops)
+		batched := p.Now() - start
+
+		start = p.Now()
+		for i := 0; i < n; i++ {
+			ep.Read(uint64(i*8), 8)
+		}
+		sequential := p.Now() - start
+
+		wantBatched := int64(n)*node.msgSvc(8) + node.cfg.RTT
+		wantSeq := int64(n) * (node.msgSvc(8) + node.cfg.RTT)
+		if batched != wantBatched {
+			t.Errorf("batched latency = %d, want %d", batched, wantBatched)
+		}
+		if sequential != wantSeq {
+			t.Errorf("sequential latency = %d, want %d", sequential, wantSeq)
+		}
+		if batched*3 > sequential {
+			t.Errorf("batching should overlap round trips: batched=%d sequential=%d", batched, sequential)
+		}
+	})
+	env.Run()
+}
+
+func TestPostBatchEmpty(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	env.Go("c", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		if res := ep.PostBatch(nil); res != nil {
+			t.Errorf("empty batch returned %v", res)
+		}
+	})
+	env.Run()
+	if node.Stats.DoorbellBatches != 0 {
+		t.Errorf("empty batch counted: %+v", node.Stats)
+	}
+}
