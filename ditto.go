@@ -43,6 +43,7 @@ package ditto
 import (
 	"ditto/internal/cachealgo"
 	"ditto/internal/core"
+	"ditto/internal/exec"
 	"ditto/internal/fairness"
 	"ditto/internal/sim"
 )
@@ -70,12 +71,13 @@ type Stats = core.Stats
 
 // KV is one key/value pair of an MSet batch.
 //
-// Multi-key traffic should prefer Client.MGet / Client.MSet (and their
-// MultiClient counterparts) over per-key loops: the batched pipeline
-// posts each stage's verbs with a single RNIC doorbell, overlapping the
-// round trips — an all-hit MGet costs two doorbell batches total (bucket
-// READs, then object READs) instead of two round trips per key, while
-// returning exactly what per-key Get/Set would.
+// Multi-key traffic should prefer Client.MGet / MSet / MDelete (and
+// their MultiClient counterparts) over per-key loops: the batched
+// operations run the same verb plans as Get/Set/Delete, posting each
+// stage's verbs with a single RNIC doorbell so the round trips overlap —
+// an all-hit MGet costs two doorbell batches total (bucket READs, then
+// object READs) instead of two round trips per key, while returning
+// exactly what per-key operations would.
 type KV = core.KV
 
 // NewCluster builds a Ditto deployment inside env.
@@ -105,6 +107,19 @@ type MultiCluster = core.MultiCluster
 // MultiClient routes operations to the memory node owning each key and
 // serves the forwarding window during live reshards.
 type MultiClient = core.MultiClient
+
+// ReshardStrategy selects how a MultiCluster's resharder executes its
+// migration verb plans (MultiCluster.ReshardStrategy).
+type ReshardStrategy = exec.Strategy
+
+// Reshard strategies: ReshardDoorbell (the default) pipelines the table
+// scan and the per-key migrations as doorbell batches, cutting reshard
+// completion time severalfold; ReshardSerial issues one verb per round
+// trip — the paper-faithful baseline. Results are identical.
+const (
+	ReshardSerial   ReshardStrategy = exec.Serial
+	ReshardDoorbell ReshardStrategy = exec.Doorbell
+)
 
 // NewMultiCluster builds a deployment over n memory nodes; opts describes
 // the pool's aggregate capacity. Nodes added later with AddNode receive

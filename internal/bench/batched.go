@@ -1,22 +1,13 @@
 package bench
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
 	"math/rand"
-	"os"
 
 	"ditto/internal/core"
 	"ditto/internal/sim"
 	"ditto/internal/workload"
 )
-
-// JSONPath, when non-empty, makes scenarios that support structured
-// output (currently batched-throughput) also write a machine-readable
-// JSON summary there; the CI bench-smoke step uses it to seed the perf
-// trajectory (BENCH_batched.json artifact).
-var JSONPath string
 
 // batchedRow is one measured configuration of the batched-throughput
 // scenario, as serialized into the JSON summary.
@@ -69,23 +60,13 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 			})
 		}
 	}
-	if JSONPath != "" {
-		blob, err := json.MarshalIndent(map[string]interface{}{
-			"scenario": "batched-throughput",
-			"scale":    scale.String(),
-			"keys":     keys,
-			"clients":  clients,
-			"results":  rows,
-		}, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(JSONPath, append(blob, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "json summary written to %s\n", JSONPath)
-	}
-	return nil
+	return writeJSONSummary(w, map[string]interface{}{
+		"scenario": "batched-throughput",
+		"scale":    scale.String(),
+		"keys":     keys,
+		"clients":  clients,
+		"results":  rows,
+	})
 }
 
 // runBatchedYCSB runs `clients` closed-loop clients against a 2-MN pool,

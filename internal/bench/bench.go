@@ -11,15 +11,57 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 
 	"ditto/internal/core"
 	"ditto/internal/sim"
 	"ditto/internal/stats"
 	"ditto/internal/workload"
 )
+
+// JSONPath, when non-empty, makes scenarios that support structured
+// output (batched-throughput, elastic-reshard) also write a
+// machine-readable JSON summary there; the CI bench-smoke step uses it
+// to seed the perf trajectory (BENCH_*.json artifacts). When several
+// such scenarios run in one invocation (-all), the first keeps the path
+// as given and the rest write to "<path>-<scenario><ext>" so no summary
+// is silently overwritten.
+var JSONPath string
+
+// jsonWrittenBy is the scenario that already claimed JSONPath this run.
+var jsonWrittenBy string
+
+// writeJSONSummary writes a scenario's summary to JSONPath (when set)
+// and notes it on w — the one artifact convention shared by every
+// scenario that supports -json.
+func writeJSONSummary(w io.Writer, payload map[string]interface{}) error {
+	if JSONPath == "" {
+		return nil
+	}
+	scenario, _ := payload["scenario"].(string)
+	path := JSONPath
+	if jsonWrittenBy != "" && jsonWrittenBy != scenario {
+		ext := filepath.Ext(path)
+		path = strings.TrimSuffix(path, ext) + "-" + scenario + ext
+	} else {
+		jsonWrittenBy = scenario
+	}
+	blob, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "json summary written to %s\n", path)
+	return nil
+}
 
 // Scale selects experiment sizing.
 type Scale int

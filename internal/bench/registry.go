@@ -50,7 +50,7 @@ var Experiments = map[string]Experiment{
 	"abl-hist":  {SweepHistorySize, "Sweep: eviction history size (paper default = cache size)"},
 	"abl-mn":    {SweepMultiMN, "Sweep: static multi-MN deployments (aggregate RNIC scaling)"},
 	// Elasticity beyond the paper's single-MN evaluation (§5.1 note).
-	"elastic-reshard": {ElasticReshard, "Elastic scale-out 2→4 MNs with live resharding (hit rate and throughput across the window)"},
+	"elastic-reshard": {ElasticReshard, "Elastic scale-out 2→4 MNs with live resharding, serial vs doorbell resharder (hit rate, throughput, reshard time)"},
 	// Doorbell-batched multi-key pipeline (MGet/MSet) — extension.
 	"batched-throughput": {BatchedThroughput, "Doorbell-batched MGet/MSet vs sequential ops across batch sizes 1/8/32/128 (YCSB-C and mixed)"},
 }

@@ -3,22 +3,24 @@ package core
 // Doorbell-batched multi-key operations. Real cache front ends fetch and
 // store keys in batches, and Ditto's verb budget (§4.1) makes each key
 // cheap — but a round trip per key still serializes on the network RTT.
-// MGet and MSet instead post every verb of a pipeline stage with ONE RNIC
-// doorbell (rdma.Endpoint.PostBatch): the verbs' completions overlap, so
-// a whole stage costs its RNIC service time plus a single RTT.
+// MGet, MSet and MDelete run the SAME verb plans as Get, Set and Delete
+// (plan.go), only under the exec.Doorbell strategy: each pipeline stage
+// across the batch is posted with ONE RNIC doorbell, so the verbs'
+// completions overlap and a whole stage costs its RNIC service time plus
+// a single RTT.
 //
-//	MGet: 1 doorbell (all bucket READs) + 1 doorbell (all object READs)
-//	MSet: 1 doorbell (bucket READs) + 1 doorbell (candidate object READs)
-//	      + 1 doorbell (object WRITEs) + 1 doorbell (publishing CASes)
+//	MGet:    1 doorbell (all bucket READs) + 1 doorbell (all object READs)
+//	MSet:    up to 4 doorbells (bucket READs, candidate object READs,
+//	         object WRITEs, publishing CASes)
+//	MDelete: up to 3 doorbells (bucket READs, object READs, delete CASes)
 //
 // Races are resolved exactly as in the serial paths: a key whose snapshot
-// went stale or whose publishing CAS lost re-runs through Get/Set's
-// bounded retry loops, so batched and serial operations are observably
-// equivalent.
+// went stale, whose publishing CAS lost, or whose buckets were full
+// re-runs the same plan through the serial drivers' bounded retry loops,
+// so batched and serial operations are observably equivalent.
 
 import (
-	"bytes"
-
+	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
@@ -29,38 +31,8 @@ type KV struct {
 	Key, Value []byte
 }
 
-// batchKey caches the per-key hash facts shared by MGet and MSet.
-type batchKey struct {
-	kh uint64
-	fp byte
-	b  [2]int // main, backup bucket
-}
-
-// batchKeys hashes every key and collects the distinct buckets the batch
-// must read, in first-use order (deterministic; bucketIdx maps a bucket
-// to its position in the returned list).
-func (c *Client) batchKeys(keys [][]byte) (infos []batchKey, bucketList []int, bucketIdx map[int]int) {
-	infos = make([]batchKey, len(keys))
-	bucketIdx = make(map[int]int)
-	for i, k := range keys {
-		kh := hashtable.KeyHash(k)
-		infos[i] = batchKey{
-			kh: kh,
-			fp: hashtable.Fingerprint(kh),
-			b:  [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)},
-		}
-		for _, b := range infos[i].b {
-			if _, seen := bucketIdx[b]; !seen {
-				bucketIdx[b] = len(bucketList)
-				bucketList = append(bucketList, b)
-			}
-		}
-	}
-	return infos, bucketList, bucketIdx
-}
-
 // readObjects fetches the objects behind the given slots with one
-// doorbell batch of READs.
+// doorbell batch of READs (used by the resharder's scan pipeline).
 func (c *Client) readObjects(slots []hashtable.Slot) [][]byte {
 	if len(slots) == 0 {
 		return nil
@@ -95,67 +67,32 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		return vals, oks
 	}
 	start := c.p.Now()
-	infos, bucketList, bucketIdx := c.batchKeys(keys)
-	buckets := c.ht.ReadBuckets(bucketList)
-
-	// Candidates in per-key scan order (main bucket before backup), so
-	// the first key match below is the copy a serial Get would return.
-	type cand struct {
-		key  int
-		slot hashtable.Slot
-	}
-	var cands []cand
-	histMatches := make([][]hashtable.Slot, len(keys))
+	plans := make([]*getPlan, len(keys))
+	run := make([]exec.Plan, len(keys))
 	for i := range keys {
-		for _, b := range infos[i].b {
-			for _, s := range buckets[bucketIdx[b]] {
-				switch {
-				case s.Atomic.IsEmpty():
-				case s.Atomic.IsHistory():
-					if s.Hash == infos[i].kh {
-						histMatches[i] = append(histMatches[i], s)
-					}
-				case s.Atomic.FP() == infos[i].fp:
-					cands = append(cands, cand{key: i, slot: s})
-				}
-			}
-		}
+		plans[i] = c.newGetPlan(keys[i])
+		run[i] = plans[i]
 	}
-	slots := make([]hashtable.Slot, len(cands))
-	for j := range cands {
-		slots[j] = cands[j].slot
-	}
-	objs := c.readObjects(slots)
+	exec.RunDoorbell(run)
 
-	stale := make([]bool, len(keys))
-	for j := range cands {
-		i := cands[j].key
-		if oks[i] {
-			continue // an earlier candidate already hit for this key
-		}
-		dec := decodeObject(objs[j])
-		if !dec.ok {
-			stale[i] = true // reused memory behind a stale slot snapshot
+	for i, pl := range plans {
+		if !pl.hit {
 			continue
 		}
-		if !bytes.Equal(dec.key, keys[i]) {
-			continue // fingerprint collision
-		}
-		c.touchOnHit(cands[j].slot, dec, len(keys[i]))
+		c.touchOnHit(pl.slot, pl.dec, len(keys[i]))
 		c.Stats.Gets++
 		c.Stats.Hits++
-		vals[i] = append([]byte(nil), dec.value...)
+		vals[i] = append([]byte(nil), pl.dec.value...)
 		oks[i] = true
 		c.report(OpGet, start, true)
 	}
-
-	for i := range keys {
-		if oks[i] {
+	for i, pl := range plans {
+		if pl.hit {
 			continue
 		}
-		if stale[i] {
+		if pl.stale {
 			// Rare: the snapshot raced a concurrent update. Re-run the key
-			// through the serial path, which retries bounded re-reads
+			// through the serial driver, which retries bounded re-reads
 			// exactly as a lone Get would.
 			vals[i], oks[i] = c.get(keys[i], probe)
 			continue
@@ -166,7 +103,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		c.Stats.Gets++
 		c.Stats.Misses++
 		if c.adapt != nil {
-			c.collectRegrets(histMatches[i])
+			c.collectRegrets(pl.histMatches)
 			if c.cl.opts.DisableLWH {
 				c.ep.Read(memnode.HistCounterAddr, 8)
 			}
@@ -178,30 +115,9 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 
 // ------------------------------------------------------------------ MSet ----
 
-// msetCand is one fingerprint-matching slot observed for a pair, tagged
-// with which of the pair's buckets (0 = main, 1 = backup) held it.
-type msetCand struct {
-	pair int
-	bkt  int
-	slot hashtable.Slot
-}
-
-// msetPlan classifies one pair of an MSet batch.
-type msetPlan struct {
-	mode int // planFallback / planUpdate / planInsert
-	slot hashtable.Slot // update target, or the reclaimable slot to claim
-	dec  decodedObject  // planUpdate: the current copy
-}
-
-const (
-	planFallback = iota // no free slot in either bucket: serial Set path
-	planUpdate
-	planInsert
-)
-
 // MSet stores a batch of key/value pairs with up to four doorbell batches
 // (bucket READs, candidate object READs, object WRITEs, publishing
-// CASes). Each pair is classified exactly as one trySet attempt would —
+// CASes). Each pair runs the same setPlan one Set attempt would —
 // update-in-place when the key's current copy is found, else an insert
 // into the first reclaimable slot, preferring the main bucket — and any
 // pair whose CAS loses a race or whose buckets are full falls back to the
@@ -220,130 +136,56 @@ func (c *Client) MSet(pairs []KV) {
 			break
 		}
 	}
-	keys := make([][]byte, len(pairs))
+	plans := make([]*setPlan, len(pairs))
+	run := make([]exec.Plan, len(pairs))
 	for i := range pairs {
-		keys[i] = pairs[i].Key
+		plans[i] = c.newSetPlan(pairs[i].Key, pairs[i].Value)
+		run[i] = plans[i]
 	}
-	infos, bucketList, bucketIdx := c.batchKeys(keys)
-	buckets := c.ht.ReadBuckets(bucketList)
+	exec.RunDoorbell(run)
 
-	// Every fingerprint match is a possible current copy of its pair's
-	// key; fetch them all in one doorbell to classify update vs insert.
-	var cands []msetCand
-	for i := range pairs {
-		for bi, b := range infos[i].b {
-			for _, s := range buckets[bucketIdx[b]] {
-				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != infos[i].fp {
-					continue
-				}
-				cands = append(cands, msetCand{pair: i, bkt: bi, slot: s})
-			}
-		}
-	}
-	slots := make([]hashtable.Slot, len(cands))
-	for j := range cands {
-		slots[j] = cands[j].slot
-	}
-	objs := c.readObjects(slots)
-
-	// Classify. Like trySet, the backup bucket is not searched for an
-	// update match when the main bucket already offers a free slot.
-	plans := make([]msetPlan, len(pairs))
-	decoded := make([]decodedObject, len(cands))
-	for j := range cands {
-		decoded[j] = decodeObject(objs[j])
-	}
-	for i := range pairs {
-		plans[i] = c.classifyPair(i, infos[i], buckets, bucketIdx, cands, decoded, keys[i])
-	}
-
-	// Allocate and write every planned object, then publish with one CAS
-	// doorbell. Allocation may evict (serial verbs between doorbells);
-	// the publishing CAS detects any slot our eviction or a concurrent
-	// client touched, and those pairs retry through Set.
-	now := c.p.Now()
-	type commit struct {
-		pair int
-		addr uint64
-		size int
-		want hashtable.AtomicField
-	}
-	var commits []commit
-	var writeOps, casOps []rdma.BatchOp
 	var fallback []int
-	for i := range pairs {
-		pl := &plans[i]
-		if pl.mode == planFallback {
-			fallback = append(fallback, i)
-			continue
-		}
-		size := objBytes(len(pairs[i].Key), len(pairs[i].Value), c.cl.totalExt)
-		addr := c.allocOrEvict(size)
-		var ext []byte
-		fp := infos[i].fp
-		if pl.mode == planUpdate {
-			ext = c.updateExt(pl.slot, pl.dec, size, now)
-			fp = pl.slot.Atomic.FP()
-		} else {
-			ext = c.initExts(size, now)
-		}
-		want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
-		writeOps = append(writeOps, rdma.BatchOp{
-			Kind: rdma.BatchWrite, Addr: addr,
-			Data: encodeObject(pairs[i].Key, pairs[i].Value, ext),
-		})
-		casOps = append(casOps, rdma.BatchOp{
-			Kind: rdma.BatchCAS, Addr: hashtable.AtomicAddr(pl.slot.Addr),
-			Expect: uint64(pl.slot.Atomic), Swap: uint64(want),
-		})
-		commits = append(commits, commit{pair: i, addr: addr, size: size, want: want})
-	}
-	c.ep.PostBatch(writeOps)
-	res := c.ep.PostBatch(casOps)
-	for j := range commits {
-		cm := &commits[j]
-		pl := &plans[cm.pair]
-		if !res[j].Swapped {
+	for i, pl := range plans {
+		switch pl.outcome {
+		case setDone:
+			c.Stats.Sets++
+			c.report(OpSet, start, true)
+		case setCASLost:
 			// Lost the slot to a concurrent writer, an eviction, or an
-			// earlier pair of this very batch: release the staged object
-			// and retry serially.
-			c.alloc.Free(cm.addr, cm.size)
+			// earlier pair of this very batch: retry serially.
 			c.Stats.SetRetries++
-			fallback = append(fallback, cm.pair)
-			continue
+			fallback = append(fallback, i)
+		case setNoFree:
+			fallback = append(fallback, i)
 		}
-		if pl.mode == planUpdate {
-			c.finishUpdate(pl.slot, len(pairs[cm.pair].Key), now)
-		} else {
-			c.finishInsert(pl.slot.Addr, infos[cm.pair].kh, now)
-		}
-		c.Stats.Sets++
-		c.report(OpSet, start, true)
 	}
 	for _, i := range fallback {
 		c.Set(pairs[i].Key, pairs[i].Value) // counts its own Sets/retries
 	}
 }
 
-// classifyPair decides update/insert/fallback for one pair against the
-// batch's bucket snapshot, mirroring one trySet attempt's scan order.
-func (c *Client) classifyPair(pair int, info batchKey, buckets [][]hashtable.Slot,
-	bucketIdx map[int]int, cands []msetCand, decoded []decodedObject, key []byte) msetPlan {
+// --------------------------------------------------------------- MDelete ----
 
-	for bi, b := range info.b {
-		for j := range cands {
-			if cands[j].pair != pair || cands[j].bkt != bi {
-				continue
-			}
-			if dec := decoded[j]; dec.ok && bytes.Equal(dec.key, key) {
-				return msetPlan{mode: planUpdate, slot: cands[j].slot, dec: dec}
-			}
-		}
-		for _, s := range buckets[bucketIdx[b]] {
-			if c.hist.Reclaimable(s) {
-				return msetPlan{mode: planInsert, slot: s}
-			}
-		}
+// MDelete removes a batch of keys with up to three doorbell batches
+// (bucket READs, object READs, delete CASes), running the same delPlan a
+// serial Delete traverses. The returned flags report, per key, whether a
+// copy was deleted — exactly what the corresponding sequence of Delete
+// calls would have returned.
+func (c *Client) MDelete(keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return out
 	}
-	return msetPlan{mode: planFallback}
+	plans := make([]*delPlan, len(keys))
+	run := make([]exec.Plan, len(keys))
+	for i := range keys {
+		plans[i] = c.newDelPlan(keys[i])
+		run[i] = plans[i]
+	}
+	exec.RunDoorbell(run)
+	for i, pl := range plans {
+		c.Stats.Deletes++
+		out[i] = pl.deleted
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -66,8 +67,8 @@ func TestMGetAllHitUsesTwoDoorbells(t *testing.T) {
 }
 
 // runBatchOrSeq drives one client through a deterministic mixed workload,
-// either with MSet/MGet batches or with per-key Set/Get, and returns
-// every Get observation in order.
+// either with MSet/MGet/MDelete batches or with per-key Set/Get/Delete,
+// and returns every Get and Delete observation in order.
 func runBatchOrSeq(t *testing.T, batched bool) []string {
 	env := sim.NewEnv(7)
 	cl := newTestCluster(env, 4000) // oversized: no evictions, so runs compare exactly
@@ -85,6 +86,10 @@ func runBatchOrSeq(t *testing.T, batched bool) []string {
 			for j := range gets {
 				gets[j] = key(rng.Intn(400)) // beyond 300: guaranteed misses
 			}
+			dels := make([][]byte, 6)
+			for j := range dels {
+				dels[j] = key(rng.Intn(350))
+			}
 			if batched {
 				c.MSet(pairs)
 				vs, oks := c.MGet(gets)
@@ -94,6 +99,9 @@ func runBatchOrSeq(t *testing.T, batched bool) []string {
 					} else {
 						out = append(out, "MISS")
 					}
+				}
+				for _, ok := range c.MDelete(dels) {
+					out = append(out, fmt.Sprintf("DEL=%v", ok))
 				}
 			} else {
 				for _, kv := range pairs {
@@ -106,10 +114,16 @@ func runBatchOrSeq(t *testing.T, batched bool) []string {
 						out = append(out, "MISS")
 					}
 				}
+				for _, d := range dels {
+					out = append(out, fmt.Sprintf("DEL=%v", c.Delete(d)))
+				}
 			}
 		}
 		if c.Stats.Hits+c.Stats.Misses != 40*16 {
 			t.Errorf("gets accounted = %d, want %d", c.Stats.Hits+c.Stats.Misses, 40*16)
+		}
+		if c.Stats.Deletes != 40*6 {
+			t.Errorf("deletes accounted = %d, want %d", c.Stats.Deletes, 40*6)
 		}
 	})
 	env.Run()
@@ -117,8 +131,8 @@ func runBatchOrSeq(t *testing.T, batched bool) []string {
 }
 
 // TestMGetMSetMatchSequential pins observable equivalence: the batched
-// pipeline must return exactly what per-key Get/Set return on the same
-// deterministic operation sequence.
+// pipelines (MGet, MSet, MDelete) must return exactly what per-key
+// Get/Set/Delete return on the same deterministic operation sequence.
 func TestMGetMSetMatchSequential(t *testing.T) {
 	batched := runBatchOrSeq(t, true)
 	serial := runBatchOrSeq(t, false)
@@ -127,9 +141,55 @@ func TestMGetMSetMatchSequential(t *testing.T) {
 	}
 	for i := range batched {
 		if batched[i] != serial[i] {
-			t.Fatalf("op %d: batched=%q serial=%q", i, batched[i][:8], serial[i][:8])
+			t.Fatalf("op %d: batched=%q serial=%q", i, batched[i], serial[i])
 		}
 	}
+}
+
+// TestMDeleteDoorbellBudget pins the batched delete pipeline's shape: an
+// all-present batch costs three doorbells (bucket READs, object READs,
+// delete CASes), an all-absent batch only the bucket doorbell, and the
+// flags match what sequential Deletes would report.
+func TestMDeleteDoorbellBudget(t *testing.T) {
+	env := sim.NewEnv(8)
+	cl := newTestCluster(env, 1000)
+	env.Go("c", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		keys := make([][]byte, 32)
+		for i := range keys {
+			keys[i] = key(i)
+			c.Set(keys[i], value(i))
+		}
+		before := cl.MN.Node.Stats
+		oks := c.MDelete(keys)
+		after := cl.MN.Node.Stats
+		for i, ok := range oks {
+			if !ok {
+				t.Errorf("key %d not reported deleted", i)
+			}
+		}
+		if d := after.DoorbellBatches - before.DoorbellBatches; d != 3 {
+			t.Errorf("all-present MDelete used %d doorbell batches, want 3", d)
+		}
+		if cl.MN.UsedBytes != 0 {
+			t.Errorf("leak: %d bytes after MDelete of everything", cl.MN.UsedBytes)
+		}
+		before = cl.MN.Node.Stats
+		oks = c.MDelete(keys) // second time: nothing left
+		after = cl.MN.Node.Stats
+		for i, ok := range oks {
+			if ok {
+				t.Errorf("key %d deleted twice", i)
+			}
+		}
+		if d := after.DoorbellBatches - before.DoorbellBatches; d != 1 {
+			t.Errorf("all-absent MDelete used %d doorbell batches, want 1", d)
+		}
+		if c.Stats.Deletes != 64 {
+			t.Errorf("deletes = %d, want 64", c.Stats.Deletes)
+		}
+	})
+	env.Run()
 }
 
 func TestMSetDuplicateKeysLastWriteWins(t *testing.T) {

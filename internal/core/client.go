@@ -6,6 +6,7 @@ import (
 
 	"ditto/internal/adaptive"
 	"ditto/internal/cachealgo"
+	"ditto/internal/exec"
 	"ditto/internal/fccache"
 	"ditto/internal/hashtable"
 	"ditto/internal/history"
@@ -134,7 +135,8 @@ func (c *Client) Close() {
 // Get fetches the value cached under key, returning ok=false on a miss.
 // Critical path: one READ of the key's bucket plus one READ of the object
 // (a second bucket READ only on overflow), with metadata maintenance off
-// the critical path (§4.1).
+// the critical path (§4.1). The verb sequence is the getPlan in plan.go —
+// the same plan MGet runs as doorbell batches — traversed serially here.
 func (c *Client) Get(key []byte) ([]byte, bool) { return c.get(key, false) }
 
 // getProbe is a Get whose miss is silent: no counters, no regret
@@ -146,44 +148,20 @@ func (c *Client) getProbe(key []byte) ([]byte, bool) { return c.get(key, true) }
 
 func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	start := c.p.Now()
-	kh := hashtable.KeyHash(key)
-	fp := hashtable.Fingerprint(kh)
-	buckets := [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}
-
-	var histMatches []hashtable.Slot
+	var pl *getPlan
 	for attempt := 0; attempt < getRetries; attempt++ {
-		stale := false
-		histMatches = histMatches[:0]
-		for _, b := range buckets {
-			slots := c.ht.ReadBucket(b)
-			for _, s := range slots {
-				switch {
-				case s.Atomic.IsEmpty():
-				case s.Atomic.IsHistory():
-					if s.Hash == kh {
-						histMatches = append(histMatches, s)
-					}
-				case s.Atomic.FP() == fp:
-					obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-					dec := decodeObject(obj)
-					if !dec.ok {
-						stale = true
-						continue
-					}
-					if !bytes.Equal(dec.key, key) {
-						continue // fingerprint collision
-					}
-					c.touchOnHit(s, dec, len(key))
-					c.Stats.Gets++
-					c.Stats.Hits++
-					val := append([]byte(nil), dec.value...)
-					c.report(OpGet, start, true)
-					return val, true
-				}
-			}
+		pl = c.newGetPlan(key)
+		exec.RunSerial(pl)
+		if pl.hit {
+			c.touchOnHit(pl.slot, pl.dec, len(key))
+			c.Stats.Gets++
+			c.Stats.Hits++
+			val := append([]byte(nil), pl.dec.value...)
+			c.report(OpGet, start, true)
+			return val, true
 		}
-		if !stale {
-			break
+		if !pl.stale {
+			break // a clean miss; stale snapshots retry (bounded)
 		}
 	}
 
@@ -193,7 +171,7 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	c.Stats.Gets++
 	c.Stats.Misses++
 	if c.adapt != nil {
-		c.collectRegrets(histMatches)
+		c.collectRegrets(pl.histMatches)
 		if c.cl.opts.DisableLWH {
 			// Conventional design: a separate remote hash index over the
 			// history must be probed on every miss.
@@ -278,7 +256,9 @@ const shrinkEvictBatch = 8
 // Set inserts or updates key. Critical path for an insert: one READ
 // (bucket search), one WRITE (object to a free location) and one CAS
 // (publish the pointer) — §4.1 — plus eviction work only when the memory
-// pool is full.
+// pool is full. The verb sequence is the setPlan in plan.go — the same
+// plan MSet runs as doorbell batches — traversed serially here with the
+// bounded retry/backoff loop around it.
 func (c *Client) Set(key, value []byte) {
 	start := c.p.Now()
 	c.Stats.Sets++
@@ -287,10 +267,6 @@ func (c *Client) Set(key, value []byte) {
 			break
 		}
 	}
-	kh := hashtable.KeyHash(key)
-	fp := hashtable.Fingerprint(kh)
-	size := objBytes(len(key), len(value), c.cl.totalExt)
-
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.Stats.SetRetries++
@@ -302,9 +278,24 @@ func (c *Client) Set(key, value []byte) {
 		if attempt > 4096 {
 			panic("core: Set could not make progress (table misconfigured?)")
 		}
-		if c.trySet(kh, fp, key, value, size) {
+		pl := c.newSetPlan(key, value)
+		exec.RunSerial(pl)
+		switch pl.outcome {
+		case setDone:
 			c.report(OpSet, start, true)
 			return
+		case setNoFree:
+			// Both buckets full of live objects and valid history entries:
+			// evict the lowest-priority live object from the key's buckets
+			// directly (slot reclaimed immediately; no history entry for
+			// this corner case — see DESIGN.md §6). If the buckets hold no
+			// live object at all (all history), sacrifice the oldest
+			// history entry. Then retry with a freed slot.
+			if !c.bucketEvict(pl.scanned) {
+				c.reclaimOldestHistory(pl.scanned)
+			}
+		case setCASLost:
+			// Lost a race; retry with a fresh snapshot.
 		}
 	}
 }
@@ -320,86 +311,6 @@ func (c *Client) allocOrEvict(size int) uint64 {
 		addr, ok = c.alloc.Alloc(size)
 	}
 	return addr
-}
-
-// trySet performs one attempt; false means a CAS race or full bucket was
-// handled and the caller should retry.
-func (c *Client) trySet(kh uint64, fp byte, key, value []byte, size int) bool {
-	now := c.p.Now()
-	main := c.cl.Layout.MainBucket(kh)
-	backup := c.cl.Layout.BackupBucket(kh)
-
-	var free *hashtable.Slot
-	var fullSlots []hashtable.Slot
-	for _, b := range [2]int{main, backup} {
-		slots := c.ht.ReadBucket(b)
-		for i := range slots {
-			s := slots[i]
-			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
-				continue
-			}
-			if s.Atomic.FP() != fp {
-				continue
-			}
-			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-			dec := decodeObject(obj)
-			if dec.ok && bytes.Equal(dec.key, key) {
-				return c.updateInPlace(s, dec, key, value, size, now)
-			}
-		}
-		if free == nil {
-			for i := range slots {
-				if c.hist.Reclaimable(slots[i]) {
-					free = &slots[i]
-					break
-				}
-			}
-		}
-		fullSlots = append(fullSlots, slots...)
-		if free != nil {
-			break // insert into the main bucket when possible
-		}
-	}
-
-	if free == nil {
-		// Both buckets full of live objects and valid history entries:
-		// evict the lowest-priority live object from the key's buckets
-		// directly (slot reclaimed immediately; no history entry for this
-		// corner case — see DESIGN.md §6). If the buckets hold no live
-		// object at all (all history), sacrifice the oldest history entry.
-		if !c.bucketEvict(fullSlots) {
-			c.reclaimOldestHistory(fullSlots)
-		}
-		return false // retry with a freed slot
-	}
-
-	addr := c.allocOrEvict(size)
-
-	ext := c.initExts(size, now)
-	c.ep.Write(addr, encodeObject(key, value, ext))
-	want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
-	if _, swapped := c.ht.CASAtomic(free.Addr, free.Atomic, want); !swapped {
-		c.alloc.Free(addr, size)
-		return false
-	}
-	c.finishInsert(free.Addr, kh, now)
-	return true
-}
-
-// updateInPlace implements the UPDATE flavour of Set: write the new value
-// to a fresh block and CAS the slot's pointer (out-of-place update, as in
-// RACE hashing).
-func (c *Client) updateInPlace(s hashtable.Slot, old decodedObject, key, value []byte, size int, now int64) bool {
-	addr := c.allocOrEvict(size)
-	ext := c.updateExt(s, old, size, now)
-	c.ep.Write(addr, encodeObject(key, value, ext))
-	want := hashtable.EncodeAtomic(s.Atomic.FP(), hashtable.SizeToBlocks(size), addr)
-	if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, want); !swapped {
-		c.alloc.Free(addr, size)
-		return false
-	}
-	c.finishUpdate(s, len(key), now)
-	return true
 }
 
 // updateExt rebuilds an object's extension metadata for an out-of-place
@@ -465,90 +376,9 @@ func (c *Client) initExts(size int, now int64) []byte {
 
 // ----------------------------------------------------------- Migration ----
 
-// migrateIn inserts key with the access metadata it carried on its old
-// memory node — the SET half of a reshard's READ-old/SET-new/delete-behind
-// step. Unlike Set it never overwrites: if the key is already present the
-// destination copy is newer (a client raced ahead during the forwarding
-// window) and must win, so migrateIn returns inserted=false and leaves it
-// alone. On insert it returns the created slot and its atomic field so the
-// resharder can undo the copy with a precise CAS if the source copy turns
-// out to have changed under it.
-func (c *Client) migrateIn(key, value, ext []byte, insertTs, lastTs int64, freq uint64) (inserted bool, slotAddr uint64, atom hashtable.AtomicField) {
-	kh := hashtable.KeyHash(key)
-	fp := hashtable.Fingerprint(kh)
-	size := objBytes(len(key), len(value), c.cl.totalExt)
-
-	for attempt := 0; ; attempt++ {
-		if attempt > 4096 {
-			panic("core: migrateIn could not make progress (table misconfigured?)")
-		}
-		main := c.cl.Layout.MainBucket(kh)
-		backup := c.cl.Layout.BackupBucket(kh)
-
-		// Unlike trySet — which stops at the main bucket once it has a free
-		// slot, keeping an insert at one bucket READ (§4.1's verb budget) —
-		// the absence check here must cover BOTH buckets before committing:
-		// a newer client-written copy can sit in the backup bucket, and
-		// inserting the migrated value ahead of it in the main bucket would
-		// shadow it (Get scans main first). Migration is off the critical
-		// path, so the extra READ is the right trade.
-		var free *hashtable.Slot
-		var fullSlots []hashtable.Slot
-		for _, b := range [2]int{main, backup} {
-			slots := c.ht.ReadBucket(b)
-			for i := range slots {
-				s := slots[i]
-				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
-					continue
-				}
-				obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-				if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
-					return false, 0, 0 // newer copy already here; it wins
-				}
-			}
-			if free == nil { // prefer the main bucket, as trySet does
-				for i := range slots {
-					if c.hist.Reclaimable(slots[i]) {
-						free = &slots[i]
-						break
-					}
-				}
-			}
-			fullSlots = append(fullSlots, slots...)
-		}
-		if free == nil {
-			if !c.bucketEvict(fullSlots) {
-				c.reclaimOldestHistory(fullSlots)
-			}
-			continue
-		}
-
-		addr := c.allocOrEvict(size)
-		// The extension layout matches across nodes (same expert list), so
-		// the old node's expert metadata transfers verbatim; pad or trim
-		// defensively in case configurations ever diverge.
-		e := make([]byte, c.cl.totalExt)
-		copy(e, ext)
-		c.ep.Write(addr, encodeObject(key, value, e))
-		want := hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(size), addr)
-		if _, swapped := c.ht.CASAtomic(free.Addr, free.Atomic, want); !swapped {
-			c.alloc.Free(addr, size)
-			continue // lost the slot race; re-read and re-check presence
-		}
-		c.fc.Forget(free.Addr)
-		c.ht.WriteMetaOnInsert(free.Addr, kh, insertTs, lastTs, freq)
-		// Post-publish duplicate sweep: a client Set that read the buckets
-		// before our CAS landed can have published the same key into a
-		// DIFFERENT slot (both CASes succeed when concurrent slot-freeing
-		// hands the two writers different free slots). That copy is newer
-		// by construction — ours must yield.
-		if c.hasOtherCopy(kh, fp, key, free.Addr) {
-			c.dropMigrated(free.Addr, want)
-			return false, 0, 0
-		}
-		return true, free.Addr, want
-	}
-}
+// The SET half of a reshard's READ-old/SET-new/delete-behind step is the
+// setPlan in migrate (insert-if-absent) mode plus the source delete CAS —
+// see migratePlan in plan.go and the resharder drivers in multi.go.
 
 // hasOtherCopy reports whether a live copy of key exists in its buckets
 // at a slot other than exclAddr.
@@ -572,7 +402,8 @@ func (c *Client) hasOtherCopy(kh uint64, fp byte, key []byte, exclAddr uint64) b
 // out so freed space is not stranded.
 func (c *Client) surrenderFreeBlocks() { c.alloc.Surrender() }
 
-// dropMigrated undoes a migrateIn insert with a precise CAS on the exact
+// dropMigrated undoes a migrated insert (a migrate-mode setPlan) with a
+// precise CAS on the exact
 // slot/value it created. A failed CAS means a client already replaced or
 // deleted the copy — the newer state wins and nothing is freed.
 func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
@@ -585,33 +416,12 @@ func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
 // -------------------------------------------------------------- Delete ----
 
 // Delete removes key from the cache, reporting whether it was present.
-// The scan covers BOTH buckets to completion rather than stopping at the
-// first match: a reshard's migration window can briefly leave two live
-// copies of a key (a migrated copy and a racing write), and deleting only
-// the first would let the survivor resurrect the key.
+// The verb sequence is the delPlan in plan.go — the same plan MDelete
+// runs as doorbell batches — traversed serially here; see its comment for
+// why the scan covers BOTH buckets to completion.
 func (c *Client) Delete(key []byte) bool {
 	c.Stats.Deletes++
-	kh := hashtable.KeyHash(key)
-	fp := hashtable.Fingerprint(kh)
-	deleted := false
-	for _, b := range [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)} {
-		for _, s := range c.ht.ReadBucket(b) {
-			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
-				continue
-			}
-			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-			dec := decodeObject(obj)
-			if !dec.ok || !bytes.Equal(dec.key, key) {
-				continue
-			}
-			if _, swapped := c.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
-				c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-				c.fc.Forget(s.Addr)
-				deleted = true
-			}
-			// On a lost CAS race someone else deleted or replaced this
-			// copy; keep scanning for further copies either way.
-		}
-	}
-	return deleted
+	pl := c.newDelPlan(key)
+	exec.RunSerial(pl)
+	return pl.deleted
 }

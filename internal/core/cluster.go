@@ -10,11 +10,14 @@
 //	Set: 1 READ (bucket) + 1 WRITE (object) + 1 CAS (slot) + async metadata
 //	Evict: 1 READ (sample) [+ ext READs] + 1 FAA (history ID) +
 //	       1 CAS (slot→history) + async bitmap WRITE
-//	MGet/MSet: the same per-key verbs, posted stage-by-stage as doorbell
-//	       batches (batch.go) so round trips overlap across the keys
+//	MGet/MSet/MDelete: the same verb plans, posted stage-by-stage as
+//	       doorbell batches so round trips overlap across the keys
 //
 // matching §4.1's operation descriptions and the verb budgets asserted in
-// the tests.
+// the tests. Every verb sequence is declared once as a plan (plan.go)
+// and executed through internal/exec under the Serial strategy (per-key
+// paths, this file's budgets) or the Doorbell strategy (batch.go, the
+// resharder in multi.go).
 package core
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sort"
 
+	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/ring"
 	"ditto/internal/sim"
@@ -53,10 +54,20 @@ type MultiCluster struct {
 	epoch    uint64     // bumped on every ring change (clients re-route)
 	done     *sim.Cond  // broadcast when a reshard completes
 
+	// ReshardStrategy selects how the resharder executes its migration
+	// plans: exec.Doorbell (the default) pipelines the table scan and the
+	// per-key migrations as doorbell batches, cutting reshard completion
+	// time; exec.Serial issues one verb per round trip, the paper-faithful
+	// baseline. Results are identical — any migration that hits a race
+	// under Doorbell is demoted to the serial per-slot path.
+	ReshardStrategy exec.Strategy
+
 	// Reshards counts completed membership changes; MigratedKeys counts
-	// objects moved between MNs by resharding.
+	// objects moved between MNs by resharding; ReshardNs accumulates the
+	// virtual time spent inside reshard windows.
 	Reshards     int64
 	MigratedKeys int64
+	ReshardNs    int64
 }
 
 // NewMultiCluster creates n memory nodes, each provisioned with opts
@@ -73,12 +84,13 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 		per.MaxCacheBytes = (opts.MaxCacheBytes + n - 1) / n
 	}
 	mc := &MultiCluster{
-		Env:      env,
-		perNode:  per,
-		nodes:    make(map[int]*Cluster),
-		hashRing: ring.New(0),
-		draining: -1,
-		done:     sim.NewCond(env),
+		Env:             env,
+		perNode:         per,
+		nodes:           make(map[int]*Cluster),
+		hashRing:        ring.New(0),
+		draining:        -1,
+		done:            sim.NewCond(env),
+		ReshardStrategy: exec.Doorbell,
 	}
 	for i := 0; i < n; i++ {
 		id := mc.provision()
@@ -177,6 +189,7 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 	mc.draining = dropID
 	mc.epoch++
 	mc.Env.Go("resharder", func(p *sim.Proc) {
+		start := p.Now()
 		m := mc.NewClient(p)
 		var inserts []migratedCopy
 		for pass := 0; pass < maxReshardPasses; pass++ {
@@ -198,7 +211,8 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 			for mc.migrateNode(m, dropID, &inserts) != 0 {
 			}
 		}
-		// Final duplicate verification. migrateIn's immediate sweep has a
+		// Final duplicate verification. The migrate plan's immediate
+		// post-publish sweep has a
 		// TOCTOU hole: a client Set that read the buckets before our CAS
 		// landed can publish the same key into a DIFFERENT slot just after
 		// the sweep, leaving two live copies with ours (stale) possibly
@@ -218,6 +232,7 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 		mc.draining = -1
 		mc.epoch++
 		mc.Reshards++
+		mc.ReshardNs += p.Now() - start
 		if dropID >= 0 {
 			delete(mc.nodes, dropID)
 			for i, id := range mc.order {
@@ -230,7 +245,7 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 		// The resharder is transient: return its free lists (the space of
 		// every source copy it deleted) to the surviving controllers, or
 		// that heap space would be stranded when this client goes away.
-		for _, id := range m.sortedIDs() {
+		for _, id := range sortedNodeIDs(m.clients) {
 			if _, alive := mc.nodes[id]; alive {
 				m.clients[id].surrenderFreeBlocks()
 			}
@@ -240,31 +255,99 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 	})
 }
 
+// reshardScanBuckets is how many table buckets one scan doorbell covers
+// under the Doorbell strategy, and reshardBatch how many migrations run
+// as one lock-step plan batch (each plan spans the source and one
+// destination endpoint).
+const (
+	reshardScanBuckets = 16
+	reshardBatch       = 32
+)
+
 // migrateNode walks one source MN's table shard and moves every live
 // object whose ring owner changed: READ the object, insert-if-absent on
 // the new owner (carrying its hotness metadata), then delete the source
 // copy behind it with a CAS that verifies the copy did not change while
-// in flight. If that CAS fails — the key was concurrently deleted,
-// evicted, or replaced — the fresh insert is undone with a precise CAS so
-// a dead value can never resurface. Successful inserts are appended to
-// inserts for the end-of-reshard duplicate verification. Returns the
-// amount of pending work observed: keys actually moved plus source slots
-// that changed mid-copy (a failed source CAS may mean a straggler write
-// replaced the copy, so another pass must re-visit it).
+// in flight — the migratePlan of plan.go. If that CAS fails — the key was
+// concurrently deleted, evicted, or replaced — the fresh insert is undone
+// with a precise CAS so a dead value can never resurface. Successful
+// inserts are appended to inserts for the end-of-reshard duplicate
+// verification. Returns the amount of pending work observed: keys
+// actually moved plus source slots that changed mid-copy (a failed source
+// CAS may mean a straggler write replaced the copy, so another pass must
+// re-visit it).
+//
+// Under exec.Doorbell the walk is pipelined: one doorbell reads
+// reshardScanBuckets buckets, one reads every live object behind them,
+// and the owner-changed keys migrate as lock-step batches of migrate
+// plans — bucket READs, object WRITEs, publishing CASes and source delete
+// CASes each amortize their RTT across the batch. Any plan that hits a
+// race or a full bucket is demoted to the serial per-slot path, so the
+// two strategies produce identical results.
 func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migratedCopy) int64 {
 	src := m.clientFor(srcID)
 	cl := mc.nodes[srcID]
 	if src == nil || cl == nil {
 		return 0
 	}
+	doorbell := mc.ReshardStrategy == exec.Doorbell
+	step := 1
+	if doorbell {
+		step = reshardScanBuckets
+	}
 	pending := int64(0)
-	for b := 0; b < cl.Layout.Buckets; b++ {
-		for _, s := range src.ht.ReadBucket(b) {
-			if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
-				continue
+	for b0 := 0; b0 < cl.Layout.Buckets; b0 += step {
+		n := step
+		if rem := cl.Layout.Buckets - b0; n > rem {
+			n = rem
+		}
+		var chunk [][]hashtable.Slot
+		if doorbell {
+			bs := make([]int, n)
+			for i := range bs {
+				bs[i] = b0 + i
 			}
-			obj := src.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-			dec := decodeObject(obj)
+			chunk = src.ht.ReadBuckets(bs)
+		} else {
+			chunk = [][]hashtable.Slot{src.ht.ReadBucket(b0)}
+		}
+		var live []hashtable.Slot
+		for _, slots := range chunk {
+			for _, s := range slots {
+				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+					continue
+				}
+				live = append(live, s)
+			}
+		}
+		var objs [][]byte
+		if doorbell {
+			objs = src.readObjects(live)
+		} else {
+			objs = make([][]byte, len(live))
+			for i, s := range live {
+				objs[i] = src.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+			}
+		}
+		// Collect the slots whose ring owner changed. Within one batch a
+		// key may only appear once: two same-key plans in flight together
+		// could each observe the other's fresh insert in its duplicate
+		// sweep and both yield, losing the key. Extra copies (possible
+		// transiently during a window) count as pending and are re-visited
+		// by the next pass, after the first copy settled.
+		var seen map[string]bool
+		if doorbell {
+			seen = make(map[string]bool)
+		}
+		type migItem struct {
+			s     hashtable.Slot
+			dec   decodedObject
+			kh    uint64
+			owner int
+		}
+		var items []migItem
+		for i, s := range live {
+			dec := decodeObject(objs[i])
 			if !dec.ok {
 				continue // reused memory behind a stale slot snapshot
 			}
@@ -273,8 +356,53 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 			if owner == srcID {
 				continue
 			}
-			dst := m.clientFor(owner)
-			pending += mc.migrateSlot(src, dst, s, dec, kh, inserts)
+			if doorbell {
+				if seen[string(dec.key)] {
+					pending++
+					continue
+				}
+				seen[string(dec.key)] = true
+			}
+			items = append(items, migItem{s: s, dec: dec, kh: kh, owner: owner})
+		}
+		if !doorbell {
+			for _, it := range items {
+				pending += mc.migrateSlot(src, m.clientFor(it.owner), it.s, it.dec, it.kh, inserts)
+			}
+			continue
+		}
+		for lo := 0; lo < len(items); lo += reshardBatch {
+			hi := lo + reshardBatch
+			if hi > len(items) {
+				hi = len(items)
+			}
+			batch := items[lo:hi]
+			plans := make([]*migratePlan, len(batch))
+			run := make([]exec.Plan, len(batch))
+			for j, it := range batch {
+				plans[j] = newMigratePlan(src, m.clientFor(it.owner), it.s, it.dec)
+				run[j] = plans[j]
+			}
+			exec.RunDoorbell(run)
+			for j, pl := range plans {
+				it := batch[j]
+				switch pl.outcome {
+				case migMoved:
+					*inserts = append(*inserts, migratedCopy{
+						dst: m.clientFor(it.owner), kh: it.kh, fp: hashtable.Fingerprint(it.kh),
+						key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
+					})
+					mc.MigratedKeys++
+					pending++
+				case migSkipped:
+					// Destination already newer; source copy GC'd in-plan.
+				default:
+					// Complication (full bucket, lost CAS, source changed):
+					// demote this slot to the serial retry path, which
+					// re-reads and redoes the copy from a fresh snapshot.
+					pending += mc.migrateSlot(src, m.clientFor(it.owner), it.s, it.dec, it.kh, inserts)
+				}
+			}
 		}
 	}
 	return pending
@@ -285,57 +413,62 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 // operations in flight at the ring switch route to an old owner).
 const migrateSlotRetries = 8
 
-// migrateSlot moves one live object from src to dst, retrying in place
-// when the source copy is replaced mid-copy so a straggler write cannot
-// be stranded on the old owner. Returns 1 when a copy moved, 0 when the
-// key turned out to be gone or already superseded on the destination.
+// migrateSlot moves one live object from src to dst with serially-run
+// migrate plans, retrying in place when the source copy is replaced
+// mid-copy so a straggler write cannot be stranded on the old owner.
+// Returns 1 when a copy moved (or retries were exhausted under sustained
+// churn — pending work the pass loop revisits), 0 when the key turned out
+// to be gone or already superseded on the destination.
 func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec decodedObject,
 	kh uint64, inserts *[]migratedCopy) int64 {
 
 	for try := 0; try < migrateSlotRetries; try++ {
-		key := append([]byte(nil), dec.key...)
-		val := append([]byte(nil), dec.value...)
-		ext := append([]byte(nil), dec.ext...)
-		inserted, slotAddr, atom := dst.migrateIn(key, val, ext, s.InsertTs, s.LastTs, s.Freq)
-		if _, swapped := src.ht.CASAtomic(s.Addr, s.Atomic, 0); swapped {
-			src.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
-			src.fc.Forget(s.Addr)
-			// inserted=false here means the destination already held a
-			// newer client-written copy: the source removal is garbage
-			// collection, not a migration, and must not inflate the stat.
-			if inserted {
-				// Record for the verification sweep only now that the
-				// insert SURVIVED — an entry for an undone insert would
-				// let the sweep's precise CAS fire on an ABA reuse of the
-				// slot (same fingerprint, same size class, recycled block
-				// address) and delete an unrelated live object.
-				*inserts = append(*inserts, migratedCopy{
-					dst: dst, kh: kh, fp: hashtable.Fingerprint(kh),
-					key: key, addr: slotAddr, atom: atom,
-				})
-				mc.MigratedKeys++
-				return 1
+		pl := newMigratePlan(src, dst, s, dec)
+		exec.RunSerial(pl)
+		switch pl.outcome {
+		case migMoved:
+			// Record for the verification sweep only now that the insert
+			// SURVIVED — an entry for an undone insert would let the
+			// sweep's precise CAS fire on an ABA reuse of the slot (same
+			// fingerprint, same size class, recycled block address) and
+			// delete an unrelated live object.
+			*inserts = append(*inserts, migratedCopy{
+				dst: dst, kh: kh, fp: hashtable.Fingerprint(kh),
+				key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
+			})
+			mc.MigratedKeys++
+			return 1
+		case migSkipped:
+			// The destination already held a newer client-written copy:
+			// the source removal was garbage collection, not a migration,
+			// and must not inflate the stat.
+			return 0
+		case migFallback:
+			// Destination complication. For full buckets, make room the
+			// way a blocked insert would; for a lost publish CAS, simply
+			// re-attempt with a fresh snapshot (presence is re-checked).
+			if pl.ins.outcome == setNoFree {
+				if !dst.bucketEvict(pl.ins.scanned) {
+					dst.reclaimOldestHistory(pl.ins.scanned)
+				}
 			}
-			return 0
+		case migRetry:
+			// The source slot changed while we copied it (the plan already
+			// took back any stale insert). Re-read the slot: if it still
+			// holds the same key (a straggler write replaced the value),
+			// redo the copy with the fresh value; otherwise the key was
+			// deleted, evicted or re-slotted and there is nothing to move.
+			s2 := src.ht.ReadSlot(s.Addr)
+			if s2.Atomic.IsEmpty() || s2.Atomic.IsHistory() || s2.Atomic.FP() != s.Atomic.FP() {
+				return 0
+			}
+			obj := src.ep.Read(s2.Atomic.Pointer(), s2.Atomic.SizeBytes())
+			dec2 := decodeObject(obj)
+			if !dec2.ok || !bytes.Equal(dec2.key, dec.key) {
+				return 0
+			}
+			s, dec = s2, dec2
 		}
-		// The source slot changed while we copied it. If we inserted, our
-		// copy is stale — take it back. Then re-read the slot: if it still
-		// holds the same key (a straggler write replaced the value), redo
-		// the copy with the fresh value; otherwise the key was deleted,
-		// evicted or re-slotted and there is nothing left to move.
-		if inserted {
-			dst.dropMigrated(slotAddr, atom)
-		}
-		s2 := src.ht.ReadSlot(s.Addr)
-		if s2.Atomic.IsEmpty() || s2.Atomic.IsHistory() || s2.Atomic.FP() != s.Atomic.FP() {
-			return 0
-		}
-		obj := src.ep.Read(s2.Atomic.Pointer(), s2.Atomic.SizeBytes())
-		dec2 := decodeObject(obj)
-		if !dec2.ok || !bytes.Equal(dec2.key, dec.key) {
-			return 0
-		}
-		s, dec = s2, dec2
 	}
 	// Retries exhausted under sustained churn: report pending work so the
 	// pass loop revisits this slot.
@@ -539,7 +672,7 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 		// vanished mid-route) leaves the group's misses uncounted for the
 		// final accounting below, like the probes.
 		var counted, silent []int
-		for _, owner := range sortedGroupKeys(stable) {
+		for _, owner := range sortedNodeIDs(stable) {
 			missed, ran := m.mgetGroup(owner, stable[owner], keys, vals, oks, false)
 			if ran {
 				counted = append(counted, missed...)
@@ -551,7 +684,7 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 		// Forwarding window: silent probe batches on the new owners, the
 		// old owners, then the new owners once more.
 		var winMissed []int
-		for _, owner := range sortedGroupKeys(window) {
+		for _, owner := range sortedNodeIDs(window) {
 			missed, _ := m.mgetGroup(owner, window[owner], keys, vals, oks, true)
 			winMissed = append(winMissed, missed...)
 		}
@@ -565,7 +698,7 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 				regrouped[owner] = append(regrouped[owner], i)
 			}
 			winMissed = winMissed[:0]
-			for _, owner := range sortedGroupKeys(regrouped) {
+			for _, owner := range sortedNodeIDs(regrouped) {
 				missed, _ := m.mgetGroup(owner, regrouped[owner], keys, vals, oks, true)
 				winMissed = append(winMissed, missed...)
 			}
@@ -635,7 +768,7 @@ func (m *MultiClient) MSet(pairs []KV) {
 			oldOf[i] = old
 		}
 	}
-	owners := sortedGroupKeys(groups)
+	owners := sortedNodeIDs(groups)
 	for gi, owner := range owners {
 		idxs := groups[owner]
 		c := m.clientFor(owner)
@@ -666,11 +799,13 @@ func (m *MultiClient) MSet(pairs []KV) {
 	}
 }
 
-// sortedGroupKeys returns a routing map's node IDs in ascending order so
-// multi-node fan-out issues its batches deterministically.
-func sortedGroupKeys(groups map[int][]int) []int {
-	ids := make([]int, 0, len(groups))
-	for id := range groups {
+// sortedNodeIDs returns a node-keyed map's IDs in ascending order — the
+// one deterministic-iteration helper shared by the MGet/MSet/MDelete
+// fan-outs (routing groups), Close, Stats and the resharder's free-list
+// surrender (connected clients).
+func sortedNodeIDs[V any](m map[int]V) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
@@ -724,9 +859,82 @@ func (m *MultiClient) Delete(key []byte) bool {
 	return deleted
 }
 
+// MDelete removes a batch of keys: one doorbell-batched MDelete per
+// owning MN. During a reshard each windowed key is also cleared on its
+// old owner FIRST, batched per old owner, preserving Delete's per-key
+// ordering (old copy before current copy) so a racing migration cannot
+// durably resurrect a deleted key. Like MSet, the epoch is re-checked
+// before each group: after a mid-batch ring switch every remaining
+// routing decision is stale, so the rest re-routes per key — otherwise a
+// key migrated to a new owner between routing and issue would survive
+// its own deletion.
+func (m *MultiClient) MDelete(keys [][]byte) []bool {
+	out := make([]bool, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	epoch := m.mc.epoch
+	groups := make(map[int][]int) // current owner → key indices
+	oldGroups := make(map[int][]int)
+	for i := range keys {
+		cur, old := m.owner(keys[i])
+		groups[cur] = append(groups[cur], i)
+		if old >= 0 {
+			oldGroups[old] = append(oldGroups[old], i)
+		}
+	}
+	type delGroup struct {
+		owner int
+		idxs  []int
+		cur   bool // a current-owner group: completes its keys
+	}
+	var seq []delGroup
+	for _, owner := range sortedNodeIDs(oldGroups) {
+		seq = append(seq, delGroup{owner: owner, idxs: oldGroups[owner]})
+	}
+	for _, owner := range sortedNodeIDs(groups) {
+		seq = append(seq, delGroup{owner: owner, idxs: groups[owner], cur: true})
+	}
+	done := make([]bool, len(keys)) // current-owner batch ran for this key
+	for _, g := range seq {
+		c := m.clientFor(g.owner)
+		if m.mc.epoch != epoch || (c == nil && g.cur) {
+			// The ring switched (or a current owner left the pool) while
+			// earlier groups' verbs were in flight. Delete routes at issue
+			// time — re-route every unfinished key per key, restoring the
+			// design's staleness bound (re-clearing an old copy is
+			// idempotent).
+			for i := range keys {
+				if !done[i] && m.Delete(keys[i]) {
+					out[i] = true
+				}
+			}
+			return out
+		}
+		if c == nil {
+			continue // an old owner left the pool: nothing to clear there
+		}
+		sub := make([][]byte, len(g.idxs))
+		for j, i := range g.idxs {
+			sub[j] = keys[i]
+		}
+		for j, ok := range c.MDelete(sub) {
+			if ok {
+				out[g.idxs[j]] = true
+			}
+		}
+		if g.cur {
+			for _, i := range g.idxs {
+				done[i] = true
+			}
+		}
+	}
+	return out
+}
+
 // Close flushes buffered client state on every connected MN.
 func (m *MultiClient) Close() {
-	for _, id := range m.sortedIDs() {
+	for _, id := range sortedNodeIDs(m.clients) {
 		m.clients[id].Close()
 	}
 }
@@ -734,7 +942,7 @@ func (m *MultiClient) Close() {
 // Stats aggregates per-MN client stats.
 func (m *MultiClient) Stats() Stats {
 	var s Stats
-	for _, id := range m.sortedIDs() {
+	for _, id := range sortedNodeIDs(m.clients) {
 		c := m.clients[id]
 		s.Gets += c.Stats.Gets
 		s.Sets += c.Stats.Sets
@@ -747,15 +955,4 @@ func (m *MultiClient) Stats() Stats {
 		s.BucketEvictions += c.Stats.BucketEvictions
 	}
 	return s
-}
-
-// sortedIDs returns the connected node IDs in ascending order so
-// multi-node sweeps issue verbs in a deterministic order.
-func (m *MultiClient) sortedIDs() []int {
-	ids := make([]int, 0, len(m.clients))
-	for id := range m.clients {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
 }

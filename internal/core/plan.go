@@ -1,0 +1,772 @@
+package core
+
+// The verb plans: each cache operation's one-sided verb sequence (§4.1),
+// written ONCE as an exec.Plan and executed under either strategy.
+//
+//	Get:     bucket READ(s) → object READ(s)                → hit/miss/stale
+//	Set:     bucket READ(s) → object READ(s) → classify →
+//	         object WRITE → publish CAS                     → done/noFree/casLost
+//	Migrate: Set in insert-if-absent mode (absence verified
+//	         in BOTH buckets, metadata carried over, post-
+//	         publish duplicate sweep) → source delete CAS    → moved/skipped/retry
+//	Delete:  bucket READs → object READs → delete CASes     → deleted?
+//
+// Serial traversal (exec.Serial) is lazy and reproduces the hand-written
+// per-key paths verb for verb: a Get that hits in the main bucket never
+// reads the backup bucket, an insert stops at the first bucket with a
+// reclaimable slot. Doorbell traversal (exec.Doorbell) is eager — both
+// buckets, then every candidate object, as one stage each — so N plans
+// advance as shared doorbell batches. Complications (stale snapshot,
+// lost CAS, full bucket) finish the plan with that outcome and the
+// driver demotes the key to the serial retry loop.
+//
+// Metadata maintenance stays off the critical path exactly as before:
+// plans issue only the synchronous critical-path verbs; frequency FAAs
+// (via the FC cache), last_ts and insert-metadata WRITEs ride
+// asynchronously from the completion hooks.
+
+import (
+	"bytes"
+
+	"ditto/internal/exec"
+	"ditto/internal/hashtable"
+	"ditto/internal/rdma"
+)
+
+// bucketVerb is the bucket READ of a plan stage.
+func (c *Client) bucketVerb(b int) exec.Verb {
+	return exec.Verb{EP: c.ep, Op: c.cl.Layout.BucketReadOp(b)}
+}
+
+// objectVerb is the object READ behind a slot.
+func (c *Client) objectVerb(s hashtable.Slot) exec.Verb {
+	return exec.Verb{EP: c.ep, Op: rdma.BatchOp{
+		Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: s.Atomic.SizeBytes(),
+	}}
+}
+
+// casVerb is a slot-atomic CAS.
+func casVerb(c *Client, slotAddr uint64, expect, swap hashtable.AtomicField) exec.Verb {
+	return exec.Verb{EP: c.ep, Op: rdma.BatchOp{
+		Kind: rdma.BatchCAS, Addr: hashtable.AtomicAddr(slotAddr),
+		Expect: uint64(expect), Swap: uint64(swap),
+	}}
+}
+
+// keyBuckets returns a key's main and backup bucket, in scan order.
+func (c *Client) keyBuckets(kh uint64) [2]int {
+	return [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}
+}
+
+// stageVerbs emits one stage's next verb group: the single next item
+// under lazy traversal, every remaining item under eager — the shared
+// emission rule of all plan stages. next is the stage's progress cursor
+// (advanced by Absorb), total its item count, mk builds item i's verb.
+func stageVerbs(eager bool, next, total int, mk func(i int) exec.Verb) []exec.Verb {
+	n := 1
+	if eager {
+		n = total - next
+	}
+	vs := make([]exec.Verb, n)
+	for i := range vs {
+		vs[i] = mk(next + i)
+	}
+	return vs
+}
+
+// ------------------------------------------------------------------- Get ----
+
+// getPlan states.
+const (
+	gBuckets = iota
+	gObjects
+	gDone
+)
+
+// getPlan is one Get attempt: stage bucket READs, stage candidate object
+// READs, with the stale-snapshot fallback edge surfaced as the `stale`
+// outcome (the driver re-runs a fresh attempt, bounded by getRetries).
+type getPlan struct {
+	c       *Client
+	key     []byte
+	kh      uint64
+	fp      byte
+	buckets [2]int
+
+	st    int
+	bi    int              // next bucket to absorb
+	cands []hashtable.Slot // fingerprint-matching live slots, scan order
+	ci    int              // next candidate to absorb
+
+	histMatches []hashtable.Slot
+	stale       bool
+
+	hit  bool
+	slot hashtable.Slot
+	dec  decodedObject
+}
+
+func (c *Client) newGetPlan(key []byte) *getPlan {
+	kh := hashtable.KeyHash(key)
+	return &getPlan{
+		c: c, key: key, kh: kh,
+		fp:      hashtable.Fingerprint(kh),
+		buckets: c.keyBuckets(kh),
+	}
+}
+
+func (pl *getPlan) Step(eager bool) []exec.Verb {
+	for {
+		switch pl.st {
+		case gBuckets:
+			if pl.bi >= len(pl.buckets) {
+				pl.st = gDone
+				continue
+			}
+			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
+				return pl.c.bucketVerb(pl.buckets[i])
+			})
+		case gObjects:
+			if pl.ci >= len(pl.cands) {
+				pl.st = gBuckets
+				continue
+			}
+			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
+				return pl.c.objectVerb(pl.cands[i])
+			})
+		default:
+			return nil
+		}
+	}
+}
+
+func (pl *getPlan) Absorb(res []exec.Result) {
+	switch pl.st {
+	case gBuckets:
+		for _, r := range res {
+			b := pl.buckets[pl.bi]
+			pl.bi++
+			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+				switch {
+				case s.Atomic.IsEmpty():
+				case s.Atomic.IsHistory():
+					if s.Hash == pl.kh {
+						pl.histMatches = append(pl.histMatches, s)
+					}
+				case s.Atomic.FP() == pl.fp:
+					pl.cands = append(pl.cands, s)
+				}
+			}
+		}
+		if pl.ci < len(pl.cands) {
+			pl.st = gObjects
+		}
+	case gObjects:
+		for _, r := range res {
+			s := pl.cands[pl.ci]
+			pl.ci++
+			dec := decodeObject(r.Data)
+			if !dec.ok {
+				pl.stale = true // reused memory behind a stale slot snapshot
+				continue
+			}
+			if !bytes.Equal(dec.key, pl.key) {
+				continue // fingerprint collision
+			}
+			pl.hit, pl.slot, pl.dec = true, s, dec
+			pl.st = gDone
+			return // first match wins; later candidates are stale copies
+		}
+	}
+}
+
+// ------------------------------------------------------------------- Set ----
+
+// setPlan states.
+const (
+	sBuckets = iota
+	sObjects
+	sWrite
+	sCAS
+	sSweepBuckets // migrate mode: post-publish duplicate sweep
+	sSweepObjects
+	sDone
+)
+
+// setPlan outcomes.
+const (
+	setPending = iota
+	setDone    // published; migrate mode: insert survived the sweep
+	setNoFree  // both buckets full of live objects and valid history
+	setCASLost // publish CAS lost a race; staged object freed
+	setPresent // migrate mode: key already present, or our copy yielded
+)
+
+// publish modes.
+const (
+	pUpdate = iota
+	pInsert
+)
+
+// setCand is one fingerprint-matching slot, tagged with which of the
+// key's buckets (0 = main, 1 = backup) held it.
+type setCand struct {
+	bkt  int
+	slot hashtable.Slot
+	dec  decodedObject
+	got  bool
+}
+
+// setPlan is one Set attempt (§4.1 UPDATE/INSERT): stage bucket READs,
+// stage candidate object READs, classify update-in-place vs insert with
+// the same per-bucket precedence as the hand-written path (a bucket's
+// key match beats its reclaimable slot beats the next bucket), then
+// stage the object WRITE and the publishing CAS.
+//
+// In migrate mode the plan is the resharder's insert-if-absent: the
+// absence check covers BOTH buckets before committing (a newer
+// client-written copy in the backup bucket must win), the carried
+// metadata is written instead of fresh metadata, and a post-publish
+// duplicate sweep re-reads the buckets — a racing Set that read them
+// before our CAS landed can have published the same key into a different
+// slot; that copy is newer by construction, so ours yields.
+type setPlan struct {
+	c          *Client
+	key, value []byte
+	kh         uint64
+	fp         byte
+	size       int
+	buckets    [2]int
+
+	migrate            bool
+	mExt               []byte
+	mInsertTs, mLastTs int64
+	mFreq              uint64
+
+	st          int
+	lastEager   bool // traversal mode of the in-flight group
+	bi          int
+	doneBkt     int              // first bucket whose post-candidate logic hasn't run
+	scanned     []hashtable.Slot // every slot seen (bucketEvict fallback)
+	bucketSlots [2][]hashtable.Slot
+	cands       []setCand
+	ci          int
+
+	mode    int
+	updSlot hashtable.Slot
+	updDec  decodedObject
+	insSlot hashtable.Slot
+	haveIns bool
+
+	now  int64
+	addr uint64
+	data []byte
+	want hashtable.AtomicField
+
+	outcome  int
+	slotAddr uint64 // published slot (migrate: undo handle with `want`)
+
+	swBi    int
+	swCands []hashtable.Slot
+	swi     int
+}
+
+func (c *Client) newSetPlan(key, value []byte) *setPlan {
+	kh := hashtable.KeyHash(key)
+	return &setPlan{
+		c: c, key: key, value: value, kh: kh,
+		fp:      hashtable.Fingerprint(kh),
+		size:    objBytes(len(key), len(value), c.cl.totalExt),
+		buckets: c.keyBuckets(kh),
+	}
+}
+
+// newMigrateSetPlan builds the insert-if-absent flavour carrying the
+// access metadata the key had on its old memory node.
+func (c *Client) newMigrateSetPlan(key, value, ext []byte, insertTs, lastTs int64, freq uint64) *setPlan {
+	pl := c.newSetPlan(key, value)
+	pl.migrate = true
+	pl.mExt, pl.mInsertTs, pl.mLastTs, pl.mFreq = ext, insertTs, lastTs, freq
+	return pl
+}
+
+func (pl *setPlan) Step(eager bool) []exec.Verb {
+	pl.lastEager = eager
+	for {
+		switch pl.st {
+		case sBuckets:
+			if pl.bi >= len(pl.buckets) {
+				pl.finishScan()
+				continue
+			}
+			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
+				return pl.c.bucketVerb(pl.buckets[i])
+			})
+		case sObjects:
+			if pl.ci >= len(pl.cands) {
+				pl.st = sBuckets
+				continue
+			}
+			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
+				return pl.c.objectVerb(pl.cands[i].slot)
+			})
+		case sWrite:
+			return []exec.Verb{{EP: pl.c.ep, Op: rdma.BatchOp{
+				Kind: rdma.BatchWrite, Addr: pl.addr, Data: pl.data,
+			}}}
+		case sCAS:
+			target := pl.insSlot
+			if pl.mode == pUpdate {
+				target = pl.updSlot
+			}
+			return []exec.Verb{casVerb(pl.c, target.Addr, target.Atomic, pl.want)}
+		case sSweepBuckets:
+			if pl.swBi >= len(pl.buckets) {
+				pl.outcome = setDone // no duplicate: the insert stands
+				pl.st = sDone
+				continue
+			}
+			return stageVerbs(eager, pl.swBi, len(pl.buckets), func(i int) exec.Verb {
+				return pl.c.bucketVerb(pl.buckets[i])
+			})
+		case sSweepObjects:
+			if pl.swi >= len(pl.swCands) {
+				pl.st = sSweepBuckets
+				continue
+			}
+			return stageVerbs(eager, pl.swi, len(pl.swCands), func(i int) exec.Verb {
+				return pl.c.objectVerb(pl.swCands[i])
+			})
+		default:
+			return nil
+		}
+	}
+}
+
+func (pl *setPlan) Absorb(res []exec.Result) {
+	switch pl.st {
+	case sBuckets:
+		for _, r := range res {
+			b := pl.buckets[pl.bi]
+			slots := pl.c.cl.Layout.DecodeBucket(b, r.Data)
+			pl.bucketSlots[pl.bi] = slots
+			pl.scanned = append(pl.scanned, slots...)
+			for i := range slots {
+				s := slots[i]
+				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != pl.fp {
+					continue
+				}
+				pl.cands = append(pl.cands, setCand{bkt: pl.bi, slot: s})
+			}
+			pl.bi++
+		}
+		if pl.ci < len(pl.cands) {
+			pl.st = sObjects
+			return
+		}
+		pl.classifyThrough(pl.bi)
+	case sObjects:
+		for _, r := range res {
+			cand := &pl.cands[pl.ci]
+			pl.ci++
+			cand.dec = decodeObject(r.Data)
+			cand.got = true
+			// Lazy traversal commits at the FIRST key match, before later
+			// candidates (or the next bucket) are even read — exactly the
+			// hand-written scan. Eager traversal decodes everything first
+			// and lets classifyThrough apply the per-bucket precedence.
+			if !pl.lastEager && cand.dec.ok && bytes.Equal(cand.dec.key, pl.key) {
+				if pl.migrate {
+					pl.outcome = setPresent // newer copy already here; it wins
+					pl.st = sDone
+				} else {
+					pl.startUpdate(*cand)
+				}
+				return
+			}
+		}
+		if pl.ci < len(pl.cands) {
+			return // lazy traversal: more candidates to read
+		}
+		pl.classifyThrough(pl.bi)
+	case sWrite:
+		pl.st = sCAS
+	case sCAS:
+		target := pl.insSlot
+		if pl.mode == pUpdate {
+			target = pl.updSlot
+		}
+		if !res[0].Swapped {
+			pl.c.alloc.Free(pl.addr, pl.size)
+			pl.outcome = setCASLost
+			pl.st = sDone
+			return
+		}
+		pl.slotAddr = target.Addr
+		if pl.mode == pUpdate {
+			pl.c.finishUpdate(pl.updSlot, len(pl.key), pl.now)
+			pl.outcome = setDone
+			pl.st = sDone
+			return
+		}
+		if !pl.migrate {
+			pl.c.finishInsert(target.Addr, pl.kh, pl.now)
+			pl.outcome = setDone
+			pl.st = sDone
+			return
+		}
+		pl.c.fc.Forget(target.Addr)
+		pl.c.ht.WriteMetaOnInsert(target.Addr, pl.kh, pl.mInsertTs, pl.mLastTs, pl.mFreq)
+		pl.st = sSweepBuckets
+	case sSweepBuckets:
+		for _, r := range res {
+			b := pl.buckets[pl.swBi]
+			pl.swBi++
+			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+				if s.Addr == pl.slotAddr || s.Atomic.IsEmpty() || s.Atomic.IsHistory() ||
+					s.Atomic.FP() != pl.fp {
+					continue
+				}
+				pl.swCands = append(pl.swCands, s)
+			}
+		}
+		if pl.swi < len(pl.swCands) {
+			pl.st = sSweepObjects
+		}
+	case sSweepObjects:
+		for _, r := range res {
+			pl.swi++
+			dec := decodeObject(r.Data)
+			if dec.ok && bytes.Equal(dec.key, pl.key) {
+				// A racing write published the same key into another slot
+				// after our CAS; that copy is newer — ours must yield.
+				pl.c.dropMigrated(pl.slotAddr, pl.want)
+				pl.outcome = setPresent
+				pl.st = sDone
+				return
+			}
+		}
+	}
+}
+
+// classifyThrough runs the post-candidate classification for every bucket
+// read so far (buckets [doneBkt, upTo)), with the shared precedence: a
+// bucket's key match beats its reclaimable slot beats the next bucket. In
+// migrate mode a match anywhere wins first (absence must cover both
+// buckets) and the reclaimable slot is only committed once the scan is
+// complete.
+func (pl *setPlan) classifyThrough(upTo int) {
+	if pl.migrate {
+		for i := range pl.cands {
+			c := &pl.cands[i]
+			if c.got && c.dec.ok && bytes.Equal(c.dec.key, pl.key) {
+				pl.outcome = setPresent // newer copy already here; it wins
+				pl.st = sDone
+				return
+			}
+		}
+		for b := pl.doneBkt; b < upTo; b++ {
+			if !pl.haveIns {
+				pl.findFree(b)
+			}
+		}
+		pl.doneBkt = upTo
+		if upTo >= len(pl.buckets) {
+			pl.finishScan()
+		}
+		// else: Step continues with the next bucket.
+		return
+	}
+	for b := pl.doneBkt; b < upTo; b++ {
+		for i := range pl.cands {
+			c := &pl.cands[i]
+			if c.bkt != b || !c.got {
+				continue
+			}
+			if c.dec.ok && bytes.Equal(c.dec.key, pl.key) {
+				pl.startUpdate(*c)
+				return
+			}
+		}
+		pl.doneBkt = b + 1
+		if pl.findFree(b) {
+			pl.startInsert() // insert into the main bucket when possible
+			return
+		}
+	}
+	if upTo >= len(pl.buckets) {
+		pl.finishScan()
+	}
+}
+
+// findFree searches bucket b for the first reclaimable slot.
+func (pl *setPlan) findFree(b int) bool {
+	if pl.haveIns {
+		return true
+	}
+	for i := range pl.bucketSlots[b] {
+		if pl.c.hist.Reclaimable(pl.bucketSlots[b][i]) {
+			pl.insSlot = pl.bucketSlots[b][i]
+			pl.haveIns = true
+			return true
+		}
+	}
+	return false
+}
+
+// finishScan ends the bucket scan without an update match: commit the
+// insert when a reclaimable slot was found, else report full buckets.
+func (pl *setPlan) finishScan() {
+	if pl.haveIns {
+		pl.startInsert()
+		return
+	}
+	pl.outcome = setNoFree
+	pl.st = sDone
+}
+
+// startUpdate stages the out-of-place UPDATE: write the new value to a
+// fresh block and CAS the slot's pointer (as in RACE hashing).
+func (pl *setPlan) startUpdate(cand setCand) {
+	pl.mode = pUpdate
+	pl.updSlot, pl.updDec = cand.slot, cand.dec
+	pl.stage(pl.updSlot.Atomic.FP())
+}
+
+// startInsert stages the INSERT into the claimed reclaimable slot.
+func (pl *setPlan) startInsert() {
+	pl.mode = pInsert
+	pl.stage(pl.fp)
+}
+
+// stage allocates the object block (may evict, with serial verbs — the
+// same off-plan work the hand-written paths did between stages), builds
+// its image and the publishing atomic, and advances to the WRITE stage.
+func (pl *setPlan) stage(fp byte) {
+	c := pl.c
+	pl.now = c.p.Now()
+	pl.addr = c.allocOrEvict(pl.size)
+	var ext []byte
+	switch {
+	case pl.mode == pUpdate:
+		ext = c.updateExt(pl.updSlot, pl.updDec, pl.size, pl.now)
+	case pl.migrate:
+		// The extension layout matches across nodes (same expert list), so
+		// the old node's expert metadata transfers verbatim; pad or trim
+		// defensively in case configurations ever diverge.
+		ext = make([]byte, c.cl.totalExt)
+		copy(ext, pl.mExt)
+	default:
+		ext = c.initExts(pl.size, pl.now)
+	}
+	pl.data = encodeObject(pl.key, pl.value, ext)
+	pl.want = hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(pl.size), pl.addr)
+	pl.st = sWrite
+}
+
+// ---------------------------------------------------------------- Delete ----
+
+// delPlan states.
+const (
+	dBuckets = iota
+	dObjects
+	dCAS
+	dDone
+)
+
+// delPlan removes every live copy of a key: stage bucket READs, stage
+// candidate object READs, stage delete CASes. The scan covers BOTH
+// buckets to completion rather than stopping at the first match: a
+// reshard's migration window can briefly leave two live copies of a key,
+// and deleting only the first would let the survivor resurrect it. A
+// lost CAS means someone else deleted or replaced that copy — keep going.
+type delPlan struct {
+	c       *Client
+	key     []byte
+	kh      uint64
+	fp      byte
+	buckets [2]int
+
+	st      int
+	bi      int
+	cands   []hashtable.Slot
+	ci      int
+	matches []hashtable.Slot
+	mi      int
+
+	deleted bool
+}
+
+func (c *Client) newDelPlan(key []byte) *delPlan {
+	kh := hashtable.KeyHash(key)
+	return &delPlan{
+		c: c, key: key, kh: kh,
+		fp:      hashtable.Fingerprint(kh),
+		buckets: c.keyBuckets(kh),
+	}
+}
+
+func (pl *delPlan) Step(eager bool) []exec.Verb {
+	for {
+		switch pl.st {
+		case dBuckets:
+			if pl.bi >= len(pl.buckets) {
+				if pl.mi < len(pl.matches) {
+					pl.st = dCAS
+					continue
+				}
+				pl.st = dDone
+				continue
+			}
+			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
+				return pl.c.bucketVerb(pl.buckets[i])
+			})
+		case dObjects:
+			if pl.ci >= len(pl.cands) {
+				pl.st = dBuckets
+				continue
+			}
+			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
+				return pl.c.objectVerb(pl.cands[i])
+			})
+		case dCAS:
+			if pl.mi >= len(pl.matches) {
+				pl.st = dObjects // lazy: resume the candidate scan where it left off
+				continue
+			}
+			return stageVerbs(eager, pl.mi, len(pl.matches), func(i int) exec.Verb {
+				return casVerb(pl.c, pl.matches[i].Addr, pl.matches[i].Atomic, 0)
+			})
+		default:
+			return nil
+		}
+	}
+}
+
+func (pl *delPlan) Absorb(res []exec.Result) {
+	switch pl.st {
+	case dBuckets:
+		for _, r := range res {
+			b := pl.buckets[pl.bi]
+			pl.bi++
+			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != pl.fp {
+					continue
+				}
+				pl.cands = append(pl.cands, s)
+			}
+		}
+		if pl.ci < len(pl.cands) {
+			pl.st = dObjects
+		}
+	case dObjects:
+		for _, r := range res {
+			s := pl.cands[pl.ci]
+			pl.ci++
+			dec := decodeObject(r.Data)
+			if dec.ok && bytes.Equal(dec.key, pl.key) {
+				pl.matches = append(pl.matches, s)
+			}
+		}
+		if pl.mi < len(pl.matches) {
+			pl.st = dCAS // serial path CASes each match as it is found
+		}
+	case dCAS:
+		for _, r := range res {
+			s := pl.matches[pl.mi]
+			pl.mi++
+			if r.Swapped {
+				pl.c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+				pl.c.fc.Forget(s.Addr)
+				pl.deleted = true
+			}
+			// On a lost CAS race someone else deleted or replaced this
+			// copy; keep scanning for further copies either way.
+		}
+	}
+}
+
+// ------------------------------------------------------------- Migration ----
+
+// migratePlan outcomes.
+const (
+	migMoved    = iota // insert published, survived the sweep, source removed
+	migSkipped         // destination copy was newer (or ours yielded); source removal was GC
+	migRetry           // the source slot changed under the copy: re-read and redo
+	migFallback        // destination complication (full bucket / lost CAS): retry the slot
+)
+
+// migratePlan moves one live object between memory nodes: the
+// destination's insert-if-absent setPlan (migrate mode, including the
+// post-publish duplicate sweep), then the source delete CAS that verifies
+// the copy did not change while in flight. If that CAS fails — the key
+// was concurrently deleted, evicted, or replaced — the fresh insert is
+// undone with a precise CAS so a dead value can never resurface.
+type migratePlan struct {
+	src *Client
+	s   hashtable.Slot
+	ins *setPlan
+
+	st       int // 0 insert phase, 1 source CAS, 2 done
+	inserted bool
+	outcome  int
+}
+
+func newMigratePlan(src, dst *Client, s hashtable.Slot, dec decodedObject) *migratePlan {
+	key := append([]byte(nil), dec.key...)
+	val := append([]byte(nil), dec.value...)
+	ext := append([]byte(nil), dec.ext...)
+	return &migratePlan{
+		src: src, s: s,
+		ins: dst.newMigrateSetPlan(key, val, ext, s.InsertTs, s.LastTs, s.Freq),
+	}
+}
+
+func (pl *migratePlan) Step(eager bool) []exec.Verb {
+	if pl.st != 0 {
+		return nil
+	}
+	if vs := pl.ins.Step(eager); len(vs) > 0 {
+		return vs
+	}
+	switch pl.ins.outcome {
+	case setDone:
+		pl.inserted = true
+	case setPresent:
+		pl.inserted = false
+	default: // setNoFree / setCASLost: destination needs the serial retry loop
+		pl.outcome = migFallback
+		pl.st = 2
+		return nil
+	}
+	pl.st = 1
+	return []exec.Verb{casVerb(pl.src, pl.s.Addr, pl.s.Atomic, 0)}
+}
+
+func (pl *migratePlan) Absorb(res []exec.Result) {
+	if pl.st == 0 {
+		pl.ins.Absorb(res)
+		return
+	}
+	pl.st = 2
+	if res[0].Swapped {
+		pl.src.alloc.Free(pl.s.Atomic.Pointer(), pl.s.Atomic.SizeBytes())
+		pl.src.fc.Forget(pl.s.Addr)
+		// inserted=false here means the destination already held a newer
+		// client-written copy: the source removal is garbage collection,
+		// not a migration.
+		if pl.inserted {
+			pl.outcome = migMoved
+		} else {
+			pl.outcome = migSkipped
+		}
+		return
+	}
+	// The source slot changed while we copied it: if we inserted, our copy
+	// is stale — take it back. The driver re-reads the slot and redoes the
+	// copy with the fresh value (or gives up if the key is gone).
+	if pl.inserted {
+		pl.ins.c.dropMigrated(pl.ins.slotAddr, pl.ins.want)
+	}
+	pl.outcome = migRetry
+}

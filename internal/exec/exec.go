@@ -1,0 +1,216 @@
+// Package exec is the verb-plan executor: the single engine behind
+// Ditto's serial, batched, and migration I/O.
+//
+// The paper's client-centric design (§4.1) makes every cache operation a
+// short, fixed sequence of one-sided verbs composed client-side — bucket
+// READ(s), object READ(s), an object WRITE, a publishing CAS — with
+// fallback edges where a snapshot can go stale or a CAS can lose a race.
+// This package lets an operation be expressed ONCE as such a staged verb
+// plan (a Plan), and runs any set of plans under a pluggable Strategy:
+//
+//   - Serial: one verb per round trip, traversing each plan lazily — a
+//     stage short-circuits as soon as its outcome is known (a Get that
+//     hits in the main bucket never reads the backup bucket). This is the
+//     paper's per-key critical path and its verb budget.
+//   - Doorbell: plans advance in lock-step rounds; each round gathers
+//     every plan's next verbs and posts them per endpoint with ONE RNIC
+//     doorbell (rdma.Endpoint.PostBatch), so the whole round costs its
+//     RNIC service time plus a single RTT. Plans traverse eagerly (both
+//     candidate buckets at once) so a round is one pipeline stage across
+//     the batch. Identical READs posted by different plans in the same
+//     round are issued once and fanned out.
+//
+// Plans whose doorbell attempt hits a complication (stale snapshot, lost
+// CAS, full bucket) simply finish with that outcome; their drivers demote
+// them to the serial retry path, which re-runs the SAME plan definition
+// under the Serial strategy — so batched and sequential execution are
+// observably equivalent by construction, and the verb sequences live in
+// exactly one place.
+package exec
+
+import "ditto/internal/rdma"
+
+// Strategy selects how a set of plans traverses its verb stages.
+type Strategy int
+
+// The two execution strategies.
+const (
+	// Serial runs plans one at a time, one synchronous verb per round
+	// trip, with lazy (short-circuiting) stage traversal.
+	Serial Strategy = iota
+	// Doorbell runs plans in lock-step rounds, posting each round's verbs
+	// as one doorbell batch per endpoint, with eager stage traversal.
+	Doorbell
+)
+
+func (s Strategy) String() string {
+	if s == Doorbell {
+		return "doorbell"
+	}
+	return "serial"
+}
+
+// Verb is one one-sided verb of a plan stage, addressed to the endpoint
+// that must issue it (plans may span endpoints: a migration reads and
+// CASes the source node while writing the destination).
+type Verb struct {
+	EP *rdma.Endpoint
+	Op rdma.BatchOp
+}
+
+// Result is the completion of one Verb.
+type Result = rdma.BatchResult
+
+// Plan is one cache operation attempt expressed as staged verb groups.
+// The executor repeatedly calls Step for the next group, issues it under
+// the strategy, and feeds the completions to Absorb; a nil Step ends the
+// plan (its outcome is plan-specific state the driver inspects).
+//
+// eager selects the batched shape of a stage — e.g. read BOTH candidate
+// buckets, then ALL candidate objects, as one group each — over the
+// serial shape, which yields the smallest group whose result can
+// short-circuit the rest (one bucket, then one object at a time). This
+// flag is the ONLY difference between how the two strategies traverse a
+// plan; everything else (what is read, how results are interpreted,
+// which fallback edge is taken) is shared.
+type Plan interface {
+	Step(eager bool) []Verb
+	Absorb(res []Result)
+}
+
+// Run executes the plans under the strategy until every plan finishes.
+func Run(s Strategy, plans ...Plan) {
+	if s == Doorbell {
+		RunDoorbell(plans)
+		return
+	}
+	for _, p := range plans {
+		RunSerial(p)
+	}
+}
+
+// RunSerial drives one plan to completion with synchronous verbs: each
+// verb of a group costs queueing plus one RTT, exactly as the hand-written
+// per-key paths did.
+func RunSerial(p Plan) {
+	for {
+		vs := p.Step(false)
+		if len(vs) == 0 {
+			return
+		}
+		res := make([]Result, len(vs))
+		for i, v := range vs {
+			res[i] = issueSync(v)
+		}
+		p.Absorb(res)
+	}
+}
+
+// issueSync issues one verb through the endpoint's synchronous API.
+func issueSync(v Verb) Result {
+	switch v.Op.Kind {
+	case rdma.BatchRead:
+		return Result{Data: v.EP.Read(v.Op.Addr, v.Op.Len)}
+	case rdma.BatchWrite:
+		v.EP.Write(v.Op.Addr, v.Op.Data)
+		return Result{}
+	case rdma.BatchCAS:
+		old, swapped := v.EP.CAS(v.Op.Addr, v.Op.Expect, v.Op.Swap)
+		return Result{Old: old, Swapped: swapped}
+	case rdma.BatchFAA:
+		return Result{Old: v.EP.FAA(v.Op.Addr, v.Op.Delta)}
+	}
+	panic("exec: unknown verb kind")
+}
+
+// slot maps one plan verb to its position in an endpoint batch.
+type slot struct {
+	ep  *rdma.Endpoint
+	idx int
+}
+
+// epBatch accumulates one endpoint's ops for a round.
+type epBatch struct {
+	ep    *rdma.Endpoint
+	ops   []rdma.BatchOp
+	reads map[readKey]int // dedup: identical READs issue once
+	res   []Result
+}
+
+// readKey identifies a read for within-round deduplication.
+type readKey struct {
+	addr uint64
+	len  int
+}
+
+// RunDoorbell drives the plans in lock-step rounds. Each round collects
+// every unfinished plan's next verb group, posts one doorbell batch per
+// endpoint (endpoints in first-use order, verbs in plan order) with the
+// round trips overlapped across endpoints too (rdma.PostMulti — queue
+// pairs to different nodes are independent, so a round spanning the
+// migration source and several destinations still costs ~one RTT),
+// scatters the completions back, and lets every plan absorb before the
+// next round begins. Plans at different stages coexist in a round — a
+// plan that skips a stage (no candidate objects to read) posts its next
+// stage's verbs alongside the others', which only merges doorbells,
+// never reorders one plan's own verbs. Identical READs across plans are
+// issued once; WRITE/CAS/FAA are never deduplicated.
+func RunDoorbell(plans []Plan) {
+	type pending struct {
+		plan  Plan
+		slots []slot
+	}
+	active := make([]Plan, 0, len(plans))
+	active = append(active, plans...)
+	for len(active) > 0 {
+		var round []pending
+		var order []*epBatch
+		batches := make(map[*rdma.Endpoint]*epBatch)
+		next := active[:0]
+		for _, p := range active {
+			vs := p.Step(true)
+			if len(vs) == 0 {
+				continue // plan finished
+			}
+			pd := pending{plan: p, slots: make([]slot, len(vs))}
+			for i, v := range vs {
+				b := batches[v.EP]
+				if b == nil {
+					b = &epBatch{ep: v.EP, reads: make(map[readKey]int)}
+					batches[v.EP] = b
+					order = append(order, b)
+				}
+				if v.Op.Kind == rdma.BatchRead {
+					k := readKey{addr: v.Op.Addr, len: v.Op.Len}
+					if j, seen := b.reads[k]; seen {
+						pd.slots[i] = slot{ep: v.EP, idx: j}
+						continue
+					}
+					b.reads[k] = len(b.ops)
+				}
+				pd.slots[i] = slot{ep: v.EP, idx: len(b.ops)}
+				b.ops = append(b.ops, v.Op)
+			}
+			round = append(round, pd)
+			next = append(next, p)
+		}
+		if len(round) == 0 {
+			return
+		}
+		posts := make([]rdma.EndpointBatch, len(order))
+		for i, b := range order {
+			posts[i] = rdma.EndpointBatch{EP: b.ep, Ops: b.ops}
+		}
+		for i, res := range rdma.PostMulti(posts) {
+			order[i].res = res
+		}
+		for _, pd := range round {
+			res := make([]Result, len(pd.slots))
+			for i, s := range pd.slots {
+				res[i] = batches[s.ep].res[s.idx]
+			}
+			pd.plan.Absorb(res)
+		}
+		active = next
+	}
+}

@@ -224,15 +224,32 @@ func NewHandle(l Layout, ep *rdma.Endpoint) *Handle {
 	return &Handle{Layout: l, EP: ep}
 }
 
-// ReadBucket fetches bucket b with one RDMA_READ and decodes its slots.
-func (h *Handle) ReadBucket(b int) []Slot {
-	base := h.Layout.BucketAddr(b)
-	raw := h.EP.Read(base, h.Layout.SlotsPerBucket*SlotBytes)
-	slots := make([]Slot, h.Layout.SlotsPerBucket)
+// BucketReadOp returns the verb that fetches bucket b — the one
+// definition of a bucket READ, shared by the synchronous paths below and
+// by the verb plans that post the same read inside doorbell batches.
+func (l Layout) BucketReadOp(b int) rdma.BatchOp {
+	return rdma.BatchOp{
+		Kind: rdma.BatchRead,
+		Addr: l.BucketAddr(b),
+		Len:  l.SlotsPerBucket * SlotBytes,
+	}
+}
+
+// DecodeBucket decodes a bucket image fetched by any read path (a
+// synchronous READ or a doorbell batch) into slots, as ReadBucket would.
+func (l Layout) DecodeBucket(b int, raw []byte) []Slot {
+	base := l.BucketAddr(b)
+	slots := make([]Slot, l.SlotsPerBucket)
 	for i := range slots {
 		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
 	}
 	return slots
+}
+
+// ReadBucket fetches bucket b with one RDMA_READ and decodes its slots.
+func (h *Handle) ReadBucket(b int) []Slot {
+	op := h.Layout.BucketReadOp(b)
+	return h.Layout.DecodeBucket(b, h.EP.Read(op.Addr, op.Len))
 }
 
 // ReadBuckets fetches the given buckets with ONE doorbell batch of
@@ -246,22 +263,12 @@ func (h *Handle) ReadBuckets(bs []int) [][]Slot {
 	}
 	ops := make([]rdma.BatchOp, len(bs))
 	for i, b := range bs {
-		ops[i] = rdma.BatchOp{
-			Kind: rdma.BatchRead,
-			Addr: h.Layout.BucketAddr(b),
-			Len:  h.Layout.SlotsPerBucket * SlotBytes,
-		}
+		ops[i] = h.Layout.BucketReadOp(b)
 	}
 	res := h.EP.PostBatch(ops)
 	out := make([][]Slot, len(bs))
 	for i, b := range bs {
-		base := h.Layout.BucketAddr(b)
-		raw := res[i].Data
-		slots := make([]Slot, h.Layout.SlotsPerBucket)
-		for j := range slots {
-			slots[j] = decodeSlot(base+uint64(j*SlotBytes), raw[j*SlotBytes:(j+1)*SlotBytes])
-		}
-		out[i] = slots
+		out[i] = h.Layout.DecodeBucket(b, res[i].Data)
 	}
 	return out
 }

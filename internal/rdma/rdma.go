@@ -179,44 +179,15 @@ func (e *Endpoint) Proc() *sim.Proc { return e.p }
 // Node returns the remote node.
 func (e *Endpoint) Node() *Node { return e.node }
 
-// sync charges one NIC message of the given payload size and blocks the
-// caller for queueing plus one RTT.
-func (e *Endpoint) sync(bytes int) {
-	end := e.node.nic.Acquire(e.node.msgSvc(bytes))
-	e.p.SleepUntil(end + e.node.cfg.RTT)
-}
-
 // Read performs a one-sided RDMA_READ of length bytes at addr and returns a
 // copy of the data as observed at completion time.
 func (e *Endpoint) Read(addr uint64, length int) []byte {
-	n := e.node
-	n.check(addr, length)
-	n.Stats.Reads++
-	n.Stats.ReadBytes += int64(length)
-	e.sync(length)
-	out := make([]byte, length)
-	copy(out, n.mem[addr:addr+uint64(length)])
-	return out
-}
-
-// ReadInto is Read without allocation; buf's length selects the size.
-func (e *Endpoint) ReadInto(addr uint64, buf []byte) {
-	n := e.node
-	n.check(addr, len(buf))
-	n.Stats.Reads++
-	n.Stats.ReadBytes += int64(len(buf))
-	e.sync(len(buf))
-	copy(buf, n.mem[addr:addr+uint64(len(buf))])
+	return e.doSync(BatchOp{Kind: BatchRead, Addr: addr, Len: length}).Data
 }
 
 // Write performs a one-sided RDMA_WRITE and waits for completion.
 func (e *Endpoint) Write(addr uint64, data []byte) {
-	n := e.node
-	n.check(addr, len(data))
-	n.Stats.Writes++
-	n.Stats.WriteBytes += int64(len(data))
-	e.sync(len(data))
-	copy(n.mem[addr:addr+uint64(len(data))], data)
+	e.doSync(BatchOp{Kind: BatchWrite, Addr: addr, Data: data})
 }
 
 // WriteAsync posts an RDMA_WRITE without waiting for its completion (the
@@ -225,54 +196,50 @@ func (e *Endpoint) Write(addr uint64, data []byte) {
 // which is a benign simplification for metadata that only this client
 // updates in the window.
 func (e *Endpoint) WriteAsync(addr uint64, data []byte) {
-	n := e.node
-	n.check(addr, len(data))
-	n.Stats.Writes++
-	n.Stats.AsyncOps++
-	n.Stats.WriteBytes += int64(len(data))
-	n.nic.Acquire(n.msgSvc(len(data)))
-	copy(n.mem[addr:addr+uint64(len(data))], data)
+	e.doAsync(BatchOp{Kind: BatchWrite, Addr: addr, Data: data})
 }
 
 // CAS atomically compares-and-swaps the 8-byte word at addr. It returns the
 // value observed before the operation and whether the swap happened.
 func (e *Endpoint) CAS(addr uint64, expect, swap uint64) (old uint64, swapped bool) {
-	n := e.node
-	n.check(addr, 8)
-	n.Stats.CASes++
-	e.sync(8)
-	// The atomic takes effect at completion time: re-read after sleeping so
-	// that verbs that completed earlier in virtual time are observed.
-	old = binary.LittleEndian.Uint64(n.mem[addr:])
-	if old == expect {
-		binary.LittleEndian.PutUint64(n.mem[addr:], swap)
-		return old, true
-	}
-	return old, false
+	res := e.doSync(BatchOp{Kind: BatchCAS, Addr: addr, Expect: expect, Swap: swap})
+	return res.Old, res.Swapped
 }
 
 // FAA atomically fetches-and-adds delta to the 8-byte word at addr,
 // returning the previous value.
 func (e *Endpoint) FAA(addr uint64, delta uint64) uint64 {
-	n := e.node
-	n.check(addr, 8)
-	n.Stats.FAAs++
-	e.sync(8)
-	old := binary.LittleEndian.Uint64(n.mem[addr:])
-	binary.LittleEndian.PutUint64(n.mem[addr:], old+delta)
-	return old
+	return e.doSync(BatchOp{Kind: BatchFAA, Addr: addr, Delta: delta}).Old
 }
 
 // FAAAsync posts a fetch-and-add without waiting (used by the FC cache when
 // flushing combined frequency updates off the critical path).
 func (e *Endpoint) FAAAsync(addr uint64, delta uint64) {
+	e.doAsync(BatchOp{Kind: BatchFAA, Addr: addr, Delta: delta})
+}
+
+// doSync issues one verb, blocks for queueing plus one RTT, and applies
+// its effect at completion time — the single-verb degenerate case of the
+// shared issue/apply machinery below.
+func (e *Endpoint) doSync(op BatchOp) BatchResult {
 	n := e.node
-	n.check(addr, 8)
-	n.Stats.FAAs++
+	end := n.issueOp(&op)
+	e.p.SleepUntil(end + n.cfg.RTT)
+	var res BatchResult
+	n.applyOp(&op, &res)
+	return res
+}
+
+// doAsync issues one verb without waiting for its completion. The message
+// consumes RNIC capacity exactly as a batched or synchronous verb would
+// (same issueOp/applyOp machinery, same stat accounting); only the
+// completion wait is skipped.
+func (e *Endpoint) doAsync(op BatchOp) {
+	n := e.node
 	n.Stats.AsyncOps++
-	n.nic.Acquire(n.msgSvc(8))
-	old := binary.LittleEndian.Uint64(n.mem[addr:])
-	binary.LittleEndian.PutUint64(n.mem[addr:], old+delta)
+	n.issueOp(&op)
+	var res BatchResult
+	n.applyOp(&op, &res)
 }
 
 // BatchKind selects the verb of one entry in a doorbell batch.
@@ -306,6 +273,64 @@ type BatchResult struct {
 	Swapped bool   // BatchCAS: whether the swap took effect
 }
 
+// issueOp validates one verb, records its stats, and acquires its RNIC
+// message service, returning the completion time. Every verb path —
+// synchronous singles, asynchronous (unsignalled) singles, and doorbell
+// batches — goes through this one function, so they all share one cost
+// model and one stat-accounting convention.
+func (n *Node) issueOp(op *BatchOp) int64 {
+	var bytes int
+	switch op.Kind {
+	case BatchRead:
+		n.check(op.Addr, op.Len)
+		n.Stats.Reads++
+		n.Stats.ReadBytes += int64(op.Len)
+		bytes = op.Len
+	case BatchWrite:
+		n.check(op.Addr, len(op.Data))
+		n.Stats.Writes++
+		n.Stats.WriteBytes += int64(len(op.Data))
+		bytes = len(op.Data)
+	case BatchCAS:
+		n.check(op.Addr, 8)
+		n.Stats.CASes++
+		bytes = 8
+	case BatchFAA:
+		n.check(op.Addr, 8)
+		n.Stats.FAAs++
+		bytes = 8
+	default:
+		panic(fmt.Sprintf("rdma: unknown batch op kind %d", op.Kind))
+	}
+	return n.nic.Acquire(n.msgSvc(bytes))
+}
+
+// applyOp performs one issued verb's effect and fills its completion.
+// Effects take hold when this runs — at completion time for synchronous
+// and batched verbs (the caller slept first), immediately for
+// asynchronous ones.
+func (n *Node) applyOp(op *BatchOp, res *BatchResult) {
+	switch op.Kind {
+	case BatchRead:
+		out := make([]byte, op.Len)
+		copy(out, n.mem[op.Addr:op.Addr+uint64(op.Len)])
+		res.Data = out
+	case BatchWrite:
+		copy(n.mem[op.Addr:op.Addr+uint64(len(op.Data))], op.Data)
+	case BatchCAS:
+		old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
+		res.Old = old
+		if old == op.Expect {
+			binary.LittleEndian.PutUint64(n.mem[op.Addr:], op.Swap)
+			res.Swapped = true
+		}
+	case BatchFAA:
+		old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
+		res.Old = old
+		binary.LittleEndian.PutUint64(n.mem[op.Addr:], old+op.Delta)
+	}
+}
+
 // PostBatch posts N verbs with ONE RNIC doorbell and waits for all of
 // their completions. This is the doorbell-batching cost model: every verb
 // still consumes RNIC capacity (the message rate binds exactly as for
@@ -323,59 +348,66 @@ func (e *Endpoint) PostBatch(ops []BatchOp) []BatchResult {
 	n.Stats.BatchedVerbs += int64(len(ops))
 	var last int64
 	for i := range ops {
-		op := &ops[i]
-		var bytes int
-		switch op.Kind {
-		case BatchRead:
-			n.check(op.Addr, op.Len)
-			n.Stats.Reads++
-			n.Stats.ReadBytes += int64(op.Len)
-			bytes = op.Len
-		case BatchWrite:
-			n.check(op.Addr, len(op.Data))
-			n.Stats.Writes++
-			n.Stats.WriteBytes += int64(len(op.Data))
-			bytes = len(op.Data)
-		case BatchCAS:
-			n.check(op.Addr, 8)
-			n.Stats.CASes++
-			bytes = 8
-		case BatchFAA:
-			n.check(op.Addr, 8)
-			n.Stats.FAAs++
-			bytes = 8
-		default:
-			panic(fmt.Sprintf("rdma: unknown batch op kind %d", op.Kind))
-		}
-		if end := n.nic.Acquire(n.msgSvc(bytes)); end > last {
+		if end := n.issueOp(&ops[i]); end > last {
 			last = end
 		}
 	}
 	e.p.SleepUntil(last + n.cfg.RTT)
 	res := make([]BatchResult, len(ops))
 	for i := range ops {
-		op := &ops[i]
-		switch op.Kind {
-		case BatchRead:
-			out := make([]byte, op.Len)
-			copy(out, n.mem[op.Addr:op.Addr+uint64(op.Len)])
-			res[i].Data = out
-		case BatchWrite:
-			copy(n.mem[op.Addr:op.Addr+uint64(len(op.Data))], op.Data)
-		case BatchCAS:
-			old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
-			res[i].Old = old
-			if old == op.Expect {
-				binary.LittleEndian.PutUint64(n.mem[op.Addr:], op.Swap)
-				res[i].Swapped = true
-			}
-		case BatchFAA:
-			old := binary.LittleEndian.Uint64(n.mem[op.Addr:])
-			res[i].Old = old
-			binary.LittleEndian.PutUint64(n.mem[op.Addr:], old+op.Delta)
-		}
+		n.applyOp(&ops[i], &res[i])
 	}
 	return res
+}
+
+// EndpointBatch is one endpoint's share of a multi-endpoint doorbell
+// round: the ops to post on that endpoint's queue pair.
+type EndpointBatch struct {
+	EP  *Endpoint
+	Ops []BatchOp
+}
+
+// PostMulti posts one doorbell batch per entry and overlaps the round
+// trips ACROSS endpoints as well as within each batch: queue pairs to
+// different nodes are independent, so all verbs are issued up front and
+// the caller sleeps once, until the latest completion (per-node RTTs may
+// differ). Effects apply in posting order, batches in entry order. Every
+// endpoint must belong to the same process — the caller's.
+func PostMulti(batches []EndpointBatch) [][]BatchResult {
+	var p *sim.Proc
+	var last int64
+	for _, b := range batches {
+		if len(b.Ops) == 0 {
+			continue
+		}
+		n := b.EP.node
+		if p == nil {
+			p = b.EP.p
+		} else if p != b.EP.p {
+			panic("rdma: PostMulti endpoints span processes")
+		}
+		n.Stats.DoorbellBatches++
+		n.Stats.BatchedVerbs += int64(len(b.Ops))
+		for i := range b.Ops {
+			if end := n.issueOp(&b.Ops[i]) + n.cfg.RTT; end > last {
+				last = end
+			}
+		}
+	}
+	if p == nil {
+		return make([][]BatchResult, len(batches))
+	}
+	p.SleepUntil(last)
+	out := make([][]BatchResult, len(batches))
+	for bi, b := range batches {
+		n := b.EP.node
+		res := make([]BatchResult, len(b.Ops))
+		for i := range b.Ops {
+			n.applyOp(&b.Ops[i], &res[i])
+		}
+		out[bi] = res
+	}
+	return out
 }
 
 // RPC sends a request to the MN controller and returns its reply. The
