@@ -102,6 +102,14 @@ func Algorithms() []string { return cachealgo.Names() }
 // readable (Gets are forwarded to a key's old owner until its copy has
 // moved). Use Resharding/WaitReshard to observe migration progress, and
 // GrowCache/ShrinkCache for pool-wide byte-granular elasticity.
+//
+// EnableHotKeyReplication relieves zipfian skew: keys whose hit
+// frequency crosses a threshold are copied to their ring-successor
+// nodes and their reads spread across all copies, while writes stay
+// linearizable — under a per-key lock, a write first invalidates the
+// replica copies, then publishes on the primary, then re-materializes
+// them, so a spreadable replica only ever holds the current value or
+// nothing. Call it before creating clients.
 type MultiCluster = core.MultiCluster
 
 // MultiClient routes operations to the memory node owning each key and

@@ -39,7 +39,12 @@ var jsonWrittenBy string
 
 // writeJSONSummary writes a scenario's summary to JSONPath (when set)
 // and notes it on w — the one artifact convention shared by every
-// scenario that supports -json.
+// scenario that supports -json. A path already holding a DIFFERENT
+// scenario's artifact (from an earlier invocation) is refused with an
+// error instead of silently clobbering it: BENCH_*.json files seed the
+// perf trajectory, and overwriting, say, BENCH_reshard.json with a
+// hotspot summary would leave a stale artifact under a misleading name.
+// Re-running the same scenario refreshes its artifact in place.
 func writeJSONSummary(w io.Writer, payload map[string]interface{}) error {
 	if JSONPath == "" {
 		return nil
@@ -52,6 +57,9 @@ func writeJSONSummary(w io.Writer, payload map[string]interface{}) error {
 	} else {
 		jsonWrittenBy = scenario
 	}
+	if err := refuseForeignArtifact(path, scenario); err != nil {
+		return err
+	}
 	blob, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return err
@@ -60,6 +68,28 @@ func writeJSONSummary(w io.Writer, payload map[string]interface{}) error {
 		return err
 	}
 	fmt.Fprintf(w, "json summary written to %s\n", path)
+	return nil
+}
+
+// refuseForeignArtifact returns an error when path already holds a JSON
+// summary whose "scenario" differs from scenario. A missing file, an
+// unreadable file, or one with no scenario field (not one of ours) does
+// not block the write.
+func refuseForeignArtifact(path, scenario string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil // nothing there (or unreadable): nothing to clobber
+	}
+	var existing struct {
+		Scenario string `json:"scenario"`
+	}
+	if json.Unmarshal(blob, &existing) != nil || existing.Scenario == "" {
+		return nil
+	}
+	if existing.Scenario != scenario {
+		return fmt.Errorf("bench: refusing to overwrite %s: it holds scenario %q, not %q (delete it or pass a different -json path)",
+			path, existing.Scenario, scenario)
+	}
 	return nil
 }
 

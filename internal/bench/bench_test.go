@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		}
 	}
 	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn",
-		"elastic-reshard", "batched-throughput"}
+		"elastic-reshard", "batched-throughput", "hotspot"}
 	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("extra experiment %s missing from registry", id)
@@ -205,5 +206,84 @@ func TestBatchedThroughputSpeedup(t *testing.T) {
 	if sp := batched.Mops() / seq.Mops(); sp < 3 {
 		t.Fatalf("MGet(32) speedup = %.2fx, want >= 3x (seq %.3f Mops, batched %.3f Mops)",
 			sp, seq.Mops(), batched.Mops())
+	}
+}
+
+// TestHotspotReplicationSpeedup pins the hotspot scenario's headline
+// claim at quick-scale parameters: on the heavy-tailed zipf workload,
+// hot-key replication must at least double read throughput over
+// unreplicated ring routing and flatten the per-node read imbalance.
+// The sim is deterministic, so these are exact regression bounds, not
+// flaky performance assertions.
+func TestHotspotReplicationSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario")
+	}
+	unrep, unrepImb, _ := runHotspot(1.6, false, 2048, 48, 1500, 0)
+	rep, repImb, mc := runHotspot(1.6, true, 2048, 48, 1500, 0)
+	if sp := rep.Mops() / unrep.Mops(); sp < 2 {
+		t.Fatalf("replication speedup = %.2fx, want >= 2x (unrep %.3f Mops, rep %.3f Mops)",
+			sp, unrep.Mops(), rep.Mops())
+	}
+	if unrepImb < 1.5 {
+		t.Fatalf("unreplicated imbalance = %.2f: the workload is not skewed enough to test spreading", unrepImb)
+	}
+	if repImb > 1.2 {
+		t.Fatalf("replicated imbalance = %.2f, want near 1 (spreading not working)", repImb)
+	}
+	if mc.Promotions == 0 || mc.SpreadReads == 0 {
+		t.Fatalf("replication never engaged: promotions=%d spread=%d", mc.Promotions, mc.SpreadReads)
+	}
+	// The write-mix shape: every hot write suspends its key's spreading
+	// for the write's span, so the speedup shrinks but must remain a
+	// clear win over unreplicated routing.
+	unrepW, _, _ := runHotspot(1.6, false, 2048, 48, 1500, 20)
+	repW, _, mcW := runHotspot(1.6, true, 2048, 48, 1500, 20)
+	if sp := repW.Mops() / unrepW.Mops(); sp < 1.3 {
+		t.Fatalf("mixed-write replication speedup = %.2fx, want >= 1.3x", sp)
+	}
+	if mcW.SpreadReads == 0 {
+		t.Fatal("mixed-write run never spread a read")
+	}
+}
+
+// TestJSONRefusesForeignOverwrite pins the -json clobber guard: a path
+// holding a different scenario's artifact must be refused with a clear
+// error, while re-running the same scenario refreshes it in place.
+func TestJSONRefusesForeignOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_a.json"
+	defer func() { JSONPath, jsonWrittenBy = "", "" }()
+
+	JSONPath, jsonWrittenBy = path, ""
+	var buf bytes.Buffer
+	if err := writeJSONSummary(&buf, map[string]interface{}{"scenario": "aaa", "x": 1}); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// Same scenario, fresh invocation: refresh in place.
+	JSONPath, jsonWrittenBy = path, ""
+	if err := writeJSONSummary(&buf, map[string]interface{}{"scenario": "aaa", "x": 2}); err != nil {
+		t.Fatalf("same-scenario refresh refused: %v", err)
+	}
+	// Different scenario, fresh invocation: must refuse, artifact intact.
+	JSONPath, jsonWrittenBy = path, ""
+	err := writeJSONSummary(&buf, map[string]interface{}{"scenario": "bbb"})
+	if err == nil || !strings.Contains(err.Error(), "refusing to overwrite") {
+		t.Fatalf("foreign overwrite not refused: %v", err)
+	}
+	blob, rerr := os.ReadFile(path)
+	if rerr != nil || !strings.Contains(string(blob), `"aaa"`) || !strings.Contains(string(blob), `"x": 2`) {
+		t.Fatalf("artifact damaged by refused write: %s", blob)
+	}
+	// Within one -all run the suffixing convention still applies: the
+	// second scenario diverts to its own file rather than erroring.
+	if err := writeJSONSummary(&buf, map[string]interface{}{"scenario": "aaa", "x": 3}); err != nil {
+		t.Fatalf("registered-scenario rewrite: %v", err)
+	}
+	if err := writeJSONSummary(&buf, map[string]interface{}{"scenario": "ccc"}); err != nil {
+		t.Fatalf("multi-scenario run diverted write failed: %v", err)
+	}
+	if _, err := os.Stat(dir + "/BENCH_a-ccc.json"); err != nil {
+		t.Fatalf("diverted artifact missing: %v", err)
 	}
 }

@@ -53,6 +53,8 @@ var Experiments = map[string]Experiment{
 	"elastic-reshard": {ElasticReshard, "Elastic scale-out 2→4 MNs with live resharding, serial vs doorbell resharder (hit rate, throughput, reshard time)"},
 	// Doorbell-batched multi-key pipeline (MGet/MSet) — extension.
 	"batched-throughput": {BatchedThroughput, "Doorbell-batched MGet/MSet vs sequential ops across batch sizes 1/8/32/128 (YCSB-C and mixed)"},
+	// Hot-key replication with load-aware read spreading — extension.
+	"hotspot": {Hotspot, "Hot-key replication on a zipfian read-heavy workload, 4 MNs: throughput and per-node read imbalance, replicated vs unreplicated"},
 }
 
 // IDs returns the experiment IDs in a stable order.

@@ -82,6 +82,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		c.touchOnHit(pl.slot, pl.dec, len(keys[i]))
 		c.Stats.Gets++
 		c.Stats.Hits++
+		c.cl.ServedReads++
 		vals[i] = append([]byte(nil), pl.dec.value...)
 		oks[i] = true
 		c.report(OpGet, start, true)
@@ -102,6 +103,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		}
 		c.Stats.Gets++
 		c.Stats.Misses++
+		c.cl.ServedReads++
 		if c.adapt != nil {
 			c.collectRegrets(pl.histMatches)
 			if c.cl.opts.DisableLWH {

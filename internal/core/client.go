@@ -63,6 +63,12 @@ type Client struct {
 	// OnOp, when non-nil, observes every completed Get/Set with its
 	// virtual-time latency; benchmark harnesses install collectors here.
 	OnOp func(op OpKind, latency int64, hit bool)
+
+	// onHit, when non-nil, observes every hit with the key's logical
+	// frequency (noteHit's convention: remote snapshot + pending FC-cache
+	// delta + this hit). MultiClient installs it as the hot-key promotion
+	// signal; the hook must not issue verbs (it runs inside the hit path).
+	onHit func(key []byte, freq uint64)
 }
 
 // OpKind labels operations for OnOp.
@@ -156,6 +162,7 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 			c.touchOnHit(pl.slot, pl.dec, len(key))
 			c.Stats.Gets++
 			c.Stats.Hits++
+			c.cl.ServedReads++
 			val := append([]byte(nil), pl.dec.value...)
 			c.report(OpGet, start, true)
 			return val, true
@@ -170,6 +177,7 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	}
 	c.Stats.Gets++
 	c.Stats.Misses++
+	c.cl.ServedReads++
 	if c.adapt != nil {
 		c.collectRegrets(pl.histMatches)
 		if c.cl.opts.DisableLWH {
@@ -224,6 +232,9 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 			a.UpdateExt(&meta, now)
 		}
 		c.ep.WriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
+	}
+	if c.onHit != nil {
+		c.onHit(dec.key, freq)
 	}
 }
 

@@ -108,6 +108,13 @@ type Cluster struct {
 	// expert is configured).
 	WeightSvc *adaptive.Service
 
+	// ServedReads counts the read operations this memory node actually
+	// served (hits — including forwarding-window and read-spread probe
+	// hits — plus counted misses). It is the per-node load signal the
+	// hotspot bench reports: under hot-key replication, read spreading
+	// shifts ServedReads from a key's primary owner to its replicas.
+	ServedReads int64
+
 	histSize int
 	extSizes []int // per-expert extension bytes (from a prototype instance)
 	totalExt int

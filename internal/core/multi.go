@@ -6,6 +6,7 @@ import (
 
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
+	"ditto/internal/hotset"
 	"ditto/internal/ring"
 	"ditto/internal/sim"
 )
@@ -68,6 +69,33 @@ type MultiCluster struct {
 	Reshards     int64
 	MigratedKeys int64
 	ReshardNs    int64
+
+	// Hot-key replication (replica.go). hot is nil until
+	// EnableHotKeyReplication is called; every knob and counter below is
+	// inert while it is.
+	hot *hotset.Set
+
+	// HotThreshold is the hit frequency at which a key is promoted into
+	// the replicated set; ReplicaFactor is R, the number of ring-successor
+	// nodes a promoted key's value is copied to beyond its primary owner.
+	// Both are set by EnableHotKeyReplication.
+	HotThreshold  uint64
+	ReplicaFactor int
+
+	// ReplicaStrategy selects how replica fan-out verb plans (copy
+	// materialization, write-through updates, invalidations) execute:
+	// exec.Doorbell (the default) posts the fan-out as one doorbell batch
+	// across the replica endpoints; exec.Serial issues one verb per round
+	// trip. Results are identical — a plan that hits a complication is
+	// demoted to the serial retry path either way.
+	ReplicaStrategy exec.Strategy
+
+	// Promotions and Demotions count replicated-set membership changes;
+	// SpreadReads counts reads served by a replica instead of the
+	// primary — the work the replication layer moved off hot nodes.
+	Promotions  int64
+	Demotions   int64
+	SpreadReads int64
 }
 
 // NewMultiCluster creates n memory nodes, each provisioned with opts
@@ -91,6 +119,7 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 		draining:        -1,
 		done:            sim.NewCond(env),
 		ReshardStrategy: exec.Doorbell,
+		ReplicaStrategy: exec.Doorbell,
 	}
 	for i := 0; i < n; i++ {
 		id := mc.provision()
@@ -191,6 +220,20 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 	mc.Env.Go("resharder", func(p *sim.Proc) {
 		start := p.Now()
 		m := mc.NewClient(p)
+		// Dissolve the hot-key replica sets BEFORE scanning anything: the
+		// migrate plan's insert-if-absent treats any existing destination
+		// copy as "newer by construction", which replica copies violate —
+		// a scanned replica copy migrated into a key's new owner would
+		// make the real primary copy look like a duplicate (its removal
+		// would then be a lost write), and on RemoveNode a replica copy
+		// promoted to primary-by-migration would afterwards be deleted by
+		// its own entry's demotion. Demoting everything first (promotion
+		// is refused while the window is open, and an in-flight promotion
+		// self-demotes on the epoch change, so the directory stays empty)
+		// means the scan only ever sees single copies.
+		if mc.hot != nil {
+			m.demoteAll()
+		}
 		var inserts []migratedCopy
 		for pass := 0; pass < maxReshardPasses; pass++ {
 			pending := int64(0)
@@ -511,21 +554,36 @@ func (mc *MultiCluster) ShrinkCache(bytes int) {
 // MultiClient routes operations to the MN owning each key. During a
 // reshard it serves the forwarding window: Gets that miss on a key's new
 // owner retry on its old owner, Sets go to the new owner only, Deletes
-// clear the old copy before the new one.
+// clear the old copy before the new one. With hot-key replication
+// enabled (replica.go) it additionally spreads reads of promoted keys
+// across the primary and its replicas, and writes through to every copy.
 type MultiClient struct {
 	mc      *MultiCluster
 	p       *sim.Proc
 	clients map[int]*Client
+	promo   [][]byte // hot-key promotion candidates queued by the hit hook
 }
 
 // NewClient connects process p to every current memory node; connections
-// to nodes added later are opened lazily on first use.
+// to nodes added later are opened lazily on first use. Enable hot-key
+// replication (EnableHotKeyReplication) before creating clients: the
+// promotion signal is installed at connection time.
 func (mc *MultiCluster) NewClient(p *sim.Proc) *MultiClient {
 	m := &MultiClient{mc: mc, p: p, clients: make(map[int]*Client)}
 	for _, id := range mc.order {
-		m.clients[id] = mc.nodes[id].NewClient(p)
+		m.clients[id] = m.connect(mc.nodes[id])
 	}
 	return m
+}
+
+// connect opens one per-MN client, wiring the hot-key promotion hook
+// when replication is enabled.
+func (m *MultiClient) connect(cl *Cluster) *Client {
+	c := cl.NewClient(m.p)
+	if m.mc.hot != nil {
+		c.onHit = m.noteHotCandidate
+	}
+	return c
 }
 
 // clientFor returns the per-MN client for node id, connecting lazily. It
@@ -538,7 +596,7 @@ func (m *MultiClient) clientFor(id int) *Client {
 	if !ok {
 		return nil
 	}
-	c := cl.NewClient(m.p)
+	c := m.connect(cl)
 	m.clients[id] = c
 	return c
 }
@@ -562,8 +620,23 @@ func (m *MultiClient) owner(key []byte) (cur, old int) {
 
 // Get fetches key from its owning MN. During a reshard a miss on the new
 // owner is retried on the old owner, so a key in flight between MNs is
-// always observable from one of the two.
+// always observable from one of the two. When hot-key replication is on,
+// a promoted key's read may instead be served by one of its replicas
+// (getSpread in replica.go); a replica miss falls back to the routed
+// path below, so spreading never turns a present key into a miss.
 func (m *MultiClient) Get(key []byte) ([]byte, bool) {
+	if m.mc.hot != nil {
+		m.drainPromotions()
+		if v, ok, served := m.getSpread(key); served {
+			return v, ok
+		}
+	}
+	return m.getRouted(key)
+}
+
+// getRouted is the unreplicated Get path: route to the ring owner, serve
+// the forwarding window during a reshard.
+func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
 	for attempt := 0; ; attempt++ {
 		epoch := m.mc.epoch
 		cur, old := m.owner(key)
@@ -618,7 +691,9 @@ func (m *MultiClient) Get(key []byte) ([]byte, bool) {
 // still in the pool. A Get that returns false must always increment
 // Gets and Misses on SOME client — dropping it (as happened when the
 // forwarding window closed around a just-removed node) silently inflated
-// the aggregate hit rate.
+// the aggregate hit rate. The miss also counts toward that node's
+// ServedReads, keeping the per-node load ledger consistent with the
+// non-windowed miss path.
 func (m *MultiClient) countMiss(cur, old int) {
 	c := m.clientFor(cur)
 	if c == nil && old >= 0 {
@@ -634,6 +709,7 @@ func (m *MultiClient) countMiss(cur, old int) {
 	if c != nil {
 		c.Stats.Gets++
 		c.Stats.Misses++
+		c.cl.ServedReads++
 	}
 }
 
@@ -649,9 +725,18 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 	if len(keys) == 0 {
 		return vals, oks
 	}
-	pending := make([]int, len(keys))
-	for i := range keys {
-		pending[i] = i
+	var pending []int
+	if m.mc.hot != nil {
+		// Replicated keys spread to their rotation-chosen replicas first
+		// (batched silent probes, replica.go); whatever misses — plus
+		// every unreplicated key — continues through the routed path.
+		m.drainPromotions()
+		pending = m.mgetSpread(keys, vals, oks)
+	} else {
+		pending = make([]int, len(keys))
+		for i := range keys {
+			pending[i] = i
+		}
 	}
 	for attempt := 0; ; attempt++ {
 		epoch := m.mc.epoch
@@ -747,14 +832,54 @@ func (m *MultiClient) mgetGroup(owner int, idxs []int, keys, vals [][]byte, oks 
 
 // MSet stores a batch of pairs: one doorbell-batched MSet per owning MN.
 // During a reshard each windowed key's pre-reshard copy is deleted from
-// its old owner after the write lands, exactly as Set does per key. The
-// reshard's straggler-pass safety net assumes a write's routing decision
-// is at most one operation's span stale; a multi-group batch could
-// stretch that arbitrarily, so the epoch is re-checked before each group
-// and the remaining pairs re-route serially after a mid-batch ring
-// switch — the residual window is then one group's span, the same bound
-// a serial Set has.
+// its old owner after the write lands, exactly as Set does per key.
+// Replicated keys are peeled off first and written through Set's
+// replicated path one by one (hot keys are read-heavy by definition, so
+// a batch rarely carries more than a few); the batch semantics of the
+// rest are unchanged.
 func (m *MultiClient) MSet(pairs []KV) {
+	if len(pairs) == 0 {
+		return
+	}
+	if m.mc.hot != nil {
+		m.drainPromotions()
+		// One atomic pass (no verbs): peel off currently-replicated pairs
+		// and register the rest, so a promotion published after this
+		// instant either sees the registration or is found by m.Set.
+		rest := make([]KV, 0, len(pairs))
+		var hot []KV
+		for _, kv := range pairs {
+			if m.mc.hot.Lookup(kv.Key) != nil {
+				hot = append(hot, kv)
+			} else {
+				m.mc.hot.BeginWrite(kv.Key)
+				rest = append(rest, kv)
+			}
+		}
+		for _, kv := range hot {
+			m.Set(kv.Key, kv.Value)
+		}
+		m.msetDirect(rest)
+		// Promotions racing the batch may have snapshotted pre-write
+		// values: repair every just-written key's entry, as Set does,
+		// each before its own unregistration.
+		for i := range rest {
+			m.resyncAfterWrite(rest[i].Key)
+			m.mc.hot.EndWrite(rest[i].Key)
+		}
+		return
+	}
+	m.msetDirect(pairs)
+}
+
+// msetDirect is the unreplicated MSet path. The reshard's straggler-pass
+// safety net assumes a write's routing decision is at most one
+// operation's span stale; a multi-group batch could stretch that
+// arbitrarily, so the epoch is re-checked before each group and the
+// remaining pairs re-route serially after a mid-batch ring switch — the
+// residual window is then one group's span, the same bound a serial Set
+// has.
+func (m *MultiClient) msetDirect(pairs []KV) {
 	if len(pairs) == 0 {
 		return
 	}
@@ -812,14 +937,39 @@ func sortedNodeIDs[V any](m map[int]V) []int {
 	return ids
 }
 
-// Set stores key on its owning MN. During a reshard the new owner gets
-// the write and any pre-reshard copy on the old owner is deleted, so a
-// later eviction of the fresh value cannot let the resharder resurrect
-// the superseded one. (The resharder's source CAS fails once the old
-// copy is gone, and its insert-if-absent never overwrites the write; a
-// write racing a migrated insert into a different slot may be shadowed
-// until the reshard's verification sweep — see the package comment.)
+// Set stores key on its owning MN. When the key is replicated, the write
+// goes through the primary first and then updates every replica before
+// returning (setReplicated in replica.go), all under the key's entry
+// lock — so after any completed Set, every copy a spread read can reach
+// holds the written value. A write that found no entry runs unreplicated
+// and registered (BeginWrite, atomically with the nil lock result), and
+// repairs any entry a racing promotion published meanwhile
+// (resyncAfterWrite) before unregistering and returning.
 func (m *MultiClient) Set(key, value []byte) {
+	if m.mc.hot == nil {
+		m.setDirect(key, value)
+		return
+	}
+	m.drainPromotions()
+	if e := m.mc.hot.Lock(m.p, key); e != nil {
+		m.setReplicated(e, key, value)
+		return
+	}
+	m.mc.hot.BeginWrite(key)
+	m.setDirect(key, value)
+	m.resyncAfterWrite(key)
+	m.mc.hot.EndWrite(key)
+}
+
+// setDirect is the unreplicated Set path. During a reshard the new owner
+// gets the write and any pre-reshard copy on the old owner is deleted,
+// so a later eviction of the fresh value cannot let the resharder
+// resurrect the superseded one. (The resharder's source CAS fails once
+// the old copy is gone, and its insert-if-absent never overwrites the
+// write; a write racing a migrated insert into a different slot may be
+// shadowed until the reshard's verification sweep — see the package
+// comment.)
+func (m *MultiClient) setDirect(key, value []byte) {
 	cur, old := m.owner(key)
 	c := m.clientFor(cur)
 	if c == nil {
@@ -837,13 +987,35 @@ func (m *MultiClient) Set(key, value []byte) {
 	}
 }
 
-// Delete removes key from its owning MN. During a reshard both owners are
-// cleared, old copy first — that ordering, combined with the resharder's
-// verify-then-undo CAS discipline, ensures a racing migration cannot
-// durably resurrect the deleted key (the dead value may flicker back for
-// the few verb round trips between the resharder's insert and its undo,
-// but never outlives the reshard).
+// Delete removes key from its owning MN. A replicated key is demoted
+// first — its replicas are invalidated under the entry lock BEFORE the
+// primary copy is cleared, so no spread read can hit a replica after the
+// delete returns — and the span is registered like an unreplicated
+// write, so a promotion racing the delete publishes warming and is then
+// repaired before returning: resyncAfterWrite finds the primary gone
+// and demotes the entry.
 func (m *MultiClient) Delete(key []byte) bool {
+	if m.mc.hot == nil {
+		return m.deleteDirect(key)
+	}
+	e := m.mc.hot.Lock(m.p, key)
+	m.mc.hot.BeginWrite(key)
+	if e != nil {
+		m.demoteLocked(e)
+	}
+	ok := m.deleteDirect(key)
+	m.resyncAfterWrite(key)
+	m.mc.hot.EndWrite(key)
+	return ok
+}
+
+// deleteDirect is the unreplicated Delete path. During a reshard both
+// owners are cleared, old copy first — that ordering, combined with the
+// resharder's verify-then-undo CAS discipline, ensures a racing
+// migration cannot durably resurrect the deleted key (the dead value may
+// flicker back for the few verb round trips between the resharder's
+// insert and its undo, but never outlives the reshard).
+func (m *MultiClient) deleteDirect(key []byte) bool {
 	cur, old := m.owner(key)
 	deleted := false
 	if old >= 0 {
@@ -860,15 +1032,38 @@ func (m *MultiClient) Delete(key []byte) bool {
 }
 
 // MDelete removes a batch of keys: one doorbell-batched MDelete per
-// owning MN. During a reshard each windowed key is also cleared on its
-// old owner FIRST, batched per old owner, preserving Delete's per-key
-// ordering (old copy before current copy) so a racing migration cannot
-// durably resurrect a deleted key. Like MSet, the epoch is re-checked
-// before each group: after a mid-batch ring switch every remaining
-// routing decision is stale, so the rest re-routes per key — otherwise a
-// key migrated to a new owner between routing and issue would survive
-// its own deletion.
+// owning MN. Replicated keys are demoted first (replicas invalidated
+// before any primary copy is cleared), the whole batch is registered,
+// and raced promotions are repaired after, per key, exactly as Delete
+// does.
 func (m *MultiClient) MDelete(keys [][]byte) []bool {
+	if m.mc.hot == nil {
+		return m.mdeleteDirect(keys)
+	}
+	for _, k := range keys {
+		e := m.mc.hot.Lock(m.p, k)
+		m.mc.hot.BeginWrite(k)
+		if e != nil {
+			m.demoteLocked(e)
+		}
+	}
+	out := m.mdeleteDirect(keys)
+	for _, k := range keys {
+		m.resyncAfterWrite(k)
+		m.mc.hot.EndWrite(k)
+	}
+	return out
+}
+
+// mdeleteDirect is the unreplicated MDelete path. During a reshard each
+// windowed key is also cleared on its old owner FIRST, batched per old
+// owner, preserving Delete's per-key ordering (old copy before current
+// copy) so a racing migration cannot durably resurrect a deleted key.
+// Like MSet, the epoch is re-checked before each group: after a
+// mid-batch ring switch every remaining routing decision is stale, so
+// the rest re-routes per key — otherwise a key migrated to a new owner
+// between routing and issue would survive its own deletion.
+func (m *MultiClient) mdeleteDirect(keys [][]byte) []bool {
 	out := make([]bool, len(keys))
 	if len(keys) == 0 {
 		return out

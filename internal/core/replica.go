@@ -1,0 +1,507 @@
+package core
+
+// Hot-key replication with load-aware read spreading.
+//
+// The consistent-hash ring (internal/ring) maps every key to exactly one
+// memory node, so a zipfian workload saturates the node owning the hot
+// tail while its peers idle. This layer relieves that skew with the
+// hotness signal Ditto's clients already maintain (§4.2.2/§4.3): when a
+// hit's logical frequency — remote snapshot + pending FC-cache delta +
+// this hit, the accounting convention shared by noteHit/updateExt —
+// crosses MultiCluster.HotThreshold, the key is PROMOTED: its value is
+// materialized on the R ring-successor nodes of its primary owner
+// (ring.OwnersN) and recorded in the cluster-shared hot-key directory
+// (internal/hotset). Reads of a promoted key then rotate across the
+// primary and its replicas (spreading the RNIC load 1/(1+R)); writes go
+// through the primary first and then update every replica with
+// publish-CAS-ordered verb plans — the same setPlan/delPlan declared in
+// plan.go — executed under MultiCluster.ReplicaStrategy (exec.Serial or
+// exec.Doorbell, identical results).
+//
+// Observable equivalence with the unreplicated cache rests on one
+// invariant: AFTER ANY COMPLETED WRITE, EVERY COPY A SPREAD READ CAN
+// REACH EQUALS THAT WRITE. It is maintained by:
+//
+//   - Per-key write serialization: writers and maintainers hold the
+//     hotset entry lock across primary write + replica fan-out, so
+//     replica update order cannot diverge across concurrent writers.
+//   - Invalidate-first write-through: a replicated write, under the
+//     entry lock, DELETES every replica copy before its primary
+//     publishing CAS and only then re-materializes them. A spreadable
+//     replica therefore only ever holds the primary's current value or
+//     nothing (a probe miss falls back to the primary): once a reader
+//     has seen a new value from any copy, no copy can serve the old one
+//     — reads stay monotonic with no reader-side locking. Without the
+//     invalidation, a reader could see the primary's new value and then
+//     a not-yet-updated replica's old one mid-fan-out: a non-monotonic
+//     pair no single-copy cache can produce.
+//   - Write-repair + warming: a writer that found NO entry runs
+//     unreplicated but REGISTERED (hotset.BeginWrite — pure
+//     bookkeeping, nothing ever blocks on it, so promotion cannot
+//     starve even when hot keys always have writes in flight), then
+//     re-checks the directory after its publishing CAS and, if an entry
+//     appeared meanwhile, repairs it before returning: re-read the
+//     primary under the entry lock and push its CURRENT value (not the
+//     writer's own — concurrent repairs then converge regardless of
+//     lock order) to every replica. The registry closes the divergence
+//     window the lock cannot see: promotion publishes its entry as
+//     WARMING when any registered write is in flight at publish time,
+//     readers refuse to spread from warming entries, and the entry
+//     turns spreadable only when a repair or replicated fan-out
+//     completes with no other registered writer left — a lock-held
+//     moment at which every copy provably equals the primary, after
+//     which unreplicated writers can no longer exist (any new writer
+//     finds the entry and goes through the lock). Entries are BORN
+//     warming: materialization itself is a fan-out over copies readers
+//     must not spread to yet.
+//   - Epoch staleness: entries record the routing epoch of promotion. A
+//     ring switch bumps the epoch, so readers refuse to spread from
+//     stale entries and writers demote them on first touch. Promotions
+//     are refused while a reshard window is open, an in-flight
+//     promotion self-demotes on the epoch change, and the resharder
+//     demotes every entry — dissolving every replica copy — BEFORE its
+//     migration scan begins (demoteAll), so the scan only ever
+//     encounters single copies: a replica copy reaching the scan could
+//     make the authoritative primary copy look like a migration
+//     duplicate and get it garbage-collected.
+//
+// Demotion is load-aware in the other direction too: replication pays
+// 1+R writes per Set, so an entry whose write count overtakes its spread
+// reads (demoteMinWrites/demoteWriteReadRatio) is dropped, and the
+// directory evicts its least-recently-read entry when full. A replica
+// miss (copy not yet materialized, or evicted) silently falls back to
+// the primary — spreading can never turn a present key into a miss.
+
+import (
+	"ditto/internal/exec"
+	"ditto/internal/hashtable"
+	"ditto/internal/hotset"
+	"ditto/internal/ring"
+)
+
+// defaultMaxHotKeys bounds the hot-key directory when
+// EnableHotKeyReplication is given no explicit capacity. The hot tail of
+// a zipfian workload is short — a few hundred keys cover most of the
+// skewed mass — and every entry costs 1+R object copies of heap.
+const defaultMaxHotKeys = 256
+
+// promoQueueCap bounds the per-operation promotion candidate queue; hits
+// beyond it re-candidate on a later operation.
+const promoQueueCap = 16
+
+// Write-heavy demotion: an entry is dropped once it has absorbed at
+// least demoteMinWrites write-throughs AND its writes exceed
+// demoteWriteReadRatio times its spread reads since promotion — at that
+// point the 1+R-copy write fan-out costs more RNIC budget than read
+// spreading recovers.
+const (
+	demoteMinWrites      = 16
+	demoteWriteReadRatio = 2
+)
+
+// EnableHotKeyReplication turns on hot-key replication: keys whose hit
+// frequency reaches threshold are copied to the factor ring-successor
+// nodes of their primary owner and their reads spread across all copies.
+// maxHotKeys caps the directory (defaultMaxHotKeys when <= 0). Call it
+// before creating clients — the promotion signal is installed when a
+// client connects. Replication is usable on a single-node pool (it just
+// never promotes) and survives AddNode/RemoveNode: a ring switch demotes
+// every entry and still-hot keys re-promote under the new ring.
+func (mc *MultiCluster) EnableHotKeyReplication(factor int, threshold uint64, maxHotKeys int) {
+	if factor < 1 {
+		factor = 1
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	if maxHotKeys <= 0 {
+		maxHotKeys = defaultMaxHotKeys
+	}
+	mc.ReplicaFactor = factor
+	mc.HotThreshold = threshold
+	mc.hot = hotset.New(mc.Env, maxHotKeys)
+}
+
+// noteHotCandidate is the Client.onHit hook: it queues a key for
+// promotion when its observed hit frequency crosses the threshold. It
+// must not issue verbs (it runs inside the hit path), so the promotion
+// itself — which reads the value and materializes copies — is deferred
+// to drainPromotions at the next operation boundary.
+func (m *MultiClient) noteHotCandidate(key []byte, freq uint64) {
+	mc := m.mc
+	if freq < mc.HotThreshold || mc.oldRing != nil || mc.NumNodes() < 2 {
+		return
+	}
+	if mc.hot.Lookup(key) != nil || len(m.promo) >= promoQueueCap {
+		return
+	}
+	m.promo = append(m.promo, append([]byte(nil), key...))
+}
+
+// drainPromotions promotes every queued candidate. Called at the top of
+// Get/MGet/Set/MSet, so promotion verbs never extend the operation that
+// detected the hotness.
+func (m *MultiClient) drainPromotions() {
+	if len(m.promo) == 0 {
+		return
+	}
+	pending := m.promo
+	m.promo = nil
+	for _, k := range pending {
+		m.promote(k)
+	}
+}
+
+// promote materializes key's value on its ring-successor nodes and
+// publishes the hotset entry. The entry is inserted "born locked", so no
+// writer can interleave with materialization; unreplicated writes
+// already in flight are reconciled by their own write-repair re-check
+// (see the file comment). Promotion aborts when the key is gone (deleted
+// or evicted since the qualifying hit) and demotes itself when a ring
+// switch lands mid-materialization.
+func (m *MultiClient) promote(key []byte) {
+	mc := m.mc
+	if mc.oldRing != nil || mc.hot.Lookup(key) != nil {
+		return
+	}
+	// Capture the epoch BEFORE deriving the successor list: everything
+	// from here to Insert can yield (the victim demotions below issue
+	// verbs), and a ring switch in one of those yields must make the
+	// entry's final epoch check fail — an entry recording the
+	// post-switch epoch over pre-switch owners would evade both that
+	// check and the resharder's window-opening sweep, putting replica
+	// copies in front of the migration scan.
+	epoch := mc.epoch
+	owners := mc.hashRing.OwnersN(ring.Point(hashtable.KeyHash(key)), 1+mc.ReplicaFactor)
+	if len(owners) < 2 {
+		return // single-node pool: nothing to spread to
+	}
+	now := m.p.Now()
+	// Full directory: demote the least-recently-read entry to make room.
+	for mc.hot.Len() >= mc.hot.Limit() {
+		v := mc.hot.Victim()
+		if v == nil {
+			return // every entry under maintenance; retry on a later hit
+		}
+		if e := mc.hot.Lock(m.p, v.Key); e != nil {
+			m.demoteLocked(e)
+		}
+	}
+	// The demotions above may have yielded: re-validate before the
+	// atomic (yield-free) check-and-insert.
+	if mc.oldRing != nil || mc.epoch != epoch {
+		return
+	}
+	e := &hotset.Entry{
+		Key:      append([]byte(nil), key...),
+		Epoch:    epoch,
+		Primary:  owners[0],
+		Replicas: owners[1:],
+	}
+	e.Touch(now) // not Victim's immediate minimum before its first read
+	// Born warming: no reader may spread until materialization is
+	// complete AND no unreplicated write that could supersede the
+	// snapshot is in flight.
+	e.Warming = true
+	if !mc.hot.Insert(e) {
+		return // raced another promoter
+	}
+	val, ok := m.readQuiet(e.Primary, key)
+	if !ok {
+		mc.hot.Remove(e) // key vanished since the qualifying hit
+		return
+	}
+	m.updateReplicas(e, key, val)
+	if e.Epoch != mc.epoch {
+		// A reshard window opened mid-materialization: the copies sit on
+		// successors of a ring that is already being replaced. Take them
+		// back rather than publish a stale entry.
+		m.demoteLocked(e)
+		return
+	}
+	// An unreplicated write in flight right now may have published a
+	// value our snapshot predates: stay warming (readers won't spread)
+	// until that writer's repair — or a later replicated fan-out —
+	// observes write-quiescence and clears it.
+	e.Warming = mc.hot.InflightWrites(key) > 0
+	mc.hot.Unlock(e)
+	mc.Promotions++
+}
+
+// getSpread serves one read of a replicated key from its rotation-chosen
+// copy. served=false falls back to the routed (primary) path: the key is
+// not replicated, its entry is stale, the rotation chose the primary
+// itself, or the chosen replica missed (copy not yet materialized, or
+// evicted) — a replica miss is silent (getProbe), so the fall-back
+// counts exactly one logical operation, like an unreplicated Get.
+func (m *MultiClient) getSpread(key []byte) (val []byte, ok, served bool) {
+	mc := m.mc
+	e := mc.hot.Lookup(key)
+	if e == nil {
+		return nil, false, false
+	}
+	if e.Epoch != mc.epoch || mc.oldRing != nil {
+		m.demoteKey(key) // ring moved under the replica set
+		return nil, false, false
+	}
+	if e.Warming {
+		// Pre-entry writes may not have been repaired into the copies
+		// yet: serve through the primary until the entry validates.
+		e.NoteRead(m.p.Now())
+		return nil, false, false
+	}
+	target := e.ReadTarget(m.p.Now())
+	if target == e.Primary {
+		return nil, false, false
+	}
+	c := m.clientFor(target)
+	if c == nil {
+		return nil, false, false
+	}
+	if v, hit := c.getProbe(key); hit {
+		mc.SpreadReads++
+		return v, true, true
+	}
+	return nil, false, false
+}
+
+// mgetSpread is getSpread over a batch: replica-targeted keys are probed
+// with one batched stat-silent MGet per chosen node, hits fill
+// vals/oks, and every other index — unreplicated, stale-entry,
+// primary-targeted, or probe-missed — is returned for the routed path.
+func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int {
+	mc := m.mc
+	remaining := make([]int, 0, len(keys))
+	var groups map[int][]int
+	for i := range keys {
+		e := mc.hot.Lookup(keys[i])
+		if e == nil {
+			remaining = append(remaining, i)
+			continue
+		}
+		if e.Epoch != mc.epoch || mc.oldRing != nil {
+			m.demoteKey(keys[i])
+			remaining = append(remaining, i)
+			continue
+		}
+		if e.Warming {
+			e.NoteRead(m.p.Now())
+			remaining = append(remaining, i)
+			continue
+		}
+		target := e.ReadTarget(m.p.Now())
+		if target == e.Primary || m.clientFor(target) == nil {
+			remaining = append(remaining, i)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[int][]int)
+		}
+		groups[target] = append(groups[target], i)
+	}
+	for _, node := range sortedNodeIDs(groups) {
+		missed, ran := m.mgetGroup(node, groups[node], keys, vals, oks, true)
+		if ran {
+			mc.SpreadReads += int64(len(groups[node]) - len(missed))
+		}
+		remaining = append(remaining, missed...)
+	}
+	return remaining
+}
+
+// setReplicated writes one replicated key with e's lock HELD, in
+// invalidate-first order: delete every replica copy, publish the
+// primary's CAS, then re-materialize the replicas. From the moment the
+// new value is readable on the primary, every replica is empty or
+// already updated — a spread read can never return the superseded
+// value, and after the unlock every copy equals this write. Stale and
+// write-heavy entries are demoted instead (the demote's invalidation
+// also completes before the write returns).
+func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
+	mc := m.mc
+	stale := e.Epoch != mc.epoch || mc.oldRing != nil
+	e.Writes++
+	writeHeavy := e.Writes >= demoteMinWrites && e.Writes > demoteWriteReadRatio*e.Reads
+	if stale || writeHeavy {
+		// Demote, then store unreplicated — registered for the store's
+		// span exactly like Set's no-entry branch, so a promotion that
+		// re-publishes this key mid-store comes up warming and is
+		// repaired before this write returns.
+		m.demoteLocked(e)
+		mc.hot.BeginWrite(key)
+		m.setDirect(key, value)
+		m.resyncAfterWrite(key)
+		mc.hot.EndWrite(key)
+		return
+	}
+	m.invalidateReplicas(e) // replicas empty before the new value is readable
+	m.setDirect(key, value)
+	m.updateReplicas(e, key, value)
+	if e.Warming && mc.hot.InflightWrites(key) == 0 {
+		// Every pre-entry writer has completed (and repaired): our
+		// fan-out just made all copies equal to the primary, so the
+		// entry is safe to spread from.
+		e.Warming = false
+	}
+	mc.hot.Unlock(e)
+}
+
+// updateReplicas stores (key, value) on every replica node of e as a
+// fan-out of ordinary setPlans (plan.go) run under ReplicaStrategy; any
+// plan that hits a complication (full bucket, lost CAS) finishes through
+// the serial retry path, exactly as a client Set would. Replica stores
+// are maintenance: they keep the per-node copies, but do not count as
+// logical Sets in any client's Stats.
+func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
+	plans := make([]*setPlan, 0, len(e.Replicas))
+	clients := make([]*Client, 0, len(e.Replicas))
+	run := make([]exec.Plan, 0, len(e.Replicas))
+	for _, id := range e.Replicas {
+		c := m.clientFor(id)
+		if c == nil {
+			continue // node left the pool; the stale entry is demoted on next touch
+		}
+		pl := c.newSetPlan(key, value)
+		plans = append(plans, pl)
+		clients = append(clients, c)
+		run = append(run, pl)
+	}
+	if len(run) == 0 {
+		return
+	}
+	exec.Run(m.mc.ReplicaStrategy, run...)
+	for i, pl := range plans {
+		m.finishReplicaStore(clients[i], key, value, pl)
+	}
+}
+
+// finishReplicaStore drives one replica's store to completion from
+// whatever outcome the fan-out attempt reached, mirroring Client.Set's
+// retry loop (evict on full buckets, fresh snapshot on a lost CAS)
+// without its stats accounting.
+func (m *MultiClient) finishReplicaStore(c *Client, key, value []byte, pl *setPlan) {
+	for attempt := 0; ; attempt++ {
+		switch pl.outcome {
+		case setDone:
+			return
+		case setNoFree:
+			if !c.bucketEvict(pl.scanned) {
+				c.reclaimOldestHistory(pl.scanned)
+			}
+		case setCASLost:
+			// Lost a race (concurrent writer or this fan-out's own
+			// evictions): retry with a fresh snapshot.
+		}
+		if attempt > 4096 {
+			panic("core: replica store could not make progress (table misconfigured?)")
+		}
+		pl = c.newSetPlan(key, value)
+		exec.RunSerial(pl)
+	}
+}
+
+// readQuiet reads key's value from one node with raw get plans — no
+// stats, no frequency touch, no observer report — for maintenance reads
+// (promotion's value snapshot) that must not perturb the hit accounting.
+func (m *MultiClient) readQuiet(node int, key []byte) ([]byte, bool) {
+	c := m.clientFor(node)
+	if c == nil {
+		return nil, false
+	}
+	for attempt := 0; attempt < getRetries; attempt++ {
+		pl := c.newGetPlan(key)
+		exec.RunSerial(pl)
+		if pl.hit {
+			return append([]byte(nil), pl.dec.value...), true
+		}
+		if !pl.stale {
+			break
+		}
+	}
+	return nil, false
+}
+
+// invalidateReplicas deletes every replica copy of e — a fan-out of
+// delPlans (plan.go) under ReplicaStrategy. delPlans have no fallback
+// edges (a lost delete CAS means someone else already removed or
+// replaced that copy), so one pass suffices. Replica nodes that left the
+// pool are skipped: their copies left with them.
+func (m *MultiClient) invalidateReplicas(e *hotset.Entry) {
+	run := make([]exec.Plan, 0, len(e.Replicas))
+	for _, id := range e.Replicas {
+		if c := m.clientFor(id); c != nil {
+			run = append(run, c.newDelPlan(e.Key))
+		}
+	}
+	if len(run) > 0 {
+		exec.Run(m.mc.ReplicaStrategy, run...)
+	}
+}
+
+// demoteLocked removes a LOCKED entry from the replicated set:
+// invalidate every replica copy, then drop the entry (which releases the
+// lock and wakes waiters into the unreplicated path).
+func (m *MultiClient) demoteLocked(e *hotset.Entry) {
+	m.invalidateReplicas(e)
+	m.mc.hot.Remove(e)
+	m.mc.Demotions++
+}
+
+// resyncAfterWrite is the registered unreplicated write paths' post-CAS
+// re-check (callers still hold their BeginWrite registration): if an
+// entry exists for a key that was just written (or deleted) OUTSIDE the
+// entry lock — a promotion raced the write — repair it before the write
+// returns. The repair re-reads the primary under the lock and pushes
+// its CURRENT value to every replica (so concurrent repairs converge on
+// the newest unreplicated CAS, whichever order their locks are granted
+// in), clearing the warming state when it is the last registered writer;
+// a primary miss means the key was deleted, so the entry is demoted
+// instead. Stale entries are demoted rather than repaired, matching
+// every other touch of a stale entry. On the common no-entry case this
+// is a single map lookup.
+func (m *MultiClient) resyncAfterWrite(key []byte) {
+	e := m.mc.hot.Lock(m.p, key)
+	if e == nil {
+		return
+	}
+	if e.Epoch != m.mc.epoch || m.mc.oldRing != nil {
+		m.demoteLocked(e)
+		return
+	}
+	e.Writes++
+	val, ok := m.readQuiet(e.Primary, key)
+	if !ok {
+		m.demoteLocked(e)
+		return
+	}
+	m.updateReplicas(e, key, val)
+	if m.mc.hot.InflightWrites(key) == 1 {
+		// This repair is the last registered writer standing: the value
+		// just pushed is the primary's current one and no unreplicated
+		// CAS can land after it (any new writer sees the entry), so the
+		// entry is safe to spread from.
+		e.Warming = false
+	}
+	m.mc.hot.Unlock(e)
+}
+
+// demoteKey demotes key's entry if one exists, waiting out any
+// maintainer currently holding it. It is the read paths' lazy cleanup of
+// stale entries and the reshard sweep's workhorse; on the (common) miss
+// it is one map lookup.
+func (m *MultiClient) demoteKey(key []byte) {
+	if e := m.mc.hot.Lock(m.p, key); e != nil {
+		m.demoteLocked(e)
+	}
+}
+
+// demoteAll demotes every entry in the directory — the resharder's
+// window-opening sweep, run before any table scanning. Entries locked
+// by concurrent maintainers (including an in-flight promotion, which
+// self-demotes once it observes the epoch change) are waited for via
+// Lock; entries that vanish meanwhile are skipped (Lock returns nil).
+func (m *MultiClient) demoteAll() {
+	for _, k := range m.mc.hot.Keys() {
+		m.demoteKey(k)
+	}
+}

@@ -30,7 +30,11 @@ package exec
 
 import "ditto/internal/rdma"
 
-// Strategy selects how a set of plans traverses its verb stages.
+// Strategy selects how a set of plans traverses its verb stages. The
+// strategies differ ONLY in traversal shape and round-trip overlap —
+// every plan reaches the same outcome under either (complications
+// included), which is what lets drivers demote a doorbell plan to the
+// serial retry path without changing observable behaviour.
 type Strategy int
 
 // The two execution strategies.
@@ -43,6 +47,8 @@ const (
 	Doorbell
 )
 
+// String returns the strategy's lowercase name ("serial"/"doorbell"),
+// stable for use in subtest names and bench output.
 func (s Strategy) String() string {
 	if s == Doorbell {
 		return "doorbell"
@@ -52,13 +58,19 @@ func (s Strategy) String() string {
 
 // Verb is one one-sided verb of a plan stage, addressed to the endpoint
 // that must issue it (plans may span endpoints: a migration reads and
-// CASes the source node while writing the destination).
+// CASes the source node while writing the destination, and a replica
+// fan-out writes several destinations at once). A Verb is immutable
+// once emitted by Step: the executor may issue it in any round-trip
+// order relative to OTHER plans' verbs, but never reorders verbs within
+// one plan's emission.
 type Verb struct {
 	EP *rdma.Endpoint
 	Op rdma.BatchOp
 }
 
-// Result is the completion of one Verb.
+// Result is the completion of one Verb. Results are delivered to Absorb
+// in the same order as the Verbs of the group that produced them —
+// Result[i] completes Verb[i] — regardless of strategy.
 type Result = rdma.BatchResult
 
 // Plan is one cache operation attempt expressed as staged verb groups.
@@ -78,7 +90,11 @@ type Plan interface {
 	Absorb(res []Result)
 }
 
-// Run executes the plans under the strategy until every plan finishes.
+// Run executes the plans under the strategy until every plan finishes
+// (Step returns an empty group). Under Serial the plans run one after
+// another to completion; under Doorbell they advance together in
+// lock-step rounds. Either way, every plan's Absorb has seen the
+// completion of every verb it emitted by the time Run returns.
 func Run(s Strategy, plans ...Plan) {
 	if s == Doorbell {
 		RunDoorbell(plans)

@@ -14,7 +14,10 @@ package fccache
 import "container/heap"
 
 // FlushFunc applies a combined delta to the remote counter at addr
-// (typically hashtable.Handle.FAAFreqAsync).
+// (typically hashtable.Handle.FAAFreqAsync). The cache guarantees every
+// buffered increment is handed to exactly one FlushFunc call — no delta
+// is dropped or double-flushed — so the remote counter converges on the
+// true count as flushes land, lagging by at most the buffered deltas.
 type FlushFunc func(addr uint64, delta uint64)
 
 // entryOverhead approximates per-entry bookkeeping bytes beyond the object
@@ -60,6 +63,12 @@ func (h *entryHeap) Pop() interface{} {
 
 // Cache is one client's FC cache. It is not safe for concurrent use; each
 // Ditto client owns one (clients are sim processes, so this is free).
+// Invariants the rest of the system leans on: the sum of all flushed
+// deltas plus all still-buffered deltas equals Buffered (no increment is
+// lost or duplicated); UsedBytes never exceeds the configured capacity
+// after Add returns; and no entry buffers past the maxLag age bound, so
+// a remote counter can lag its true value by at most threshold-1
+// increments per client for at most maxLag of that client's accesses.
 type Cache struct {
 	capacityBytes int
 	threshold     uint64
@@ -92,17 +101,26 @@ func New(capacityBytes int, threshold uint64, flush FlushFunc) *Cache {
 
 // SetMaxLag overrides the age bound (in subsequent Add operations) after
 // which a buffered entry is force-flushed; lag <= 0 disables the bound.
+// Lowering the bound takes effect on the next Add (existing over-age
+// entries flush then, not immediately).
 func (c *Cache) SetMaxLag(lag int64) { c.maxLag = lag }
 
-// Len returns the number of buffered entries.
+// Len returns the number of buffered entries (each holding a non-zero
+// pending delta — fully flushed entries leave the cache).
 func (c *Cache) Len() int { return len(c.entries) }
 
-// UsedBytes returns the buffered entries' footprint.
+// UsedBytes returns the buffered entries' footprint. It is <= the
+// configured capacity whenever control is outside Add.
 func (c *Cache) UsedBytes() int { return c.usedBytes }
 
 // Add buffers a +1 for the freq counter at addr. idBytes is the object-ID
 // size, which determines the entry's footprint (the paper sizes the FC
-// cache in MB because entries vary with object-ID size).
+// cache in MB because entries vary with object-ID size). Add either
+// buffers the increment or flushes a combined delta containing it —
+// never both — so callers that need the key's logical frequency must
+// read PendingDelta BEFORE calling Add (the noteHit/updateExt
+// convention; reading after would double-count this access whenever it
+// was buffered).
 func (c *Cache) Add(addr uint64, idBytes int) {
 	c.Buffered++
 	c.seq++ // seq counts accesses: entry age is measured in accesses
@@ -150,7 +168,9 @@ func (c *Cache) evict(e *entry) {
 }
 
 // FlushAll drains every buffered entry (used at client shutdown and by
-// tests that need exact remote counters).
+// tests that need exact remote counters). Afterwards Len and
+// PendingDelta are 0 for every address: the remote counters hold the
+// complete count.
 func (c *Cache) FlushAll() {
 	for len(c.order) > 0 {
 		c.evict(c.order[0])
@@ -158,7 +178,9 @@ func (c *Cache) FlushAll() {
 }
 
 // PendingDelta reports the buffered delta for addr (0 if none) so read
-// paths can correct for counter lag if they choose to.
+// paths can correct for counter lag: remote snapshot + PendingDelta is
+// the key's logical frequency as this client knows it. Must be read
+// before Add buffers the current access (see Add).
 func (c *Cache) PendingDelta(addr uint64) uint64 {
 	if e, ok := c.entries[addr]; ok {
 		return e.delta
@@ -166,9 +188,11 @@ func (c *Cache) PendingDelta(addr uint64) uint64 {
 	return 0
 }
 
-// Forget drops any buffered delta for addr without flushing (used when the
-// owning slot was evicted and the counter no longer belongs to the same
-// object).
+// Forget drops any buffered delta for addr without flushing — the one
+// deliberate exception to the nothing-is-dropped invariant, used when
+// the owning slot was evicted or recycled and the counter no longer
+// belongs to the same object (flushing would credit the new tenant with
+// the old object's hits).
 func (c *Cache) Forget(addr uint64) {
 	if e, ok := c.entries[addr]; ok {
 		heap.Remove(&c.order, e.index)

@@ -1,0 +1,259 @@
+// Package hotset is the client-shared directory of replicated hot keys —
+// the bookkeeping half of Ditto's hot-key replication layer (the I/O half
+// lives in internal/core, which materializes and maintains the actual
+// copies with one-sided verbs).
+//
+// The consistent-hash ring maps every key to exactly one memory node, so
+// on a skewed workload the node owning the hottest keys saturates while
+// its peers idle. The replication layer promotes keys whose observed hit
+// frequency crosses a threshold (the same client-side hotness signal the
+// FC cache and the adaptive engine already maintain, §4.2.2/§4.3) into
+// this directory: each Entry records the key's primary ring owner, the
+// ring-successor nodes holding its data replicas, and a rotating read
+// cursor that spreads subsequent reads across all copies.
+//
+// Concurrency discipline (all under the cooperative sim scheduler):
+//
+//   - READERS consult entries without locking: Lookup + Entry.ReadTarget
+//     are yield-free, so a read path never blocks on replica maintenance.
+//     A reader that picks a replica whose copy is missing (not yet
+//     materialized, or evicted) simply falls back to the primary.
+//   - WRITERS and maintainers (promotion, demotion, invalidation) hold
+//     the per-entry lock (Lock/Unlock) across their verbs. This
+//     serializes all mutations of one hot key's copy set, which is what
+//     keeps every replica equal to the last completed write — the
+//     invariant that makes a replica-served read indistinguishable from a
+//     primary-served one.
+//   - An entry is "born locked": Insert marks it busy, so the promoter
+//     materializes copies before any writer can slip between directory
+//     insertion and materialization.
+//   - Replicated writes are invalidate-first (the core layer deletes
+//     every replica copy under the lock BEFORE the primary's publishing
+//     CAS, then re-materializes): a spreadable replica only ever holds
+//     the primary's current value or nothing, so reads stay monotonic
+//     with no reader-side locking — a probe miss just falls back to the
+//     primary.
+//   - The one divergence no lock covers — a promotion that materialized
+//     its copies while an unreplicated write (which checked the
+//     directory before the entry existed) was still in flight — is
+//     handled by the WARMING state plus the write registry
+//     (BeginWrite/EndWrite): such writers run unreplicated but
+//     registered, the promoter publishes the entry as Warming when any
+//     registration is live at publish time, readers refuse to spread
+//     from warming entries, and the entry turns spreadable only when a
+//     repair (the core layer's resyncAfterWrite) or a replicated write
+//     completes its fan-out with no other registered writer in flight —
+//     a moment at which every copy provably equals the primary.
+//
+// Entries also carry the load accounting (reads vs writes since
+// promotion) that drives load-aware demotion: replication pays 1+R writes
+// per Set, so a key whose write rate overtakes its read rate is demoted
+// by the core layer using these counters.
+package hotset
+
+import "ditto/internal/sim"
+
+// Entry is one replicated hot key. Primary/Replicas/Epoch are fixed at
+// promotion (a ring change makes the entry stale rather than rewriting
+// it); the counters and cursor mutate in place.
+type Entry struct {
+	// Key is the promoted key (the entry owns this copy).
+	Key []byte
+	// Epoch is the routing epoch the replica set was computed under. An
+	// entry whose Epoch no longer matches the cluster's is STALE: readers
+	// must not spread from it and the next writer demotes it.
+	Epoch uint64
+	// Primary is the key's ring owner at promotion time.
+	Primary int
+	// Replicas are the ring-successor nodes holding data replicas, in
+	// successor order (never including Primary).
+	Replicas []int
+
+	// Warming marks an entry whose copies may still diverge from an
+	// unreplicated write: the promotion is still materializing, or a
+	// write that predates the entry was in flight when it published
+	// (see the package comment). Readers must not spread from it.
+	// Cleared — under the entry lock — by the first fan-out that
+	// completes with no registered writer in flight.
+	Warming bool
+
+	// Reads and Writes count operations routed through this entry since
+	// promotion — the load signal for write-heavy demotion.
+	Reads, Writes int64
+
+	rr       uint64 // rotating cursor over [Primary]+Replicas
+	lastRead int64  // virtual time of the most recent read routed via this entry
+	busy     bool   // held by one writer/maintainer; see package comment
+}
+
+// NoteRead records one read routed through this entry without choosing
+// a spread target — the fallback paths (busy or warming entry) use it so
+// the demotion heuristics still see the key's read load.
+func (e *Entry) NoteRead(now int64) {
+	e.Reads++
+	e.lastRead = now
+}
+
+// Touch stamps the entry's last-read time without counting a read.
+// Promotion calls it before Insert so a freshly promoted entry is not
+// Victim's strict minimum (lastRead zero) — otherwise, at capacity,
+// each new promotion would evict the most recently promoted entry
+// before it served a single spread read.
+func (e *Entry) Touch(now int64) { e.lastRead = now }
+
+// ReadTarget returns the node the next spread read should probe,
+// rotating over the primary and every replica so each copy serves an
+// equal share, and records the read (Reads, last-read time) for the
+// demotion heuristics. now is the caller's virtual time.
+func (e *Entry) ReadTarget(now int64) int {
+	order := 1 + len(e.Replicas)
+	i := int(e.rr % uint64(order))
+	e.rr++
+	e.NoteRead(now)
+	if i == 0 {
+		return e.Primary
+	}
+	return e.Replicas[i-1]
+}
+
+// Set is the directory of replicated hot keys, shared by every client of
+// one MultiCluster. It is safe only under the cooperative sim scheduler
+// (mutations between yields are atomic); cross-process exclusion for
+// maintenance is provided by the per-entry Lock.
+type Set struct {
+	limit    int
+	entries  map[string]*Entry
+	inflight map[string]int // unreplicated writes in flight, per key
+	unlocked *sim.Cond      // broadcast whenever any entry lock is released
+}
+
+// New creates an empty directory holding at most limit entries (the
+// promotion path evicts the least-recently-read entry beyond it).
+func New(env *sim.Env, limit int) *Set {
+	if limit < 1 {
+		limit = 1
+	}
+	return &Set{
+		limit:    limit,
+		entries:  make(map[string]*Entry),
+		inflight: make(map[string]int),
+		unlocked: sim.NewCond(env),
+	}
+}
+
+// Len returns the number of entries.
+func (s *Set) Len() int { return len(s.entries) }
+
+// Limit returns the entry capacity.
+func (s *Set) Limit() int { return s.limit }
+
+// Lookup returns the entry for key, or nil. It never blocks; the result
+// may be busy (under maintenance), which only matters to writers — they
+// must use Lock instead.
+func (s *Set) Lookup(key []byte) *Entry { return s.entries[string(key)] }
+
+// Lock acquires the maintenance lock on key's entry, waiting (yielding p)
+// while another process holds it. It returns nil — without ever having
+// held the lock — when the key has no entry, including when the entry is
+// removed while waiting; callers must handle nil by falling back to the
+// unreplicated path. On success the caller MUST release with Unlock or
+// Remove.
+func (s *Set) Lock(p *sim.Proc, key []byte) *Entry {
+	for {
+		e := s.entries[string(key)]
+		if e == nil {
+			return nil
+		}
+		if !e.busy {
+			e.busy = true
+			return e
+		}
+		s.unlocked.Wait(p)
+	}
+}
+
+// Unlock releases a lock taken by Lock (or implicitly by Insert) and
+// wakes every waiter.
+func (s *Set) Unlock(e *Entry) {
+	e.busy = false
+	s.unlocked.Broadcast()
+}
+
+// Insert adds e to the directory with its lock HELD by the caller ("born
+// locked"), so copies can be materialized before any writer observes the
+// entry unlocked. It returns false (and inserts nothing) when the key
+// already has an entry. Capacity is the caller's concern: check Len
+// against Limit and demote a Victim first.
+func (s *Set) Insert(e *Entry) bool {
+	k := string(e.Key)
+	if _, ok := s.entries[k]; ok {
+		return false
+	}
+	e.busy = true
+	s.entries[k] = e
+	return true
+}
+
+// Remove deletes a LOCKED entry from the directory and wakes every
+// waiter (whose Lock retry then observes the key gone and returns nil).
+// The caller must hold e's lock and must not touch e afterwards.
+func (s *Set) Remove(e *Entry) {
+	delete(s.entries, string(e.Key))
+	e.busy = false
+	s.unlocked.Broadcast()
+}
+
+// Victim returns the unlocked entry with the oldest last-read time — the
+// candidate to demote when the directory is full — or nil when every
+// entry is under maintenance. Iteration order doesn't matter: the scan
+// reads every entry and takes the strict minimum (first-inserted wins
+// ties only if map order happens to visit it first, which is acceptable
+// for an eviction heuristic).
+func (s *Set) Victim() *Entry {
+	var v *Entry
+	for _, e := range s.entries {
+		if e.busy {
+			continue
+		}
+		if v == nil || e.lastRead < v.lastRead {
+			v = e
+		}
+	}
+	return v
+}
+
+// BeginWrite registers an unreplicated write in flight on key. Write
+// paths that did NOT find an entry under Lock bracket their whole span
+// (verbs + post-CAS repair) with BeginWrite/EndWrite; the registry never
+// blocks anyone — it only tells promotion to publish Warming and tells
+// fan-outs when the key is write-quiescent (InflightWrites). The
+// registration must happen in the same scheduling slice as the nil Lock
+// result (no verb in between): an entry inserted later then provably
+// either sees the registration or was seen by the writer.
+func (s *Set) BeginWrite(key []byte) { s.inflight[string(key)]++ }
+
+// EndWrite unregisters a write registered by BeginWrite. Call it only
+// after the write's repair re-check (resyncAfterWrite) has completed,
+// so a clearing fan-out that still sees this registration knows the
+// repair is yet to run.
+func (s *Set) EndWrite(key []byte) {
+	k := string(key)
+	if s.inflight[k]--; s.inflight[k] <= 0 {
+		delete(s.inflight, k)
+	}
+}
+
+// InflightWrites returns the number of registered unreplicated writes
+// in flight on key.
+func (s *Set) InflightWrites(key []byte) int { return s.inflight[string(key)] }
+
+// Keys returns a snapshot of every entry's key (locked or not), for
+// maintenance sweeps that demote entries one by one via Lock (which
+// tolerates entries vanishing between the snapshot and the lock).
+func (s *Set) Keys() [][]byte {
+	out := make([][]byte, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, e.Key)
+	}
+	return out
+}

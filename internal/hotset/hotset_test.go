@@ -1,0 +1,121 @@
+package hotset
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestReadTargetRotates(t *testing.T) {
+	e := &Entry{Primary: 7, Replicas: []int{1, 3}}
+	var got []int
+	for i := 0; i < 6; i++ {
+		got = append(got, e.ReadTarget(int64(i)))
+	}
+	want := []int{7, 1, 3, 7, 1, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	if e.Reads != 6 || e.lastRead != 5 {
+		t.Fatalf("reads=%d lastRead=%d", e.Reads, e.lastRead)
+	}
+}
+
+func TestInsertLookupRemove(t *testing.T) {
+	env := sim.NewEnv(1)
+	s := New(env, 4)
+	e := &Entry{Key: []byte("k"), Primary: 0, Replicas: []int{1}}
+	if !s.Insert(e) {
+		t.Fatal("insert failed")
+	}
+	if !e.busy {
+		t.Fatal("entry not born locked")
+	}
+	if s.Insert(&Entry{Key: []byte("k")}) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if s.Lookup([]byte("k")) != e || s.Lookup([]byte("x")) != nil {
+		t.Fatal("lookup wrong")
+	}
+	s.Unlock(e)
+	env.Go("p", func(p *sim.Proc) {
+		got := s.Lock(p, []byte("k"))
+		if got != e {
+			t.Fatal("lock did not return the entry")
+		}
+		s.Remove(got)
+		if s.Len() != 0 || s.Lookup([]byte("k")) != nil {
+			t.Fatal("remove did not delete")
+		}
+		if s.Lock(p, []byte("k")) != nil {
+			t.Fatal("lock on absent key returned an entry")
+		}
+	})
+	env.Run()
+}
+
+// TestLockSerializesMaintainers runs two processes contending for one
+// entry's lock: the second must wait until the first releases, and a
+// waiter whose entry is removed while blocked must get nil.
+func TestLockSerializesMaintainers(t *testing.T) {
+	env := sim.NewEnv(2)
+	s := New(env, 4)
+	e := &Entry{Key: []byte("k")}
+	s.Insert(e) // born locked by "promoter" below
+	var order []string
+
+	env.Go("promoter", func(p *sim.Proc) {
+		p.Sleep(10)
+		order = append(order, "promote-done")
+		s.Unlock(e)
+	})
+	env.Go("writer", func(p *sim.Proc) {
+		got := s.Lock(p, []byte("k"))
+		order = append(order, "writer-locked")
+		if got != e {
+			t.Fatal("writer locked wrong entry")
+		}
+		p.Sleep(10)
+		s.Remove(got)
+	})
+	env.Go("late", func(p *sim.Proc) {
+		p.Sleep(5)
+		if got := s.Lock(p, []byte("k")); got != nil {
+			t.Fatalf("late locker got %v after removal", got)
+		}
+		order = append(order, "late-nil")
+	})
+	env.Run()
+	if len(order) != 3 || order[0] != "promote-done" || order[1] != "writer-locked" || order[2] != "late-nil" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestVictimPicksColdestUnlocked(t *testing.T) {
+	env := sim.NewEnv(3)
+	s := New(env, 8)
+	mk := func(k string, last int64) *Entry {
+		e := &Entry{Key: []byte(k)}
+		s.Insert(e)
+		s.Unlock(e)
+		e.ReadTarget(last)
+		return e
+	}
+	cold := mk("cold", 1)
+	mk("warm", 50)
+	hot := mk("hot", 100)
+	if v := s.Victim(); v != cold {
+		t.Fatalf("victim = %s, want cold", v.Key)
+	}
+	// A busy entry is never the victim, even if coldest.
+	cold.busy = true
+	if v := s.Victim(); v == cold {
+		t.Fatal("victim picked a busy entry")
+	}
+	if len(s.Keys()) != 3 {
+		t.Fatalf("keys = %d", len(s.Keys()))
+	}
+	_ = hot
+}

@@ -4,24 +4,38 @@
 // The paper's multi-MN compatibility note (§5.1) hash-partitions the key
 // space across memory nodes. A fixed modulo would reshuffle almost every
 // key when the node count changes; the ring instead places each node at
-// Replicas pseudo-random points on a 64-bit circle and assigns a key to
-// the first node point at or after the key's point. Adding a node then
+// VirtualPoints pseudo-random points on a 64-bit circle and assigns a key
+// to the first node point at or after the key's point. Adding a node then
 // reassigns only the keys that land on the new node's arcs (~1/n of the
 // key space), and removing a node reassigns only the removed node's keys
 // — exactly the property live resharding needs so a scale-out migrates
 // the minimum amount of cached data.
+//
+// Two unrelated notions of "replica" meet in this package, so the names
+// keep them apart explicitly:
+//
+//   - VIRTUAL POINTS (VirtualPoints, DefaultVirtualPoints) are the
+//     pseudo-random positions each node occupies on the circle — a load-
+//     balancing device only. No data is stored per point.
+//   - DATA REPLICAS are the additional memory nodes a hot key's value is
+//     copied to by the replication layer (internal/core's hot-key
+//     replication). OwnersN enumerates them: the R distinct ring-successor
+//     nodes of a key, starting with its primary owner.
 //
 // Rings are immutable: With and Without return new rings, so a reshard
 // can hold the old and new ring side by side and serve the forwarding
 // window from both.
 package ring
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
-// DefaultReplicas is the number of virtual points per node. 128 points
-// keep the per-node load within roughly ±10% of even (relative imbalance
-// shrinks with 1/sqrt(replicas)).
-const DefaultReplicas = 128
+// DefaultVirtualPoints is the number of virtual points per node. 128
+// points keep the per-node load within roughly ±10% of even (relative
+// imbalance shrinks with 1/sqrt(points)).
+const DefaultVirtualPoints = 128
 
 // point is one virtual node position on the circle.
 type point struct {
@@ -29,31 +43,39 @@ type point struct {
 	node int
 }
 
-// Ring is an immutable consistent-hash ring over integer node IDs.
+// Ring is an immutable consistent-hash ring over integer node IDs. All
+// methods are read-only and safe to call concurrently; With and Without
+// never modify the receiver, so a pointer to a Ring may be republished
+// (e.g. swapped during a reshard) without invalidating concurrent
+// lookups against the old value.
 type Ring struct {
-	replicas int
 	points   []point // sorted by (hash, node)
 	nodes    []int   // sorted member IDs
+	perNode  int     // virtual points per node
 }
 
 // New builds a ring with the given virtual-point count per node
-// (DefaultReplicas when replicas <= 0) and initial members.
-func New(replicas int, nodes ...int) *Ring {
-	if replicas <= 0 {
-		replicas = DefaultReplicas
+// (DefaultVirtualPoints when points <= 0) and initial members. The
+// point count is fixed for the ring's lifetime and inherited by every
+// ring derived from it with With/Without.
+func New(points int, nodes ...int) *Ring {
+	if points <= 0 {
+		points = DefaultVirtualPoints
 	}
-	r := &Ring{replicas: replicas}
+	r := &Ring{perNode: points}
 	for _, n := range nodes {
 		r = r.With(n)
 	}
 	return r
 }
 
-// Replicas returns the virtual-point count per node.
-func (r *Ring) Replicas() int { return r.replicas }
+// VirtualPoints returns the virtual-point count per node — the circle-
+// placement granularity, NOT the data-replication factor (that is the
+// caller's R in OwnersN; see the package comment).
+func (r *Ring) VirtualPoints() int { return r.perNode }
 
 // Nodes returns the member IDs in ascending order. The caller must not
-// modify the returned slice.
+// modify the returned slice (it aliases the ring's internal state).
 func (r *Ring) Nodes() []int { return r.nodes }
 
 // NumNodes returns the member count.
@@ -65,22 +87,24 @@ func (r *Ring) Has(node int) bool {
 	return i < len(r.nodes) && r.nodes[i] == node
 }
 
-// With returns a new ring that additionally contains node. Adding an
-// existing member returns the receiver unchanged.
+// With returns a new ring that additionally contains node; the receiver
+// is unchanged (rings are immutable). Adding an existing member returns
+// the receiver itself. Key assignments under the new ring differ from
+// the receiver's only for keys that now map to the added node.
 func (r *Ring) With(node int) *Ring {
 	if r.Has(node) {
 		return r
 	}
 	nr := &Ring{
-		replicas: r.replicas,
-		points:   make([]point, 0, len(r.points)+r.replicas),
-		nodes:    make([]int, 0, len(r.nodes)+1),
+		perNode: r.perNode,
+		points:  make([]point, 0, len(r.points)+r.perNode),
+		nodes:   make([]int, 0, len(r.nodes)+1),
 	}
 	nr.nodes = append(nr.nodes, r.nodes...)
 	nr.nodes = append(nr.nodes, node)
 	sort.Ints(nr.nodes)
 	nr.points = append(nr.points, r.points...)
-	for rep := 0; rep < r.replicas; rep++ {
+	for rep := 0; rep < r.perNode; rep++ {
 		nr.points = append(nr.points, point{hash: pointHash(node, rep), node: node})
 	}
 	sort.Slice(nr.points, func(i, j int) bool {
@@ -92,16 +116,18 @@ func (r *Ring) With(node int) *Ring {
 	return nr
 }
 
-// Without returns a new ring that no longer contains node. Removing a
-// non-member returns the receiver unchanged.
+// Without returns a new ring that no longer contains node; the receiver
+// is unchanged (rings are immutable). Removing a non-member returns the
+// receiver itself. Key assignments under the new ring differ from the
+// receiver's only for keys the removed node owned.
 func (r *Ring) Without(node int) *Ring {
 	if !r.Has(node) {
 		return r
 	}
 	nr := &Ring{
-		replicas: r.replicas,
-		points:   make([]point, 0, len(r.points)-r.replicas),
-		nodes:    make([]int, 0, len(r.nodes)-1),
+		perNode: r.perNode,
+		points:  make([]point, 0, len(r.points)-r.perNode),
+		nodes:   make([]int, 0, len(r.nodes)-1),
 	}
 	for _, n := range r.nodes {
 		if n != node {
@@ -116,19 +142,62 @@ func (r *Ring) Without(node int) *Ring {
 	return nr
 }
 
-// Owner returns the node owning the given key point (see Point). It
-// panics on an empty ring.
+// Owner returns the node owning the given key point (see Point): the
+// node of the first virtual point at or after keyPoint on the circle.
+// Owner(k) == OwnersN(k, 1)[0] for every key. It panics on an empty
+// ring.
 func (r *Ring) Owner(keyPoint uint64) int {
 	if len(r.points) == 0 {
 		panic("ring: Owner on empty ring")
 	}
+	return r.points[r.search(keyPoint)].node
+}
+
+// OwnersN returns the first n DISTINCT nodes encountered walking the
+// circle clockwise from keyPoint — the key's primary owner followed by
+// its ring-successor nodes, the node set the hot-key replication layer
+// materializes data replicas on. Invariants:
+//
+//   - The result has min(n, NumNodes) distinct members; OwnersN(k, 1)
+//     is exactly [Owner(k)].
+//   - Prefix-stable in n: OwnersN(k, n) is a prefix of OwnersN(k, n+1).
+//   - Minimal change across membership: for r2 = r.With(x), deleting x
+//     (if present) from r2.OwnersN(k, n) leaves a prefix of
+//     r.OwnersN(k, n) — existing successors never reorder, the new node
+//     only splices in; symmetrically for Without.
+//
+// It panics on an empty ring.
+func (r *Ring) OwnersN(keyPoint uint64, n int) []int {
+	if len(r.points) == 0 {
+		panic("ring: OwnersN on empty ring")
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	owners := make([]int, 0, n)
+	start := r.search(keyPoint)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !slices.Contains(owners, node) {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
+// search returns the index of the first virtual point at or after
+// keyPoint, wrapping to 0 past the top of the circle.
+func (r *Ring) search(keyPoint uint64) int {
 	i := sort.Search(len(r.points), func(i int) bool {
 		return r.points[i].hash >= keyPoint
 	})
 	if i == len(r.points) {
 		i = 0 // wrap around the circle
 	}
-	return r.points[i].node
+	return i
 }
 
 // Point maps a key hash onto the circle. The table's FNV hash is too

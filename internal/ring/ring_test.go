@@ -82,8 +82,97 @@ func TestMembership(t *testing.T) {
 	if r.NumNodes() != 2 {
 		t.Fatal("removing non-member changed ring")
 	}
-	if r.Replicas() != 4 {
-		t.Fatalf("replicas = %d", r.Replicas())
+	if r.VirtualPoints() != 4 {
+		t.Fatalf("virtual points = %d", r.VirtualPoints())
+	}
+}
+
+// TestOwnersNProperties pins the successor-list semantics the hot-key
+// replication layer depends on: OwnersN(k, R) returns R distinct nodes,
+// is a prefix-stable extension of Owner, and changes minimally across
+// With/Without (existing successors never reorder; the changed node only
+// splices in or out).
+func TestOwnersNProperties(t *testing.T) {
+	r := New(0, 0, 1, 2, 3, 4)
+	for k := uint64(0); k < 5000; k++ {
+		p := Point(k)
+		full := r.OwnersN(p, r.NumNodes())
+		if len(full) != r.NumNodes() {
+			t.Fatalf("key %d: OwnersN(all) returned %d nodes, want %d", k, len(full), r.NumNodes())
+		}
+		seen := map[int]bool{}
+		for _, n := range full {
+			if seen[n] {
+				t.Fatalf("key %d: duplicate node %d in %v", k, n, full)
+			}
+			if !r.Has(n) {
+				t.Fatalf("key %d: non-member %d in %v", k, n, full)
+			}
+			seen[n] = true
+		}
+		if full[0] != r.Owner(p) {
+			t.Fatalf("key %d: OwnersN[0]=%d, Owner=%d", k, full[0], r.Owner(p))
+		}
+		// Prefix stability: every shorter request is a prefix of the full
+		// list (so a replication factor change never reshuffles replicas).
+		for n := 1; n < len(full); n++ {
+			pre := r.OwnersN(p, n)
+			if len(pre) != n {
+				t.Fatalf("key %d: OwnersN(%d) returned %d nodes", k, n, len(pre))
+			}
+			for i := range pre {
+				if pre[i] != full[i] {
+					t.Fatalf("key %d: OwnersN(%d)=%v not a prefix of %v", k, n, pre, full)
+				}
+			}
+		}
+	}
+	// Over-asking clamps to the member count instead of repeating nodes.
+	if got := r.OwnersN(Point(1), 99); len(got) != r.NumNodes() {
+		t.Fatalf("OwnersN over-ask returned %d nodes, want %d", len(got), r.NumNodes())
+	}
+}
+
+// TestOwnersNMinimalChange checks successor lists across membership
+// changes: under r.With(x), deleting x from the new list must leave a
+// prefix of the old list (and symmetrically for Without) — so a reshard
+// invalidates only replica placements involving the changed node.
+func TestOwnersNMinimalChange(t *testing.T) {
+	const R = 3
+	old := New(0, 0, 1, 2, 3)
+	grown := old.With(4)
+	shrunk := old.Without(3)
+	dropNode := func(s []int, x int) []int {
+		out := make([]int, 0, len(s))
+		for _, n := range s {
+			if n != x {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	isPrefix := func(pre, s []int) bool {
+		if len(pre) > len(s) {
+			return false
+		}
+		for i := range pre {
+			if pre[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for k := uint64(0); k < 5000; k++ {
+		p := Point(k)
+		was := old.OwnersN(p, R)
+		withNew := grown.OwnersN(p, R)
+		if !isPrefix(dropNode(withNew, 4), was) {
+			t.Fatalf("key %d: With(4) reordered successors: %v → %v", k, was, withNew)
+		}
+		without := shrunk.OwnersN(p, R)
+		if !isPrefix(dropNode(was, 3), without) {
+			t.Fatalf("key %d: Without(3) reordered successors: %v → %v", k, was, without)
+		}
 	}
 }
 

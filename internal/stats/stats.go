@@ -206,3 +206,26 @@ func Mops(ops int64, elapsedNs int64) float64 {
 	}
 	return float64(ops) / (float64(elapsedNs) / 1e9) / 1e6
 }
+
+// Imbalance summarizes how unevenly load is spread over servers: the
+// busiest server's share divided by the mean share. 1.0 is perfectly
+// even; N (the server count) is total concentration on one server. It
+// returns 0 for an empty or all-zero input. The hotspot bench reports it
+// over per-MN served-read counts, before and after hot-key replication.
+func Imbalance(counts []int64) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	var total, max int64
+	for _, c := range counts {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(counts))
+	return float64(max) / mean
+}

@@ -139,3 +139,18 @@ func TestMops(t *testing.T) {
 		t.Fatal("zero elapsed not handled")
 	}
 }
+
+func TestImbalance(t *testing.T) {
+	if v := Imbalance([]int64{100, 100, 100, 100}); math.Abs(v-1) > 1e-9 {
+		t.Fatalf("even load imbalance = %v, want 1", v)
+	}
+	if v := Imbalance([]int64{400, 0, 0, 0}); math.Abs(v-4) > 1e-9 {
+		t.Fatalf("fully concentrated imbalance = %v, want 4", v)
+	}
+	if v := Imbalance([]int64{300, 100, 100, 100}); math.Abs(v-2) > 1e-9 {
+		t.Fatalf("imbalance = %v, want 2", v)
+	}
+	if Imbalance(nil) != 0 || Imbalance([]int64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs not 0")
+	}
+}
