@@ -30,9 +30,11 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs")
 		scaleFl = flag.String("scale", "quick", "experiment scale: quick | full")
 		jsonFl  = flag.String("json", "", "also write a machine-readable summary to this path (scenarios that support it)")
+		seedFl  = flag.Int64("seed", 0, "override every scenario's built-in simulation seed (0 = per-scenario defaults); pins bench-smoke artifacts across CI reruns")
 	)
 	flag.Parse()
 	bench.JSONPath = *jsonFl
+	bench.Seed = *seedFl
 
 	scale, err := bench.ParseScale(*scaleFl)
 	if err != nil {

@@ -74,7 +74,7 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 // the window's writes go out as one MSet, its reads as one MGet.
 // batchSize 1 degenerates to per-key Set/Get — the sequential baseline.
 func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize int) Result {
-	env := sim.NewEnv(23)
+	env := sim.NewEnv(benchSeed(23))
 	mc := core.NewMultiCluster(env, 2, core.DefaultOptions(keys*2, keys*512))
 	factory := func(p *sim.Proc) CacheOps { return mc.NewClient(p) }
 	RunLoad(env, factory, loadKeys(keys), 16)

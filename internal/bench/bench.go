@@ -37,6 +37,23 @@ var JSONPath string
 // jsonWrittenBy is the scenario that already claimed JSONPath this run.
 var jsonWrittenBy string
 
+// Seed, when non-zero, overrides every scenario's built-in simulation
+// seed (dittobench -seed). The built-ins make each scenario
+// deterministic on its own; the override lets CI pin ONE seed across
+// every bench-smoke scenario so a rerun of the workflow reproduces the
+// exact BENCH_*.json artifacts, and lets a developer vary the seed to
+// check a result is not a seed artifact.
+var Seed int64
+
+// benchSeed returns the scenario seed: the -seed override when set,
+// else the scenario's built-in default.
+func benchSeed(def int64) int64 {
+	if Seed != 0 {
+		return Seed
+	}
+	return def
+}
+
 // writeJSONSummary writes a scenario's summary to JSONPath (when set)
 // and notes it on w — the one artifact convention shared by every
 // scenario that supports -json. A path already holding a DIFFERENT

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"ditto/internal/exec"
 	"ditto/internal/sim"
 	"ditto/internal/workload"
 )
@@ -34,7 +35,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		}
 	}
 	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn",
-		"elastic-reshard", "batched-throughput", "hotspot"}
+		"elastic-reshard", "batched-throughput", "hotspot", "churn"}
 	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("extra experiment %s missing from registry", id)
@@ -244,6 +245,43 @@ func TestHotspotReplicationSpeedup(t *testing.T) {
 	}
 	if mcW.SpreadReads == 0 {
 		t.Fatal("mixed-write run never spread a read")
+	}
+}
+
+// TestChurnReclaimSpeedup pins the churn scenario's headline at
+// quick-scale parameters: under write-heavy zipf churn at full
+// occupancy, background doorbell reclaim must beat inline serial
+// eviction on Set p99 AND carry the eviction load off the clients. The
+// sim is deterministic, so these are exact regression bounds.
+func TestChurnReclaimSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario")
+	}
+	inline, inlineHist, inlineStats, _ := runChurn(2000, 8, 2500, false, exec.Serial)
+	back, backHist, backStats, rs := runChurn(2000, 8, 2500, true, exec.Doorbell)
+	inlineP99 := float64(inlineHist.Percentile(99))
+	backP99 := float64(backHist.Percentile(99))
+	if backP99 >= inlineP99 {
+		t.Fatalf("background doorbell reclaim p99 = %.1fus not better than inline serial %.1fus",
+			backP99/1000, inlineP99/1000)
+	}
+	if back.Mops() <= inline.Mops() {
+		t.Errorf("background reclaim throughput %.3f Mops not above inline %.3f",
+			back.Mops(), inline.Mops())
+	}
+	if rs.Evictions == 0 {
+		t.Fatal("reclaimer evicted nothing")
+	}
+	if heap := backStats.Evictions - backStats.BucketEvictions; heap > rs.Evictions/10 {
+		t.Errorf("clients still evicted %d victims inline for heap pressure (reclaimer did %d)",
+			heap, rs.Evictions)
+	}
+	if inlineStats.WriteStallNs == 0 {
+		t.Error("inline mode recorded no eviction-stall time; workload not at occupancy")
+	}
+	if backStats.WriteStallNs >= inlineStats.WriteStallNs {
+		t.Errorf("background reclaim did not reduce eviction-stall time: %dns vs %dns",
+			backStats.WriteStallNs, inlineStats.WriteStallNs)
 	}
 }
 

@@ -51,7 +51,7 @@ func ElasticReshard(w io.Writer, scale Scale) error {
 	var rows []stratRow
 
 	for _, strat := range []exec.Strategy{exec.Serial, exec.Doorbell} {
-		env := sim.NewEnv(17)
+		env := sim.NewEnv(benchSeed(17))
 		mc := core.NewMultiCluster(env, 2, core.DefaultOptions(keys*2, keys*512))
 		mc.ReshardStrategy = strat
 		factory := func(p *sim.Proc) CacheOps { return mc.NewClient(p) }

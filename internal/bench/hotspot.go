@@ -111,7 +111,7 @@ func Hotspot(w io.Writer, scale Scale) error {
 // hashes the key bytes, so the hot ranks still land on effectively
 // random nodes.
 func runHotspot(theta float64, replicate bool, keys, clients, opsEach, writeDenom int) (Result, float64, *core.MultiCluster) {
-	env := sim.NewEnv(29)
+	env := sim.NewEnv(benchSeed(29))
 	opts := core.DefaultOptions(keys*3, keys*1200) // headroom for 1+R hot-key copies
 	// The replication lever only matters once a single MN's RNIC is the
 	// binding resource. The default calibration's 40 M msg/s per node

@@ -55,6 +55,8 @@ var Experiments = map[string]Experiment{
 	"batched-throughput": {BatchedThroughput, "Doorbell-batched MGet/MSet vs sequential ops across batch sizes 1/8/32/128 (YCSB-C and mixed)"},
 	// Hot-key replication with load-aware read spreading — extension.
 	"hotspot": {Hotspot, "Hot-key replication on a zipfian read-heavy workload, 4 MNs: throughput and per-node read imbalance, replicated vs unreplicated"},
+	// Eviction as verb plans + proactive background reclaim — extension.
+	"churn": {Churn, "Write-heavy zipf churn at ~100% occupancy: Set p99 and eviction-stall time, inline-serial vs background-doorbell reclaim"},
 }
 
 // IDs returns the experiment IDs in a stable order.

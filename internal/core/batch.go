@@ -132,12 +132,9 @@ func (c *Client) MSet(pairs []KV) {
 	start := c.p.Now()
 	// Same over-budget drain budget a sequence of len(pairs) Sets would
 	// have, so batched writes shrink an over-budget heap at the same rate
-	// as sequential ones.
-	for i := 0; i < shrinkEvictBatch*len(pairs) && c.cl.MN.OverBudget(); i++ {
-		if !c.evictOne() {
-			break
-		}
-	}
+	// as sequential ones — and, like them, as multi-victim doorbell
+	// rounds when the deficit spans more than one block.
+	c.drainOverBudget(shrinkEvictBatch * len(pairs))
 	plans := make([]*setPlan, len(pairs))
 	run := make([]exec.Plan, len(pairs))
 	for i := range pairs {

@@ -31,6 +31,45 @@ type Stats struct {
 	Regrets             int64
 	SetRetries          int64
 	BucketEvictions     int64
+
+	// Eviction observability. SampledSlots counts slots fetched by
+	// eviction sample READs (SampledSlots/Evictions is the sampled-slots-
+	// per-eviction figure); EvictResamples counts eviction attempts that
+	// found no live candidate or lost the victim CAS and had to resample.
+	SampledSlots   int64
+	EvictResamples int64
+
+	// WriteStallTicks counts the bounded stall rounds a write's
+	// allocOrEvict slept waiting for the background reclaimer (zero when
+	// none is enabled). WriteStallNs is the total virtual time writes
+	// spent beyond a clean allocation — reclaimer stall ticks plus any
+	// inline eviction verbs — the eviction-stall time of the churn bench.
+	WriteStallTicks int64
+	WriteStallNs    int64
+
+	// ReclaimerWakeups counts pressure wakeups; only the background
+	// reclaimer's own client (Cluster.ReclaimerStats) increments it.
+	ReclaimerWakeups int64
+}
+
+// Add folds other's counters into s — the one summation every
+// aggregator (MultiClient.Stats, the bench harnesses) shares, so a new
+// counter cannot be silently dropped from one of them.
+func (s *Stats) Add(other Stats) {
+	s.Gets += other.Gets
+	s.Sets += other.Sets
+	s.Deletes += other.Deletes
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Evictions += other.Evictions
+	s.Regrets += other.Regrets
+	s.SetRetries += other.SetRetries
+	s.BucketEvictions += other.BucketEvictions
+	s.SampledSlots += other.SampledSlots
+	s.EvictResamples += other.EvictResamples
+	s.WriteStallTicks += other.WriteStallTicks
+	s.WriteStallNs += other.WriteStallNs
+	s.ReclaimerWakeups += other.ReclaimerWakeups
 }
 
 // HitRate returns Hits/(Hits+Misses).
@@ -273,11 +312,7 @@ const shrinkEvictBatch = 8
 func (c *Client) Set(key, value []byte) {
 	start := c.p.Now()
 	c.Stats.Sets++
-	for i := 0; i < shrinkEvictBatch && c.cl.MN.OverBudget(); i++ {
-		if !c.evictOne() {
-			break
-		}
-	}
+	c.drainOverBudget(shrinkEvictBatch)
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.Stats.SetRetries++
@@ -311,10 +346,56 @@ func (c *Client) Set(key, value []byte) {
 	}
 }
 
+// allocStallTick is how long a write sleeps per stall round waiting for
+// the background reclaimer (about one eviction RTT chain), and
+// allocStallRounds bounds those rounds before the write gives up on the
+// reclaimer and evicts inline.
+const (
+	allocStallTick   = 2 * sim.Microsecond
+	allocStallRounds = 64
+)
+
 // allocOrEvict allocates size bytes, evicting objects until space frees
 // up; it panics only when the pool is exhausted with nothing evictable.
+//
+// With a background reclaimer enabled (Cluster.EnableBackgroundReclaim)
+// the inline eviction is the LAST resort: a successful allocation that
+// dipped below the low watermark kicks the reclaimer ahead of demand,
+// and a failed one stalls in bounded ticks — polling the local allocator
+// and the controller pool the reclaimer surrenders freed blocks into —
+// so the write's latency is the reclaimer's catch-up time, not the full
+// eviction verb chain. WriteStallNs accumulates everything a write
+// waited beyond a clean allocation (reclaimer ticks AND inline eviction
+// verbs — the "eviction-stall time" the churn bench reports);
+// WriteStallTicks counts only the reclaimer stall rounds.
 func (c *Client) allocOrEvict(size int) uint64 {
 	addr, ok := c.alloc.Alloc(size)
+	if ok {
+		c.cl.maybeKickReclaim()
+		return addr
+	}
+	start := c.p.Now()
+	defer func() { c.Stats.WriteStallNs += c.p.Now() - start }()
+	if c.cl.reclaimEnabled {
+		c.cl.kickReclaimer()
+		// Blocks the reclaimer surrendered earlier may already sit in the
+		// controller pool (the local allocator only probes it on its
+		// backoff intervals): check before paying the first stall tick.
+		if addr, ok = c.alloc.AllocFromPool(size); ok {
+			return addr
+		}
+		for round := 0; round < allocStallRounds; round++ {
+			c.Stats.WriteStallTicks++
+			c.p.Sleep(allocStallTick)
+			if addr, ok = c.alloc.Alloc(size); ok {
+				return addr
+			}
+			if addr, ok = c.alloc.AllocFromPool(size); ok {
+				return addr
+			}
+			c.cl.kickReclaimer() // re-kick: a kick sent mid-round is lost
+		}
+	}
 	for !ok {
 		if !c.evictOne() {
 			panic("core: memory pool exhausted and nothing evictable")

@@ -14,10 +14,11 @@
 //	       doorbell batches so round trips overlap across the keys
 //
 // matching §4.1's operation descriptions and the verb budgets asserted in
-// the tests. Every verb sequence is declared once as a plan (plan.go)
-// and executed through internal/exec under the Serial strategy (per-key
-// paths, this file's budgets) or the Doorbell strategy (batch.go, the
-// resharder in multi.go).
+// the tests. Every verb sequence — eviction included — is declared once
+// as a plan (plan.go) and executed through internal/exec under the
+// Serial strategy (per-key paths, this file's budgets) or the Doorbell
+// strategy (batch.go, the resharder in multi.go, the background
+// reclaimer and over-budget drains in evict.go).
 package core
 
 import (
@@ -25,6 +26,7 @@ import (
 
 	"ditto/internal/adaptive"
 	"ditto/internal/cachealgo"
+	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
@@ -115,6 +117,38 @@ type Cluster struct {
 	// shifts ServedReads from a key's primary owner to its replicas.
 	ServedReads int64
 
+	// ReclaimStrategy selects how multi-victim eviction batches execute —
+	// the background reclaimer's rounds and the write paths' over-budget
+	// drains: exec.Doorbell (the default) samples several windows and
+	// CASes several victims per doorbell round; exec.Serial issues one
+	// verb per round trip, the paper-faithful per-key chain. Results are
+	// identical (pinned by the eviction equivalence test); single
+	// evictions on the write path always run serially.
+	ReclaimStrategy exec.Strategy
+
+	reclaimEnabled bool
+	reclaimKick    *sim.Cond
+	reclaimer      *Client
+
+	// reclaimStratFn, when non-nil, overrides ReclaimStrategy at use
+	// time. MultiCluster installs it on every node so a pool-level
+	// MultiCluster.ReclaimStrategy assignment takes effect like its
+	// ReshardStrategy/ReplicaStrategy siblings — read when batches run,
+	// not copied at construction.
+	reclaimStratFn func() exec.Strategy
+
+	// avgVictimBlocks is a running estimate of the eviction victim size
+	// (in blocks), used to size multi-victim reclaim rounds so a drain
+	// does not overshoot the budget by more than the estimate's error.
+	avgVictimBlocks float64
+
+	// onEvictHash, when non-nil, observes the key hash of every eviction
+	// victim on this node. MultiCluster's hot-key replication layer
+	// installs it so the eviction of a promoted key's primary copy can
+	// demote the entry (the hook must not issue verbs — demotion happens
+	// lazily at the next directory touch).
+	onEvictHash func(keyHash uint64)
+
 	histSize int
 	extSizes []int // per-expert extension bytes (from a prototype instance)
 	totalExt int
@@ -175,10 +209,11 @@ func NewCluster(env *sim.Env, opts Options) *Cluster {
 	mn.SetHeapLimit(opts.CacheBytes)
 
 	cl := &Cluster{
-		Env:    env,
-		MN:     mn,
-		Layout: hashtable.Layout{Config: tblCfg, Base: base},
-		opts:   opts,
+		Env:             env,
+		MN:              mn,
+		Layout:          hashtable.Layout{Config: tblCfg, Base: base},
+		opts:            opts,
+		ReclaimStrategy: exec.Doorbell,
 	}
 
 	cl.histSize = opts.HistorySize
@@ -221,5 +256,141 @@ func (cl *Cluster) GrowCache(bytes int) { cl.MN.GrowHeap(bytes) }
 // elasticity axis. The limit drops immediately; live objects above the
 // new budget are drained by client write paths, which evict a bounded
 // batch per Set while the node is over budget (so the cost is amortized
-// across operations instead of stalling one unlucky client).
-func (cl *Cluster) ShrinkCache(bytes int) { cl.MN.ShrinkHeap(bytes) }
+// across operations instead of stalling one unlucky client), or by the
+// background reclaimer when one is enabled (the shrink kicks it).
+func (cl *Cluster) ShrinkCache(bytes int) {
+	cl.MN.ShrinkHeap(bytes)
+	cl.kickReclaimer()
+}
+
+// ------------------------------------------------------ Background reclaim ----
+
+// reclaimBatchMax bounds how many victims one reclaimer round attempts
+// (one doorbell batch of evict plans under exec.Doorbell).
+const reclaimBatchMax = 16
+
+// EnableBackgroundReclaim starts this cluster's proactive reclaimer: a
+// background sim process that watches the allocator's free-space
+// watermarks (memnode.SetWatermarks) and runs batched eviction plans
+// under ReclaimStrategy AHEAD of demand — it wakes when free space dips
+// below the low watermark and reclaims until it is back above the high
+// one, surrendering the freed blocks to the controller pool where any
+// client's allocator can fetch them. Client writes then stall on
+// allocOrEvict only when the reclaimer has genuinely fallen behind (and
+// fall back to inline eviction after a bounded stall).
+//
+// low/high are free-byte watermarks; values <= 0 pick defaults of 1/16
+// and 1/8 of the heap. The process parks when there is no pressure and
+// is kicked by allocations, drains and shrinks that cross the low
+// watermark, so it adds no load to an idle cluster.
+func (cl *Cluster) EnableBackgroundReclaim(low, high int) {
+	if cl.reclaimEnabled {
+		return
+	}
+	hb := cl.MN.HeapBytes()
+	if low <= 0 {
+		low = hb / 16
+	}
+	if high <= 0 {
+		high = hb / 8
+	}
+	if low < memnode.BlockSize {
+		low = memnode.BlockSize
+	}
+	if high < low {
+		high = low
+	}
+	cl.MN.SetWatermarks(low, high)
+	cl.reclaimKick = sim.NewCond(cl.Env)
+	cl.reclaimEnabled = true
+	cl.Env.Go("reclaimer", func(p *sim.Proc) {
+		rc := cl.NewClient(p)
+		cl.reclaimer = rc
+		for {
+			cl.reclaimKick.Wait(p)
+			if !cl.MN.BelowLowWater() {
+				continue // spurious kick: pressure resolved before we ran
+			}
+			rc.Stats.ReclaimerWakeups++
+			for cl.MN.BelowHighWater() {
+				n := cl.victimsFor(cl.MN.ReclaimTarget() - cl.MN.FreeBytes())
+				if n > reclaimBatchMax {
+					n = reclaimBatchMax
+				}
+				got := rc.evictBatch(n, cl.reclaimStrategy())
+				// Freed blocks land on the reclaimer's own lists; surrender
+				// them immediately so stalled writers can fetch them from
+				// the controller pool.
+				rc.surrenderFreeBlocks()
+				if got == 0 {
+					break // nothing evictable right now; re-arm on the next kick
+				}
+			}
+		}
+	})
+}
+
+// ReclaimEnabled reports whether a background reclaimer is running.
+func (cl *Cluster) ReclaimEnabled() bool { return cl.reclaimEnabled }
+
+// ReclaimerStats returns the background reclaimer's own client counters
+// (its evictions, sample volume and wakeups); zero when no reclaimer is
+// enabled or it has not run yet.
+func (cl *Cluster) ReclaimerStats() Stats {
+	if cl.reclaimer == nil {
+		return Stats{}
+	}
+	return cl.reclaimer.Stats
+}
+
+// reclaimStrategy resolves the strategy eviction batches run under:
+// the pool-level override when this cluster belongs to a MultiCluster,
+// else the cluster's own field.
+func (cl *Cluster) reclaimStrategy() exec.Strategy {
+	if cl.reclaimStratFn != nil {
+		return cl.reclaimStratFn()
+	}
+	return cl.ReclaimStrategy
+}
+
+// kickReclaimer wakes the background reclaimer unconditionally (no-op
+// when none is enabled).
+func (cl *Cluster) kickReclaimer() {
+	if cl.reclaimKick != nil {
+		cl.reclaimKick.Broadcast()
+	}
+}
+
+// maybeKickReclaim wakes the reclaimer when free space has dipped below
+// the low watermark — the proactive half: called on the write path's
+// successful allocations, so reclaim starts before writers stall.
+func (cl *Cluster) maybeKickReclaim() {
+	if cl.reclaimEnabled && cl.MN.BelowLowWater() {
+		cl.reclaimKick.Broadcast()
+	}
+}
+
+// noteVictimBlocks feeds the running victim-size estimate with a won
+// eviction's size (in blocks).
+func (cl *Cluster) noteVictimBlocks(b int) {
+	if cl.avgVictimBlocks == 0 {
+		cl.avgVictimBlocks = float64(b)
+		return
+	}
+	cl.avgVictimBlocks += (float64(b) - cl.avgVictimBlocks) / 16
+}
+
+// victimsFor estimates how many evictions free `bytes` of heap, from the
+// running victim-size average (assuming one block before any eviction
+// has been observed). Always at least 1.
+func (cl *Cluster) victimsFor(bytes int) int {
+	avg := cl.avgVictimBlocks
+	if avg < 1 {
+		avg = 1
+	}
+	n := int(float64(bytes) / (avg * memnode.BlockSize))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -2,8 +2,9 @@ package core
 
 import (
 	"ditto/internal/cachealgo"
+	"ditto/internal/exec"
 	"ditto/internal/hashtable"
-	"ditto/internal/memnode"
+	"ditto/internal/rdma"
 )
 
 // candidate pairs a sampled slot with the metadata view the priority
@@ -13,100 +14,141 @@ type candidate struct {
 	meta cachealgo.Metadata
 }
 
-// evictOne performs one sample-based eviction (§4.2): sample K slots with
-// one READ, let every expert nominate its lowest-priority candidate, pick
-// the deciding expert by weight, evict its nominee, and (when adaptive)
-// convert the victim's slot into a lightweight history entry.
+// evictOne performs one sample-based eviction (§4.2): sample a window of
+// slots with one READ, let every expert nominate its lowest-priority
+// candidate, pick the deciding expert by weight, evict its nominee, and
+// (when adaptive) convert the victim's slot into a lightweight history
+// entry. The verb sequence is the evictPlan in plan.go — the same plan
+// the background reclaimer and the over-budget drains run as doorbell
+// batches — traversed serially here.
 //
 // It returns false when no object could be evicted after bounded
 // resampling (e.g. an empty cache).
-func (c *Client) evictOne() bool {
-	k := c.cl.opts.SampleK
-	n := c.cl.Layout.NumSlots()
-	// The paper samples K OBJECTS; slots also hold empty entries and
-	// history entries, so one READ covers enough consecutive slots that K
-	// live objects are expected at the table's design load factor.
-	window := k * (n/c.cl.opts.ExpectedObjects + 1)
-	if window > n {
-		window = n
-	}
-	for attempt := 0; attempt < evictAttempts; attempt++ {
-		start := c.p.Rand().Intn(n)
-		slots := c.ht.Sample(start, window)
-		cands := c.buildCandidates(slots)
-		if len(cands) == 0 {
-			continue
-		}
-		if len(cands) > k {
-			cands = cands[:k]
-		}
+func (c *Client) evictOne() bool { return c.evictBatch(1, exec.Serial) == 1 }
 
-		now := c.p.Now()
-		// Each expert nominates its minimum-priority candidate.
-		nominee := make([]int, len(c.experts))
-		prio := make([]float64, len(c.experts))
-		for e, a := range c.experts {
-			best, bestP := -1, 0.0
-			for i := range cands {
-				m := cands[i].meta
-				if off := c.extOff[e]; a.ExtSize() > 0 {
-					m.Ext = cands[i].meta.Ext[off : off+a.ExtSize()]
+// evictBatch reclaims up to n victims with evict plans executed under
+// strat: exec.Doorbell samples several windows and CASes several victims
+// per round (one doorbell per stage across the batch), exec.Serial runs
+// the same plans one verb per round trip. CAS losers and empty windows
+// resample in later rounds, bounded by evictAttempts plan executions in
+// total; a full-table sample that found nothing live ends the batch
+// early — nothing is evictable. Returns the number of victims reclaimed.
+func (c *Client) evictBatch(n int, strat exec.Strategy) int {
+	won, attempts := 0, 0
+	for won < n && attempts < evictAttempts {
+		m := n - won
+		if rem := evictAttempts - attempts; m > rem {
+			m = rem
+		}
+		plans := make([]*evictPlan, m)
+		run := make([]exec.Plan, m)
+		for i := range plans {
+			plans[i] = c.newEvictPlan()
+			run[i] = plans[i]
+		}
+		attempts += m
+		exec.Run(strat, run...)
+		exhausted := false
+		for _, pl := range plans {
+			switch pl.outcome {
+			case evictWon:
+				won++
+			case evictNone:
+				if pl.fullScan {
+					// The sample covered every slot and found nothing live:
+					// nothing further is evictable. Finish counting this
+					// round's wins (later plans in the batch may still have
+					// reclaimed something) before giving up.
+					exhausted = true
+					continue
 				}
-				p := a.Priority(&m, now)
-				if best < 0 || p < bestP {
-					best, bestP = i, p
-				}
-			}
-			nominee[e], prio[e] = best, bestP
-		}
-
-		deciding := 0
-		if c.adapt != nil {
-			deciding = c.adapt.PickExpert(c.p.Rand())
-		}
-		victim := cands[nominee[deciding]]
-
-		// Expert bitmap: every expert whose nominee is this victim shares
-		// the blame if the eviction turns out to be a regret.
-		var bitmap uint64
-		for e := range c.experts {
-			if cands[nominee[e]].slot.Addr == victim.slot.Addr {
-				bitmap |= 1 << uint(e)
+				c.Stats.EvictResamples++
+			case evictLost:
+				c.Stats.EvictResamples++
 			}
 		}
-
-		var won bool
-		if c.adapt != nil {
-			_, won = c.hist.Insert(victim.slot, bitmap)
-			if won && c.cl.opts.DisableLWH {
-				// Conventional remote FIFO history: enqueue into an actual
-				// remote queue (FAA tail + entry WRITE) instead of reusing
-				// the slot in place.
-				c.ep.FAA(memnode.HistCounterAddr+8, 1)
-				c.ep.Write(memnode.HistCounterAddr+16, make([]byte, 40))
-			}
-		} else {
-			_, won = c.ht.CASAtomic(victim.slot.Addr, victim.slot.Atomic, 0)
+		if exhausted {
+			return won
 		}
-		if !won {
-			continue // raced with another client; resample
-		}
-
-		for e, a := range c.experts {
-			if bitmap&(1<<uint(e)) == 0 {
-				continue
-			}
-			if obs, ok := a.(cachealgo.EvictionObserver); ok {
-				obs.OnEvict(prio[e])
-			}
-		}
-		c.alloc.Free(victim.slot.Atomic.Pointer(),
-			victim.slot.Atomic.SizeBytes())
-		c.fc.Forget(victim.slot.Addr)
-		c.Stats.Evictions++
-		return true
 	}
-	return false
+	return won
+}
+
+// drainOverBudget evicts until the node is back under budget, reclaiming
+// up to max victims, with rounds sized by the remaining deficit and the
+// running victim-size estimate — so a heap shrunk by many blocks frees
+// them as multi-victim doorbell rounds instead of one victim per RTT
+// chain. With a background reclaimer enabled the inline work is skipped
+// entirely: the drain kicks the reclaimer and lets the write proceed.
+func (c *Client) drainOverBudget(max int) {
+	if !c.cl.MN.OverBudget() {
+		return
+	}
+	if c.cl.reclaimEnabled {
+		c.cl.kickReclaimer()
+		return
+	}
+	for done := 0; done < max && c.cl.MN.OverBudget(); {
+		n := c.cl.victimsFor(-c.cl.MN.FreeBytes())
+		if n > max-done {
+			n = max - done
+		}
+		got := c.evictBatch(n, c.cl.reclaimStrategy())
+		if got == 0 {
+			return
+		}
+		done += got
+	}
+}
+
+// liveCandidate filters one sampled slot down to an eviction candidate
+// with the default metadata view attached — the one definition of the
+// slot filter and the metadata/frequency convention, shared by the
+// serial bucket-eviction path and the evictPlan's sample stage.
+func (c *Client) liveCandidate(s hashtable.Slot) (candidate, bool) {
+	if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+		return candidate{}, false
+	}
+	// Frequency convention (shared with noteHit/updateExt): remote
+	// snapshot plus the buffered delta. Sampling is not an access, so
+	// no +1 and no fc.Add here.
+	return candidate{slot: s, meta: cachealgo.Metadata{
+		Size:     s.Atomic.SizeBytes(),
+		InsertTs: s.InsertTs,
+		LastTs:   s.LastTs,
+		Freq:     s.Freq + c.fc.PendingDelta(s.Addr),
+	}}, true
+}
+
+// needsExtRead reports whether candidates cost one more READ each:
+// extension metadata is configured, or the DisableSFHT ablation stores
+// ALL metadata with the object.
+func (c *Client) needsExtRead() bool {
+	return c.cl.opts.DisableSFHT || c.cl.totalExt > 0
+}
+
+// extReadOp is that READ — the one definition of its addressing —
+// and applyExt attaches its completion to the candidate.
+func (c *Client) extReadOp(s hashtable.Slot) rdma.BatchOp {
+	if c.cl.opts.DisableSFHT {
+		// Metadata stored with objects: the READ covers the header too.
+		return rdma.BatchOp{
+			Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: objHeader + c.cl.totalExt,
+		}
+	}
+	return rdma.BatchOp{
+		Kind: rdma.BatchRead, Addr: s.Atomic.Pointer() + objHeader, Len: c.cl.totalExt,
+	}
+}
+
+func (c *Client) applyExt(cand *candidate, data []byte) {
+	if c.cl.opts.DisableSFHT {
+		if c.cl.totalExt > 0 {
+			cand.meta.Ext = data[objHeader:]
+		}
+		return
+	}
+	cand.meta.Ext = data
 }
 
 // buildCandidates filters a sample down to live object slots and attaches
@@ -116,29 +158,15 @@ func (c *Client) evictOne() bool {
 func (c *Client) buildCandidates(slots []hashtable.Slot) []candidate {
 	cands := make([]candidate, 0, len(slots))
 	for _, s := range slots {
-		if s.Atomic.IsEmpty() || s.Atomic.IsHistory() {
+		cand, ok := c.liveCandidate(s)
+		if !ok {
 			continue
 		}
-		// Frequency convention (shared with noteHit/updateExt): remote
-		// snapshot plus the buffered delta. Sampling is not an access, so
-		// no +1 and no fc.Add here.
-		meta := cachealgo.Metadata{
-			Size:     s.Atomic.SizeBytes(),
-			InsertTs: s.InsertTs,
-			LastTs:   s.LastTs,
-			Freq:     s.Freq + c.fc.PendingDelta(s.Addr),
+		if c.needsExtRead() {
+			op := c.extReadOp(s)
+			c.applyExt(&cand, c.ep.Read(op.Addr, op.Len))
 		}
-		switch {
-		case c.cl.opts.DisableSFHT:
-			// Metadata stored with objects: every candidate costs a READ.
-			raw := c.ep.Read(s.Atomic.Pointer(), objHeader+c.cl.totalExt)
-			if c.cl.totalExt > 0 {
-				meta.Ext = raw[objHeader:]
-			}
-		case c.cl.totalExt > 0:
-			meta.Ext = c.ep.Read(s.Atomic.Pointer()+objHeader, c.cl.totalExt)
-		}
-		cands = append(cands, candidate{slot: s, meta: meta})
+		cands = append(cands, cand)
 	}
 	return cands
 }
@@ -180,8 +208,12 @@ func (c *Client) bucketEvict(slots []hashtable.Slot) bool {
 	c.alloc.Free(victim.slot.Atomic.Pointer(),
 		victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(victim.slot.Addr)
+	c.cl.noteVictimBlocks(int(victim.slot.Atomic.SizeBlocks()))
 	c.Stats.Evictions++
 	c.Stats.BucketEvictions++
+	if c.cl.onEvictHash != nil {
+		c.cl.onEvictHash(victim.slot.Hash)
+	}
 	return true
 }
 

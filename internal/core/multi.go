@@ -90,6 +90,19 @@ type MultiCluster struct {
 	// demoted to the serial retry path either way.
 	ReplicaStrategy exec.Strategy
 
+	// ReclaimStrategy selects how eviction plan batches execute on every
+	// node — the background reclaimers' rounds and the write paths'
+	// over-budget drains — mirroring ReshardStrategy/ReplicaStrategy:
+	// every node reads it at use time (a per-node override installed by
+	// provision), so assigning it any time takes effect pool-wide.
+	ReclaimStrategy exec.Strategy
+
+	// reclaimLow/reclaimHigh remember EnableBackgroundReclaim's
+	// watermarks so nodes provisioned later (AddNode) get a reclaimer of
+	// their own.
+	reclaimAll              bool
+	reclaimLow, reclaimHigh int
+
 	// Promotions and Demotions count replicated-set membership changes;
 	// SpreadReads counts reads served by a replica instead of the
 	// primary — the work the replication layer moved off hot nodes.
@@ -120,6 +133,7 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 		done:            sim.NewCond(env),
 		ReshardStrategy: exec.Doorbell,
 		ReplicaStrategy: exec.Doorbell,
+		ReclaimStrategy: exec.Doorbell,
 	}
 	for i := 0; i < n; i++ {
 		id := mc.provision()
@@ -130,13 +144,35 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 
 // provision creates one MN and registers it, without touching the routing
 // ring — the caller decides whether the join is immediate (construction)
-// or via a reshard (AddNode).
+// or via a reshard (AddNode). Nodes inherit the pool's reclaim strategy,
+// its background reclaimer (when enabled) and the hot-key eviction hook,
+// so a node added mid-run behaves like its peers.
 func (mc *MultiCluster) provision() int {
 	id := mc.nextID
 	mc.nextID++
-	mc.nodes[id] = NewCluster(mc.Env, mc.perNode)
+	cl := NewCluster(mc.Env, mc.perNode)
+	cl.reclaimStratFn = func() exec.Strategy { return mc.ReclaimStrategy }
+	if mc.reclaimAll {
+		cl.EnableBackgroundReclaim(mc.reclaimLow, mc.reclaimHigh)
+	}
+	if mc.hot != nil {
+		mc.installEvictHook(id, cl)
+	}
+	mc.nodes[id] = cl
 	mc.order = append(mc.order, id)
 	return id
+}
+
+// EnableBackgroundReclaim starts a proactive reclaimer on every memory
+// node (see Cluster.EnableBackgroundReclaim), applying the pool's
+// ReclaimStrategy to each; nodes added later by AddNode get one too.
+// low/high <= 0 pick the per-node defaults.
+func (mc *MultiCluster) EnableBackgroundReclaim(low, high int) {
+	mc.reclaimAll = true
+	mc.reclaimLow, mc.reclaimHigh = low, high
+	for _, id := range mc.order {
+		mc.nodes[id].EnableBackgroundReclaim(low, high)
+	}
 }
 
 // NumNodes returns the memory-node count (a draining node counts until
@@ -1138,16 +1174,7 @@ func (m *MultiClient) Close() {
 func (m *MultiClient) Stats() Stats {
 	var s Stats
 	for _, id := range sortedNodeIDs(m.clients) {
-		c := m.clients[id]
-		s.Gets += c.Stats.Gets
-		s.Sets += c.Stats.Sets
-		s.Deletes += c.Stats.Deletes
-		s.Hits += c.Stats.Hits
-		s.Misses += c.Stats.Misses
-		s.Evictions += c.Stats.Evictions
-		s.Regrets += c.Stats.Regrets
-		s.SetRetries += c.Stats.SetRetries
-		s.BucketEvictions += c.Stats.BucketEvictions
+		s.Add(m.clients[id].Stats)
 	}
 	return s
 }

@@ -28,8 +28,11 @@ package core
 import (
 	"bytes"
 
+	"ditto/internal/cachealgo"
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
+	"ditto/internal/history"
+	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 )
 
@@ -684,6 +687,283 @@ func (pl *delPlan) Absorb(res []exec.Result) {
 			// copy; keep scanning for further copies either way.
 		}
 	}
+}
+
+// ------------------------------------------------------------- Eviction ----
+
+// evictPlan states.
+const (
+	evSample = iota
+	evExt
+	evFAA
+	evCAS
+	evLWH
+	evDone
+)
+
+// evictPlan outcomes.
+const (
+	evictPending = iota
+	evictWon     // a victim was reclaimed (block freed, history inserted)
+	evictNone    // the sample window held no live object
+	evictLost    // the victim CAS lost a race; resample
+)
+
+// evictPlan is one sample-based eviction attempt (§4.2) as a verb plan:
+// stage the sample-window READ(s), stage any extension-metadata READs,
+// then — once every expert has nominated and the pre-drawn deciding
+// expert picked the victim — stage the history-ID FAA and the victim CAS
+// (plain CAS-to-empty when adaptive caching is off). The sample start
+// and the deciding expert are drawn from the client RNG at CONSTRUCTION
+// time, so a batch of plans consumes the same random sequence whichever
+// strategy executes it — the hinge of the Serial/Doorbell equivalence.
+//
+// CAS losses and empty windows finish the plan with that outcome; the
+// drivers (evictOne, evictBatch) resample with a fresh plan, bounded by
+// evictAttempts. fullScan marks a window that covered the whole table:
+// an empty outcome is then definitive (nothing evictable), not a miss
+// of the sample.
+type evictPlan struct {
+	c        *Client
+	k        int
+	start    int
+	window   int
+	deciding int
+	now      int64 // priority-evaluation time, fixed at construction
+	fullScan bool
+
+	st        int
+	sampleOps []rdma.BatchOp
+	slots     []hashtable.Slot
+	cands     []candidate
+	ei        int // next candidate ext READ to absorb
+
+	victim candidate
+	bitmap uint64
+	prio   []float64
+	histID uint64
+
+	outcome int
+}
+
+// newEvictPlan draws the attempt's randomness (window start, then the
+// deciding expert — PickExpert depends only on the current weights, not
+// on the sample, so it can be drawn up front) and precomputes the sample
+// verbs. Construction order therefore fixes the random sequence of a
+// batch regardless of execution strategy; the priority-evaluation time
+// is captured here too, so time-dependent experts (LRFU, Hyperbolic)
+// rank candidates identically under either strategy.
+func (c *Client) newEvictPlan() *evictPlan {
+	pl := &evictPlan{
+		c:      c,
+		k:      c.cl.opts.SampleK,
+		window: c.evictWindow(),
+		now:    c.p.Now(),
+	}
+	n := c.cl.Layout.NumSlots()
+	pl.start = c.p.Rand().Intn(n)
+	if c.adapt != nil {
+		pl.deciding = c.adapt.PickExpert(c.p.Rand())
+	}
+	pl.fullScan = pl.window >= n
+	pl.sampleOps = c.cl.Layout.SampleOps(pl.start, pl.window)
+	return pl
+}
+
+// evictWindow sizes the sample READ so that ~SampleK live objects are
+// expected in it at the table's CURRENT occupancy — sizing against
+// ExpectedObjects instead (the design load) made near-empty tables
+// sample tiny windows that mostly hold empty slots, burning an attempt
+// (and a READ) per resample. The live count is estimated from the heap
+// accounting divided by the running victim-size average (seeded at one
+// block, so before any eviction the estimate is an upper bound on the
+// object count and the window errs small — bounded by resampling). The
+// window is clamped to the whole table; a full-table sample that finds
+// nothing live is then proof that nothing is evictable.
+func (c *Client) evictWindow() int {
+	k, n := c.cl.opts.SampleK, c.cl.Layout.NumSlots()
+	objBlocks := c.cl.avgVictimBlocks
+	if objBlocks < 1 {
+		objBlocks = 1
+	}
+	live := int(float64(c.cl.MN.UsedBytes) / (objBlocks * memnode.BlockSize))
+	if live > c.cl.opts.ExpectedObjects {
+		live = c.cl.opts.ExpectedObjects
+	}
+	if live < 1 {
+		live = 1
+	}
+	window := k * (n/live + 1)
+	if window > n {
+		window = n
+	}
+	return window
+}
+
+func (pl *evictPlan) Step(eager bool) []exec.Verb {
+	for {
+		switch pl.st {
+		case evSample:
+			// No short-circuit between the (at most two) wrap-around READs:
+			// emit them as one group under either traversal, exactly as the
+			// synchronous Sample issues them back to back.
+			vs := make([]exec.Verb, len(pl.sampleOps))
+			for i, op := range pl.sampleOps {
+				vs[i] = exec.Verb{EP: pl.c.ep, Op: op}
+			}
+			return vs
+		case evExt:
+			if pl.ei >= len(pl.cands) {
+				pl.nominate()
+				continue
+			}
+			return stageVerbs(eager, pl.ei, len(pl.cands), func(i int) exec.Verb {
+				return exec.Verb{EP: pl.c.ep, Op: pl.c.extReadOp(pl.cands[i].slot)}
+			})
+		case evFAA:
+			return []exec.Verb{{EP: pl.c.ep, Op: pl.c.hist.NextIDOp()}}
+		case evCAS:
+			swap := hashtable.AtomicField(0)
+			if pl.c.adapt != nil {
+				swap = history.EntryFor(pl.victim.slot, pl.histID)
+			}
+			return []exec.Verb{casVerb(pl.c, pl.victim.slot.Addr, pl.victim.slot.Atomic, swap)}
+		case evLWH:
+			// DisableLWH ablation: a conventional remote FIFO history costs
+			// an actual queue enqueue — FAA the tail, WRITE the entry.
+			return []exec.Verb{
+				{EP: pl.c.ep, Op: rdma.BatchOp{
+					Kind: rdma.BatchFAA, Addr: memnode.HistCounterAddr + 8, Delta: 1,
+				}},
+				{EP: pl.c.ep, Op: rdma.BatchOp{
+					Kind: rdma.BatchWrite, Addr: memnode.HistCounterAddr + 16,
+					Data: make([]byte, 40),
+				}},
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (pl *evictPlan) Absorb(res []exec.Result) {
+	c := pl.c
+	switch pl.st {
+	case evSample:
+		for i, r := range res {
+			pl.slots = append(pl.slots,
+				c.cl.Layout.DecodeSlots(pl.sampleOps[i].Addr, r.Data)...)
+		}
+		c.Stats.SampledSlots += int64(len(pl.slots))
+		for _, s := range pl.slots {
+			if cand, ok := c.liveCandidate(s); ok {
+				pl.cands = append(pl.cands, cand)
+			}
+		}
+		if len(pl.cands) == 0 {
+			pl.outcome = evictNone
+			pl.st = evDone
+			return
+		}
+		if c.needsExtRead() {
+			pl.st = evExt
+			return
+		}
+		pl.nominate()
+	case evExt:
+		for _, r := range res {
+			c.applyExt(&pl.cands[pl.ei], r.Data)
+			pl.ei++
+		}
+	case evFAA:
+		pl.histID = c.hist.AbsorbID(res[0].Old)
+		pl.st = evCAS
+	case evCAS:
+		if !res[0].Swapped {
+			pl.outcome = evictLost // raced with another client; resample
+			pl.st = evDone
+			return
+		}
+		if c.adapt != nil {
+			c.hist.FinishInsert(pl.victim.slot.Addr, pl.bitmap)
+			if c.cl.opts.DisableLWH {
+				pl.st = evLWH
+				return
+			}
+		}
+		pl.finishWin()
+	case evLWH:
+		pl.finishWin()
+	}
+}
+
+// nominate runs the local half of the attempt once the sample (and any
+// extension metadata) is in: every expert nominates its lowest-priority
+// candidate, the pre-drawn deciding expert's nominee becomes the victim,
+// and the expert bitmap records who shares the blame. Advances to the
+// history FAA (adaptive) or straight to the victim CAS.
+func (pl *evictPlan) nominate() {
+	c := pl.c
+	// The paper samples K OBJECTS; the window covers more slots so K live
+	// ones are expected — trim any surplus, as the hand-written path did.
+	if len(pl.cands) > pl.k {
+		pl.cands = pl.cands[:pl.k]
+	}
+	now := pl.now
+	nominee := make([]int, len(c.experts))
+	pl.prio = make([]float64, len(c.experts))
+	for e, a := range c.experts {
+		best, bestP := -1, 0.0
+		for i := range pl.cands {
+			m := pl.cands[i].meta
+			if off := c.extOff[e]; a.ExtSize() > 0 {
+				m.Ext = pl.cands[i].meta.Ext[off : off+a.ExtSize()]
+			}
+			p := a.Priority(&m, now)
+			if best < 0 || p < bestP {
+				best, bestP = i, p
+			}
+		}
+		nominee[e], pl.prio[e] = best, bestP
+	}
+	pl.victim = pl.cands[nominee[pl.deciding]]
+	// Expert bitmap: every expert whose nominee is this victim shares the
+	// blame if the eviction turns out to be a regret.
+	for e := range c.experts {
+		if pl.cands[nominee[e]].slot.Addr == pl.victim.slot.Addr {
+			pl.bitmap |= 1 << uint(e)
+		}
+	}
+	if c.adapt != nil {
+		pl.st = evFAA
+	} else {
+		pl.st = evCAS
+	}
+}
+
+// finishWin applies the local effects of a won eviction: expert
+// penalties-on-evict, the block free, FC-cache cleanup, stats, and the
+// hot-key hook that lets the replication layer demote an entry whose
+// primary copy was just evicted.
+func (pl *evictPlan) finishWin() {
+	c := pl.c
+	for e, a := range c.experts {
+		if pl.bitmap&(1<<uint(e)) == 0 {
+			continue
+		}
+		if obs, ok := a.(cachealgo.EvictionObserver); ok {
+			obs.OnEvict(pl.prio[e])
+		}
+	}
+	c.alloc.Free(pl.victim.slot.Atomic.Pointer(), pl.victim.slot.Atomic.SizeBytes())
+	c.fc.Forget(pl.victim.slot.Addr)
+	c.cl.noteVictimBlocks(int(pl.victim.slot.Atomic.SizeBlocks()))
+	c.Stats.Evictions++
+	if c.cl.onEvictHash != nil {
+		c.cl.onEvictHash(pl.victim.slot.Hash)
+	}
+	pl.outcome = evictWon
+	pl.st = evDone
 }
 
 // ------------------------------------------------------------- Migration ----

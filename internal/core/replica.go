@@ -120,6 +120,20 @@ func (mc *MultiCluster) EnableHotKeyReplication(factor int, threshold uint64, ma
 	mc.ReplicaFactor = factor
 	mc.HotThreshold = threshold
 	mc.hot = hotset.New(mc.Env, maxHotKeys)
+	for _, id := range mc.order {
+		mc.installEvictHook(id, mc.nodes[id])
+	}
+}
+
+// installEvictHook points one node's eviction-victim hook at the hot-key
+// directory: evicting a promoted key's primary copy flags its entry so
+// the next directory touch demotes it — otherwise the replicas would
+// keep serving a key the cache decided to drop. The hook sees only the
+// victim's key hash (slots store no key bytes) and must not issue verbs,
+// so it marks and returns; every eviction path (sample plans, the
+// background reclaimer, bucket evictions) reports through it.
+func (mc *MultiCluster) installEvictHook(id int, cl *Cluster) {
+	cl.onEvictHash = func(kh uint64) { mc.hot.MarkPrimaryEvicted(id, kh) }
 }
 
 // noteHotCandidate is the Client.onHit hook: it queues a key for
@@ -194,6 +208,7 @@ func (m *MultiClient) promote(key []byte) {
 	}
 	e := &hotset.Entry{
 		Key:      append([]byte(nil), key...),
+		KeyHash:  hashtable.KeyHash(key),
 		Epoch:    epoch,
 		Primary:  owners[0],
 		Replicas: owners[1:],
@@ -244,6 +259,14 @@ func (m *MultiClient) getSpread(key []byte) (val []byte, ok, served bool) {
 		m.demoteKey(key) // ring moved under the replica set
 		return nil, false, false
 	}
+	if e.Evicted {
+		// The primary copy was evicted: the cache dropped this key, so
+		// the replicas must not resurrect it. Dissolve them and fall back
+		// to the routed path (which will miss, as an unreplicated cache
+		// would).
+		m.demoteKey(key)
+		return nil, false, false
+	}
 	if e.Warming {
 		// Pre-entry writes may not have been repaired into the copies
 		// yet: serve through the primary until the entry validates.
@@ -279,7 +302,7 @@ func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int
 			remaining = append(remaining, i)
 			continue
 		}
-		if e.Epoch != mc.epoch || mc.oldRing != nil {
+		if e.Epoch != mc.epoch || mc.oldRing != nil || e.Evicted {
 			m.demoteKey(keys[i])
 			remaining = append(remaining, i)
 			continue
@@ -319,7 +342,9 @@ func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int
 // also completes before the write returns).
 func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 	mc := m.mc
-	stale := e.Epoch != mc.epoch || mc.oldRing != nil
+	// An Evicted entry counts as stale: its primary copy is gone, so the
+	// copy set must be dissolved before this write lands unreplicated.
+	stale := e.Epoch != mc.epoch || mc.oldRing != nil || e.Evicted
 	e.Writes++
 	writeHeavy := e.Writes >= demoteMinWrites && e.Writes > demoteWriteReadRatio*e.Reads
 	if stale || writeHeavy {
@@ -464,7 +489,7 @@ func (m *MultiClient) resyncAfterWrite(key []byte) {
 	if e == nil {
 		return
 	}
-	if e.Epoch != m.mc.epoch || m.mc.oldRing != nil {
+	if e.Epoch != m.mc.epoch || m.mc.oldRing != nil || e.Evicted {
 		m.demoteLocked(e)
 		return
 	}

@@ -279,31 +279,50 @@ func (h *Handle) ReadSlot(addr uint64) Slot {
 	return decodeSlot(addr, raw)
 }
 
-// Sample fetches k consecutive slots starting at a random slot index with
-// ONE RDMA_READ — the sample-friendly co-design. Runs wrap around the end
-// of the table with a second read only at the boundary.
-func (h *Handle) Sample(startIdx, k int) []Slot {
-	n := h.Layout.NumSlots()
+// SampleOps returns the RDMA_READ verb(s) that fetch k consecutive slots
+// starting at slot index startIdx — one READ, plus a second only when the
+// run wraps around the end of the table. The one definition of a sample
+// READ, shared by the synchronous Sample below and the eviction verb
+// plan that posts the same reads inside doorbell batches; decode each
+// completion with DecodeSlots.
+func (l Layout) SampleOps(startIdx, k int) []rdma.BatchOp {
+	n := l.NumSlots()
 	if k > n {
 		k = n
 	}
 	startIdx %= n
-	out := make([]Slot, 0, k)
 	first := k
 	if startIdx+k > n {
 		first = n - startIdx
 	}
-	base := h.Layout.SlotAddr(startIdx)
-	raw := h.EP.Read(base, first*SlotBytes)
-	for i := 0; i < first; i++ {
-		out = append(out, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
-	}
+	ops := []rdma.BatchOp{{
+		Kind: rdma.BatchRead, Addr: l.SlotAddr(startIdx), Len: first * SlotBytes,
+	}}
 	if rest := k - first; rest > 0 {
-		base = h.Layout.SlotAddr(0)
-		raw = h.EP.Read(base, rest*SlotBytes)
-		for i := 0; i < rest; i++ {
-			out = append(out, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
-		}
+		ops = append(ops, rdma.BatchOp{
+			Kind: rdma.BatchRead, Addr: l.SlotAddr(0), Len: rest * SlotBytes,
+		})
+	}
+	return ops
+}
+
+// DecodeSlots decodes a run of consecutive slot images fetched from base
+// by any read path (a synchronous READ or a doorbell batch).
+func (l Layout) DecodeSlots(base uint64, raw []byte) []Slot {
+	slots := make([]Slot, len(raw)/SlotBytes)
+	for i := range slots {
+		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
+	}
+	return slots
+}
+
+// Sample fetches k consecutive slots starting at a random slot index with
+// ONE RDMA_READ — the sample-friendly co-design. Runs wrap around the end
+// of the table with a second read only at the boundary.
+func (h *Handle) Sample(startIdx, k int) []Slot {
+	var out []Slot
+	for _, op := range h.Layout.SampleOps(startIdx, k) {
+		out = append(out, h.Layout.DecodeSlots(op.Addr, h.EP.Read(op.Addr, op.Len))...)
 	}
 	return out
 }

@@ -56,11 +56,45 @@ func NewClient(ep *rdma.Endpoint, ht *hashtable.Handle, l int) *Client {
 func (c *Client) Capacity() uint64 { return c.capacity }
 
 // NextID atomically fetches-and-increments the global history counter
-// (one RDMA_FAA) and returns the acquired history ID.
+// (one RDMA_FAA) and returns the acquired history ID — the synchronous
+// issue of NextIDOp, absorbed by AbsorbID.
 func (c *Client) NextID() uint64 {
-	v := c.ep.FAA(memnode.HistCounterAddr, 1) & counterMask
+	op := c.NextIDOp()
+	return c.AbsorbID(c.ep.FAA(op.Addr, op.Delta))
+}
+
+// NextIDOp returns the RDMA_FAA verb that acquires a history ID, for
+// callers that post it inside a doorbell batch instead of issuing it
+// synchronously (the eviction verb plan). Feed the completion's old
+// value to AbsorbID.
+func (c *Client) NextIDOp() rdma.BatchOp {
+	return rdma.BatchOp{Kind: rdma.BatchFAA, Addr: memnode.HistCounterAddr, Delta: 1}
+}
+
+// AbsorbID folds a NextIDOp completion (the FAA's old value) into the
+// client's cached counter, exactly as NextID would have, and returns the
+// acquired history ID.
+func (c *Client) AbsorbID(old uint64) uint64 {
+	v := old & counterMask
 	c.cachedCounter = (v + 1) & counterMask
 	return v
+}
+
+// EntryFor builds the history-entry atomic field that replaces a
+// victim's slot: same fingerprint, the history size sentinel, and the
+// acquired ID in the pointer bits — the swap value of Insert's CAS, for
+// plans that stage that CAS themselves.
+func EntryFor(victim hashtable.Slot, id uint64) hashtable.AtomicField {
+	return hashtable.EncodeAtomic(victim.Atomic.FP(), hashtable.SizeHistory, id)
+}
+
+// FinishInsert applies the post-CAS effects of a history insert staged
+// by a plan (the CAS itself already won): the asynchronous expert-bitmap
+// WRITE and the insert count. Insert = NextIDOp/AbsorbID + the EntryFor
+// CAS + FinishInsert.
+func (c *Client) FinishInsert(victimAddr uint64, expertBitmap uint64) {
+	c.ht.WriteExpertBitmap(victimAddr, expertBitmap)
+	c.Inserts++
 }
 
 // RefreshCounter reads the global counter (one RDMA_READ); normally
@@ -96,15 +130,15 @@ func (c *Client) Age(id uint64) uint64 {
 // the ID (in NextID), one RDMA_CAS on the atomic field, and an
 // asynchronous RDMA_WRITE of the expert bitmap into the insert_ts field.
 // It returns the history ID and whether the CAS won (a concurrent client
-// may have raced on the same victim).
+// may have raced on the same victim). Insert IS the synchronous
+// composition of the plan-facing pieces (NextIDOp/AbsorbID + EntryFor +
+// FinishInsert), so the two execution shapes cannot drift apart.
 func (c *Client) Insert(victim hashtable.Slot, expertBitmap uint64) (uint64, bool) {
 	id := c.NextID()
-	entry := hashtable.EncodeAtomic(victim.Atomic.FP(), hashtable.SizeHistory, id)
-	if _, ok := c.ht.CASAtomic(victim.Addr, victim.Atomic, entry); !ok {
+	if _, ok := c.ht.CASAtomic(victim.Addr, victim.Atomic, EntryFor(victim, id)); !ok {
 		return id, false
 	}
-	c.ht.WriteExpertBitmap(victim.Addr, expertBitmap)
-	c.Inserts++
+	c.FinishInsert(victim.Addr, expertBitmap)
 	return id, true
 }
 

@@ -59,6 +59,10 @@ import "ditto/internal/sim"
 type Entry struct {
 	// Key is the promoted key (the entry owns this copy).
 	Key []byte
+	// KeyHash is the key's table hash, set at promotion. Eviction only
+	// ever learns a victim's hash (the slot stores no key bytes), so the
+	// evicted-primary sweep matches on it.
+	KeyHash uint64
 	// Epoch is the routing epoch the replica set was computed under. An
 	// entry whose Epoch no longer matches the cluster's is STALE: readers
 	// must not spread from it and the next writer demotes it.
@@ -76,6 +80,14 @@ type Entry struct {
 	// Cleared — under the entry lock — by the first fan-out that
 	// completes with no registered writer in flight.
 	Warming bool
+
+	// Evicted marks an entry whose PRIMARY copy was evicted by the
+	// cache's memory pressure (MarkPrimaryEvicted). The cache chose to
+	// drop the key, so the replicas must not keep serving it: readers
+	// refuse to spread from the entry and the next toucher demotes it,
+	// dissolving the replica copies. Set without the entry lock (the
+	// eviction path must not block or issue verbs); acted on under it.
+	Evicted bool
 
 	// Reads and Writes count operations routed through this entry since
 	// promotion — the load signal for write-heavy demotion.
@@ -220,6 +232,23 @@ func (s *Set) Victim() *Entry {
 		}
 	}
 	return v
+}
+
+// MarkPrimaryEvicted flags the entry (if any) whose key hash matches an
+// eviction victim on node — but only when that node is the entry's
+// PRIMARY: a replica copy evicted under its own node's pressure is just
+// a silent probe miss, while a primary copy evicted means the cache
+// dropped the key and the replicas would resurrect it. Pure bookkeeping
+// (no verbs, no locks — callable from the eviction completion path);
+// the demotion itself happens lazily at the next directory touch. The
+// directory is small (Limit entries), so the scan is bounded.
+func (s *Set) MarkPrimaryEvicted(node int, keyHash uint64) {
+	for _, e := range s.entries {
+		if e.KeyHash == keyHash && e.Primary == node {
+			e.Evicted = true
+			return
+		}
+	}
 }
 
 // BeginWrite registers an unreplicated write in flight on key. Write

@@ -119,3 +119,27 @@ func TestVictimPicksColdestUnlocked(t *testing.T) {
 	}
 	_ = hot
 }
+
+func TestMarkPrimaryEvicted(t *testing.T) {
+	env := sim.NewEnv(1)
+	s := New(env, 8)
+	e := &Entry{Key: []byte("k"), KeyHash: 42, Primary: 3, Replicas: []int{1, 2}}
+	s.Insert(e)
+	s.Unlock(e)
+
+	// A replica node evicting the copy (or any other hash) must not flag.
+	s.MarkPrimaryEvicted(1, 42)
+	s.MarkPrimaryEvicted(3, 7)
+	if e.Evicted {
+		t.Fatal("flagged by a non-primary eviction or a foreign hash")
+	}
+	// The primary's eviction of the matching hash flags the entry, with
+	// no lock taken (busy stays false).
+	s.MarkPrimaryEvicted(3, 42)
+	if !e.Evicted {
+		t.Fatal("primary eviction did not flag the entry")
+	}
+	if e.busy {
+		t.Fatal("marking must not take the entry lock")
+	}
+}

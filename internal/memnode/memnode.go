@@ -80,6 +80,16 @@ type MemNode struct {
 	// heap space. Served to clients via OpAllocBlock when the segment
 	// space is exhausted.
 	blockPool map[int][]uint64
+
+	// LowWaterBytes and HighWaterBytes are the free-space watermarks the
+	// background reclaimer (core.EnableBackgroundReclaim) runs between:
+	// when FreeBytes drops below the low watermark the reclaimer starts
+	// evicting, and it keeps going until FreeBytes is back above the high
+	// watermark (or until an over-budget heap is drained). Zero values
+	// mean "no watermarks": nothing in this package acts on them — they
+	// are shared state between the allocator accounting kept here and the
+	// reclaimer that polls it.
+	LowWaterBytes, HighWaterBytes int
 }
 
 // Config configures a memory node.
@@ -186,6 +196,58 @@ func (mn *MemNode) ShrinkHeap(bytes int) {
 // true after a ShrinkHeap until eviction catches up.
 func (mn *MemNode) OverBudget() bool { return mn.UsedBytes > mn.HeapBytes() }
 
+// FreeBytes returns the heap bytes not held by live objects. Negative
+// while the node is over budget (after a ShrinkHeap).
+func (mn *MemNode) FreeBytes() int { return mn.HeapBytes() - mn.UsedBytes }
+
+// SetWatermarks installs the reclaimer's free-space watermarks. low must
+// not exceed high; both are clamped to the heap size.
+func (mn *MemNode) SetWatermarks(low, high int) {
+	if low < 0 || high < low {
+		panic("memnode: watermarks need 0 <= low <= high")
+	}
+	if hb := mn.HeapBytes(); high > hb {
+		high = hb
+		if low > high {
+			low = high
+		}
+	}
+	mn.LowWaterBytes, mn.HighWaterBytes = low, high
+}
+
+// BelowLowWater reports whether free space has dipped under the low
+// watermark (always false when no watermarks are set) — the reclaimer's
+// wake condition. An over-budget heap counts as below any watermark.
+// The watermark is clamped to a quarter of the CURRENT heap, so a deep
+// ShrinkHeap cannot leave a stale absolute watermark demanding more
+// free space than the cache should reasonably hold empty.
+func (mn *MemNode) BelowLowWater() bool {
+	low := mn.LowWaterBytes
+	if cap := mn.HeapBytes() / 4; low > cap {
+		low = cap
+	}
+	return (low > 0 && mn.FreeBytes() < low) || mn.OverBudget()
+}
+
+// ReclaimTarget returns the effective high watermark: the configured
+// value clamped to half the current heap (see BelowLowWater on why the
+// clamp exists).
+func (mn *MemNode) ReclaimTarget() int {
+	high := mn.HighWaterBytes
+	if cap := mn.HeapBytes() / 2; high > cap {
+		high = cap
+	}
+	return high
+}
+
+// BelowHighWater reports whether free space is still under the high
+// watermark — the reclaimer's keep-going condition (hysteresis: wake
+// below low, stop above high).
+func (mn *MemNode) BelowHighWater() bool {
+	high := mn.ReclaimTarget()
+	return (high > 0 && mn.FreeBytes() < high) || mn.OverBudget()
+}
+
 // SetHeapLimit sets the allocatable heap end to heapAddr+bytes, used to
 // start an elastic experiment with a small cache and grow it later.
 func (mn *MemNode) SetHeapLimit(bytes int) {
@@ -290,6 +352,16 @@ func (a *Alloc) allocFromPool(cl int) (uint64, bool) {
 // NewAlloc creates a client allocator speaking to mn through ep.
 func NewAlloc(mn *MemNode, ep *rdma.Endpoint) *Alloc {
 	return &Alloc{ep: ep, mn: mn, free: make(map[int][]uint64)}
+}
+
+// AllocFromPool allocates a block for size bytes straight from the
+// controller's surrendered-block pool (one RPC), bypassing the local
+// free lists and the segment backoff. Clients stalled behind the
+// background reclaimer use it: the reclaimer frees victims onto its own
+// lists and surrenders them to the pool, so this is where reclaimed
+// space surfaces first.
+func (a *Alloc) AllocFromPool(size int) (uint64, bool) {
+	return a.allocFromPool(SizeClass(size))
 }
 
 // SizeClass rounds size up to the block granularity.
