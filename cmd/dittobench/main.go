@@ -24,13 +24,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure number to regenerate (e.g. 14)")
-		table   = flag.String("table", "", "table number to regenerate (e.g. 3)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiment IDs")
-		scaleFl = flag.String("scale", "quick", "experiment scale: quick | full")
-		jsonFl  = flag.String("json", "", "also write a machine-readable summary to this path (scenarios that support it)")
-		seedFl  = flag.Int64("seed", 0, "override every scenario's built-in simulation seed (0 = per-scenario defaults); pins bench-smoke artifacts across CI reruns")
+		fig      = flag.String("fig", "", "figure number to regenerate (e.g. 14)")
+		table    = flag.String("table", "", "table number to regenerate (e.g. 3)")
+		scenario = flag.String("scenario", "", "named scenario to run by ID (e.g. chaos, churn, hotspot; see -list)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment IDs")
+		scaleFl  = flag.String("scale", "quick", "experiment scale: quick | full")
+		jsonFl   = flag.String("json", "", "also write a machine-readable summary to this path (scenarios that support it)")
+		seedFl   = flag.Int64("seed", 0, "override every scenario's built-in simulation seed (0 = per-scenario defaults); pins bench-smoke artifacts across CI reruns")
 	)
 	flag.Parse()
 	bench.JSONPath = *jsonFl
@@ -52,6 +53,10 @@ func main() {
 		}
 	case *fig != "":
 		if err := bench.Run(*fig, os.Stdout, scale); err != nil {
+			fatal(err)
+		}
+	case *scenario != "":
+		if err := bench.Run(*scenario, os.Stdout, scale); err != nil {
 			fatal(err)
 		}
 	case *table != "":

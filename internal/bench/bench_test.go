@@ -35,7 +35,7 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		}
 	}
 	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn",
-		"elastic-reshard", "batched-throughput", "hotspot", "churn"}
+		"elastic-reshard", "batched-throughput", "hotspot", "churn", "chaos"}
 	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("extra experiment %s missing from registry", id)

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+	"ditto/internal/workload"
+)
+
+// Chaos measures fault recovery end to end: a 4-MN pool with hot-key
+// replication and background reclaim serves a read-heavy cache-aside
+// workload paced by a flash-crowd load shape, a seed-chosen MN is
+// fail-stopped at the crowd's peak, and a replacement node joins 500µs
+// later. The scenario reports the three recovery figures the chaos
+// suite asserts qualitatively (internal/chaos) as quantities:
+//
+//   - error_window_ns: span between the first and last client op that
+//     surfaced an unavailable error around the crash,
+//   - recovery_ns: time from the crash until a 250µs window's hit rate
+//     first returns to >= 90% of the pre-fault hit rate,
+//   - post_fault_hit_rate: aggregate hit rate from that point on.
+//
+// Everything — workload, fault time, victim — derives from one seed
+// (-seed), so identical seeds produce identical BENCH_chaos.json.
+func Chaos(w io.Writer, scale Scale) error {
+	header(w, "Chaos: MN crash + replacement under flash-crowd load — recovery and error window")
+	seed := benchSeed(47)
+	const nodes = 4
+	objects := scale.pick(4000, 16000)
+	clients := scale.pick(6, 16)
+
+	env := sim.NewEnv(seed)
+	fs := sim.NewFaultSchedule(env, seed)
+	mc := core.NewMultiCluster(env, nodes, core.DefaultOptions(objects, objects*320))
+	mc.EnableBackgroundReclaim(0, 0)
+	mc.EnableHotKeyReplication(2, 64, 128)
+
+	// Keyspace at 3/4 of capacity: fully cacheable, so the pre-fault
+	// hit rate is high and the post-crash dip is attributable to the
+	// lost node, not to eviction noise.
+	keyspace := uint64(objects) * 3 / 4
+	env.Go("load", func(p *sim.Proc) {
+		c := mc.NewClient(p)
+		for i := uint64(0); i < keyspace; i++ {
+			c.Set(workload.KeyBytes(i), make([]byte, 240))
+		}
+	})
+	env.Run()
+
+	t0 := env.Now()
+	victim := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+	tCrash := fs.Between(t0+2_000_000, t0+3_000_000, "crash-mn",
+		func(*sim.Proc) { mc.CrashNode(victim) })
+	reshardDone := int64(-1)
+	fs.At(tCrash+500_000, "add-replacement", func(p *sim.Proc) {
+		id := mc.AddNode()
+		mc.WaitReshard(p)
+		reshardDone = env.Now()
+		_ = id
+	})
+	end := tCrash + 10_000_000
+
+	// The flash crowd peaks across the crash: ramp starts 1ms before,
+	// holds 3x load until 2ms after, then decays — recovery is measured
+	// under pressure, not in a lull.
+	shape := workload.FlashCrowd(1, 3, tCrash-1_000_000, 500_000, 2_500_000, 1_000_000)
+
+	// Per-250µs buckets of hits/misses, plus the unavailable-error span.
+	const bucketNs = 250_000
+	type bucket struct{ hits, misses int64 }
+	buckets := make(map[int64]*bucket)
+	tally := func(hit bool) {
+		b := buckets[env.Now()/bucketNs]
+		if b == nil {
+			b = &bucket{}
+			buckets[env.Now()/bucketNs] = b
+		}
+		if hit {
+			b.hits++
+		} else {
+			b.misses++
+		}
+	}
+	var errCount int64
+	firstErr, lastErr := int64(-1), int64(-1)
+	noteErr := func() {
+		errCount++
+		if firstErr < 0 {
+			firstErr = env.Now()
+		}
+		lastErr = env.Now()
+	}
+
+	for i := 0; i < clients; i++ {
+		i := i
+		env.Go("client", func(p *sim.Proc) {
+			c := mc.NewClient(p)
+			rng := rand.New(rand.NewSource(seed*1_000 + int64(i)))
+			next := zipfSampler(rng, 0.9, keyspace)
+			const baseGap = 2_000
+			for env.Now() < end {
+				key := workload.KeyBytes(next())
+				if rng.Intn(10) < 8 {
+					if _, ok := c.Get(key); ok {
+						tally(true)
+					} else {
+						tally(false)
+						// Cache-aside fill: this is how the lost
+						// node's keys come back.
+						if err := c.TrySet(key, make([]byte, 240)); err != nil {
+							noteErr()
+						}
+					}
+				} else if err := c.TrySet(key, make([]byte, 240)); err != nil {
+					noteErr()
+				}
+				p.Sleep(shape.Gap(baseGap, env.Now()))
+			}
+		})
+	}
+	env.Run()
+
+	// Pre-fault hit rate: buckets fully inside [t0+500µs, tCrash).
+	var ids []int64
+	for id := range buckets {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	rate := func(h, m int64) float64 {
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	}
+	var preH, preM int64
+	for _, id := range ids {
+		if id*bucketNs >= t0+500_000 && (id+1)*bucketNs <= tCrash {
+			preH += buckets[id].hits
+			preM += buckets[id].misses
+		}
+	}
+	preHit := rate(preH, preM)
+
+	// Recovery: first post-crash bucket whose hit rate is back to 90%
+	// of pre-fault; post-fault hit rate aggregates from there on.
+	recoveryNs := int64(-1)
+	var postH, postM int64
+	for _, id := range ids {
+		if id*bucketNs < tCrash {
+			continue
+		}
+		b := buckets[id]
+		if recoveryNs < 0 {
+			if b.hits+b.misses > 0 && rate(b.hits, b.misses) >= 0.9*preHit {
+				recoveryNs = (id+1)*bucketNs - tCrash
+			} else {
+				continue
+			}
+		}
+		postH += b.hits
+		postM += b.misses
+	}
+	postHit := rate(postH, postM)
+	errWindowNs := int64(0)
+	if firstErr >= 0 {
+		errWindowNs = lastErr - firstErr
+	}
+
+	row(w, "seed", "pre hit", "post hit", "post/pre", "recovery(us)", "err window(us)", "errors")
+	row(w, seed, preHit, postHit, safeRatio(postHit, preHit),
+		float64(recoveryNs)/1000, float64(errWindowNs)/1000, errCount)
+	fmt.Fprintf(w, "  crash at +%.0fus (node %d), replacement reshard done at +%.0fus, schedule: %s\n",
+		float64(tCrash-t0)/1000, victim, float64(reshardDone-t0)/1000, fs.String())
+
+	return writeJSONSummary(w, map[string]interface{}{
+		"scenario":            "chaos",
+		"scale":               scale.String(),
+		"seed":                seed,
+		"nodes":               nodes,
+		"objects":             objects,
+		"clients":             clients,
+		"crash_ns":            tCrash - t0,
+		"reshard_done_ns":     reshardDone - t0,
+		"pre_fault_hit_rate":  preHit,
+		"post_fault_hit_rate": postHit,
+		"post_over_pre":       safeRatio(postHit, preHit),
+		"recovery_ns":         recoveryNs,
+		"error_window_ns":     errWindowNs,
+		"errors":              errCount,
+		"node_crashes":        mc.NodeCrashes,
+		"fault_schedule":      fs.String(),
+	})
+}
+
+// safeRatio returns a/b, or 0 when b is 0.
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -57,6 +57,8 @@ var Experiments = map[string]Experiment{
 	"hotspot": {Hotspot, "Hot-key replication on a zipfian read-heavy workload, 4 MNs: throughput and per-node read imbalance, replicated vs unreplicated"},
 	// Eviction as verb plans + proactive background reclaim — extension.
 	"churn": {Churn, "Write-heavy zipf churn at ~100% occupancy: Set p99 and eviction-stall time, inline-serial vs background-doorbell reclaim"},
+	// Fault injection: crash + replacement under load — extension.
+	"chaos": {Chaos, "MN crash + replacement under flash-crowd load: recovery time, error window, post-fault hit rate (seed-reproducible)"},
 }
 
 // IDs returns the experiment IDs in a stable order.

@@ -1,0 +1,277 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+)
+
+// The four fault schedules. Each one targets a crash-tolerance
+// safeguard built in earlier PRs and carries at least one invariant
+// that fails if that safeguard is reverted:
+//
+//   - MN crash mid-reshard     → CrashNode's atomic ring+membership
+//     update and ring.Without stability (survivor keys keep owners).
+//   - resharder killed mid-way → spawnResharder's OnCrash respawn and
+//     the shared reshardState (reshard completes, zero keys lost).
+//   - replica node loss        → invalidate-first replica writes and
+//     hotset crash wake/lock stealing (no stale spread reads).
+//   - reclaimer killed         → spawnReclaimer's OnCrash respawn and
+//     verb-plan eviction free accounting (no double free, no wedge).
+
+// TestChaosMNCrashMidReshard crashes a seed-chosen original node while
+// an AddNode reshard is migrating keys onto a new one, with a reader
+// sampling throughout. A key may disappear only if the victim owned it
+// under the old OR the new ring (its single copy lived on one of the
+// two); every other key must keep its exact confirmed value, and the
+// reconfigured pool must converge.
+func TestChaosMNCrashMidReshard(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const keys = 600
+		h := New(t, seed, 4, keys, core.DefaultOptions(8000, 8000*320))
+		mc, env, fs := h.MC, h.Env, h.FS
+		done := false
+		finished := false
+		env.Go("driver", func(p *sim.Proc) {
+			c := mc.NewClient(p)
+			for i := 0; i < keys; i++ {
+				h.MustSet(c, i, 1)
+			}
+			oldOwner := make([]int, keys)
+			for i := range oldOwner {
+				oldOwner[i] = mc.OwnerOf(Key(i))
+			}
+			victim := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+			newID := mc.AddNode()
+			h.TrackNode(newID)
+			newOwner := make([]int, keys)
+			for i := range newOwner {
+				newOwner[i] = mc.OwnerOf(Key(i))
+			}
+			tCrash := fs.Between(env.Now()+20_000, env.Now()+300_000,
+				"crash-mn", func(*sim.Proc) { mc.CrashNode(victim) })
+			mc.WaitReshard(p)
+			for env.Now() <= tCrash {
+				p.Sleep(50_000)
+			}
+			survivors, lost := 0, 0
+			for i := 0; i < keys; i++ {
+				mayLose := oldOwner[i] == victim || newOwner[i] == victim
+				if _, ok := h.Get(c, i); !ok {
+					if !mayLose {
+						h.Failf("key %d lost but neither of its owners crashed (old=%d new=%d victim=%d)",
+							i, oldOwner[i], newOwner[i], victim)
+					}
+					lost++
+					continue
+				}
+				survivors++
+			}
+			if survivors == 0 {
+				h.Failf("every key lost after one crash of %d nodes", 4)
+			}
+			h.CheckConverged(c, 0, keys)
+			done = true
+			if mc.NodeCrashes != 1 {
+				h.Failf("NodeCrashes=%d, want 1", mc.NodeCrashes)
+			}
+			finished = true
+		})
+		env.Go("reader", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+			c := mc.NewClient(p)
+			// Deadline-bounded: if the driver wedges (a reverted respawn
+			// hook), the reader must drain too so the sim runs out of
+			// events and the finished check reports the wedge.
+			for !done && env.Now() < 60_000_000 {
+				h.Get(c, rng.Intn(keys))
+				p.Sleep(2_000)
+			}
+		})
+		env.Run()
+		if !finished {
+			h.Failf("driver never finished (reshard or recovery wedged)")
+		}
+	})
+}
+
+// TestChaosResharderKilledMidMigration kills the resharder process one
+// or two times (seed-chosen) while a RemoveNode drain is migrating
+// keys. No memory node dies, so the respawned resharder must finish the
+// drain with ZERO keys lost — and the model must stay exact throughout.
+func TestChaosResharderKilledMidMigration(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const keys = 500
+		h := New(t, seed, 3, keys, core.DefaultOptions(6000, 6000*320))
+		mc, env, fs := h.MC, h.Env, h.FS
+		done := false
+		finished := false
+		killsLanded := 0
+		env.Go("driver", func(p *sim.Proc) {
+			c := mc.NewClient(p)
+			for i := 0; i < keys; i++ {
+				h.MustSet(c, i, 1)
+			}
+			drop := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+			mc.RemoveNode(drop)
+			kill := func(*sim.Proc) {
+				if rp := env.FindProc("resharder"); rp != nil && env.Kill(rp) {
+					killsLanded++
+				}
+			}
+			fs.Between(env.Now()+20_000, env.Now()+250_000, "kill-resharder", kill)
+			if fs.Rand().Intn(2) == 0 {
+				fs.Between(env.Now()+260_000, env.Now()+500_000, "kill-resharder-2", kill)
+			}
+			mc.WaitReshard(p)
+			for i := 0; i < keys; i++ {
+				if _, ok := h.Get(c, i); !ok {
+					h.Failf("key %d lost to a resharder crash (no memory node died)", i)
+				}
+			}
+			done = true
+			if int(mc.ReshardRestarts) != killsLanded {
+				h.Failf("ReshardRestarts=%d but %d kills landed", mc.ReshardRestarts, killsLanded)
+			}
+			h.CheckConverged(c, 0, keys)
+			finished = true
+		})
+		env.Go("reader", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed ^ 0x51ed2701))
+			c := mc.NewClient(p)
+			for !done && env.Now() < 60_000_000 {
+				h.Get(c, rng.Intn(keys))
+				p.Sleep(1_500)
+			}
+		})
+		env.Run()
+		if !finished {
+			h.Failf("reshard never completed after %d resharder kills", killsLanded)
+		}
+	})
+}
+
+// TestChaosReplicaNodeLossUnderSpreadReads promotes a handful of hot
+// keys (replication factor 2), then crashes a seed-chosen node in the
+// middle of a mixed read/write storm over those keys. The per-read
+// checks carry the invariant: a hit must be the latest confirmed
+// version — a stale replica surviving an invalidate-first write, or a
+// read routed to a dead replica's ghost copy, fails the run.
+func TestChaosReplicaNodeLossUnderSpreadReads(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const keys = 64
+		const hot = 8
+		h := New(t, seed, 4, keys, core.DefaultOptions(4000, 4000*320))
+		mc, env, fs := h.MC, h.Env, h.FS
+		mc.EnableHotKeyReplication(2, 8, 32)
+		finished := false
+		env.Go("driver", func(p *sim.Proc) {
+			c := mc.NewClient(p)
+			for i := 0; i < keys; i++ {
+				h.MustSet(c, i, 1)
+			}
+			// Hammer the hot subset until promotion happens.
+			for r := 0; r < 40; r++ {
+				for i := 0; i < hot; i++ {
+					h.Get(c, i)
+				}
+			}
+			victim := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+			tCrash := fs.Between(env.Now()+10_000, env.Now()+200_000,
+				"crash-replica-node", func(*sim.Proc) { mc.CrashNode(victim) })
+			rng := rand.New(rand.NewSource(seed ^ 0x2545f491))
+			for env.Now() < tCrash+400_000 {
+				i := rng.Intn(hot)
+				if rng.Intn(6) == 0 {
+					h.BumpSet(c, i)
+				} else {
+					h.Get(c, i)
+				}
+				p.Sleep(1_000)
+			}
+			if mc.NodeCrashes != 1 {
+				h.Failf("NodeCrashes=%d, want 1", mc.NodeCrashes)
+			}
+			h.CheckConverged(c, 0, keys)
+			finished = true
+		})
+		// A second independent reader spreads load across replicas
+		// concurrently with the writer — the interleaving that exposes
+		// stale copies if invalidate-first ordering is reverted.
+		env.Go("spreader", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed ^ 0x7f4a7c15))
+			c := mc.NewClient(p)
+			for !finished && env.Now() < 60_000_000 {
+				h.Get(c, rng.Intn(hot))
+				p.Sleep(900)
+			}
+		})
+		env.Run()
+		if !finished {
+			h.Failf("driver wedged across the replica-node crash")
+		}
+	})
+}
+
+// TestChaosReclaimerKilledUnderChurn kills background reclaimers (one
+// or two kills, seed-chosen) while a write churn runs the pool well
+// past capacity. No node dies, so every write must land; memnode free
+// tracking (armed by the harness) panics the run on any double free in
+// the eviction/reclaim paths; and the respawned reclaimers must keep
+// evicting — the pool must not wedge.
+func TestChaosReclaimerKilledUnderChurn(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const span = 6000
+		h := New(t, seed, 2, span, core.DefaultOptions(2500, 2500*320))
+		h.ValSize = 240
+		mc, env, fs := h.MC, h.Env, h.FS
+		for i := 0; i < mc.NumNodes(); i++ {
+			mc.Node(i).EnableBackgroundReclaim(0, 0)
+		}
+		finished := false
+		killsLanded := 0
+		kill := func(*sim.Proc) {
+			if rp := env.FindProc("reclaimer"); rp != nil && env.Kill(rp) {
+				killsLanded++
+			}
+		}
+		fs.Between(2_000_000, 6_000_000, "kill-reclaimer", kill)
+		fs.Between(6_500_000, 12_000_000, "kill-reclaimer-2", kill)
+		env.Go("churn", func(p *sim.Proc) {
+			rng := rand.New(rand.NewSource(seed ^ 0x61c88647))
+			c := mc.NewClient(p)
+			for i := 0; i < span; i++ {
+				h.MustSet(c, i, 1)
+				if i%16 == 0 && i > 50 {
+					h.Get(c, i-rng.Intn(40))
+				}
+			}
+			if killsLanded == 0 {
+				h.Failf("no reclaimer kill landed; the schedule proved nothing")
+			}
+			restarts := 0
+			evictions := int64(0)
+			for i := 0; i < mc.NumNodes(); i++ {
+				restarts += int(mc.Node(i).ReclaimerRestarts())
+				evictions += mc.Node(i).ReclaimerStats().Evictions
+			}
+			if restarts != killsLanded {
+				h.Failf("reclaimer restarts=%d but %d kills landed", restarts, killsLanded)
+			}
+			if evictions == 0 {
+				h.Failf("respawned reclaimers never evicted under churn")
+			}
+			// The most recent window must be exact: churn overwrote
+			// nothing here, so hits must carry the right versions and
+			// the pool must still accept writes.
+			h.CheckConverged(c, span-200, span)
+			finished = true
+		})
+		env.Run()
+		if !finished {
+			h.Failf("churn never completed (reclaimer loss wedged writes)")
+		}
+	})
+}

@@ -1,0 +1,272 @@
+// Package chaos is the randomized fault-injection invariant suite for
+// the Ditto simulator. Each test composes a sim.FaultSchedule (crashes
+// of memory nodes, resharders, reclaimers) with a seeded workload and
+// checks safety invariants that must hold across every interleaving:
+//
+//   - no key is lost outside the crashed node's ownership,
+//   - reads are monotonic and never stale (a hit returns the latest
+//     confirmed write, or an ambiguous in-flight one),
+//   - no heap block is double-freed (memnode free tracking panics),
+//   - the pool converges after the fault (accepts and serves the full
+//     key space again).
+//
+// Every run derives from a single seed; failures print the full fault
+// schedule so `CHAOS_SEED=<n> go test ./internal/chaos/` reproduces the
+// exact interleaving.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+)
+
+// Seeds is the pinned seed matrix every schedule runs under in CI.
+var Seeds = []int64{1, 3, 5, 7, 11, 13, 17, 19}
+
+// RunSeeds runs fn once per pinned seed, or once under the seed named
+// by the CHAOS_SEED environment variable (the reproduction knob).
+func RunSeeds(t *testing.T, fn func(t *testing.T, seed int64)) {
+	seeds := Seeds
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			fn(t, seed)
+		})
+	}
+}
+
+// Harness couples a seeded sim + pool with a client-visible model of
+// the store: per key, the latest confirmed version, the latest
+// attempted version (ambiguous when a crash window swallowed the ack),
+// and the highest version any read has observed. Its Get/Set wrappers
+// check the read invariants on every operation.
+type Harness struct {
+	T   *testing.T
+	Env *sim.Env
+	FS  *sim.FaultSchedule
+	MC  *core.MultiCluster
+
+	// ValSize is the byte length of generated values (>= header; the
+	// padding bytes are derived from key+version so parse detects
+	// corruption). Set it before the first Val call.
+	ValSize int
+
+	confirmed []uint64
+	attempted []uint64
+	ambiguous []bool
+	// seen tracks, per client, the highest version each key returned to
+	// THAT client — reads are sequential within a client (a sim proc),
+	// so regression there is a true monotonic-read violation, while two
+	// clients' overlapping reads may legally order either way.
+	seen map[*core.MultiClient][]uint64
+	keys int
+
+	Hits, Misses int64
+}
+
+// New builds a seeded env + fault schedule + n-node pool over a keys-
+// sized model, with memnode free tracking armed on every node so a
+// double free anywhere panics the run.
+func New(t *testing.T, seed int64, nodes, keys int, opts core.Options) *Harness {
+	env := sim.NewEnv(seed)
+	h := &Harness{
+		T:         t,
+		Env:       env,
+		FS:        sim.NewFaultSchedule(env, seed),
+		MC:        core.NewMultiCluster(env, nodes, opts),
+		ValSize:   96,
+		confirmed: make([]uint64, keys),
+		attempted: make([]uint64, keys),
+		ambiguous: make([]bool, keys),
+		seen:      make(map[*core.MultiClient][]uint64),
+		keys:      keys,
+	}
+	for i := 0; i < h.MC.NumNodes(); i++ {
+		h.MC.Node(i).MN.EnableFreeTracking()
+	}
+	return h
+}
+
+// Failf fails the run with the fault schedule prefixed, so the failure
+// message alone reproduces the interleaving.
+func (h *Harness) Failf(format string, args ...any) {
+	h.T.Helper()
+	h.T.Fatalf("chaos[%s] t=%dns: %s",
+		h.FS.String(), h.Env.Now(), fmt.Sprintf(format, args...))
+}
+
+// TrackNode arms free tracking on the node with stable ID id — call it
+// right after AddNode, before the migration's first allocation lands.
+func (h *Harness) TrackNode(id int) {
+	for i := 0; i < h.MC.NumNodes(); i++ {
+		if h.MC.NodeID(i) == id {
+			h.MC.Node(i).MN.EnableFreeTracking()
+			return
+		}
+	}
+	h.Failf("TrackNode: unknown node %d", id)
+}
+
+// Key returns the canonical chaos key for index i.
+func Key(i int) []byte { return []byte(fmt.Sprintf("chaos-%06d", i)) }
+
+// valHeader is "k%06d.v%08d." — 18 bytes before the padding.
+const valHeader = 18
+
+// Val builds the versioned value for key i: a parseable header plus
+// padding derived from (i, ver) so reads verify integrity end to end.
+func (h *Harness) Val(i int, ver uint64) []byte {
+	b := make([]byte, 0, h.ValSize)
+	b = append(b, fmt.Sprintf("k%06d.v%08d.", i, ver)...)
+	pad := byte(i) ^ byte(ver) ^ 0xa5
+	for len(b) < h.ValSize {
+		b = append(b, pad)
+	}
+	return b
+}
+
+// parseVal decodes a value and verifies its padding.
+func (h *Harness) parseVal(v []byte) (key int, ver uint64, ok bool) {
+	if len(v) != h.ValSize || v[0] != 'k' || v[7] != '.' || v[8] != 'v' || v[17] != '.' {
+		return 0, 0, false
+	}
+	k, err := strconv.Atoi(string(v[1:7]))
+	if err != nil {
+		return 0, 0, false
+	}
+	vr, err := strconv.ParseUint(string(v[9:17]), 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	pad := byte(k) ^ byte(vr) ^ 0xa5
+	for _, b := range v[valHeader:] {
+		if b != pad {
+			return 0, 0, false
+		}
+	}
+	return k, vr, true
+}
+
+// Set writes version ver of key i, recording the outcome in the model.
+// An unavailable error is legal inside a crash window — the write's
+// outcome is then ambiguous; any other error fails the run.
+func (h *Harness) Set(c *core.MultiClient, i int, ver uint64) {
+	h.attempted[i] = ver
+	err := c.TrySet(Key(i), h.Val(i, ver))
+	if err == nil {
+		h.confirmed[i] = ver
+		h.ambiguous[i] = false
+		return
+	}
+	if core.IsUnavailable(err) {
+		// Unless a concurrent reader already observed the write landing,
+		// its outcome is unknown.
+		if h.confirmed[i] != ver {
+			h.ambiguous[i] = true
+		}
+		return
+	}
+	h.Failf("TrySet(key %d, v%d): non-unavailable error: %v", i, ver, err)
+}
+
+// MustSet writes version ver of key i and requires it to land — for use
+// outside crash windows, where TrySet has no excuse to fail.
+func (h *Harness) MustSet(c *core.MultiClient, i int, ver uint64) {
+	h.attempted[i] = ver
+	if err := c.TrySet(Key(i), h.Val(i, ver)); err != nil {
+		h.Failf("Set(key %d, v%d) failed outside a crash window: %v", i, ver, err)
+	}
+	h.confirmed[i] = ver
+	h.ambiguous[i] = false
+}
+
+// BumpSet writes the next version of key i via Set.
+func (h *Harness) BumpSet(c *core.MultiClient, i int) {
+	h.Set(c, i, h.attempted[i]+1)
+}
+
+// Get reads key i and checks the read invariants. A sim Get spans many
+// events (slot probe, then block read), so a read overlapping a write
+// may legally return either version; the sound checks are interval-
+// based:
+//
+//   - a hit must be well-formed for this key (integrity),
+//   - its version must be >= the version confirmed when the read BEGAN
+//     (no stale copies: an invalidate-skipping replica write or a ghost
+//     copy resurrected by a crash fails here),
+//   - its version must be <= the latest attempted write (no phantoms),
+//   - within one client, versions never regress (monotonic reads —
+//     reads are sequential inside a sim proc).
+//
+// Misses are always legal (crash loss, eviction). Observing a version
+// above the confirmed one proves that write landed, so it is confirmed
+// retroactively.
+func (h *Harness) Get(c *core.MultiClient, i int) (uint64, bool) {
+	h.T.Helper()
+	startConfirmed := h.confirmed[i]
+	v, ok := c.Get(Key(i))
+	if !ok {
+		h.Misses++
+		return 0, false
+	}
+	h.Hits++
+	ki, ver, pok := h.parseVal(v)
+	if !pok || ki != i {
+		h.Failf("key %d returned corrupt value %q", i, v)
+	}
+	if ver < startConfirmed {
+		h.Failf("stale read on key %d: got v%d, but v%d was confirmed before the read began",
+			i, ver, startConfirmed)
+	}
+	if ver > h.attempted[i] {
+		h.Failf("phantom read on key %d: got v%d, never written (attempted v%d)",
+			i, ver, h.attempted[i])
+	}
+	seen := h.seen[c]
+	if seen == nil {
+		seen = make([]uint64, h.keys)
+		h.seen[c] = seen
+	}
+	if ver < seen[i] {
+		h.Failf("monotonic-read violation on key %d: this client saw v%d after v%d",
+			i, ver, seen[i])
+	}
+	seen[i] = ver
+	if ver > h.confirmed[i] {
+		h.confirmed[i] = ver
+		if h.ambiguous[i] && ver == h.attempted[i] {
+			h.ambiguous[i] = false
+		}
+	}
+	return ver, true
+}
+
+// Confirmed returns the latest confirmed version of key i.
+func (h *Harness) Confirmed(i int) uint64 { return h.confirmed[i] }
+
+// CheckConverged rewrites keys [lo, hi) at their next versions and
+// re-reads them: a recovered pool must accept and immediately serve the
+// range. Callers pick a range that fits in cache.
+func (h *Harness) CheckConverged(c *core.MultiClient, lo, hi int) {
+	h.T.Helper()
+	for i := lo; i < hi; i++ {
+		h.MustSet(c, i, h.attempted[i]+1)
+	}
+	for i := lo; i < hi; i++ {
+		if _, ok := h.Get(c, i); !ok {
+			h.Failf("post-recovery key %d missing right after its rewrite", i)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package core
+
+import "testing"
+
+// The race detector instruments every allocation, inflating the counts
+// the !race twin (allocs_test.go) asserts on — skip under -race.
+func TestAllocsPerOpSmoke(t *testing.T) {
+	t.Skip("alloc counts are not meaningful under -race")
+}

@@ -1,0 +1,36 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+// TestAllocsPerOpSmoke pins a generous ceiling on the Go allocations
+// per serial-path Get and Set (sim bookkeeping included — every yield
+// allocates an event). The point is not the exact figure but catching
+// gross regressions: a per-op map, an unbounded buffer copy, or verb
+// plans rebuilt per probe would blow well past these bounds. The counts
+// are meaningless under the race detector, so the -race build gets a
+// skipping twin (allocs_race_test.go).
+func TestAllocsPerOpSmoke(t *testing.T) {
+	env := sim.NewEnv(11)
+	cl := NewCluster(env, DefaultOptions(1000, 1000*320))
+	env.Go("meter", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		k, v := key(1), value(1)
+		c.Set(k, v)
+		gets := testing.AllocsPerRun(200, func() { c.Get(k) })
+		sets := testing.AllocsPerRun(200, func() { c.Set(k, v) })
+		t.Logf("allocs/op: get=%.1f set=%.1f", gets, sets)
+		if gets > 60 {
+			t.Errorf("Get allocates %.1f objects/op, ceiling 60", gets)
+		}
+		if sets > 120 {
+			t.Errorf("Set allocates %.1f objects/op, ceiling 120", sets)
+		}
+	})
+	env.Run()
+}

@@ -129,6 +129,12 @@ type Cluster struct {
 	reclaimEnabled bool
 	reclaimKick    *sim.Cond
 	reclaimer      *Client
+	reclaimProc    *sim.Proc
+
+	// reclaimRestarts counts reclaimer respawns after a crash (fault
+	// injection); dead marks a fail-stopped node (Crash).
+	reclaimRestarts int64
+	dead            bool
 
 	// reclaimStratFn, when non-nil, overrides ReclaimStrategy at use
 	// time. MultiCluster installs it on every node so a pool-level
@@ -303,12 +309,35 @@ func (cl *Cluster) EnableBackgroundReclaim(low, high int) {
 	cl.MN.SetWatermarks(low, high)
 	cl.reclaimKick = sim.NewCond(cl.Env)
 	cl.reclaimEnabled = true
-	cl.Env.Go("reclaimer", func(p *sim.Proc) {
+	cl.spawnReclaimer()
+}
+
+// spawnReclaimer starts (or restarts) the background reclaimer process.
+// The OnCrash hook makes the reclaimer self-healing under fault
+// injection: a killed reclaimer respawns immediately, and the pending
+// kick re-fires so pressure accumulated during the outage is not lost.
+// Safe because reclaim work is idempotent — eviction CASes are atomic,
+// and blocks the dead incarnation freed but had not yet surrendered are
+// merely stranded (a bounded leak a real crashed client would also
+// leave), never double-owned.
+func (cl *Cluster) spawnReclaimer() {
+	cl.reclaimProc = cl.Env.Go("reclaimer", func(p *sim.Proc) {
+		p.OnCrash(func() {
+			if cl.dead {
+				return // the whole node crashed: the reclaimer dies with it
+			}
+			cl.reclaimRestarts++
+			cl.spawnReclaimer()
+			cl.kickReclaimer()
+		})
 		rc := cl.NewClient(p)
 		cl.reclaimer = rc
 		for {
 			cl.reclaimKick.Wait(p)
-			if !cl.MN.BelowLowWater() {
+			if cl.dead || !cl.MN.BelowLowWater() {
+				if cl.dead {
+					return // the node is gone; no heap left to reclaim
+				}
 				continue // spurious kick: pressure resolved before we ran
 			}
 			rc.Stats.ReclaimerWakeups++
@@ -329,6 +358,26 @@ func (cl *Cluster) EnableBackgroundReclaim(low, high int) {
 		}
 	})
 }
+
+// Crash fail-stops this node: the fabric goes unreachable (in-flight
+// verbs time out, see internal/rdma) and the node's background
+// reclaimer — a server-side process that dies with its node — is killed
+// without respawn. MultiCluster.CrashNode drives this together with the
+// membership change.
+func (cl *Cluster) Crash() {
+	cl.dead = true
+	cl.MN.Node.Fail()
+	if cl.reclaimProc != nil {
+		cl.Env.Kill(cl.reclaimProc)
+	}
+}
+
+// ReclaimerRestarts returns how many times the background reclaimer was
+// respawned after being killed by fault injection.
+func (cl *Cluster) ReclaimerRestarts() int64 { return cl.reclaimRestarts }
+
+// Dead reports whether this node was fail-stopped by Crash.
+func (cl *Cluster) Dead() bool { return cl.dead }
 
 // ReclaimEnabled reports whether a background reclaimer is running.
 func (cl *Cluster) ReclaimEnabled() bool { return cl.reclaimEnabled }

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ditto/internal/rdma"
+)
+
+// Typed failures surfaced by the crash-tolerant MultiClient entry points
+// (TrySet; Get/MGet degrade to misses on their own). The legacy
+// panicking paths now panic with these same values, so a caller that
+// recovers still sees a typed error rather than a bare string.
+
+// ErrNoProgress reports an operation that exhausted its retry budget —
+// a misconfigured table, or sustained interference from failures.
+var ErrNoProgress = errors.New("core: operation could not make progress")
+
+// NoOwnerError reports a key routed to a ring owner with no backing
+// node. The ring and the membership switch atomically, so outside a
+// crash window this means a corrupted deployment.
+type NoOwnerError struct {
+	Node int // the ring owner that has no backing node
+}
+
+// Error implements error.
+func (e *NoOwnerError) Error() string {
+	return fmt.Sprintf("core: key's ring owner %d has no backing node", e.Node)
+}
+
+// IsUnavailable reports whether err stems from an unusable node: a
+// fail-stopped memory node (rdma.NodeUnreachableError) or a ring owner
+// with no backing node (NoOwnerError). Chaos harnesses and retry loops
+// treat both as "the pool is reconfiguring; retry after recovery".
+func IsUnavailable(err error) bool {
+	var no *NoOwnerError
+	return rdma.IsUnreachable(err) || errors.As(err, &no)
+}
+
+// catchUnavailable runs fn, converting node-unreachable verb panics AND
+// typed core errors raised as panics back into an error return.
+func catchUnavailable(fn func()) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		switch v := r.(type) {
+		case *rdma.NodeUnreachableError:
+			err = v
+		case *NoOwnerError:
+			err = v
+		case error:
+			if errors.Is(v, ErrNoProgress) {
+				err = v
+				return
+			}
+			panic(r)
+		default:
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

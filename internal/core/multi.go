@@ -7,6 +7,7 @@ import (
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/hotset"
+	"ditto/internal/rdma"
 	"ditto/internal/ring"
 	"ditto/internal/sim"
 )
@@ -69,6 +70,11 @@ type MultiCluster struct {
 	Reshards     int64
 	MigratedKeys int64
 	ReshardNs    int64
+
+	// NodeCrashes counts fail-stopped nodes (CrashNode); ReshardRestarts
+	// counts resharder incarnations respawned after a kill.
+	NodeCrashes     int64
+	ReshardRestarts int64
 
 	// Hot-key replication (replica.go). hot is nil until
 	// EnableHotKeyReplication is called; every knob and counter below is
@@ -191,6 +197,14 @@ func (mc *MultiCluster) NodeID(i int) int { return mc.order[i] }
 // Resharding reports whether a membership change is still migrating keys.
 func (mc *MultiCluster) Resharding() bool { return mc.oldRing != nil }
 
+// OwnerOf returns the node ID that currently routes key — the owner
+// under the live ring (the NEW ring during a reshard). Chaos harnesses
+// use it to partition keys into "owned by the crashed node" vs
+// survivors when asserting which keys may legally disappear.
+func (mc *MultiCluster) OwnerOf(key []byte) int {
+	return mc.hashRing.Owner(ring.Point(hashtable.KeyHash(key)))
+}
+
 // WaitReshard blocks p until no reshard is in flight.
 func (mc *MultiCluster) WaitReshard(p *sim.Proc) {
 	for mc.oldRing != nil {
@@ -229,20 +243,87 @@ func (mc *MultiCluster) RemoveNode(id int) {
 	mc.startReshard(mc.hashRing.Without(id), []int{id}, id)
 }
 
+// CrashNode fail-stops node id: every copy it hosted is lost, in-flight
+// verbs against it fail with rdma.NodeUnreachableError after a timeout,
+// and the pool reconfigures immediately — the node leaves both routing
+// rings and the membership in one atomic step (no verbs between them),
+// so clients observe either the old pool or the new one, never a
+// half-removed node. Unlike RemoveNode there is no drain: the crashed
+// node's keys become misses and re-enter the cache through the normal
+// miss path on their new owners.
+//
+// The consistent-hash ring's Without reassigns ONLY the crashed node's
+// ranges, so every surviving key keeps its owner — the basis of the
+// chaos suite's "no key lost outside the crashed node's ownership"
+// invariant. Crashing is legal mid-reshard (the resharder catches the
+// unreachable error and drops the node from its remaining work) but the
+// last node cannot crash — an empty pool has no failure semantics worth
+// modeling.
+func (mc *MultiCluster) CrashNode(id int) {
+	cl, ok := mc.nodes[id]
+	if !ok {
+		panic("core: CrashNode of unknown node")
+	}
+	if len(mc.order) == 1 {
+		panic("core: cannot crash the last memory node")
+	}
+	cl.Crash()
+	mc.hashRing = mc.hashRing.Without(id)
+	if mc.oldRing != nil {
+		mc.oldRing = mc.oldRing.Without(id)
+	}
+	if mc.draining == id {
+		mc.draining = -1
+	}
+	delete(mc.nodes, id)
+	for i, nid := range mc.order {
+		if nid == id {
+			mc.order = append(mc.order[:i], mc.order[i+1:]...)
+			break
+		}
+	}
+	mc.epoch++
+	mc.NodeCrashes++
+	if mc.hot != nil {
+		// Entry locks held by procs that died with the node (or by the
+		// killed reclaimer) must be stealable; wake the parked waiters.
+		mc.hot.CrashWake()
+	}
+}
+
 // maxReshardPasses bounds the straggler sweeps of one reshard. A pass that
 // migrates nothing ends the reshard; extra passes catch keys written to an
 // old owner by clients whose routing decision raced the ring switch.
 const maxReshardPasses = 8
 
+// reshardState carries one membership change's progress across resharder
+// incarnations. Fault injection may kill the resharder mid-migration;
+// the OnCrash-respawned replacement shares this state so the inserts
+// list survives (the verification sweep must cover copies published
+// before the crash) while the scan passes simply restart — migration is
+// insert-if-absent, so re-scanning is idempotent.
+type reshardState struct {
+	sources   []int
+	dropID    int
+	inserts   []migratedCopy
+	start     int64
+	restarts  int64
+	finalized bool // ring/membership switch done; only cleanup remains
+}
+
 // migratedCopy remembers one insert the resharder published, so the
 // end-of-reshard verification sweep can find and resolve duplicates.
 type migratedCopy struct {
-	dst  *Client
-	kh   uint64
-	fp   byte
-	key  []byte
-	addr uint64
-	atom hashtable.AtomicField
+	// dstID names the destination NODE, not a client handle: the sweep
+	// may run in a respawned resharder incarnation whose predecessor
+	// (and its clients, bound to the dead process) were killed — it must
+	// resolve a live client of its own at sweep time.
+	dstID int
+	kh    uint64
+	fp    byte
+	key   []byte
+	addr  uint64
+	atom  hashtable.AtomicField
 }
 
 // startReshard switches the routing ring to newRing and spawns the
@@ -253,85 +334,166 @@ func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID i
 	mc.oldRing, mc.hashRing = mc.hashRing, newRing
 	mc.draining = dropID
 	mc.epoch++
+	mc.spawnResharder(&reshardState{
+		sources: sources,
+		dropID:  dropID,
+		start:   mc.Env.Now(),
+	})
+}
+
+// spawnResharder runs one resharder incarnation over st. If the process
+// is killed by fault injection, its OnCrash hook respawns a replacement
+// sharing st, so the membership change always completes; every verb
+// sequence against a node that fail-stops mid-reshard is caught and the
+// node is simply dropped from the remaining work (CrashNode removes it
+// from the pool, so the next pass no longer sees it).
+func (mc *MultiCluster) spawnResharder(st *reshardState) {
 	mc.Env.Go("resharder", func(p *sim.Proc) {
-		start := p.Now()
+		p.OnCrash(func() {
+			st.restarts++
+			mc.ReshardRestarts++
+			mc.spawnResharder(st)
+			if mc.hot != nil {
+				// The dead incarnation may hold hot-entry locks; wake the
+				// parked waiters so they observe the owner died and steal.
+				mc.hot.CrashWake()
+			}
+		})
 		m := mc.NewClient(p)
-		// Dissolve the hot-key replica sets BEFORE scanning anything: the
-		// migrate plan's insert-if-absent treats any existing destination
-		// copy as "newer by construction", which replica copies violate —
-		// a scanned replica copy migrated into a key's new owner would
-		// make the real primary copy look like a duplicate (its removal
-		// would then be a lost write), and on RemoveNode a replica copy
-		// promoted to primary-by-migration would afterwards be deleted by
-		// its own entry's demotion. Demoting everything first (promotion
-		// is refused while the window is open, and an in-flight promotion
-		// self-demotes on the epoch change, so the directory stays empty)
-		// means the scan only ever sees single copies.
-		if mc.hot != nil {
-			m.demoteAll()
-		}
-		var inserts []migratedCopy
-		for pass := 0; pass < maxReshardPasses; pass++ {
-			pending := int64(0)
-			for _, id := range sources {
-				pending += mc.migrateNode(m, id, &inserts)
-			}
-			if pending == 0 && pass >= 1 {
-				break
-			}
-		}
-		// A draining node must be completely empty before it can leave the
-		// pool — a key left behind would become a permanent miss. This
-		// converges unconditionally: no Set routes to the drained node (it
-		// is absent from the current ring), so its population strictly
-		// shrinks. These extra passes double as the insert-free separation
-		// the verification sweep below relies on.
-		if dropID >= 0 {
-			for mc.migrateNode(m, dropID, &inserts) != 0 {
-			}
-		}
-		// Final duplicate verification. The migrate plan's immediate
-		// post-publish sweep has a
-		// TOCTOU hole: a client Set that read the buckets before our CAS
-		// landed can publish the same key into a DIFFERENT slot just after
-		// the sweep, leaving two live copies with ours (stale) possibly
-		// first in Get's scan order. By now at least one full scan pass
-		// separates us from every insert, and a Set attempt's read-to-CAS
-		// span is a handful of verbs — any Set still in flight re-read the
-		// buckets after our copy was visible and updated it in place. So a
-		// duplicate found here is a completed racing write: drop our copy.
-		for _, ins := range inserts {
-			if ins.dst.hasOtherCopy(ins.kh, ins.fp, ins.key, ins.addr) {
-				ins.dst.dropMigrated(ins.addr, ins.atom)
-			}
-		}
-		// No verbs (yields) between these steps, so clients observe the
-		// ring switch and the membership change atomically.
-		mc.oldRing = nil
-		mc.draining = -1
-		mc.epoch++
-		mc.Reshards++
-		mc.ReshardNs += p.Now() - start
-		if dropID >= 0 {
-			delete(mc.nodes, dropID)
-			for i, id := range mc.order {
-				if id == dropID {
-					mc.order = append(mc.order[:i], mc.order[i+1:]...)
-					break
-				}
-			}
+		if !st.finalized {
+			mc.runReshard(p, m, st)
 		}
 		// The resharder is transient: return its free lists (the space of
 		// every source copy it deleted) to the surviving controllers, or
 		// that heap space would be stranded when this client goes away.
 		for _, id := range sortedNodeIDs(m.clients) {
-			if _, alive := mc.nodes[id]; alive {
-				m.clients[id].surrenderFreeBlocks()
+			cl, alive := mc.nodes[id]
+			if !alive || cl.dead {
+				continue
 			}
+			c := m.clients[id]
+			_ = rdma.CatchUnreachable(func() { c.surrenderFreeBlocks() })
 		}
 		m.Close()
 		mc.done.Broadcast()
 	})
+}
+
+// runReshard performs the migration passes and the ring/membership
+// switch for one membership change. Separated from spawnResharder so a
+// respawned incarnation that finds st.finalized already set skips
+// straight to cleanup (a kill can land between the switch and the
+// free-list surrender).
+func (mc *MultiCluster) runReshard(p *sim.Proc, m *MultiClient, st *reshardState) {
+	// Dissolve the hot-key replica sets BEFORE scanning anything: the
+	// migrate plan's insert-if-absent treats any existing destination
+	// copy as "newer by construction", which replica copies violate —
+	// a scanned replica copy migrated into a key's new owner would
+	// make the real primary copy look like a duplicate (its removal
+	// would then be a lost write), and on RemoveNode a replica copy
+	// promoted to primary-by-migration would afterwards be deleted by
+	// its own entry's demotion. Demoting everything first (promotion
+	// is refused while the window is open, and an in-flight promotion
+	// self-demotes on the epoch change, so the directory stays empty)
+	// means the scan only ever sees single copies.
+	if mc.hot != nil {
+		for try := 0; try < 4; try++ {
+			if rdma.CatchUnreachable(func() { m.demoteAll() }) == nil {
+				break
+			}
+			// A node fail-stopped mid-demote; its copies died with it, and
+			// demotion is idempotent, so retry over the survivors.
+		}
+	}
+	for pass := 0; pass < maxReshardPasses; pass++ {
+		pending := int64(0)
+		for _, id := range st.sources {
+			cl, ok := mc.nodes[id]
+			if !ok || cl.dead {
+				continue // crashed out of the pool; nothing left to scan
+			}
+			src := id
+			if rdma.CatchUnreachable(func() {
+				pending += mc.migrateNode(m, src, &st.inserts)
+			}) != nil {
+				// A node (the source, or a migration destination) fail-
+				// stopped mid-scan. Count the interrupted scan as pending
+				// work: by the next pass CrashNode has removed the node, so
+				// either the source is skipped above or the keys re-route
+				// to a live owner.
+				pending++
+			}
+		}
+		if pending == 0 && pass >= 1 {
+			break
+		}
+	}
+	// A draining node must be completely empty before it can leave the
+	// pool — a key left behind would become a permanent miss. This
+	// converges unconditionally: no Set routes to the drained node (it
+	// is absent from the current ring), so its population strictly
+	// shrinks. These extra passes double as the insert-free separation
+	// the verification sweep below relies on.
+	if st.dropID >= 0 {
+		for {
+			cl, ok := mc.nodes[st.dropID]
+			if !ok || cl.dead {
+				break // the draining node crashed; its copies died with it
+			}
+			var moved int64
+			if rdma.CatchUnreachable(func() {
+				moved = mc.migrateNode(m, st.dropID, &st.inserts)
+			}) != nil {
+				continue // re-check liveness and retry over survivors
+			}
+			if moved == 0 {
+				break
+			}
+		}
+	}
+	// Final duplicate verification. The migrate plan's immediate
+	// post-publish sweep has a
+	// TOCTOU hole: a client Set that read the buckets before our CAS
+	// landed can publish the same key into a DIFFERENT slot just after
+	// the sweep, leaving two live copies with ours (stale) possibly
+	// first in Get's scan order. By now at least one full scan pass
+	// separates us from every insert, and a Set attempt's read-to-CAS
+	// span is a handful of verbs — any Set still in flight re-read the
+	// buckets after our copy was visible and updated it in place. So a
+	// duplicate found here is a completed racing write: drop our copy.
+	// A destination that crashed since the insert lost both copies with
+	// the node — nothing to resolve there.
+	for _, ins := range st.inserts {
+		dst := m.clientFor(ins.dstID)
+		if dst == nil || dst.cl.dead {
+			continue // the destination crashed: both copies died with it
+		}
+		ins := ins
+		_ = rdma.CatchUnreachable(func() {
+			if dst.hasOtherCopy(ins.kh, ins.fp, ins.key, ins.addr) {
+				dst.dropMigrated(ins.addr, ins.atom)
+			}
+		})
+	}
+	// No verbs (yields) between these steps, so clients observe the
+	// ring switch and the membership change atomically.
+	mc.oldRing = nil
+	mc.draining = -1
+	mc.epoch++
+	mc.Reshards++
+	mc.ReshardNs += p.Now() - st.start
+	if st.dropID >= 0 {
+		if _, ok := mc.nodes[st.dropID]; ok {
+			delete(mc.nodes, st.dropID)
+			for i, id := range mc.order {
+				if id == st.dropID {
+					mc.order = append(mc.order[:i], mc.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	st.finalized = true
 }
 
 // reshardScanBuckets is how many table buckets one scan doorbell covers
@@ -446,7 +608,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 		}
 		if !doorbell {
 			for _, it := range items {
-				pending += mc.migrateSlot(src, m.clientFor(it.owner), it.s, it.dec, it.kh, inserts)
+				pending += mc.migrateSlot(src, m.clientFor(it.owner), it.owner, it.s, it.dec, it.kh, inserts)
 			}
 			continue
 		}
@@ -468,7 +630,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 				switch pl.outcome {
 				case migMoved:
 					*inserts = append(*inserts, migratedCopy{
-						dst: m.clientFor(it.owner), kh: it.kh, fp: hashtable.Fingerprint(it.kh),
+						dstID: it.owner, kh: it.kh, fp: hashtable.Fingerprint(it.kh),
 						key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
 					})
 					mc.MigratedKeys++
@@ -479,7 +641,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 					// Complication (full bucket, lost CAS, source changed):
 					// demote this slot to the serial retry path, which
 					// re-reads and redoes the copy from a fresh snapshot.
-					pending += mc.migrateSlot(src, m.clientFor(it.owner), it.s, it.dec, it.kh, inserts)
+					pending += mc.migrateSlot(src, m.clientFor(it.owner), it.owner, it.s, it.dec, it.kh, inserts)
 				}
 			}
 		}
@@ -498,7 +660,7 @@ const migrateSlotRetries = 8
 // Returns 1 when a copy moved (or retries were exhausted under sustained
 // churn — pending work the pass loop revisits), 0 when the key turned out
 // to be gone or already superseded on the destination.
-func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec decodedObject,
+func (mc *MultiCluster) migrateSlot(src, dst *Client, dstID int, s hashtable.Slot, dec decodedObject,
 	kh uint64, inserts *[]migratedCopy) int64 {
 
 	for try := 0; try < migrateSlotRetries; try++ {
@@ -512,7 +674,7 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, s hashtable.Slot, dec deco
 			// fingerprint, same size class, recycled block address) and
 			// delete an unrelated live object.
 			*inserts = append(*inserts, migratedCopy{
-				dst: dst, kh: kh, fp: hashtable.Fingerprint(kh),
+				dstID: dstID, kh: kh, fp: hashtable.Fingerprint(kh),
 				key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
 			})
 			mc.MigratedKeys++
@@ -670,6 +832,24 @@ func (m *MultiClient) Get(key []byte) ([]byte, bool) {
 	return m.getRouted(key)
 }
 
+// getFrom runs one Get (counting, or stat-silent probe) on c, degrading
+// a node fail-stop mid-verb to a miss: the copy the verbs were chasing
+// died with the node, which is what a miss means. The caller's epoch
+// re-check then re-routes — CrashNode bumps the epoch — so the retried
+// probe lands on the key's surviving owner.
+func getFrom(c *Client, key []byte, probe bool) (v []byte, ok bool) {
+	if rdma.CatchUnreachable(func() {
+		if probe {
+			v, ok = c.getProbe(key)
+		} else {
+			v, ok = c.Get(key)
+		}
+	}) != nil {
+		return nil, false
+	}
+	return v, ok
+}
+
 // getRouted is the unreplicated Get path: route to the ring owner, serve
 // the forwarding window during a reshard.
 func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
@@ -679,7 +859,7 @@ func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
 		curClient := m.clientFor(cur)
 		if old < 0 {
 			if curClient != nil {
-				if v, ok := curClient.Get(key); ok {
+				if v, ok := getFrom(curClient, key, false); ok {
 					return v, true
 				}
 			}
@@ -691,17 +871,17 @@ func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
 			// it stays put, so one re-probe of the new owner settles that
 			// race without amplifying genuine misses.
 			if curClient != nil {
-				if v, ok := curClient.getProbe(key); ok {
+				if v, ok := getFrom(curClient, key, true); ok {
 					return v, true
 				}
 			}
 			if c := m.clientFor(old); c != nil {
-				if v, ok := c.getProbe(key); ok {
+				if v, ok := getFrom(c, key, true); ok {
 					return v, true
 				}
 			}
 			if curClient != nil {
-				if v, ok := curClient.getProbe(key); ok {
+				if v, ok := getFrom(curClient, key, true); ok {
 					return v, true
 				}
 			}
@@ -855,7 +1035,14 @@ func (m *MultiClient) mgetGroup(owner int, idxs []int, keys, vals [][]byte, oks 
 	for j, i := range idxs {
 		sub[j] = keys[i]
 	}
-	vs, os := c.mget(sub, probe)
+	var vs [][]byte
+	var os []bool
+	if rdma.CatchUnreachable(func() { vs, os = c.mget(sub, probe) }) != nil {
+		// The node fail-stopped mid-batch: every copy it held died with
+		// it. Report the whole group missed and uncounted; the caller's
+		// epoch re-check re-routes to the surviving owners.
+		return idxs, false
+	}
 	for j, i := range idxs {
 		if os[j] {
 			vals[i], oks[i] = vs[j], true
@@ -949,11 +1136,22 @@ func (m *MultiClient) msetDirect(pairs []KV) {
 		for j, i := range idxs {
 			sub[j] = pairs[i]
 		}
-		c.MSet(sub)
+		if rdma.CatchUnreachable(func() { c.MSet(sub) }) != nil {
+			// The owner fail-stopped mid-batch; none of this group's
+			// outcomes are knowable. CrashNode has already re-routed the
+			// key space, so store the group (and everything after it)
+			// per pair against the new owners.
+			for _, o := range owners[gi:] {
+				for _, i := range groups[o] {
+					m.Set(pairs[i].Key, pairs[i].Value)
+				}
+			}
+			return
+		}
 		for _, i := range idxs {
 			if old, windowed := oldOf[i]; windowed {
 				if oc := m.clientFor(old); oc != nil {
-					oc.Delete(pairs[i].Key)
+					_ = rdma.CatchUnreachable(func() { oc.Delete(pairs[i].Key) })
 				}
 			}
 		}
@@ -982,6 +1180,23 @@ func sortedNodeIDs[V any](m map[int]V) []int {
 // repairs any entry a racing promotion published meanwhile
 // (resyncAfterWrite) before unregistering and returning.
 func (m *MultiClient) Set(key, value []byte) {
+	if err := m.TrySet(key, value); err != nil {
+		panic(err)
+	}
+}
+
+// TrySet is Set with crash-time failures surfaced as errors instead of
+// panics: when the key's owner fail-stops mid-write, it returns an error
+// satisfying IsUnavailable (the write may or may not have landed — the
+// node took the answer with it), and the caller retries after the pool
+// reconfigures. Internal bookkeeping (entry locks, write registrations)
+// is always released before the error returns, so a failed TrySet never
+// wedges later writers.
+func (m *MultiClient) TrySet(key, value []byte) error {
+	return catchUnavailable(func() { m.set(key, value) })
+}
+
+func (m *MultiClient) set(key, value []byte) {
 	if m.mc.hot == nil {
 		m.setDirect(key, value)
 		return
@@ -992,9 +1207,14 @@ func (m *MultiClient) Set(key, value []byte) {
 		return
 	}
 	m.mc.hot.BeginWrite(key)
-	m.setDirect(key, value)
-	m.resyncAfterWrite(key)
+	err := catchUnavailable(func() { m.setDirect(key, value) })
+	if err == nil {
+		err = catchUnavailable(func() { m.resyncAfterWrite(key) })
+	}
 	m.mc.hot.EndWrite(key)
+	if err != nil {
+		panic(err)
+	}
 }
 
 // setDirect is the unreplicated Set path. During a reshard the new owner
@@ -1012,13 +1232,16 @@ func (m *MultiClient) setDirect(key, value []byte) {
 		// Reads degrade when a routed owner has no backing node (the miss
 		// is counted on a survivor), but a write has nowhere to land: the
 		// ring and the membership switch atomically, so this is a
-		// corrupted deployment — fail loudly, not with a nil dereference.
-		panic("core: Set routed to a ring owner that has no backing node")
+		// corrupted deployment — fail loudly and typed, not with a nil
+		// dereference (TrySet converts this back into an error).
+		panic(&NoOwnerError{Node: cur})
 	}
 	c.Set(key, value)
 	if old >= 0 {
 		if oc := m.clientFor(old); oc != nil {
-			oc.Delete(key)
+			// A pre-reshard copy on an old owner that fail-stops mid-delete
+			// died with the node — the cleanup's goal is already met.
+			_ = rdma.CatchUnreachable(func() { oc.Delete(key) })
 		}
 	}
 }
@@ -1054,15 +1277,20 @@ func (m *MultiClient) Delete(key []byte) bool {
 func (m *MultiClient) deleteDirect(key []byte) bool {
 	cur, old := m.owner(key)
 	deleted := false
+	// An owner that fail-stops mid-delete achieves the deletion by dying:
+	// its copy is gone either way, so the unreachable error degrades to
+	// "nothing was there".
 	if old >= 0 {
 		if c := m.clientFor(old); c != nil {
-			deleted = c.Delete(key)
+			_ = rdma.CatchUnreachable(func() { deleted = c.Delete(key) })
 		}
 	}
 	if c := m.clientFor(cur); c != nil {
-		if c.Delete(key) {
-			deleted = true
-		}
+		_ = rdma.CatchUnreachable(func() {
+			if c.Delete(key) {
+				deleted = true
+			}
+		})
 	}
 	return deleted
 }
@@ -1149,7 +1377,15 @@ func (m *MultiClient) mdeleteDirect(keys [][]byte) []bool {
 		for j, i := range g.idxs {
 			sub[j] = keys[i]
 		}
-		for j, ok := range c.MDelete(sub) {
+		var oks []bool
+		if rdma.CatchUnreachable(func() { oks = c.MDelete(sub) }) != nil {
+			// The node fail-stopped mid-batch: every copy it held is gone,
+			// which is the post-state a delete wants. Presence answers for
+			// this group are lost (out stays false) and the keys are left
+			// not-done, so a concurrent ring switch re-routes them above.
+			continue
+		}
+		for j, ok := range oks {
 			if ok {
 				out[g.idxs[j]] = true
 			}
@@ -1163,10 +1399,16 @@ func (m *MultiClient) mdeleteDirect(keys [][]byte) []bool {
 	return out
 }
 
-// Close flushes buffered client state on every connected MN.
+// Close flushes buffered client state on every connected MN. Flushes to
+// nodes that fail-stopped (or left the pool) are skipped — their remote
+// state died with them.
 func (m *MultiClient) Close() {
 	for _, id := range sortedNodeIDs(m.clients) {
-		m.clients[id].Close()
+		c := m.clients[id]
+		if c.cl.dead {
+			continue
+		}
+		_ = rdma.CatchUnreachable(func() { c.Close() })
 	}
 }
 

@@ -73,9 +73,12 @@ package core
 // the primary — spreading can never turn a present key into a miss.
 
 import (
+	"fmt"
+
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/hotset"
+	"ditto/internal/rdma"
 	"ditto/internal/ring"
 )
 
@@ -218,7 +221,7 @@ func (m *MultiClient) promote(key []byte) {
 	// complete AND no unreplicated write that could supersede the
 	// snapshot is in flight.
 	e.Warming = true
-	if !mc.hot.Insert(e) {
+	if !mc.hot.Insert(m.p, e) {
 		return // raced another promoter
 	}
 	val, ok := m.readQuiet(e.Primary, key)
@@ -281,7 +284,14 @@ func (m *MultiClient) getSpread(key []byte) (val []byte, ok, served bool) {
 	if c == nil {
 		return nil, false, false
 	}
-	if v, hit := c.getProbe(key); hit {
+	var v []byte
+	var hit bool
+	if rdma.CatchUnreachable(func() { v, hit = c.getProbe(key) }) != nil {
+		// The replica fail-stopped mid-probe: its copy died with it. Fall
+		// back to the primary; the stale entry demotes on a later touch.
+		return nil, false, false
+	}
+	if hit {
 		mc.SpreadReads++
 		return v, true, true
 	}
@@ -351,16 +361,33 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 		// Demote, then store unreplicated — registered for the store's
 		// span exactly like Set's no-entry branch, so a promotion that
 		// re-publishes this key mid-store comes up warming and is
-		// repaired before this write returns.
+		// repaired before this write returns. A node fail-stop mid-store
+		// must not leak the registration (a forever-registered write
+		// would pin the entry warming permanently), so the registration
+		// is released before the typed failure resurfaces.
 		m.demoteLocked(e)
 		mc.hot.BeginWrite(key)
-		m.setDirect(key, value)
-		m.resyncAfterWrite(key)
+		err := catchUnavailable(func() { m.setDirect(key, value) })
+		if err == nil {
+			err = catchUnavailable(func() { m.resyncAfterWrite(key) })
+		}
 		mc.hot.EndWrite(key)
+		if err != nil {
+			panic(err)
+		}
 		return
 	}
 	m.invalidateReplicas(e) // replicas empty before the new value is readable
-	m.setDirect(key, value)
+	if err := catchUnavailable(func() { m.setDirect(key, value) }); err != nil {
+		// The primary's owner fail-stopped before the write landed. The
+		// replicas are already invalidated — no copy can serve the old
+		// value — so dissolving the entry (which releases the lock, so
+		// future writers are not deadlocked behind a live-but-failed
+		// owner) leaves the key simply absent, then the typed failure
+		// surfaces to the caller.
+		m.demoteLocked(e)
+		panic(err)
+	}
 	m.updateReplicas(e, key, value)
 	if e.Warming && mc.hot.InflightWrites(key) == 0 {
 		// Every pre-entry writer has completed (and repaired): our
@@ -394,21 +421,39 @@ func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
 	if len(run) == 0 {
 		return
 	}
-	exec.Run(m.mc.ReplicaStrategy, run...)
+	// A replica that fail-stops mid-fan-out is skipped: its copies died
+	// with it, and a missing copy is always safe — a spread read that
+	// probe-misses falls back to the primary. (Under Doorbell the batch
+	// has partial semantics: live siblings' verbs applied, the dead
+	// node's did not; the per-replica finish below drives each survivor
+	// to completion from whatever outcome its plan reached.)
+	_ = rdma.CatchUnreachable(func() { exec.Run(m.mc.ReplicaStrategy, run...) })
 	for i, pl := range plans {
-		m.finishReplicaStore(clients[i], key, value, pl)
+		c, pl := clients[i], pl
+		if c.cl.dead {
+			continue
+		}
+		var err error
+		if rdma.CatchUnreachable(func() { err = m.finishReplicaStore(c, key, value, pl) }) != nil {
+			continue // this replica fail-stopped mid-store; skip it
+		}
+		if err != nil {
+			panic(err) // ErrNoProgress: a misconfigured table, fail loudly
+		}
 	}
 }
 
 // finishReplicaStore drives one replica's store to completion from
 // whatever outcome the fan-out attempt reached, mirroring Client.Set's
 // retry loop (evict on full buckets, fresh snapshot on a lost CAS)
-// without its stats accounting.
-func (m *MultiClient) finishReplicaStore(c *Client, key, value []byte, pl *setPlan) {
+// without its stats accounting. A store that exhausts its retry budget
+// returns an ErrNoProgress-wrapped error (a misconfigured table) rather
+// than completing partially.
+func (m *MultiClient) finishReplicaStore(c *Client, key, value []byte, pl *setPlan) error {
 	for attempt := 0; ; attempt++ {
 		switch pl.outcome {
 		case setDone:
-			return
+			return nil
 		case setNoFree:
 			if !c.bucketEvict(pl.scanned) {
 				c.reclaimOldestHistory(pl.scanned)
@@ -418,7 +463,7 @@ func (m *MultiClient) finishReplicaStore(c *Client, key, value []byte, pl *setPl
 			// evictions): retry with a fresh snapshot.
 		}
 		if attempt > 4096 {
-			panic("core: replica store could not make progress (table misconfigured?)")
+			return fmt.Errorf("%w: replica store stalled (table misconfigured?)", ErrNoProgress)
 		}
 		pl = c.newSetPlan(key, value)
 		exec.RunSerial(pl)
@@ -433,17 +478,27 @@ func (m *MultiClient) readQuiet(node int, key []byte) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
-	for attempt := 0; attempt < getRetries; attempt++ {
-		pl := c.newGetPlan(key)
-		exec.RunSerial(pl)
-		if pl.hit {
-			return append([]byte(nil), pl.dec.value...), true
+	var val []byte
+	var hit bool
+	if rdma.CatchUnreachable(func() {
+		for attempt := 0; attempt < getRetries; attempt++ {
+			pl := c.newGetPlan(key)
+			exec.RunSerial(pl)
+			if pl.hit {
+				val, hit = append([]byte(nil), pl.dec.value...), true
+				return
+			}
+			if !pl.stale {
+				return
+			}
 		}
-		if !pl.stale {
-			break
-		}
+	}) != nil {
+		// The node fail-stopped mid-read: its copy is gone. Callers treat
+		// a maintenance-read miss as "key vanished" and demote — exactly
+		// right for a crashed primary.
+		return nil, false
 	}
-	return nil, false
+	return val, hit
 }
 
 // invalidateReplicas deletes every replica copy of e — a fan-out of
@@ -459,7 +514,12 @@ func (m *MultiClient) invalidateReplicas(e *hotset.Entry) {
 		}
 	}
 	if len(run) > 0 {
-		exec.Run(m.mc.ReplicaStrategy, run...)
+		// A replica that fail-stops mid-invalidation needs none: its
+		// copies died with it, which is exactly the post-state an
+		// invalidation establishes. Live siblings' deletes still apply
+		// (partial doorbell semantics), so the invariant — no spreadable
+		// copy holds a superseded value — survives the crash.
+		_ = rdma.CatchUnreachable(func() { exec.Run(m.mc.ReplicaStrategy, run...) })
 	}
 }
 

@@ -93,10 +93,14 @@ type Entry struct {
 	// promotion — the load signal for write-heavy demotion.
 	Reads, Writes int64
 
-	rr       uint64 // rotating cursor over [Primary]+Replicas
-	lastRead int64  // virtual time of the most recent read routed via this entry
-	busy     bool   // held by one writer/maintainer; see package comment
+	rr       uint64    // rotating cursor over [Primary]+Replicas
+	lastRead int64     // virtual time of the most recent read routed via this entry
+	busy     bool      // held by one writer/maintainer; see package comment
+	owner    *sim.Proc // the process holding the lock (crash-steal support)
 }
+
+// Owner returns the process currently holding the entry's lock, or nil.
+func (e *Entry) Owner() *sim.Proc { return e.owner }
 
 // NoteRead records one read routed through this entry without choosing
 // a spread target — the fallback paths (busy or warming entry) use it so
@@ -170,6 +174,16 @@ func (s *Set) Lookup(key []byte) *Entry { return s.entries[string(key)] }
 // removed while waiting; callers must handle nil by falling back to the
 // unreplicated path. On success the caller MUST release with Unlock or
 // Remove.
+//
+// Crash stealing: a lock whose holder was Killed mid-maintenance would
+// otherwise wedge every future writer of the key. Lock detects a dead
+// holder and STEALS the lock, first marking the entry Warming — the dead
+// holder may have left the copy set half-mutated, and invalidate-first
+// ordering guarantees half-mutated means "some replicas deleted", never
+// "some replicas stale" — so readers fall back to the primary until the
+// stealer's own fan-out (or a demotion) repairs the entry. Waiters parked
+// before the kill are woken by Set.CrashWake, which the killer's OnCrash
+// hooks invoke.
 func (s *Set) Lock(p *sim.Proc, key []byte) *Entry {
 	for {
 		e := s.entries[string(key)]
@@ -178,30 +192,43 @@ func (s *Set) Lock(p *sim.Proc, key []byte) *Entry {
 		}
 		if !e.busy {
 			e.busy = true
+			e.owner = p
+			return e
+		}
+		if e.owner != nil && e.owner.Killed() {
+			e.owner = p
+			e.Warming = true
 			return e
 		}
 		s.unlocked.Wait(p)
 	}
 }
 
+// CrashWake wakes every process waiting for an entry lock so it can
+// re-check for a dead holder and steal. Call it after killing a process
+// that may have held entry locks (OnCrash hooks do).
+func (s *Set) CrashWake() { s.unlocked.Broadcast() }
+
 // Unlock releases a lock taken by Lock (or implicitly by Insert) and
 // wakes every waiter.
 func (s *Set) Unlock(e *Entry) {
 	e.busy = false
+	e.owner = nil
 	s.unlocked.Broadcast()
 }
 
-// Insert adds e to the directory with its lock HELD by the caller ("born
-// locked"), so copies can be materialized before any writer observes the
-// entry unlocked. It returns false (and inserts nothing) when the key
-// already has an entry. Capacity is the caller's concern: check Len
-// against Limit and demote a Victim first.
-func (s *Set) Insert(e *Entry) bool {
+// Insert adds e to the directory with its lock HELD by p ("born locked"),
+// so copies can be materialized before any writer observes the entry
+// unlocked. It returns false (and inserts nothing) when the key already
+// has an entry. Capacity is the caller's concern: check Len against Limit
+// and demote a Victim first.
+func (s *Set) Insert(p *sim.Proc, e *Entry) bool {
 	k := string(e.Key)
 	if _, ok := s.entries[k]; ok {
 		return false
 	}
 	e.busy = true
+	e.owner = p
 	s.entries[k] = e
 	return true
 }
@@ -212,6 +239,7 @@ func (s *Set) Insert(e *Entry) bool {
 func (s *Set) Remove(e *Entry) {
 	delete(s.entries, string(e.Key))
 	e.busy = false
+	e.owner = nil
 	s.unlocked.Broadcast()
 }
 

@@ -27,13 +27,13 @@ func TestInsertLookupRemove(t *testing.T) {
 	env := sim.NewEnv(1)
 	s := New(env, 4)
 	e := &Entry{Key: []byte("k"), Primary: 0, Replicas: []int{1}}
-	if !s.Insert(e) {
+	if !s.Insert(nil, e) {
 		t.Fatal("insert failed")
 	}
 	if !e.busy {
 		t.Fatal("entry not born locked")
 	}
-	if s.Insert(&Entry{Key: []byte("k")}) {
+	if s.Insert(nil, &Entry{Key: []byte("k")}) {
 		t.Fatal("duplicate insert succeeded")
 	}
 	if s.Lookup([]byte("k")) != e || s.Lookup([]byte("x")) != nil {
@@ -63,7 +63,7 @@ func TestLockSerializesMaintainers(t *testing.T) {
 	env := sim.NewEnv(2)
 	s := New(env, 4)
 	e := &Entry{Key: []byte("k")}
-	s.Insert(e) // born locked by "promoter" below
+	s.Insert(nil, e) // born locked by "promoter" below
 	var order []string
 
 	env.Go("promoter", func(p *sim.Proc) {
@@ -98,7 +98,7 @@ func TestVictimPicksColdestUnlocked(t *testing.T) {
 	s := New(env, 8)
 	mk := func(k string, last int64) *Entry {
 		e := &Entry{Key: []byte(k)}
-		s.Insert(e)
+		s.Insert(nil, e)
 		s.Unlock(e)
 		e.ReadTarget(last)
 		return e
@@ -120,11 +120,55 @@ func TestVictimPicksColdestUnlocked(t *testing.T) {
 	_ = hot
 }
 
+// TestLockStealFromKilledOwner: a lock whose holder is Killed is stolen
+// by the next locker after CrashWake, and the entry comes back Warming
+// (the dead holder may have left the copy set half-mutated).
+func TestLockStealFromKilledOwner(t *testing.T) {
+	env := sim.NewEnv(4)
+	s := New(env, 4)
+	e := &Entry{Key: []byte("k")}
+	s.Insert(nil, e)
+	s.Unlock(e)
+	stole := false
+	var holder *sim.Proc
+	holder = env.Go("holder", func(p *sim.Proc) {
+		got := s.Lock(p, []byte("k"))
+		if got.Owner() != p {
+			t.Error("Owner() not recorded by Lock")
+		}
+		p.Sleep(1000) // dies holding the lock
+	})
+	env.Go("waiter", func(p *sim.Proc) {
+		p.Sleep(5) // let holder take the lock first
+		got := s.Lock(p, []byte("k"))
+		if got != e {
+			t.Error("waiter did not steal the entry")
+		}
+		if !got.Warming {
+			t.Error("stolen entry not marked Warming")
+		}
+		if got.Owner() != p {
+			t.Error("steal did not transfer ownership")
+		}
+		stole = true
+		s.Unlock(got)
+	})
+	env.Go("chaos", func(p *sim.Proc) {
+		p.Sleep(10)
+		env.Kill(holder)
+		s.CrashWake()
+	})
+	env.Run()
+	if !stole {
+		t.Fatal("waiter never stole the killed holder's lock")
+	}
+}
+
 func TestMarkPrimaryEvicted(t *testing.T) {
 	env := sim.NewEnv(1)
 	s := New(env, 8)
 	e := &Entry{Key: []byte("k"), KeyHash: 42, Primary: 3, Replicas: []int{1, 2}}
-	s.Insert(e)
+	s.Insert(nil, e)
 	s.Unlock(e)
 
 	// A replica node evicting the copy (or any other hash) must not flag.

@@ -90,6 +90,13 @@ type MemNode struct {
 	// are shared state between the allocator accounting kept here and the
 	// reclaimer that polls it.
 	LowWaterBytes, HighWaterBytes int
+
+	// liveBlocks, when non-nil (EnableFreeTracking), maps every
+	// outstanding allocated block to its size class — a precise
+	// double-free / double-alloc detector the chaos suite turns on. The
+	// UsedBytes>=0 panic in Alloc.Free catches only NET over-freeing;
+	// this catches the first bad free, with its address.
+	liveBlocks map[uint64]int
 }
 
 // Config configures a memory node.
@@ -258,6 +265,53 @@ func (mn *MemNode) SetHeapLimit(bytes int) {
 	mn.heapEnd = newEnd
 }
 
+// EnableFreeTracking turns on exact block-lifetime tracking: every
+// allocation records its address and class, every free must match one.
+// Test-harness only (the map costs real memory per live block).
+func (mn *MemNode) EnableFreeTracking() {
+	if mn.liveBlocks == nil {
+		mn.liveBlocks = make(map[uint64]int)
+	}
+}
+
+// ResetFreeTracking clears the tracker (call after a node Restart wipes
+// the heap: outstanding addresses died with the old incarnation).
+func (mn *MemNode) ResetFreeTracking() {
+	if mn.liveBlocks != nil {
+		mn.liveBlocks = make(map[uint64]int)
+	}
+}
+
+// LiveTrackedBlocks returns the number of outstanding tracked blocks
+// (0 when tracking is off).
+func (mn *MemNode) LiveTrackedBlocks() int { return len(mn.liveBlocks) }
+
+// noteAlloc records a block handed to a client.
+func (mn *MemNode) noteAlloc(addr uint64, cl int) {
+	if mn.liveBlocks == nil {
+		return
+	}
+	if prev, live := mn.liveBlocks[addr]; live {
+		panic(fmt.Sprintf("memnode: block %#x (class %d) allocated twice (still live as class %d)", addr, cl, prev))
+	}
+	mn.liveBlocks[addr] = cl
+}
+
+// noteFree checks a block being freed against the live set.
+func (mn *MemNode) noteFree(addr uint64, cl int) {
+	if mn.liveBlocks == nil {
+		return
+	}
+	prev, live := mn.liveBlocks[addr]
+	if !live {
+		panic(fmt.Sprintf("memnode: double free of block %#x (class %d)", addr, cl))
+	}
+	if prev != cl {
+		panic(fmt.Sprintf("memnode: block %#x freed as class %d but allocated as class %d", addr, cl, prev))
+	}
+	delete(mn.liveBlocks, addr)
+}
+
 func (mn *MemNode) handleAllocSeg([]byte) []byte {
 	reply := make([]byte, 9)
 	var addr uint64
@@ -344,7 +398,9 @@ func (a *Alloc) allocFromPool(cl int) (uint64, bool) {
 	binary.LittleEndian.PutUint64(req, uint64(cl))
 	if blk := a.ep.RPC(OpAllocBlock, req); blk[0] == 1 {
 		a.mn.UsedBytes += cl
-		return binary.LittleEndian.Uint64(blk[1:]), true
+		addr := binary.LittleEndian.Uint64(blk[1:])
+		a.mn.noteAlloc(addr, cl)
+		return addr, true
 	}
 	return 0, false
 }
@@ -383,6 +439,7 @@ func (a *Alloc) Alloc(size int) (addr uint64, ok bool) {
 		addr = lst[len(lst)-1]
 		a.free[cl] = lst[:len(lst)-1]
 		a.mn.UsedBytes += cl
+		a.mn.noteAlloc(addr, cl)
 		return addr, true
 	}
 	if a.remaining < cl {
@@ -421,6 +478,7 @@ func (a *Alloc) Alloc(size int) (addr uint64, ok bool) {
 	a.cursor += uint64(cl)
 	a.remaining -= cl
 	a.mn.UsedBytes += cl
+	a.mn.noteAlloc(addr, cl)
 	return addr, true
 }
 
@@ -449,6 +507,7 @@ func (a *Alloc) shredTail() {
 // been allocated by this client: evictions free other clients' blocks.
 func (a *Alloc) Free(addr uint64, size int) {
 	cl := SizeClass(size)
+	a.mn.noteFree(addr, cl)
 	a.free[cl] = append(a.free[cl], addr)
 	a.mn.UsedBytes -= cl
 	if a.mn.UsedBytes < 0 {

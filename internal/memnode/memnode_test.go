@@ -263,3 +263,69 @@ func TestSurrenderedBlocksRecycled(t *testing.T) {
 	})
 	env.Run()
 }
+
+// TestFreeTrackingCatchesFirstBadFree: with tracking enabled, the very
+// first double free panics with the offending address — even when other
+// live allocations keep UsedBytes positive (which the net-accounting
+// check alone would miss).
+func TestFreeTrackingCatchesFirstBadFree(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	mn.EnableFreeTracking()
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		addr1, _ := a.Alloc(100)
+		addr2, _ := a.Alloc(100)
+		_ = addr2 // stays live: UsedBytes never goes negative below
+		if mn.LiveTrackedBlocks() != 2 {
+			t.Fatalf("live tracked = %d, want 2", mn.LiveTrackedBlocks())
+		}
+		a.Free(addr1, 100)
+		defer func() {
+			if recover() == nil {
+				t.Error("double free with a live sibling did not panic")
+			}
+		}()
+		a.Free(addr1, 100)
+	})
+	env.Run()
+}
+
+// TestFreeTrackingWrongClass: freeing a block with the wrong size class
+// is caught (it would corrupt a real free list).
+func TestFreeTrackingWrongClass(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	mn.EnableFreeTracking()
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		addr, _ := a.Alloc(100) // class 128
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-class free did not panic")
+			}
+		}()
+		a.Free(addr, 300) // class 320
+	})
+	env.Run()
+}
+
+// TestFreeTrackingReset: ResetFreeTracking forgets old incarnation
+// addresses (a restarted node's heap starts over).
+func TestFreeTrackingReset(t *testing.T) {
+	env := sim.NewEnv(1)
+	mn := newTestMN(env, 1<<20)
+	mn.EnableFreeTracking()
+	env.Go("c", func(p *sim.Proc) {
+		ep := rdma.NewEndpoint(mn.Node, p)
+		a := NewAlloc(mn, ep)
+		a.Alloc(64)
+		mn.ResetFreeTracking()
+		if mn.LiveTrackedBlocks() != 0 {
+			t.Errorf("live tracked after reset = %d", mn.LiveTrackedBlocks())
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,94 @@
+package rdma
+
+import (
+	"errors"
+	"fmt"
+
+	"ditto/internal/sim"
+)
+
+// Fail-stop node failures. A failed node's RNIC answers nothing: every
+// verb against it blocks for the client's completion timeout and then
+// surfaces *NodeUnreachableError. The error travels as a panic so the
+// deep call chains in internal/core (probe → plan → executor → verb)
+// don't have to thread an error return through every hop; protocol
+// boundaries convert it back to an error with CatchUnreachable.
+//
+// Failure detection is only ever observed at verb completion points —
+// the same places a real client sees a timed-out work completion — so a
+// doorbell batch whose node dies mid-flight behaves atomically: none of
+// its effects apply ("the completion never arrived").
+
+// NodeUnreachableError reports a verb posted to a failed node.
+type NodeUnreachableError struct {
+	// Node names the unreachable node when the owner set Node.Name.
+	Node string
+}
+
+// Error implements error.
+func (e *NodeUnreachableError) Error() string {
+	if e.Node == "" {
+		return "rdma: node unreachable"
+	}
+	return fmt.Sprintf("rdma: node %q unreachable", e.Node)
+}
+
+// IsUnreachable reports whether err wraps a NodeUnreachableError.
+func IsUnreachable(err error) bool {
+	var ue *NodeUnreachableError
+	return errors.As(err, &ue)
+}
+
+// CatchUnreachable runs fn, converting a NodeUnreachableError panic from
+// any verb inside it back into an error return. Other panics propagate.
+func CatchUnreachable(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ue, ok := r.(*NodeUnreachableError); ok {
+				err = ue
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Fail marks the node unreachable (fail-stop). In-flight verbs whose
+// callers are still sleeping toward completion will time out rather than
+// apply: the failure point is the event boundary, exactly like a real
+// NIC going silent.
+func (n *Node) Fail() { n.down = true }
+
+// Restart brings a failed node back with ZEROED memory — DRAM does not
+// survive fail-stop. RPC handlers stay registered (they are the static
+// protocol, not state). The owner must re-initialize layout before
+// serving clients again.
+func (n *Node) Restart() {
+	for i := range n.mem {
+		n.mem[i] = 0
+	}
+	n.down = false
+}
+
+// Down reports whether the node is currently failed.
+func (n *Node) Down() bool { return n.down }
+
+// failTimeout is the virtual time a client charges before declaring the
+// node unreachable (Config.FailTimeout, defaulting to 10×RTT — a few
+// retransmission rounds on a lossless fabric).
+func (n *Node) failTimeout() int64 {
+	if n.cfg.FailTimeout > 0 {
+		return n.cfg.FailTimeout
+	}
+	return 10 * n.cfg.RTT
+}
+
+// unreachable charges p the completion timeout and raises the typed
+// failure panic. Every verb path funnels node-down detection through
+// here so the timeout cost model stays uniform.
+func (n *Node) unreachable(p *sim.Proc) {
+	p.Sleep(n.failTimeout())
+	panic(&NodeUnreachableError{Node: n.Name})
+}

@@ -1,0 +1,155 @@
+package rdma
+
+import (
+	"errors"
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+// TestFailedNodeVerbsTimeOut: every verb against a failed node charges
+// the fail timeout and surfaces NodeUnreachableError via CatchUnreachable.
+func TestFailedNodeVerbsTimeOut(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	node.Name = "mn0"
+	node.Handle(1, func(p []byte) []byte { return p })
+	env.Go("c", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		ep.Write(0, []byte("before"))
+		node.Fail()
+		verbs := []struct {
+			name string
+			fn   func()
+		}{
+			{"read", func() { ep.Read(0, 6) }},
+			{"write", func() { ep.Write(0, []byte("x")) }},
+			{"write-async", func() { ep.WriteAsync(0, []byte("x")) }},
+			{"cas", func() { ep.CAS(0, 0, 1) }},
+			{"faa", func() { ep.FAA(0, 1) }},
+			{"rpc", func() { ep.RPC(1, []byte("hi")) }},
+			{"batch", func() { ep.PostBatch([]BatchOp{{Kind: BatchRead, Addr: 0, Len: 6}}) }},
+		}
+		for _, v := range verbs {
+			start := p.Now()
+			err := CatchUnreachable(v.fn)
+			if err == nil {
+				t.Fatalf("%s against failed node returned nil error", v.name)
+			}
+			if !IsUnreachable(err) {
+				t.Fatalf("%s: error %v is not NodeUnreachableError", v.name, err)
+			}
+			if elapsed := p.Now() - start; elapsed < node.failTimeout() {
+				t.Errorf("%s charged %dns, want >= timeout %dns", v.name, elapsed, node.failTimeout())
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestFailMidFlightDiscardsEffect: a write posted before the node fails,
+// whose completion would land after, must NOT apply (the completion never
+// arrived).
+func TestFailMidFlightDiscardsEffect(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	env.Go("writer", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		err := CatchUnreachable(func() { ep.Write(0, []byte{0xAA}) })
+		if !IsUnreachable(err) {
+			t.Fatalf("mid-flight write error = %v", err)
+		}
+	})
+	env.Go("chaos", func(p *sim.Proc) {
+		// Fire inside the writer's RTT sleep (RTT is 2 µs).
+		p.Sleep(node.cfg.RTT / 2)
+		node.Fail()
+	})
+	env.Run()
+	if node.mem[0] != 0 {
+		t.Fatalf("mid-flight write applied: mem[0]=%#x", node.mem[0])
+	}
+}
+
+// TestRestartZeroesMemory: Restart brings the node back empty — DRAM does
+// not survive fail-stop — and verbs work again.
+func TestRestartZeroesMemory(t *testing.T) {
+	env := sim.NewEnv(1)
+	node := testNode(env)
+	env.Go("c", func(p *sim.Proc) {
+		ep := NewEndpoint(node, p)
+		ep.Write(100, []byte("persist?"))
+		node.Fail()
+		if !node.Down() {
+			t.Fatal("Down() = false after Fail")
+		}
+		node.Restart()
+		if node.Down() {
+			t.Fatal("Down() = true after Restart")
+		}
+		got := ep.Read(100, 8)
+		for i, b := range got {
+			if b != 0 {
+				t.Fatalf("byte %d survived restart: %#x", i, b)
+			}
+		}
+	})
+	env.Run()
+}
+
+// TestPostMultiPartialFailure: a multi-endpoint round where one node is
+// down still applies the live node's batch, then surfaces the error.
+func TestPostMultiPartialFailure(t *testing.T) {
+	env := sim.NewEnv(1)
+	alive := testNode(env)
+	dead := testNode(env)
+	dead.Name = "mn-dead"
+	env.Go("c", func(p *sim.Proc) {
+		epA := NewEndpoint(alive, p)
+		epD := NewEndpoint(dead, p)
+		dead.Fail()
+		err := CatchUnreachable(func() {
+			PostMulti([]EndpointBatch{
+				{EP: epA, Ops: []BatchOp{{Kind: BatchWrite, Addr: 0, Data: []byte{1}}}},
+				{EP: epD, Ops: []BatchOp{{Kind: BatchWrite, Addr: 0, Data: []byte{2}}}},
+			})
+		})
+		if !IsUnreachable(err) {
+			t.Fatalf("PostMulti error = %v", err)
+		}
+	})
+	env.Run()
+	if alive.mem[0] != 1 {
+		t.Error("live node's batch did not apply")
+	}
+	if dead.mem[0] != 0 {
+		t.Error("dead node's batch applied")
+	}
+}
+
+// TestCatchUnreachablePassesOtherPanics: unrelated panics are not eaten.
+func TestCatchUnreachablePassesOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign panic was swallowed")
+		}
+	}()
+	_ = CatchUnreachable(func() { panic("something else") })
+}
+
+// TestIsUnreachableWrapped: IsUnreachable sees through fmt.Errorf %w chains.
+func TestIsUnreachableWrapped(t *testing.T) {
+	base := &NodeUnreachableError{Node: "mn1"}
+	if !IsUnreachable(base) {
+		t.Error("bare error not recognized")
+	}
+	if !IsUnreachable(errors.Join(errors.New("ctx"), base)) {
+		t.Error("wrapped error not recognized")
+	}
+	if IsUnreachable(errors.New("other")) {
+		t.Error("foreign error recognized")
+	}
+	if base.Error() == "" || (&NodeUnreachableError{}).Error() == "" {
+		t.Error("empty error strings")
+	}
+}

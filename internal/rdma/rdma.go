@@ -49,6 +49,9 @@ type Config struct {
 	RPCSvc int64
 	// RPCByteSvcNs is additional MN CPU time per RPC payload byte.
 	RPCByteSvcNs float64
+	// FailTimeout is how long a client waits on a failed node before
+	// surfacing NodeUnreachableError; 0 means 10×RTT (see fault.go).
+	FailTimeout int64
 }
 
 // DefaultConfig returns the calibration used throughout the evaluation
@@ -102,6 +105,10 @@ type Node struct {
 	cpu      *sim.Resource
 	handlers map[uint8]Handler
 	cfg      Config
+	down     bool // fail-stop: set by Fail, cleared by Restart (fault.go)
+
+	// Name optionally labels the node in NodeUnreachableError messages.
+	Name string
 
 	// Stats accumulates verb counts across all endpoints.
 	Stats Stats
@@ -223,8 +230,16 @@ func (e *Endpoint) FAAAsync(addr uint64, delta uint64) {
 // shared issue/apply machinery below.
 func (e *Endpoint) doSync(op BatchOp) BatchResult {
 	n := e.node
+	if n.down {
+		n.unreachable(e.p)
+	}
 	end := n.issueOp(&op)
 	e.p.SleepUntil(end + n.cfg.RTT)
+	if n.down {
+		// Failed mid-flight: the completion never arrives, the effect
+		// never applies.
+		n.unreachable(e.p)
+	}
 	var res BatchResult
 	n.applyOp(&op, &res)
 	return res
@@ -236,6 +251,11 @@ func (e *Endpoint) doSync(op BatchOp) BatchResult {
 // completion wait is skipped.
 func (e *Endpoint) doAsync(op BatchOp) {
 	n := e.node
+	if n.down {
+		// Even an unsignalled post is detected eventually; model it as
+		// detected at post time so async metadata paths fail loudly.
+		n.unreachable(e.p)
+	}
 	n.Stats.AsyncOps++
 	n.issueOp(&op)
 	var res BatchResult
@@ -344,6 +364,9 @@ func (e *Endpoint) PostBatch(ops []BatchOp) []BatchResult {
 		return nil
 	}
 	n := e.node
+	if n.down {
+		n.unreachable(e.p)
+	}
 	n.Stats.DoorbellBatches++
 	n.Stats.BatchedVerbs += int64(len(ops))
 	var last int64
@@ -353,6 +376,11 @@ func (e *Endpoint) PostBatch(ops []BatchOp) []BatchResult {
 		}
 	}
 	e.p.SleepUntil(last + n.cfg.RTT)
+	if n.down {
+		// Atomic batch failure: the node died before completion, so NONE
+		// of the batch's effects apply.
+		n.unreachable(e.p)
+	}
 	res := make([]BatchResult, len(ops))
 	for i := range ops {
 		n.applyOp(&ops[i], &res[i])
@@ -376,6 +404,7 @@ type EndpointBatch struct {
 func PostMulti(batches []EndpointBatch) [][]BatchResult {
 	var p *sim.Proc
 	var last int64
+	var downNode *Node
 	for _, b := range batches {
 		if len(b.Ops) == 0 {
 			continue
@@ -385,6 +414,12 @@ func PostMulti(batches []EndpointBatch) [][]BatchResult {
 			p = b.EP.p
 		} else if p != b.EP.p {
 			panic("rdma: PostMulti endpoints span processes")
+		}
+		if n.down {
+			// Dead queue pair: nothing issues; the whole round fails
+			// after the live batches complete (real QPs are independent).
+			downNode = n
+			continue
 		}
 		n.Stats.DoorbellBatches++
 		n.Stats.BatchedVerbs += int64(len(b.Ops))
@@ -401,11 +436,22 @@ func PostMulti(batches []EndpointBatch) [][]BatchResult {
 	out := make([][]BatchResult, len(batches))
 	for bi, b := range batches {
 		n := b.EP.node
+		if n.down {
+			// Down at post time or failed mid-flight: none of this
+			// batch's effects apply. Live siblings still complete —
+			// callers must treat a failed fan-out as partially applied.
+			downNode = n
+			out[bi] = nil
+			continue
+		}
 		res := make([]BatchResult, len(b.Ops))
 		for i := range b.Ops {
 			n.applyOp(&b.Ops[i], &res[i])
 		}
 		out[bi] = res
+	}
+	if downNode != nil {
+		downNode.unreachable(p)
 	}
 	return out
 }
@@ -419,6 +465,9 @@ func (e *Endpoint) RPC(op uint8, payload []byte) []byte {
 	if !ok {
 		panic(fmt.Sprintf("rdma: no handler for RPC opcode %d", op))
 	}
+	if n.down {
+		n.unreachable(e.p)
+	}
 	n.Stats.RPCs++
 	n.nic.Acquire(n.msgSvc(len(payload)))
 	svc := n.cfg.RPCSvc + int64(n.cfg.RPCByteSvcNs*float64(len(payload)))
@@ -426,6 +475,12 @@ func (e *Endpoint) RPC(op uint8, payload []byte) []byte {
 	reply := h(payload)
 	n.nic.Acquire(n.msgSvc(len(reply)))
 	e.p.SleepUntil(end + n.cfg.RTT)
+	if n.down {
+		// The controller died before the reply arrived. The handler may
+		// have executed — classic RPC ambiguity — but the node's state
+		// is lost with it, so callers just see the timeout.
+		n.unreachable(e.p)
+	}
 	return reply
 }
 

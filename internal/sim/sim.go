@@ -67,6 +67,8 @@ type Env struct {
 	nextID  int
 	seed    int64
 	stopped bool
+	procs   []*Proc // every registered process, in Go order (for FindProc)
+	cur     *Proc   // the process executing right now (self-Kill guard)
 }
 
 // NewEnv returns an environment at virtual time zero. The seed determines
@@ -93,14 +95,18 @@ func (e *Env) push(t int64, p *Proc) {
 }
 
 // Proc is a process executing in virtual time. A Proc must only be used
-// from its own goroutine (the function passed to Go).
+// from its own goroutine (the function passed to Go) — except for the
+// crash API (Env.Kill, Killed, OnCrash-registered state), which other
+// processes use to model fail-stop node and process failures.
 type Proc struct {
-	env    *Env
-	resume chan struct{}
-	id     int
-	name   string
-	rng    *rand.Rand
-	done   bool
+	env     *Env
+	resume  chan struct{}
+	id      int
+	name    string
+	rng     *rand.Rand
+	done    bool
+	killed  bool
+	onCrash []func() // LIFO cleanup hooks run by Env.Kill
 }
 
 // ID returns the process's unique id, assigned in Go order.
@@ -117,6 +123,23 @@ func (p *Proc) Rand() *rand.Rand { return p.rng }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() int64 { return p.env.now }
+
+// Killed reports whether the process was removed by Env.Kill. Crash-aware
+// shared structures (e.g. per-entry locks) consult it to detect abandoned
+// ownership: a killed process will never run again, so whatever it held
+// can be safely stolen.
+func (p *Proc) Killed() bool { return p.killed }
+
+// Alive reports whether the process has neither finished nor been killed.
+func (p *Proc) Alive() bool { return !p.done }
+
+// OnCrash registers a cleanup hook run if this process is killed by
+// Env.Kill (hooks run LIFO, most recent first). Hooks execute in the
+// killer's scheduling slice: they MUST NOT yield (no Sleep, no verbs, no
+// blocking waits) but may register new processes with Env.Go — the idiom
+// crash-recovery supervisors use to respawn a died worker. Hooks do not
+// run on normal process exit.
+func (p *Proc) OnCrash(fn func()) { p.onCrash = append(p.onCrash, fn) }
 
 // Go registers fn as a new process starting at the current virtual time.
 // It may be called before Run or from inside a running process (e.g. to add
@@ -140,6 +163,7 @@ func (e *Env) GoAt(t int64, name string, fn func(p *Proc)) *Proc {
 	}
 	e.nextID++
 	e.running++
+	e.procs = append(e.procs, p)
 	go func() {
 		// The final yield is deferred so the scheduler survives a process
 		// that exits via runtime.Goexit (e.g. t.Fatal inside a test body).
@@ -169,10 +193,52 @@ func (e *Env) Run() {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.t
+		e.cur = ev.p
 		ev.p.resume <- struct{}{}
 		<-e.sched
+		e.cur = nil
 	}
 	e.stopped = false
+}
+
+// Kill removes process p from the simulation immediately: a fail-stop
+// crash at the current virtual time. p never runs again — its pending
+// wake-ups are discarded, condition variables that would wake it skip it,
+// and its goroutine is abandoned exactly as Stop abandons blocked
+// processes (acceptable for one-shot experiment runs). p's OnCrash hooks
+// run LIFO in the caller's scheduling slice before Kill returns, so
+// supervisors can respawn replacements with a consistent view of the
+// crash instant. Killing a finished or already-killed process is a no-op;
+// a process cannot kill itself (a self-crash is just returning).
+// Kill reports whether p was actually removed.
+func (e *Env) Kill(p *Proc) bool {
+	if p.done {
+		return false
+	}
+	if e.cur == p {
+		panic("sim: a process cannot Kill itself")
+	}
+	p.done = true
+	p.killed = true
+	e.running--
+	for i := len(p.onCrash) - 1; i >= 0; i-- {
+		p.onCrash[i]()
+	}
+	p.onCrash = nil
+	return true
+}
+
+// FindProc returns the most recently registered live process with the
+// given name, or nil. Fault injectors use it to aim a Kill at an
+// internally spawned process — "the resharder", "the reclaimer" — without
+// the spawning subsystem having to export its handles.
+func (e *Env) FindProc(name string) *Proc {
+	for i := len(e.procs) - 1; i >= 0; i-- {
+		if p := e.procs[i]; !p.done && p.name == name {
+			return p
+		}
+	}
+	return nil
 }
 
 // yield returns control to the scheduler and blocks until resumed.
@@ -311,4 +377,72 @@ func (r *Resource) Utilization(elapsed int64) float64 {
 		return 0
 	}
 	return float64(r.Busy) / (float64(elapsed) * float64(len(r.free)))
+}
+
+// FaultSchedule arms fail-stop faults at virtual-time points. It is the
+// deterministic substrate of the chaos suite (internal/chaos): every
+// fault time and every randomized choice inside a fault function derives
+// from the schedule's seed, so a failing run reproduces from that one
+// number. Faults are ordinary processes — they fire at event boundaries,
+// exactly where concurrent verbs interleave — named "fault:<name>" so
+// transcripts show which injection ran.
+type FaultSchedule struct {
+	env  *Env
+	rng  *rand.Rand
+	seed int64
+	// Armed records every scheduled (time, name) pair in arming order, so
+	// a failure report can print the exact schedule alongside the seed.
+	Armed []FaultPoint
+}
+
+// FaultPoint is one armed fault: when it fires and what it is called.
+type FaultPoint struct {
+	T    int64
+	Name string
+}
+
+// NewFaultSchedule creates a schedule whose randomized choices (Between,
+// Rand) derive from seed.
+func NewFaultSchedule(env *Env, seed int64) *FaultSchedule {
+	return &FaultSchedule{
+		env:  env,
+		rng:  rand.New(rand.NewSource(seed ^ 0x5deece66d)),
+		seed: seed,
+	}
+}
+
+// Seed returns the schedule's seed (printed by failing chaos runs).
+func (f *FaultSchedule) Seed() int64 { return f.seed }
+
+// Rand exposes the schedule's deterministic RNG for fault functions that
+// need further choices (which node to kill, which key range to target).
+func (f *FaultSchedule) Rand() *rand.Rand { return f.rng }
+
+// At arms fault to fire at virtual time t (>= now).
+func (f *FaultSchedule) At(t int64, name string, fault func(p *Proc)) {
+	if t < f.env.now {
+		t = f.env.now
+	}
+	f.Armed = append(f.Armed, FaultPoint{T: t, Name: name})
+	f.env.GoAt(t, "fault:"+name, fault)
+}
+
+// Between arms fault at a seed-chosen time in [lo, hi] and returns the
+// chosen time.
+func (f *FaultSchedule) Between(lo, hi int64, name string, fault func(p *Proc)) int64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	t := lo + f.rng.Int63n(hi-lo+1)
+	f.At(t, name, fault)
+	return t
+}
+
+// String renders the armed schedule for failure reports.
+func (f *FaultSchedule) String() string {
+	s := fmt.Sprintf("seed=%d", f.seed)
+	for _, a := range f.Armed {
+		s += fmt.Sprintf(" [%s@%dns]", a.Name, a.T)
+	}
+	return s
 }

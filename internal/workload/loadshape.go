@@ -1,0 +1,120 @@
+package workload
+
+import "math"
+
+// A Shape is a deterministic load envelope over virtual time: Rate(t)
+// returns the relative request intensity at time t (1.0 = baseline).
+// Drivers pace an open-loop workload by dividing their baseline
+// inter-arrival gap by the rate (Gap), so the same Shape reproduces the
+// same arrival sequence in every run — which is what lets the chaos
+// bench overlay a flash crowd on a fault schedule and stay seed-
+// reproducible.
+type Shape struct {
+	kind shapeKind
+
+	// Flash crowd: intensity base before start, ramping linearly to
+	// peak over rampUp ns, holding for hold ns, ramping back over
+	// rampDown ns.
+	base, peak               float64
+	start, ramp, hold, decay int64
+
+	// Diurnal: intensity swings sinusoidally between trough (at t = 0)
+	// and peak (at t = period/2) with the given period.
+	period int64
+	trough float64
+}
+
+type shapeKind int
+
+const (
+	steadyShape shapeKind = iota
+	flashShape
+	diurnalShape
+)
+
+// Steady returns the identity envelope: Rate(t) == 1 for all t.
+func Steady() *Shape { return &Shape{kind: steadyShape} }
+
+// FlashCrowd returns a flash-crowd envelope: base intensity until
+// start, a linear ramp to peak over ramp ns, a plateau of hold ns, and
+// a linear decay back to base over decay ns. This is the load spike the
+// paper's hot-spot experiments model: a sudden crowd arriving on a
+// service and leaving again.
+func FlashCrowd(base, peak float64, start, ramp, hold, decay int64) *Shape {
+	if base <= 0 {
+		base = 1
+	}
+	if peak < base {
+		peak = base
+	}
+	return &Shape{
+		kind: flashShape,
+		base: base, peak: peak,
+		start: start, ramp: ramp, hold: hold, decay: decay,
+	}
+}
+
+// Diurnal returns a day/night envelope: intensity starts at trough at
+// t = 0 and swings sinusoidally up to peak at t = period/2.
+func Diurnal(trough, peak float64, period int64) *Shape {
+	if trough <= 0 {
+		trough = 0.1
+	}
+	if peak < trough {
+		peak = trough
+	}
+	if period <= 0 {
+		period = 1
+	}
+	return &Shape{kind: diurnalShape, trough: trough, peak: peak, period: period}
+}
+
+// Rate returns the relative intensity at virtual time t.
+func (s *Shape) Rate(t int64) float64 {
+	switch s.kind {
+	case flashShape:
+		switch {
+		case t < s.start:
+			return s.base
+		case t < s.start+s.ramp:
+			frac := float64(t-s.start) / float64(s.ramp)
+			return s.base + (s.peak-s.base)*frac
+		case t < s.start+s.ramp+s.hold:
+			return s.peak
+		case t < s.start+s.ramp+s.hold+s.decay:
+			frac := float64(t-s.start-s.ramp-s.hold) / float64(s.decay)
+			return s.peak - (s.peak-s.base)*frac
+		default:
+			return s.base
+		}
+	case diurnalShape:
+		phase := 2 * math.Pi * float64(t%s.period) / float64(s.period)
+		return s.trough + (s.peak-s.trough)*(1-math.Cos(phase))/2
+	default:
+		return 1
+	}
+}
+
+// Gap converts a baseline inter-arrival gap into the shaped gap at time
+// t: higher intensity means shorter gaps. The result is at least 1 ns
+// so an open-loop driver always advances virtual time.
+func (s *Shape) Gap(baseGapNs, t int64) int64 {
+	g := int64(float64(baseGapNs) / s.Rate(t))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Peak returns the envelope's maximum intensity (used by benches to
+// size the key set for the crowd).
+func (s *Shape) Peak() float64 {
+	switch s.kind {
+	case flashShape:
+		return s.peak
+	case diurnalShape:
+		return s.peak
+	default:
+		return 1
+	}
+}

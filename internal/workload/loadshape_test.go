@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShapePinned pins the exact envelope values at fixed sample times.
+// The chaos bench derives its arrival sequence from these rates, so any
+// drift here silently changes every seed-reproducible benchmark — the
+// goldens make such a change an explicit test edit.
+func TestShapePinned(t *testing.T) {
+	flash := FlashCrowd(1, 5, 1_000, 2_000, 3_000, 4_000)
+	diurnal := Diurnal(0.5, 2, 10_000)
+	cases := []struct {
+		name  string
+		shape *Shape
+		t     int64
+		want  string // Rate formatted to 6 decimals
+	}{
+		{"steady-any", Steady(), 123_456, "1.000000"},
+		{"flash-before", flash, 0, "1.000000"},
+		{"flash-ramp-start", flash, 1_000, "1.000000"},
+		{"flash-ramp-quarter", flash, 1_500, "2.000000"},
+		{"flash-ramp-mid", flash, 2_000, "3.000000"},
+		{"flash-peak-start", flash, 3_000, "5.000000"},
+		{"flash-peak-hold", flash, 5_999, "5.000000"},
+		{"flash-decay-mid", flash, 8_000, "3.000000"},
+		{"flash-after", flash, 10_000, "1.000000"},
+		{"diurnal-trough", diurnal, 0, "0.500000"},
+		{"diurnal-rise", diurnal, 2_500, "1.250000"},
+		{"diurnal-peak", diurnal, 5_000, "2.000000"},
+		{"diurnal-fall", diurnal, 7_500, "1.250000"},
+		{"diurnal-wrap", diurnal, 10_000, "0.500000"},
+		{"diurnal-second-period", diurnal, 15_000, "2.000000"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := fmt.Sprintf("%.6f", c.shape.Rate(c.t)); got != c.want {
+				t.Fatalf("Rate(%d) = %s, want %s", c.t, got, c.want)
+			}
+		})
+	}
+}
+
+// TestShapeGap checks the rate→gap inversion and its 1ns floor.
+func TestShapeGap(t *testing.T) {
+	flash := FlashCrowd(1, 4, 0, 0, 1_000, 0)
+	if g := flash.Gap(8_000, 500); g != 2_000 {
+		t.Fatalf("peak gap = %d, want 2000", g)
+	}
+	if g := flash.Gap(8_000, 5_000); g != 8_000 {
+		t.Fatalf("baseline gap = %d, want 8000", g)
+	}
+	if g := flash.Gap(2, 500); g != 1 {
+		t.Fatalf("gap floor = %d, want 1", g)
+	}
+}
+
+// TestShapeClamps checks the constructors sanitize degenerate inputs.
+func TestShapeClamps(t *testing.T) {
+	if r := FlashCrowd(0, 0.5, 0, 1, 1, 1).Rate(0); r != 1 {
+		t.Fatalf("degenerate flash base: Rate=%v, want 1", r)
+	}
+	if p := FlashCrowd(2, 1, 0, 1, 1, 1).Peak(); p != 2 {
+		t.Fatalf("peak below base not clamped: %v", p)
+	}
+	d := Diurnal(-1, 0, 0)
+	if r := d.Rate(0); r != 0.1 {
+		t.Fatalf("degenerate diurnal trough: Rate=%v, want 0.1", r)
+	}
+}

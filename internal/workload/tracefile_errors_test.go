@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Table-driven error-path coverage for the trace loaders: malformed
+// lines, truncated numeric fields, maxReqs truncation, and lines that
+// brush against (and exceed) the 1<<20 scanner buffer.
+
+func TestLoadTwitterTraceErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		maxReqs int
+		wantN   int  // requests expected when wantErr is false
+		wantErr bool // any error
+	}{
+		{"empty-input", "", 0, 0, false},
+		{"only-comments-and-blanks", "# a comment\n\n   \n# another\n", 0, 0, false},
+		{"one-field", "justakey\n", 0, 0, true},
+		{"five-fields", "0,k,8,100,1\n", 0, 0, true},
+		{"malformed-after-good-line", "0,k,8,100,1,get,0\nbad,line\n", 0, 0, true},
+		{"six-fields-no-ttl-ok", "0,k,8,100,1,get\n", 0, 1, false},
+		// Truncated / non-numeric size fields fall back to the default
+		// object size rather than erroring: real traces have holes.
+		{"non-numeric-sizes", "0,k,?,?,1,get,0\n", 0, 1, false},
+		{"negative-sizes", "0,k,-5,-3,1,get,0\n", 0, 1, false},
+		{"maxreqs-truncates", strings.Repeat("0,k,8,100,1,get,0\n", 50), 7, 7, false},
+		{"maxreqs-stops-before-bad-tail", strings.Repeat("0,k,8,100,1,get,0\n", 5) + "bad\n", 5, 5, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reqs, err := LoadTwitterTrace(strings.NewReader(c.input), c.maxReqs)
+			if c.wantErr {
+				if err == nil {
+					t.Fatalf("no error (got %d reqs)", len(reqs))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(reqs) != c.wantN {
+				t.Fatalf("got %d reqs, want %d", len(reqs), c.wantN)
+			}
+		})
+	}
+	// Fallback sizing for the non-numeric case must be the default.
+	reqs, err := LoadTwitterTrace(strings.NewReader("0,k,?,?,1,get,0\n"), 0)
+	if err != nil || len(reqs) != 1 || reqs[0].Size != DefaultObjectSize {
+		t.Fatalf("fallback size: reqs=%v err=%v", reqs, err)
+	}
+}
+
+func TestLoadCSVTraceErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		maxReqs int
+		wantN   int
+	}{
+		{"empty-input", "", 0, 0},
+		{"header-only", "key,size,op\n", 0, 0},
+		// First line is valid data so the header heuristic (line 1 with a
+		// non-numeric size column) does not swallow the truncated lines.
+		{"truncated-size-field", "k,64\na,\nb,oops\n", 0, 3},
+		{"negative-size-ignored", "a,-12\n", 0, 1},
+		{"unknown-op-is-read", "a,64,frobnicate\n", 0, 1},
+		{"maxreqs-truncates", strings.Repeat("k,64\n", 50), 9, 9},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			reqs, err := LoadCSVTrace(strings.NewReader(c.input), c.maxReqs)
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(reqs) != c.wantN {
+				t.Fatalf("got %d reqs, want %d", len(reqs), c.wantN)
+			}
+			for _, r := range reqs {
+				if r.Size <= 0 {
+					t.Fatalf("non-positive size survived: %+v", r)
+				}
+			}
+		})
+	}
+	reqs, err := LoadCSVTrace(strings.NewReader("a,-12\n"), 0)
+	if err != nil || reqs[0].Size != DefaultObjectSize {
+		t.Fatalf("negative size not defaulted: %+v err=%v", reqs, err)
+	}
+	if reqs, _ := LoadCSVTrace(strings.NewReader("a,64,frobnicate\n"), 0); reqs[0].Write {
+		t.Fatal("unknown op classified as write")
+	}
+}
+
+// TestLoadTraceOversizedLines drives both loaders right up to and past
+// the 1<<20 scanner buffer: a line just under the cap parses, one over
+// it surfaces bufio.ErrTooLong instead of silently corrupting the
+// trace.
+func TestLoadTraceOversizedLines(t *testing.T) {
+	const cap = 1 << 20
+	bigKey := strings.Repeat("x", cap-64) // fits with room for the other fields
+	hugeKey := strings.Repeat("x", cap+1) // exceeds the buffer on its own
+
+	t.Run("twitter-near-cap", func(t *testing.T) {
+		line := "0," + bigKey + ",8,100,1,get,0\n"
+		reqs, err := LoadTwitterTrace(strings.NewReader(line), 0)
+		if err != nil || len(reqs) != 1 {
+			t.Fatalf("near-cap line: reqs=%d err=%v", len(reqs), err)
+		}
+	})
+	t.Run("twitter-over-cap", func(t *testing.T) {
+		line := "0," + hugeKey + ",8,100,1,get,0\n"
+		_, err := LoadTwitterTrace(strings.NewReader(line), 0)
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("want bufio.ErrTooLong, got %v", err)
+		}
+	})
+	t.Run("csv-near-cap", func(t *testing.T) {
+		line := bigKey + ",64\n"
+		reqs, err := LoadCSVTrace(strings.NewReader(line), 0)
+		if err != nil || len(reqs) != 1 || reqs[0].Size != 64 {
+			t.Fatalf("near-cap line: reqs=%+v err=%v", reqs, err)
+		}
+	})
+	t.Run("csv-over-cap", func(t *testing.T) {
+		_, err := LoadCSVTrace(strings.NewReader(hugeKey+"\n"), 0)
+		if !errors.Is(err, bufio.ErrTooLong) {
+			t.Fatalf("want bufio.ErrTooLong, got %v", err)
+		}
+	})
+}
