@@ -1,0 +1,260 @@
+// Package analysis is Ditto's project-invariant analyzer framework: a
+// self-contained, stdlib-only mirror of the golang.org/x/tools/go/analysis
+// API surface that dittolint's checkers are written against.
+//
+// Six PRs of growth have produced load-bearing conventions — every verb
+// sequence declared once as a plan (PR 3), seed-deterministic sim and
+// chaos runs (PR 6), typed errors instead of panics on crash paths, the
+// FC-cache pending-delta accounting (PR 2) — that were, until this
+// package, enforced only by tests that had to imagine each regression in
+// advance. The analyzers under internal/analysis/... encode those
+// contracts as compiler-adjacent checks that fail CI on the violating
+// line (cmd/dittolint is the driver).
+//
+// Why not depend on golang.org/x/tools directly? The build environment
+// is offline and the module is dependency-free; x/tools is not in the
+// module cache, so the dependency is gated: this package provides the
+// same Analyzer/Pass/Reportf shape (plus a testdata-driven fixture
+// runner, fixture.go, mirroring analysistest), and an analyzer written
+// here ports to the x/tools API by changing imports only. The loader
+// (loader.go) type-checks the module from source with go/types and the
+// stdlib source importer; the vettool driver (unitchecker.go) speaks
+// cmd/go's -vettool protocol using gc export data, so
+// `go vet -vettool=$(dittolint) ./...` works exactly as it would with an
+// x/tools multichecker.
+//
+// Suppression: a finding whose line (or the line above it) carries a
+//
+//	//dittolint:allow <analyzer> (reason)
+//
+// comment is dropped. The annotation names exactly one analyzer; the
+// parenthesized reason is mandatory — an allowlisted violation with no
+// stated reason is itself a finding.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one project-invariant check. It is the exact
+// shape of golang.org/x/tools/go/analysis.Analyzer that dittolint uses,
+// so checkers port between the two frameworks by changing imports.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// dittolint:allow annotations. By convention it is a single
+	// lowercase word.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest states the invariant it encodes and which PR
+	// introduced that invariant.
+	Doc string
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one reported finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col: analyzer: message" form the CI job greps.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass provides one analyzer's view of one type-checked package,
+// mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Path is the package's import path. Fixture packages (fixture.go)
+	// may declare a synthetic path so package-scoped analyzers (simdet,
+	// typederr) can be exercised outside their real directories.
+	Path string
+
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+	allow allowIndex
+}
+
+// Reportf records a finding at pos unless a dittolint:allow annotation
+// for this analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(p.Analyzer.Name, position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowIndex records, per file and line, which analyzers a
+// dittolint:allow comment suppresses. An annotation covers its own line
+// and the line directly below it (so it can ride at end-of-line or as a
+// comment above the statement).
+type allowIndex map[string]map[int]map[string]bool
+
+func (ai allowIndex) allows(analyzer string, pos token.Position) bool {
+	lines := ai[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// allowPrefix is the annotation marker. Like every Go pragma, the form
+// is strict: the comment must start exactly with "//dittolint:allow"
+// (no space after the slashes — prose that merely mentions the marker
+// is not an annotation), and the reason is not optional.
+const allowPrefix = "//dittolint:allow"
+
+// buildAllowIndex scans the files' comments for dittolint:allow
+// annotations. Malformed annotations (no analyzer name, or no
+// parenthesized reason) are returned as diagnostics attributed to the
+// pseudo-analyzer "allow", so a sloppy suppression fails the lint run
+// instead of silently suppressing nothing.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
+	idx := make(allowIndex)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if name == "" || !strings.HasPrefix(reason, "(") || !strings.HasSuffix(reason, ")") || len(reason) < 3 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "allow",
+						Message:  "malformed dittolint:allow annotation: want //dittolint:allow <analyzer> (reason)",
+					})
+					continue
+				}
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx[pos.Filename] = lines
+				}
+				if lines[pos.Line] == nil {
+					lines[pos.Line] = make(map[string]bool)
+				}
+				lines[pos.Line][name] = true
+			}
+		}
+	}
+	return idx, bad
+}
+
+// Run executes the analyzers over the package and returns their
+// findings sorted by position. Malformed allow annotations are included
+// as findings.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow, bad := buildAllowIndex(pkg.Fset, pkg.Files)
+	diags := append([]Diagnostic(nil), bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.Path,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			allow:    allow,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// ---------------------------------------------------------------------------
+// Type-resolution helpers shared by the checkers.
+
+// CalleeFunc resolves the *types.Func a call expression invokes —
+// through a plain identifier, a package-qualified selector, or a method
+// selector — or nil for builtins, conversions, and function-valued
+// expressions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named Go builtin
+// (e.g. "panic").
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// ReceiverNamed returns the defined type of fn's receiver (through one
+// pointer indirection), or nil for package-level functions.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// FuncPkgPath returns the import path of the package declaring fn ("",
+// for builtins and error.Error).
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse wraps one source string into the file list buildAllowIndex
+// consumes.
+func parse(t *testing.T, src string) (*token.FileSet, []*Diagnostic, allowIndex) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, bad := buildAllowIndex(fset, []*ast.File{f})
+	out := make([]*Diagnostic, len(bad))
+	for i := range bad {
+		out[i] = &bad[i]
+	}
+	return fset, out, idx
+}
+
+func TestAllowAnnotationParsing(t *testing.T) {
+	src := `package p
+
+func a() {
+	//dittolint:allow simdet (order-independent body)
+	_ = 1
+}
+
+func b() {
+	//dittolint:allow typederr
+	_ = 2
+}
+
+func c() {
+	// dittolint:allow is mentioned in prose here, with a space after
+	// the slashes: not an annotation, not malformed either.
+	_ = 3
+}
+`
+	_, bad, idx := parse(t, src)
+	// b's annotation has no parenthesized reason: exactly one malformed
+	// finding, attributed to the pseudo-analyzer "allow".
+	if len(bad) != 1 {
+		t.Fatalf("want 1 malformed annotation, got %d: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "allow" || !strings.Contains(bad[0].Message, "malformed") {
+		t.Fatalf("unexpected malformed diagnostic: %v", bad[0])
+	}
+	// a's annotation suppresses simdet on its own line (4) and the line
+	// below (5) — and only for simdet.
+	if !idx.allows("simdet", token.Position{Filename: "fix.go", Line: 5}) {
+		t.Error("annotation does not cover the line below it")
+	}
+	if !idx.allows("simdet", token.Position{Filename: "fix.go", Line: 4}) {
+		t.Error("annotation does not cover its own line")
+	}
+	if idx.allows("simdet", token.Position{Filename: "fix.go", Line: 6}) {
+		t.Error("annotation leaks two lines down")
+	}
+	if idx.allows("verbplan", token.Position{Filename: "fix.go", Line: 5}) {
+		t.Error("annotation suppresses an analyzer it does not name")
+	}
+}
+
+func TestLoaderResolvesModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "ditto" {
+		t.Fatalf("module path = %q, want ditto", l.ModulePath())
+	}
+	pkg, err := l.Load("ditto/internal/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "exec" {
+		t.Fatalf("package name = %q", pkg.Types.Name())
+	}
+	paths, err := l.ListPackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("ListPackages leaked a testdata dir: %s", p)
+		}
+	}
+}

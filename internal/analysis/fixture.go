@@ -1,0 +1,114 @@
+// Fixture runner: a stdlib mirror of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture is one directory under internal/analysis/testdata holding a
+// small package that exercises one analyzer: every line that must be
+// flagged carries a trailing
+//
+//	// want `regexp`
+//
+// comment (backquoted regular expression matched against the
+// diagnostic message), and every sanctioned-pattern line carries none.
+// RunFixture loads the directory under a caller-chosen import path —
+// package-scoped analyzers (simdet, typederr) key on real paths like
+// ditto/internal/core — runs the analyzer, and fails the test on any
+// unmatched expectation or unexpected diagnostic.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// wantRe extracts the backquoted pattern of a "// want `...`" comment.
+var wantRe = regexp.MustCompile("^want\\s+`(.*)`$")
+
+// expectation is one parsed want comment.
+type expectation struct {
+	pos     token.Position
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// TB is the subset of *testing.T the fixture runner needs (kept
+// abstract so the framework's own tests can capture failures).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads fixture directory dir as a package with import path
+// asPath, runs the analyzer over it, and checks its diagnostics against
+// the fixture's want comments. The loader should be shared across a
+// test binary's fixtures (NewLoader per call re-type-checks the stdlib
+// from source).
+func RunFixture(t TB, l *Loader, a *Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := l.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := Run(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on fixture %s: %v", a.Name, dir, err)
+	}
+	expects, err := parseWants(pkg.Fset, pkg.Files)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: expected diagnostic matching %q, got none", e.pos, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on d's line whose pattern
+// matches d's message.
+func claim(expects []*expectation, d Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.pos.Filename != d.Pos.Filename || e.pos.Line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants collects the fixture's want comments.
+func parseWants(fset *token.FileSet, files []*ast.File) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want") {
+					continue
+				}
+				m := wantRe.FindStringSubmatch(text)
+				if m == nil {
+					return nil, fmt.Errorf("%s: malformed want comment %q (use // want `regexp`)", fset.Position(c.Pos()), c.Text)
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern: %v", fset.Position(c.Pos()), err)
+				}
+				out = append(out, &expectation{pos: fset.Position(c.Pos()), pattern: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,255 @@
+// Module-aware source loader for the standalone dittolint driver and
+// the fixture runner.
+//
+// The module has no external dependencies, so import resolution needs
+// exactly two rules: an import path under the module path maps to a
+// directory inside the module root, and everything else is stdlib,
+// resolved by the go/importer source importer (which type-checks GOROOT
+// packages from source — slower than export data, but dependency-free
+// and fully offline). The vettool driver (unitchecker.go) does not use
+// this loader at all: cmd/go hands it gc export data instead.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked module package.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files only, in filename order
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader type-checks packages of one module. It caches type-checked
+// packages, so loading ./... costs each package (and each reached
+// stdlib package) once.
+type Loader struct {
+	Fset    *token.FileSet
+	root    string // module root directory
+	modPath string // module path from go.mod
+
+	std    types.ImporterFrom
+	loaded map[string]*Package // import path → package
+	refcnt map[string]bool     // cycle guard: import path → in progress
+}
+
+// NewLoader creates a loader for the module containing dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     std,
+		loaded:  make(map[string]*Package),
+		refcnt:  make(map[string]bool),
+	}, nil
+}
+
+// ModulePath returns the module path declared by go.mod.
+func (l *Loader) ModulePath() string { return l.modPath }
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ListPackages returns the import paths of every package in the module,
+// in sorted order: directories under the module root that contain at
+// least one non-test .go file, skipping testdata, vendored trees, and
+// dot-directories.
+func (l *Loader) ListPackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFilesIn(path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modPath)
+		} else {
+			paths = append(paths, l.modPath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// goFilesIn returns dir's non-test .go files in sorted order.
+func goFilesIn(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// Load parses and type-checks the module package with the given import
+// path (loading its module dependencies recursively).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	if l.refcnt[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.refcnt[path] = true
+	defer delete(l.refcnt, path)
+
+	dir := l.root
+	if path != l.modPath {
+		rel, ok := strings.CutPrefix(path, l.modPath+"/")
+		if !ok {
+			return nil, fmt.Errorf("analysis: %s is not in module %s", path, l.modPath)
+		}
+		dir = filepath.Join(l.root, filepath.FromSlash(rel))
+	}
+	pkg, err := l.check(path, dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir type-checks the .go files of one directory OUTSIDE the module
+// package tree (a testdata fixture) under a caller-chosen import path,
+// so package-scoped analyzers see the path their invariant keys on.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	return l.check(asPath, dir, nil)
+}
+
+// check parses and type-checks one package. files overrides the file
+// list when non-nil.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	if files == nil {
+		var err error
+		files, err = goFilesIn(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	var parsed []*ast.File
+	for _, f := range files {
+		file, err := parser.ParseFile(l.Fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// loaderImporter adapts the Loader to types.Importer: module-local
+// paths load from source inside the module, everything else delegates
+// to the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.root, 0)
+}

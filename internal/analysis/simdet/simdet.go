@@ -1,0 +1,115 @@
+// Package simdet checks that sim-driven packages stay deterministic:
+// it is what keeps `CHAOS_SEED=<seed> go test ./internal/chaos/`
+// reproduction honest.
+//
+// The simulation substrate (internal/sim, PR 6) guarantees that a run
+// is a pure function of its seed: every event, every fault point, every
+// random choice derives from one printed number. Three things silently
+// break that guarantee without failing any test until a chaos seed
+// refuses to reproduce:
+//
+//   - wall-clock time (time.Now) leaking into virtual-time logic,
+//   - the process-global math/rand source, which is shared across
+//     goroutines and seeded per-run, instead of the per-process seeded
+//     *rand.Rand (sim.Proc.Rand) or an explicit rand.New(rand.NewSource),
+//   - iterating a Go map where the iteration order can reach behavior
+//     (verb issue order, victim choice, lock acquisition order): map
+//     order differs between runs, so the event interleaving diverges
+//     from the recorded seed's. The fix is to iterate a sorted key
+//     slice — sortedNodeIDs (internal/core/multi.go) is the canonical
+//     pattern — or, when the loop body is provably order-independent,
+//     to annotate the range statement with
+//     //dittolint:allow simdet (reason).
+package simdet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ditto/internal/analysis"
+)
+
+// simDriven is the set of packages whose code executes inside the
+// virtual-time simulation and therefore must be a pure function of the
+// seed. workload/bench generators are seeded by construction and tests
+// are free to use real randomness, so neither is swept.
+var simDriven = map[string]bool{
+	"ditto/internal/core":   true,
+	"ditto/internal/exec":   true,
+	"ditto/internal/chaos":  true,
+	"ditto/internal/sim":    true,
+	"ditto/internal/hotset": true,
+}
+
+// globalRandAllowed lists the math/rand package-level functions that do
+// NOT touch the global source: constructors for explicitly seeded
+// generators.
+var globalRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// Analyzer is the simdet pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "forbid wall-clock time, the global math/rand source, and " +
+		"behavior-reaching map iteration in sim-driven packages " +
+		"(determinism contract of PR 6's CHAOS_SEED reproduction)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !simDriven[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags time.Now and global math/rand source use.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Info, call)
+	if fn == nil || analysis.ReceiverNamed(fn) != nil {
+		return // methods (e.g. (*rand.Rand).Intn) are fine: the receiver carries the seed
+	}
+	switch analysis.FuncPkgPath(fn) {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"wall-clock time.Now in sim-driven code breaks CHAOS_SEED reproduction; use the virtual clock (sim.Proc.Now / sim.Env.Now)")
+		}
+	case "math/rand", "math/rand/v2":
+		if !globalRandAllowed[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand source (rand.%s) in sim-driven code breaks CHAOS_SEED reproduction; use a seeded *rand.Rand (sim.Proc.Rand or rand.New(rand.NewSource(seed)))", fn.Name())
+		}
+	}
+}
+
+// checkRange flags `for range` over a map. Map iteration order differs
+// between runs, so any loop whose body can reach behavior (issue verbs,
+// pick victims, take locks) diverges from the seed's recorded
+// interleaving. Loops that are provably order-independent carry a
+// dittolint:allow annotation stating why.
+func checkRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order can reach behavior in sim-driven code and breaks CHAOS_SEED reproduction; iterate a sorted key slice (e.g. sortedNodeIDs) or annotate an order-independent body with //dittolint:allow simdet (reason)")
+}

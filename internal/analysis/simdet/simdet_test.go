@@ -1,0 +1,41 @@
+package simdet_test
+
+import (
+	"testing"
+
+	"ditto/internal/analysis"
+	"ditto/internal/analysis/simdet"
+)
+
+// TestFixture runs simdet over its testdata package, loaded under a
+// sim-driven import path so the rules are live: wall-clock time and the
+// global rand source are flagged, seeded generators and annotated
+// order-independent ranges are not.
+func TestFixture(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunFixture(t, l, simdet.Analyzer, "../testdata/simdet", "ditto/internal/core")
+}
+
+// TestOutsideSimDrivenPackages: the same fixture under a non-sim path
+// produces no findings — workload generators and bench drivers may use
+// wall-clock time and ambient randomness.
+func TestOutsideSimDrivenPackages(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../testdata/simdet", "ditto/internal/workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{simdet.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("simdet flagged a non-sim-driven package: %v", diags)
+	}
+}

@@ -1,0 +1,226 @@
+// Package stock bundles the stock correctness passes dittolint ships
+// alongside the project-invariant analyzers, so one binary is the
+// single lint entry point.
+//
+// The build environment is offline and the module is dependency-free,
+// so the golang.org/x/tools originals cannot be vendored. Two of the
+// three passes the project cares about are small enough to carry as
+// faithful stdlib reimplementations:
+//
+//   - atomic: x = atomic.AddT(&x, d) misuse (the store races the
+//     atomic read-modify-write);
+//   - copylocks: copying a value whose type contains a sync.Mutex /
+//     RWMutex / WaitGroup / Once (assignment, var init, range, or
+//     by-value parameter).
+//
+// nilness requires SSA construction and is gated instead of
+// reimplemented: the Nilness analyzer below is a declared stub that
+// reports nothing and documents the gap, so `dittolint -list` shows the
+// pass as reserved and enabling it when x/tools becomes available is a
+// one-line change. Until then, the CI `vet` step (stock `go vet`) and
+// the race/chaos jobs cover the nil-deref class dynamically.
+package stock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ditto/internal/analysis"
+)
+
+// Atomic is the stdlib reimplementation of the x/tools atomic pass.
+var Atomic = &analysis.Analyzer{
+	Name: "atomic",
+	Doc:  "check for common mistaken usages of sync/atomic (x = atomic.AddT(&x, d))",
+	Run:  runAtomic,
+}
+
+func runAtomic(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != len(assign.Rhs) {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn := analysis.CalleeFunc(pass.Info, call)
+				if fn == nil || analysis.FuncPkgPath(fn) != "sync/atomic" || analysis.ReceiverNamed(fn) != nil {
+					continue
+				}
+				switch fn.Name() {
+				case "AddInt32", "AddInt64", "AddUint32", "AddUint64", "AddUintptr":
+				default:
+					continue
+				}
+				if len(call.Args) != 2 {
+					continue
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op.String() != "&" {
+					continue
+				}
+				if types.ExprString(ast.Unparen(addr.X)) == types.ExprString(ast.Unparen(assign.Lhs[i])) {
+					pass.Reportf(assign.Pos(), "direct assignment to atomic value: the store races the atomic %s", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// Copylocks is a stdlib reimplementation of the x/tools copylocks pass
+// covering the copy shapes that occur in practice: assignments and var
+// initializers, range-clause copies, by-value parameters and receivers,
+// and by-value returns.
+var Copylocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "check for locks erroneously passed or assigned by value",
+	Run:  runCopylocks,
+}
+
+func runCopylocks(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkCopiedExpr(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopiedExpr(pass, v, "variable declaration copies")
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if elem := rangeElem(tv.Type); elem != nil {
+						if path := lockPath(elem); path != "" && n.Value != nil {
+							pass.Reportf(n.Value.Pos(), "range clause copies lock: %s", path)
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				checkSignature(pass, n.Recv, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, nil, n.Type)
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopiedExpr(pass, r, "return copies")
+				}
+			case *ast.CallExpr:
+				for _, a := range n.Args {
+					checkCopiedExpr(pass, a, "call passes lock by value:")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCopiedExpr reports when evaluating e copies a lock-bearing
+// value: a dereference, a plain variable/selector of lock-bearing type,
+// or an index expression. Composite literals, function calls, and
+// address-taking do not copy an existing lock.
+func checkCopiedExpr(pass *analysis.Pass, e ast.Expr, verb string) {
+	e = ast.Unparen(e)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if path := lockPath(tv.Type); path != "" {
+		pass.Reportf(e.Pos(), "%s lock value: %s", verb, path)
+	}
+}
+
+func checkSignature(pass *analysis.Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			tv, ok := pass.Info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			if path := lockPath(tv.Type); path != "" {
+				pass.Reportf(f.Pos(), "%s passes lock by value: %s", what, path)
+			}
+		}
+	}
+	check(recv, "receiver")
+	check(ftype.Params, "parameter")
+}
+
+// rangeElem returns the element type a range clause's Value variable
+// copies, or nil when ranging yields no copy (maps of pointers etc.
+// still copy the element type).
+func rangeElem(t types.Type) types.Type {
+	switch t := t.Underlying().(type) {
+	case *types.Slice:
+		return t.Elem()
+	case *types.Array:
+		return t.Elem()
+	case *types.Map:
+		return t.Elem()
+	case *types.Chan:
+		return t.Elem()
+	}
+	return nil
+}
+
+// lockPath reports a human-readable path to a lock type contained (by
+// value) in t, or "" when t is copyable. Depth-bounded against
+// recursive types.
+func lockPath(t types.Type) string {
+	return lockPathDepth(t, 8)
+}
+
+func lockPathDepth(t types.Type, depth int) string {
+	if depth == 0 {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return "sync." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if sub := lockPathDepth(u.Field(i).Type(), depth-1); sub != "" {
+				name := u.Field(i).Name()
+				return name + " contains " + sub
+			}
+		}
+	case *types.Array:
+		if sub := lockPathDepth(u.Elem(), depth-1); sub != "" {
+			return "array element contains " + sub
+		}
+	}
+	return ""
+}
+
+// Nilness is the gated x/tools nilness pass: reserved name, no-op run.
+// Enabling it requires golang.org/x/tools (SSA construction), which the
+// offline dependency-free build cannot vendor; see the package comment.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc: "GATED: requires golang.org/x/tools SSA; registered as a " +
+		"reserved no-op so the suite's pass list is stable when the " +
+		"dependency becomes available",
+	Run: func(*analysis.Pass) error { return nil },
+}

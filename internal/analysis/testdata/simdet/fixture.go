@@ -1,0 +1,53 @@
+// Fixture for the simdet analyzer: loaded by RunFixture under the
+// import path ditto/internal/core (a sim-driven package), so every
+// determinism rule is live. Lines carrying no annotation are the
+// sanctioned patterns.
+
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall-clock time.Now in sim-driven code`
+}
+
+func globalSource() int {
+	return rand.Intn(10) // want `global math/rand source \(rand\.Intn\)`
+}
+
+func seeded(seed int64) int {
+	// Sanctioned: an explicitly seeded generator; every draw derives
+	// from the seed, and methods on *rand.Rand carry it.
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func unsortedWalk(m map[int]string) int {
+	n := 0
+	for id := range m { // want `map iteration order`
+		n += id
+	}
+	return n
+}
+
+func sortedWalk(m map[int]string) []int {
+	ids := make([]int, 0, len(m))
+	//dittolint:allow simdet (keys are collected then sorted; iteration order cannot escape)
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func sliceWalk(xs []int) int {
+	n := 0
+	for _, x := range xs { // slices iterate in index order: no finding
+		n += x
+	}
+	return n
+}

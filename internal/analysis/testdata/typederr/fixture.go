@@ -1,0 +1,63 @@
+// Fixture for the typederr analyzer: loaded by RunFixture under the
+// import path ditto/internal/core, one of the two swept fault-path
+// packages.
+
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+type fixtureError struct {
+	code int
+}
+
+func (e *fixtureError) Error() string { return fmt.Sprintf("fixture: %d", e.code) }
+
+var errStalled = errors.New("fixture: stalled")
+
+func barePanic(x int) {
+	if x < 0 {
+		panic("negative input") // want `bare panic on a potentially fault-reachable path`
+	}
+}
+
+func bareValuePanic(x int) {
+	if x < 0 {
+		panic(x) // want `bare panic on a potentially fault-reachable path`
+	}
+}
+
+func typedRaise(x int) {
+	if x < 0 {
+		panic(&fixtureError{code: x}) // typed error value: the sanctioned raise idiom
+	}
+}
+
+func sentinelRaise(x int) {
+	if x < 0 {
+		panic(fmt.Errorf("%w: x=%d", errStalled, x)) // wrapped sentinel: sanctioned
+	}
+}
+
+func rethrow(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			panic(r) // re-raise inside a recover scope: sanctioned
+		}
+	}()
+	fn()
+	return nil
+}
+
+func annotated(ok bool) {
+	if !ok {
+		//dittolint:allow typederr (config validation: fixture guard unreachable by fault schedules)
+		panic("fixture misconfigured")
+	}
+}

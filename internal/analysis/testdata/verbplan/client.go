@@ -1,0 +1,36 @@
+// Fixture half 2: the same package (ditto/internal/core), but a file
+// that is NOT plan.go — every raw verb here re-creates a verb sequence
+// outside the declared plans and must be flagged.
+
+package core
+
+import "ditto/internal/rdma"
+
+type fixtureClient struct {
+	ep *rdma.Endpoint
+}
+
+func (c *fixtureClient) rawRead(addr uint64) []byte {
+	return c.ep.Read(addr, 8) // want `raw rdma\.Endpoint\.Read call outside the verb-plan layer`
+}
+
+func (c *fixtureClient) rawWrite(addr uint64, data []byte) {
+	c.ep.WriteAsync(addr, data) // want `raw rdma\.Endpoint\.WriteAsync call`
+}
+
+func (c *fixtureClient) rawBatch(ops []rdma.BatchOp) {
+	c.ep.PostBatch(ops) // want `raw rdma\.Endpoint\.PostBatch call`
+}
+
+func rawMulti(batches []rdma.EndpointBatch) {
+	rdma.PostMulti(batches) // want `raw rdma\.PostMulti call`
+}
+
+func (c *fixtureClient) accessors() {
+	_ = c.ep.Proc() // accessors are not verbs: no finding
+	_ = c.ep.Node()
+}
+
+func (c *fixtureClient) viaPlan(addr uint64) []byte {
+	return planRead(c.ep, addr) // calling into plan.go's vocabulary: no finding
+}

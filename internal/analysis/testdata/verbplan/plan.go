@@ -1,0 +1,15 @@
+// Fixture half 1: this file is named plan.go, and the fixture loads as
+// ditto/internal/core — the one (package, file) pair where core may
+// issue raw verbs. Nothing here is flagged.
+
+package core
+
+import "ditto/internal/rdma"
+
+func planRead(ep *rdma.Endpoint, addr uint64) []byte {
+	return ep.Read(addr, 8) // sanctioned: plan.go is core's verb vocabulary
+}
+
+func planBatch(ep *rdma.Endpoint, ops []rdma.BatchOp) []rdma.BatchResult {
+	return ep.PostBatch(ops) // sanctioned likewise
+}

@@ -1,0 +1,151 @@
+// Package typederr keeps crash paths typed: no new panic( in
+// internal/core or internal/rdma on paths a fault schedule can reach.
+//
+// PR 6 migrated the crash paths to typed errors: a fail-stopped node
+// surfaces rdma.NodeUnreachableError, a headless ring owner surfaces
+// core.NoOwnerError, retry exhaustion wraps core.ErrNoProgress, and the
+// crash-tolerant entry points (TrySet) return them while chaos
+// harnesses route them through core.IsUnavailable. A bare
+// panic("something broke") on any of those paths regresses the
+// migration: the chaos suite sees a crash instead of a typed,
+// assertable failure, and a production caller loses the retry signal.
+//
+// The analyzer flags every panic call in the two packages except the
+// two structural idioms the convention itself is built from:
+//
+//   - raising a typed error value: panic(&SomethingError{...}) — how
+//     the transport and routing layers surface crash-time failures to
+//     catchUnavailable/CatchUnreachable above them;
+//   - re-raising inside a recover handler: a function (or deferred
+//     closure) that calls recover() may re-panic what it chose not to
+//     catch.
+//
+// Everything else needs an explicit annotation:
+//
+//	//dittolint:allow typederr (config validation: ...)
+//
+// reserved for constructor/option validation and API-misuse guards that
+// no fault schedule can reach — a misconfigured experiment should still
+// fail fast and loudly.
+package typederr
+
+import (
+	"go/ast"
+	"strings"
+
+	"ditto/internal/analysis"
+)
+
+// swept packages: the fault-path layers.
+var swept = map[string]bool{
+	"ditto/internal/core": true,
+	"ditto/internal/rdma": true,
+}
+
+// Analyzer is the typederr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "no bare panics on fault-reachable paths in core/rdma; raise " +
+		"typed error values or return them (PR 6 typed-error migration)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !swept[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc walks one function, tracking whether the innermost
+// enclosing function literal (or the declaration itself) calls
+// recover().
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var panics []*ast.CallExpr
+	recovers := callsRecover(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body) // its own recover scope
+			return false
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(pass.Info, n, "panic") {
+				panics = append(panics, n)
+			}
+		}
+		return true
+	})
+	if recovers {
+		return // a recover handler may re-raise what it declined to catch
+	}
+	for _, call := range panics {
+		if len(call.Args) == 1 && isTypedErrorRaise(call.Args[0]) {
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"bare panic on a potentially fault-reachable path; raise a typed error value (&FooError{...}, or wrap ErrNoProgress) per the PR 6 convention, or annotate config validation with //dittolint:allow typederr (reason)")
+	}
+}
+
+// callsRecover reports whether body calls recover() outside nested
+// function literals.
+func callsRecover(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(pass.Info, n, "recover") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isTypedErrorRaise reports whether the panic argument is a typed error
+// value by construction: a (pointer to a) composite literal of a type
+// whose name ends in "Error", or a call to errors.New/fmt.Errorf
+// (which produce error values — used by raise-style helpers that wrap
+// sentinel errors).
+func isTypedErrorRaise(arg ast.Expr) bool {
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.UnaryExpr:
+		if lit, ok := arg.X.(*ast.CompositeLit); ok {
+			return isErrorTypeName(lit.Type)
+		}
+	case *ast.CompositeLit:
+		return isErrorTypeName(arg.Type)
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(arg.Fun).(*ast.SelectorExpr); ok {
+			if pkg, ok := sel.X.(*ast.Ident); ok {
+				if (pkg.Name == "fmt" && sel.Sel.Name == "Errorf") ||
+					(pkg.Name == "errors" && sel.Sel.Name == "New") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isErrorTypeName(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(t.Name, "Error")
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(t.Sel.Name, "Error")
+	}
+	return false
+}

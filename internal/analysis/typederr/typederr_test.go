@@ -1,0 +1,40 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"ditto/internal/analysis"
+	"ditto/internal/analysis/typederr"
+)
+
+// TestFixture runs typederr over its testdata package, loaded as
+// ditto/internal/core (a swept fault-path package): bare panics are
+// flagged, typed-error raises, recover-scope re-raises, and annotated
+// config validation are not.
+func TestFixture(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunFixture(t, l, typederr.Analyzer, "../testdata/typederr", "ditto/internal/core")
+}
+
+// TestUnsweptPackage: the same fixture outside core/rdma produces no
+// findings — the convention binds only the fault-path layers.
+func TestUnsweptPackage(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../testdata/typederr", "ditto/internal/hashtable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{typederr.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("typederr flagged an unswept package: %v", diags)
+	}
+}

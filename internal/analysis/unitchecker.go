@@ -1,0 +1,192 @@
+// Vettool-protocol driver: lets cmd/dittolint run under
+// `go vet -vettool=...`, mirroring x/tools' unitchecker without the
+// x/tools dependency.
+//
+// cmd/go drives a vettool in three steps: `tool -V=full` for a version
+// stamp (build-cache key), `tool -flags` for the JSON description of
+// analyzer flags (dittolint has none), then one invocation per package
+// with a JSON config file argument ending in ".cfg". The config names
+// the package's Go files and maps every import to the gc export data
+// cmd/go already compiled, so type-checking here is exact and fast (no
+// source re-typechecking). Dependencies are visited with VetxOnly set —
+// they exist only to produce analysis facts, which dittolint's
+// analyzers do not use — so for them the driver just writes an empty
+// facts file and exits.
+
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// VetConfig is the JSON schema cmd/go writes for each vetted package
+// (a subset of x/tools unitchecker.Config: the fields dittolint needs).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVettool executes one vettool-protocol invocation against cfgFile
+// and exits the process with vet's conventions: 0 clean, 1 findings,
+// 2 driver failure.
+func RunVettool(cfgFile string, analyzers []*Analyzer) {
+	code, err := vetUnit(cfgFile, analyzers, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// vetUnit analyzes the package described by cfgFile, printing findings
+// to w. Returns the process exit code.
+func vetUnit(cfgFile string, analyzers []*Analyzer, w io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	// The facts file must exist even when there is nothing to report —
+	// cmd/go reads it unconditionally. Dittolint's analyzers are
+	// fact-free, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependencies are visited for facts only.
+		return 0, nil
+	}
+	// For a package with tests, cmd/go drives the TEST VARIANTS as the
+	// package's vet actions: "p [p.test]" (the package's own files plus
+	// its in-package _test.go files) and "p_test [p.test]" (external
+	// tests), while the plain "p" unit appears only as a VetxOnly
+	// dependency. The conventions exempt test code but must still bind
+	// the package's own files, so the unit is analyzed under its LOGICAL
+	// import path (the part before " [", which package-scoped analyzers
+	// key on) and findings in _test.go files are dropped afterwards.
+	// Units with no non-test files (external test packages, the
+	// generated .test main) are skipped outright.
+	logical, _, _ := strings.Cut(cfg.ImportPath, " [")
+	if strings.HasSuffix(logical, ".test") || !hasNonTestFiles(&cfg) {
+		return 0, nil
+	}
+	pkg, err := typecheckUnit(&cfg, logical)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	reported := 0
+	for _, d := range diags {
+		if strings.HasSuffix(d.Pos.Filename, "_test.go") {
+			continue // tests may issue raw verbs, use wall-clock time, and panic freely
+		}
+		fmt.Fprintln(w, d)
+		reported++
+	}
+	if reported > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// hasNonTestFiles reports whether the unit contains any non-_test.go
+// file the conventions bind.
+func hasNonTestFiles(cfg *VetConfig) bool {
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// typecheckUnit parses and type-checks the unit's files against the gc
+// export data cmd/go supplied. logical is the unit's import path with
+// any " [p.test]" variant suffix stripped — the path analyzers key on.
+func typecheckUnit(cfg *VetConfig, logical string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return gc.Import(importPath)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	tpkg, err := conf.Check(logical, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return &Package{
+		Path:  logical,
+		Dir:   cfg.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

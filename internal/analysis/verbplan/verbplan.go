@@ -1,0 +1,89 @@
+// Package verbplan enforces PR 3's declare-once invariant: every
+// cache-operation verb sequence is declared exactly once, as a verb
+// plan, and raw rdma verbs are issued only by the layers that implement
+// that machinery.
+//
+// The paper's client-centric design keeps every operation a short,
+// fixed sequence of one-sided verbs with well-defined fallback edges.
+// PR 3 made that structural: get/set/delete/migrate are declared once
+// in internal/core/plan.go and run by the internal/exec executor under
+// Serial or Doorbell strategies. A raw endpoint.Read in, say, client.go
+// quietly re-creates a second copy of an operation's verb sequence —
+// exactly the drift the refactor removed — and bypasses the doorbell
+// batching, stats accounting, and fault paths the plans carry.
+//
+// Raw verb issue (rdma.Endpoint.{Read,Write,WriteAsync,CAS,FAA,
+// FAAAsync,PostBatch,RPC} and rdma.PostMulti) is therefore legal only
+// from:
+//
+//   - ditto/internal/rdma — the transport itself;
+//   - ditto/internal/exec — the plan executor;
+//   - ditto/internal/baselines — the paper's comparison systems, which
+//     deliberately hand-write their verb sequences;
+//   - ditto/internal/core, file plan.go only — the single file where
+//     core's verb vocabulary (plans and the documented single-verb
+//     maintenance accesses) lives;
+//   - the wire-format handle layer BELOW plans: hashtable, memnode,
+//     history, adaptive. These packages own remote data layouts the
+//     way rdma owns the wire; plans compose their typed accessors.
+//
+// Everything else — core outside plan.go, bench drivers, examples —
+// must go through a declared plan or a handle-layer accessor.
+package verbplan
+
+import (
+	"go/ast"
+	"path/filepath"
+
+	"ditto/internal/analysis"
+)
+
+// sanctioned packages may issue raw verbs anywhere in the package.
+var sanctioned = map[string]bool{
+	"ditto/internal/rdma":      true,
+	"ditto/internal/exec":      true,
+	"ditto/internal/baselines": true,
+	"ditto/internal/hashtable": true,
+	"ditto/internal/memnode":   true,
+	"ditto/internal/history":   true,
+	"ditto/internal/adaptive":  true,
+}
+
+// sanctionedFiles may issue raw verbs in specific files of otherwise
+// swept packages: core's verb vocabulary lives in plan.go alone.
+var sanctionedFiles = map[string]map[string]bool{
+	"ditto/internal/core": {"plan.go": true},
+}
+
+// Analyzer is the verbplan pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "verbplan",
+	Doc: "raw rdma verb calls are only legal from the executor, the " +
+		"transport, plan.go, the handle layer, and baselines; everything " +
+		"else goes through a declared verb plan (PR 3 invariant)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if sanctioned[pass.Path] {
+		return nil
+	}
+	files := sanctionedFiles[pass.Path]
+	for _, file := range pass.Files {
+		if files[filepath.Base(pass.Fset.Position(file.Pos()).Filename)] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, isVerb := analysis.RDMAVerb(pass.Info, call); isVerb {
+				pass.Reportf(call.Pos(),
+					"raw %s call outside the verb-plan layer; declare the verb sequence as a plan in plan.go (or a handle-layer accessor) and run it through internal/exec", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

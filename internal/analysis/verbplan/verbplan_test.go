@@ -1,0 +1,39 @@
+package verbplan_test
+
+import (
+	"testing"
+
+	"ditto/internal/analysis"
+	"ditto/internal/analysis/verbplan"
+)
+
+// TestFixture runs verbplan over a two-file fixture loaded as
+// ditto/internal/core: raw verbs in plan.go are sanctioned, the same
+// calls in any other file of the package are flagged.
+func TestFixture(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunFixture(t, l, verbplan.Analyzer, "../testdata/verbplan", "ditto/internal/core")
+}
+
+// TestSanctionedPackage: the whole fixture under a sanctioned import
+// path (the executor) produces no findings at all.
+func TestSanctionedPackage(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../testdata/verbplan", "ditto/internal/exec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{verbplan.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("verbplan flagged a sanctioned package: %v", diags)
+	}
+}

@@ -19,34 +19,11 @@ package core
 // re-runs the same plan through the serial drivers' bounded retry loops,
 // so batched and serial operations are observably equivalent.
 
-import (
-	"ditto/internal/exec"
-	"ditto/internal/hashtable"
-	"ditto/internal/memnode"
-	"ditto/internal/rdma"
-)
+import "ditto/internal/exec"
 
 // KV is one key/value pair of an MSet batch.
 type KV struct {
 	Key, Value []byte
-}
-
-// readObjects fetches the objects behind the given slots with one
-// doorbell batch of READs (used by the resharder's scan pipeline).
-func (c *Client) readObjects(slots []hashtable.Slot) [][]byte {
-	if len(slots) == 0 {
-		return nil
-	}
-	ops := make([]rdma.BatchOp, len(slots))
-	for i, s := range slots {
-		ops[i] = rdma.BatchOp{Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: s.Atomic.SizeBytes()}
-	}
-	res := c.ep.PostBatch(ops)
-	out := make([][]byte, len(slots))
-	for i := range res {
-		out[i] = res[i].Data
-	}
-	return out
 }
 
 // ------------------------------------------------------------------ MGet ----
@@ -107,7 +84,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		if c.adapt != nil {
 			c.collectRegrets(pl.histMatches)
 			if c.cl.opts.DisableLWH {
-				c.ep.Read(memnode.HistCounterAddr, 8)
+				c.probeConventionalIndex()
 			}
 		}
 		c.report(OpGet, start, false)

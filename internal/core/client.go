@@ -135,6 +135,7 @@ func (cl *Cluster) NewClient(p *sim.Proc) *Client {
 	for _, name := range cl.opts.Experts {
 		a, err := cachealgo.New(name)
 		if err != nil {
+			//dittolint:allow typederr (config validation: unknown expert name, caught at client construction)
 			panic(fmt.Sprintf("core: %v", err))
 		}
 		c.experts = append(c.experts, a)
@@ -222,7 +223,7 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 		if c.cl.opts.DisableLWH {
 			// Conventional design: a separate remote hash index over the
 			// history must be probed on every miss.
-			c.ep.Read(memnode.HistCounterAddr, 8)
+			c.probeConventionalIndex()
 		}
 	}
 	c.report(OpGet, start, false)
@@ -253,7 +254,7 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 	if c.cl.opts.DisableSFHT {
 		// Metadata scattered with the object: stateless fields cannot be
 		// grouped into a single WRITE.
-		c.ep.WriteAsync(s.Atomic.Pointer(), make([]byte, 8))
+		c.metaWriteAsync(s.Atomic.Pointer(), make([]byte, 8))
 	}
 	if len(dec.ext) > 0 {
 		meta := cachealgo.Metadata{
@@ -270,7 +271,7 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 			meta.Ext = dec.ext[c.extOff[i] : c.extOff[i]+n]
 			a.UpdateExt(&meta, now)
 		}
-		c.ep.WriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
+		c.metaWriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
 	}
 	if c.onHit != nil {
 		c.onHit(dec.key, freq)
@@ -322,7 +323,7 @@ func (c *Client) Set(key, value []byte) {
 			c.p.Sleep(c.p.Rand().Int63n(2 * sim.Microsecond))
 		}
 		if attempt > 4096 {
-			panic("core: Set could not make progress (table misconfigured?)")
+			panic(fmt.Errorf("%w: Set retries exhausted (table misconfigured?)", ErrNoProgress))
 		}
 		pl := c.newSetPlan(key, value)
 		exec.RunSerial(pl)
@@ -398,7 +399,7 @@ func (c *Client) allocOrEvict(size int) uint64 {
 	}
 	for !ok {
 		if !c.evictOne() {
-			panic("core: memory pool exhausted and nothing evictable")
+			panic(fmt.Errorf("%w: memory pool exhausted and nothing evictable", ErrNoProgress))
 		}
 		addr, ok = c.alloc.Alloc(size)
 	}
@@ -480,7 +481,7 @@ func (c *Client) hasOtherCopy(kh uint64, fp byte, key []byte, exclAddr uint64) b
 			if s.Addr == exclAddr || s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != fp {
 				continue
 			}
-			obj := c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+			obj := c.readObject(s)
 			if dec := decodeObject(obj); dec.ok && bytes.Equal(dec.key, key) {
 				return true
 			}

@@ -164,15 +164,18 @@ type Cluster struct {
 // controller services.
 func NewCluster(env *sim.Env, opts Options) *Cluster {
 	if opts.ExpectedObjects <= 0 {
+		//dittolint:allow typederr (config validation at cluster construction)
 		panic("core: ExpectedObjects must be positive")
 	}
 	if opts.CacheBytes <= 0 {
+		//dittolint:allow typederr (config validation at cluster construction)
 		panic("core: CacheBytes must be positive")
 	}
 	if len(opts.Experts) == 0 {
 		opts.Experts = []string{"LRU", "LFU"}
 	}
 	if len(opts.Experts) > 32 {
+		//dittolint:allow typederr (config validation at cluster construction)
 		panic("core: at most 32 experts (expert bitmap is 32-bit in a 64-bit field)")
 	}
 	if opts.SampleK <= 0 {
@@ -230,6 +233,7 @@ func NewCluster(env *sim.Env, opts Options) *Cluster {
 	for _, name := range opts.Experts {
 		proto, err := cachealgo.New(name)
 		if err != nil {
+			//dittolint:allow typederr (config validation: unknown expert name, caught at cluster construction)
 			panic(fmt.Sprintf("core: %v", err))
 		}
 		cl.extSizes = append(cl.extSizes, proto.ExtSize())

@@ -37,6 +37,18 @@ func IsUnavailable(err error) bool {
 	return rdma.IsUnreachable(err) || errors.As(err, &no)
 }
 
+// raise re-raises a typed failure at a legacy panicking API boundary
+// (Set, MSet, Delete, MDelete): by the time raise runs, the error has
+// been caught, every registration and lock released, and the value
+// typed — the panic is those entry points' documented crash-unsafe
+// contract, and catchUnavailable recovers it losslessly.
+func raise(err error) {
+	if err != nil {
+		//dittolint:allow typederr (re-raising an already-typed, already-cleaned-up error at the legacy panicking API boundary)
+		panic(err)
+	}
+}
+
 // catchUnavailable runs fn, converting node-unreachable verb panics AND
 // typed core errors raised as panics back into an error return.
 func catchUnavailable(fn func()) (err error) {

@@ -163,8 +163,7 @@ func (c *Client) buildCandidates(slots []hashtable.Slot) []candidate {
 			continue
 		}
 		if c.needsExtRead() {
-			op := c.extReadOp(s)
-			c.applyExt(&cand, c.ep.Read(op.Addr, op.Len))
+			c.applyExt(&cand, c.issueRead(c.extReadOp(s)))
 		}
 		cands = append(cands, cand)
 	}

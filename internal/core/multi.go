@@ -122,6 +122,7 @@ type MultiCluster struct {
 // with AddNode get the same per-node provisioning.
 func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 	if n < 1 {
+		//dittolint:allow typederr (config validation at pool construction)
 		panic("core: need at least one memory node")
 	}
 	per := opts
@@ -218,6 +219,7 @@ func (mc *MultiCluster) WaitReshard(p *sim.Proc) {
 // to observe completion. Only one membership change may be in flight.
 func (mc *MultiCluster) AddNode() int {
 	if mc.oldRing != nil {
+		//dittolint:allow typederr (API-misuse guard: membership changes are declared one at a time)
 		panic("core: AddNode during an in-flight reshard (WaitReshard first)")
 	}
 	sources := append([]int(nil), mc.order...) // keys move only from old MNs
@@ -232,12 +234,15 @@ func (mc *MultiCluster) AddNode() int {
 // completes. Only one membership change may be in flight.
 func (mc *MultiCluster) RemoveNode(id int) {
 	if mc.oldRing != nil {
+		//dittolint:allow typederr (API-misuse guard: membership changes are declared one at a time)
 		panic("core: RemoveNode during an in-flight reshard (WaitReshard first)")
 	}
 	if _, ok := mc.nodes[id]; !ok {
+		//dittolint:allow typederr (API-misuse guard: the harness names nodes it created)
 		panic("core: RemoveNode of unknown node")
 	}
 	if len(mc.order) == 1 {
+		//dittolint:allow typederr (API-misuse guard: an empty pool has no semantics)
 		panic("core: cannot remove the last memory node")
 	}
 	mc.startReshard(mc.hashRing.Without(id), []int{id}, id)
@@ -262,9 +267,11 @@ func (mc *MultiCluster) RemoveNode(id int) {
 func (mc *MultiCluster) CrashNode(id int) {
 	cl, ok := mc.nodes[id]
 	if !ok {
+		//dittolint:allow typederr (API-misuse guard: the harness names nodes it created)
 		panic("core: CrashNode of unknown node")
 	}
 	if len(mc.order) == 1 {
+		//dittolint:allow typederr (API-misuse guard: an empty pool has no failure semantics)
 		panic("core: cannot crash the last memory node")
 	}
 	cl.Crash()
@@ -567,7 +574,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 		} else {
 			objs = make([][]byte, len(live))
 			for i, s := range live {
-				objs[i] = src.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+				objs[i] = src.readObject(s)
 			}
 		}
 		// Collect the slots whose ring owner changed. Within one batch a
@@ -703,7 +710,7 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, dstID int, s hashtable.Slo
 			if s2.Atomic.IsEmpty() || s2.Atomic.IsHistory() || s2.Atomic.FP() != s.Atomic.FP() {
 				return 0
 			}
-			obj := src.ep.Read(s2.Atomic.Pointer(), s2.Atomic.SizeBytes())
+			obj := src.readObject(s2)
 			dec2 := decodeObject(obj)
 			if !dec2.ok || !bytes.Equal(dec2.key, dec.key) {
 				return 0
@@ -1086,10 +1093,14 @@ func (m *MultiClient) MSet(pairs []KV) {
 		// Promotions racing the batch may have snapshotted pre-write
 		// values: repair every just-written key's entry, as Set does,
 		// each before its own unregistration.
+		var firstErr error
 		for i := range rest {
-			m.resyncAfterWrite(rest[i].Key)
+			if err := m.resyncAfterWrite(rest[i].Key); err != nil && firstErr == nil {
+				firstErr = err
+			}
 			m.mc.hot.EndWrite(rest[i].Key)
 		}
+		raise(firstErr)
 		return
 	}
 	m.msetDirect(pairs)
@@ -1164,6 +1175,7 @@ func (m *MultiClient) msetDirect(pairs []KV) {
 // surrender (connected clients).
 func sortedNodeIDs[V any](m map[int]V) []int {
 	ids := make([]int, 0, len(m))
+	//dittolint:allow simdet (this helper IS the sanctioned pattern: the keys are sorted before any caller iterates them)
 	for id := range m {
 		ids = append(ids, id)
 	}
@@ -1180,9 +1192,7 @@ func sortedNodeIDs[V any](m map[int]V) []int {
 // repairs any entry a racing promotion published meanwhile
 // (resyncAfterWrite) before unregistering and returning.
 func (m *MultiClient) Set(key, value []byte) {
-	if err := m.TrySet(key, value); err != nil {
-		panic(err)
-	}
+	raise(m.TrySet(key, value))
 }
 
 // TrySet is Set with crash-time failures surfaced as errors instead of
@@ -1193,28 +1203,29 @@ func (m *MultiClient) Set(key, value []byte) {
 // is always released before the error returns, so a failed TrySet never
 // wedges later writers.
 func (m *MultiClient) TrySet(key, value []byte) error {
-	return catchUnavailable(func() { m.set(key, value) })
+	var serr error
+	if err := catchUnavailable(func() { serr = m.set(key, value) }); err != nil {
+		return err
+	}
+	return serr
 }
 
-func (m *MultiClient) set(key, value []byte) {
+func (m *MultiClient) set(key, value []byte) error {
 	if m.mc.hot == nil {
 		m.setDirect(key, value)
-		return
+		return nil
 	}
 	m.drainPromotions()
 	if e := m.mc.hot.Lock(m.p, key); e != nil {
-		m.setReplicated(e, key, value)
-		return
+		return m.setReplicated(e, key, value)
 	}
 	m.mc.hot.BeginWrite(key)
 	err := catchUnavailable(func() { m.setDirect(key, value) })
 	if err == nil {
-		err = catchUnavailable(func() { m.resyncAfterWrite(key) })
+		err = m.resyncAfterWrite(key)
 	}
 	m.mc.hot.EndWrite(key)
-	if err != nil {
-		panic(err)
-	}
+	return err
 }
 
 // setDirect is the unreplicated Set path. During a reshard the new owner
@@ -1263,8 +1274,12 @@ func (m *MultiClient) Delete(key []byte) bool {
 		m.demoteLocked(e)
 	}
 	ok := m.deleteDirect(key)
-	m.resyncAfterWrite(key)
+	// The registration is released before a repair failure surfaces: a
+	// forever-registered write would pin a racing promotion's entry
+	// warming permanently.
+	err := m.resyncAfterWrite(key)
 	m.mc.hot.EndWrite(key)
+	raise(err)
 	return ok
 }
 
@@ -1312,10 +1327,17 @@ func (m *MultiClient) MDelete(keys [][]byte) []bool {
 		}
 	}
 	out := m.mdeleteDirect(keys)
+	// Every registration is released — a repair failure on one key must
+	// not strand the rest of the batch registered — before the first
+	// failure surfaces.
+	var firstErr error
 	for _, k := range keys {
-		m.resyncAfterWrite(k)
+		if err := m.resyncAfterWrite(k); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		m.mc.hot.EndWrite(k)
 	}
+	raise(firstErr)
 	return out
 }
 

@@ -56,6 +56,58 @@ func casVerb(c *Client, slotAddr uint64, expect, swap hashtable.AtomicField) exe
 	}}
 }
 
+// ---------------------------------------------------- single verbs ----
+//
+// Not every remote access is a multi-verb sequence: metadata
+// maintenance, ablation probes, and migration re-reads are lone verbs.
+// They still belong to this file — the declare-once invariant (PR 3)
+// says every verb the client issues is visible here, so changing a wire
+// interaction never means hunting call sites. dittolint's verbplan
+// analyzer enforces exactly that: a raw endpoint verb outside plan.go,
+// internal/exec, internal/baselines, or the handle layer fails CI.
+
+// readObject synchronously fetches the object behind a live slot.
+func (c *Client) readObject(s hashtable.Slot) []byte {
+	return c.ep.Read(s.Atomic.Pointer(), s.Atomic.SizeBytes())
+}
+
+// issueRead synchronously issues one declared READ op (the op itself is
+// built by an addressing owner such as extReadOp).
+func (c *Client) issueRead(op rdma.BatchOp) []byte {
+	return c.ep.Read(op.Addr, op.Len)
+}
+
+// metaWriteAsync rides metadata maintenance off the critical path with
+// one asynchronous WRITE (completion ignored; §4.1 "stateless fields").
+func (c *Client) metaWriteAsync(addr uint64, data []byte) {
+	c.ep.WriteAsync(addr, data)
+}
+
+// probeConventionalIndex models the conventional design's per-miss probe
+// of a separate remote index over the history (DisableLWH ablation): one
+// extra 8-byte READ against the history counter.
+func (c *Client) probeConventionalIndex() {
+	c.ep.Read(memnode.HistCounterAddr, 8)
+}
+
+// readObjects fetches the objects behind the given slots with one
+// doorbell batch of READs (used by the resharder's scan pipeline).
+func (c *Client) readObjects(slots []hashtable.Slot) [][]byte {
+	if len(slots) == 0 {
+		return nil
+	}
+	ops := make([]rdma.BatchOp, len(slots))
+	for i, s := range slots {
+		ops[i] = rdma.BatchOp{Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: s.Atomic.SizeBytes()}
+	}
+	res := c.ep.PostBatch(ops)
+	out := make([][]byte, len(slots))
+	for i := range res {
+		out[i] = res[i].Data
+	}
+	return out
+}
+
 // keyBuckets returns a key's main and backup bucket, in scan order.
 func (c *Client) keyBuckets(kh uint64) [2]int {
 	return [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}

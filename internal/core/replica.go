@@ -229,7 +229,14 @@ func (m *MultiClient) promote(key []byte) {
 		mc.hot.Remove(e) // key vanished since the qualifying hit
 		return
 	}
-	m.updateReplicas(e, key, val)
+	if err := m.updateReplicas(e, key, val); err != nil {
+		// Promotion is opportunistic maintenance: a fan-out that cannot
+		// be driven to completion must not take down the reader whose
+		// hit triggered it. Take the copies back; the underlying fault
+		// resurfaces loudly on the next direct write.
+		m.demoteLocked(e)
+		return
+	}
 	if e.Epoch != mc.epoch {
 		// A reshard window opened mid-materialization: the copies sit on
 		// successors of a ring that is already being replaced. Take them
@@ -350,7 +357,7 @@ func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int
 // value, and after the unlock every copy equals this write. Stale and
 // write-heavy entries are demoted instead (the demote's invalidation
 // also completes before the write returns).
-func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
+func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) error {
 	mc := m.mc
 	// An Evicted entry counts as stale: its primary copy is gone, so the
 	// copy set must be dissolved before this write lands unreplicated.
@@ -369,13 +376,10 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 		mc.hot.BeginWrite(key)
 		err := catchUnavailable(func() { m.setDirect(key, value) })
 		if err == nil {
-			err = catchUnavailable(func() { m.resyncAfterWrite(key) })
+			err = m.resyncAfterWrite(key)
 		}
 		mc.hot.EndWrite(key)
-		if err != nil {
-			panic(err)
-		}
-		return
+		return err
 	}
 	m.invalidateReplicas(e) // replicas empty before the new value is readable
 	if err := catchUnavailable(func() { m.setDirect(key, value) }); err != nil {
@@ -386,9 +390,16 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 		// owner) leaves the key simply absent, then the typed failure
 		// surfaces to the caller.
 		m.demoteLocked(e)
-		panic(err)
+		return err
 	}
-	m.updateReplicas(e, key, value)
+	if err := m.updateReplicas(e, key, value); err != nil {
+		// The primary holds the new value but the fan-out could not be
+		// driven to completion (a misconfigured table). Dissolve the
+		// copy set — the key stays correct unreplicated — and surface
+		// the configuration fault.
+		m.demoteLocked(e)
+		return err
+	}
 	if e.Warming && mc.hot.InflightWrites(key) == 0 {
 		// Every pre-entry writer has completed (and repaired): our
 		// fan-out just made all copies equal to the primary, so the
@@ -396,6 +407,7 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 		e.Warming = false
 	}
 	mc.hot.Unlock(e)
+	return nil
 }
 
 // updateReplicas stores (key, value) on every replica node of e as a
@@ -404,7 +416,7 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) {
 // the serial retry path, exactly as a client Set would. Replica stores
 // are maintenance: they keep the per-node copies, but do not count as
 // logical Sets in any client's Stats.
-func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
+func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) error {
 	plans := make([]*setPlan, 0, len(e.Replicas))
 	clients := make([]*Client, 0, len(e.Replicas))
 	run := make([]exec.Plan, 0, len(e.Replicas))
@@ -419,7 +431,7 @@ func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
 		run = append(run, pl)
 	}
 	if len(run) == 0 {
-		return
+		return nil
 	}
 	// A replica that fail-stops mid-fan-out is skipped: its copies died
 	// with it, and a missing copy is always safe — a spread read that
@@ -428,6 +440,11 @@ func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
 	// node's did not; the per-replica finish below drives each survivor
 	// to completion from whatever outcome its plan reached.)
 	_ = rdma.CatchUnreachable(func() { exec.Run(m.mc.ReplicaStrategy, run...) })
+	// A store that exhausts its retry budget (ErrNoProgress: a
+	// misconfigured table) is remembered but does not abandon the
+	// remaining replicas mid-store; the caller demotes the entry, so no
+	// partial copy set outlives the error.
+	var firstErr error
 	for i, pl := range plans {
 		c, pl := clients[i], pl
 		if c.cl.dead {
@@ -437,10 +454,11 @@ func (m *MultiClient) updateReplicas(e *hotset.Entry, key, value []byte) {
 		if rdma.CatchUnreachable(func() { err = m.finishReplicaStore(c, key, value, pl) }) != nil {
 			continue // this replica fail-stopped mid-store; skip it
 		}
-		if err != nil {
-			panic(err) // ErrNoProgress: a misconfigured table, fail loudly
+		if err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
+	return firstErr
 }
 
 // finishReplicaStore drives one replica's store to completion from
@@ -544,22 +562,25 @@ func (m *MultiClient) demoteLocked(e *hotset.Entry) {
 // instead. Stale entries are demoted rather than repaired, matching
 // every other touch of a stale entry. On the common no-entry case this
 // is a single map lookup.
-func (m *MultiClient) resyncAfterWrite(key []byte) {
+func (m *MultiClient) resyncAfterWrite(key []byte) error {
 	e := m.mc.hot.Lock(m.p, key)
 	if e == nil {
-		return
+		return nil
 	}
 	if e.Epoch != m.mc.epoch || m.mc.oldRing != nil || e.Evicted {
 		m.demoteLocked(e)
-		return
+		return nil
 	}
 	e.Writes++
 	val, ok := m.readQuiet(e.Primary, key)
 	if !ok {
 		m.demoteLocked(e)
-		return
+		return nil
 	}
-	m.updateReplicas(e, key, val)
+	if err := m.updateReplicas(e, key, val); err != nil {
+		m.demoteLocked(e)
+		return err
+	}
 	if m.mc.hot.InflightWrites(key) == 1 {
 		// This repair is the last registered writer standing: the value
 		// just pushed is the primary's current one and no unreplicated
@@ -568,6 +589,7 @@ func (m *MultiClient) resyncAfterWrite(key []byte) {
 		e.Warming = false
 	}
 	m.mc.hot.Unlock(e)
+	return nil
 }
 
 // demoteKey demotes key's entry if one exists, waiting out any

@@ -430,3 +430,59 @@ func TestDeleteDemotesAndRemovesEverywhere(t *testing.T) {
 	})
 	env.Run()
 }
+
+// TestReplicatedTrySetTypedAfterPrimaryFail: a write to a REPLICATED key
+// whose primary fail-stops must surface a typed unavailable error
+// through TrySet — not a panic — with the entry lock released and the
+// copy set dissolved. This is the regression test for the replica
+// fan-out panic→typed-error conversion (setReplicated/updateReplicas/
+// resyncAfterWrite returning errors instead of panicking): reverting
+// those error returns turns the TrySet below back into a test-killing
+// panic, and dittolint's typederr analyzer flags the reverted panic
+// sites besides.
+func TestReplicatedTrySetTypedAfterPrimaryFail(t *testing.T) {
+	const n = 100
+	env := sim.NewEnv(17)
+	mc := NewMultiCluster(env, 3, hotOptions(3*n))
+	mc.EnableHotKeyReplication(2, 3, 32)
+	env.Go("c", func(p *sim.Proc) {
+		m := mc.NewClient(p)
+		for i := 0; i < n; i++ {
+			m.Set(key(i), value(i))
+		}
+		for j := 0; j < 8; j++ { // promote key 0
+			m.Get(key(0))
+		}
+		e := mc.hot.Lookup(key(0))
+		if e == nil {
+			t.Fatal("key 0 was not promoted")
+		}
+		primary := e.Primary
+		// Fail the primary's fabric WITHOUT reconfiguring the pool: the
+		// replicated write path still routes to the dead node, so the
+		// fan-out must fail typed, dissolve the entry, and release its
+		// lock rather than wedge later writers.
+		mc.nodes[primary].MN.Node.Fail()
+		err := m.TrySet(key(0), value(1000))
+		if err == nil {
+			t.Fatal("TrySet through a failed primary returned nil")
+		}
+		if !IsUnavailable(err) {
+			t.Fatalf("TrySet error not IsUnavailable: %v", err)
+		}
+		if mc.hot.Lookup(key(0)) != nil {
+			t.Fatal("failed replicated write left the entry published")
+		}
+		// Reconfigure and retry: the write must land on a survivor (the
+		// entry lock was released, so this writer is not deadlocked
+		// behind the failed fan-out).
+		mc.CrashNode(primary)
+		if err := m.TrySet(key(0), value(1001)); err != nil {
+			t.Fatalf("TrySet after CrashNode errored: %v", err)
+		}
+		if v, ok := m.Get(key(0)); !ok || !bytes.Equal(v, value(1001)) {
+			t.Fatal("key not readable after reroute")
+		}
+	})
+	env.Run()
+}

@@ -51,7 +51,12 @@
 // by the core layer using these counters.
 package hotset
 
-import "ditto/internal/sim"
+import (
+	"bytes"
+	"sort"
+
+	"ditto/internal/sim"
+)
 
 // Entry is one replicated hot key. Primary/Replicas/Epoch are fixed at
 // promotion (a ring change makes the entry stale rather than rewriting
@@ -94,6 +99,7 @@ type Entry struct {
 	Reads, Writes int64
 
 	rr       uint64    // rotating cursor over [Primary]+Replicas
+	seq      uint64    // insertion order, Victim's deterministic tie-break
 	lastRead int64     // virtual time of the most recent read routed via this entry
 	busy     bool      // held by one writer/maintainer; see package comment
 	owner    *sim.Proc // the process holding the lock (crash-steal support)
@@ -138,6 +144,7 @@ func (e *Entry) ReadTarget(now int64) int {
 // maintenance is provided by the per-entry Lock.
 type Set struct {
 	limit    int
+	seq      uint64 // insertion counter; stamps Entry.seq
 	entries  map[string]*Entry
 	inflight map[string]int // unreplicated writes in flight, per key
 	unlocked *sim.Cond      // broadcast whenever any entry lock is released
@@ -229,6 +236,8 @@ func (s *Set) Insert(p *sim.Proc, e *Entry) bool {
 	}
 	e.busy = true
 	e.owner = p
+	s.seq++
+	e.seq = s.seq
 	s.entries[k] = e
 	return true
 }
@@ -245,17 +254,18 @@ func (s *Set) Remove(e *Entry) {
 
 // Victim returns the unlocked entry with the oldest last-read time — the
 // candidate to demote when the directory is full — or nil when every
-// entry is under maintenance. Iteration order doesn't matter: the scan
-// reads every entry and takes the strict minimum (first-inserted wins
-// ties only if map order happens to visit it first, which is acceptable
-// for an eviction heuristic).
+// entry is under maintenance. Last-read ties are broken by insertion
+// order (oldest entry wins), so the scan computes a strict minimum
+// under a total order: the result is independent of map iteration
+// order, which keeps demotion choices reproducible under CHAOS_SEED.
 func (s *Set) Victim() *Entry {
 	var v *Entry
+	//dittolint:allow simdet (strict minimum under a total order: lastRead ties broken by unique insertion seq, so the result is iteration-order independent)
 	for _, e := range s.entries {
 		if e.busy {
 			continue
 		}
-		if v == nil || e.lastRead < v.lastRead {
+		if v == nil || e.lastRead < v.lastRead || (e.lastRead == v.lastRead && e.seq < v.seq) {
 			v = e
 		}
 	}
@@ -269,12 +279,16 @@ func (s *Set) Victim() *Entry {
 // dropped the key and the replicas would resurrect it. Pure bookkeeping
 // (no verbs, no locks — callable from the eviction completion path);
 // the demotion itself happens lazily at the next directory touch. The
-// directory is small (Limit entries), so the scan is bounded.
+// directory is small (Limit entries), so the scan is bounded. Every
+// matching entry is flagged — two distinct hot keys can collide in
+// (KeyHash, Primary), and stopping at the first hit would make the
+// flagged set depend on map iteration order; over-flagging only costs a
+// spurious demote-and-repromote.
 func (s *Set) MarkPrimaryEvicted(node int, keyHash uint64) {
+	//dittolint:allow simdet (flags every match, no early exit: the resulting state is iteration-order independent)
 	for _, e := range s.entries {
 		if e.KeyHash == keyHash && e.Primary == node {
 			e.Evicted = true
-			return
 		}
 	}
 }
@@ -304,13 +318,17 @@ func (s *Set) EndWrite(key []byte) {
 // in flight on key.
 func (s *Set) InflightWrites(key []byte) int { return s.inflight[string(key)] }
 
-// Keys returns a snapshot of every entry's key (locked or not), for
-// maintenance sweeps that demote entries one by one via Lock (which
-// tolerates entries vanishing between the snapshot and the lock).
+// Keys returns a snapshot of every entry's key (locked or not), sorted
+// bytewise, for maintenance sweeps that demote entries one by one via
+// Lock (which tolerates entries vanishing between the snapshot and the
+// lock). The sort keeps sweep order — and therefore the verb schedule
+// of a demotion sweep — independent of map iteration order.
 func (s *Set) Keys() [][]byte {
 	out := make([][]byte, 0, len(s.entries))
+	//dittolint:allow simdet (collects into a slice that is sorted below; iteration order cannot escape)
 	for _, e := range s.entries {
 		out = append(out, e.Key)
 	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i], out[j]) < 0 })
 	return out
 }

@@ -152,6 +152,7 @@ func (n *Node) NIC() *sim.Resource { return n.nic }
 // opcode twice panics: opcodes are a static protocol.
 func (n *Node) Handle(op uint8, h Handler) {
 	if _, dup := n.handlers[op]; dup {
+		//dittolint:allow typederr (protocol-misuse guard: opcodes are a static protocol, registered at startup)
 		panic(fmt.Sprintf("rdma: duplicate RPC opcode %d", op))
 	}
 	n.handlers[op] = h
@@ -159,6 +160,7 @@ func (n *Node) Handle(op uint8, h Handler) {
 
 func (n *Node) check(addr uint64, length int) {
 	if length < 0 || addr+uint64(length) > uint64(len(n.mem)) {
+		//dittolint:allow typederr (memory-safety guard: an out-of-region verb is a client bug, the simulated NIC's local protection fault)
 		panic(fmt.Sprintf("rdma: access [%d,+%d) outside region of %d bytes",
 			addr, length, len(n.mem)))
 	}
@@ -320,6 +322,7 @@ func (n *Node) issueOp(op *BatchOp) int64 {
 		n.Stats.FAAs++
 		bytes = 8
 	default:
+		//dittolint:allow typederr (protocol-misuse guard: BatchOp kinds are a closed enum)
 		panic(fmt.Sprintf("rdma: unknown batch op kind %d", op.Kind))
 	}
 	return n.nic.Acquire(n.msgSvc(bytes))
@@ -413,6 +416,7 @@ func PostMulti(batches []EndpointBatch) [][]BatchResult {
 		if p == nil {
 			p = b.EP.p
 		} else if p != b.EP.p {
+			//dittolint:allow typederr (API-misuse guard: a doorbell round belongs to one process)
 			panic("rdma: PostMulti endpoints span processes")
 		}
 		if n.down {
@@ -463,6 +467,7 @@ func (e *Endpoint) RPC(op uint8, payload []byte) []byte {
 	n := e.node
 	h, ok := n.handlers[op]
 	if !ok {
+		//dittolint:allow typederr (protocol-misuse guard: opcodes are a static protocol)
 		panic(fmt.Sprintf("rdma: no handler for RPC opcode %d", op))
 	}
 	if n.down {

@@ -49,9 +49,9 @@ type point struct {
 // (e.g. swapped during a reshard) without invalidating concurrent
 // lookups against the old value.
 type Ring struct {
-	points   []point // sorted by (hash, node)
-	nodes    []int   // sorted member IDs
-	perNode  int     // virtual points per node
+	points  []point // sorted by (hash, node)
+	nodes   []int   // sorted member IDs
+	perNode int     // virtual points per node
 }
 
 // New builds a ring with the given virtual-point count per node
