@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ditto/internal/bench"
 )
@@ -32,10 +34,40 @@ func main() {
 		scaleFl  = flag.String("scale", "quick", "experiment scale: quick | full")
 		jsonFl   = flag.String("json", "", "also write a machine-readable summary to this path (scenarios that support it)")
 		seedFl   = flag.Int64("seed", 0, "override every scenario's built-in simulation seed (0 = per-scenario defaults); pins bench-smoke artifacts across CI reruns")
+		cpuProf  = flag.String("cpuprofile", "", "write a host CPU profile of the run to this path (pprof format)")
+		memProf  = flag.String("memprofile", "", "write a host heap-allocation profile (alloc_space/alloc_objects) to this path at exit")
 	)
 	flag.Parse()
 	bench.JSONPath = *jsonFl
 	bench.Seed = *seedFl
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		// The heap profile is written on the way out so it covers the whole
+		// run; alloc_space/alloc_objects are cumulative, so a GC beforehand
+		// only trims the inuse view, not the allocation totals the alloc
+		// gate inspects.
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	scale, err := bench.ParseScale(*scaleFl)
 	if err != nil {

@@ -1,7 +1,7 @@
 // Command dittolint is Ditto's single lint entry point: the
 // project-invariant analyzer suite (simdet, verbplan, lockverb,
-// typederr) bundled with the stock correctness passes (atomic,
-// copylocks, and the gated nilness stub) behind one binary.
+// hotalloc, typederr) bundled with the stock correctness passes
+// (atomic, copylocks, and the gated nilness stub) behind one binary.
 //
 // It runs two ways:
 //
@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"ditto/internal/analysis"
+	"ditto/internal/analysis/hotalloc"
 	"ditto/internal/analysis/lockverb"
 	"ditto/internal/analysis/simdet"
 	"ditto/internal/analysis/stock"
@@ -47,6 +48,7 @@ var suite = []*analysis.Analyzer{
 	simdet.Analyzer,
 	verbplan.Analyzer,
 	lockverb.Analyzer,
+	hotalloc.Analyzer,
 	typederr.Analyzer,
 	stock.Atomic,
 	stock.Copylocks,

@@ -1,0 +1,52 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ditto/internal/analysis"
+	"ditto/internal/analysis/hotalloc"
+)
+
+// TestPlanFixture runs hotalloc over the plan-side fixture under the
+// core import path: per-call allocation forms inside *Plan methods are
+// flagged, the value-literal-into-retained-slice idiom and constructors
+// are not, and the allow annotation suppresses a reasoned cold branch.
+func TestPlanFixture(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunFixture(t, l, hotalloc.Analyzer, "../testdata/hotalloc/core", "ditto/internal/core")
+}
+
+// TestExecFixture runs hotalloc over the executor-side fixture under
+// the exec import path: pooled runner methods are swept, the free
+// allocate-per-call functions are not.
+func TestExecFixture(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis.RunFixture(t, l, hotalloc.Analyzer, "../testdata/hotalloc/exec", "ditto/internal/exec")
+}
+
+// TestOutsideHotPackages: the same plan-shaped code under any other
+// import path produces no findings — pooling is a core/exec contract,
+// not a module-wide style rule.
+func TestOutsideHotPackages(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir("../testdata/hotalloc/core", "ditto/internal/bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{hotalloc.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("hotalloc flagged a non-hot package: %v", diags)
+	}
+}

@@ -1,0 +1,66 @@
+// Fixture for the hotalloc analyzer, plan side: loaded by RunFixture
+// under the import path ditto/internal/core, so methods on types whose
+// name ends in "Plan" are swept. Lines carrying no annotation are the
+// sanctioned zero-alloc patterns the real plans use.
+
+package core
+
+type verb struct {
+	addr uint64
+	data []byte
+}
+
+type fakePlan struct {
+	c     int
+	verbs []verb
+	bufs  [][]byte
+	done  func()
+}
+
+// Step shows the sanctioned idiom — value struct literals appended
+// into the plan's retained slice allocate nothing — next to every
+// flagged form.
+func (pl *fakePlan) Step(eager bool) []verb {
+	pl.verbs = append(pl.verbs[:0], verb{addr: 8}) // value literal into retained slice: no finding
+
+	scratch := make([]byte, 40)                    // want `make in hot function Step allocates per call`
+	pl.verbs = append(pl.verbs, verb{data: scratch})
+
+	return []verb{{addr: 16}} // want `\[\]core\.verb literal in hot function Step allocates per call`
+}
+
+func (pl *fakePlan) Absorb(res []int) {
+	pl.done = func() { pl.c++ } // want `function literal in hot function Absorb allocates its closure per call`
+
+	p := &fakePlan{} // want `&core\.fakePlan literal in hot function Absorb heap-allocates per call`
+	_ = p
+
+	seen := map[uint64]bool{} // want `map\[uint64\]bool literal in hot function Absorb allocates per call`
+	_ = seen
+
+	q := new(fakePlan) // want `new in hot function Absorb allocates per call`
+	_ = q
+}
+
+func (pl *fakePlan) reset(c int) {
+	pl.c = c
+	pl.verbs = pl.verbs[:0] // retained-scratch reset: no finding
+	// Cold ablation branch, deliberately allocating — the escape hatch.
+	if c < 0 {
+		//dittolint:allow hotalloc (cold ablation branch: runs only under a disabled-by-default flag)
+		pl.bufs = append(pl.bufs, make([]byte, 40))
+	}
+}
+
+// newFakePlan is a constructor, not a plan method by receiver — the
+// allocate-on-construction form stays legal (pool misses call it).
+func newFakePlan() *fakePlan {
+	return &fakePlan{verbs: make([]verb, 0, 4)} // constructor: no finding
+}
+
+type helper struct{}
+
+// run is a method on a non-Plan receiver: not swept.
+func (helper) run() []byte {
+	return make([]byte, 8) // non-Plan receiver: no finding
+}

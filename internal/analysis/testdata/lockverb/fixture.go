@@ -49,3 +49,13 @@ func (g *guarded) lockAroundLocalWork(addr uint64) []byte {
 	g.mu.Unlock()
 	return v
 }
+
+func (g *guarded) pooledRunnerUnderLock(r *exec.Runner, p exec.Plan, plans []exec.Plan) {
+	g.mu.Lock()
+	r.RunOne(exec.Serial, p)         // want `exec\.Runner\.RunOne issued while holding mutex g\.mu`
+	r.RunPlans(exec.Doorbell, plans) // want `exec\.Runner\.RunPlans issued while holding mutex g\.mu`
+	r.Serial.Run(p)                  // want `exec\.SerialRunner\.Run issued while holding mutex g\.mu`
+	r.Doorbell.Run(plans)            // want `exec\.DoorbellRunner\.Run issued while holding mutex g\.mu`
+	g.mu.Unlock()
+	r.RunOne(exec.Serial, p) // released: no finding
+}

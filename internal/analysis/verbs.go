@@ -53,15 +53,29 @@ func RDMAVerb(info *types.Info, call *ast.CallExpr) (string, bool) {
 }
 
 // BlockingVerbIssue reports whether call can block on verb traffic:
-// a direct rdma verb, or a plan-executor entry point (exec.Run,
-// exec.RunSerial, exec.RunDoorbell), which issues verbs on the caller's
-// behalf.
+// a direct rdma verb, or a plan-executor entry point — the free
+// functions (exec.Run, exec.RunSerial, exec.RunDoorbell) and the
+// pooled runners' methods (Runner.RunOne/RunPlans, SerialRunner.Run,
+// DoorbellRunner.Run) — which issue verbs on the caller's behalf.
 func BlockingVerbIssue(info *types.Info, call *ast.CallExpr) (string, bool) {
 	if name, ok := RDMAVerb(info, call); ok {
 		return name, true
 	}
 	fn := CalleeFunc(info, call)
-	if fn == nil || FuncPkgPath(fn) != ExecPath || ReceiverNamed(fn) != nil {
+	if fn == nil || FuncPkgPath(fn) != ExecPath {
+		return "", false
+	}
+	if recv := ReceiverNamed(fn); recv != nil {
+		switch recv.Obj().Name() {
+		case "Runner":
+			if fn.Name() == "RunOne" || fn.Name() == "RunPlans" {
+				return "exec.Runner." + fn.Name(), true
+			}
+		case "SerialRunner", "DoorbellRunner":
+			if fn.Name() == "Run" {
+				return "exec." + recv.Obj().Name() + ".Run", true
+			}
+		}
 		return "", false
 	}
 	switch fn.Name() {

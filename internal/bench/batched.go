@@ -17,6 +17,13 @@ type batchedRow struct {
 	Mops     float64 `json:"mops"`
 	Speedup  float64 `json:"speedup_vs_seq"`
 	HitRate  float64 `json:"hit_rate"`
+
+	// Host-side cost of simulating the measured phase (see Result):
+	// allocations and wall-clock nanoseconds per key-operation. These
+	// track the simulator's own hot path, not Ditto's virtual-time
+	// performance; the alloc gate diffs them across commits.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HostNsPerOp float64 `json:"host_ns_per_op"`
 }
 
 // BatchedThroughput measures the doorbell-batching lever: MGet/MSet
@@ -42,7 +49,7 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 		{"ycsb-c", workload.YCSBC},
 		{"mixed", workload.YCSBA},
 	} {
-		row(w, wl.name, "batch", "tput(Mops)", "speedup", "hit rate")
+		row(w, wl.name, "batch", "tput(Mops)", "speedup", "hit rate", "allocs/op", "host ns/op")
 		base := 0.0
 		for _, bs := range batchSizes {
 			res := runBatchedYCSB(wl.kind, keys, clients, opsEach, bs)
@@ -53,10 +60,11 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 			if base > 0 {
 				speedup = res.Mops() / base
 			}
-			row(w, "", bs, res.Mops(), speedup, res.HitRate())
+			row(w, "", bs, res.Mops(), speedup, res.HitRate(), res.AllocsPerOp(), res.HostNsPerOp())
 			rows = append(rows, batchedRow{
 				Workload: wl.name, Batch: bs,
 				Mops: res.Mops(), Speedup: speedup, HitRate: res.HitRate(),
+				AllocsPerOp: res.AllocsPerOp(), HostNsPerOp: res.HostNsPerOp(),
 			})
 		}
 	}
@@ -80,6 +88,7 @@ func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize in
 	RunLoad(env, factory, loadKeys(keys), 16)
 
 	res := Result{}
+	meter := startHostMeter()
 	start := env.Now()
 	for w := 0; w < clients; w++ {
 		w := w
@@ -130,5 +139,6 @@ func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize in
 	}
 	env.Run()
 	res.ElapsedNs = env.Now() - start
+	meter.stop(&res)
 	return res
 }

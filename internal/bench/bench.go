@@ -17,7 +17,9 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"ditto/internal/core"
 	"ditto/internal/sim"
@@ -153,6 +155,14 @@ type Result struct {
 	Hits      int64
 	Misses    int64
 	Hist      *stats.Histogram
+
+	// HostNs and HostAllocs are the REAL cost of simulating the measured
+	// phase — wall-clock nanoseconds and Go heap allocations on the host —
+	// captured by hostMeter. Virtual time (ElapsedNs) answers "how fast is
+	// Ditto"; these answer "how fast is the simulator's hot path", the
+	// figure the zero-allocation work optimizes and the alloc gate tracks.
+	HostNs     int64
+	HostAllocs int64
 }
 
 // Mops returns throughput in millions of ops per second of virtual time.
@@ -171,6 +181,46 @@ func (r Result) P50() float64 { return float64(r.Hist.Percentile(50)) / 1000 }
 
 // P99 returns the 99th-percentile latency in microseconds.
 func (r Result) P99() float64 { return float64(r.Hist.Percentile(99)) / 1000 }
+
+// HostNsPerOp returns host wall-clock nanoseconds per simulated operation.
+func (r Result) HostNsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.HostNs) / float64(r.Ops)
+}
+
+// AllocsPerOp returns host heap allocations per simulated operation.
+func (r Result) AllocsPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.HostAllocs) / float64(r.Ops)
+}
+
+// hostMeter samples wall clock and cumulative allocation counts around a
+// measured phase. The bench package is host-side instrumentation, outside
+// the simulation's determinism sweep, so real time is fine here; nothing
+// it reads feeds back into the simulated run.
+type hostMeter struct {
+	start   time.Time
+	mallocs uint64
+}
+
+// startHostMeter begins a measurement window.
+func startHostMeter() hostMeter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return hostMeter{start: time.Now(), mallocs: ms.Mallocs}
+}
+
+// stop charges the window's host cost to res.
+func (h hostMeter) stop(res *Result) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.HostNs = time.Since(h.start).Nanoseconds()
+	res.HostAllocs = int64(ms.Mallocs - h.mallocs)
+}
 
 // CacheOps is the operation interface shared by every system's client so
 // the runners below are system-agnostic.

@@ -31,6 +31,12 @@ type churnRow struct {
 	WriteStallMs       float64 `json:"write_stall_ms"` // eviction-stall time, all clients
 	ReclaimerEvictions int64   `json:"reclaimer_evictions"`
 	ReclaimerWakeups   int64   `json:"reclaimer_wakeups"`
+
+	// Host-side cost of simulating the measured phase (see Result):
+	// allocations and wall-clock nanoseconds per operation — the
+	// simulator-hot-path figures the alloc gate diffs across commits.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HostNsPerOp float64 `json:"host_ns_per_op"`
 }
 
 // Churn measures eviction as a first-class I/O plane: write-heavy
@@ -100,6 +106,8 @@ func Churn(w io.Writer, scale Scale) error {
 			WriteStallMs:       stallMs,
 			ReclaimerEvictions: rs.Evictions,
 			ReclaimerWakeups:   rs.ReclaimerWakeups,
+			AllocsPerOp:        res.AllocsPerOp(),
+			HostNsPerOp:        res.HostNsPerOp(),
 		})
 	}
 	return writeJSONSummary(w, map[string]interface{}{
@@ -152,6 +160,7 @@ func runChurn(objects, clients, opsEach int, background bool, strat exec.Strateg
 	res := Result{Hist: &stats.Histogram{}}
 	setHist := &stats.Histogram{}
 	var clientStats core.Stats
+	meter := startHostMeter()
 	start := env.Now()
 	for i := 0; i < clients; i++ {
 		i := i
@@ -181,5 +190,6 @@ func runChurn(objects, clients, opsEach int, background bool, strat exec.Strateg
 	}
 	env.Run()
 	res.ElapsedNs = env.Now() - start
+	meter.stop(&res)
 	return res, setHist, clientStats, cl.ReclaimerStats()
 }

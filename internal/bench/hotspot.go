@@ -155,7 +155,7 @@ func runHotspot(theta float64, replicate bool, keys, clients, opsEach, writeDeno
 
 	served := make([]int64, mc.NumNodes())
 	for i := range served {
-		served[i] = mc.Node(i).ServedReads
+		served[i] = mc.Node(i).ServedReads()
 	}
 	return res, stats.Imbalance(served), mc
 }

@@ -6,6 +6,6 @@ import "testing"
 
 // The race detector instruments every allocation, inflating the counts
 // the !race twin (allocs_test.go) asserts on — skip under -race.
-func TestAllocsPerOpSmoke(t *testing.T) {
+func TestAllocsPerOpSteadyState(t *testing.T) {
 	t.Skip("alloc counts are not meaningful under -race")
 }

@@ -19,8 +19,6 @@ package core
 // re-runs the same plan through the serial drivers' bounded retry loops,
 // so batched and serial operations are observably equivalent.
 
-import "ditto/internal/exec"
-
 // KV is one key/value pair of an MSet batch.
 type KV struct {
 	Key, Value []byte
@@ -44,13 +42,20 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		return vals, oks
 	}
 	start := c.p.Now()
-	plans := make([]*getPlan, len(keys))
-	run := make([]exec.Plan, len(keys))
+	// Pooled plans and run scratch. Under doorbell dedup one plan's READ
+	// result can alias another plan's buffer, so every plan stays
+	// acquired until the whole batch's outputs are consumed (pool.go
+	// rule 1); the serial fallbacks below draw from the same free lists
+	// but never touch plans still held here.
+	plans := c.getPlans[:0]
+	run := c.runOps[:0]
 	for i := range keys {
-		plans[i] = c.newGetPlan(keys[i])
-		run[i] = plans[i]
+		pl := c.acquireGetPlan(keys[i])
+		plans = append(plans, pl)
+		run = append(run, pl)
 	}
-	exec.RunDoorbell(run)
+	c.getPlans, c.runOps = plans, run
+	c.runner.Doorbell.Run(run)
 
 	for i, pl := range plans {
 		if !pl.hit {
@@ -59,7 +64,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		c.touchOnHit(pl.slot, pl.dec, len(keys[i]))
 		c.Stats.Gets++
 		c.Stats.Hits++
-		c.cl.ServedReads++
+		c.served.Inc()
 		vals[i] = append([]byte(nil), pl.dec.value...)
 		oks[i] = true
 		c.report(OpGet, start, true)
@@ -72,7 +77,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 			// Rare: the snapshot raced a concurrent update. Re-run the key
 			// through the serial driver, which retries bounded re-reads
 			// exactly as a lone Get would.
-			vals[i], oks[i] = c.get(keys[i], probe)
+			vals[i], oks[i] = c.get(keys[i], probe, nil)
 			continue
 		}
 		if probe {
@@ -80,7 +85,7 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		}
 		c.Stats.Gets++
 		c.Stats.Misses++
-		c.cl.ServedReads++
+		c.served.Inc()
 		if c.adapt != nil {
 			c.collectRegrets(pl.histMatches)
 			if c.cl.opts.DisableLWH {
@@ -88,6 +93,9 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 			}
 		}
 		c.report(OpGet, start, false)
+	}
+	for _, pl := range plans {
+		c.releaseGetPlan(pl)
 	}
 	return vals, oks
 }
@@ -112,13 +120,15 @@ func (c *Client) MSet(pairs []KV) {
 	// as sequential ones — and, like them, as multi-victim doorbell
 	// rounds when the deficit spans more than one block.
 	c.drainOverBudget(shrinkEvictBatch * len(pairs))
-	plans := make([]*setPlan, len(pairs))
-	run := make([]exec.Plan, len(pairs))
+	plans := c.setPlans[:0]
+	run := c.runOps[:0]
 	for i := range pairs {
-		plans[i] = c.newSetPlan(pairs[i].Key, pairs[i].Value)
-		run[i] = plans[i]
+		pl := c.acquireSetPlan(pairs[i].Key, pairs[i].Value)
+		plans = append(plans, pl)
+		run = append(run, pl)
 	}
-	exec.RunDoorbell(run)
+	c.setPlans, c.runOps = plans, run
+	c.runner.Doorbell.Run(run)
 
 	var fallback []int
 	for i, pl := range plans {
@@ -134,6 +144,11 @@ func (c *Client) MSet(pairs []KV) {
 		case setNoFree:
 			fallback = append(fallback, i)
 		}
+	}
+	// Release before the serial retries: the fallbacks re-run their keys
+	// with fresh plans and no batch output is read past this point.
+	for _, pl := range plans {
+		c.releaseSetPlan(pl)
 	}
 	for _, i := range fallback {
 		c.Set(pairs[i].Key, pairs[i].Value) // counts its own Sets/retries
@@ -152,16 +167,19 @@ func (c *Client) MDelete(keys [][]byte) []bool {
 	if len(keys) == 0 {
 		return out
 	}
-	plans := make([]*delPlan, len(keys))
-	run := make([]exec.Plan, len(keys))
+	plans := c.delPlans[:0]
+	run := c.runOps[:0]
 	for i := range keys {
-		plans[i] = c.newDelPlan(keys[i])
-		run[i] = plans[i]
+		pl := c.acquireDelPlan(keys[i])
+		plans = append(plans, pl)
+		run = append(run, pl)
 	}
-	exec.RunDoorbell(run)
+	c.delPlans, c.runOps = plans, run
+	c.runner.Doorbell.Run(run)
 	for i, pl := range plans {
 		c.Stats.Deletes++
 		out[i] = pl.deleted
+		c.releaseDelPlan(pl)
 	}
 	return out
 }

@@ -13,6 +13,7 @@ import (
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 	"ditto/internal/sim"
+	"ditto/internal/stats"
 )
 
 // getRetries bounds re-reads when a stale pointer is observed under
@@ -96,6 +97,33 @@ type Client struct {
 	experts []cachealgo.Algorithm
 	extOff  []int // offset of each expert's extension segment
 
+	// runner owns the pooled executor scratch; served is this client's
+	// shard of the cluster's ServedReads counter. meta8 backs the
+	// DisableSFHT ablation's per-hit metadata WRITE (safe to reuse:
+	// WriteAsync applies before returning). extMeta is the scratch
+	// Metadata handed to expert Init/UpdateExt calls — passing a local
+	// through the interface forces a heap allocation per call, and the
+	// contract says experts must not retain the pointer.
+	runner  exec.Runner
+	served  *stats.CounterCell
+	meta8   [8]byte
+	extMeta cachealgo.Metadata
+
+	// Plan free lists and in-flight batch scratch (see pool.go). runOps
+	// carries one M-operation's plans; runEv the eviction batches —
+	// separate because inline eviction can fire while an M-operation's
+	// doorbell round is mid-absorb.
+	freeGet  []*getPlan
+	freeSet  []*setPlan
+	freeDel  []*delPlan
+	freeEv   []*evictPlan
+	getPlans []*getPlan
+	setPlans []*setPlan
+	delPlans []*delPlan
+	evPlans  []*evictPlan
+	runOps   []exec.Plan
+	runEv    []exec.Plan
+
 	// Stats accumulates this client's counters.
 	Stats Stats
 
@@ -124,12 +152,13 @@ const (
 func (cl *Cluster) NewClient(p *sim.Proc) *Client {
 	ep := rdma.NewEndpoint(cl.MN.Node, p)
 	c := &Client{
-		cl:    cl,
-		p:     p,
-		ep:    ep,
-		ht:    hashtable.NewHandle(cl.Layout, ep),
-		alloc: memnode.NewAlloc(cl.MN, ep),
-		hist:  history.NewClient(ep, hashtable.NewHandle(cl.Layout, ep), cl.histSize),
+		cl:     cl,
+		p:      p,
+		ep:     ep,
+		ht:     hashtable.NewHandle(cl.Layout, ep),
+		alloc:  memnode.NewAlloc(cl.MN, ep),
+		hist:   history.NewClient(ep, hashtable.NewHandle(cl.Layout, ep), cl.histSize),
+		served: cl.servedReads.NewCell(),
 	}
 	off := 0
 	for _, name := range cl.opts.Experts {
@@ -183,27 +212,41 @@ func (c *Client) Close() {
 // (a second bucket READ only on overflow), with metadata maintenance off
 // the critical path (§4.1). The verb sequence is the getPlan in plan.go —
 // the same plan MGet runs as doorbell batches — traversed serially here.
-func (c *Client) Get(key []byte) ([]byte, bool) { return c.get(key, false) }
+// The returned value is a fresh copy; use GetAppend to reuse a buffer.
+func (c *Client) Get(key []byte) ([]byte, bool) { return c.get(key, false, nil) }
+
+// GetAppend is Get appending the value to dst and returning the extended
+// slice — the allocation-free form for callers that reuse a buffer
+// across operations.
+func (c *Client) GetAppend(dst, key []byte) ([]byte, bool) { return c.get(key, false, dst) }
 
 // getProbe is a Get whose miss is silent: no counters, no regret
 // collection, no observer report. MultiClient's forwarding window probes
 // with it so a key sitting on its old owner does not record a phantom
 // miss (and adaptive penalties) on the new owner for every forwarded
 // hit. A probe that hits counts as a normal Get.
-func (c *Client) getProbe(key []byte) ([]byte, bool) { return c.get(key, true) }
+func (c *Client) getProbe(key []byte) ([]byte, bool) { return c.get(key, true, nil) }
 
-func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
+// get runs the plan and, on a hit, appends the value to dst. The copy
+// happens before the plan is released: pl.dec.value is a view into the
+// plan's pooled object buffer.
+func (c *Client) get(key []byte, probe bool, dst []byte) ([]byte, bool) {
 	start := c.p.Now()
 	var pl *getPlan
 	for attempt := 0; attempt < getRetries; attempt++ {
-		pl = c.newGetPlan(key)
-		exec.RunSerial(pl)
+		if pl == nil {
+			pl = c.acquireGetPlan(key)
+		} else {
+			pl.reset(c, key)
+		}
+		c.runner.Serial.Run(pl)
 		if pl.hit {
 			c.touchOnHit(pl.slot, pl.dec, len(key))
 			c.Stats.Gets++
 			c.Stats.Hits++
-			c.cl.ServedReads++
-			val := append([]byte(nil), pl.dec.value...)
+			c.served.Inc()
+			val := append(dst, pl.dec.value...)
+			c.releaseGetPlan(pl)
 			c.report(OpGet, start, true)
 			return val, true
 		}
@@ -213,11 +256,12 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 	}
 
 	if probe {
-		return nil, false
+		c.releaseGetPlan(pl)
+		return dst, false
 	}
 	c.Stats.Gets++
 	c.Stats.Misses++
-	c.cl.ServedReads++
+	c.served.Inc()
 	if c.adapt != nil {
 		c.collectRegrets(pl.histMatches)
 		if c.cl.opts.DisableLWH {
@@ -226,8 +270,9 @@ func (c *Client) get(key []byte, probe bool) ([]byte, bool) {
 			c.probeConventionalIndex()
 		}
 	}
+	c.releaseGetPlan(pl)
 	c.report(OpGet, start, false)
-	return nil, false
+	return dst, false
 }
 
 // noteHit buffers this hit's +1 in the FC cache and returns the key's
@@ -253,11 +298,13 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 	c.ht.TouchLastTs(s.Addr, now)
 	if c.cl.opts.DisableSFHT {
 		// Metadata scattered with the object: stateless fields cannot be
-		// grouped into a single WRITE.
-		c.metaWriteAsync(s.Atomic.Pointer(), make([]byte, 8))
+		// grouped into a single WRITE. meta8 is reusable because the
+		// async WRITE applies before returning.
+		c.metaWriteAsync(s.Atomic.Pointer(), c.meta8[:])
 	}
 	if len(dec.ext) > 0 {
-		meta := cachealgo.Metadata{
+		meta := &c.extMeta
+		*meta = cachealgo.Metadata{
 			Size:     s.Atomic.SizeBytes(),
 			InsertTs: s.InsertTs,
 			LastTs:   s.LastTs,
@@ -269,7 +316,7 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 				continue
 			}
 			meta.Ext = dec.ext[c.extOff[i] : c.extOff[i]+n]
-			a.UpdateExt(&meta, now)
+			a.UpdateExt(meta, now)
 		}
 		c.metaWriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
 	}
@@ -325,10 +372,11 @@ func (c *Client) Set(key, value []byte) {
 		if attempt > 4096 {
 			panic(fmt.Errorf("%w: Set retries exhausted (table misconfigured?)", ErrNoProgress))
 		}
-		pl := c.newSetPlan(key, value)
-		exec.RunSerial(pl)
+		pl := c.acquireSetPlan(key, value)
+		c.runner.Serial.Run(pl)
 		switch pl.outcome {
 		case setDone:
+			c.releaseSetPlan(pl)
 			c.report(OpSet, start, true)
 			return
 		case setNoFree:
@@ -338,12 +386,15 @@ func (c *Client) Set(key, value []byte) {
 			// this corner case — see DESIGN.md §6). If the buckets hold no
 			// live object at all (all history), sacrifice the oldest
 			// history entry. Then retry with a freed slot.
+			// pl.scanned views the plan's pooled slot scratch — consumed
+			// before the release.
 			if !c.bucketEvict(pl.scanned) {
 				c.reclaimOldestHistory(pl.scanned)
 			}
 		case setCASLost:
 			// Lost a race; retry with a fresh snapshot.
 		}
+		c.releaseSetPlan(pl)
 	}
 }
 
@@ -407,14 +458,17 @@ func (c *Client) allocOrEvict(size int) uint64 {
 }
 
 // updateExt rebuilds an object's extension metadata for an out-of-place
-// update. The frequency convention matches noteHit — snapshot + pending
-// delta + 1 for the current access, with the pending delta read before
-// the access is buffered (finishUpdate's fc.Add runs only after the CAS
-// publishes the update).
-func (c *Client) updateExt(s hashtable.Slot, old decodedObject, size int, now int64) []byte {
-	ext := make([]byte, c.cl.totalExt)
-	copy(ext, old.ext)
-	meta := cachealgo.Metadata{
+// update, into dst (reused when it has capacity). The frequency
+// convention matches noteHit — snapshot + pending delta + 1 for the
+// current access, with the pending delta read before the access is
+// buffered (finishUpdate's fc.Add runs only after the CAS publishes the
+// update).
+func (c *Client) updateExt(dst []byte, s hashtable.Slot, old decodedObject, size int, now int64) []byte {
+	ext := grow(dst, c.cl.totalExt)
+	n := copy(ext, old.ext)
+	clear(ext[n:])
+	meta := &c.extMeta
+	*meta = cachealgo.Metadata{
 		Size:     hashtable.SizeClassBytes(size),
 		InsertTs: s.InsertTs,
 		LastTs:   s.LastTs,
@@ -423,7 +477,7 @@ func (c *Client) updateExt(s hashtable.Slot, old decodedObject, size int, now in
 	for i, a := range c.experts {
 		if n := a.ExtSize(); n > 0 {
 			meta.Ext = ext[c.extOff[i] : c.extOff[i]+n]
-			a.UpdateExt(&meta, now)
+			a.UpdateExt(meta, now)
 		}
 	}
 	return ext
@@ -446,13 +500,16 @@ func (c *Client) finishInsert(slotAddr uint64, kh uint64, now int64) {
 	c.ht.WriteMetaOnInsert(slotAddr, kh, now, now, 1)
 }
 
-// initExts builds the initial extension metadata for a new object.
-func (c *Client) initExts(size int, now int64) []byte {
+// initExts builds the initial extension metadata for a new object, into
+// dst (reused when it has capacity).
+func (c *Client) initExts(dst []byte, size int, now int64) []byte {
 	if c.cl.totalExt == 0 {
 		return nil
 	}
-	ext := make([]byte, c.cl.totalExt)
-	meta := cachealgo.Metadata{
+	ext := grow(dst, c.cl.totalExt)
+	clear(ext)
+	meta := &c.extMeta
+	*meta = cachealgo.Metadata{
 		Size:     hashtable.SizeClassBytes(size),
 		InsertTs: now,
 		LastTs:   now,
@@ -461,7 +518,7 @@ func (c *Client) initExts(size int, now int64) []byte {
 	for i, a := range c.experts {
 		if n := a.ExtSize(); n > 0 {
 			meta.Ext = ext[c.extOff[i] : c.extOff[i]+n]
-			a.InitExt(&meta, now)
+			a.InitExt(meta, now)
 		}
 	}
 	return ext
@@ -514,7 +571,9 @@ func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
 // why the scan covers BOTH buckets to completion.
 func (c *Client) Delete(key []byte) bool {
 	c.Stats.Deletes++
-	pl := c.newDelPlan(key)
-	exec.RunSerial(pl)
-	return pl.deleted
+	pl := c.acquireDelPlan(key)
+	c.runner.Serial.Run(pl)
+	deleted := pl.deleted
+	c.releaseDelPlan(pl)
+	return deleted
 }

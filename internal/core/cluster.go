@@ -31,6 +31,7 @@ import (
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 	"ditto/internal/sim"
+	"ditto/internal/stats"
 )
 
 // Options configures a Ditto cluster. The zero value is not usable; use
@@ -110,12 +111,14 @@ type Cluster struct {
 	// expert is configured).
 	WeightSvc *adaptive.Service
 
-	// ServedReads counts the read operations this memory node actually
+	// servedReads counts the read operations this memory node actually
 	// served (hits — including forwarding-window and read-spread probe
 	// hits — plus counted misses). It is the per-node load signal the
 	// hotspot bench reports: under hot-key replication, read spreading
 	// shifts ServedReads from a key's primary owner to its replicas.
-	ServedReads int64
+	// Sharded into per-client cells so the hot-path increment touches
+	// only client-local state; read it through ServedReads().
+	servedReads stats.ShardedCounter
 
 	// ReclaimStrategy selects how multi-victim eviction batches execute —
 	// the background reclaimer's rounds and the write paths' over-budget
@@ -255,6 +258,10 @@ func (cl *Cluster) Options() Options { return cl.opts }
 
 // HistorySize returns the logical FIFO history capacity.
 func (cl *Cluster) HistorySize() int { return cl.histSize }
+
+// ServedReads sums the sharded per-client served-read cells — the
+// per-node load signal the hotspot bench reports.
+func (cl *Cluster) ServedReads() int64 { return cl.servedReads.Sum() }
 
 // GrowCache raises the cache's memory budget by bytes at runtime — the
 // "add memory" elasticity knob of Figure 13/22: no data migration, the new

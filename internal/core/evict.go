@@ -40,14 +40,19 @@ func (c *Client) evictBatch(n int, strat exec.Strategy) int {
 		if rem := evictAttempts - attempts; m > rem {
 			m = rem
 		}
-		plans := make([]*evictPlan, m)
-		run := make([]exec.Plan, m)
-		for i := range plans {
-			plans[i] = c.newEvictPlan()
-			run[i] = plans[i]
+		// Pooled plans on the eviction-specific scratch (runEv): inline
+		// eviction can fire while an M-operation's doorbell round is
+		// mid-absorb on runOps, so the two must not share a slice.
+		plans := c.evPlans[:0]
+		run := c.runEv[:0]
+		for i := 0; i < m; i++ {
+			pl := c.acquireEvictPlan()
+			plans = append(plans, pl)
+			run = append(run, pl)
 		}
+		c.evPlans, c.runEv = plans, run
 		attempts += m
-		exec.Run(strat, run...)
+		c.runner.RunPlans(strat, run)
 		exhausted := false
 		for _, pl := range plans {
 			switch pl.outcome {
@@ -66,6 +71,9 @@ func (c *Client) evictBatch(n int, strat exec.Strategy) int {
 			case evictLost:
 				c.Stats.EvictResamples++
 			}
+		}
+		for _, pl := range plans {
+			c.releaseEvictPlan(pl)
 		}
 		if exhausted {
 			return won

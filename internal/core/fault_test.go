@@ -13,7 +13,7 @@ import (
 func keyOwnedBy(t *testing.T, mc *MultiCluster, id int) int {
 	t.Helper()
 	for i := 0; i < 10000; i++ {
-		if mc.hashRing.Owner(ring.Point(hashtable.KeyHash(key(i)))) == id {
+		if mc.snap().hashRing.Owner(ring.Point(hashtable.KeyHash(key(i)))) == id {
 			return i
 		}
 	}
@@ -114,7 +114,7 @@ func TestCrashNodeKeepsSurvivorKeys(t *testing.T) {
 		owned := make([]bool, n)
 		for i := 0; i < n; i++ {
 			c.Set(key(i), value(i))
-			owned[i] = mc.hashRing.Owner(ring.Point(hashtable.KeyHash(key(i)))) == victim
+			owned[i] = mc.snap().hashRing.Owner(ring.Point(hashtable.KeyHash(key(i)))) == victim
 		}
 		mc.CrashNode(victim)
 		lostOwned := 0

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"sort"
+	"sync/atomic"
 
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
@@ -50,11 +51,16 @@ type MultiCluster struct {
 	order   []int            // active node IDs, in Node() index order
 	nextID  int
 
-	hashRing *ring.Ring // current (target) routing ring
-	oldRing  *ring.Ring // pre-reshard ring; non-nil while migrating
-	draining int        // node being drained by RemoveNode (-1 otherwise)
-	epoch    uint64     // bumped on every ring change (clients re-route)
-	done     *sim.Cond  // broadcast when a reshard completes
+	// route is the pool's routing state as ONE immutable snapshot behind
+	// an atomic pointer (RCU-style): readers load it once and route a
+	// whole decision against a consistent view — ring, forwarding window,
+	// drain target and epoch can never tear apart — while membership
+	// changes publish a fresh snapshot in one store (publishRoute). The
+	// rings themselves are already immutable (ring.With/Without return
+	// new rings), so a loaded snapshot stays valid forever; it just goes
+	// stale, which the epoch comparison detects.
+	route atomic.Pointer[routeSnapshot]
+	done  *sim.Cond // broadcast when a reshard completes
 
 	// ReshardStrategy selects how the resharder executes its migration
 	// plans: exec.Doorbell (the default) pipelines the table scan and the
@@ -117,6 +123,76 @@ type MultiCluster struct {
 	SpreadReads int64
 }
 
+// routeSnapshot is one immutable routing view. Everything a routing
+// decision consults lives here, so loading the snapshot once gives an
+// operation a consistent picture regardless of concurrent membership
+// changes; members caches the active node IDs in ascending order so
+// fan-out paths iterate a pre-sorted slice instead of re-sorting their
+// group keys per call.
+type routeSnapshot struct {
+	hashRing *ring.Ring // current (target) routing ring
+	oldRing  *ring.Ring // pre-reshard ring; non-nil while migrating
+	draining int        // node being drained by RemoveNode (-1 otherwise)
+	epoch    uint64     // bumped on every ring change (clients re-route)
+	members  []int      // active node IDs, ascending (provision order)
+}
+
+// owner returns the owner of key under this snapshot's routing ring,
+// plus the old owner to forward to (-1 when no forwarding window
+// applies).
+func (s *routeSnapshot) owner(key []byte) (cur, old int) {
+	pt := ring.Point(hashtable.KeyHash(key))
+	cur, old = s.hashRing.Owner(pt), -1
+	if prev := s.oldRing; prev != nil {
+		if o := prev.Owner(pt); o != cur {
+			old = o
+		}
+	}
+	return cur, old
+}
+
+// fanoutOrder returns the group map's keys in ascending order. In the
+// steady state every group key is a pool member, so the snapshot's
+// pre-sorted members slice serves as the iteration order (callers skip
+// IDs with no group) and nothing is sorted or allocated per call; a
+// stray owner — a ring member with no backing node, possible in
+// degraded deployments — falls back to sorting the keys.
+func (s *routeSnapshot) fanoutOrder(groups map[int][]int) []int {
+	found := 0
+	for _, id := range s.members {
+		if _, ok := groups[id]; ok {
+			found++
+		}
+	}
+	if found == len(groups) {
+		return s.members
+	}
+	return sortedNodeIDs(groups)
+}
+
+// snap loads the current routing snapshot.
+func (mc *MultiCluster) snap() *routeSnapshot { return mc.route.Load() }
+
+// publishRoute installs a new routing snapshot — THE atomic switch every
+// membership change funnels through. The caller finishes all membership
+// bookkeeping (mc.nodes, mc.order) first, without yielding, so the
+// published members list matches the rings; the epoch advances with
+// every publish, which is what in-flight operations' staleness checks
+// key on.
+func (mc *MultiCluster) publishRoute(hashRing, oldRing *ring.Ring, draining int) {
+	var epoch uint64
+	if prev := mc.route.Load(); prev != nil {
+		epoch = prev.epoch + 1
+	}
+	mc.route.Store(&routeSnapshot{
+		hashRing: hashRing,
+		oldRing:  oldRing,
+		draining: draining,
+		epoch:    epoch,
+		members:  append([]int(nil), mc.order...),
+	})
+}
+
 // NewMultiCluster creates n memory nodes, each provisioned with opts
 // scaled down by n (objects and bytes split evenly). Nodes added later
 // with AddNode get the same per-node provisioning.
@@ -135,17 +211,17 @@ func NewMultiCluster(env *sim.Env, n int, opts Options) *MultiCluster {
 		Env:             env,
 		perNode:         per,
 		nodes:           make(map[int]*Cluster),
-		hashRing:        ring.New(0),
-		draining:        -1,
 		done:            sim.NewCond(env),
 		ReshardStrategy: exec.Doorbell,
 		ReplicaStrategy: exec.Doorbell,
 		ReclaimStrategy: exec.Doorbell,
 	}
+	h := ring.New(0)
 	for i := 0; i < n; i++ {
 		id := mc.provision()
-		mc.hashRing = mc.hashRing.With(id)
+		h = h.With(id)
 	}
+	mc.publishRoute(h, nil, -1)
 	return mc
 }
 
@@ -196,19 +272,19 @@ func (mc *MultiCluster) Node(i int) *Cluster { return mc.nodes[mc.order[i]] }
 func (mc *MultiCluster) NodeID(i int) int { return mc.order[i] }
 
 // Resharding reports whether a membership change is still migrating keys.
-func (mc *MultiCluster) Resharding() bool { return mc.oldRing != nil }
+func (mc *MultiCluster) Resharding() bool { return mc.snap().oldRing != nil }
 
 // OwnerOf returns the node ID that currently routes key — the owner
 // under the live ring (the NEW ring during a reshard). Chaos harnesses
 // use it to partition keys into "owned by the crashed node" vs
 // survivors when asserting which keys may legally disappear.
 func (mc *MultiCluster) OwnerOf(key []byte) int {
-	return mc.hashRing.Owner(ring.Point(hashtable.KeyHash(key)))
+	return mc.snap().hashRing.Owner(ring.Point(hashtable.KeyHash(key)))
 }
 
 // WaitReshard blocks p until no reshard is in flight.
 func (mc *MultiCluster) WaitReshard(p *sim.Proc) {
-	for mc.oldRing != nil {
+	for mc.snap().oldRing != nil {
 		mc.done.Wait(p)
 	}
 }
@@ -218,13 +294,13 @@ func (mc *MultiCluster) WaitReshard(p *sim.Proc) {
 // sim process. It returns the new node's ID immediately; use WaitReshard
 // to observe completion. Only one membership change may be in flight.
 func (mc *MultiCluster) AddNode() int {
-	if mc.oldRing != nil {
+	if mc.snap().oldRing != nil {
 		//dittolint:allow typederr (API-misuse guard: membership changes are declared one at a time)
 		panic("core: AddNode during an in-flight reshard (WaitReshard first)")
 	}
 	sources := append([]int(nil), mc.order...) // keys move only from old MNs
 	id := mc.provision()
-	mc.startReshard(mc.hashRing.With(id), sources, -1)
+	mc.startReshard(mc.snap().hashRing.With(id), sources, -1)
 	return id
 }
 
@@ -233,7 +309,7 @@ func (mc *MultiCluster) AddNode() int {
 // until its copies move, and the node leaves the pool when the drain
 // completes. Only one membership change may be in flight.
 func (mc *MultiCluster) RemoveNode(id int) {
-	if mc.oldRing != nil {
+	if mc.snap().oldRing != nil {
 		//dittolint:allow typederr (API-misuse guard: membership changes are declared one at a time)
 		panic("core: RemoveNode during an in-flight reshard (WaitReshard first)")
 	}
@@ -245,7 +321,7 @@ func (mc *MultiCluster) RemoveNode(id int) {
 		//dittolint:allow typederr (API-misuse guard: an empty pool has no semantics)
 		panic("core: cannot remove the last memory node")
 	}
-	mc.startReshard(mc.hashRing.Without(id), []int{id}, id)
+	mc.startReshard(mc.snap().hashRing.Without(id), []int{id}, id)
 }
 
 // CrashNode fail-stops node id: every copy it hosted is lost, in-flight
@@ -275,12 +351,15 @@ func (mc *MultiCluster) CrashNode(id int) {
 		panic("core: cannot crash the last memory node")
 	}
 	cl.Crash()
-	mc.hashRing = mc.hashRing.Without(id)
-	if mc.oldRing != nil {
-		mc.oldRing = mc.oldRing.Without(id)
+	s := mc.snap()
+	h := s.hashRing.Without(id)
+	old := s.oldRing
+	if old != nil {
+		old = old.Without(id)
 	}
-	if mc.draining == id {
-		mc.draining = -1
+	draining := s.draining
+	if draining == id {
+		draining = -1
 	}
 	delete(mc.nodes, id)
 	for i, nid := range mc.order {
@@ -289,7 +368,10 @@ func (mc *MultiCluster) CrashNode(id int) {
 			break
 		}
 	}
-	mc.epoch++
+	// One publish switches both rings, the drain target and the
+	// membership together (no verbs since Crash), so clients observe the
+	// old pool or the new one, never a half-removed node.
+	mc.publishRoute(h, old, draining)
 	mc.NodeCrashes++
 	if mc.hot != nil {
 		// Entry locks held by procs that died with the node (or by the
@@ -338,9 +420,7 @@ type migratedCopy struct {
 // the given source nodes. dropID >= 0 names a node to retire when the
 // migration completes (RemoveNode).
 func (mc *MultiCluster) startReshard(newRing *ring.Ring, sources []int, dropID int) {
-	mc.oldRing, mc.hashRing = mc.hashRing, newRing
-	mc.draining = dropID
-	mc.epoch++
+	mc.publishRoute(newRing, mc.snap().hashRing, dropID)
 	mc.spawnResharder(&reshardState{
 		sources: sources,
 		dropID:  dropID,
@@ -482,11 +562,9 @@ func (mc *MultiCluster) runReshard(p *sim.Proc, m *MultiClient, st *reshardState
 			}
 		})
 	}
-	// No verbs (yields) between these steps, so clients observe the
-	// ring switch and the membership change atomically.
-	mc.oldRing = nil
-	mc.draining = -1
-	mc.epoch++
+	// Membership bookkeeping first, then ONE snapshot publish (no verbs
+	// between these steps), so clients observe the window closing and
+	// the membership change atomically.
 	mc.Reshards++
 	mc.ReshardNs += p.Now() - st.start
 	if st.dropID >= 0 {
@@ -500,6 +578,7 @@ func (mc *MultiCluster) runReshard(p *sim.Proc, m *MultiClient, st *reshardState
 			}
 		}
 	}
+	mc.publishRoute(mc.snap().hashRing, nil, -1)
 	st.finalized = true
 }
 
@@ -600,7 +679,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 				continue // reused memory behind a stale slot snapshot
 			}
 			kh := hashtable.KeyHash(dec.key)
-			owner := mc.hashRing.Owner(ring.Point(kh))
+			owner := mc.snap().hashRing.Owner(ring.Point(kh))
 			if owner == srcID {
 				continue
 			}
@@ -728,8 +807,9 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, dstID int, s hashtable.Slo
 // evaporate with it.
 func (mc *MultiCluster) stayingNodes() []int {
 	ids := make([]int, 0, len(mc.order))
+	draining := mc.snap().draining
 	for _, id := range mc.order {
-		if id != mc.draining {
+		if id != draining {
 			ids = append(ids, id)
 		}
 	}
@@ -813,14 +893,7 @@ const routeRetries = 4
 // owner returns the current owner of key under the routing ring, plus the
 // old owner to forward to (-1 when no forwarding window applies).
 func (m *MultiClient) owner(key []byte) (cur, old int) {
-	pt := ring.Point(hashtable.KeyHash(key))
-	cur, old = m.mc.hashRing.Owner(pt), -1
-	if prev := m.mc.oldRing; prev != nil {
-		if o := prev.Owner(pt); o != cur {
-			old = o
-		}
-	}
-	return cur, old
+	return m.mc.snap().owner(key)
 }
 
 // Get fetches key from its owning MN. During a reshard a miss on the new
@@ -861,8 +934,8 @@ func getFrom(c *Client, key []byte, probe bool) (v []byte, ok bool) {
 // the forwarding window during a reshard.
 func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
 	for attempt := 0; ; attempt++ {
-		epoch := m.mc.epoch
-		cur, old := m.owner(key)
+		snap := m.mc.snap()
+		cur, old := snap.owner(key)
 		curClient := m.clientFor(cur)
 		if old < 0 {
 			if curClient != nil {
@@ -895,7 +968,7 @@ func (m *MultiClient) getRouted(key []byte) ([]byte, bool) {
 		}
 		// A ring switch mid-operation means we probed stale owners:
 		// re-route and retry (bounded) before declaring a miss.
-		if m.mc.epoch == epoch || attempt >= routeRetries {
+		if m.mc.snap().epoch == snap.epoch || attempt >= routeRetries {
 			if old >= 0 || curClient == nil {
 				// Either the probes were silent (forwarding window), or
 				// the owner's client vanished mid-route and nothing ran
@@ -932,7 +1005,7 @@ func (m *MultiClient) countMiss(cur, old int) {
 	if c != nil {
 		c.Stats.Gets++
 		c.Stats.Misses++
-		c.cl.ServedReads++
+		c.served.Inc()
 	}
 }
 
@@ -962,12 +1035,12 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 		}
 	}
 	for attempt := 0; ; attempt++ {
-		epoch := m.mc.epoch
+		snap := m.mc.snap()
 		stable := make(map[int][]int) // cur owner → key indices, no window
 		window := make(map[int][]int) // cur owner → key indices in a window
 		oldOf := make(map[int]int)    // key index → old owner
 		for _, i := range pending {
-			cur, old := m.owner(keys[i])
+			cur, old := snap.owner(keys[i])
 			if old < 0 {
 				stable[cur] = append(stable[cur], i)
 			} else {
@@ -980,8 +1053,12 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 		// vanished mid-route) leaves the group's misses uncounted for the
 		// final accounting below, like the probes.
 		var counted, silent []int
-		for _, owner := range sortedNodeIDs(stable) {
-			missed, ran := m.mgetGroup(owner, stable[owner], keys, vals, oks, false)
+		for _, owner := range snap.fanoutOrder(stable) {
+			idxs, ok := stable[owner]
+			if !ok {
+				continue
+			}
+			missed, ran := m.mgetGroup(owner, idxs, keys, vals, oks, false)
 			if ran {
 				counted = append(counted, missed...)
 			} else {
@@ -992,8 +1069,12 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 		// Forwarding window: silent probe batches on the new owners, the
 		// old owners, then the new owners once more.
 		var winMissed []int
-		for _, owner := range sortedNodeIDs(window) {
-			missed, _ := m.mgetGroup(owner, window[owner], keys, vals, oks, true)
+		for _, owner := range snap.fanoutOrder(window) {
+			idxs, ok := window[owner]
+			if !ok {
+				continue
+			}
+			missed, _ := m.mgetGroup(owner, idxs, keys, vals, oks, true)
 			winMissed = append(winMissed, missed...)
 		}
 		for pass := 0; pass < 2 && len(winMissed) > 0; pass++ {
@@ -1006,14 +1087,18 @@ func (m *MultiClient) MGet(keys [][]byte) ([][]byte, []bool) {
 				regrouped[owner] = append(regrouped[owner], i)
 			}
 			winMissed = winMissed[:0]
-			for _, owner := range sortedNodeIDs(regrouped) {
-				missed, _ := m.mgetGroup(owner, regrouped[owner], keys, vals, oks, true)
+			for _, owner := range snap.fanoutOrder(regrouped) {
+				idxs, ok := regrouped[owner]
+				if !ok {
+					continue
+				}
+				missed, _ := m.mgetGroup(owner, idxs, keys, vals, oks, true)
 				winMissed = append(winMissed, missed...)
 			}
 		}
 		silent = append(silent, winMissed...)
 
-		if m.mc.epoch == epoch || attempt >= routeRetries {
+		if m.mc.snap().epoch == snap.epoch || attempt >= routeRetries {
 			// The silent misses (window probes, vanished owners) were
 			// never counted: record one logical miss each on a surviving
 			// client, as Get does.
@@ -1117,21 +1202,24 @@ func (m *MultiClient) msetDirect(pairs []KV) {
 	if len(pairs) == 0 {
 		return
 	}
-	epoch := m.mc.epoch
+	snap := m.mc.snap()
 	groups := make(map[int][]int)
 	oldOf := make(map[int]int)
 	for i := range pairs {
-		cur, old := m.owner(pairs[i].Key)
+		cur, old := snap.owner(pairs[i].Key)
 		groups[cur] = append(groups[cur], i)
 		if old >= 0 {
 			oldOf[i] = old
 		}
 	}
-	owners := sortedNodeIDs(groups)
+	owners := snap.fanoutOrder(groups)
 	for gi, owner := range owners {
 		idxs := groups[owner]
+		if len(idxs) == 0 {
+			continue
+		}
 		c := m.clientFor(owner)
-		if m.mc.epoch != epoch || c == nil {
+		if m.mc.snap().epoch != snap.epoch || c == nil {
 			// The ring switched (or the owner left the pool) while earlier
 			// groups' verbs were in flight: every remaining routing
 			// decision is stale. Re-route the rest per pair — Set routes
@@ -1170,9 +1258,11 @@ func (m *MultiClient) msetDirect(pairs []KV) {
 }
 
 // sortedNodeIDs returns a node-keyed map's IDs in ascending order — the
-// one deterministic-iteration helper shared by the MGet/MSet/MDelete
-// fan-outs (routing groups), Close, Stats and the resharder's free-list
-// surrender (connected clients).
+// one deterministic-iteration helper for maps that may hold departed
+// nodes (Close, Stats, the resharder's free-list surrender over
+// connected clients) and routeSnapshot.fanoutOrder's stray-owner
+// fallback. The operation fan-outs themselves iterate the snapshot's
+// cached members instead of sorting per call.
 func sortedNodeIDs[V any](m map[int]V) []int {
 	ids := make([]int, 0, len(m))
 	//dittolint:allow simdet (this helper IS the sanctioned pattern: the keys are sorted before any caller iterates them)
@@ -1354,11 +1444,11 @@ func (m *MultiClient) mdeleteDirect(keys [][]byte) []bool {
 	if len(keys) == 0 {
 		return out
 	}
-	epoch := m.mc.epoch
+	snap := m.mc.snap()
 	groups := make(map[int][]int) // current owner → key indices
 	oldGroups := make(map[int][]int)
 	for i := range keys {
-		cur, old := m.owner(keys[i])
+		cur, old := snap.owner(keys[i])
 		groups[cur] = append(groups[cur], i)
 		if old >= 0 {
 			oldGroups[old] = append(oldGroups[old], i)
@@ -1370,16 +1460,20 @@ func (m *MultiClient) mdeleteDirect(keys [][]byte) []bool {
 		cur   bool // a current-owner group: completes its keys
 	}
 	var seq []delGroup
-	for _, owner := range sortedNodeIDs(oldGroups) {
-		seq = append(seq, delGroup{owner: owner, idxs: oldGroups[owner]})
+	for _, owner := range snap.fanoutOrder(oldGroups) {
+		if idxs, ok := oldGroups[owner]; ok {
+			seq = append(seq, delGroup{owner: owner, idxs: idxs})
+		}
 	}
-	for _, owner := range sortedNodeIDs(groups) {
-		seq = append(seq, delGroup{owner: owner, idxs: groups[owner], cur: true})
+	for _, owner := range snap.fanoutOrder(groups) {
+		if idxs, ok := groups[owner]; ok {
+			seq = append(seq, delGroup{owner: owner, idxs: idxs, cur: true})
+		}
 	}
 	done := make([]bool, len(keys)) // current-owner batch ran for this key
 	for _, g := range seq {
 		c := m.clientFor(g.owner)
-		if m.mc.epoch != epoch || (c == nil && g.cur) {
+		if m.mc.snap().epoch != snap.epoch || (c == nil && g.cur) {
 			// The ring switched (or a current owner left the pool) while
 			// earlier groups' verbs were in flight. Delete routes at issue
 			// time — re-route every unfinished key per key, restoring the

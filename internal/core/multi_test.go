@@ -128,12 +128,11 @@ func TestMultiGetMissCountedWhenClientsVanish(t *testing.T) {
 	mc := NewMultiCluster(env, 2, DefaultOptions(1000, 1000*320))
 	env.Go("c", func(p *sim.Proc) {
 		m := mc.NewClient(p)
-		real := mc.hashRing
+		real := mc.snap().hashRing
 
 		// Case 1: no forwarding window, current owner unreachable (a ring
 		// member with no backing node).
-		mc.hashRing = ring.New(0, 99)
-		mc.epoch++
+		mc.publishRoute(ring.New(0, 99), nil, -1)
 		if _, ok := m.Get([]byte("absent-1")); ok {
 			t.Fatal("phantom hit")
 		}
@@ -144,8 +143,7 @@ func TestMultiGetMissCountedWhenClientsVanish(t *testing.T) {
 		// Case 2: forwarding window whose current owner is unreachable;
 		// the old-owner probe is silent, so the logical miss must be
 		// counted explicitly on a surviving client.
-		mc.oldRing = real
-		mc.epoch++
+		mc.publishRoute(mc.snap().hashRing, real, -1)
 		if _, ok := m.Get([]byte("absent-2")); ok {
 			t.Fatal("phantom hit")
 		}
@@ -161,9 +159,7 @@ func TestMultiGetMissCountedWhenClientsVanish(t *testing.T) {
 			t.Errorf("case 3: stats = %+v, want 4 gets / 4 misses", s)
 		}
 
-		mc.oldRing = nil
-		mc.hashRing = real
-		mc.epoch++
+		mc.publishRoute(real, nil, -1)
 	})
 	env.Run()
 }

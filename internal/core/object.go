@@ -19,7 +19,14 @@ func objBytes(keyLen, valLen, extLen int) int {
 
 // encodeObject serializes an object block.
 func encodeObject(key, value, ext []byte) []byte {
-	buf := make([]byte, objBytes(len(key), len(value), len(ext)))
+	return encodeObjectInto(nil, key, value, ext)
+}
+
+// encodeObjectInto is encodeObject building into buf (reused when it
+// has capacity) — the allocation-free form pooled set plans use; every
+// byte of the image is written, so a recycled buffer needs no clearing.
+func encodeObjectInto(buf, key, value, ext []byte) []byte {
+	buf = grow(buf, objBytes(len(key), len(value), len(ext)))
 	binary.LittleEndian.PutUint16(buf[0:], uint16(len(key)))
 	binary.LittleEndian.PutUint32(buf[2:], uint32(len(value)))
 	binary.LittleEndian.PutUint16(buf[6:], uint16(len(ext)))

@@ -36,16 +36,29 @@ import (
 	"ditto/internal/rdma"
 )
 
-// bucketVerb is the bucket READ of a plan stage.
-func (c *Client) bucketVerb(b int) exec.Verb {
-	return exec.Verb{EP: c.ep, Op: c.cl.Layout.BucketReadOp(b)}
+// bucketVerb is the bucket READ of a plan stage, delivered into the
+// plan-owned buffer at *buf (sized here, allocated at most once per
+// pooled plan). A nil *buf pointer keeps the allocate-per-READ shape.
+func (c *Client) bucketVerb(b int, buf *[]byte) exec.Verb {
+	op := c.cl.Layout.BucketReadOp(b)
+	if buf != nil {
+		*buf = grow(*buf, op.Len)
+		op.Buf = *buf
+	}
+	return exec.Verb{EP: c.ep, Op: op}
 }
 
-// objectVerb is the object READ behind a slot.
-func (c *Client) objectVerb(s hashtable.Slot) exec.Verb {
-	return exec.Verb{EP: c.ep, Op: rdma.BatchOp{
+// objectVerb is the object READ behind a slot, delivered into the
+// plan-owned buffer at *buf (see bucketVerb).
+func (c *Client) objectVerb(s hashtable.Slot, buf *[]byte) exec.Verb {
+	op := rdma.BatchOp{
 		Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: s.Atomic.SizeBytes(),
-	}}
+	}
+	if buf != nil {
+		*buf = grow(*buf, op.Len)
+		op.Buf = *buf
+	}
+	return exec.Verb{EP: c.ep, Op: op}
 }
 
 // casVerb is a slot-atomic CAS.
@@ -113,20 +126,18 @@ func (c *Client) keyBuckets(kh uint64) [2]int {
 	return [2]int{c.cl.Layout.MainBucket(kh), c.cl.Layout.BackupBucket(kh)}
 }
 
-// stageVerbs emits one stage's next verb group: the single next item
-// under lazy traversal, every remaining item under eager — the shared
-// emission rule of all plan stages. next is the stage's progress cursor
-// (advanced by Absorb), total its item count, mk builds item i's verb.
-func stageVerbs(eager bool, next, total int, mk func(i int) exec.Verb) []exec.Verb {
-	n := 1
+// stageEnd returns the exclusive end of one stage's next verb group:
+// the single next item under lazy traversal, every remaining item under
+// eager — the shared emission rule of all plan stages. next is the
+// stage's progress cursor (advanced by Absorb), total its item count.
+// Each Step emits the group [next, stageEnd) into the plan's own verbs
+// scratch; the closure-per-stage emission helper this replaces was one
+// of the hot path's top allocation sites.
+func stageEnd(eager bool, next, total int) int {
 	if eager {
-		n = total - next
+		return total
 	}
-	vs := make([]exec.Verb, n)
-	for i := range vs {
-		vs[i] = mk(next + i)
-	}
-	return vs
+	return next + 1
 }
 
 // ------------------------------------------------------------------- Get ----
@@ -159,15 +170,32 @@ type getPlan struct {
 	hit  bool
 	slot hashtable.Slot
 	dec  decodedObject
+
+	// Pooled scratch, kept across reset: verb-group emission, READ
+	// delivery buffers (one per verb index), and bucket decoding.
+	verbs    []exec.Verb
+	bktBuf   [][]byte
+	objBufs  [][]byte
+	decSlots []hashtable.Slot
+}
+
+// reset re-aims the plan at key, keeping its scratch buffers.
+func (pl *getPlan) reset(c *Client, key []byte) {
+	kh := hashtable.KeyHash(key)
+	pl.c, pl.key, pl.kh = c, key, kh
+	pl.fp = hashtable.Fingerprint(kh)
+	pl.buckets = c.keyBuckets(kh)
+	pl.st, pl.bi, pl.ci = gBuckets, 0, 0
+	pl.cands = pl.cands[:0]
+	pl.histMatches = pl.histMatches[:0]
+	pl.stale, pl.hit = false, false
+	pl.slot, pl.dec = hashtable.Slot{}, decodedObject{}
 }
 
 func (c *Client) newGetPlan(key []byte) *getPlan {
-	kh := hashtable.KeyHash(key)
-	return &getPlan{
-		c: c, key: key, kh: kh,
-		fp:      hashtable.Fingerprint(kh),
-		buckets: c.keyBuckets(kh),
-	}
+	pl := &getPlan{}
+	pl.reset(c, key)
+	return pl
 }
 
 func (pl *getPlan) Step(eager bool) []exec.Verb {
@@ -178,17 +206,21 @@ func (pl *getPlan) Step(eager bool) []exec.Verb {
 				pl.st = gDone
 				continue
 			}
-			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
-				return pl.c.bucketVerb(pl.buckets[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.bi; i < stageEnd(eager, pl.bi, len(pl.buckets)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.bucketVerb(pl.buckets[i], bufAt(&pl.bktBuf, i)))
+			}
+			return pl.verbs
 		case gObjects:
 			if pl.ci >= len(pl.cands) {
 				pl.st = gBuckets
 				continue
 			}
-			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
-				return pl.c.objectVerb(pl.cands[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.ci; i < stageEnd(eager, pl.ci, len(pl.cands)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.objectVerb(pl.cands[i], bufAt(&pl.objBufs, i)))
+			}
+			return pl.verbs
 		default:
 			return nil
 		}
@@ -201,7 +233,8 @@ func (pl *getPlan) Absorb(res []exec.Result) {
 		for _, r := range res {
 			b := pl.buckets[pl.bi]
 			pl.bi++
-			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+			pl.decSlots = pl.c.cl.Layout.AppendBucket(pl.decSlots[:0], b, r.Data)
+			for _, s := range pl.decSlots {
 				switch {
 				case s.Atomic.IsEmpty():
 				case s.Atomic.IsHistory():
@@ -324,16 +357,51 @@ type setPlan struct {
 	swBi    int
 	swCands []hashtable.Slot
 	swi     int
+
+	// Pooled scratch, kept across reset: verb-group emission, READ
+	// delivery buffers, bucket decoding, and the extension/object-image
+	// build buffers (extBuf backs the ext passed to stage; data backs
+	// the staged WRITE and is retained until the publishing CAS).
+	verbs    []exec.Verb
+	bktBuf   [][]byte
+	objBufs  [][]byte
+	decSlots []hashtable.Slot
+	extBuf   []byte
+}
+
+// reset re-aims the plan at key/value in normal (non-migrate) mode,
+// keeping its scratch buffers.
+func (pl *setPlan) reset(c *Client, key, value []byte) {
+	kh := hashtable.KeyHash(key)
+	pl.c, pl.key, pl.value, pl.kh = c, key, value, kh
+	pl.fp = hashtable.Fingerprint(kh)
+	pl.size = objBytes(len(key), len(value), c.cl.totalExt)
+	pl.buckets = c.keyBuckets(kh)
+	pl.migrate, pl.mExt = false, nil
+	pl.mInsertTs, pl.mLastTs, pl.mFreq = 0, 0, 0
+	pl.st, pl.lastEager = sBuckets, false
+	pl.bi, pl.doneBkt, pl.ci = 0, 0, 0
+	pl.scanned = pl.scanned[:0]
+	pl.bucketSlots[0] = pl.bucketSlots[0][:0]
+	pl.bucketSlots[1] = pl.bucketSlots[1][:0]
+	pl.cands = pl.cands[:0]
+	pl.mode = pUpdate
+	pl.updSlot, pl.insSlot = hashtable.Slot{}, hashtable.Slot{}
+	pl.updDec = decodedObject{}
+	pl.haveIns = false
+	pl.now, pl.addr = 0, 0
+	pl.data = pl.data[:0]
+	pl.want = 0
+	pl.outcome = setPending
+	pl.slotAddr = 0
+	pl.swBi, pl.swi = 0, 0
+	pl.swCands = pl.swCands[:0]
 }
 
 func (c *Client) newSetPlan(key, value []byte) *setPlan {
-	kh := hashtable.KeyHash(key)
-	return &setPlan{
-		c: c, key: key, value: value, kh: kh,
-		fp:      hashtable.Fingerprint(kh),
-		size:    objBytes(len(key), len(value), c.cl.totalExt),
-		buckets: c.keyBuckets(kh),
-	}
+	pl := &setPlan{}
+	pl.reset(c, key, value)
+	return pl
 }
 
 // newMigrateSetPlan builds the insert-if-absent flavour carrying the
@@ -354,44 +422,55 @@ func (pl *setPlan) Step(eager bool) []exec.Verb {
 				pl.finishScan()
 				continue
 			}
-			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
-				return pl.c.bucketVerb(pl.buckets[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.bi; i < stageEnd(eager, pl.bi, len(pl.buckets)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.bucketVerb(pl.buckets[i], bufAt(&pl.bktBuf, i)))
+			}
+			return pl.verbs
 		case sObjects:
 			if pl.ci >= len(pl.cands) {
 				pl.st = sBuckets
 				continue
 			}
-			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
-				return pl.c.objectVerb(pl.cands[i].slot)
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.ci; i < stageEnd(eager, pl.ci, len(pl.cands)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.objectVerb(pl.cands[i].slot, bufAt(&pl.objBufs, i)))
+			}
+			return pl.verbs
 		case sWrite:
-			return []exec.Verb{{EP: pl.c.ep, Op: rdma.BatchOp{
+			pl.verbs = append(pl.verbs[:0], exec.Verb{EP: pl.c.ep, Op: rdma.BatchOp{
 				Kind: rdma.BatchWrite, Addr: pl.addr, Data: pl.data,
-			}}}
+			}})
+			return pl.verbs
 		case sCAS:
 			target := pl.insSlot
 			if pl.mode == pUpdate {
 				target = pl.updSlot
 			}
-			return []exec.Verb{casVerb(pl.c, target.Addr, target.Atomic, pl.want)}
+			pl.verbs = append(pl.verbs[:0], casVerb(pl.c, target.Addr, target.Atomic, pl.want))
+			return pl.verbs
 		case sSweepBuckets:
 			if pl.swBi >= len(pl.buckets) {
 				pl.outcome = setDone // no duplicate: the insert stands
 				pl.st = sDone
 				continue
 			}
-			return stageVerbs(eager, pl.swBi, len(pl.buckets), func(i int) exec.Verb {
-				return pl.c.bucketVerb(pl.buckets[i])
-			})
+			// Migrate-mode only (cold): no plan-owned delivery buffer.
+			pl.verbs = pl.verbs[:0]
+			for i := pl.swBi; i < stageEnd(eager, pl.swBi, len(pl.buckets)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.bucketVerb(pl.buckets[i], nil))
+			}
+			return pl.verbs
 		case sSweepObjects:
 			if pl.swi >= len(pl.swCands) {
 				pl.st = sSweepBuckets
 				continue
 			}
-			return stageVerbs(eager, pl.swi, len(pl.swCands), func(i int) exec.Verb {
-				return pl.c.objectVerb(pl.swCands[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.swi; i < stageEnd(eager, pl.swi, len(pl.swCands)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.objectVerb(pl.swCands[i], nil))
+			}
+			return pl.verbs
 		default:
 			return nil
 		}
@@ -403,7 +482,7 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 	case sBuckets:
 		for _, r := range res {
 			b := pl.buckets[pl.bi]
-			slots := pl.c.cl.Layout.DecodeBucket(b, r.Data)
+			slots := pl.c.cl.Layout.AppendBucket(pl.bucketSlots[pl.bi][:0], b, r.Data)
 			pl.bucketSlots[pl.bi] = slots
 			pl.scanned = append(pl.scanned, slots...)
 			for i := range slots {
@@ -477,7 +556,8 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 		for _, r := range res {
 			b := pl.buckets[pl.swBi]
 			pl.swBi++
-			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+			pl.decSlots = pl.c.cl.Layout.AppendBucket(pl.decSlots[:0], b, r.Data)
+			for _, s := range pl.decSlots {
 				if s.Addr == pl.slotAddr || s.Atomic.IsEmpty() || s.Atomic.IsHistory() ||
 					s.Atomic.FP() != pl.fp {
 					continue
@@ -604,17 +684,21 @@ func (pl *setPlan) stage(fp byte) {
 	var ext []byte
 	switch {
 	case pl.mode == pUpdate:
-		ext = c.updateExt(pl.updSlot, pl.updDec, pl.size, pl.now)
+		pl.extBuf = c.updateExt(pl.extBuf, pl.updSlot, pl.updDec, pl.size, pl.now)
+		ext = pl.extBuf
 	case pl.migrate:
 		// The extension layout matches across nodes (same expert list), so
 		// the old node's expert metadata transfers verbatim; pad or trim
 		// defensively in case configurations ever diverge.
-		ext = make([]byte, c.cl.totalExt)
-		copy(ext, pl.mExt)
+		pl.extBuf = grow(pl.extBuf, c.cl.totalExt)
+		n := copy(pl.extBuf, pl.mExt)
+		clear(pl.extBuf[n:])
+		ext = pl.extBuf
 	default:
-		ext = c.initExts(pl.size, pl.now)
+		pl.extBuf = c.initExts(pl.extBuf, pl.size, pl.now)
+		ext = pl.extBuf
 	}
-	pl.data = encodeObject(pl.key, pl.value, ext)
+	pl.data = encodeObjectInto(pl.data, pl.key, pl.value, ext)
 	pl.want = hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(pl.size), pl.addr)
 	pl.st = sWrite
 }
@@ -650,15 +734,30 @@ type delPlan struct {
 	mi      int
 
 	deleted bool
+
+	// Pooled scratch, kept across reset (see getPlan).
+	verbs    []exec.Verb
+	bktBuf   [][]byte
+	objBufs  [][]byte
+	decSlots []hashtable.Slot
+}
+
+// reset re-aims the plan at key, keeping its scratch buffers.
+func (pl *delPlan) reset(c *Client, key []byte) {
+	kh := hashtable.KeyHash(key)
+	pl.c, pl.key, pl.kh = c, key, kh
+	pl.fp = hashtable.Fingerprint(kh)
+	pl.buckets = c.keyBuckets(kh)
+	pl.st, pl.bi, pl.ci, pl.mi = dBuckets, 0, 0, 0
+	pl.cands = pl.cands[:0]
+	pl.matches = pl.matches[:0]
+	pl.deleted = false
 }
 
 func (c *Client) newDelPlan(key []byte) *delPlan {
-	kh := hashtable.KeyHash(key)
-	return &delPlan{
-		c: c, key: key, kh: kh,
-		fp:      hashtable.Fingerprint(kh),
-		buckets: c.keyBuckets(kh),
-	}
+	pl := &delPlan{}
+	pl.reset(c, key)
+	return pl
 }
 
 func (pl *delPlan) Step(eager bool) []exec.Verb {
@@ -673,25 +772,31 @@ func (pl *delPlan) Step(eager bool) []exec.Verb {
 				pl.st = dDone
 				continue
 			}
-			return stageVerbs(eager, pl.bi, len(pl.buckets), func(i int) exec.Verb {
-				return pl.c.bucketVerb(pl.buckets[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.bi; i < stageEnd(eager, pl.bi, len(pl.buckets)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.bucketVerb(pl.buckets[i], bufAt(&pl.bktBuf, i)))
+			}
+			return pl.verbs
 		case dObjects:
 			if pl.ci >= len(pl.cands) {
 				pl.st = dBuckets
 				continue
 			}
-			return stageVerbs(eager, pl.ci, len(pl.cands), func(i int) exec.Verb {
-				return pl.c.objectVerb(pl.cands[i])
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.ci; i < stageEnd(eager, pl.ci, len(pl.cands)); i++ {
+				pl.verbs = append(pl.verbs, pl.c.objectVerb(pl.cands[i], bufAt(&pl.objBufs, i)))
+			}
+			return pl.verbs
 		case dCAS:
 			if pl.mi >= len(pl.matches) {
 				pl.st = dObjects // lazy: resume the candidate scan where it left off
 				continue
 			}
-			return stageVerbs(eager, pl.mi, len(pl.matches), func(i int) exec.Verb {
-				return casVerb(pl.c, pl.matches[i].Addr, pl.matches[i].Atomic, 0)
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.mi; i < stageEnd(eager, pl.mi, len(pl.matches)); i++ {
+				pl.verbs = append(pl.verbs, casVerb(pl.c, pl.matches[i].Addr, pl.matches[i].Atomic, 0))
+			}
+			return pl.verbs
 		default:
 			return nil
 		}
@@ -704,7 +809,8 @@ func (pl *delPlan) Absorb(res []exec.Result) {
 		for _, r := range res {
 			b := pl.buckets[pl.bi]
 			pl.bi++
-			for _, s := range pl.c.cl.Layout.DecodeBucket(b, r.Data) {
+			pl.decSlots = pl.c.cl.Layout.AppendBucket(pl.decSlots[:0], b, r.Data)
+			for _, s := range pl.decSlots {
 				if s.Atomic.IsEmpty() || s.Atomic.IsHistory() || s.Atomic.FP() != pl.fp {
 					continue
 				}
@@ -796,6 +902,13 @@ type evictPlan struct {
 	histID uint64
 
 	outcome int
+
+	// Pooled scratch, kept across reset: verb-group emission, sample and
+	// extension READ delivery buffers, and the per-expert nominee list.
+	verbs   []exec.Verb
+	sampBuf [][]byte
+	extBufs [][]byte
+	nomBuf  []int
 }
 
 // newEvictPlan draws the attempt's randomness (window start, then the
@@ -806,20 +919,42 @@ type evictPlan struct {
 // is captured here too, so time-dependent experts (LRFU, Hyperbolic)
 // rank candidates identically under either strategy.
 func (c *Client) newEvictPlan() *evictPlan {
-	pl := &evictPlan{
-		c:      c,
-		k:      c.cl.opts.SampleK,
-		window: c.evictWindow(),
-		now:    c.p.Now(),
-	}
+	pl := &evictPlan{}
+	pl.reset(c)
+	return pl
+}
+
+// reset re-draws the attempt's randomness in construction order (window
+// start, then deciding expert — pooling must consume the client RNG
+// exactly as a fresh plan would) and rebuilds the sample verbs into the
+// plan's scratch.
+func (pl *evictPlan) reset(c *Client) {
+	pl.c = c
+	pl.k = c.cl.opts.SampleK
+	pl.window = c.evictWindow()
+	pl.now = c.p.Now()
+	pl.st = evSample
+	pl.ei = 0
+	pl.slots = pl.slots[:0]
+	pl.cands = pl.cands[:0]
+	pl.victim = candidate{}
+	pl.bitmap = 0
+	pl.prio = pl.prio[:0]
+	pl.histID = 0
+	pl.outcome = evictPending
 	n := c.cl.Layout.NumSlots()
 	pl.start = c.p.Rand().Intn(n)
+	pl.deciding = 0
 	if c.adapt != nil {
 		pl.deciding = c.adapt.PickExpert(c.p.Rand())
 	}
 	pl.fullScan = pl.window >= n
-	pl.sampleOps = c.cl.Layout.SampleOps(pl.start, pl.window)
-	return pl
+	pl.sampleOps = c.cl.Layout.AppendSampleOps(pl.sampleOps[:0], pl.start, pl.window)
+	for i := range pl.sampleOps {
+		b := bufAt(&pl.sampBuf, i)
+		*b = grow(*b, pl.sampleOps[i].Len)
+		pl.sampleOps[i].Buf = *b
+	}
 }
 
 // evictWindow sizes the sample READ so that ~SampleK live objects are
@@ -859,39 +994,48 @@ func (pl *evictPlan) Step(eager bool) []exec.Verb {
 			// No short-circuit between the (at most two) wrap-around READs:
 			// emit them as one group under either traversal, exactly as the
 			// synchronous Sample issues them back to back.
-			vs := make([]exec.Verb, len(pl.sampleOps))
-			for i, op := range pl.sampleOps {
-				vs[i] = exec.Verb{EP: pl.c.ep, Op: op}
+			pl.verbs = pl.verbs[:0]
+			for _, op := range pl.sampleOps {
+				pl.verbs = append(pl.verbs, exec.Verb{EP: pl.c.ep, Op: op})
 			}
-			return vs
+			return pl.verbs
 		case evExt:
 			if pl.ei >= len(pl.cands) {
 				pl.nominate()
 				continue
 			}
-			return stageVerbs(eager, pl.ei, len(pl.cands), func(i int) exec.Verb {
-				return exec.Verb{EP: pl.c.ep, Op: pl.c.extReadOp(pl.cands[i].slot)}
-			})
+			pl.verbs = pl.verbs[:0]
+			for i := pl.ei; i < stageEnd(eager, pl.ei, len(pl.cands)); i++ {
+				op := pl.c.extReadOp(pl.cands[i].slot)
+				b := bufAt(&pl.extBufs, i)
+				*b = grow(*b, op.Len)
+				op.Buf = *b
+				pl.verbs = append(pl.verbs, exec.Verb{EP: pl.c.ep, Op: op})
+			}
+			return pl.verbs
 		case evFAA:
-			return []exec.Verb{{EP: pl.c.ep, Op: pl.c.hist.NextIDOp()}}
+			pl.verbs = append(pl.verbs[:0], exec.Verb{EP: pl.c.ep, Op: pl.c.hist.NextIDOp()})
+			return pl.verbs
 		case evCAS:
 			swap := hashtable.AtomicField(0)
 			if pl.c.adapt != nil {
 				swap = history.EntryFor(pl.victim.slot, pl.histID)
 			}
-			return []exec.Verb{casVerb(pl.c, pl.victim.slot.Addr, pl.victim.slot.Atomic, swap)}
+			pl.verbs = append(pl.verbs[:0], casVerb(pl.c, pl.victim.slot.Addr, pl.victim.slot.Atomic, swap))
+			return pl.verbs
 		case evLWH:
-			// DisableLWH ablation: a conventional remote FIFO history costs
-			// an actual queue enqueue — FAA the tail, WRITE the entry.
-			return []exec.Verb{
-				{EP: pl.c.ep, Op: rdma.BatchOp{
+			// DisableLWH ablation (cold): a conventional remote FIFO history
+			// costs an actual queue enqueue — FAA the tail, WRITE the entry.
+			pl.verbs = append(pl.verbs[:0],
+				exec.Verb{EP: pl.c.ep, Op: rdma.BatchOp{
 					Kind: rdma.BatchFAA, Addr: memnode.HistCounterAddr + 8, Delta: 1,
 				}},
-				{EP: pl.c.ep, Op: rdma.BatchOp{
+				exec.Verb{EP: pl.c.ep, Op: rdma.BatchOp{
 					Kind: rdma.BatchWrite, Addr: memnode.HistCounterAddr + 16,
+					//dittolint:allow hotalloc (DisableLWH ablation branch: cold, runs only with the flag set)
 					Data: make([]byte, 40),
-				}},
-			}
+				}})
+			return pl.verbs
 		default:
 			return nil
 		}
@@ -903,8 +1047,7 @@ func (pl *evictPlan) Absorb(res []exec.Result) {
 	switch pl.st {
 	case evSample:
 		for i, r := range res {
-			pl.slots = append(pl.slots,
-				c.cl.Layout.DecodeSlots(pl.sampleOps[i].Addr, r.Data)...)
+			pl.slots = c.cl.Layout.AppendSlots(pl.slots, pl.sampleOps[i].Addr, r.Data)
 		}
 		c.Stats.SampledSlots += int64(len(pl.slots))
 		for _, s := range pl.slots {
@@ -962,8 +1105,12 @@ func (pl *evictPlan) nominate() {
 		pl.cands = pl.cands[:pl.k]
 	}
 	now := pl.now
-	nominee := make([]int, len(c.experts))
-	pl.prio = make([]float64, len(c.experts))
+	pl.nomBuf, pl.prio = pl.nomBuf[:0], pl.prio[:0]
+	for range c.experts {
+		pl.nomBuf = append(pl.nomBuf, 0)
+		pl.prio = append(pl.prio, 0)
+	}
+	nominee := pl.nomBuf
 	for e, a := range c.experts {
 		best, bestP := -1, 0.0
 		for i := range pl.cands {
@@ -1072,6 +1219,7 @@ func (pl *migratePlan) Step(eager bool) []exec.Verb {
 		return nil
 	}
 	pl.st = 1
+	//dittolint:allow hotalloc (migrate plans are cold-path resharder work and are not pooled — see pool.go)
 	return []exec.Verb{casVerb(pl.src, pl.s.Addr, pl.s.Atomic, 0)}
 }
 

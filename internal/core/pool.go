@@ -1,0 +1,108 @@
+package core
+
+// Plan pooling: the zero-allocation hot path.
+//
+// Every Get/Set/Delete attempt used to allocate its plan object, its
+// per-stage verb group, the READ buffers the verbs delivered into, and
+// the decoded-slot scratch — all of it dead the moment the operation
+// returned. Each client now keeps free lists of finished plan objects
+// and reuses every buffer they own. The lifecycle is
+//
+//	acquire → reset → run → release
+//
+// with two rules the correctness of buffer reuse hangs on:
+//
+//  1. A plan is released only after the driver has consumed everything
+//     that may alias its buffers — the decoded value views, the scanned
+//     slots, the history matches. Under doorbell execution an identical
+//     READ is issued once and fanned out, so one plan's result can alias
+//     ANOTHER plan's buffer; batch drivers therefore release their plans
+//     only after the whole batch's outputs are consumed.
+//  2. reset re-draws any construction-time randomness in the same order
+//     as a fresh plan would (see newEvictPlan), so pooling is invisible
+//     to the deterministic simulation.
+//
+// Migrate-mode set plans (the resharder's insert-if-absent) are NOT
+// pooled: they are cold-path, long-lived, and owned by transient
+// clients.
+
+// grow returns buf resized to n bytes, reusing its capacity when it
+// suffices. The contents are unspecified — callers must fully overwrite
+// (READ delivery does) or clear the returned slice.
+func grow(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+// bufAt returns a pointer to the i-th buffer of a grow-only buffer
+// list, extending the list as needed. Plans use one list entry per verb
+// index so concurrent in-flight READs of one stage never share a
+// delivery buffer.
+func bufAt(bufs *[][]byte, i int) *[]byte {
+	for len(*bufs) <= i {
+		*bufs = append(*bufs, nil)
+	}
+	return &(*bufs)[i]
+}
+
+func (c *Client) acquireGetPlan(key []byte) *getPlan {
+	var pl *getPlan
+	if n := len(c.freeGet); n > 0 {
+		pl, c.freeGet = c.freeGet[n-1], c.freeGet[:n-1]
+	} else {
+		pl = &getPlan{}
+	}
+	pl.reset(c, key)
+	return pl
+}
+
+func (c *Client) releaseGetPlan(pl *getPlan) {
+	c.freeGet = append(c.freeGet, pl)
+}
+
+func (c *Client) acquireSetPlan(key, value []byte) *setPlan {
+	var pl *setPlan
+	if n := len(c.freeSet); n > 0 {
+		pl, c.freeSet = c.freeSet[n-1], c.freeSet[:n-1]
+	} else {
+		pl = &setPlan{}
+	}
+	pl.reset(c, key, value)
+	return pl
+}
+
+func (c *Client) releaseSetPlan(pl *setPlan) {
+	c.freeSet = append(c.freeSet, pl)
+}
+
+func (c *Client) acquireDelPlan(key []byte) *delPlan {
+	var pl *delPlan
+	if n := len(c.freeDel); n > 0 {
+		pl, c.freeDel = c.freeDel[n-1], c.freeDel[:n-1]
+	} else {
+		pl = &delPlan{}
+	}
+	pl.reset(c, key)
+	return pl
+}
+
+func (c *Client) releaseDelPlan(pl *delPlan) {
+	c.freeDel = append(c.freeDel, pl)
+}
+
+func (c *Client) acquireEvictPlan() *evictPlan {
+	var pl *evictPlan
+	if n := len(c.freeEv); n > 0 {
+		pl, c.freeEv = c.freeEv[n-1], c.freeEv[:n-1]
+	} else {
+		pl = &evictPlan{}
+	}
+	pl.reset(c)
+	return pl
+}
+
+func (c *Client) releaseEvictPlan(pl *evictPlan) {
+	c.freeEv = append(c.freeEv, pl)
+}

@@ -146,7 +146,7 @@ func (mc *MultiCluster) installEvictHook(id int, cl *Cluster) {
 // to drainPromotions at the next operation boundary.
 func (m *MultiClient) noteHotCandidate(key []byte, freq uint64) {
 	mc := m.mc
-	if freq < mc.HotThreshold || mc.oldRing != nil || mc.NumNodes() < 2 {
+	if freq < mc.HotThreshold || mc.snap().oldRing != nil || mc.NumNodes() < 2 {
 		return
 	}
 	if mc.hot.Lookup(key) != nil || len(m.promo) >= promoQueueCap {
@@ -178,7 +178,7 @@ func (m *MultiClient) drainPromotions() {
 // switch lands mid-materialization.
 func (m *MultiClient) promote(key []byte) {
 	mc := m.mc
-	if mc.oldRing != nil || mc.hot.Lookup(key) != nil {
+	if mc.snap().oldRing != nil || mc.hot.Lookup(key) != nil {
 		return
 	}
 	// Capture the epoch BEFORE deriving the successor list: everything
@@ -188,8 +188,9 @@ func (m *MultiClient) promote(key []byte) {
 	// post-switch epoch over pre-switch owners would evade both that
 	// check and the resharder's window-opening sweep, putting replica
 	// copies in front of the migration scan.
-	epoch := mc.epoch
-	owners := mc.hashRing.OwnersN(ring.Point(hashtable.KeyHash(key)), 1+mc.ReplicaFactor)
+	route := mc.snap()
+	epoch := route.epoch
+	owners := route.hashRing.OwnersN(ring.Point(hashtable.KeyHash(key)), 1+mc.ReplicaFactor)
 	if len(owners) < 2 {
 		return // single-node pool: nothing to spread to
 	}
@@ -206,7 +207,7 @@ func (m *MultiClient) promote(key []byte) {
 	}
 	// The demotions above may have yielded: re-validate before the
 	// atomic (yield-free) check-and-insert.
-	if mc.oldRing != nil || mc.epoch != epoch {
+	if cur := mc.snap(); cur.oldRing != nil || cur.epoch != epoch {
 		return
 	}
 	e := &hotset.Entry{
@@ -237,7 +238,7 @@ func (m *MultiClient) promote(key []byte) {
 		m.demoteLocked(e)
 		return
 	}
-	if e.Epoch != mc.epoch {
+	if e.Epoch != mc.snap().epoch {
 		// A reshard window opened mid-materialization: the copies sit on
 		// successors of a ring that is already being replaced. Take them
 		// back rather than publish a stale entry.
@@ -265,7 +266,7 @@ func (m *MultiClient) getSpread(key []byte) (val []byte, ok, served bool) {
 	if e == nil {
 		return nil, false, false
 	}
-	if e.Epoch != mc.epoch || mc.oldRing != nil {
+	if s := mc.snap(); e.Epoch != s.epoch || s.oldRing != nil {
 		m.demoteKey(key) // ring moved under the replica set
 		return nil, false, false
 	}
@@ -319,7 +320,7 @@ func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int
 			remaining = append(remaining, i)
 			continue
 		}
-		if e.Epoch != mc.epoch || mc.oldRing != nil || e.Evicted {
+		if s := mc.snap(); e.Epoch != s.epoch || s.oldRing != nil || e.Evicted {
 			m.demoteKey(keys[i])
 			remaining = append(remaining, i)
 			continue
@@ -339,10 +340,14 @@ func (m *MultiClient) mgetSpread(keys [][]byte, vals [][]byte, oks []bool) []int
 		}
 		groups[target] = append(groups[target], i)
 	}
-	for _, node := range sortedNodeIDs(groups) {
-		missed, ran := m.mgetGroup(node, groups[node], keys, vals, oks, true)
+	for _, node := range mc.snap().fanoutOrder(groups) {
+		idxs, ok := groups[node]
+		if !ok {
+			continue
+		}
+		missed, ran := m.mgetGroup(node, idxs, keys, vals, oks, true)
 		if ran {
-			mc.SpreadReads += int64(len(groups[node]) - len(missed))
+			mc.SpreadReads += int64(len(idxs) - len(missed))
 		}
 		remaining = append(remaining, missed...)
 	}
@@ -361,7 +366,8 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) error {
 	mc := m.mc
 	// An Evicted entry counts as stale: its primary copy is gone, so the
 	// copy set must be dissolved before this write lands unreplicated.
-	stale := e.Epoch != mc.epoch || mc.oldRing != nil || e.Evicted
+	route := mc.snap()
+	stale := e.Epoch != route.epoch || route.oldRing != nil || e.Evicted
 	e.Writes++
 	writeHeavy := e.Writes >= demoteMinWrites && e.Writes > demoteWriteReadRatio*e.Reads
 	if stale || writeHeavy {
@@ -567,7 +573,7 @@ func (m *MultiClient) resyncAfterWrite(key []byte) error {
 	if e == nil {
 		return nil
 	}
-	if e.Epoch != m.mc.epoch || m.mc.oldRing != nil || e.Evicted {
+	if s := m.mc.snap(); e.Epoch != s.epoch || s.oldRing != nil || e.Evicted {
 		m.demoteLocked(e)
 		return nil
 	}

@@ -126,7 +126,7 @@ func RunSerial(p Plan) {
 func issueSync(v Verb) Result {
 	switch v.Op.Kind {
 	case rdma.BatchRead:
-		return Result{Data: v.EP.Read(v.Op.Addr, v.Op.Len)}
+		return Result{Data: v.EP.ReadInto(v.Op.Addr, v.Op.Len, v.Op.Buf)}
 	case rdma.BatchWrite:
 		v.EP.Write(v.Op.Addr, v.Op.Data)
 		return Result{}
@@ -137,6 +137,73 @@ func issueSync(v Verb) Result {
 		return Result{Old: v.EP.FAA(v.Op.Addr, v.Op.Delta)}
 	}
 	panic("exec: unknown verb kind")
+}
+
+// Runner is the pooled form of Run: one per client (or reclaimer), so
+// its scratch is single-proc-owned and steady-state execution allocates
+// nothing. The free functions Run/RunSerial/RunDoorbell remain as the
+// allocate-per-call form for tests and cold paths.
+//
+// Plans driven through a Runner must not retain the []Result slice
+// passed to Absorb past the Absorb call — it is recycled for the next
+// stage. (Result.Data buffers are not recycled by the runner; their
+// lifetime is whatever the plan arranged via BatchOp.Buf.)
+type Runner struct {
+	Serial   SerialRunner
+	Doorbell DoorbellRunner
+	one      [1]Plan
+}
+
+// RunOne drives a single plan under the strategy, like Run(s, p) but
+// through the pooled runners.
+func (r *Runner) RunOne(s Strategy, p Plan) {
+	if s == Doorbell {
+		r.one[0] = p
+		r.Doorbell.Run(r.one[:])
+		r.one[0] = nil
+		return
+	}
+	r.Serial.Run(p)
+}
+
+// RunPlans drives a set of plans under the strategy, like Run(s,
+// plans...) but through the pooled runners.
+func (r *Runner) RunPlans(s Strategy, plans []Plan) {
+	if s == Doorbell {
+		r.Doorbell.Run(plans)
+		return
+	}
+	for _, p := range plans {
+		r.Serial.Run(p)
+	}
+}
+
+// SerialRunner is RunSerial with a stack of reusable per-stage result
+// buffers. The stack makes it re-entrant: an Absorb that starts a nested
+// serial run (a Set falling into inline eviction) pops its own buffers
+// and returns them before the outer stage resumes.
+type SerialRunner struct {
+	free [][]Result
+}
+
+// Run drives one plan to completion as RunSerial does, without the
+// per-stage allocation.
+func (r *SerialRunner) Run(p Plan) {
+	for {
+		vs := p.Step(false)
+		if len(vs) == 0 {
+			return
+		}
+		var res []Result
+		if n := len(r.free); n > 0 {
+			res, r.free = r.free[n-1][:0], r.free[:n-1]
+		}
+		for _, v := range vs {
+			res = append(res, issueSync(v))
+		}
+		p.Absorb(res)
+		r.free = append(r.free, res)
+	}
 }
 
 // slot maps one plan verb to its position in an endpoint batch.
@@ -229,4 +296,126 @@ func RunDoorbell(plans []Plan) {
 		}
 		active = next
 	}
+}
+
+// dbPending is one plan's share of a pooled doorbell round: its verbs
+// occupy slots [lo, hi) of the runner's slot arena. Ranges (not
+// subslices) because the arena may grow while later plans append.
+type dbPending struct {
+	plan   Plan
+	lo, hi int
+}
+
+// DoorbellRunner is RunDoorbell with every piece of round state —
+// the active set, the per-endpoint batches and their result slices, the
+// slot arena, the post list — retained across runs, so a steady-state
+// round allocates nothing (results land in place via
+// rdma.PostMultiInPlace). Re-entrant runs (an Absorb that falls into
+// doorbell-strategy eviction) take the classic allocating path rather
+// than clobbering the in-flight round's state.
+type DoorbellRunner struct {
+	busy    bool
+	active  []Plan
+	round   []dbPending
+	order   []*epBatch
+	batches map[*rdma.Endpoint]*epBatch
+	freeEB  []*epBatch
+	posts   []rdma.EndpointBatch
+	slots   []slot
+	res     []Result
+}
+
+// Run drives the plans exactly as RunDoorbell does — same rounds, same
+// dedup, same posting order — reusing the runner's scratch.
+func (r *DoorbellRunner) Run(plans []Plan) {
+	if r.busy {
+		RunDoorbell(plans)
+		return
+	}
+	r.busy = true
+	//dittolint:allow hotalloc (deferred busy-reset closure is open-coded by the compiler and stack-allocated; kept for panic safety)
+	defer func() { r.busy = false }()
+	if r.batches == nil {
+		//dittolint:allow hotalloc (once-per-runner lazy init, not per call)
+		r.batches = make(map[*rdma.Endpoint]*epBatch)
+	}
+	r.active = append(r.active[:0], plans...)
+	active := r.active
+	for len(active) > 0 {
+		r.round = r.round[:0]
+		r.slots = r.slots[:0]
+		r.freeEB = append(r.freeEB, r.order...)
+		r.order = r.order[:0]
+		clear(r.batches)
+		next := active[:0]
+		for _, p := range active {
+			vs := p.Step(true)
+			if len(vs) == 0 {
+				continue // plan finished
+			}
+			lo := len(r.slots)
+			for _, v := range vs {
+				b := r.batches[v.EP]
+				if b == nil {
+					b = r.getEpBatch(v.EP)
+					r.batches[v.EP] = b
+					r.order = append(r.order, b)
+				}
+				if v.Op.Kind == rdma.BatchRead {
+					k := readKey{addr: v.Op.Addr, len: v.Op.Len}
+					if j, seen := b.reads[k]; seen {
+						r.slots = append(r.slots, slot{ep: v.EP, idx: j})
+						continue
+					}
+					b.reads[k] = len(b.ops)
+				}
+				r.slots = append(r.slots, slot{ep: v.EP, idx: len(b.ops)})
+				b.ops = append(b.ops, v.Op)
+			}
+			r.round = append(r.round, dbPending{plan: p, lo: lo, hi: len(r.slots)})
+			next = append(next, p)
+		}
+		if len(r.round) == 0 {
+			break
+		}
+		r.posts = r.posts[:0]
+		for _, b := range r.order {
+			r.posts = append(r.posts, rdma.EndpointBatch{EP: b.ep, Ops: b.ops, Res: b.res[:0]})
+		}
+		rdma.PostMultiInPlace(r.posts)
+		for i, b := range r.order {
+			b.res = r.posts[i].Res
+		}
+		for _, pd := range r.round {
+			res := r.res[:0]
+			for _, s := range r.slots[pd.lo:pd.hi] {
+				res = append(res, r.batches[s.ep].res[s.idx])
+			}
+			pd.plan.Absorb(res)
+			r.res = res[:0]
+		}
+		active = next
+	}
+	// Drop plan references so finished plans are not pinned by the
+	// runner between operations (they go back to the caller's pool).
+	clear(r.active[:cap(r.active)])
+	r.active = r.active[:0]
+	for i := range r.round {
+		r.round[i].plan = nil
+	}
+}
+
+// getEpBatch recycles an endpoint batch from the free list or makes one.
+func (r *DoorbellRunner) getEpBatch(ep *rdma.Endpoint) *epBatch {
+	if n := len(r.freeEB); n > 0 {
+		b := r.freeEB[n-1]
+		r.freeEB = r.freeEB[:n-1]
+		b.ep = ep
+		b.ops = b.ops[:0]
+		b.res = b.res[:0]
+		clear(b.reads)
+		return b
+	}
+	//dittolint:allow hotalloc (free-list miss: pool growth, amortized to zero at steady state)
+	return &epBatch{ep: ep, reads: make(map[readKey]int)}
 }

@@ -76,6 +76,7 @@ type Cache struct {
 	flush         FlushFunc
 	entries       map[uint64]*entry
 	order         entryHeap
+	free          []*entry // recycled entries: steady-state Add/evict churn allocates nothing
 	usedBytes     int
 	seq           int64
 
@@ -136,7 +137,14 @@ func (c *Cache) Add(addr uint64, idBytes int) {
 		}
 		return
 	}
-	e := &entry{addr: addr, delta: 1, insertAt: c.seq, bytes: idBytes + entryOverhead}
+	var e *entry
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free = c.free[:n-1]
+		*e = entry{addr: addr, delta: 1, insertAt: c.seq, bytes: idBytes + entryOverhead}
+	} else {
+		e = &entry{addr: addr, delta: 1, insertAt: c.seq, bytes: idBytes + entryOverhead}
+	}
 	c.entries[addr] = e
 	heap.Push(&c.order, e)
 	c.usedBytes += e.bytes
@@ -164,7 +172,9 @@ func (c *Cache) evict(e *entry) {
 	delete(c.entries, e.addr)
 	c.usedBytes -= e.bytes
 	c.Flushes++
-	c.flush(e.addr, e.delta)
+	addr, delta := e.addr, e.delta
+	c.free = append(c.free, e)
+	c.flush(addr, delta)
 }
 
 // FlushAll drains every buffered entry (used at client shutdown and by
@@ -198,5 +208,6 @@ func (c *Cache) Forget(addr uint64) {
 		heap.Remove(&c.order, e.index)
 		delete(c.entries, addr)
 		c.usedBytes -= e.bytes
+		c.free = append(c.free, e)
 	}
 }

@@ -23,7 +23,6 @@ package hashtable
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
@@ -84,12 +83,23 @@ func (l Layout) BucketAddr(b int) uint64 {
 	return l.Base + uint64(b*l.SlotsPerBucket)*SlotBytes
 }
 
+// FNV-1a 64-bit parameters (hash/fnv's constants, inlined so the hot
+// path avoids the hash.Hash64 interface allocation per call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // KeyHash hashes an object ID (FNV-1a, 64-bit). Bits are split between the
-// bucket index (low), and the fingerprint (high).
+// bucket index (low), and the fingerprint (high). Every Get/Set/route
+// decision hashes its key, so this is computed inline rather than through
+// hash/fnv, whose constructor allocates; the values are identical.
 func KeyHash(key []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(key)
-	v := h.Sum64()
+	v := uint64(fnvOffset64)
+	for _, b := range key {
+		v ^= uint64(b)
+		v *= fnvPrime64
+	}
 	if v == 0 {
 		v = 1 // reserve 0 so empty metadata is never a valid hash
 	}
@@ -217,6 +227,14 @@ func put64(b []byte, v uint64) {
 type Handle struct {
 	Layout Layout
 	EP     *rdma.Endpoint
+
+	// wbuf backs the small asynchronous metadata writes (WriteMetaOnInsert,
+	// TouchLastTs, WriteExpertBitmap). Reuse is safe because WriteAsync
+	// applies its payload before returning (see rdma.Endpoint.WriteAsync) —
+	// and a Handle belongs to one sim process, so no concurrent writer
+	// exists. This removes a heap allocation from every metadata update on
+	// the Get/Set fast path.
+	wbuf [32]byte
 }
 
 // NewHandle binds a client endpoint to a table layout.
@@ -238,12 +256,17 @@ func (l Layout) BucketReadOp(b int) rdma.BatchOp {
 // DecodeBucket decodes a bucket image fetched by any read path (a
 // synchronous READ or a doorbell batch) into slots, as ReadBucket would.
 func (l Layout) DecodeBucket(b int, raw []byte) []Slot {
+	return l.AppendBucket(nil, b, raw)
+}
+
+// AppendBucket is DecodeBucket appending into dst — the allocation-free
+// form pooled verb plans use with a plan-owned scratch slice.
+func (l Layout) AppendBucket(dst []Slot, b int, raw []byte) []Slot {
 	base := l.BucketAddr(b)
-	slots := make([]Slot, l.SlotsPerBucket)
-	for i := range slots {
-		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
+	for i := 0; i < l.SlotsPerBucket; i++ {
+		dst = append(dst, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
 	}
-	return slots
+	return dst
 }
 
 // ReadBucket fetches bucket b with one RDMA_READ and decodes its slots.
@@ -286,6 +309,12 @@ func (h *Handle) ReadSlot(addr uint64) Slot {
 // plan that posts the same reads inside doorbell batches; decode each
 // completion with DecodeSlots.
 func (l Layout) SampleOps(startIdx, k int) []rdma.BatchOp {
+	return l.AppendSampleOps(nil, startIdx, k)
+}
+
+// AppendSampleOps is SampleOps appending into dst — the allocation-free
+// form pooled verb plans use with a plan-owned scratch slice.
+func (l Layout) AppendSampleOps(dst []rdma.BatchOp, startIdx, k int) []rdma.BatchOp {
 	n := l.NumSlots()
 	if k > n {
 		k = n
@@ -295,25 +324,30 @@ func (l Layout) SampleOps(startIdx, k int) []rdma.BatchOp {
 	if startIdx+k > n {
 		first = n - startIdx
 	}
-	ops := []rdma.BatchOp{{
+	dst = append(dst, rdma.BatchOp{
 		Kind: rdma.BatchRead, Addr: l.SlotAddr(startIdx), Len: first * SlotBytes,
-	}}
+	})
 	if rest := k - first; rest > 0 {
-		ops = append(ops, rdma.BatchOp{
+		dst = append(dst, rdma.BatchOp{
 			Kind: rdma.BatchRead, Addr: l.SlotAddr(0), Len: rest * SlotBytes,
 		})
 	}
-	return ops
+	return dst
 }
 
 // DecodeSlots decodes a run of consecutive slot images fetched from base
 // by any read path (a synchronous READ or a doorbell batch).
 func (l Layout) DecodeSlots(base uint64, raw []byte) []Slot {
-	slots := make([]Slot, len(raw)/SlotBytes)
-	for i := range slots {
-		slots[i] = decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes])
+	return l.AppendSlots(nil, base, raw)
+}
+
+// AppendSlots is DecodeSlots appending into dst — the allocation-free
+// form pooled verb plans use with a plan-owned scratch slice.
+func (l Layout) AppendSlots(dst []Slot, base uint64, raw []byte) []Slot {
+	for i := 0; i < len(raw)/SlotBytes; i++ {
+		dst = append(dst, decodeSlot(base+uint64(i*SlotBytes), raw[i*SlotBytes:(i+1)*SlotBytes]))
 	}
-	return slots
+	return dst
 }
 
 // Sample fetches k consecutive slots starting at a random slot index with
@@ -339,7 +373,7 @@ func (h *Handle) CASAtomic(slotAddr uint64, expect, swap AtomicField) (AtomicFie
 // design — and the freq with a second write folded into the same message in
 // practice; we charge it as part of the same 32-byte write.
 func (h *Handle) WriteMetaOnInsert(slotAddr uint64, hash uint64, insertTs, lastTs int64, freq uint64) {
-	buf := make([]byte, 32)
+	buf := h.wbuf[:32]
 	put64(buf[0:], hash)
 	put64(buf[8:], uint64(insertTs))
 	put64(buf[16:], uint64(lastTs))
@@ -351,7 +385,7 @@ func (h *Handle) WriteMetaOnInsert(slotAddr uint64, hash uint64, insertTs, lastT
 // asynchronous RDMA_WRITE (§4.2.1: stateless information is grouped so one
 // WRITE suffices).
 func (h *Handle) TouchLastTs(slotAddr uint64, ts int64) {
-	buf := make([]byte, 8)
+	buf := h.wbuf[:8]
 	put64(buf, uint64(ts))
 	h.EP.WriteAsync(slotAddr+offLastTs, buf)
 }
@@ -371,7 +405,7 @@ func (h *Handle) FAAFreqAsync(slotAddr uint64, delta uint64) {
 // WriteExpertBitmap stores a history entry's expert bitmap in the
 // insert_ts field with an asynchronous RDMA_WRITE (§4.3.1).
 func (h *Handle) WriteExpertBitmap(slotAddr uint64, bitmap uint64) {
-	buf := make([]byte, 8)
+	buf := h.wbuf[:8]
 	put64(buf, bitmap)
 	h.EP.WriteAsync(slotAddr+offInsertTs, buf)
 }

@@ -54,6 +54,7 @@ package hotset
 import (
 	"bytes"
 	"sort"
+	"sync/atomic"
 
 	"ditto/internal/sim"
 )
@@ -143,9 +144,18 @@ func (e *Entry) ReadTarget(now int64) int {
 // (mutations between yields are atomic); cross-process exclusion for
 // maintenance is provided by the per-entry Lock.
 type Set struct {
-	limit    int
-	seq      uint64 // insertion counter; stamps Entry.seq
-	entries  map[string]*Entry
+	limit   int
+	seq     uint64 // insertion counter; stamps Entry.seq
+	entries map[string]*Entry
+	// read is the COW (copy-on-write) snapshot of entries behind an
+	// atomic pointer, RCU-style: Lookup — the per-read hot path — loads
+	// it once and probes a map no writer will ever mutate, while Insert
+	// and Remove (rare maintenance events, bounded by limit) republish a
+	// fresh copy after mutating the master map. The snapshot covers
+	// MEMBERSHIP only; the *Entry values are shared and their counters
+	// mutate in place under the usual discipline (yield-free readers,
+	// per-entry locks for maintainers).
+	read     atomic.Pointer[map[string]*Entry]
 	inflight map[string]int // unreplicated writes in flight, per key
 	unlocked *sim.Cond      // broadcast whenever any entry lock is released
 }
@@ -156,12 +166,26 @@ func New(env *sim.Env, limit int) *Set {
 	if limit < 1 {
 		limit = 1
 	}
-	return &Set{
+	s := &Set{
 		limit:    limit,
 		entries:  make(map[string]*Entry),
 		inflight: make(map[string]int),
 		unlocked: sim.NewCond(env),
 	}
+	s.publishRead()
+	return s
+}
+
+// publishRead republishes the read-side COW snapshot after a membership
+// mutation. O(Len) per call, bounded by limit — promotion and demotion
+// are maintenance events, so the copy is off every per-operation path.
+func (s *Set) publishRead() {
+	m := make(map[string]*Entry, len(s.entries))
+	//dittolint:allow simdet (map-to-map copy: the resulting snapshot is iteration-order independent)
+	for k, e := range s.entries {
+		m[k] = e
+	}
+	s.read.Store(&m)
 }
 
 // Len returns the number of entries.
@@ -170,10 +194,13 @@ func (s *Set) Len() int { return len(s.entries) }
 // Limit returns the entry capacity.
 func (s *Set) Limit() int { return s.limit }
 
-// Lookup returns the entry for key, or nil. It never blocks; the result
-// may be busy (under maintenance), which only matters to writers — they
-// must use Lock instead.
-func (s *Set) Lookup(key []byte) *Entry { return s.entries[string(key)] }
+// Lookup returns the entry for key, or nil. It never blocks and probes
+// the immutable read snapshot (one atomic load — writers republish on
+// Insert/Remove, never mutate it), so the read hot path cannot observe
+// a map mid-mutation and allocates nothing. The result may be busy
+// (under maintenance), which only matters to writers — they must use
+// Lock instead.
+func (s *Set) Lookup(key []byte) *Entry { return (*s.read.Load())[string(key)] }
 
 // Lock acquires the maintenance lock on key's entry, waiting (yielding p)
 // while another process holds it. It returns nil — without ever having
@@ -239,6 +266,7 @@ func (s *Set) Insert(p *sim.Proc, e *Entry) bool {
 	s.seq++
 	e.seq = s.seq
 	s.entries[k] = e
+	s.publishRead()
 	return true
 }
 
@@ -247,6 +275,7 @@ func (s *Set) Insert(p *sim.Proc, e *Entry) bool {
 // The caller must hold e's lock and must not touch e afterwards.
 func (s *Set) Remove(e *Entry) {
 	delete(s.entries, string(e.Key))
+	s.publishRead()
 	e.busy = false
 	e.owner = nil
 	s.unlocked.Broadcast()

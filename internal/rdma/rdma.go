@@ -194,6 +194,13 @@ func (e *Endpoint) Read(addr uint64, length int) []byte {
 	return e.doSync(BatchOp{Kind: BatchRead, Addr: addr, Len: length}).Data
 }
 
+// ReadInto is Read delivering into buf when buf has capacity for length
+// bytes (the returned slice then aliases buf); otherwise it allocates as
+// Read does. Same cost model and completion semantics as Read.
+func (e *Endpoint) ReadInto(addr uint64, length int, buf []byte) []byte {
+	return e.doSync(BatchOp{Kind: BatchRead, Addr: addr, Len: length, Buf: buf}).Data
+}
+
 // Write performs a one-sided RDMA_WRITE and waits for completion.
 func (e *Endpoint) Write(addr uint64, data []byte) {
 	e.doSync(BatchOp{Kind: BatchWrite, Addr: addr, Data: data})
@@ -286,6 +293,12 @@ type BatchOp struct {
 	Expect uint64 // BatchCAS: compare value
 	Swap   uint64 // BatchCAS: swap value
 	Delta  uint64 // BatchFAA: addend
+
+	// Buf, when it has capacity for Len bytes, receives a BatchRead's
+	// data in place of a fresh allocation (BatchResult.Data then aliases
+	// it). Pooled verb plans pass their own scratch here; leaving Buf nil
+	// preserves the classic allocate-per-read behaviour.
+	Buf []byte
 }
 
 // BatchResult is the completion of one BatchOp.
@@ -335,7 +348,12 @@ func (n *Node) issueOp(op *BatchOp) int64 {
 func (n *Node) applyOp(op *BatchOp, res *BatchResult) {
 	switch op.Kind {
 	case BatchRead:
-		out := make([]byte, op.Len)
+		out := op.Buf
+		if cap(out) < op.Len {
+			out = make([]byte, op.Len)
+		} else {
+			out = out[:op.Len]
+		}
 		copy(out, n.mem[op.Addr:op.Addr+uint64(op.Len)])
 		res.Data = out
 	case BatchWrite:
@@ -396,6 +414,11 @@ func (e *Endpoint) PostBatch(ops []BatchOp) []BatchResult {
 type EndpointBatch struct {
 	EP  *Endpoint
 	Ops []BatchOp
+
+	// Res receives the completions when the round is posted with
+	// PostMultiInPlace: resized (reusing capacity) to len(Ops), or set
+	// nil for a batch whose node was down. PostMulti ignores it.
+	Res []BatchResult
 }
 
 // PostMulti posts one doorbell batch per entry and overlaps the round
@@ -405,6 +428,24 @@ type EndpointBatch struct {
 // differ). Effects apply in posting order, batches in entry order. Every
 // endpoint must belong to the same process — the caller's.
 func PostMulti(batches []EndpointBatch) [][]BatchResult {
+	out := make([][]BatchResult, len(batches))
+	postMulti(batches, out)
+	return out
+}
+
+// PostMultiInPlace is PostMulti writing completions into each entry's Res
+// slice (reusing its capacity) instead of allocating a fresh result set —
+// the form the pooled doorbell runner uses so a steady-state round
+// allocates nothing. Timing, ordering, and failure semantics are
+// identical to PostMulti.
+func PostMultiInPlace(batches []EndpointBatch) {
+	postMulti(batches, nil)
+}
+
+// postMulti issues, sleeps, and applies one multi-endpoint round. When
+// out is non-nil the bi-th batch's completions go to freshly allocated
+// out[bi]; otherwise they go to batches[bi].Res, resized in place.
+func postMulti(batches []EndpointBatch, out [][]BatchResult) {
 	var p *sim.Proc
 	var last int64
 	var downNode *Node
@@ -434,30 +475,46 @@ func PostMulti(batches []EndpointBatch) [][]BatchResult {
 		}
 	}
 	if p == nil {
-		return make([][]BatchResult, len(batches))
+		return
 	}
 	p.SleepUntil(last)
-	out := make([][]BatchResult, len(batches))
-	for bi, b := range batches {
+	for bi := range batches {
+		b := &batches[bi]
 		n := b.EP.node
 		if n.down {
 			// Down at post time or failed mid-flight: none of this
 			// batch's effects apply. Live siblings still complete —
 			// callers must treat a failed fan-out as partially applied.
 			downNode = n
-			out[bi] = nil
+			if out != nil {
+				out[bi] = nil
+			} else {
+				b.Res = nil
+			}
 			continue
 		}
-		res := make([]BatchResult, len(b.Ops))
+		var res []BatchResult
+		if out != nil {
+			res = make([]BatchResult, len(b.Ops))
+			out[bi] = res
+		} else {
+			if cap(b.Res) < len(b.Ops) {
+				b.Res = make([]BatchResult, len(b.Ops))
+			} else {
+				b.Res = b.Res[:len(b.Ops)]
+			}
+			res = b.Res
+			for i := range res {
+				res[i] = BatchResult{}
+			}
+		}
 		for i := range b.Ops {
 			n.applyOp(&b.Ops[i], &res[i])
 		}
-		out[bi] = res
 	}
 	if downNode != nil {
 		downNode.unreachable(p)
 	}
-	return out
 }
 
 // RPC sends a request to the MN controller and returns its reply. The

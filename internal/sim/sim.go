@@ -16,7 +16,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -37,23 +36,66 @@ type event struct {
 	p   *Proc
 }
 
+// eventHeap is a hand-rolled binary min-heap over events, ordered by
+// (t, seq). It deliberately does NOT implement container/heap: that
+// interface boxes the 24-byte event struct into an interface{} on every
+// Push AND every Pop, and the event heap is the single hottest allocation
+// site in the whole simulator (every Sleep, yield and verb completion
+// goes through it). The (t, seq) order is a strict total order (seq is
+// unique), so pops are deterministic regardless of internal layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push adds ev and restores the heap invariant. The backing array is
+// reused across pops, so steady-state pushes allocate nothing.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	// Sift up.
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if !s.less(j, parent) {
+			break
+		}
+		s[j], s[parent] = s[parent], s[j]
+		j = parent
+	}
+}
+
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	ev := s[0]
+	s[0] = s[n]
+	s[n] = event{} // drop the Proc reference so finished procs can be collected
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && s.less(r, l) {
+			m = r
+		}
+		if !s.less(m, i) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return ev
 }
 
 // Env is a virtual-time environment. Create one with NewEnv, register
@@ -91,7 +133,7 @@ func (e *Env) Stop() { e.stopped = true }
 
 func (e *Env) push(t int64, p *Proc) {
 	e.seq++
-	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+	e.events.push(event{t: t, seq: e.seq, p: p})
 }
 
 // Proc is a process executing in virtual time. A Proc must only be used
@@ -185,7 +227,7 @@ func (e *Env) GoAt(t int64, name string, fn func(p *Proc)) *Proc {
 // Run continue the same timeline.
 func (e *Env) Run() {
 	for len(e.events) > 0 && !e.stopped {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.pop()
 		if ev.p.done {
 			continue // stale wake-up for a finished process
 		}

@@ -1,0 +1,47 @@
+package stats
+
+// Sharded counters: hot counters that many clients tick are split into
+// per-client cells and aggregated only on read, so the fast path touches
+// one owned cache line instead of a shared word. Within the simulator
+// exactly one process runs at a time (see internal/sim), so cells need
+// no atomics; the padding documents — and preserves, for any future
+// real-parallel harness — the paper's one-client-per-core model, where a
+// shared counter word would bounce between cores on every operation.
+
+// CounterCell is one shard of a ShardedCounter, owned by a single
+// client. It is padded so adjacent cells never share a cache line.
+type CounterCell struct {
+	n int64
+	_ [56]byte // pad to a 64-byte cache line
+}
+
+// Inc adds one to the owning client's shard.
+func (c *CounterCell) Inc() { c.n++ }
+
+// Add folds delta into the owning client's shard.
+func (c *CounterCell) Add(delta int64) { c.n += delta }
+
+// ShardedCounter is a counter sharded into per-client cells. NewCell
+// registers a shard (one per client, at client construction); Sum
+// aggregates all shards on read. The zero value is ready to use.
+type ShardedCounter struct {
+	cells []*CounterCell
+}
+
+// NewCell registers and returns a new shard. Call once per client, off
+// the hot path.
+func (s *ShardedCounter) NewCell() *CounterCell {
+	c := &CounterCell{}
+	s.cells = append(s.cells, c)
+	return c
+}
+
+// Sum aggregates every shard. Read-side only; the cost is linear in the
+// number of registered clients.
+func (s *ShardedCounter) Sum() int64 {
+	var t int64
+	for _, c := range s.cells {
+		t += c.n
+	}
+	return t
+}

@@ -1,7 +1,6 @@
 package workload
 
 import (
-	"fmt"
 	"math/rand"
 )
 
@@ -165,7 +164,21 @@ func Interleave(shards [][]Req) []Req {
 
 // KeyBytes renders a key as the fixed-width byte string clients store.
 func KeyBytes(key uint64) []byte {
-	return []byte(fmt.Sprintf("k%015x", key))
+	// "k" + zero-padded lowercase hex, minimum 15 digits — byte-identical
+	// to fmt.Sprintf("k%015x", key) at a single allocation (the Sprintf
+	// was the benchmark drivers' hottest per-op allocation site).
+	const digits = "0123456789abcdef"
+	n := 15
+	for t := key >> 60; t != 0; t >>= 4 {
+		n++
+	}
+	b := make([]byte, n+1)
+	b[0] = 'k'
+	for i := n; i >= 1; i-- {
+		b[i] = digits[key&0xf]
+		key >>= 4
+	}
+	return b
 }
 
 // Footprint returns the number of unique keys in a trace — the quantity
