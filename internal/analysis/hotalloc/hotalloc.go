@@ -81,6 +81,10 @@ func hotFunc(path string, fd *ast.FuncDecl) bool {
 		return name == "Runner" || name == "SerialRunner" || name == "DoorbellRunner"
 	case "ditto/internal/core":
 		return strings.HasSuffix(name, "Plan")
+	case "ditto/internal/fairness":
+		// The multi-tenant wrapper sits on every tenant-path op: its
+		// Get/Set must stay alloc-free too (retained scratch, GetAppend).
+		return name == "Client"
 	}
 	return false
 }

@@ -36,10 +36,13 @@ import (
 	"ditto/internal/analysis"
 )
 
-// swept packages: the fault-path layers.
+// swept packages: the fault-path layers, plus the tenant-path wrapper
+// (fairness sits on every multi-tenant op and must raise typed errors
+// like the layers beneath it).
 var swept = map[string]bool{
-	"ditto/internal/core": true,
-	"ditto/internal/rdma": true,
+	"ditto/internal/core":     true,
+	"ditto/internal/rdma":     true,
+	"ditto/internal/fairness": true,
 }
 
 // Analyzer is the typederr pass.

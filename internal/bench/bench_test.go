@@ -35,7 +35,8 @@ func TestRegistryCoversEveryExperiment(t *testing.T) {
 		}
 	}
 	extras := []string{"abl-k", "abl-fct", "abl-batch", "abl-hist", "abl-mn",
-		"elastic-reshard", "batched-throughput", "hotspot", "churn", "chaos"}
+		"elastic-reshard", "batched-throughput", "hotspot", "churn", "chaos",
+		"tenants"}
 	for _, id := range extras {
 		if _, ok := Experiments[id]; !ok {
 			t.Errorf("extra experiment %s missing from registry", id)
@@ -282,6 +283,45 @@ func TestChurnReclaimSpeedup(t *testing.T) {
 	if backStats.WriteStallNs >= inlineStats.WriteStallNs {
 		t.Errorf("background reclaim did not reduce eviction-stall time: %dns vs %dns",
 			backStats.WriteStallNs, inlineStats.WriteStallNs)
+	}
+}
+
+// TestTenantNoisyNeighborIsolation pins the tenants scenario's
+// acceptance bar at quick-scale parameters: with a binding quota on the
+// churn tenant, the in-quota serving tenant's Get p99 and hit rate must
+// each degrade less than 10% from its solo baseline, and its footprint
+// must survive intact — while the same churn with NO quota visibly
+// erodes that footprint. The sim is deterministic, so these are exact
+// regression bounds.
+func TestTenantNoisyNeighborIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second scenario")
+	}
+	solo := runTenants(2000, 4, 8, 3000, false, true)
+	noQuota := runTenants(2000, 4, 8, 3000, true, false)
+	quota := runTenants(2000, 4, 8, 3000, true, true)
+
+	if p99Deg := (quota.VictimGetP99Us - solo.VictimGetP99Us) / solo.VictimGetP99Us; p99Deg >= 0.10 {
+		t.Fatalf("victim p99 degraded %.1f%% under a quota'd noisy neighbor, want < 10%% (solo %.1fus, quota %.1fus)",
+			p99Deg*100, solo.VictimGetP99Us, quota.VictimGetP99Us)
+	}
+	if hitDeg := (solo.VictimHitRate - quota.VictimHitRate) / solo.VictimHitRate; hitDeg >= 0.10 {
+		t.Fatalf("victim hit rate degraded %.1f%% under a quota'd noisy neighbor, want < 10%% (solo %.3f, quota %.3f)",
+			hitDeg*100, solo.VictimHitRate, quota.VictimHitRate)
+	}
+	// Quota steering keeps the victim's footprint intact...
+	if quota.VictimUsageBytes < solo.VictimUsageBytes*9/10 {
+		t.Fatalf("victim footprint eroded despite quotas: %d B vs solo %d B",
+			quota.VictimUsageBytes, solo.VictimUsageBytes)
+	}
+	// ...while the unquota'd churn demonstrably erodes it (the negative
+	// space that proves the scenario exerts real pressure).
+	if noQuota.VictimUsageBytes >= solo.VictimUsageBytes*3/4 {
+		t.Fatalf("unquota'd churn did not pressure the victim: %d B vs solo %d B",
+			noQuota.VictimUsageBytes, solo.VictimUsageBytes)
+	}
+	if quota.NoisyShedOps == 0 {
+		t.Fatal("overload control never shed a batched write from the over-quota tenant")
 	}
 }
 

@@ -59,6 +59,8 @@ var Experiments = map[string]Experiment{
 	"churn": {Churn, "Write-heavy zipf churn at ~100% occupancy: Set p99 and eviction-stall time, inline-serial vs background-doorbell reclaim"},
 	// Fault injection: crash + replacement under load — extension.
 	"chaos": {Chaos, "MN crash + replacement under flash-crowd load: recovery time, error window, post-fault hit rate (seed-reproducible)"},
+	// Multi-tenant quotas + TTL leases + overload shedding — extension.
+	"tenants": {Tenants, "Noisy-neighbor isolation: in-quota tenant p99/hit rate solo vs alongside an over-quota churn tenant, with and without quota steering + overload shedding"},
 }
 
 // IDs returns the experiment IDs in a stable order.

@@ -8,7 +8,7 @@ import (
 	"ditto/internal/sim"
 )
 
-// The four fault schedules. Each one targets a crash-tolerance
+// The five fault schedules. Each one targets a crash-tolerance
 // safeguard built in earlier PRs and carries at least one invariant
 // that fails if that safeguard is reverted:
 //
@@ -20,6 +20,10 @@ import (
 //     hotset crash wake/lock stealing (no stale spread reads).
 //   - reclaimer killed         → spawnReclaimer's OnCrash respawn and
 //     verb-plan eviction free accounting (no double free, no wedge).
+//   - MN crash mid-reclaim, two tenants → quota-steered victim
+//     nomination and per-tenant byte accounting (the in-quota tenant
+//     loses nothing outside the crashed node, and every surviving
+//     node's tenant cells still sum to its live heap bytes).
 
 // TestChaosMNCrashMidReshard crashes a seed-chosen original node while
 // an AddNode reshard is migrating keys onto a new one, with a reader
@@ -211,6 +215,111 @@ func TestChaosReplicaNodeLossUnderSpreadReads(t *testing.T) {
 		env.Run()
 		if !finished {
 			h.Failf("driver wedged across the replica-node crash")
+		}
+	})
+}
+
+// TestChaosMNCrashMidReclaimTwoTenants runs a noisy over-quota tenant's
+// write churn past pool capacity (background reclaimers continuously
+// evicting, quota steering pointed at the noisy tenant) alongside a
+// small in-quota tenant, then crashes a seed-chosen node mid-reclaim.
+// Invariants through recovery:
+//
+//   - the in-quota tenant loses NO key outside the crashed node's
+//     ownership — sustained quota-steered reclaim never chose one of
+//     its victims, and the crash takes only what it hosted;
+//   - every surviving node's per-tenant accounting cells sum exactly to
+//     its live heap bytes (no drift through evictions, overwrites, or
+//     the crash window's ambiguous writes);
+//   - free tracking (armed by the harness) panics on any double free;
+//   - the reconfigured pool converges for both tenants.
+func TestChaosMNCrashMidReclaimTwoTenants(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const quietKeys = 40
+		const span = 4000 // noisy churn keys, ~1.6x pool capacity
+		const keys = quietKeys + span
+		h := New(t, seed, 3, keys, core.DefaultOptions(2500, 2500*320))
+		h.ValSize = 240
+		mc, env, fs := h.MC, h.Env, h.FS
+		// Tenant mode BEFORE any write (accounting is gated on it). The
+		// noisy tenant's quota binds at ~200 KB — far below the churn's
+		// working set — so reclaim steers at it for the whole run; the
+		// quiet tenant's never binds.
+		mc.SetTenantQuota(1, 200*1024)
+		mc.SetTenantQuota(2, 1<<40)
+		for i := 0; i < mc.NumNodes(); i++ {
+			mc.Node(i).EnableBackgroundReclaim(0, 0)
+		}
+		finished := false
+		crashed := false
+		env.Go("driver", func(p *sim.Proc) {
+			noisy := mc.NewClient(p)
+			noisy.BindTenant(1)
+			quiet := mc.NewClient(p)
+			quiet.BindTenant(2)
+			for i := 0; i < quietKeys; i++ {
+				h.MustSet(quiet, i, 1)
+			}
+			owner := make([]int, quietKeys)
+			for i := range owner {
+				owner[i] = mc.OwnerOf(Key(i))
+			}
+			victim := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+			fs.Between(1_500_000, 5_000_000, "crash-mn-mid-reclaim", func(*sim.Proc) {
+				mc.CrashNode(victim)
+				crashed = true
+			})
+			rng := rand.New(rand.NewSource(seed ^ 0x3c6ef372))
+			for i := 0; i < span; i++ {
+				h.Set(noisy, quietKeys+i, 1)
+				if i%8 == 0 { // keep the quiet tenant's reads flowing
+					h.Get(quiet, rng.Intn(quietKeys))
+				}
+			}
+			if !crashed {
+				h.Failf("crash never landed inside the churn window")
+			}
+			if mc.NodeCrashes != 1 {
+				h.Failf("NodeCrashes=%d, want 1", mc.NodeCrashes)
+			}
+			// Quota invariant through sustained reclaim + crash: the
+			// in-quota tenant's only legal losses are the crashed node's.
+			for i := 0; i < quietKeys; i++ {
+				if _, ok := h.Get(quiet, i); !ok && owner[i] != victim {
+					h.Failf("in-quota tenant lost key %d owned by surviving node %d (victim=%d)",
+						i, owner[i], victim)
+				}
+			}
+			// Accounting identity on every surviving node: tenant cells
+			// sum to live heap bytes, through evictions and the crash.
+			for i := 0; i < mc.NumNodes(); i++ {
+				cl := mc.Node(i)
+				var sum int64
+				for tnt := 0; tnt < 3; tnt++ {
+					sum += cl.TenantUsage(core.TenantID(tnt))
+				}
+				if sum != int64(cl.MN.UsedBytes) {
+					h.Failf("node %d: tenant usage %d != live bytes %d after crash+reclaim",
+						mc.NodeID(i), sum, cl.MN.UsedBytes)
+				}
+			}
+			h.CheckConverged(quiet, 0, quietKeys)
+			// The noisy tenant converges only eventually: while it is over
+			// quota, steering narrows every eviction sample to ITS keys, so
+			// even a freshly rewritten one is legal fodder. Lifting the
+			// quota (the operator's post-incident move) restores the global
+			// policy — but the crash-shrunk pool is still draining over
+			// budget, and under LFU every once-written object ties at
+			// freq 1, so fresh rewrites stay legal victims until the drain
+			// settles. Bounded rewrite-and-read retries are the sound
+			// check; a key that cannot stick at all means a wedge.
+			mc.SetTenantQuota(1, 1<<40)
+			h.CheckEventuallyConverged(noisy, keys-200, keys)
+			finished = true
+		})
+		env.Run()
+		if !finished {
+			h.Failf("driver never finished (reclaim or recovery wedged)")
 		}
 	})
 }

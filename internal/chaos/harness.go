@@ -270,3 +270,26 @@ func (h *Harness) CheckConverged(c *core.MultiClient, lo, hi int) {
 		}
 	}
 }
+
+// CheckEventuallyConverged is CheckConverged for pools still draining an
+// over-budget backlog, where a freshly rewritten key is legal eviction
+// fodder (under LFU every once-written object ties at freq 1, so recency
+// does not shield the rewrite). Each key retries rewrite-then-read a
+// bounded number of times; a key that cannot stick even once in that
+// many tries means the pool is thrashing pathologically or wedged —
+// which IS a failure.
+func (h *Harness) CheckEventuallyConverged(c *core.MultiClient, lo, hi int) {
+	h.T.Helper()
+	const retries = 8
+	for i := lo; i < hi; i++ {
+		stuck := true
+		for a := 0; a < retries && stuck; a++ {
+			h.MustSet(c, i, h.attempted[i]+1)
+			_, ok := h.Get(c, i)
+			stuck = !ok
+		}
+		if stuck {
+			h.Failf("post-recovery key %d failed to stick in %d rewrite attempts", i, retries)
+		}
+	}
+}

@@ -69,6 +69,40 @@ func TestAllocsPerOpSteadyState(t *testing.T) {
 		if msets != 0 {
 			t.Errorf("steady-state MSet(%d) allocates %.1f objects/op, want 0", batch, msets)
 		}
+
+		// Tenant mode on: header stamping, the per-tenant accounting
+		// cell, and TryMSet's shed check must add nothing to the same
+		// steady-state paths.
+		cl.SetTenantQuota(1, 1<<40)
+		c.BindTenant(1)
+		var err error
+		for r := 0; r < 3; r++ {
+			c.Set(keys[0], pairs[0].Value)
+			dst, _ = c.GetAppend(dst[:0], keys[0])
+			if err = c.TryMSet(pairs); err != nil {
+				t.Fatalf("TryMSet under open quota: %v", err)
+			}
+		}
+		tgets := testing.AllocsPerRun(200, func() {
+			dst, _ = c.GetAppend(dst[:0], keys[0])
+		})
+		tsets := testing.AllocsPerRun(200, func() {
+			c.Set(keys[0], pairs[0].Value)
+		})
+		tmsets := testing.AllocsPerRun(50, func() {
+			err = c.TryMSet(pairs)
+		})
+		t.Logf("tenant-mode allocs/op: get=%.1f set=%.1f trymset(%d)=%.1f",
+			tgets, tsets, batch, tmsets)
+		if tgets != 0 {
+			t.Errorf("tenant-mode Get allocates %.1f objects/op, want 0", tgets)
+		}
+		if tsets != 0 {
+			t.Errorf("tenant-mode Set allocates %.1f objects/op, want 0", tsets)
+		}
+		if tmsets != 0 {
+			t.Errorf("tenant-mode TryMSet(%d) allocates %.1f objects/op, want 0", batch, tmsets)
+		}
 	})
 	env.Run()
 }

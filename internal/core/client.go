@@ -51,6 +51,11 @@ type Stats struct {
 	// ReclaimerWakeups counts pressure wakeups; only the background
 	// reclaimer's own client (Cluster.ReclaimerStats) increments it.
 	ReclaimerWakeups int64
+
+	// ShedOps counts operations overload control rejected up front
+	// (TryMSet on an over-quota tenant while the node was overloaded);
+	// no verbs were issued for them.
+	ShedOps int64
 }
 
 // Add folds other's counters into s — the one summation every
@@ -71,6 +76,7 @@ func (s *Stats) Add(other Stats) {
 	s.WriteStallTicks += other.WriteStallTicks
 	s.WriteStallNs += other.WriteStallNs
 	s.ReclaimerWakeups += other.ReclaimerWakeups
+	s.ShedOps += other.ShedOps
 }
 
 // HitRate returns Hits/(Hits+Misses).
@@ -131,11 +137,20 @@ type Client struct {
 	// virtual-time latency; benchmark harnesses install collectors here.
 	OnOp func(op OpKind, latency int64, hit bool)
 
-	// onHit, when non-nil, observes every hit with the key's logical
-	// frequency (noteHit's convention: remote snapshot + pending FC-cache
-	// delta + this hit). MultiClient installs it as the hot-key promotion
-	// signal; the hook must not issue verbs (it runs inside the hit path).
-	onHit func(key []byte, freq uint64)
+	// onHit, when non-nil, observes every hit with the key's owning
+	// tenant and logical frequency (noteHit's convention: remote snapshot
+	// + pending FC-cache delta + this hit). MultiClient installs it as
+	// the hot-key promotion signal; the hook must not issue verbs (it
+	// runs inside the hit path).
+	onHit func(key []byte, tenant TenantID, freq uint64)
+
+	// Tenancy (see tenancy.go): the bound tenant stamped into objects
+	// this client stores, the client's shard of the cluster's per-tenant
+	// usage counter, and the pending lease expiry SetTTL arms for the
+	// next Set (0 = no lease).
+	tenant     TenantID
+	tcell      *stats.TenantCell
+	nextExpiry int64
 }
 
 // OpKind labels operations for OnOp.
@@ -159,6 +174,7 @@ func (cl *Cluster) NewClient(p *sim.Proc) *Client {
 		alloc:  memnode.NewAlloc(cl.MN, ep),
 		hist:   history.NewClient(ep, hashtable.NewHandle(cl.Layout, ep), cl.histSize),
 		served: cl.servedReads.NewCell(),
+		tcell:  cl.tenantUsage.NewCell(),
 	}
 	off := 0
 	for _, name := range cl.opts.Experts {
@@ -321,7 +337,7 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 		c.metaWriteAsync(s.Atomic.Pointer()+objHeader, dec.ext)
 	}
 	if c.onHit != nil {
-		c.onHit(dec.key, freq)
+		c.onHit(dec.key, dec.tenant, freq)
 	}
 }
 
@@ -438,6 +454,9 @@ func (c *Client) allocOrEvict(size int) uint64 {
 		}
 		for round := 0; round < allocStallRounds; round++ {
 			c.Stats.WriteStallTicks++
+			// Feed the node's overload signal: the stall rate is what
+			// TryMSet's shed decision reads (tenancy.go).
+			c.cl.MN.NoteStallTick(c.p.Now())
 			c.p.Sleep(allocStallTick)
 			if addr, ok = c.alloc.Alloc(size); ok {
 				return addr
@@ -555,11 +574,13 @@ func (c *Client) surrenderFreeBlocks() { c.alloc.Surrender() }
 // dropMigrated undoes a migrated insert (a migrate-mode setPlan) with a
 // precise CAS on the exact
 // slot/value it created. A failed CAS means a client already replaced or
-// deleted the copy — the newer state wins and nothing is freed.
-func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField) {
+// deleted the copy — the newer state wins and nothing is freed. t is the
+// tenant the insert was charged to; the undo credits it back.
+func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField, t TenantID) {
 	if _, swapped := c.ht.CASAtomic(slotAddr, atom, 0); swapped {
 		c.alloc.Free(atom.Pointer(), atom.SizeBytes())
 		c.fc.Forget(slotAddr)
+		c.accountTenant(t, -int64(atom.SizeBytes()))
 	}
 }
 

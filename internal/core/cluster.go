@@ -158,6 +158,15 @@ type Cluster struct {
 	// lazily at the next directory touch).
 	onEvictHash func(keyHash uint64)
 
+	// Tenancy (quotas, TTL leases, overload shedding). tenantMode turns
+	// the whole tenant path on — off (the default) nothing reads the
+	// header's tenant/expiry fields, accounting is skipped, and eviction
+	// samples with the seed's verb shapes, so single-tenant deployments
+	// are byte-for-byte unchanged. SetTenantQuota enables it.
+	tenantMode  bool
+	tenantQuota [MaxTenants]int64 // bytes; 0 = unlimited
+	tenantUsage *stats.TenantCounter
+
 	histSize int
 	extSizes []int // per-expert extension bytes (from a prototype instance)
 	totalExt int
@@ -226,6 +235,7 @@ func NewCluster(env *sim.Env, opts Options) *Cluster {
 		Layout:          hashtable.Layout{Config: tblCfg, Base: base},
 		opts:            opts,
 		ReclaimStrategy: exec.Doorbell,
+		tenantUsage:     stats.NewTenantCounter(MaxTenants),
 	}
 
 	cl.histSize = opts.HistorySize

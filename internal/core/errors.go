@@ -28,6 +28,35 @@ func (e *NoOwnerError) Error() string {
 	return fmt.Sprintf("core: key's ring owner %d has no backing node", e.Node)
 }
 
+// ErrOverQuota reports a tenant exceeding its byte quota — the quota
+// half of every shed decision (see ShedError).
+var ErrOverQuota = errors.New("core: tenant over its byte quota")
+
+// ErrShed reports a request rejected up front by overload control: the
+// memory node's write-stall rate crossed the configured threshold, so
+// batched writes from over-quota tenants are refused without issuing
+// verbs. Retry after backoff, or when back under quota.
+var ErrShed = errors.New("core: request shed under overload")
+
+// ShedError is the typed failure TryMSet returns when overload control
+// rejects a batch. It wraps BOTH sentinels — errors.Is(err, ErrShed)
+// and errors.Is(err, ErrOverQuota) hold — because a shed is always the
+// conjunction of the two conditions.
+type ShedError struct {
+	Tenant TenantID
+	Usage  int64 // tenant's live bytes at the shed decision
+	Quota  int64 // tenant's configured quota
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("core: tenant %d shed under overload (%d B live > %d B quota)",
+		e.Tenant, e.Usage, e.Quota)
+}
+
+// Unwrap exposes both sentinel causes to errors.Is.
+func (e *ShedError) Unwrap() []error { return []error{ErrShed, ErrOverQuota} }
+
 // IsUnavailable reports whether err stems from an unusable node: a
 // fail-stopped memory node (rdma.NodeUnreachableError) or a ring owner
 // with no backing node (NoOwnerError). Chaos harnesses and retry loops

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"ditto/internal/cachealgo"
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
@@ -8,10 +10,13 @@ import (
 )
 
 // candidate pairs a sampled slot with the metadata view the priority
-// functions consume.
+// functions consume — plus, in tenant mode, the owning tenant and lease
+// expiry parsed from the object header the ext READ covers.
 type candidate struct {
-	slot hashtable.Slot
-	meta cachealgo.Metadata
+	slot   hashtable.Slot
+	meta   cachealgo.Metadata
+	tenant TenantID
+	expiry int64
 }
 
 // evictOne performs one sample-based eviction (§4.2): sample a window of
@@ -129,16 +134,19 @@ func (c *Client) liveCandidate(s hashtable.Slot) (candidate, bool) {
 }
 
 // needsExtRead reports whether candidates cost one more READ each:
-// extension metadata is configured, or the DisableSFHT ablation stores
-// ALL metadata with the object.
+// extension metadata is configured, the DisableSFHT ablation stores ALL
+// metadata with the object, or tenant mode needs each candidate's
+// header (tenant tag + lease expiry) for quota/TTL-aware nomination.
 func (c *Client) needsExtRead() bool {
-	return c.cl.opts.DisableSFHT || c.cl.totalExt > 0
+	return c.cl.opts.DisableSFHT || c.cl.tenantMode || c.cl.totalExt > 0
 }
 
 // extReadOp is that READ — the one definition of its addressing —
-// and applyExt attaches its completion to the candidate.
+// and applyExt attaches its completion to the candidate. Tenant mode
+// uses the header-inclusive shape: the same single fixed-size READ per
+// candidate, widened by the 24-byte header.
 func (c *Client) extReadOp(s hashtable.Slot) rdma.BatchOp {
-	if c.cl.opts.DisableSFHT {
+	if c.cl.opts.DisableSFHT || c.cl.tenantMode {
 		// Metadata stored with objects: the READ covers the header too.
 		return rdma.BatchOp{
 			Kind: rdma.BatchRead, Addr: s.Atomic.Pointer(), Len: objHeader + c.cl.totalExt,
@@ -150,7 +158,11 @@ func (c *Client) extReadOp(s hashtable.Slot) rdma.BatchOp {
 }
 
 func (c *Client) applyExt(cand *candidate, data []byte) {
-	if c.cl.opts.DisableSFHT {
+	if c.cl.opts.DisableSFHT || c.cl.tenantMode {
+		if c.cl.tenantMode {
+			cand.tenant = TenantID(data[objTenantOff])
+			cand.expiry = int64(binary.LittleEndian.Uint64(data[objExpiryOff:]))
+		}
 		if c.cl.totalExt > 0 {
 			cand.meta.Ext = data[objHeader:]
 		}
@@ -188,6 +200,31 @@ func (c *Client) bucketEvict(slots []hashtable.Slot) bool {
 	if len(cands) == 0 {
 		return false
 	}
+	// Tenant policies mirror evictPlan.nominate: an expired lease is
+	// reclaimed first (Delete-equivalent, so no expert is consulted or
+	// blamed), then the candidate set narrows to over-quota tenants when
+	// any is present — bucket pressure must not evict an in-quota
+	// tenant's key while an over-quota tenant occupies the same bucket.
+	if c.cl.tenantMode {
+		now := c.p.Now()
+		for i := range cands {
+			if ex := cands[i].expiry; ex != 0 && ex <= now {
+				return c.takeBucketVictim(cands[i], nil, 0)
+			}
+		}
+		if mask := c.cl.overQuotaMask(); mask != 0 {
+			n := 0
+			for i := range cands {
+				if mask&(1<<uint(cands[i].tenant)) != 0 {
+					cands[n] = cands[i]
+					n++
+				}
+			}
+			if n > 0 {
+				cands = cands[:n]
+			}
+		}
+	}
 	deciding := 0
 	if c.adapt != nil {
 		deciding = c.adapt.PickExpert(c.p.Rand())
@@ -205,16 +242,24 @@ func (c *Client) bucketEvict(slots []hashtable.Slot) bool {
 			best, bestP = i, p
 		}
 	}
-	victim := cands[best]
+	return c.takeBucketVictim(cands[best], a, bestP)
+}
+
+// takeBucketVictim claims one bucket-eviction victim: CAS the slot
+// empty, free the object, and settle counters. blamed is nil for an
+// expired-lease victim — reclaiming a dead lease is Delete-equivalent,
+// so no expert earns the eviction credit.
+func (c *Client) takeBucketVictim(victim candidate, blamed cachealgo.Algorithm, p float64) bool {
 	if _, won := c.ht.CASAtomic(victim.slot.Addr, victim.slot.Atomic, 0); !won {
 		return false
 	}
-	if obs, ok := a.(cachealgo.EvictionObserver); ok {
-		obs.OnEvict(bestP)
+	if obs, ok := blamed.(cachealgo.EvictionObserver); ok {
+		obs.OnEvict(p)
 	}
 	c.alloc.Free(victim.slot.Atomic.Pointer(),
 		victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(victim.slot.Addr)
+	c.accountTenant(victim.tenant, -int64(victim.slot.Atomic.SizeBytes()))
 	c.cl.noteVictimBlocks(int(victim.slot.Atomic.SizeBlocks()))
 	c.Stats.Evictions++
 	c.Stats.BucketEvictions++

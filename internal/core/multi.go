@@ -115,6 +115,17 @@ type MultiCluster struct {
 	reclaimAll              bool
 	reclaimLow, reclaimHigh int
 
+	// Multi-tenancy (tenancy.go). Per-node quotas are provisioned like
+	// CacheBytes: SetTenantQuota splits the pool-wide quota evenly across
+	// the current members, and provision hands the same per-node slice to
+	// nodes added later — AddNode grows the aggregate quota with the pool,
+	// exactly as it grows aggregate cache bytes. Inert until
+	// SetTenantQuota is called.
+	tenantMode        bool
+	tenantPerNode     [MaxTenants]int64
+	overloadThreshold int64
+	overloadWindowNs  int64
+
 	// Promotions and Demotions count replicated-set membership changes;
 	// SpreadReads counts reads served by a replica instead of the
 	// primary — the work the replication layer moved off hot nodes.
@@ -240,6 +251,16 @@ func (mc *MultiCluster) provision() int {
 	}
 	if mc.hot != nil {
 		mc.installEvictHook(id, cl)
+	}
+	if mc.tenantMode {
+		for t, q := range mc.tenantPerNode {
+			if q > 0 {
+				cl.SetTenantQuota(TenantID(t), q)
+			}
+		}
+	}
+	if mc.overloadThreshold > 0 {
+		cl.EnableOverloadControl(mc.overloadThreshold, mc.overloadWindowNs)
 	}
 	mc.nodes[id] = cl
 	mc.order = append(mc.order, id)
@@ -407,12 +428,13 @@ type migratedCopy struct {
 	// may run in a respawned resharder incarnation whose predecessor
 	// (and its clients, bound to the dead process) were killed — it must
 	// resolve a live client of its own at sweep time.
-	dstID int
-	kh    uint64
-	fp    byte
-	key   []byte
-	addr  uint64
-	atom  hashtable.AtomicField
+	dstID  int
+	kh     uint64
+	fp     byte
+	key    []byte
+	addr   uint64
+	atom   hashtable.AtomicField
+	tenant TenantID // owning tenant, for usage credit if the copy is dropped
 }
 
 // startReshard switches the routing ring to newRing and spawns the
@@ -558,7 +580,7 @@ func (mc *MultiCluster) runReshard(p *sim.Proc, m *MultiClient, st *reshardState
 		ins := ins
 		_ = rdma.CatchUnreachable(func() {
 			if dst.hasOtherCopy(ins.kh, ins.fp, ins.key, ins.addr) {
-				dst.dropMigrated(ins.addr, ins.atom)
+				dst.dropMigrated(ins.addr, ins.atom, ins.tenant)
 			}
 		})
 	}
@@ -718,6 +740,7 @@ func (mc *MultiCluster) migrateNode(m *MultiClient, srcID int, inserts *[]migrat
 					*inserts = append(*inserts, migratedCopy{
 						dstID: it.owner, kh: it.kh, fp: hashtable.Fingerprint(it.kh),
 						key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
+						tenant: pl.ins.tenant,
 					})
 					mc.MigratedKeys++
 					pending++
@@ -762,6 +785,7 @@ func (mc *MultiCluster) migrateSlot(src, dst *Client, dstID int, s hashtable.Slo
 			*inserts = append(*inserts, migratedCopy{
 				dstID: dstID, kh: kh, fp: hashtable.Fingerprint(kh),
 				key: pl.ins.key, addr: pl.ins.slotAddr, atom: pl.ins.want,
+				tenant: pl.ins.tenant,
 			})
 			mc.MigratedKeys++
 			return 1
@@ -846,7 +870,17 @@ type MultiClient struct {
 	mc      *MultiCluster
 	p       *sim.Proc
 	clients map[int]*Client
-	promo   [][]byte // hot-key promotion candidates queued by the hit hook
+	tenant  TenantID    // bound tenant, propagated to every per-node client
+	promo   []promoCand // hot-key promotion candidates queued by the hit hook
+}
+
+// promoCand is one queued hot-key promotion candidate: the key plus the
+// owning tenant observed at the qualifying hit, so the promotion can
+// stamp the hotset entry and the quota gate can veto replication for
+// over-quota tenants.
+type promoCand struct {
+	key    []byte
+	tenant TenantID
 }
 
 // NewClient connects process p to every current memory node; connections
@@ -867,6 +901,9 @@ func (m *MultiClient) connect(cl *Cluster) *Client {
 	c := cl.NewClient(m.p)
 	if m.mc.hot != nil {
 		c.onHit = m.noteHotCandidate
+	}
+	if m.tenant != DefaultTenant {
+		c.BindTenant(m.tenant)
 	}
 	return c
 }

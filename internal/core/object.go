@@ -8,9 +8,21 @@ import "encoding/binary"
 // (§4.4, "Metadata extensions"):
 //
 //	offset 0  keyLen (2 B) | valLen (4 B) | extLen (2 B)
-//	offset 8  extension metadata (extLen bytes, experts' segments in order)
+//	offset 8  expiry (8 B, absolute virtual ns; 0 = no lease)
+//	offset 16 tenant (1 B) | reserved (7 B)
+//	offset 24 extension metadata (extLen bytes, experts' segments in order)
 //	then      key, then value
-const objHeader = 8
+//
+// The expiry and tenant fields generalize internal/fairness's one-byte
+// value-prefix owner tag into the header proper: they are stamped at
+// construction (Set) and never rewritten in place, so the read path
+// stays zero-copy and a lease never needs a second CAS to install.
+const objHeader = 24
+
+const (
+	objExpiryOff = 8  // expiry stamp within the header
+	objTenantOff = 16 // tenant tag within the header
+)
 
 // objBytes returns the exact byte size of an encoded object.
 func objBytes(keyLen, valLen, extLen int) int {
@@ -18,18 +30,23 @@ func objBytes(keyLen, valLen, extLen int) int {
 }
 
 // encodeObject serializes an object block.
-func encodeObject(key, value, ext []byte) []byte {
-	return encodeObjectInto(nil, key, value, ext)
+func encodeObject(key, value, ext []byte, tenant TenantID, expiry int64) []byte {
+	return encodeObjectInto(nil, key, value, ext, tenant, expiry)
 }
 
 // encodeObjectInto is encodeObject building into buf (reused when it
 // has capacity) — the allocation-free form pooled set plans use; every
 // byte of the image is written, so a recycled buffer needs no clearing.
-func encodeObjectInto(buf, key, value, ext []byte) []byte {
+func encodeObjectInto(buf, key, value, ext []byte, tenant TenantID, expiry int64) []byte {
 	buf = grow(buf, objBytes(len(key), len(value), len(ext)))
 	binary.LittleEndian.PutUint16(buf[0:], uint16(len(key)))
 	binary.LittleEndian.PutUint32(buf[2:], uint32(len(value)))
 	binary.LittleEndian.PutUint16(buf[6:], uint16(len(ext)))
+	binary.LittleEndian.PutUint64(buf[objExpiryOff:], uint64(expiry))
+	buf[objTenantOff] = byte(tenant)
+	for i := objTenantOff + 1; i < objHeader; i++ {
+		buf[i] = 0
+	}
 	copy(buf[objHeader:], ext)
 	copy(buf[objHeader+len(ext):], key)
 	copy(buf[objHeader+len(ext)+len(key):], value)
@@ -38,10 +55,18 @@ func encodeObjectInto(buf, key, value, ext []byte) []byte {
 
 // decodedObject is a parsed object block.
 type decodedObject struct {
-	key   []byte
-	value []byte
-	ext   []byte
-	ok    bool
+	key    []byte
+	value  []byte
+	ext    []byte
+	tenant TenantID
+	expiry int64 // absolute virtual ns; 0 = no lease
+	ok     bool
+}
+
+// expired reports whether the object's lease (if any) has lapsed at
+// virtual time now.
+func (d *decodedObject) expired(now int64) bool {
+	return d.expiry != 0 && d.expiry <= now
 }
 
 // decodeObject parses an object block image; ok=false when the image is
@@ -57,9 +82,11 @@ func decodeObject(buf []byte) decodedObject {
 		return decodedObject{}
 	}
 	return decodedObject{
-		ext:   buf[objHeader : objHeader+el],
-		key:   buf[objHeader+el : objHeader+el+kl],
-		value: buf[objHeader+el+kl : objHeader+el+kl+vl],
-		ok:    true,
+		ext:    buf[objHeader : objHeader+el],
+		key:    buf[objHeader+el : objHeader+el+kl],
+		value:  buf[objHeader+el+kl : objHeader+el+kl+vl],
+		tenant: TenantID(buf[objTenantOff]),
+		expiry: int64(binary.LittleEndian.Uint64(buf[objExpiryOff:])),
+		ok:     true,
 	}
 }

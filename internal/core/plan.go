@@ -167,6 +167,11 @@ type getPlan struct {
 	histMatches []hashtable.Slot
 	stale       bool
 
+	// rnow is the attempt's reference time for lease-expiry checks,
+	// captured at reset so a doorbell batch judges every key against one
+	// clock reading.
+	rnow int64
+
 	hit  bool
 	slot hashtable.Slot
 	dec  decodedObject
@@ -189,6 +194,7 @@ func (pl *getPlan) reset(c *Client, key []byte) {
 	pl.cands = pl.cands[:0]
 	pl.histMatches = pl.histMatches[:0]
 	pl.stale, pl.hit = false, false
+	pl.rnow = c.p.Now()
 	pl.slot, pl.dec = hashtable.Slot{}, decodedObject{}
 }
 
@@ -261,6 +267,12 @@ func (pl *getPlan) Absorb(res []exec.Result) {
 			if !bytes.Equal(dec.key, pl.key) {
 				continue // fingerprint collision
 			}
+			if pl.c.cl.tenantMode && dec.expired(pl.rnow) {
+				// A lapsed lease reads as a miss immediately; reclaiming the
+				// block is the eviction sampler's job (never a reader's —
+				// the read path stays write-free).
+				continue
+			}
 			pl.hit, pl.slot, pl.dec = true, s, dec
 			pl.st = gDone
 			return // first match wins; later candidates are stale copies
@@ -331,6 +343,17 @@ type setPlan struct {
 	mInsertTs, mLastTs int64
 	mFreq              uint64
 
+	// Tenancy: the header stamp of the staged object image (the client's
+	// bound tenant and pending lease — or, in migrate mode, the moved
+	// copy's carried values), the attempt's reference time for expiry
+	// checks, and expUpd marking an update whose matched copy had an
+	// EXPIRED lease — staged and finished with fresh metadata, as an
+	// insert would be (a dead object is not "accessed" by replacing it).
+	tenant TenantID
+	expiry int64
+	rnow   int64
+	expUpd bool
+
 	st          int
 	lastEager   bool // traversal mode of the in-flight group
 	bi          int
@@ -379,6 +402,9 @@ func (pl *setPlan) reset(c *Client, key, value []byte) {
 	pl.buckets = c.keyBuckets(kh)
 	pl.migrate, pl.mExt = false, nil
 	pl.mInsertTs, pl.mLastTs, pl.mFreq = 0, 0, 0
+	pl.tenant, pl.expiry = c.tenant, c.nextExpiry
+	pl.rnow = c.p.Now()
+	pl.expUpd = false
 	pl.st, pl.lastEager = sBuckets, false
 	pl.bi, pl.doneBkt, pl.ci = 0, 0, 0
 	pl.scanned = pl.scanned[:0]
@@ -405,11 +431,14 @@ func (c *Client) newSetPlan(key, value []byte) *setPlan {
 }
 
 // newMigrateSetPlan builds the insert-if-absent flavour carrying the
-// access metadata the key had on its old memory node.
-func (c *Client) newMigrateSetPlan(key, value, ext []byte, insertTs, lastTs int64, freq uint64) *setPlan {
+// access metadata — and the tenant/lease header stamp — the key had on
+// its old memory node.
+func (c *Client) newMigrateSetPlan(key, value, ext []byte, insertTs, lastTs int64,
+	freq uint64, tenant TenantID, expiry int64) *setPlan {
 	pl := c.newSetPlan(key, value)
 	pl.migrate = true
 	pl.mExt, pl.mInsertTs, pl.mLastTs, pl.mFreq = ext, insertTs, lastTs, freq
+	pl.tenant, pl.expiry = tenant, expiry
 	return pl
 }
 
@@ -514,6 +543,9 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 					pl.outcome = setPresent // newer copy already here; it wins
 					pl.st = sDone
 				} else {
+					if pl.c.cl.tenantMode && cand.dec.expired(pl.rnow) {
+						pl.expUpd = true
+					}
 					pl.startUpdate(*cand)
 				}
 				return
@@ -537,8 +569,22 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 			return
 		}
 		pl.slotAddr = target.Addr
+		// Block ownership transferred: charge the new image to the
+		// stamped tenant, credit a superseded block back to ITS tenant
+		// (cross-tenant updates move the bytes between them).
+		pl.c.accountTenant(pl.tenant, int64(pl.want.SizeBytes()))
 		if pl.mode == pUpdate {
-			pl.c.finishUpdate(pl.updSlot, len(pl.key), pl.now)
+			pl.c.accountTenant(pl.updDec.tenant, -int64(pl.updSlot.Atomic.SizeBytes()))
+			if pl.expUpd {
+				// The superseded copy's lease had lapsed: finish as an
+				// insert (free the dead block, drop its stale FC delta,
+				// fresh slot metadata) — replacing a dead object is not an
+				// access to it.
+				pl.c.alloc.Free(pl.updSlot.Atomic.Pointer(), pl.updSlot.Atomic.SizeBytes())
+				pl.c.finishInsert(target.Addr, pl.kh, pl.now)
+			} else {
+				pl.c.finishUpdate(pl.updSlot, len(pl.key), pl.now)
+			}
 			pl.outcome = setDone
 			pl.st = sDone
 			return
@@ -575,7 +621,7 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 			if dec.ok && bytes.Equal(dec.key, pl.key) {
 				// A racing write published the same key into another slot
 				// after our CAS; that copy is newer — ours must yield.
-				pl.c.dropMigrated(pl.slotAddr, pl.want)
+				pl.c.dropMigrated(pl.slotAddr, pl.want, pl.tenant)
 				pl.outcome = setPresent
 				pl.st = sDone
 				return
@@ -619,6 +665,9 @@ func (pl *setPlan) classifyThrough(upTo int) {
 				continue
 			}
 			if c.dec.ok && bytes.Equal(c.dec.key, pl.key) {
+				if pl.c.cl.tenantMode && c.dec.expired(pl.rnow) {
+					pl.expUpd = true
+				}
 				pl.startUpdate(*c)
 				return
 			}
@@ -683,6 +732,11 @@ func (pl *setPlan) stage(fp byte) {
 	pl.addr = c.allocOrEvict(pl.size)
 	var ext []byte
 	switch {
+	case pl.mode == pUpdate && pl.expUpd:
+		// Superseding an EXPIRED copy: the lease lapsed, so its access
+		// history is void — stage fresh metadata exactly as an insert.
+		pl.extBuf = c.initExts(pl.extBuf, pl.size, pl.now)
+		ext = pl.extBuf
 	case pl.mode == pUpdate:
 		pl.extBuf = c.updateExt(pl.extBuf, pl.updSlot, pl.updDec, pl.size, pl.now)
 		ext = pl.extBuf
@@ -698,7 +752,7 @@ func (pl *setPlan) stage(fp byte) {
 		pl.extBuf = c.initExts(pl.extBuf, pl.size, pl.now)
 		ext = pl.extBuf
 	}
-	pl.data = encodeObjectInto(pl.data, pl.key, pl.value, ext)
+	pl.data = encodeObjectInto(pl.data, pl.key, pl.value, ext, pl.tenant, pl.expiry)
 	pl.want = hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(pl.size), pl.addr)
 	pl.st = sWrite
 }
@@ -733,6 +787,14 @@ type delPlan struct {
 	matches []hashtable.Slot
 	mi      int
 
+	// matchMeta parallels matches: the tenant each matched copy is
+	// charged to, and whether its lease had lapsed — an expired copy is
+	// still CASed away and freed, but does not count toward `deleted`
+	// (observationally it was already gone; the TTL≡Delete property test
+	// pins exactly this).
+	matchMeta []delMatch
+	rnow      int64
+
 	deleted bool
 
 	// Pooled scratch, kept across reset (see getPlan).
@@ -740,6 +802,12 @@ type delPlan struct {
 	bktBuf   [][]byte
 	objBufs  [][]byte
 	decSlots []hashtable.Slot
+}
+
+// delMatch is the per-match tenancy view of a delPlan candidate.
+type delMatch struct {
+	tenant  TenantID
+	expired bool
 }
 
 // reset re-aims the plan at key, keeping its scratch buffers.
@@ -751,6 +819,8 @@ func (pl *delPlan) reset(c *Client, key []byte) {
 	pl.st, pl.bi, pl.ci, pl.mi = dBuckets, 0, 0, 0
 	pl.cands = pl.cands[:0]
 	pl.matches = pl.matches[:0]
+	pl.matchMeta = pl.matchMeta[:0]
+	pl.rnow = c.p.Now()
 	pl.deleted = false
 }
 
@@ -827,6 +897,10 @@ func (pl *delPlan) Absorb(res []exec.Result) {
 			dec := decodeObject(r.Data)
 			if dec.ok && bytes.Equal(dec.key, pl.key) {
 				pl.matches = append(pl.matches, s)
+				pl.matchMeta = append(pl.matchMeta, delMatch{
+					tenant:  dec.tenant,
+					expired: pl.c.cl.tenantMode && dec.expired(pl.rnow),
+				})
 			}
 		}
 		if pl.mi < len(pl.matches) {
@@ -834,12 +908,15 @@ func (pl *delPlan) Absorb(res []exec.Result) {
 		}
 	case dCAS:
 		for _, r := range res {
-			s := pl.matches[pl.mi]
+			s, m := pl.matches[pl.mi], pl.matchMeta[pl.mi]
 			pl.mi++
 			if r.Swapped {
 				pl.c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				pl.c.fc.Forget(s.Addr)
-				pl.deleted = true
+				pl.c.accountTenant(m.tenant, -int64(s.Atomic.SizeBytes()))
+				if !m.expired {
+					pl.deleted = true
+				}
 			}
 			// On a lost CAS race someone else deleted or replaced this
 			// copy; keep scanning for further copies either way.
@@ -889,6 +966,14 @@ type evictPlan struct {
 	deciding int
 	now      int64 // priority-evaluation time, fixed at construction
 	fullScan bool
+
+	// Tenancy: overQ snapshots the over-quota tenant set at reset (one
+	// consistent set per batch under either strategy — evictBatch
+	// acquires every plan before running any); expVictim marks a victim
+	// reclaimed because its lease lapsed — a plain CAS-to-empty with no
+	// history entry and no expert blamed, the Delete-equivalent form.
+	overQ     uint64
+	expVictim bool
 
 	st        int
 	sampleOps []rdma.BatchOp
@@ -947,6 +1032,14 @@ func (pl *evictPlan) reset(c *Client) {
 	pl.deciding = 0
 	if c.adapt != nil {
 		pl.deciding = c.adapt.PickExpert(c.p.Rand())
+	}
+	// Snapshotted AFTER the RNG draws (it consumes none, so the random
+	// sequence is untouched) and at reset time, so every plan of a batch
+	// judges quotas against the same aggregation.
+	pl.overQ = 0
+	pl.expVictim = false
+	if c.cl.tenantMode {
+		pl.overQ = c.cl.overQuotaMask()
 	}
 	pl.fullScan = pl.window >= n
 	pl.sampleOps = c.cl.Layout.AppendSampleOps(pl.sampleOps[:0], pl.start, pl.window)
@@ -1018,7 +1111,7 @@ func (pl *evictPlan) Step(eager bool) []exec.Verb {
 			return pl.verbs
 		case evCAS:
 			swap := hashtable.AtomicField(0)
-			if pl.c.adapt != nil {
+			if pl.c.adapt != nil && !pl.expVictim {
 				swap = history.EntryFor(pl.victim.slot, pl.histID)
 			}
 			pl.verbs = append(pl.verbs[:0], casVerb(pl.c, pl.victim.slot.Addr, pl.victim.slot.Atomic, swap))
@@ -1079,7 +1172,7 @@ func (pl *evictPlan) Absorb(res []exec.Result) {
 			pl.st = evDone
 			return
 		}
-		if c.adapt != nil {
+		if c.adapt != nil && !pl.expVictim {
 			c.hist.FinishInsert(pl.victim.slot.Addr, pl.bitmap)
 			if c.cl.opts.DisableLWH {
 				pl.st = evLWH
@@ -1103,6 +1196,45 @@ func (pl *evictPlan) nominate() {
 	// ones are expected — trim any surplus, as the hand-written path did.
 	if len(pl.cands) > pl.k {
 		pl.cands = pl.cands[:pl.k]
+	}
+	if c.cl.tenantMode {
+		// Lease expiry first: a lapsed entry is dead weight no policy
+		// should out-rank. It is reclaimed with a plain CAS-to-empty —
+		// no history entry, no expert blamed — observationally the same
+		// removal an explicit Delete would have done.
+		for i := range pl.cands {
+			if ex := pl.cands[i].expiry; ex != 0 && ex <= pl.now {
+				pl.victim = pl.cands[i]
+				pl.expVictim = true
+				pl.st = evCAS
+				return
+			}
+		}
+		// Quota enforcement: while any tenant is over quota, the experts
+		// nominate only among over-quota candidates — an over-quota
+		// tenant can never displace an in-quota one that has victims
+		// available. A sample with no over-quota candidate is treated
+		// like a lost CAS and resampled (the over-quota tenant's usage
+		// exceeds its quota, so victims exist somewhere in the table);
+		// only a FULL-table scan with no over-quota candidate proves no
+		// such victim remains, and then the global policy may run over
+		// whatever is left.
+		if pl.overQ != 0 {
+			n := 0
+			for i := range pl.cands {
+				if pl.overQ&(1<<uint(pl.cands[i].tenant)) != 0 {
+					pl.cands[n] = pl.cands[i]
+					n++
+				}
+			}
+			if n > 0 {
+				pl.cands = pl.cands[:n]
+			} else if !pl.fullScan {
+				pl.outcome = evictLost
+				pl.st = evDone
+				return
+			}
+		}
 	}
 	now := pl.now
 	pl.nomBuf, pl.prio = pl.nomBuf[:0], pl.prio[:0]
@@ -1156,6 +1288,7 @@ func (pl *evictPlan) finishWin() {
 	}
 	c.alloc.Free(pl.victim.slot.Atomic.Pointer(), pl.victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(pl.victim.slot.Addr)
+	c.accountTenant(pl.victim.tenant, -int64(pl.victim.slot.Atomic.SizeBytes()))
 	c.cl.noteVictimBlocks(int(pl.victim.slot.Atomic.SizeBlocks()))
 	c.Stats.Evictions++
 	if c.cl.onEvictHash != nil {
@@ -1197,7 +1330,8 @@ func newMigratePlan(src, dst *Client, s hashtable.Slot, dec decodedObject) *migr
 	ext := append([]byte(nil), dec.ext...)
 	return &migratePlan{
 		src: src, s: s,
-		ins: dst.newMigrateSetPlan(key, val, ext, s.InsertTs, s.LastTs, s.Freq),
+		ins: dst.newMigrateSetPlan(key, val, ext, s.InsertTs, s.LastTs, s.Freq,
+			dec.tenant, dec.expiry),
 	}
 }
 
@@ -1232,6 +1366,9 @@ func (pl *migratePlan) Absorb(res []exec.Result) {
 	if res[0].Swapped {
 		pl.src.alloc.Free(pl.s.Atomic.Pointer(), pl.s.Atomic.SizeBytes())
 		pl.src.fc.Forget(pl.s.Addr)
+		// The moved copy's bytes leave the SOURCE node's accounting (the
+		// destination charged them at its insert CAS).
+		pl.src.accountTenant(pl.ins.tenant, -int64(pl.s.Atomic.SizeBytes()))
 		// inserted=false here means the destination already held a newer
 		// client-written copy: the source removal is garbage collection,
 		// not a migration.
@@ -1246,7 +1383,7 @@ func (pl *migratePlan) Absorb(res []exec.Result) {
 	// is stale — take it back. The driver re-reads the slot and redoes the
 	// copy with the fresh value (or gives up if the key is gone).
 	if pl.inserted {
-		pl.ins.c.dropMigrated(pl.ins.slotAddr, pl.ins.want)
+		pl.ins.c.dropMigrated(pl.ins.slotAddr, pl.ins.want, pl.ins.tenant)
 	}
 	pl.outcome = migRetry
 }

@@ -143,16 +143,22 @@ func (mc *MultiCluster) installEvictHook(id int, cl *Cluster) {
 // promotion when its observed hit frequency crosses the threshold. It
 // must not issue verbs (it runs inside the hit path), so the promotion
 // itself — which reads the value and materializes copies — is deferred
-// to drainPromotions at the next operation boundary.
-func (m *MultiClient) noteHotCandidate(key []byte, freq uint64) {
+// to drainPromotions at the next operation boundary. The hit's decoded
+// tenant rides along: replication multiplies a key's footprint by 1+R,
+// so an over-quota tenant's keys are refused promotion — a noisy
+// neighbor cannot amplify its own overage through the hot tail.
+func (m *MultiClient) noteHotCandidate(key []byte, tenant TenantID, freq uint64) {
 	mc := m.mc
 	if freq < mc.HotThreshold || mc.snap().oldRing != nil || mc.NumNodes() < 2 {
+		return
+	}
+	if mc.TenantOverQuota(tenant) {
 		return
 	}
 	if mc.hot.Lookup(key) != nil || len(m.promo) >= promoQueueCap {
 		return
 	}
-	m.promo = append(m.promo, append([]byte(nil), key...))
+	m.promo = append(m.promo, promoCand{key: append([]byte(nil), key...), tenant: tenant})
 }
 
 // drainPromotions promotes every queued candidate. Called at the top of
@@ -164,8 +170,8 @@ func (m *MultiClient) drainPromotions() {
 	}
 	pending := m.promo
 	m.promo = nil
-	for _, k := range pending {
-		m.promote(k)
+	for _, cand := range pending {
+		m.promote(cand.key, cand.tenant)
 	}
 }
 
@@ -176,10 +182,13 @@ func (m *MultiClient) drainPromotions() {
 // (see the file comment). Promotion aborts when the key is gone (deleted
 // or evicted since the qualifying hit) and demotes itself when a ring
 // switch lands mid-materialization.
-func (m *MultiClient) promote(key []byte) {
+func (m *MultiClient) promote(key []byte, tenant TenantID) {
 	mc := m.mc
 	if mc.snap().oldRing != nil || mc.hot.Lookup(key) != nil {
 		return
+	}
+	if mc.TenantOverQuota(tenant) {
+		return // usage moved since the qualifying hit; re-candidate later
 	}
 	// Capture the epoch BEFORE deriving the successor list: everything
 	// from here to Insert can yield (the victim demotions below issue
@@ -216,6 +225,7 @@ func (m *MultiClient) promote(key []byte) {
 		Epoch:    epoch,
 		Primary:  owners[0],
 		Replicas: owners[1:],
+		Tenant:   byte(tenant),
 	}
 	e.Touch(now) // not Victim's immediate minimum before its first read
 	// Born warming: no reader may spread until materialization is
@@ -370,7 +380,12 @@ func (m *MultiClient) setReplicated(e *hotset.Entry, key, value []byte) error {
 	stale := e.Epoch != route.epoch || route.oldRing != nil || e.Evicted
 	e.Writes++
 	writeHeavy := e.Writes >= demoteMinWrites && e.Writes > demoteWriteReadRatio*e.Reads
-	if stale || writeHeavy {
+	// A tenant that went over quota since promotion loses its replica
+	// copies on the next write-through: demotion dissolves the 1+R-copy
+	// amplification of its footprint, the same direction quota eviction
+	// pushes from below.
+	overQuota := mc.TenantOverQuota(TenantID(e.Tenant))
+	if stale || writeHeavy || overQuota {
 		// Demote, then store unreplicated — registered for the store's
 		// span exactly like Set's no-entry branch, so a promotion that
 		// re-publishes this key mid-store comes up warming and is

@@ -1,0 +1,238 @@
+package core
+
+// Multi-tenant serving: quotas, TTL leases, and overload shedding.
+//
+// A TenantID rides in every stored object's header (object.go), so the
+// policies need no side tables: per-tenant byte usage is accounted in
+// sharded counters at the verbs that transfer block ownership (insert /
+// update / delete / evict / migrate CAS wins), quota enforcement steers
+// the eviction sampler's nomination toward over-quota tenants
+// (plan.go's evictPlan), a lease expiry stamped at construction makes
+// lapsed entries read as misses immediately and reclaimable by the
+// background reclaimer (never by readers — the read path stays
+// zero-alloc and write-free), and overload control sheds batched writes
+// from over-quota tenants when the memory node's write-stall rate says
+// the reclaimer cannot keep up.
+//
+// Everything is gated on tenantMode, which SetTenantQuota enables: a
+// deployment that never sets a quota runs the seed's exact verb shapes
+// and never reads the header's tenant/expiry fields.
+
+// TenantID identifies the application a stored object belongs to. It is
+// stamped into the object header at construction (Set) by the client's
+// bound tenant and never rewritten.
+type TenantID uint8
+
+// MaxTenants bounds tenant IDs (0..MaxTenants-1) so the over-quota set
+// fits one 64-bit mask snapshotted per eviction attempt.
+const MaxTenants = 64
+
+// DefaultTenant is the tenant unbound clients write as: a single-tenant
+// deployment is "tenant 0 everywhere".
+const DefaultTenant TenantID = 0
+
+// ------------------------------------------------------------ Cluster ----
+
+// SetTenantQuota assigns tenant t a byte quota (block-rounded usage is
+// compared against it; 0 removes the quota) and switches the cluster
+// into tenant mode. Enforcement is eviction-side: an over-quota tenant
+// is preferred as the eviction victim before the global expert policy
+// runs, so it cannot displace an in-quota tenant — and, with overload
+// control enabled, its batched writes are shed while the node's
+// reclaimer is behind.
+func (cl *Cluster) SetTenantQuota(t TenantID, bytes int64) {
+	if int(t) >= MaxTenants {
+		//dittolint:allow typederr (config validation: tenant IDs are a deployment-time constant)
+		panic("core: tenant ID out of range")
+	}
+	cl.ensureTenantMode()
+	cl.tenantQuota[t] = bytes
+}
+
+// ensureTenantMode flips the cluster into tenant mode, creating the
+// usage counter existing clients' cells were pre-registered against.
+func (cl *Cluster) ensureTenantMode() {
+	cl.tenantMode = true
+}
+
+// TenantMode reports whether any tenant policy is active.
+func (cl *Cluster) TenantMode() bool { return cl.tenantMode }
+
+// TenantQuota returns tenant t's byte quota (0 = unlimited).
+func (cl *Cluster) TenantQuota(t TenantID) int64 { return cl.tenantQuota[t] }
+
+// TenantUsage sums tenant t's live block-rounded bytes across every
+// client's accounting cell. Read-side only.
+func (cl *Cluster) TenantUsage(t TenantID) int64 { return cl.tenantUsage.Sum(int(t)) }
+
+// OverQuota reports whether tenant t currently exceeds its quota.
+func (cl *Cluster) OverQuota(t TenantID) bool {
+	q := cl.tenantQuota[t]
+	return q > 0 && cl.tenantUsage.Sum(int(t)) > q
+}
+
+// overQuotaMask snapshots the set of over-quota tenants as a bitmask —
+// one aggregation per eviction attempt, taken at plan reset so a batch
+// of plans sees one consistent set under either execution strategy.
+func (cl *Cluster) overQuotaMask() uint64 {
+	var mask uint64
+	for t, q := range cl.tenantQuota {
+		if q > 0 && cl.tenantUsage.Sum(t) > q {
+			mask |= 1 << uint(t)
+		}
+	}
+	return mask
+}
+
+// EnableOverloadControl arms the write-stall overload signal: when the
+// node accumulates more than threshold write-stall ticks within a
+// sliding window of windowNs virtual ns, TryMSet sheds batches from
+// over-quota tenants (typed ErrShed/ErrOverQuota) until the stall rate
+// subsides. threshold <= 0 disables; windowNs <= 0 picks 1 ms.
+func (cl *Cluster) EnableOverloadControl(threshold int64, windowNs int64) {
+	cl.MN.EnableOverloadSignal(threshold, windowNs)
+}
+
+// Overloaded reports the current overload-signal state (diagnostics and
+// benches; the shed decision itself lives in TryMSet).
+func (cl *Cluster) Overloaded(now int64) bool { return cl.MN.Overloaded(now) }
+
+// ------------------------------------------------------------- Client ----
+
+// BindTenant binds this client to tenant t: subsequent Sets stamp t
+// into the object header and the client's byte accounting cell charges
+// t. Unbound clients are DefaultTenant.
+func (c *Client) BindTenant(t TenantID) {
+	if int(t) >= MaxTenants {
+		//dittolint:allow typederr (config validation: tenant IDs are a deployment-time constant)
+		panic("core: tenant ID out of range")
+	}
+	c.tenant = t
+}
+
+// Tenant returns the client's bound tenant.
+func (c *Client) Tenant() TenantID { return c.tenant }
+
+// SetTTL is Set with a lease: the object's header carries an absolute
+// expiry stamp (now + ttl virtual ns) written at construction — after
+// the lease lapses the entry reads as a miss immediately (Get/MGet) and
+// becomes preferred reclaim fodder for the eviction sampler; no reader
+// ever issues a cleanup verb. ttl <= 0 is a plain Set.
+func (c *Client) SetTTL(key, value []byte, ttl int64) {
+	if ttl <= 0 {
+		c.Set(key, value)
+		return
+	}
+	c.nextExpiry = c.p.Now() + ttl
+	c.Set(key, value)
+	c.nextExpiry = 0
+}
+
+// accountTenant folds a block-ownership change (delta bytes,
+// block-rounded) into tenant t's shard of the cluster usage counter.
+// Called from the plan completions that transfer ownership; a no-op
+// outside tenant mode so the seed hot path is unchanged.
+func (c *Client) accountTenant(t TenantID, delta int64) {
+	if c.cl.tenantMode {
+		c.tcell.Add(int(t), delta)
+	}
+}
+
+// TryMSet is MSet with overload shedding: while the cluster is in
+// tenant mode, this client's tenant is over its quota, AND the memory
+// node's write-stall rate is past the overload threshold
+// (EnableOverloadControl), the batch is rejected up front — no verbs
+// issued — with a *ShedError wrapping ErrShed and ErrOverQuota. In-quota
+// tenants are never shed, so their p99 rides through the overload.
+func (c *Client) TryMSet(pairs []KV) error {
+	if c.cl.tenantMode && c.cl.OverQuota(c.tenant) && c.cl.MN.Overloaded(c.p.Now()) {
+		c.Stats.ShedOps += int64(len(pairs))
+		return &ShedError{
+			Tenant: c.tenant,
+			Usage:  c.cl.TenantUsage(c.tenant),
+			Quota:  c.cl.TenantQuota(c.tenant),
+		}
+	}
+	c.MSet(pairs)
+	return nil
+}
+
+// ------------------------------------------------------- MultiCluster ----
+
+// SetTenantQuota assigns tenant t a pool-wide byte quota, split evenly
+// across the current memory nodes (keys are hash-partitioned, so each
+// node sees ~1/n of every tenant's footprint). Nodes provisioned later
+// inherit the same per-node slice — AddNode grows the aggregate quota
+// with the pool, exactly as it grows aggregate cache bytes.
+func (mc *MultiCluster) SetTenantQuota(t TenantID, bytes int64) {
+	if int(t) >= MaxTenants {
+		//dittolint:allow typederr (config validation: tenant IDs are a deployment-time constant)
+		panic("core: tenant ID out of range")
+	}
+	per := bytes
+	if n := int64(len(mc.order)); bytes > 0 && n > 1 {
+		per = (bytes + n - 1) / n
+	}
+	mc.tenantMode = true
+	mc.tenantPerNode[t] = per
+	for _, id := range mc.order {
+		mc.nodes[id].SetTenantQuota(t, per)
+	}
+}
+
+// TenantMode reports whether any tenant policy is active pool-wide.
+func (mc *MultiCluster) TenantMode() bool { return mc.tenantMode }
+
+// TenantUsage sums tenant t's live block-rounded bytes across every
+// node in the pool.
+func (mc *MultiCluster) TenantUsage(t TenantID) int64 {
+	var sum int64
+	for _, id := range mc.order {
+		sum += mc.nodes[id].TenantUsage(t)
+	}
+	return sum
+}
+
+// TenantOverQuota reports whether tenant t exceeds its aggregate quota
+// across the pool — the signal the hot-key replication layer uses to
+// refuse (and dissolve) replica copies for over-quota tenants, since
+// replication multiplies a tenant's footprint by 1+R.
+func (mc *MultiCluster) TenantOverQuota(t TenantID) bool {
+	if !mc.tenantMode {
+		return false
+	}
+	var usage, quota int64
+	for _, id := range mc.order {
+		cl := mc.nodes[id]
+		usage += cl.TenantUsage(t)
+		quota += cl.TenantQuota(t)
+	}
+	return quota > 0 && usage > quota
+}
+
+// EnableOverloadControl arms the write-stall overload signal on every
+// node (see Cluster.EnableOverloadControl); nodes added later inherit it.
+func (mc *MultiCluster) EnableOverloadControl(threshold, windowNs int64) {
+	mc.overloadThreshold, mc.overloadWindowNs = threshold, windowNs
+	for _, id := range mc.order {
+		mc.nodes[id].EnableOverloadControl(threshold, windowNs)
+	}
+}
+
+// -------------------------------------------------------- MultiClient ----
+
+// BindTenant binds this client — and every per-node client it has opened
+// or will open — to tenant t.
+func (m *MultiClient) BindTenant(t TenantID) {
+	if int(t) >= MaxTenants {
+		//dittolint:allow typederr (config validation: tenant IDs are a deployment-time constant)
+		panic("core: tenant ID out of range")
+	}
+	m.tenant = t
+	for _, id := range sortedNodeIDs(m.clients) {
+		m.clients[id].BindTenant(t)
+	}
+}
+
+// Tenant returns the client's bound tenant.
+func (m *MultiClient) Tenant() TenantID { return m.tenant }

@@ -8,7 +8,12 @@
 //
 // The wrapper tags each cached object with the inserting tenant and
 // applies the expected delay (probabilistically, per FairRide's blocking
-// probability) when a different tenant hits it.
+// probability) when a different tenant hits it. The tag is a one-byte
+// value prefix — visible to every sharer, which is what expected delaying
+// needs — while New also binds the wrapped client to the same tenant ID
+// in the core tenancy layer (tenancy.go), so the bytes a fairness tenant
+// caches are charged against its quota when the cluster runs in tenant
+// mode.
 package fairness
 
 import "ditto/internal/core"
@@ -31,11 +36,22 @@ type Client struct {
 	// CrossHits counts hits on other tenants' objects; Delayed counts how
 	// many of them were delayed.
 	CrossHits, Delayed int64
+
+	// scratch is the retained Set staging buffer (tag + value); the core
+	// layer copies the value into its own pooled plan buffer before Set
+	// returns, so reuse across calls is safe and the steady-state Set
+	// path allocates nothing.
+	scratch []byte
 }
 
 // New wraps inner for the given tenant id. missCost is the virtual-time
 // delay equivalent to fetching from backing storage (the paper's 500 µs).
+// The wrapped client is also bound to the same tenant in the core
+// tenancy layer when the ID fits (quota accounting shares the namespace).
 func New(inner *core.Client, tenant byte, missCost int64) *Client {
+	if int(tenant) < core.MaxTenants {
+		inner.BindTenant(core.TenantID(tenant))
+	}
 	return &Client{inner: inner, tenant: tenant, MissCost: missCost, BlockProb: 1}
 }
 
@@ -44,24 +60,29 @@ func (c *Client) Inner() *core.Client { return c.inner }
 
 // Set stores a value tagged with the calling tenant.
 func (c *Client) Set(key, value []byte) {
-	buf := make([]byte, ownerHeader+len(value))
-	buf[0] = c.tenant
-	copy(buf[ownerHeader:], value)
-	c.inner.Set(key, buf)
+	c.scratch = append(append(c.scratch[:0], c.tenant), value...)
+	c.inner.Set(key, c.scratch)
 }
 
 // Get fetches a value; hits on objects inserted by another tenant are
 // served after the expected miss delay, so caching-as-a-free-rider buys
-// nothing.
-func (c *Client) Get(key []byte) ([]byte, bool) {
-	raw, ok := c.inner.Get(key)
-	if !ok {
-		return nil, false
+// nothing. The returned value is a fresh copy; use GetAppend to reuse a
+// buffer.
+func (c *Client) Get(key []byte) ([]byte, bool) { return c.GetAppend(nil, key) }
+
+// GetAppend is Get appending the value to dst and returning the extended
+// slice — the allocation-free form for callers that reuse a buffer
+// across operations. The owner tag is read and stripped in place, so the
+// steady-state path costs one in-buffer shift and no allocation.
+func (c *Client) GetAppend(dst, key []byte) ([]byte, bool) {
+	base := len(dst)
+	raw, ok := c.inner.GetAppend(dst, key)
+	if !ok || len(raw)-base < ownerHeader {
+		return raw[:base], false
 	}
-	if len(raw) < ownerHeader {
-		return nil, false
-	}
-	owner, value := raw[0], raw[ownerHeader:]
+	owner := raw[base]
+	copy(raw[base:], raw[base+ownerHeader:]) // strip the tag in place
+	raw = raw[:len(raw)-ownerHeader]
 	if owner != c.tenant {
 		c.CrossHits++
 		if c.BlockProb >= 1 || c.inner.Proc().Rand().Float64() < c.BlockProb {
@@ -69,7 +90,7 @@ func (c *Client) Get(key []byte) ([]byte, bool) {
 			c.inner.Proc().Sleep(c.MissCost)
 		}
 	}
-	return value, true
+	return raw, true
 }
 
 // Delete removes key (any tenant may invalidate; cache semantics).

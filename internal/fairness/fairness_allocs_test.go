@@ -1,0 +1,52 @@
+//go:build !race
+
+package fairness
+
+import (
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/sim"
+)
+
+// TestAllocsPerOpSteadyState extends the core zero-allocation contract
+// to the fairness wrapper: a steady-state tagged Set (retained scratch
+// buffer) and a GetAppend with a reused destination — own-tenant or
+// cross-tenant — must allocate NOTHING once the pools are warm. The
+// counts are meaningless under the race detector, so the -race build
+// skips this file entirely (build tag).
+func TestAllocsPerOpSteadyState(t *testing.T) {
+	env := sim.NewEnv(11)
+	cl := core.NewCluster(env, core.DefaultOptions(1000, 1000*320))
+	env.Go("meter", func(p *sim.Proc) {
+		own := New(cl.NewClient(p), 1, missCost)
+		rider := New(cl.NewClient(p), 2, missCost)
+		// The cross-tenant measurement keeps the probabilistic branch live
+		// (one RNG draw per hit) without the virtual-time sleep, which
+		// would dominate the loop for nothing — the draw is the alloc risk.
+		rider.BlockProb = 0
+
+		k, v := []byte("steady-key"), []byte("steady-value-64b")
+		dst := make([]byte, 0, 128)
+		for r := 0; r < 3; r++ { // warm plan pools, scratch, event heap
+			own.Set(k, v)
+			dst, _ = own.GetAppend(dst[:0], k)
+			dst, _ = rider.GetAppend(dst[:0], k)
+		}
+
+		sets := testing.AllocsPerRun(200, func() { own.Set(k, v) })
+		gets := testing.AllocsPerRun(200, func() { dst, _ = own.GetAppend(dst[:0], k) })
+		cross := testing.AllocsPerRun(200, func() { dst, _ = rider.GetAppend(dst[:0], k) })
+		t.Logf("allocs/op: set=%.1f get=%.1f cross-get=%.1f", sets, gets, cross)
+		if sets != 0 {
+			t.Errorf("steady-state tagged Set allocates %.1f objects/op, want 0", sets)
+		}
+		if gets != 0 {
+			t.Errorf("steady-state GetAppend allocates %.1f objects/op, want 0", gets)
+		}
+		if cross != 0 {
+			t.Errorf("steady-state cross-tenant GetAppend allocates %.1f objects/op, want 0", cross)
+		}
+	})
+	env.Run()
+}

@@ -97,6 +97,83 @@ func TestBlockProbZeroDisablesDelaying(t *testing.T) {
 	env.Run()
 }
 
+// TestExpectedDelayingBlockProb drives the same cross-tenant read
+// sequence through the three interesting blocking probabilities. The
+// delayed counts are seed-pinned: BlockProb 0 and 1 are degenerate
+// (never/always), and 0.5 consumes one RNG draw per cross hit from the
+// sim's seeded stream, so the count is exact for this seed — a change
+// in the draw order or the branch structure shows up as a diff here.
+func TestExpectedDelayingBlockProb(t *testing.T) {
+	const crossGets = 40
+	cases := []struct {
+		name        string
+		prob        float64
+		wantDelayed int64
+	}{
+		{"never", 0, 0},
+		{"half", 0.5, 24}, // pinned: env seed 1, 40 draws
+		{"always", 1, crossGets},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env := sim.NewEnv(1)
+			cl := newCluster(env)
+			env.Go("tenants", func(p *sim.Proc) {
+				owner := New(cl.NewClient(p), 1, missCost)
+				rider := New(cl.NewClient(p), 2, missCost)
+				rider.BlockProb = tc.prob
+				for i := 0; i < crossGets; i++ {
+					owner.Set([]byte{byte(i)}, []byte("v"))
+				}
+				start := p.Now()
+				for i := 0; i < crossGets; i++ {
+					if _, ok := rider.Get([]byte{byte(i)}); !ok {
+						t.Fatalf("cross-tenant read %d missed", i)
+					}
+				}
+				if rider.CrossHits != crossGets {
+					t.Fatalf("CrossHits = %d, want %d", rider.CrossHits, crossGets)
+				}
+				if rider.Delayed != tc.wantDelayed {
+					t.Fatalf("Delayed = %d, want %d (seed-pinned)", rider.Delayed, tc.wantDelayed)
+				}
+				// Every delay is exactly one missCost sleep; the verb time
+				// around it is orders of magnitude smaller.
+				if elapsed := p.Now() - start; elapsed < rider.Delayed*missCost {
+					t.Fatalf("elapsed %d ns < %d delays x %d ns", elapsed, rider.Delayed, missCost)
+				}
+			})
+			env.Run()
+		})
+	}
+}
+
+// TestShortRawValueReadsAsMiss pins the defensive edge: an object too
+// short to carry the owner tag (stored around the wrapper, e.g. an
+// empty value through the inner client) reads as a miss rather than a
+// mis-attributed hit — for both the copying Get and the in-place
+// GetAppend, which must also leave the caller's prefix intact.
+func TestShortRawValueReadsAsMiss(t *testing.T) {
+	env := sim.NewEnv(1)
+	cl := newCluster(env)
+	env.Go("c", func(p *sim.Proc) {
+		a := New(cl.NewClient(p), 1, missCost)
+		a.Inner().Set([]byte("bare"), nil) // zero-length raw: no tag byte
+		if v, ok := a.Get([]byte("bare")); ok {
+			t.Fatalf("tagless object served as a hit: %q", v)
+		}
+		if a.CrossHits != 0 || a.Delayed != 0 {
+			t.Fatalf("tagless object touched the fairness counters: %+v", a)
+		}
+		dst := append(make([]byte, 0, 16), "prefix"...)
+		out, ok := a.GetAppend(dst, []byte("bare"))
+		if ok || string(out) != "prefix" {
+			t.Fatalf("GetAppend on tagless object: ok=%v out=%q", ok, out)
+		}
+	})
+	env.Run()
+}
+
 func TestFreeRidingBuysNothing(t *testing.T) {
 	// The economic property: a tenant that never inserts sees effective
 	// latency no better than running against storage directly.

@@ -79,6 +79,13 @@ type Entry struct {
 	// successor order (never including Primary).
 	Replicas []int
 
+	// Tenant is the owning tenant observed at promotion (a core.TenantID;
+	// this package stays below core in the import order, so it is a raw
+	// byte here). The replication layer refuses promotion to — and
+	// demotes entries of — tenants over their byte quota, since every
+	// replica copy multiplies the tenant's footprint.
+	Tenant byte
+
 	// Warming marks an entry whose copies may still diverge from an
 	// unreplicated write: the promotion is still materializing, or a
 	// write that predates the entry was in flight when it published

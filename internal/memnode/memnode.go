@@ -91,6 +91,19 @@ type MemNode struct {
 	// reclaimer that polls it.
 	LowWaterBytes, HighWaterBytes int
 
+	// Overload signal (core.EnableOverloadControl): write-stall ticks
+	// reported by clients via NoteStallTick are bucketed into
+	// stallWindowNs-wide virtual-time epochs, and the node counts as
+	// overloaded while the current plus previous epoch together exceed
+	// stallThreshold ticks — a two-bucket sliding window that needs no
+	// per-tick timestamps. stallThreshold == 0 means the signal is off
+	// and both NoteStallTick and Overloaded are no-ops.
+	stallThreshold int64
+	stallWindowNs  int64
+	stallEpoch     int64
+	stallCur       int64
+	stallPrev      int64
+
 	// liveBlocks, when non-nil (EnableFreeTracking), maps every
 	// outstanding allocated block to its size class — a precise
 	// double-free / double-alloc detector the chaos suite turns on. The
@@ -253,6 +266,72 @@ func (mn *MemNode) ReclaimTarget() int {
 func (mn *MemNode) BelowHighWater() bool {
 	high := mn.ReclaimTarget()
 	return (high > 0 && mn.FreeBytes() < high) || mn.OverBudget()
+}
+
+// DefaultStallWindowNs is the overload signal's default sliding-window
+// width: 1 ms of virtual time, a few hundred stall ticks at the write
+// path's 2 µs tick.
+const DefaultStallWindowNs = int64(sim.Millisecond)
+
+// EnableOverloadSignal arms the write-stall overload signal: more than
+// threshold stall ticks within the (two-epoch) sliding window marks the
+// node overloaded. threshold <= 0 disables; windowNs <= 0 picks
+// DefaultStallWindowNs.
+func (mn *MemNode) EnableOverloadSignal(threshold, windowNs int64) {
+	if threshold <= 0 {
+		mn.stallThreshold, mn.stallWindowNs = 0, 0
+		return
+	}
+	if windowNs <= 0 {
+		windowNs = DefaultStallWindowNs
+	}
+	mn.stallThreshold, mn.stallWindowNs = threshold, windowNs
+	mn.stallEpoch, mn.stallCur, mn.stallPrev = 0, 0, 0
+}
+
+// rollStallEpoch advances the two-bucket window to the epoch containing
+// virtual time now.
+func (mn *MemNode) rollStallEpoch(now int64) {
+	e := now / mn.stallWindowNs
+	switch {
+	case e == mn.stallEpoch:
+	case e == mn.stallEpoch+1:
+		mn.stallPrev, mn.stallCur = mn.stallCur, 0
+		mn.stallEpoch = e
+	default:
+		mn.stallPrev, mn.stallCur = 0, 0
+		mn.stallEpoch = e
+	}
+}
+
+// NoteStallTick records one write-stall tick at virtual time now (a
+// no-op while the signal is disarmed).
+func (mn *MemNode) NoteStallTick(now int64) {
+	if mn.stallThreshold == 0 {
+		return
+	}
+	mn.rollStallEpoch(now)
+	mn.stallCur++
+}
+
+// Overloaded reports whether the recent write-stall rate exceeds the
+// armed threshold (always false while disarmed).
+func (mn *MemNode) Overloaded(now int64) bool {
+	if mn.stallThreshold == 0 {
+		return false
+	}
+	mn.rollStallEpoch(now)
+	return mn.stallCur+mn.stallPrev > mn.stallThreshold
+}
+
+// StallTicksInWindow returns the tick count the overload decision reads
+// (diagnostics; 0 while disarmed).
+func (mn *MemNode) StallTicksInWindow(now int64) int64 {
+	if mn.stallThreshold == 0 {
+		return 0
+	}
+	mn.rollStallEpoch(now)
+	return mn.stallCur + mn.stallPrev
 }
 
 // SetHeapLimit sets the allocatable heap end to heapAddr+bytes, used to

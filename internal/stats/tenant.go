@@ -1,0 +1,57 @@
+package stats
+
+// Per-tenant byte accounting, sharded like ShardedCounter: each client
+// owns one TenantCell (a fixed-size array of per-tenant words, one row
+// per tenant) and ticks only its own cell on the hot path; quota checks
+// aggregate across cells on read. As with CounterCell, the simulator
+// runs exactly one process at a time so the cells need no atomics — the
+// sharding preserves the one-client-per-core model for any future
+// real-parallel harness.
+
+// TenantCell is one client's shard of a TenantCounter: a dense array of
+// per-tenant values indexed by tenant ID.
+type TenantCell struct {
+	v []int64
+}
+
+// Add folds delta into tenant t's word in the owning client's shard.
+func (c *TenantCell) Add(t int, delta int64) { c.v[t] += delta }
+
+// Get returns tenant t's value in this shard alone (diagnostics).
+func (c *TenantCell) Get(t int) int64 { return c.v[t] }
+
+// TenantCounter aggregates per-tenant values across per-client cells.
+// Construct with NewTenantCounter; NewCell registers a shard (one per
+// client, at client construction); Sum aggregates one tenant's value
+// across all shards on read.
+type TenantCounter struct {
+	tenants int
+	cells   []*TenantCell
+}
+
+// NewTenantCounter returns a counter tracking the given number of
+// tenant IDs (0..tenants-1).
+func NewTenantCounter(tenants int) *TenantCounter {
+	return &TenantCounter{tenants: tenants}
+}
+
+// Tenants returns the number of tenant IDs the counter tracks.
+func (s *TenantCounter) Tenants() int { return s.tenants }
+
+// NewCell registers and returns a new shard. Call once per client, off
+// the hot path.
+func (s *TenantCounter) NewCell() *TenantCell {
+	c := &TenantCell{v: make([]int64, s.tenants)}
+	s.cells = append(s.cells, c)
+	return c
+}
+
+// Sum aggregates tenant t's value across every shard. Read-side only;
+// linear in the number of registered clients.
+func (s *TenantCounter) Sum(t int) int64 {
+	var total int64
+	for _, c := range s.cells {
+		total += c.v[t]
+	}
+	return total
+}
