@@ -58,6 +58,43 @@ func newFakePlan() *fakePlan {
 	return &fakePlan{verbs: make([]verb, 0, 4)} // constructor: no finding
 }
 
+// fakeSpecGetPlan mirrors the speculative-Get plan: Step sizes the
+// retained READ buffer through a free grow helper and appends its ONE
+// hinted READ into the retained verbs slice; Absorb validates the image
+// in place. The flagged forms are the regressions that would silently
+// re-allocate the hinted fast path (the one allocs_test pins at 0).
+type fakeSpecGetPlan struct {
+	key   []byte
+	buf   []byte
+	verbs []verb
+	ok    bool
+}
+
+func (pl *fakeSpecGetPlan) Step(eager bool) []verb {
+	pl.buf = growFixture(pl.buf, 64)                             // free grow helper: no finding
+	pl.verbs = append(pl.verbs[:0], verb{addr: 4, data: pl.buf}) // one hinted READ: no finding
+	return pl.verbs
+}
+
+func (pl *fakeSpecGetPlan) Absorb(res []int) {
+	pl.ok = len(res) == 1 && len(pl.buf) >= len(pl.key) // in-place validation: no finding
+
+	keyCopy := []byte{0} // want `\[\]byte literal in hot function Absorb allocates per call`
+	_ = keyCopy
+
+	onStale := func() { pl.ok = false } // want `function literal in hot function Absorb allocates its closure per call`
+	_ = onStale
+}
+
+// growFixture is the free-function grow idiom: allocation lives outside
+// the swept plan methods, exactly like core's real grow helper.
+func growFixture(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n) // free helper, not a plan method: no finding
+	}
+	return b[:n]
+}
+
 type helper struct{}
 
 // run is a method on a non-Plan receiver: not swept.

@@ -22,6 +22,13 @@ func (c *fixtureClient) rawBatch(ops []rdma.BatchOp) {
 	c.ep.PostBatch(ops) // want `raw rdma\.Endpoint\.PostBatch call`
 }
 
+// A hinted speculative READ issued outside plan.go re-creates the
+// one-RTT Get outside the declared verb vocabulary — flagged the same
+// as any other raw verb.
+func (c *fixtureClient) rawSpecRead(hintAddr uint64, hintLen int) []byte {
+	return c.ep.Read(hintAddr, hintLen) // want `raw rdma\.Endpoint\.Read call outside the verb-plan layer`
+}
+
 func rawMulti(batches []rdma.EndpointBatch) {
 	rdma.PostMulti(batches) // want `raw rdma\.PostMulti call`
 }

@@ -13,3 +13,10 @@ func planRead(ep *rdma.Endpoint, addr uint64) []byte {
 func planBatch(ep *rdma.Endpoint, ops []rdma.BatchOp) []rdma.BatchResult {
 	return ep.PostBatch(ops) // sanctioned likewise
 }
+
+// planSpecRead is the speculative-Get shape: ONE hinted object READ.
+// Sanctioned here and only here — the one-RTT path stays inside the
+// declared verb vocabulary.
+func planSpecRead(ep *rdma.Endpoint, hintAddr uint64, hintLen int) []byte {
+	return ep.Read(hintAddr, hintLen) // sanctioned: plan.go owns the hinted READ
+}

@@ -14,9 +14,18 @@ import (
 type batchedRow struct {
 	Workload string  `json:"workload"`
 	Batch    int     `json:"batch"`
+	LocCache bool    `json:"loc_cache"` // client-side location cache on?
 	Mops     float64 `json:"mops"`
 	Speedup  float64 `json:"speedup_vs_seq"`
 	HitRate  float64 `json:"hit_rate"`
+
+	// Speculative-Get effectiveness over the measured phase: the fraction
+	// of Gets served by one validated hinted READ, and the mean READ verbs
+	// per Get (2.0 with the cache off; toward 1.0 as hints hit). In the
+	// doorbell rows the hinted READs also fold MGet's two doorbells into
+	// one for all-hinted windows.
+	SpecGetHitRate float64 `json:"spec_get_hit_rate"`
+	VerbsPerGet    float64 `json:"verbs_per_get"`
 
 	// Host-side cost of simulating the measured phase (see Result):
 	// allocations and wall-clock nanoseconds per key-operation. These
@@ -49,31 +58,37 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 		{"ycsb-c", workload.YCSBC},
 		{"mixed", workload.YCSBA},
 	} {
-		row(w, wl.name, "batch", "tput(Mops)", "speedup", "hit rate", "allocs/op", "host ns/op")
-		base := 0.0
-		for _, bs := range batchSizes {
-			res := runBatchedYCSB(wl.kind, keys, clients, opsEach, bs)
-			if bs == 1 {
-				base = res.Mops()
+		for _, locCache := range []bool{false, true} {
+			row(w, wl.name+"/loc-"+onOff(locCache), "batch", "tput(Mops)", "speedup",
+				"hit rate", "spec hit", "verbs/get", "allocs/op", "host ns/op")
+			base := 0.0
+			for _, bs := range batchSizes {
+				res, spec, vpg := runBatchedYCSB(wl.kind, keys, clients, opsEach, bs, locCache)
+				if bs == 1 {
+					base = res.Mops()
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = res.Mops() / base
+				}
+				row(w, "", bs, res.Mops(), speedup, res.HitRate(), spec, vpg,
+					res.AllocsPerOp(), res.HostNsPerOp())
+				rows = append(rows, batchedRow{
+					Workload: wl.name, Batch: bs, LocCache: locCache,
+					Mops: res.Mops(), Speedup: speedup, HitRate: res.HitRate(),
+					SpecGetHitRate: spec, VerbsPerGet: vpg,
+					AllocsPerOp: res.AllocsPerOp(), HostNsPerOp: res.HostNsPerOp(),
+				})
 			}
-			speedup := 0.0
-			if base > 0 {
-				speedup = res.Mops() / base
-			}
-			row(w, "", bs, res.Mops(), speedup, res.HitRate(), res.AllocsPerOp(), res.HostNsPerOp())
-			rows = append(rows, batchedRow{
-				Workload: wl.name, Batch: bs,
-				Mops: res.Mops(), Speedup: speedup, HitRate: res.HitRate(),
-				AllocsPerOp: res.AllocsPerOp(), HostNsPerOp: res.HostNsPerOp(),
-			})
 		}
 	}
 	return writeJSONSummary(w, map[string]interface{}{
-		"scenario": "batched-throughput",
-		"scale":    scale.String(),
-		"keys":     keys,
-		"clients":  clients,
-		"results":  rows,
+		"scenario":        "batched-throughput",
+		"scale":           scale.String(),
+		"keys":            keys,
+		"clients":         clients,
+		"loc_cache_slots": keys,
+		"results":         rows,
 	})
 }
 
@@ -81,13 +96,22 @@ func BatchedThroughput(w io.Writer, scale Scale) error {
 // each issuing opsEach key-operations in windows of batchSize requests:
 // the window's writes go out as one MSet, its reads as one MGet.
 // batchSize 1 degenerates to per-key Set/Get — the sequential baseline.
-func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize int) Result {
+// With locCache the location cache is sized to the key space, so steady
+// state approaches the all-hinted regime; returns the result plus the
+// measured-phase spec_get_hit_rate and READ verbs per Get.
+func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize int, locCache bool) (Result, float64, float64) {
 	env := sim.NewEnv(benchSeed(23))
-	mc := core.NewMultiCluster(env, 2, core.DefaultOptions(keys*2, keys*512))
+	opts := core.DefaultOptions(keys*2, keys*512)
+	if locCache {
+		opts.LocCacheSlots = keys
+	}
+	mc := core.NewMultiCluster(env, 2, opts)
 	factory := func(p *sim.Proc) CacheOps { return mc.NewClient(p) }
 	RunLoad(env, factory, loadKeys(keys), 16)
 
+	reads0 := nodeReads(mc)
 	res := Result{}
+	var agg core.Stats
 	meter := startHostMeter()
 	start := env.Now()
 	for w := 0; w < clients; w++ {
@@ -135,10 +159,15 @@ func runBatchedYCSB(kind workload.YCSBKind, keys, clients, opsEach, batchSize in
 				}
 				res.Ops += int64(n)
 			}
+			agg.Add(m.Stats())
 		})
 	}
 	env.Run()
 	res.ElapsedNs = env.Now() - start
 	meter.stop(&res)
-	return res
+	vpg := 0.0
+	if agg.Gets > 0 {
+		vpg = float64(nodeReads(mc)-reads0) / float64(agg.Gets)
+	}
+	return res, agg.SpecGetHitRate(), vpg
 }

@@ -200,14 +200,39 @@ func TestValueForSized(t *testing.T) {
 // rate regression — the load phase populates every key, so both runs
 // must stay at hit rate 1.
 func TestBatchedThroughputSpeedup(t *testing.T) {
-	seq := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 1)
-	batched := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 32)
+	seq, _, _ := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 1, false)
+	batched, _, _ := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 32, false)
 	if seq.HitRate() != 1 || batched.HitRate() != 1 {
 		t.Fatalf("hit rates: seq=%v batched=%v, want 1", seq.HitRate(), batched.HitRate())
 	}
 	if sp := batched.Mops() / seq.Mops(); sp < 3 {
 		t.Fatalf("MGet(32) speedup = %.2fx, want >= 3x (seq %.3f Mops, batched %.3f Mops)",
 			sp, seq.Mops(), batched.Mops())
+	}
+}
+
+// TestBatchedLocCacheSpeculation pins the location cache's acceptance
+// bar on the read-dominated workload at quick-scale parameters: with
+// hints on, a majority of Gets must go speculative, the measured READ
+// verbs per Get must drop well below the 2.0 classic floor, and
+// throughput must improve — deterministically, same seed both runs.
+func TestBatchedLocCacheSpeculation(t *testing.T) {
+	off, specOff, vpgOff := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 32, false)
+	on, specOn, vpgOn := runBatchedYCSB(workload.YCSBC, 2000, 4, 2048, 32, true)
+	if specOff != 0 {
+		t.Fatalf("spec hit rate = %v with the cache off, want 0", specOff)
+	}
+	if specOn < 0.5 {
+		t.Fatalf("spec hit rate = %.3f with the cache on, want >= 0.5", specOn)
+	}
+	if vpgOn >= vpgOff || vpgOn > 1.6 {
+		t.Fatalf("verbs/get = %.3f with hints (%.3f without), want < 1.6 and below the off run", vpgOn, vpgOff)
+	}
+	if on.Mops() <= off.Mops() {
+		t.Fatalf("loc-cache throughput %.3f Mops did not beat %.3f Mops", on.Mops(), off.Mops())
+	}
+	if on.HitRate() != off.HitRate() {
+		t.Fatalf("hit rate changed with hints: %v vs %v", on.HitRate(), off.HitRate())
 	}
 }
 
@@ -221,31 +246,48 @@ func TestHotspotReplicationSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second scenario")
 	}
-	unrep, unrepImb, _ := runHotspot(1.6, false, 2048, 48, 1500, 0)
-	rep, repImb, mc := runHotspot(1.6, true, 2048, 48, 1500, 0)
-	if sp := rep.Mops() / unrep.Mops(); sp < 2 {
+	unrep := runHotspot(1.6, false, false, 2048, 48, 1500, 0)
+	rep := runHotspot(1.6, true, false, 2048, 48, 1500, 0)
+	if sp := rep.res.Mops() / unrep.res.Mops(); sp < 2 {
 		t.Fatalf("replication speedup = %.2fx, want >= 2x (unrep %.3f Mops, rep %.3f Mops)",
-			sp, unrep.Mops(), rep.Mops())
+			sp, unrep.res.Mops(), rep.res.Mops())
 	}
-	if unrepImb < 1.5 {
-		t.Fatalf("unreplicated imbalance = %.2f: the workload is not skewed enough to test spreading", unrepImb)
+	if unrep.imb < 1.5 {
+		t.Fatalf("unreplicated imbalance = %.2f: the workload is not skewed enough to test spreading", unrep.imb)
 	}
-	if repImb > 1.2 {
-		t.Fatalf("replicated imbalance = %.2f, want near 1 (spreading not working)", repImb)
+	if rep.imb > 1.2 {
+		t.Fatalf("replicated imbalance = %.2f, want near 1 (spreading not working)", rep.imb)
 	}
-	if mc.Promotions == 0 || mc.SpreadReads == 0 {
-		t.Fatalf("replication never engaged: promotions=%d spread=%d", mc.Promotions, mc.SpreadReads)
+	if rep.mc.Promotions == 0 || rep.mc.SpreadReads == 0 {
+		t.Fatalf("replication never engaged: promotions=%d spread=%d", rep.mc.Promotions, rep.mc.SpreadReads)
 	}
 	// The write-mix shape: every hot write suspends its key's spreading
 	// for the write's span, so the speedup shrinks but must remain a
 	// clear win over unreplicated routing.
-	unrepW, _, _ := runHotspot(1.6, false, 2048, 48, 1500, 20)
-	repW, _, mcW := runHotspot(1.6, true, 2048, 48, 1500, 20)
-	if sp := repW.Mops() / unrepW.Mops(); sp < 1.3 {
+	unrepW := runHotspot(1.6, false, false, 2048, 48, 1500, 20)
+	repW := runHotspot(1.6, true, false, 2048, 48, 1500, 20)
+	if sp := repW.res.Mops() / unrepW.res.Mops(); sp < 1.3 {
 		t.Fatalf("mixed-write replication speedup = %.2fx, want >= 1.3x", sp)
 	}
-	if mcW.SpreadReads == 0 {
+	if repW.mc.SpreadReads == 0 {
 		t.Fatal("mixed-write run never spread a read")
+	}
+	// Speculation composes with spreading: hints record per node, so with
+	// the location cache on the replicated heavy tail must go mostly
+	// one-RTT while keeping the imbalance collapsed.
+	repS := runHotspot(1.6, true, true, 2048, 48, 1500, 0)
+	if repS.spec < 0.5 {
+		t.Fatalf("replicated spec hit rate = %.3f, want >= 0.5", repS.spec)
+	}
+	if repS.vpg >= rep.vpg {
+		t.Fatalf("verbs/get with hints = %.3f, not below the hintless %.3f", repS.vpg, rep.vpg)
+	}
+	if repS.res.Mops() <= rep.res.Mops() {
+		t.Fatalf("loc-cache replicated throughput %.3f Mops did not beat %.3f Mops",
+			repS.res.Mops(), rep.res.Mops())
+	}
+	if repS.imb > 1.2 {
+		t.Fatalf("loc-cache replicated imbalance = %.2f, want near 1", repS.imb)
 	}
 }
 

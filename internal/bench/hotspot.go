@@ -15,8 +15,9 @@ import (
 // serialized into BENCH_hotspot.json.
 type hotspotRow struct {
 	Theta       float64 `json:"theta"`
-	Workload    string  `json:"workload"` // "read-only" | "mixed-5pct-writes"
-	Mode        string  `json:"mode"`     // "unreplicated" | "replicated"
+	Workload    string  `json:"workload"`  // "read-only" | "mixed-5pct-writes"
+	Mode        string  `json:"mode"`      // "unreplicated" | "replicated"
+	LocCache    bool    `json:"loc_cache"` // client-side location cache on?
 	Mops        float64 `json:"mops"`
 	Speedup     float64 `json:"speedup_vs_unreplicated"`
 	HitRate     float64 `json:"hit_rate"`
@@ -24,6 +25,19 @@ type hotspotRow struct {
 	Promotions  int64   `json:"promotions"`
 	Demotions   int64   `json:"demotions"`
 	SpreadReads int64   `json:"spread_reads"`
+
+	// Speculative-Get effectiveness over the measured phase: the fraction
+	// of Gets served by one validated hinted READ, and the mean READ verbs
+	// each Get cost (2.0 with the cache off: bucket + object; approaching
+	// 1.0 as hints hit — eviction sampling and write-path candidate READs
+	// keep it from reaching the floor exactly).
+	SpecGetHitRate float64 `json:"spec_get_hit_rate"`
+	VerbsPerGet    float64 `json:"verbs_per_get"`
+
+	// Host-side cost of simulating the measured phase (see Result): the
+	// alloc gate diffs these across commits.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HostNsPerOp float64 `json:"host_ns_per_op"`
 }
 
 // Hotspot measures the hot-key replication lever on a 4-MN pool, with
@@ -64,42 +78,71 @@ func Hotspot(w io.Writer, scale Scale) error {
 		{1.6, 20, "mixed-5pct-writes"},
 	}
 	for _, cfg := range configs {
-		fmt.Fprintf(w, "-- zipf theta=%.2f, %s --\n", cfg.theta, cfg.label)
-		row(w, "mode", "tput(Mops)", "speedup", "hit rate", "imbalance")
-		base := 0.0
-		for _, replicate := range []bool{false, true} {
-			res, imb, mc := runHotspot(cfg.theta, replicate, keys, clients, opsEach, cfg.writeDenom)
-			if !replicate {
-				base = res.Mops()
-			}
-			speedup := 0.0
-			if base > 0 {
-				speedup = res.Mops() / base
-			}
-			mode := "unreplicated"
-			if replicate {
-				mode = "replicated"
-			}
-			row(w, mode, res.Mops(), speedup, res.HitRate(), imb)
-			rows = append(rows, hotspotRow{
-				Theta: cfg.theta, Workload: cfg.label, Mode: mode,
-				Mops: res.Mops(), Speedup: speedup, HitRate: res.HitRate(), Imbalance: imb,
-				Promotions: mc.Promotions, Demotions: mc.Demotions, SpreadReads: mc.SpreadReads,
-			})
-			if replicate {
-				fmt.Fprintf(w, "promotions: %d, demotions: %d, spread reads: %d\n",
-					mc.Promotions, mc.Demotions, mc.SpreadReads)
+		for _, locCache := range []bool{false, true} {
+			fmt.Fprintf(w, "-- zipf theta=%.2f, %s, loc-cache %s --\n",
+				cfg.theta, cfg.label, onOff(locCache))
+			row(w, "mode", "tput(Mops)", "speedup", "hit rate", "imbalance", "spec hit", "verbs/get")
+			base := 0.0
+			for _, replicate := range []bool{false, true} {
+				m := runHotspot(cfg.theta, replicate, locCache, keys, clients, opsEach, cfg.writeDenom)
+				if !replicate {
+					base = m.res.Mops()
+				}
+				speedup := 0.0
+				if base > 0 {
+					speedup = m.res.Mops() / base
+				}
+				mode := "unreplicated"
+				if replicate {
+					mode = "replicated"
+				}
+				row(w, mode, m.res.Mops(), speedup, m.res.HitRate(), m.imb, m.spec, m.vpg)
+				rows = append(rows, hotspotRow{
+					Theta: cfg.theta, Workload: cfg.label, Mode: mode, LocCache: locCache,
+					Mops: m.res.Mops(), Speedup: speedup, HitRate: m.res.HitRate(), Imbalance: m.imb,
+					Promotions: m.mc.Promotions, Demotions: m.mc.Demotions, SpreadReads: m.mc.SpreadReads,
+					SpecGetHitRate: m.spec, VerbsPerGet: m.vpg,
+					AllocsPerOp: m.res.AllocsPerOp(), HostNsPerOp: m.res.HostNsPerOp(),
+				})
+				if replicate {
+					fmt.Fprintf(w, "promotions: %d, demotions: %d, spread reads: %d\n",
+						m.mc.Promotions, m.mc.Demotions, m.mc.SpreadReads)
+				}
 			}
 		}
 	}
 	return writeJSONSummary(w, map[string]interface{}{
-		"scenario": "hotspot",
-		"scale":    scale.String(),
-		"keys":     keys,
-		"clients":  clients,
-		"nodes":    4,
-		"results":  rows,
+		"scenario":        "hotspot",
+		"scale":           scale.String(),
+		"keys":            keys,
+		"clients":         clients,
+		"nodes":           4,
+		"loc_cache_slots": hotspotLocSlots,
+		"results":         rows,
 	})
+}
+
+// onOff renders a bool dimension for the text table headers.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// hotspotLocSlots is the per-client location-cache capacity the loc-cache
+// rows run with: enough for the zipfian hot tail that dominates the Gets,
+// far from enough to pin the whole key space — the regime the hint cache
+// is built for.
+const hotspotLocSlots = 4096
+
+// hotspotMeasure is one runHotspot measurement.
+type hotspotMeasure struct {
+	res  Result
+	imb  float64
+	mc   *core.MultiCluster
+	spec float64 // fraction of Gets served speculatively
+	vpg  float64 // READ verbs per Get over the measured phase
 }
 
 // runHotspot runs `clients` closed-loop clients (zipf(theta)-skewed
@@ -110,9 +153,12 @@ func Hotspot(w io.Writer, scale Scale) error {
 // (math/rand.Zipf), whose rank-0 key is simply key 0 — ring placement
 // hashes the key bytes, so the hot ranks still land on effectively
 // random nodes.
-func runHotspot(theta float64, replicate bool, keys, clients, opsEach, writeDenom int) (Result, float64, *core.MultiCluster) {
+func runHotspot(theta float64, replicate, locCache bool, keys, clients, opsEach, writeDenom int) hotspotMeasure {
 	env := sim.NewEnv(benchSeed(29))
 	opts := core.DefaultOptions(keys*3, keys*1200) // headroom for 1+R hot-key copies
+	if locCache {
+		opts.LocCacheSlots = hotspotLocSlots
+	}
 	// The replication lever only matters once a single MN's RNIC is the
 	// binding resource. The default calibration's 40 M msg/s per node
 	// needs hundreds of closed-loop clients to saturate; scale the
@@ -129,7 +175,13 @@ func runHotspot(theta float64, replicate bool, keys, clients, opsEach, writeDeno
 	factory := func(p *sim.Proc) CacheOps { return mc.NewClient(p) }
 	RunLoad(env, factory, loadKeys(keys), 16)
 
+	// Verb deltas start AFTER the load phase so verbs_per_get charges only
+	// the measured clients' traffic (plus the eviction/write READs their
+	// ops trigger — part of the honest per-Get cost).
+	reads0 := nodeReads(mc)
 	res := Result{}
+	var agg core.Stats
+	meter := startHostMeter()
 	start := env.Now()
 	for w := 0; w < clients; w++ {
 		w := w
@@ -148,16 +200,34 @@ func runHotspot(theta float64, replicate bool, keys, clients, opsEach, writeDeno
 				}
 				res.Ops++
 			}
+			agg.Add(m.Stats())
 		})
 	}
 	env.Run()
 	res.ElapsedNs = env.Now() - start
+	meter.stop(&res)
 
 	served := make([]int64, mc.NumNodes())
 	for i := range served {
 		served[i] = mc.Node(i).ServedReads()
 	}
-	return res, stats.Imbalance(served), mc
+	vpg := 0.0
+	if agg.Gets > 0 {
+		vpg = float64(nodeReads(mc)-reads0) / float64(agg.Gets)
+	}
+	return hotspotMeasure{
+		res: res, imb: stats.Imbalance(served), mc: mc,
+		spec: agg.SpecGetHitRate(), vpg: vpg,
+	}
+}
+
+// nodeReads sums the READ verb counters across the pool's RNICs.
+func nodeReads(mc *core.MultiCluster) int64 {
+	var n int64
+	for i := 0; i < mc.NumNodes(); i++ {
+		n += mc.Node(i).MN.Node.Stats.Reads
+	}
+	return n
 }
 
 // zipfSampler returns a key sampler for the given skew: the YCSB

@@ -52,9 +52,9 @@ var Experiments = map[string]Experiment{
 	// Elasticity beyond the paper's single-MN evaluation (§5.1 note).
 	"elastic-reshard": {ElasticReshard, "Elastic scale-out 2→4 MNs with live resharding, serial vs doorbell resharder (hit rate, throughput, reshard time)"},
 	// Doorbell-batched multi-key pipeline (MGet/MSet) — extension.
-	"batched-throughput": {BatchedThroughput, "Doorbell-batched MGet/MSet vs sequential ops across batch sizes 1/8/32/128 (YCSB-C and mixed)"},
+	"batched-throughput": {BatchedThroughput, "Doorbell-batched MGet/MSet vs sequential ops across batch sizes 1/8/32/128 (YCSB-C and mixed), location cache off/on: spec_get_hit_rate and verbs_per_get per row"},
 	// Hot-key replication with load-aware read spreading — extension.
-	"hotspot": {Hotspot, "Hot-key replication on a zipfian read-heavy workload, 4 MNs: throughput and per-node read imbalance, replicated vs unreplicated"},
+	"hotspot": {Hotspot, "Hot-key replication on a zipfian read-heavy workload, 4 MNs: throughput and per-node read imbalance, replicated vs unreplicated, location cache off/on (speculative one-RTT Gets)"},
 	// Eviction as verb plans + proactive background reclaim — extension.
 	"churn": {Churn, "Write-heavy zipf churn at ~100% occupancy: Set p99 and eviction-stall time, inline-serial vs background-doorbell reclaim"},
 	// Fault injection: crash + replacement under load — extension.

@@ -8,7 +8,7 @@ import (
 	"ditto/internal/sim"
 )
 
-// The five fault schedules. Each one targets a crash-tolerance
+// The six fault schedules. Each one targets a crash-tolerance
 // safeguard built in earlier PRs and carries at least one invariant
 // that fails if that safeguard is reverted:
 //
@@ -24,6 +24,10 @@ import (
 //     nomination and per-tenant byte accounting (the in-quota tenant
 //     loses nothing outside the crashed node, and every surviving
 //     node's tenant cells still sum to its live heap bytes).
+//   - stale hints across crash+reshard+reclaim → the speculative Get's
+//     read-validate fallback ladder and the incarnation/free-stamp
+//     discipline (hints are never invalidated, yet deleted keys stay
+//     deleted and no read returns another tenant's bytes).
 
 // TestChaosMNCrashMidReshard crashes a seed-chosen original node while
 // an AddNode reshard is migrating keys onto a new one, with a reader
@@ -381,6 +385,169 @@ func TestChaosReclaimerKilledUnderChurn(t *testing.T) {
 		env.Run()
 		if !finished {
 			h.Failf("churn never completed (reclaimer loss wedged writes)")
+		}
+	})
+}
+
+// TestChaosStaleHintsAcrossCrashReshardReclaim is the only schedule
+// that turns the client-side location cache ON — and then invalidates
+// nothing, ever, while making every recorded hint stale in a different
+// way: an MN crash drops a node's heap wholesale, an AddNode reshard
+// migrates keys (freeing the source copies), quota-steered reclaim
+// churns the noisy tenant's blocks through free/realloc cycles, and a
+// writer bumps versions under an independent reader's feet. Speculative
+// Gets ride those stale hints throughout; read-validate must reject
+// every dead image. Invariants:
+//
+//   - a key deleted after the reshard settles stays deleted on every
+//     re-read — including through a reader whose hint for it was
+//     recorded before the delete and never dropped (no resurrection
+//     from a freed-then-reused block);
+//   - every hit parses exactly (parseVal): a speculative read that
+//     returns another tenant's bytes — a stale hint landing on a
+//     reallocated block — fails as corruption;
+//   - the usual model checks on every read: no stale version, no
+//     phantom, per-client monotonic;
+//   - the in-quota tenant loses no key outside the crashed node's
+//     ownership, and the pool converges for both tenants.
+func TestChaosStaleHintsAcrossCrashReshardReclaim(t *testing.T) {
+	RunSeeds(t, func(t *testing.T, seed int64) {
+		const quietKeys = 40
+		const tombKeys = 16
+		const span = 4000 // noisy churn keys, ~1.6x pool capacity
+		const keys = quietKeys + tombKeys + span
+		opts := core.DefaultOptions(2500, 2500*320)
+		// Far fewer slots than live hints per client, so CLOCK eviction
+		// churns the hint set at the same time the hints themselves rot.
+		opts.LocCacheSlots = 64
+		h := New(t, seed, 3, keys, opts)
+		h.ValSize = 240
+		mc, env, fs := h.MC, h.Env, h.FS
+		mc.SetTenantQuota(1, 200*1024) // noisy: binds far below the churn
+		mc.SetTenantQuota(2, 1<<40)    // quiet: never binds
+		for i := 0; i < mc.NumNodes(); i++ {
+			mc.Node(i).EnableBackgroundReclaim(0, 0)
+		}
+		finished := false
+		crashed := false
+		deleted := false
+		done := false
+		var noisy, quiet, spec *core.MultiClient
+		env.Go("driver", func(p *sim.Proc) {
+			noisy = mc.NewClient(p)
+			noisy.BindTenant(1)
+			quiet = mc.NewClient(p)
+			quiet.BindTenant(2)
+			for i := 0; i < quietKeys; i++ {
+				h.MustSet(quiet, i, 1)
+			}
+			// Tombstone keys: written and hinted now, deleted later. The
+			// independent reader hints them too — ITS hints survive the
+			// delete (only the deleting client drops its own).
+			for i := 0; i < tombKeys; i++ {
+				h.MustSet(noisy, quietKeys+i, 1)
+				h.Get(noisy, quietKeys+i)
+			}
+			owner := make([]int, quietKeys)
+			for i := range owner {
+				owner[i] = mc.OwnerOf(Key(i))
+			}
+			victim := mc.NodeID(fs.Rand().Intn(mc.NumNodes()))
+			newID := mc.AddNode()
+			h.TrackNode(newID)
+			newOwner := make([]int, quietKeys)
+			for i := range newOwner {
+				newOwner[i] = mc.OwnerOf(Key(i))
+			}
+			fs.Between(1_500_000, 5_000_000, "crash-mn-stale-hints", func(*sim.Proc) {
+				mc.CrashNode(victim)
+				crashed = true
+			})
+			rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+			base := quietKeys + tombKeys
+			for i := 0; i < span; i++ {
+				h.Set(noisy, base+i, 1)
+				if i%8 == 0 { // rot the reader's quiet hints by version
+					h.BumpSet(quiet, rng.Intn(quietKeys))
+				}
+				if i%8 == 4 {
+					h.Get(quiet, rng.Intn(quietKeys))
+				}
+			}
+			if !crashed {
+				h.Failf("crash never landed inside the churn window")
+			}
+			if mc.NodeCrashes != 1 {
+				h.Failf("NodeCrashes=%d, want 1", mc.NodeCrashes)
+			}
+			// Delete only once the ring is stable: a delete racing a live
+			// migration may legally flicker (deleteDirect's contract), and
+			// this schedule's claim is about HINTS, not reshard ordering.
+			mc.WaitReshard(p)
+			for i := 0; i < tombKeys; i++ {
+				noisy.Delete(Key(quietKeys + i))
+			}
+			deleted = true
+			// Keep churning so the tombstones' freed blocks are reallocated
+			// under live hints, then re-read them: deleted keys must stay
+			// deleted through this client's full walk too.
+			for r := 0; r < 4; r++ {
+				for i := 0; i < span/8; i++ {
+					h.BumpSet(noisy, base+rng.Intn(span))
+				}
+				for i := 0; i < tombKeys; i++ {
+					if v, ok := h.Get(noisy, quietKeys+i); ok {
+						h.Failf("deleted key %d resurrected (v%d) after churn round %d",
+							quietKeys+i, v, r)
+					}
+				}
+			}
+			// Quota invariant through reclaim + crash, as in the two-tenant
+			// reclaim schedule: the in-quota tenant's only legal losses are
+			// the crashed node's (under either ring).
+			for i := 0; i < quietKeys; i++ {
+				if _, ok := h.Get(quiet, i); !ok && owner[i] != victim && newOwner[i] != victim {
+					h.Failf("in-quota tenant lost key %d owned by surviving nodes %d/%d (victim=%d)",
+						i, owner[i], newOwner[i], victim)
+				}
+			}
+			h.CheckConverged(quiet, 0, quietKeys)
+			done = true
+			mc.SetTenantQuota(1, 1<<40)
+			h.CheckEventuallyConverged(noisy, keys-200, keys)
+			finished = true
+		})
+		// Independent speculating reader: its hints for the quiet and
+		// tombstone keys are recorded early and never refreshed by the
+		// driver's writes or deletes, so they go stale through every fault
+		// in the schedule while it keeps reading through them.
+		env.Go("speculator", func(p *sim.Proc) {
+			spec = mc.NewClient(p)
+			spec.BindTenant(2)
+			rng := rand.New(rand.NewSource(seed ^ 0x7f4a7c15))
+			for !done && env.Now() < 120_000_000 {
+				i := rng.Intn(quietKeys + tombKeys)
+				v, ok := h.Get(spec, i)
+				if ok && deleted && i >= quietKeys {
+					h.Failf("deleted key %d resurrected through a stale hint (v%d)", i, v)
+				}
+				p.Sleep(2_000)
+			}
+		})
+		env.Run()
+		if !finished {
+			h.Failf("driver never finished (hint fallback, reshard, or reclaim wedged)")
+		}
+		// The schedule is vacuous if speculation never actually ran — or
+		// if no stale hint was ever exercised. Require both outcomes.
+		st := noisy.Stats()
+		st.Add(quiet.Stats())
+		st.Add(spec.Stats())
+		if st.SpecGetHits == 0 {
+			h.Failf("no speculative Get ever hit: the schedule exercised nothing")
+		}
+		if st.SpecGetFallbacks == 0 {
+			h.Failf("no speculative Get ever fell back: no hint went stale under faults")
 		}
 	})
 }

@@ -9,3 +9,7 @@ import "testing"
 func TestAllocsPerOpSteadyState(t *testing.T) {
 	t.Skip("alloc counts are not meaningful under -race")
 }
+
+func TestAllocsPerOpSteadyStateSpecGet(t *testing.T) {
+	t.Skip("alloc counts are not meaningful under -race")
+}

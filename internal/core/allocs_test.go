@@ -106,3 +106,42 @@ func TestAllocsPerOpSteadyState(t *testing.T) {
 	})
 	env.Run()
 }
+
+// TestAllocsPerOpSteadyStateSpecGet holds the one-RTT speculative path
+// to the same contract: once the hint is recorded and the spec-plan pool
+// is warm, a hinted Get via GetAppend — Lookup, the speculative READ,
+// in-place validation, metadata maintenance, and the hint refresh — must
+// allocate NOTHING. The -race build gets a skipping twin
+// (allocs_race_test.go).
+func TestAllocsPerOpSteadyStateSpecGet(t *testing.T) {
+	env := sim.NewEnv(12)
+	opts := DefaultOptions(1000, 1000*320)
+	opts.LocCacheSlots = 256
+	cl := NewCluster(env, opts)
+	env.Go("meter", func(p *sim.Proc) {
+		c := cl.NewClient(p)
+		k := key(0)
+		c.Set(k, value(0))
+		dst := make([]byte, 0, 512)
+		for r := 0; r < 3; r++ { // warm the spec-plan pool and the hint
+			dst, _ = c.GetAppend(dst[:0], k)
+		}
+		before := c.Stats.SpecGetHits
+		gets := testing.AllocsPerRun(200, func() {
+			dst, _ = c.GetAppend(dst[:0], k)
+		})
+		t.Logf("allocs/op: hinted get=%.1f", gets)
+		if gets != 0 {
+			t.Errorf("steady-state hinted Get allocates %.1f objects/op, want 0", gets)
+		}
+		// Prove the meter measured the speculative path, not a silent
+		// fallback to the two-RTT walk.
+		if c.Stats.SpecGetHits <= before {
+			t.Error("measured loop never took the speculative path")
+		}
+		if c.Stats.SpecGetFallbacks != 0 {
+			t.Errorf("fallbacks = %d, want 0", c.Stats.SpecGetFallbacks)
+		}
+	})
+	env.Run()
+}

@@ -29,7 +29,10 @@ type KV struct {
 // MGet fetches a batch of keys. An all-hit batch costs exactly two
 // doorbell batches — every bucket READ, then every object READ — instead
 // of two round trips per key; per-key hit handling (stats, frequency,
-// last_ts, expert extensions) is identical to Get's.
+// last_ts, expert extensions) is identical to Get's. With a location
+// cache enabled, hinted keys run specGetPlans instead: their speculative
+// object READs join the unhinted keys' bucket READs in the SAME first
+// doorbell, so an all-hinted all-valid batch costs exactly ONE doorbell.
 func (c *Client) MGet(keys [][]byte) ([][]byte, []bool) { return c.mget(keys, false) }
 
 // mget implements MGet; probe=true silences misses (no counters, no
@@ -46,22 +49,53 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 	// result can alias another plan's buffer, so every plan stays
 	// acquired until the whole batch's outputs are consumed (pool.go
 	// rule 1); the serial fallbacks below draw from the same free lists
-	// but never touch plans still held here.
+	// but never touch plans still held here. specIdx/getIdx map each
+	// in-flight plan back to its key index.
 	plans := c.getPlans[:0]
+	specs := c.specPlans[:0]
+	specIdx := c.specIdx[:0]
+	getIdx := c.getIdx[:0]
 	run := c.runOps[:0]
 	for i := range keys {
+		if c.loc != nil {
+			if h, ok := c.loc.Lookup(keys[i]); ok {
+				sp := c.acquireSpecGetPlan(keys[i], h)
+				specs = append(specs, sp)
+				specIdx = append(specIdx, i)
+				run = append(run, sp)
+				continue
+			}
+		}
 		pl := c.acquireGetPlan(keys[i])
 		plans = append(plans, pl)
+		getIdx = append(getIdx, i)
 		run = append(run, pl)
 	}
-	c.getPlans, c.runOps = plans, run
+	c.getPlans, c.specPlans, c.runOps = plans, specs, run
+	c.specIdx, c.getIdx = specIdx, getIdx
 	c.runner.Doorbell.Run(run)
 
-	for i, pl := range plans {
+	for j, sp := range specs {
+		if !sp.ok {
+			continue
+		}
+		i := specIdx[j]
+		c.Stats.SpecGetHits++
+		c.touchOnSpecHit(sp)
+		c.Stats.Gets++
+		c.Stats.Hits++
+		c.served.Inc()
+		vals[i] = append([]byte(nil), sp.dec.value...)
+		oks[i] = true
+		c.report(OpGet, start, true)
+	}
+	for j, pl := range plans {
 		if !pl.hit {
 			continue
 		}
-		c.touchOnHit(pl.slot, pl.dec, len(keys[i]))
+		i := getIdx[j]
+		freq := c.touchOnHit(pl.slot, pl.dec, len(keys[i]))
+		c.noteLocation(keys[i], pl.slot, pl.dec, freq)
 		c.Stats.Gets++
 		c.Stats.Hits++
 		c.served.Inc()
@@ -69,10 +103,24 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 		oks[i] = true
 		c.report(OpGet, start, true)
 	}
-	for i, pl := range plans {
+	for j, sp := range specs {
+		if sp.ok {
+			continue
+		}
+		// The speculative image failed validation: drop the hint and re-run
+		// the key through the serial driver's ordinary bucket walk, which
+		// applies the exact hit/miss/probe semantics (and re-records a
+		// fresh hint on a hit).
+		i := specIdx[j]
+		c.Stats.SpecGetFallbacks++
+		c.loc.Drop(keys[i])
+		vals[i], oks[i] = c.get(keys[i], probe, nil)
+	}
+	for j, pl := range plans {
 		if pl.hit {
 			continue
 		}
+		i := getIdx[j]
 		if pl.stale {
 			// Rare: the snapshot raced a concurrent update. Re-run the key
 			// through the serial driver, which retries bounded re-reads
@@ -96,6 +144,9 @@ func (c *Client) mget(keys [][]byte, probe bool) ([][]byte, []bool) {
 	}
 	for _, pl := range plans {
 		c.releaseGetPlan(pl)
+	}
+	for _, sp := range specs {
+		c.releaseSpecGetPlan(sp)
 	}
 	return vals, oks
 }
@@ -134,6 +185,7 @@ func (c *Client) MSet(pairs []KV) {
 	for i, pl := range plans {
 		switch pl.outcome {
 		case setDone:
+			c.noteSetLocation(pl)
 			c.Stats.Sets++
 			c.report(OpSet, start, true)
 		case setCASLost:
@@ -170,6 +222,9 @@ func (c *Client) MDelete(keys [][]byte) []bool {
 	plans := c.delPlans[:0]
 	run := c.runOps[:0]
 	for i := range keys {
+		if c.loc != nil {
+			c.loc.Drop(keys[i])
+		}
 		pl := c.acquireDelPlan(keys[i])
 		plans = append(plans, pl)
 		run = append(run, pl)

@@ -10,6 +10,7 @@ import (
 	"ditto/internal/fccache"
 	"ditto/internal/hashtable"
 	"ditto/internal/history"
+	"ditto/internal/loccache"
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 	"ditto/internal/sim"
@@ -56,6 +57,15 @@ type Stats struct {
 	// (TryMSet on an over-quota tenant while the node was overloaded);
 	// no verbs were issued for them.
 	ShedOps int64
+
+	// Speculative-Get observability (Options.LocCacheSlots > 0).
+	// SpecGetHits counts Gets served by ONE speculative READ of a
+	// location-cache hint that validated in place; SpecGetFallbacks counts
+	// hinted Gets whose speculative image failed validation (block reused,
+	// freed, lease lapsed, …) and fell back to the ordinary bucket walk —
+	// those Gets paid one extra READ. Unhinted Gets touch neither counter.
+	SpecGetHits      int64
+	SpecGetFallbacks int64
 }
 
 // Add folds other's counters into s — the one summation every
@@ -77,6 +87,19 @@ func (s *Stats) Add(other Stats) {
 	s.WriteStallNs += other.WriteStallNs
 	s.ReclaimerWakeups += other.ReclaimerWakeups
 	s.ShedOps += other.ShedOps
+	s.SpecGetHits += other.SpecGetHits
+	s.SpecGetFallbacks += other.SpecGetFallbacks
+}
+
+// SpecGetHitRate returns SpecGetHits/Gets — the fraction of Gets served
+// in one RTT by a validated speculative read. Denominator is all Gets
+// (not just hinted ones): the rate answers "how much of the read traffic
+// went one-RTT", the number the benches report.
+func (s *Stats) SpecGetHitRate() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.SpecGetHits) / float64(s.Gets)
 }
 
 // HitRate returns Hits/(Hits+Misses).
@@ -119,16 +142,34 @@ type Client struct {
 	// carries one M-operation's plans; runEv the eviction batches —
 	// separate because inline eviction can fire while an M-operation's
 	// doorbell round is mid-absorb.
-	freeGet  []*getPlan
-	freeSet  []*setPlan
-	freeDel  []*delPlan
-	freeEv   []*evictPlan
-	getPlans []*getPlan
-	setPlans []*setPlan
-	delPlans []*delPlan
-	evPlans  []*evictPlan
-	runOps   []exec.Plan
-	runEv    []exec.Plan
+	freeGet   []*getPlan
+	freeSet   []*setPlan
+	freeDel   []*delPlan
+	freeEv    []*evictPlan
+	freeSpec  []*specGetPlan
+	getPlans  []*getPlan
+	setPlans  []*setPlan
+	delPlans  []*delPlan
+	evPlans   []*evictPlan
+	specPlans []*specGetPlan
+	runOps    []exec.Plan
+	runEv     []exec.Plan
+	specIdx   []int // key index each in-flight spec plan serves (mget)
+	getIdx    []int // key index each in-flight get plan serves (mget)
+
+	// Location cache behind one-RTT speculative Gets (nil unless
+	// Options.LocCacheSlots > 0; see internal/loccache). verBase/verSeq
+	// generate this client's object incarnation stamps: verBase is the
+	// cluster-assigned 16-bit client id pre-shifted into stamp position,
+	// verSeq the per-staging sequence — deterministic counters, no RNG
+	// draw, so enabling stamps never perturbs randomness order. stamp8 is
+	// the reusable all-zero image freeStampAsync writes over a freed
+	// block's tenant+ver bytes (safe to share: WriteAsync applies before
+	// returning, and the stamp is always zero).
+	loc     *loccache.Cache
+	verBase uint64
+	verSeq  uint32
+	stamp8  [8]byte
 
 	// Stats accumulates this client's counters.
 	Stats Stats
@@ -175,6 +216,11 @@ func (cl *Cluster) NewClient(p *sim.Proc) *Client {
 		hist:   history.NewClient(ep, hashtable.NewHandle(cl.Layout, ep), cl.histSize),
 		served: cl.servedReads.NewCell(),
 		tcell:  cl.tenantUsage.NewCell(),
+	}
+	cl.verClients++
+	c.verBase = uint64(cl.verClients) << 32
+	if cl.specMode() {
+		c.loc = loccache.New(cl.opts.LocCacheSlots)
 	}
 	off := 0
 	for _, name := range cl.opts.Experts {
@@ -246,8 +292,36 @@ func (c *Client) getProbe(key []byte) ([]byte, bool) { return c.get(key, true, n
 // get runs the plan and, on a hit, appends the value to dst. The copy
 // happens before the plan is released: pl.dec.value is a view into the
 // plan's pooled object buffer.
+//
+// With a location cache enabled, a hinted key first tries the one-RTT
+// speculative path: one READ of the hinted block, validated in place by
+// specGetPlan (plan.go). A validated hit is a normal hit — same
+// counters, same metadata maintenance, same observer report — served in
+// a single round trip. Any validation failure silently drops the hint
+// and falls through to the ordinary bucket walk below, whose own hit
+// path re-records a fresh hint; correctness never depends on the hint.
 func (c *Client) get(key []byte, probe bool, dst []byte) ([]byte, bool) {
 	start := c.p.Now()
+	if c.loc != nil {
+		if h, ok := c.loc.Lookup(key); ok {
+			spl := c.acquireSpecGetPlan(key, h)
+			c.runner.Serial.Run(spl)
+			if spl.ok {
+				c.Stats.SpecGetHits++
+				c.touchOnSpecHit(spl)
+				c.Stats.Gets++
+				c.Stats.Hits++
+				c.served.Inc()
+				val := append(dst, spl.dec.value...)
+				c.releaseSpecGetPlan(spl)
+				c.report(OpGet, start, true)
+				return val, true
+			}
+			c.Stats.SpecGetFallbacks++
+			c.loc.Drop(key)
+			c.releaseSpecGetPlan(spl)
+		}
+	}
 	var pl *getPlan
 	for attempt := 0; attempt < getRetries; attempt++ {
 		if pl == nil {
@@ -257,7 +331,8 @@ func (c *Client) get(key []byte, probe bool, dst []byte) ([]byte, bool) {
 		}
 		c.runner.Serial.Run(pl)
 		if pl.hit {
-			c.touchOnHit(pl.slot, pl.dec, len(key))
+			freq := c.touchOnHit(pl.slot, pl.dec, len(key))
+			c.noteLocation(key, pl.slot, pl.dec, freq)
 			c.Stats.Gets++
 			c.Stats.Hits++
 			c.served.Inc()
@@ -308,7 +383,9 @@ func (c *Client) noteHit(s hashtable.Slot, keyLen int) uint64 {
 // the stateful freq through the FC cache (combined RDMA_FAA), the
 // stateless last_ts with one asynchronous RDMA_WRITE, and any expert
 // extension metadata with one more asynchronous RDMA_WRITE to the object.
-func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
+// It returns the hit's logical frequency (noteHit's convention) so the
+// caller can seed a location-cache hint without recomputing it.
+func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) uint64 {
 	now := c.p.Now()
 	freq := c.noteHit(s, keyLen)
 	c.ht.TouchLastTs(s.Addr, now)
@@ -339,6 +416,112 @@ func (c *Client) touchOnHit(s hashtable.Slot, dec decodedObject, keyLen int) {
 	if c.onHit != nil {
 		c.onHit(dec.key, dec.tenant, freq)
 	}
+	return freq
+}
+
+// touchOnSpecHit is touchOnHit for a validated speculative hit: the same
+// maintenance — FC-cache freq buffering, async last_ts touch, expert
+// extension updates, the hot-key promotion hook — driven from the hint's
+// slot-metadata snapshot instead of a fresh bucket READ (the whole point
+// is not to have one). The frequency convention is hint.Freq + 1: the
+// hint's Freq already folded the pending FC delta when it was recorded
+// off a full bucket walk, so re-adding PendingDelta here would double
+// count; between full walks the estimate is blind to other clients'
+// accesses, the same fidelity class as the FC cache itself. The
+// refreshed hint keeps Addr/Ver — a validated hit proves them current.
+func (c *Client) touchOnSpecHit(sp *specGetPlan) {
+	now := c.p.Now()
+	h := &sp.hint
+	freq := h.Freq + 1
+	c.fc.Add(h.SlotAddr, len(sp.key))
+	c.ht.TouchLastTs(h.SlotAddr, now)
+	if c.cl.opts.DisableSFHT {
+		c.metaWriteAsync(h.Addr, c.meta8[:])
+	}
+	if len(sp.dec.ext) > 0 {
+		meta := &c.extMeta
+		*meta = cachealgo.Metadata{
+			Size:     h.Len,
+			InsertTs: h.InsertTs,
+			LastTs:   h.LastTs,
+			Freq:     freq,
+		}
+		for i, a := range c.experts {
+			n := a.ExtSize()
+			if n == 0 {
+				continue
+			}
+			meta.Ext = sp.dec.ext[c.extOff[i] : c.extOff[i]+n]
+			a.UpdateExt(meta, now)
+		}
+		c.metaWriteAsync(h.Addr+objHeader, sp.dec.ext)
+	}
+	h.Freq = freq
+	h.LastTs = now
+	c.loc.Record(sp.key, *h)
+	if c.onHit != nil {
+		c.onHit(sp.dec.key, sp.dec.tenant, freq)
+	}
+}
+
+// noteLocation records (or refreshes) key's location-cache hint off a
+// full bucket-walk hit: the slot's published pointer and size class, the
+// image's incarnation stamp, and the slot-metadata snapshot a future
+// speculative hit maintains metadata from. Hints are recorded on EVERY
+// full-plan hit — main bucket or overflow — so repeat reads of
+// overflowed keys reach one RTT too. Pre-stamp images (ver 0: written
+// by a binary predating the stamp, impossible in-sim but cheap to
+// guard) are never hinted; ver 0 is the cleared/freed marker.
+func (c *Client) noteLocation(key []byte, s hashtable.Slot, dec decodedObject, freq uint64) {
+	if c.loc == nil || dec.ver == 0 {
+		return
+	}
+	c.loc.Record(key, loccache.Hint{
+		Addr:     s.Atomic.Pointer(),
+		Len:      s.Atomic.SizeBytes(),
+		Ver:      dec.ver,
+		Tenant:   uint8(dec.tenant),
+		SlotAddr: s.Addr,
+		InsertTs: s.InsertTs,
+		LastTs:   c.p.Now(),
+		Freq:     freq,
+	})
+}
+
+// noteSetLocation records the hint for a setDone outcome: the writer
+// knows the block it just published (address, size class, stamp) without
+// any extra verbs, so its own next Get of the key starts one-RTT. For an
+// out-of-place update the slot keeps its insert timestamp and running
+// frequency; a fresh insert starts at freq 1.
+func (c *Client) noteSetLocation(pl *setPlan) {
+	if c.loc == nil {
+		return
+	}
+	h := loccache.Hint{
+		Addr:     pl.addr,
+		Len:      pl.want.SizeBytes(),
+		Ver:      pl.ver,
+		Tenant:   uint8(pl.tenant),
+		SlotAddr: pl.slotAddr,
+		InsertTs: pl.now,
+		LastTs:   pl.now,
+		Freq:     1,
+	}
+	if pl.mode == pUpdate && !pl.expUpd {
+		h.InsertTs = pl.updSlot.InsertTs
+		h.Freq = pl.updSlot.Freq + 1
+	}
+	c.loc.Record(pl.key, h)
+}
+
+// nextVer returns the next incarnation stamp for an image this client
+// stages: the cluster-assigned client id (verBase) concatenated with a
+// per-staging sequence. Unique across the cluster (object.go), never 0,
+// and drawn from plain counters so determinism and randomness order are
+// untouched.
+func (c *Client) nextVer() uint64 {
+	c.verSeq++
+	return c.verBase | uint64(c.verSeq)
 }
 
 // collectRegrets penalizes experts recorded in valid history entries for
@@ -392,6 +575,7 @@ func (c *Client) Set(key, value []byte) {
 		c.runner.Serial.Run(pl)
 		switch pl.outcome {
 		case setDone:
+			c.noteSetLocation(pl)
 			c.releaseSetPlan(pl)
 			c.report(OpSet, start, true)
 			return
@@ -503,9 +687,11 @@ func (c *Client) updateExt(dst []byte, s hashtable.Slot, old decodedObject, size
 }
 
 // finishUpdate applies the post-CAS effects of a successful out-of-place
-// update: free the superseded block, buffer the access's freq increment,
-// and touch last_ts (async).
+// update: free the superseded block (stamping it first, see
+// freeStampAsync), buffer the access's freq increment, and touch last_ts
+// (async).
 func (c *Client) finishUpdate(s hashtable.Slot, keyLen int, now int64) {
+	c.freeStampAsync(s.Atomic.Pointer())
 	c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 	c.fc.Add(s.Addr, keyLen)
 	c.ht.TouchLastTs(s.Addr, now)
@@ -578,6 +764,7 @@ func (c *Client) surrenderFreeBlocks() { c.alloc.Surrender() }
 // tenant the insert was charged to; the undo credits it back.
 func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField, t TenantID) {
 	if _, swapped := c.ht.CASAtomic(slotAddr, atom, 0); swapped {
+		c.freeStampAsync(atom.Pointer())
 		c.alloc.Free(atom.Pointer(), atom.SizeBytes())
 		c.fc.Forget(slotAddr)
 		c.accountTenant(t, -int64(atom.SizeBytes()))
@@ -592,6 +779,9 @@ func (c *Client) dropMigrated(slotAddr uint64, atom hashtable.AtomicField, t Ten
 // why the scan covers BOTH buckets to completion.
 func (c *Client) Delete(key []byte) bool {
 	c.Stats.Deletes++
+	if c.loc != nil {
+		c.loc.Drop(key)
+	}
 	pl := c.acquireDelPlan(key)
 	c.runner.Serial.Run(pl)
 	deleted := pl.deleted

@@ -67,6 +67,11 @@ type Options struct {
 	// MaxCacheBytes reserves registered memory for future GrowCache calls
 	// beyond the default slack (elasticity experiments).
 	MaxCacheBytes int
+	// LocCacheSlots bounds each client's location cache (internal/loccache)
+	// behind one-RTT speculative Gets; 0 (the default) disables the cache
+	// entirely — no speculative READs, no free-stamp WRITEs — so the verb
+	// shapes and virtual-time results are byte-for-byte the seed's.
+	LocCacheSlots int
 	// Fabric is the timing model.
 	Fabric rdma.Config
 
@@ -167,6 +172,12 @@ type Cluster struct {
 	tenantQuota [MaxTenants]int64 // bytes; 0 = unlimited
 	tenantUsage *stats.TenantCounter
 
+	// verClients hands out the 16-bit client ids behind object incarnation
+	// stamps (object.go): each NewClient takes the next id, so stamps from
+	// different clients can never collide. Wraps after 65535 clients per
+	// cluster — far beyond the one-client-per-core model's populations.
+	verClients uint16
+
 	histSize int
 	extSizes []int // per-expert extension bytes (from a prototype instance)
 	totalExt int
@@ -262,6 +273,12 @@ func NewCluster(env *sim.Env, opts Options) *Cluster {
 // Adaptive reports whether distributed adaptive caching is active (more
 // than one expert).
 func (cl *Cluster) Adaptive() bool { return len(cl.opts.Experts) > 1 }
+
+// specMode reports whether one-RTT speculative Gets are enabled
+// (Options.LocCacheSlots > 0). It gates every verb the feature adds —
+// speculative READs and free-stamp WRITEs — so specMode=false keeps the
+// seed's verb shapes exactly.
+func (cl *Cluster) specMode() bool { return cl.opts.LocCacheSlots > 0 }
 
 // Options returns the cluster's configuration.
 func (cl *Cluster) Options() Options { return cl.opts }

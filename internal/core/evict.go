@@ -256,6 +256,7 @@ func (c *Client) takeBucketVictim(victim candidate, blamed cachealgo.Algorithm, 
 	if obs, ok := blamed.(cachealgo.EvictionObserver); ok {
 		obs.OnEvict(p)
 	}
+	c.freeStampAsync(victim.slot.Atomic.Pointer())
 	c.alloc.Free(victim.slot.Atomic.Pointer(),
 		victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(victim.slot.Addr)

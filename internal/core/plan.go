@@ -4,6 +4,7 @@ package core
 // written ONCE as an exec.Plan and executed under either strategy.
 //
 //	Get:     bucket READ(s) → object READ(s)                → hit/miss/stale
+//	SpecGet: ONE hinted object READ, validated in place     → hit/fall back
 //	Set:     bucket READ(s) → object READ(s) → classify →
 //	         object WRITE → publish CAS                     → done/noFree/casLost
 //	Migrate: Set in insert-if-absent mode (absence verified
@@ -32,6 +33,7 @@ import (
 	"ditto/internal/exec"
 	"ditto/internal/hashtable"
 	"ditto/internal/history"
+	"ditto/internal/loccache"
 	"ditto/internal/memnode"
 	"ditto/internal/rdma"
 )
@@ -94,6 +96,26 @@ func (c *Client) issueRead(op rdma.BatchOp) []byte {
 // one asynchronous WRITE (completion ignored; §4.1 "stateless fields").
 func (c *Client) metaWriteAsync(addr uint64, data []byte) {
 	c.ep.WriteAsync(addr, data)
+}
+
+// freeStampAsync clears a published block's tenant+incarnation bytes
+// with one asynchronous 8-byte WRITE before the block is freed, so a
+// lingering image in freed-but-not-yet-reused memory can never validate
+// a speculative read (object.go: ver 0 never validates). That closes the
+// resurrection window for deleted/evicted keys and the stale-read window
+// for superseded updates; block REUSE needs no stamp at all, since the
+// next image's unique ver already mismatches every outstanding hint.
+//
+// MUST be called BEFORE alloc.Free of the same block — after the free,
+// another client may already have reallocated and republished the
+// address, and the stamp would corrupt a live object. Gated on specMode:
+// with the location cache off nothing ever reads the stamp, and skipping
+// the WRITE keeps the seed's verb shapes byte-for-byte.
+func (c *Client) freeStampAsync(addr uint64) {
+	if !c.cl.specMode() {
+		return
+	}
+	c.ep.WriteAsync(addr+objTenantOff, c.stamp8[:])
 }
 
 // probeConventionalIndex models the conventional design's per-miss probe
@@ -280,6 +302,89 @@ func (pl *getPlan) Absorb(res []exec.Result) {
 	}
 }
 
+// --------------------------------------------------- Speculative Get ----
+
+// specGetPlan states.
+const (
+	spRead = iota
+	spDone
+)
+
+// specGetPlan is the one-RTT speculative Get behind a location-cache
+// hint: ONE READ of the hinted block at its remembered size class, then
+// in-place validation of the returned image against the hint — the
+// 24-byte header must decode, the incarnation stamp must equal the
+// hint's exactly (object.go explains why that is sufficient), the inline
+// key must match, the tenant must match, and under tenantMode the lease
+// must be live. Any failure leaves ok=false and the driver falls back to
+// the ordinary two-RTT getPlan; a speculative plan NEVER retries or
+// issues further verbs, so the hint-hit path is exactly one verb (pinned
+// by TestSpecGetVerbBudget).
+//
+// Under Doorbell the plan is single-stage: its READ joins the batch's
+// first doorbell alongside unhinted keys' bucket READs, and Step returns
+// nil from round two on — no executor changes needed.
+type specGetPlan struct {
+	c    *Client
+	key  []byte
+	hint loccache.Hint
+
+	// rnow is the attempt's reference time for the lease-expiry check,
+	// captured at reset (same convention as getPlan).
+	rnow int64
+
+	st  int
+	ok  bool
+	dec decodedObject
+
+	// Pooled scratch, kept across reset: verb-group emission and the READ
+	// delivery buffer.
+	verbs []exec.Verb
+	buf   []byte
+}
+
+// reset re-aims the plan at key/hint, keeping its scratch buffers.
+func (pl *specGetPlan) reset(c *Client, key []byte, h loccache.Hint) {
+	pl.c, pl.key, pl.hint = c, key, h
+	pl.rnow = c.p.Now()
+	pl.st = spRead
+	pl.ok = false
+	pl.dec = decodedObject{}
+}
+
+func (c *Client) newSpecGetPlan(key []byte, h loccache.Hint) *specGetPlan {
+	pl := &specGetPlan{}
+	pl.reset(c, key, h)
+	return pl
+}
+
+func (pl *specGetPlan) Step(eager bool) []exec.Verb {
+	if pl.st != spRead {
+		return nil
+	}
+	pl.buf = grow(pl.buf, pl.hint.Len)
+	pl.verbs = append(pl.verbs[:0], exec.Verb{EP: pl.c.ep, Op: rdma.BatchOp{
+		Kind: rdma.BatchRead, Addr: pl.hint.Addr, Len: pl.hint.Len, Buf: pl.buf,
+	}})
+	return pl.verbs
+}
+
+func (pl *specGetPlan) Absorb(res []exec.Result) {
+	pl.st = spDone
+	dec := decodeObject(res[0].Data)
+	h := &pl.hint
+	if !dec.ok || dec.ver == 0 || dec.ver != h.Ver ||
+		!bytes.Equal(dec.key, pl.key) || dec.tenant != TenantID(h.Tenant) {
+		return // block freed, reused, or never what we thought: fall back
+	}
+	if pl.c.cl.tenantMode && dec.expired(pl.rnow) {
+		// Lapsed lease: fall back so the full plan applies the exact
+		// lease-as-miss semantics (and its counting conventions).
+		return
+	}
+	pl.ok, pl.dec = true, dec
+}
+
 // ------------------------------------------------------------------- Set ----
 
 // setPlan states.
@@ -371,6 +476,7 @@ type setPlan struct {
 
 	now  int64
 	addr uint64
+	ver  uint64 // incarnation stamp of the staged image (nextVer at stage)
 	data []byte
 	want hashtable.AtomicField
 
@@ -415,7 +521,7 @@ func (pl *setPlan) reset(c *Client, key, value []byte) {
 	pl.updSlot, pl.insSlot = hashtable.Slot{}, hashtable.Slot{}
 	pl.updDec = decodedObject{}
 	pl.haveIns = false
-	pl.now, pl.addr = 0, 0
+	pl.now, pl.addr, pl.ver = 0, 0, 0
 	pl.data = pl.data[:0]
 	pl.want = 0
 	pl.outcome = setPending
@@ -580,6 +686,7 @@ func (pl *setPlan) Absorb(res []exec.Result) {
 				// insert (free the dead block, drop its stale FC delta,
 				// fresh slot metadata) — replacing a dead object is not an
 				// access to it.
+				pl.c.freeStampAsync(pl.updSlot.Atomic.Pointer())
 				pl.c.alloc.Free(pl.updSlot.Atomic.Pointer(), pl.updSlot.Atomic.SizeBytes())
 				pl.c.finishInsert(target.Addr, pl.kh, pl.now)
 			} else {
@@ -752,7 +859,12 @@ func (pl *setPlan) stage(fp byte) {
 		pl.extBuf = c.initExts(pl.extBuf, pl.size, pl.now)
 		ext = pl.extBuf
 	}
-	pl.data = encodeObjectInto(pl.data, pl.key, pl.value, ext, pl.tenant, pl.expiry)
+	// Every staged image gets a fresh incarnation stamp — unconditionally,
+	// because nextVer is a plain counter (no RNG, no verbs) and an
+	// unconditional stamp keeps the image layout identical whether or not
+	// speculative Gets are enabled.
+	pl.ver = c.nextVer()
+	pl.data = encodeObjectInto(pl.data, pl.key, pl.value, ext, pl.tenant, pl.expiry, pl.ver)
 	pl.want = hashtable.EncodeAtomic(fp, hashtable.SizeToBlocks(pl.size), pl.addr)
 	pl.st = sWrite
 }
@@ -911,6 +1023,7 @@ func (pl *delPlan) Absorb(res []exec.Result) {
 			s, m := pl.matches[pl.mi], pl.matchMeta[pl.mi]
 			pl.mi++
 			if r.Swapped {
+				pl.c.freeStampAsync(s.Atomic.Pointer())
 				pl.c.alloc.Free(s.Atomic.Pointer(), s.Atomic.SizeBytes())
 				pl.c.fc.Forget(s.Addr)
 				pl.c.accountTenant(m.tenant, -int64(s.Atomic.SizeBytes()))
@@ -1286,6 +1399,7 @@ func (pl *evictPlan) finishWin() {
 			obs.OnEvict(pl.prio[e])
 		}
 	}
+	c.freeStampAsync(pl.victim.slot.Atomic.Pointer())
 	c.alloc.Free(pl.victim.slot.Atomic.Pointer(), pl.victim.slot.Atomic.SizeBytes())
 	c.fc.Forget(pl.victim.slot.Addr)
 	c.accountTenant(pl.victim.tenant, -int64(pl.victim.slot.Atomic.SizeBytes()))
@@ -1364,6 +1478,7 @@ func (pl *migratePlan) Absorb(res []exec.Result) {
 	}
 	pl.st = 2
 	if res[0].Swapped {
+		pl.src.freeStampAsync(pl.s.Atomic.Pointer())
 		pl.src.alloc.Free(pl.s.Atomic.Pointer(), pl.s.Atomic.SizeBytes())
 		pl.src.fc.Forget(pl.s.Addr)
 		// The moved copy's bytes leave the SOURCE node's accounting (the

@@ -26,6 +26,8 @@ package core
 // pooled: they are cold-path, long-lived, and owned by transient
 // clients.
 
+import "ditto/internal/loccache"
+
 // grow returns buf resized to n bytes, reusing its capacity when it
 // suffices. The contents are unspecified — callers must fully overwrite
 // (READ delivery does) or clear the returned slice.
@@ -60,6 +62,21 @@ func (c *Client) acquireGetPlan(key []byte) *getPlan {
 
 func (c *Client) releaseGetPlan(pl *getPlan) {
 	c.freeGet = append(c.freeGet, pl)
+}
+
+func (c *Client) acquireSpecGetPlan(key []byte, h loccache.Hint) *specGetPlan {
+	var pl *specGetPlan
+	if n := len(c.freeSpec); n > 0 {
+		pl, c.freeSpec = c.freeSpec[n-1], c.freeSpec[:n-1]
+	} else {
+		pl = &specGetPlan{}
+	}
+	pl.reset(c, key, h)
+	return pl
+}
+
+func (c *Client) releaseSpecGetPlan(pl *specGetPlan) {
+	c.freeSpec = append(c.freeSpec, pl)
 }
 
 func (c *Client) acquireSetPlan(key, value []byte) *setPlan {
